@@ -1,0 +1,47 @@
+#pragma once
+/// \file bench_main.hpp
+/// \brief Shared scaffolding for the experiment-reproduction binaries.
+///
+/// Every bench binary regenerates one table/figure from the paper and
+/// prints (a) the aligned text table and (b) the same rows as CSV, so the
+/// output can be redirected straight into a plotting script.  An optional
+/// first argument overrides the thermal grid resolution (e.g.
+/// `./fig5_spacing_sweep 64` for paper-resolution grids).
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiments.hpp"
+
+namespace tacos::benchmain {
+
+/// Parse the optional grid-resolution argument.
+inline ExperimentOptions options_from_args(int argc, char** argv,
+                                           ExperimentOptions defaults = {}) {
+  if (argc > 1) defaults.grid = static_cast<std::size_t>(std::stoul(argv[1]));
+  return defaults;
+}
+
+/// Print an experiment table in both human and CSV form with timing.
+template <typename Fn>
+int run(const std::string& title, Fn&& make_table) {
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    const TextTable table = make_table();
+    table.print(title);
+    std::cout << "\n-- CSV --\n" << table.to_csv();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::cout << "\n[" << title << "] completed in " << table.row_count()
+              << " rows, " << secs << " s\n";
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return EXIT_FAILURE;
+  }
+}
+
+}  // namespace tacos::benchmain

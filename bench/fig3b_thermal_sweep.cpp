@@ -1,0 +1,11 @@
+/// Reproduces Fig. 3(b): peak temperature of 2.5D systems vs interposer
+/// size for chiplet counts 2x2..10x10 and synthetic power densities
+/// 0.5..2.0 W/mm^2, plus the "new 2D single chip" reference (E2).
+#include "bench_main.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = tacos::benchmain::options_from_args(argc, argv);
+  return tacos::benchmain::run(
+      "Fig. 3(b): peak temperature design-space exploration",
+      [&] { return tacos::fig3b_thermal_table(opts); });
+}

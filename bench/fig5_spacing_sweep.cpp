@@ -1,0 +1,10 @@
+/// Reproduces Fig. 5: peak temperature vs uniform chiplet spacing for all
+/// eight benchmarks with every core active at 1 GHz, for 4/16/64/256
+/// chiplets; 0 mm is the single-chip baseline (E4).
+#include "bench_main.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = tacos::benchmain::options_from_args(argc, argv);
+  return tacos::benchmain::run("Fig. 5: peak temperature vs chiplet spacing",
+                               [&] { return tacos::fig5_spacing_table(opts); });
+}

@@ -1,0 +1,14 @@
+/// Reproduces Fig. 6: maximum IPS and cost of 2.5D systems (normalized to
+/// the single chip) under the 85C threshold across interposer sizes, for
+/// the representative low/medium/high-power benchmarks (E5).
+#include "bench_main.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = tacos::benchmain::options_from_args(argc, argv);
+  std::vector<std::string> reps;
+  for (auto name : tacos::representative_benchmarks())
+    reps.emplace_back(name);
+  return tacos::benchmain::run(
+      "Fig. 6: max IPS and cost vs interposer size",
+      [&] { return tacos::fig6_perf_cost_table(opts, reps); });
+}

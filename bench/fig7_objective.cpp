@@ -1,0 +1,14 @@
+/// Reproduces Fig. 7: minimum Eq. (5) objective value across interposer
+/// sizes for (alpha, beta) in {(0,1), (1,0), (0.5,0.5)}, for the
+/// representative benchmarks (E6).
+#include "bench_main.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = tacos::benchmain::options_from_args(argc, argv);
+  std::vector<std::string> reps;
+  for (auto name : tacos::representative_benchmarks())
+    reps.emplace_back(name);
+  return tacos::benchmain::run(
+      "Fig. 7: objective value vs interposer size",
+      [&] { return tacos::fig7_objective_table(opts, reps); });
+}

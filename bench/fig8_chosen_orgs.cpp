@@ -1,0 +1,11 @@
+/// Reproduces Fig. 8: the chiplet organization chosen for each benchmark
+/// at (alpha, beta) = (1, 0) under 85C — 2D baseline operating point vs
+/// the optimized 2.5D organization, improvement and cost (E7).
+#include "bench_main.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = tacos::benchmain::options_from_args(argc, argv);
+  return tacos::benchmain::run(
+      "Fig. 8: chosen chiplet organizations (alpha=1, beta=0)",
+      [&] { return tacos::fig8_chosen_orgs_table(opts); });
+}

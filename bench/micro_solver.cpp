@@ -1,0 +1,86 @@
+/// Google-benchmark microbenchmarks of the thermal substrate (E12):
+/// conductance-matrix assembly, cold and warm steady-state solves across
+/// grid resolutions, and a full leakage-fixed-point evaluation.  These
+/// quantify the per-simulation cost that the paper's 180k-CPU-hour
+/// exhaustive-search estimate is built on.
+#include <benchmark/benchmark.h>
+
+#include "core/leakage.hpp"
+#include "floorplan/layout.hpp"
+#include "materials/stack.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace {
+
+using namespace tacos;
+
+ThermalConfig config_for(std::size_t n) {
+  ThermalConfig c;
+  c.grid_nx = c.grid_ny = n;
+  return c;
+}
+
+PowerMap uniform_power(const ChipletLayout& l, double total_w) {
+  PowerMap p;
+  for (const auto& c : l.chiplets()) p.add(c.rect, total_w / l.chiplet_count());
+  return p;
+}
+
+void BM_ModelAssembly(benchmark::State& state) {
+  const ChipletLayout l = make_uniform_layout(4, 4.0);
+  const LayerStack stack = make_25d_stack();
+  const ThermalConfig cfg = config_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ThermalModel model(l, stack, cfg);
+    benchmark::DoNotOptimize(model.node_count());
+  }
+}
+BENCHMARK(BM_ModelAssembly)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ColdSolve(benchmark::State& state) {
+  const ChipletLayout l = make_uniform_layout(4, 4.0);
+  const LayerStack stack = make_25d_stack();
+  const ThermalConfig cfg = config_for(static_cast<std::size_t>(state.range(0)));
+  const PowerMap p = uniform_power(l, 300.0);
+  for (auto _ : state) {
+    ThermalModel model(l, stack, cfg);  // fresh model -> cold start
+    benchmark::DoNotOptimize(model.solve(p).peak_c);
+  }
+}
+BENCHMARK(BM_ColdSolve)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_WarmSolve(benchmark::State& state) {
+  const ChipletLayout l = make_uniform_layout(4, 4.0);
+  const LayerStack stack = make_25d_stack();
+  const ThermalConfig cfg = config_for(static_cast<std::size_t>(state.range(0)));
+  ThermalModel model(l, stack, cfg);
+  PowerMap p = uniform_power(l, 300.0);
+  model.solve(p);
+  double w = 300.0;
+  for (auto _ : state) {
+    w = (w == 300.0) ? 303.0 : 300.0;  // small perturbation, warm restart
+    benchmark::DoNotOptimize(model.solve(uniform_power(l, w)).peak_c);
+  }
+}
+BENCHMARK(BM_WarmSolve)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_LeakageFixedPoint(benchmark::State& state) {
+  const ChipletLayout l = make_uniform_layout(4, 4.0);
+  const LayerStack stack = make_25d_stack();
+  const BenchmarkProfile& bench = benchmark_by_name("cholesky");
+  const PowerModelParams pm;
+  std::vector<int> active(256);
+  for (int i = 0; i < 256; ++i) active[static_cast<std::size_t>(i)] = i;
+  const ThermalConfig cfg = config_for(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ThermalModel model(l, stack, cfg);
+    const LeakageResult r = run_leakage_fixed_point(
+        model, l, bench, kDvfsLevels[0], active, pm);
+    benchmark::DoNotOptimize(r.peak_c);
+  }
+}
+BENCHMARK(BM_LeakageFixedPoint)->Arg(24)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

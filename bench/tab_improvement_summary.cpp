@@ -1,0 +1,16 @@
+/// Reproduces the headline results (§V-B and the conclusion, E8): per-
+/// benchmark performance improvement at iso-cost for thresholds 75/85/95/
+/// 105 C (paper averages: 41/41/27/16 %), and the iso-performance cost
+/// reduction (paper: 36 %).
+#include "bench_main.hpp"
+
+int main(int argc, char** argv) {
+  const auto opts = tacos::benchmain::options_from_args(argc, argv);
+  int rc = tacos::benchmain::run(
+      "Improvement at iso-cost across temperature thresholds",
+      [&] { return tacos::improvement_summary_table(opts); });
+  rc |= tacos::benchmain::run(
+      "Iso-performance minimum-cost organizations (85C)",
+      [&] { return tacos::iso_performance_cost_table(opts); });
+  return rc;
+}

@@ -1,0 +1,50 @@
+/// \file cost_explorer.cpp
+/// \brief Explore the Stow-et-al. manufacturing cost model (Eqs. 1-4).
+///
+/// Prints yield/cost breakdowns for a chosen die size and the full 2.5D
+/// assembly economics:
+///
+///   ./cost_explorer [chip_edge_mm] [defect_density_cm2]
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "cost/cost_model.hpp"
+#include "floorplan/system_spec.hpp"
+
+using namespace tacos;
+
+int main(int argc, char** argv) {
+  const double chip_edge = argc > 1 ? std::stod(argv[1]) : 18.0;
+  CostParams params;
+  if (argc > 2) params.defect_density_cm2 = std::stod(argv[2]);
+
+  const double chip_area = chip_edge * chip_edge;
+  std::cout << "single chip " << chip_edge << " x " << chip_edge << " mm, D0="
+            << params.defect_density_cm2 << "/cm^2\n"
+            << "  dies/wafer: " << dies_per_wafer(chip_area, 300.0) << "\n"
+            << "  yield:      " << cmos_yield(chip_area, params) * 100 << "%\n"
+            << "  cost:       $" << single_chip_cost(chip_area, params)
+            << "\n\n";
+
+  TextTable t({"n_chiplets", "interposer_mm", "chiplet_$", "interposer_$",
+               "bonding_$", "Ybond^n", "total_$", "vs_2D"});
+  const double c2d = single_chip_cost(chip_area, params);
+  for (int n : {4, 16}) {
+    const double chiplet_edge = chip_edge / (n == 4 ? 2 : 4);
+    for (double w : {chip_edge + 2.0, 30.0, 40.0, 50.0}) {
+      const CostBreakdown b = cost_breakdown_25d(
+          n, chiplet_edge * chiplet_edge, w * w, params);
+      t.add_row({std::to_string(n), TextTable::fmt(w, 0),
+                 TextTable::fmt(b.chiplets_total, 2),
+                 TextTable::fmt(b.interposer, 2),
+                 TextTable::fmt(b.bonding, 2),
+                 TextTable::fmt(b.bond_yield_factor, 3),
+                 TextTable::fmt(b.total, 2),
+                 TextTable::fmt(b.total / c2d, 3) + "x"});
+    }
+  }
+  t.print("2.5D assembly cost breakdown");
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// \file optimize_organization.cpp
+/// \brief Run the paper's multi-start greedy optimizer end to end.
+///
+/// Finds the chiplet organization minimizing Eq. (5) for a benchmark,
+/// temperature threshold and (alpha, beta) trade-off of your choice:
+///
+///   ./optimize_organization [benchmark] [alpha] [beta] [threshold_c]
+///
+/// Examples:
+///   ./optimize_organization cholesky 1 0        # pure performance
+///   ./optimize_organization cholesky 0 1        # pure cost
+///   ./optimize_organization canneal 0.5 0.5 95  # balanced, 95 C
+
+#include <iostream>
+
+#include "core/optimizer.hpp"
+
+using namespace tacos;
+
+int main(int argc, char** argv) {
+  const std::string bench_name = argc > 1 ? argv[1] : "cholesky";
+  OptimizerOptions opts;
+  opts.alpha = argc > 2 ? std::stod(argv[2]) : 1.0;
+  opts.beta = argc > 3 ? std::stod(argv[3]) : 0.0;
+  opts.threshold_c = argc > 4 ? std::stod(argv[4]) : 85.0;
+
+  const BenchmarkProfile& bench = benchmark_by_name(bench_name);
+  EvalConfig config;
+  config.thermal.grid_nx = config.thermal.grid_ny = 32;
+  Evaluator eval(config);
+
+  std::cout << "optimizing " << bench.name << " with alpha=" << opts.alpha
+            << " beta=" << opts.beta << " under " << opts.threshold_c
+            << " C...\n";
+
+  const BaselinePoint& base = eval.baseline_2d(bench, opts.threshold_c);
+  if (base.feasible) {
+    std::cout << "2D baseline: " << kDvfsLevels[base.dvfs_idx].freq_mhz
+              << " MHz, " << base.active_cores << " cores, peak "
+              << base.peak_c << " C, IPS " << base.ips << ", cost $"
+              << eval.cost_2d() << "\n";
+  } else {
+    std::cout << "2D baseline: no feasible operating point!\n";
+  }
+
+  const OptResult res = optimize_greedy(eval, bench, opts);
+  if (!res.found) {
+    std::cout << "no feasible 2.5D organization under " << opts.threshold_c
+              << " C\n";
+    return 1;
+  }
+  std::cout << "\nchosen organization (objective " << res.objective << "):\n"
+            << "  chiplets:   " << res.org.n_chiplets << "\n"
+            << "  spacings:   s1=" << res.org.spacing.s1
+            << "  s2=" << res.org.spacing.s2 << "  s3=" << res.org.spacing.s3
+            << " (mm)\n"
+            << "  interposer: " << interposer_edge_of(res.org) << " mm\n"
+            << "  operating:  " << level_of(res.org).freq_mhz << " MHz, "
+            << res.org.active_cores << " cores\n"
+            << "  peak temp:  " << res.peak_c << " C\n"
+            << "  IPS:        " << res.ips
+            << (base.feasible
+                    ? "  (" + std::to_string((res.ips / base.ips - 1) * 100) +
+                          "% vs 2D)"
+                    : "")
+            << "\n"
+            << "  cost:       $" << res.cost << "  ("
+            << res.cost / eval.cost_2d() << "x the 2D chip)\n"
+            << "\nsearch statistics: " << res.combos_tried
+            << " combinations tried, " << res.thermal_solves
+            << " thermal solves\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "alloc/policy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+std::string_view alloc_policy_name(AllocPolicy p) {
+  switch (p) {
+    case AllocPolicy::kMinTemp: return "MinTemp";
+    case AllocPolicy::kRowMajor: return "RowMajor";
+    case AllocPolicy::kCenterFirst: return "CenterFirst";
+    case AllocPolicy::kCheckerboard: return "Checkerboard";
+  }
+  TACOS_ASSERT(false, "unknown policy");
+  return "";
+}
+
+namespace {
+
+/// Ring index of a tile: 0 on the outermost rows/columns, growing inward.
+int ring_of(int tx, int ty, int n) {
+  return std::min(std::min(tx, ty), std::min(n - 1 - tx, n - 1 - ty));
+}
+
+}  // namespace
+
+std::vector<int> activation_order(AllocPolicy policy, const SystemSpec& spec) {
+  const int n = spec.tiles_per_side;
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n) * n);
+  for (int ty = 0; ty < n; ++ty)
+    for (int tx = 0; tx < n; ++tx) order.push_back(ty * n + tx);
+
+  const auto tx_of = [n](int id) { return id % n; };
+  const auto ty_of = [n](int id) { return id / n; };
+
+  switch (policy) {
+    case AllocPolicy::kRowMajor:
+      break;  // already row-major
+    case AllocPolicy::kMinTemp:
+      // Outer rings first; within a ring, chessboard parity (even tiles
+      // before odd) so neighbours of an active core stay dark as long as
+      // possible; ties broken by (ty, tx) for determinism.
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        const int ra = ring_of(tx_of(a), ty_of(a), n);
+        const int rb = ring_of(tx_of(b), ty_of(b), n);
+        if (ra != rb) return ra < rb;
+        const int pa = (tx_of(a) + ty_of(a)) % 2;
+        const int pb = (tx_of(b) + ty_of(b)) % 2;
+        return pa < pb;
+      });
+      break;
+    case AllocPolicy::kCenterFirst:
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return ring_of(tx_of(a), ty_of(a), n) >
+               ring_of(tx_of(b), ty_of(b), n);
+      });
+      break;
+    case AllocPolicy::kCheckerboard:
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return (tx_of(a) + ty_of(a)) % 2 < (tx_of(b) + ty_of(b)) % 2;
+      });
+      break;
+  }
+  return order;
+}
+
+std::vector<int> active_tiles(AllocPolicy policy, int active_cores,
+                              const SystemSpec& spec) {
+  TACOS_CHECK(active_cores >= 1 && active_cores <= spec.core_count(),
+              "active core count " << active_cores << " out of range [1, "
+                                   << spec.core_count() << "]");
+  std::vector<int> order = activation_order(policy, spec);
+  order.resize(static_cast<std::size_t>(active_cores));
+  return order;
+}
+
+}  // namespace tacos

@@ -1,0 +1,44 @@
+#pragma once
+/// \file policy.hpp
+/// \brief Workload (thread-to-core) allocation policies.
+///
+/// The paper uses the MinTemp policy of Zhang et al. [20]: threads are
+/// assigned "starting from outer rows or columns and then moving to inner
+/// rows or columns of the whole system in a chessboard manner", which
+/// minimizes the operating temperature by spreading active cores toward
+/// the system boundary and interleaving them.  We implement MinTemp plus
+/// three baseline policies used for ablation studies:
+///
+///   * kRowMajor     — naive packing from one corner, row by row;
+///   * kCenterFirst  — adversarial: fills the thermal worst-case center;
+///   * kCheckerboard — global parity interleave without ring ordering.
+///
+/// A policy produces a deterministic activation order over the logical
+/// tile grid; activating `p` cores means powering the first `p` tiles of
+/// that order.
+
+#include <string_view>
+#include <vector>
+
+#include "floorplan/system_spec.hpp"
+
+namespace tacos {
+
+/// Available allocation policies.
+enum class AllocPolicy { kMinTemp, kRowMajor, kCenterFirst, kCheckerboard };
+
+/// Human-readable policy name (for reports).
+std::string_view alloc_policy_name(AllocPolicy p);
+
+/// Full activation order of all tiles under `policy`.  Returned indices
+/// are flat logical tile ids (ty * tiles_per_side + tx).
+std::vector<int> activation_order(AllocPolicy policy,
+                                  const SystemSpec& spec = {});
+
+/// Convenience: the set of active tile ids when `active_cores` threads are
+/// allocated under `policy` (the first `active_cores` entries of the
+/// activation order).
+std::vector<int> active_tiles(AllocPolicy policy, int active_cores,
+                              const SystemSpec& spec = {});
+
+}  // namespace tacos

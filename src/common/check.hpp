@@ -1,0 +1,60 @@
+#pragma once
+/// \file check.hpp
+/// \brief Lightweight precondition / invariant checking for the tacos library.
+///
+/// All public entry points of the library validate their inputs with
+/// TACOS_CHECK and raise tacos::Error (derived from std::runtime_error) on
+/// violation.  Internal invariants that indicate programming errors use
+/// TACOS_ASSERT, which is compiled in all build types: the library is a
+/// research artifact and silent corruption of results is far worse than the
+/// negligible runtime cost of the checks.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tacos {
+
+/// Exception type thrown by all tacos precondition and invariant failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace tacos
+
+/// Validate a caller-supplied precondition; throws tacos::Error with a
+/// formatted message on failure.  `msg` may use stream syntax:
+///   TACOS_CHECK(x > 0, "x must be positive, got " << x);
+#define TACOS_CHECK(expr, msg)                                               \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream tacos_check_os_;                                    \
+      tacos_check_os_ << msg; /* NOLINT */                                   \
+      ::tacos::detail::raise_check_failure("precondition", #expr, __FILE__,  \
+                                           __LINE__, tacos_check_os_.str()); \
+    }                                                                        \
+  } while (false)
+
+/// Validate an internal invariant (logic error if violated). Always active.
+#define TACOS_ASSERT(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      std::ostringstream tacos_check_os_;                                    \
+      tacos_check_os_ << msg; /* NOLINT */                                   \
+      ::tacos::detail::raise_check_failure("invariant", #expr, __FILE__,     \
+                                           __LINE__, tacos_check_os_.str()); \
+    }                                                                        \
+  } while (false)

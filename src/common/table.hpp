@@ -1,0 +1,111 @@
+#pragma once
+/// \file table.hpp
+/// \brief Aligned text-table formatter used by the experiment harnesses.
+///
+/// Every bench binary reproduces a table or figure from the paper; this
+/// helper renders the rows both as an aligned human-readable table and as
+/// CSV (one line per row) so the output can be piped straight into a
+/// plotting script.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+/// A simple column-aligned table with a title, headers and string cells.
+/// Numeric cells are formatted by the caller (see TextTable::fmt).
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    TACOS_CHECK(!headers_.empty(), "table needs at least one column");
+  }
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells) {
+    TACOS_CHECK(cells.size() == headers_.size(),
+                "row has " << cells.size() << " cells, expected "
+                           << headers_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Format a double with fixed precision — convenience for add_row.
+  static std::string fmt(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  /// Render as an aligned text table.
+  std::string to_text() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+           << row[c];
+      }
+      os << '\n';
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+      total += width[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return os.str();
+  }
+
+  /// Render as CSV (headers + rows).  Cells containing commas, quotes or
+  /// newlines are quoted per RFC 4180.
+  std::string to_csv() const {
+    std::ostringstream os;
+    auto emit_cell = [&](const std::string& cell) {
+      if (cell.find_first_of(",\"\n") == std::string::npos) {
+        os << cell;
+        return;
+      }
+      os << '"';
+      for (char ch : cell) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    };
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c) os << ',';
+        emit_cell(row[c]);
+      }
+      os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+  }
+
+  /// Print the table (text form) with a title banner to `out`.
+  void print(const std::string& title, std::ostream& out = std::cout) const {
+    out << "\n== " << title << " ==\n" << to_text();
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tacos

@@ -1,0 +1,43 @@
+#pragma once
+/// \file units.hpp
+/// \brief Unit conventions and physical constants used throughout tacos.
+///
+/// The library uses a single consistent unit system:
+///   - length:       millimetres (mm)  — floorplans, interposer sizes
+///   - thickness:    millimetres (mm)  — layer stack (Table I values converted)
+///   - area:         mm^2
+///   - power:        watts (W)
+///   - temperature:  degrees Celsius (°C)
+///   - thermal conductivity: W/(m·K)   — standard materials-science unit;
+///     conversion to the mm-based resistor network happens in one place
+///     (thermal/grid_model.cpp).
+///   - frequency:    MHz
+///   - voltage:      volts (V)
+///   - cost:         US dollars ($)
+///
+/// Helper literals make intent explicit at call sites, e.g. `20_um`.
+
+namespace tacos {
+
+/// Metres per millimetre (for converting conductivities into the mm grid).
+inline constexpr double kMetersPerMm = 1e-3;
+
+/// Convert micrometres to the library's canonical millimetres.
+constexpr double um_to_mm(double um) { return um * 1e-3; }
+
+namespace literals {
+/// User-defined literal: micrometres expressed in mm, e.g. `150_um == 0.150`.
+constexpr double operator""_um(long double v) {
+  return static_cast<double>(v) * 1e-3;
+}
+constexpr double operator""_um(unsigned long long v) {
+  return static_cast<double>(v) * 1e-3;
+}
+/// User-defined literal: millimetres (identity, for symmetry/readability).
+constexpr double operator""_mm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mm(unsigned long long v) {
+  return static_cast<double>(v);
+}
+}  // namespace literals
+
+}  // namespace tacos

@@ -1,0 +1,135 @@
+#include "core/annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace tacos {
+
+namespace {
+
+/// Clamp an organization's spacings to the valid manifold: non-negative,
+/// Eq. (10), Eq. (7) interposer bound.
+bool is_valid(const Organization& org, const SystemSpec& spec) {
+  if (org.n_chiplets == 4) {
+    if (org.spacing.s1 != 0 || org.spacing.s2 != 0) return false;
+    if (org.spacing.s3 < 0) return false;
+  } else {
+    const Spacing& s = org.spacing;
+    if (s.s1 < 0 || s.s2 < 0 || s.s3 < 0) return false;
+    if (2 * s.s1 + s.s3 - 2 * s.s2 < -1e-9) return false;
+  }
+  return interposer_edge_of(org, spec) <= spec.max_interposer_mm + 1e-9;
+}
+
+}  // namespace
+
+OptResult optimize_annealing(Evaluator& eval, const BenchmarkProfile& bench,
+                             const AnnealOptions& opts) {
+  TACOS_CHECK(opts.iterations >= 1, "need at least one annealing move");
+  TACOS_CHECK(opts.t_start >= opts.t_end && opts.t_end > 0,
+              "bad annealing schedule");
+  const SystemSpec& spec = eval.config().spec;
+  const std::size_t solves_before = eval.solve_count();
+  Rng rng(opts.seed);
+
+  const BaselinePoint& base = eval.baseline_2d(bench, opts.threshold_c);
+  const double ips_2d =
+      base.feasible
+          ? base.ips
+          : eval.ips(Organization{1, {}, kDvfsLevelCount - 1, 32}, bench);
+
+  const auto energy = [&](const Organization& org, double peak) {
+    const double obj = opts.alpha * ips_2d / eval.ips(org, bench) +
+                       opts.beta * eval.cost(org) / eval.cost_2d();
+    return obj +
+           opts.penalty_per_c * std::max(0.0, peak - opts.threshold_c);
+  };
+
+  // Start from the packed 16-chiplet system at a mid DVFS level.
+  Organization cur{opts.chiplet_counts.back(), {0, 0, 0}, 2, 128};
+  double cur_peak = eval.thermal_eval(cur, bench).peak_c;
+  double cur_e = energy(cur, cur_peak);
+
+  OptResult best;
+  const auto consider_best = [&](const Organization& org, double peak) {
+    if (peak > opts.threshold_c) return;
+    const double obj = opts.alpha * ips_2d / eval.ips(org, bench) +
+                       opts.beta * eval.cost(org) / eval.cost_2d();
+    if (!best.found || obj < best.objective) {
+      best.found = true;
+      best.org = org;
+      best.objective = obj;
+      best.ips = eval.ips(org, bench);
+      best.cost = eval.cost(org);
+      best.peak_c = peak;
+    }
+  };
+  consider_best(cur, cur_peak);
+
+  for (int it = 0; it < opts.iterations; ++it) {
+    const double frac = static_cast<double>(it) / opts.iterations;
+    const double temp =
+        opts.t_start * std::pow(opts.t_end / opts.t_start, frac);
+
+    // Propose a random neighbouring organization.
+    Organization nb = cur;
+    const int kind = rng.uniform_int(0, 5);
+    const double dir = rng.uniform_int(0, 1) == 0 ? -1.0 : 1.0;
+    switch (kind) {
+      case 0:
+        if (nb.n_chiplets == 16) nb.spacing.s1 += dir * opts.step_mm;
+        break;
+      case 1:
+        if (nb.n_chiplets == 16) nb.spacing.s2 += dir * opts.step_mm;
+        break;
+      case 2:
+        nb.spacing.s3 += dir * opts.step_mm;
+        break;
+      case 3: {
+        const long f = static_cast<long>(nb.dvfs_idx) + (dir > 0 ? 1 : -1);
+        if (f < 0 || f >= static_cast<long>(kDvfsLevelCount)) continue;
+        nb.dvfs_idx = static_cast<std::size_t>(f);
+        break;
+      }
+      case 4: {
+        const int p = nb.active_cores + (dir > 0 ? 32 : -32);
+        if (p < kActiveCoreChoices.front() || p > kActiveCoreChoices.back())
+          continue;
+        nb.active_cores = p;
+        break;
+      }
+      case 5: {
+        // Toggle chiplet count, projecting the spacing onto the new
+        // manifold (4-chiplet layouts only use s3).
+        nb.n_chiplets = nb.n_chiplets == 4 ? 16 : 4;
+        if (nb.n_chiplets == 4) {
+          nb.spacing = Spacing{0, 0, 2 * cur.spacing.s1 + cur.spacing.s3};
+        } else {
+          nb.spacing = Spacing{0, cur.spacing.s3 / 2, cur.spacing.s3};
+          nb.spacing.s2 = std::floor(nb.spacing.s2 / opts.step_mm) *
+                          opts.step_mm;
+        }
+        break;
+      }
+    }
+    if (!is_valid(nb, spec)) continue;
+
+    const double nb_peak = eval.thermal_eval(nb, bench).peak_c;
+    const double nb_e = energy(nb, nb_peak);
+    consider_best(nb, nb_peak);
+    const double delta = nb_e - cur_e;
+    if (delta <= 0 ||
+        rng.uniform_real(0.0, 1.0) < std::exp(-delta / temp)) {
+      cur = nb;
+      cur_peak = nb_peak;
+      cur_e = nb_e;
+    }
+  }
+
+  best.thermal_solves = eval.solve_count() - solves_before;
+  return best;
+}
+
+}  // namespace tacos

@@ -1,0 +1,44 @@
+#pragma once
+/// \file annealing.hpp
+/// \brief Simulated-annealing organization search — an ablation baseline
+///        for the paper's multi-start greedy (§III-D design choice).
+///
+/// The paper chose a sorted-combination greedy because the objective
+/// (Eq. 5) is known exactly for every combination without simulation —
+/// only the temperature constraint needs thermal solves.  A natural
+/// alternative is to anneal over the *joint* space (n, s1, s2, s3, f, p)
+/// with a penalized objective
+///
+///   E(org) = alpha * IPS_2D/IPS + beta * C/C_2D
+///          + penalty * max(0, T_peak - T_threshold)
+///
+/// which spends a thermal solve on every move.  `bench/ext_annealing`
+/// compares both search strategies at equal simulation budgets,
+/// reproducing the rationale for the paper's choice.
+
+#include "core/evaluator.hpp"
+#include "core/optimizer.hpp"
+
+namespace tacos {
+
+/// Simulated-annealing search options.
+struct AnnealOptions {
+  double alpha = 1.0;
+  double beta = 0.0;
+  double threshold_c = 85.0;
+  double step_mm = 0.5;        ///< spacing move granularity
+  int iterations = 400;        ///< annealing moves (≈ thermal solves)
+  double t_start = 0.5;        ///< initial Metropolis temperature
+  double t_end = 0.005;        ///< final Metropolis temperature
+  double penalty_per_c = 0.05; ///< objective penalty per °C of violation
+  std::uint64_t seed = 2018;
+  std::vector<int> chiplet_counts = {4, 16};
+};
+
+/// Anneal over the joint organization space; returns the best *feasible*
+/// organization seen (found = false if every visited state violated the
+/// threshold).  Uses the same Evaluator (and caches) as the greedy.
+OptResult optimize_annealing(Evaluator& eval, const BenchmarkProfile& bench,
+                             const AnnealOptions& opts);
+
+}  // namespace tacos

@@ -1,0 +1,170 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/leakage.hpp"
+
+namespace tacos {
+
+Evaluator::LayoutKey Evaluator::LayoutKey::of(const Organization& org) {
+  const auto q = [](double v) { return std::lround(v * 100.0); };
+  if (org.n_chiplets == 1) return LayoutKey{1, 0, 0, 0};
+  return LayoutKey{org.n_chiplets, q(org.spacing.s1), q(org.spacing.s2),
+                   q(org.spacing.s3)};
+}
+
+Evaluator::Evaluator(EvalConfig config) : config_(std::move(config)) {
+  config_.spec.validate();
+  config_.cost.validate();
+  const double chip_area =
+      config_.spec.chip_edge_mm() * config_.spec.chip_edge_mm();
+  cost_2d_ = single_chip_cost(chip_area, config_.cost);
+}
+
+int Evaluator::bench_index(const BenchmarkProfile& bench) const {
+  const auto& all = benchmarks();
+  for (std::size_t i = 0; i < all.size(); ++i)
+    if (all[i].name == bench.name) return static_cast<int>(i);
+  TACOS_CHECK(false, "benchmark " << bench.name
+                                  << " is not in the registered set");
+  return -1;  // unreachable
+}
+
+Evaluator::ModelEntry& Evaluator::model_for(const Organization& org) {
+  const LayoutKey key = LayoutKey::of(org);
+  if (auto it = model_index_.find(key); it != model_index_.end()) {
+    model_lru_.splice(model_lru_.begin(), model_lru_, it->second);
+    return model_lru_.front().second;
+  }
+  ModelEntry entry;
+  entry.layout = std::make_unique<ChipletLayout>(layout_for(org, config_.spec));
+  const LayerStack stack =
+      org.n_chiplets == 1 ? make_2d_stack() : make_25d_stack();
+  entry.model = std::make_unique<ThermalModel>(*entry.layout, stack,
+                                               config_.thermal);
+  model_lru_.emplace_front(key, std::move(entry));
+  model_index_[key] = model_lru_.begin();
+  while (model_lru_.size() > config_.model_cache_capacity) {
+    model_index_.erase(model_lru_.back().first);
+    model_lru_.pop_back();
+  }
+  return model_lru_.front().second;
+}
+
+double Evaluator::reference_power(const Organization& org,
+                                  const BenchmarkProfile& bench) const {
+  const DvfsLevel& lvl = level_of(org);
+  const double per_core =
+      core_dynamic_power_w(bench, lvl, config_.power) +
+      core_leakage_power_w(bench, lvl, config_.power.t_ref_c, config_.power);
+  // Mesh power is computed per layout; for the frontier abscissa a
+  // layout-independent estimate suffices (it shifts all entries equally
+  // for a given benchmark/level; the safety margin absorbs the rest).
+  return org.active_cores * per_core;
+}
+
+const ThermalEval& Evaluator::thermal_eval(const Organization& org,
+                                           const BenchmarkProfile& bench) {
+  const EvalKey key{LayoutKey::of(org), bench_index(bench), org.dvfs_idx,
+                    org.active_cores};
+  if (auto it = eval_memo_.find(key); it != eval_memo_.end())
+    return it->second;
+
+  ModelEntry& entry = model_for(org);
+  const DvfsLevel& lvl = level_of(org);
+  const std::vector<int> active =
+      active_tiles(config_.policy, org.active_cores, config_.spec);
+
+  const LeakageResult lr = run_leakage_fixed_point(
+      *entry.model, *entry.layout, bench, lvl, active, config_.power,
+      config_.leak_tol_c, config_.max_leak_iters);
+  ThermalEval ev;
+  ev.peak_c = lr.peak_c;
+  ev.total_power_w = lr.total_power_w;
+  ev.leak_iterations = lr.iterations;
+  ev.solves = static_cast<std::size_t>(lr.iterations);
+  solve_count_ += ev.solves;
+  ++eval_count_;
+
+  // Record in the monotone frontier.
+  frontier_[FrontierKey{key.layout, org.active_cores}].emplace_back(
+      reference_power(org, bench), ev.peak_c);
+
+  return eval_memo_.emplace(key, ev).first->second;
+}
+
+bool Evaluator::feasible(const Organization& org,
+                         const BenchmarkProfile& bench, double threshold_c) {
+  const EvalKey key{LayoutKey::of(org), bench_index(bench), org.dvfs_idx,
+                    org.active_cores};
+  if (auto it = eval_memo_.find(key); it != eval_memo_.end())
+    return it->second.peak_c <= threshold_c;
+
+  // Monotone frontier: for the same layout and active-core pattern, peak
+  // temperature grows with injected power.
+  if (auto it = frontier_.find(FrontierKey{key.layout, org.active_cores});
+      it != frontier_.end()) {
+    const double p_ref = reference_power(org, bench);
+    const double margin = config_.frontier_margin_c;
+    for (const auto& [p_known, peak_known] : it->second) {
+      if (p_known >= p_ref && peak_known <= threshold_c - margin)
+        return true;  // even more power stayed comfortably below
+      if (p_known <= p_ref && peak_known > threshold_c + margin)
+        return false;  // even less power was clearly above
+    }
+  }
+  return thermal_eval(org, bench).peak_c <= threshold_c;
+}
+
+double Evaluator::ips(const Organization& org,
+                      const BenchmarkProfile& bench) const {
+  return system_ips(bench, level_of(org).freq_mhz, org.active_cores);
+}
+
+double Evaluator::cost(const Organization& org) const {
+  if (org.n_chiplets == 1) return cost_2d_;
+  const double edge = interposer_edge_of(org, config_.spec);
+  const double chiplet_edge =
+      config_.spec.chip_edge_mm() / (org.n_chiplets == 4 ? 2 : 4);
+  return system_cost_25d(org.n_chiplets, chiplet_edge * chiplet_edge,
+                         edge * edge, config_.cost);
+}
+
+const BaselinePoint& Evaluator::baseline_2d(const BenchmarkProfile& bench,
+                                            double threshold_c) {
+  const auto key = std::make_pair(bench_index(bench),
+                                  std::lround(threshold_c * 100.0));
+  if (auto it = baseline_memo_.find(key); it != baseline_memo_.end())
+    return it->second;
+
+  // Enumerate the 40 (f, p) pairs in descending IPS order and return the
+  // first thermally feasible one.
+  struct Cand {
+    std::size_t f;
+    int p;
+    double ips;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t f = 0; f < kDvfsLevelCount; ++f)
+    for (int p : kActiveCoreChoices)
+      cands.push_back({f, p, system_ips(bench, kDvfsLevels[f].freq_mhz, p)});
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.ips > b.ips; });
+
+  BaselinePoint best;
+  for (const Cand& c : cands) {
+    Organization org{1, {}, c.f, c.p};
+    if (feasible(org, bench, threshold_c)) {
+      best.dvfs_idx = c.f;
+      best.active_cores = c.p;
+      best.ips = c.ips;
+      best.peak_c = thermal_eval(org, bench).peak_c;
+      best.feasible = true;
+      break;
+    }
+  }
+  return baseline_memo_.emplace(key, best).first->second;
+}
+
+}  // namespace tacos

@@ -1,0 +1,159 @@
+#pragma once
+/// \file evaluator.hpp
+/// \brief The closed evaluation loop of Fig. 4(b): chiplet organizer →
+///        floorplan generator → power model → thermal simulation, with the
+///        temperature-dependent leakage fixed point of §IV.
+///
+/// The Evaluator is the single entry point the optimizers use.  It owns
+/// three caches that make the optimization tractable on one machine:
+///
+///   1. a layout-keyed LRU of assembled ThermalModel instances (matrix
+///      assembly is geometry-only and reusable across power maps);
+///   2. an exact evaluation memo keyed by (layout, benchmark, f, p);
+///   3. a monotone "thermal frontier" per (layout, p): peak temperature is
+///      monotone in the injected reference power for a fixed layout and
+///      active-core pattern, so previously solved points bound the
+///      feasibility of new (benchmark, f) queries without running the
+///      solver.  A safety margin avoids wrong conclusions near the
+///      threshold (power-map *shape* varies slightly between benchmarks
+///      because of the network-power share).
+///
+/// Statistics of thermal-solver invocations are tracked to reproduce the
+/// paper's greedy-vs-exhaustive cost comparison (§III-D: 400× fewer
+/// simulations).
+
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "alloc/policy.hpp"
+#include "core/organization.hpp"
+#include "cost/cost_model.hpp"
+#include "materials/stack.hpp"
+#include "perf/ips_model.hpp"
+#include "power/power_model.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace tacos {
+
+/// Evaluator configuration (every model parameter in one place).
+struct EvalConfig {
+  SystemSpec spec;
+  ThermalConfig thermal;
+  CostParams cost;
+  PowerModelParams power;
+  AllocPolicy policy = AllocPolicy::kMinTemp;
+  double leak_tol_c = 0.05;  ///< leakage fixed-point convergence (°C)
+  int max_leak_iters = 12;
+  /// Frontier safety margin (°C): conclusions from the monotone cache are
+  /// only drawn when the bounding peak is at least this far from the
+  /// threshold; otherwise an exact simulation is run.
+  double frontier_margin_c = 1.0;
+  std::size_t model_cache_capacity = 48;
+};
+
+/// Result of a converged thermal evaluation.
+struct ThermalEval {
+  double peak_c = 0.0;         ///< converged peak silicon temperature
+  double total_power_w = 0.0;  ///< converged total power (incl. leakage, net)
+  int leak_iterations = 0;
+  std::size_t solves = 0;      ///< linear solves used
+};
+
+/// The 2D baseline operating point (best (f, p) under a threshold).
+struct BaselinePoint {
+  std::size_t dvfs_idx = 0;
+  int active_cores = 0;
+  double ips = 0.0;
+  double peak_c = 0.0;
+  bool feasible = false;  ///< false if no (f, p) meets the threshold
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(EvalConfig config);
+
+  const EvalConfig& config() const { return config_; }
+
+  /// Full thermal evaluation (leakage fixed point); memoized.
+  const ThermalEval& thermal_eval(const Organization& org,
+                                  const BenchmarkProfile& bench);
+
+  /// Peak-temperature feasibility against `threshold_c`, using the
+  /// monotone frontier to avoid simulations where possible.
+  bool feasible(const Organization& org, const BenchmarkProfile& bench,
+                double threshold_c);
+
+  /// System performance of `org` for `bench` (no thermal check).
+  double ips(const Organization& org, const BenchmarkProfile& bench) const;
+
+  /// Manufacturing cost of `org` ($; Eq. (4), or Eq. (3) for n = 1).
+  double cost(const Organization& org) const;
+
+  /// Cost of the 2D baseline chip ($).
+  double cost_2d() const { return cost_2d_; }
+
+  /// Best 2D operating point under `threshold_c` (memoized per threshold).
+  const BaselinePoint& baseline_2d(const BenchmarkProfile& bench,
+                                   double threshold_c);
+
+  /// Thermal-solver invocation counter (for the E9 validation experiment).
+  std::size_t solve_count() const { return solve_count_; }
+  /// Number of full organization evaluations actually simulated.
+  std::size_t eval_count() const { return eval_count_; }
+  void reset_stats() {
+    solve_count_ = 0;
+    eval_count_ = 0;
+  }
+
+ private:
+  /// Quantized layout identity (0.01mm resolution on spacings).
+  struct LayoutKey {
+    int n;
+    long s1, s2, s3;
+    auto operator<=>(const LayoutKey&) const = default;
+    static LayoutKey of(const Organization& org);
+  };
+  struct EvalKey {
+    LayoutKey layout;
+    int bench_idx;
+    std::size_t dvfs_idx;
+    int p;
+    auto operator<=>(const EvalKey&) const = default;
+  };
+  struct FrontierKey {
+    LayoutKey layout;
+    int p;
+    auto operator<=>(const FrontierKey&) const = default;
+  };
+
+  struct ModelEntry {
+    std::unique_ptr<ChipletLayout> layout;
+    std::unique_ptr<ThermalModel> model;
+  };
+
+  ModelEntry& model_for(const Organization& org);
+  int bench_index(const BenchmarkProfile& bench) const;
+  /// Total power at the leakage reference temperature (frontier abscissa).
+  double reference_power(const Organization& org,
+                         const BenchmarkProfile& bench) const;
+
+  EvalConfig config_;
+  double cost_2d_ = 0.0;
+
+  // LRU model cache.
+  std::list<std::pair<LayoutKey, ModelEntry>> model_lru_;
+  std::map<LayoutKey, std::list<std::pair<LayoutKey, ModelEntry>>::iterator>
+      model_index_;
+
+  std::map<EvalKey, ThermalEval> eval_memo_;
+  std::map<FrontierKey, std::vector<std::pair<double, double>>> frontier_;
+  std::map<std::pair<int, long>, BaselinePoint> baseline_memo_;
+
+  std::size_t solve_count_ = 0;
+  std::size_t eval_count_ = 0;
+};
+
+}  // namespace tacos

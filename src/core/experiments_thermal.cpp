@@ -1,0 +1,148 @@
+#include "core/experiments.hpp"
+#include "core/leakage.hpp"
+#include "materials/stack.hpp"
+
+namespace tacos {
+
+namespace {
+
+/// A monolithic chip of arbitrary edge (for Fig. 3(b)'s "new 2D single
+/// chip" series): reuse the tile machinery with a scaled tile edge.
+ChipletLayout grown_single_chip(double edge_mm) {
+  SystemSpec spec;
+  spec.tile_edge_mm = edge_mm / spec.tiles_per_side;
+  spec.max_interposer_mm = std::max(spec.max_interposer_mm, edge_mm);
+  return make_single_chip_layout(spec);
+}
+
+PowerMap uniform_power(const ChipletLayout& l, double total_w) {
+  PowerMap p;
+  for (const auto& c : l.chiplets())
+    p.add(c.rect, total_w * c.rect.area() / l.total_chiplet_area());
+  return p;
+}
+
+}  // namespace
+
+TextTable fig3b_thermal_table(const ExperimentOptions& opts) {
+  const SystemSpec spec;
+  const double chip_area = spec.chip_edge_mm() * spec.chip_edge_mm();
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = opts.grid;
+
+  TextTable t({"series", "interposer_mm", "power_density_w_mm2", "peak_c"});
+  const std::vector<double> densities = {0.5, 1.0, 1.5, 2.0};
+
+  // r x r chiplet grids, uniform spacing stretched to the interposer size.
+  for (int r = 2; r <= 10; ++r) {
+    for (double w = 20.0; w <= spec.max_interposer_mm + 1e-9; w += 1.0) {
+      const ChipletLayout l = make_uniform_layout_for_interposer(r, w, spec);
+      ThermalModel model(l, make_25d_stack(), cfg);
+      for (double pd : densities) {
+        const ThermalResult res = model.solve(uniform_power(l, pd * chip_area));
+        t.add_row({std::to_string(r) + "x" + std::to_string(r),
+                   TextTable::fmt(w, 0), TextTable::fmt(pd, 1),
+                   TextTable::fmt(res.peak_c, 2)});
+      }
+    }
+  }
+
+  // "New 2D single chip": a monolithic die grown to the interposer size,
+  // dissipating the same total power (spread over the larger area).
+  for (double w = 20.0; w <= spec.max_interposer_mm + 1e-9; w += 1.0) {
+    const ChipletLayout l = grown_single_chip(w);
+    ThermalModel model(l, make_2d_stack(), cfg);
+    for (double pd : densities) {
+      const ThermalResult res = model.solve(uniform_power(l, pd * chip_area));
+      t.add_row({"new-2D", TextTable::fmt(w, 0), TextTable::fmt(pd, 1),
+                 TextTable::fmt(res.peak_c, 2)});
+    }
+  }
+  return t;
+}
+
+TextTable fig5_spacing_table(const ExperimentOptions& opts) {
+  const SystemSpec spec;
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = opts.grid;
+  const PowerModelParams pm;
+  const DvfsLevel& nominal = kDvfsLevels[0];
+  std::vector<int> all_cores(static_cast<std::size_t>(spec.core_count()));
+  for (int i = 0; i < spec.core_count(); ++i)
+    all_cores[static_cast<std::size_t>(i)] = i;
+
+  TextTable t({"benchmark", "chiplets", "spacing_mm", "interposer_mm",
+               "power_w", "peak_c"});
+  for (const BenchmarkProfile& bench : benchmarks()) {
+    // 0 mm: the single-chip system.
+    {
+      const ChipletLayout chip = make_single_chip_layout(spec);
+      ThermalModel model(chip, make_2d_stack(), cfg);
+      const LeakageResult lr = run_leakage_fixed_point(
+          model, chip, bench, nominal, all_cores, pm);
+      t.add_row({std::string(bench.name), "1", "0.0",
+                 TextTable::fmt(chip.interposer_edge(), 1),
+                 TextTable::fmt(lr.total_power_w, 1),
+                 TextTable::fmt(lr.peak_c, 2)});
+    }
+    // 2.5D: r x r chiplets, uniform spacing 0.5..10 mm within Eq. (7).
+    for (int r : {2, 4, 8, 16}) {
+      const double g_max = max_uniform_spacing(r, spec);
+      for (double g = 0.5; g <= 10.0 + 1e-9; g += 0.5) {
+        if (g > g_max + 1e-9) break;
+        const ChipletLayout l = make_uniform_layout(r, g, spec);
+        ThermalModel model(l, make_25d_stack(), cfg);
+        const LeakageResult lr =
+            run_leakage_fixed_point(model, l, bench, nominal, all_cores, pm);
+        t.add_row({std::string(bench.name), std::to_string(r * r),
+                   TextTable::fmt(g, 1),
+                   TextTable::fmt(l.interposer_edge(), 1),
+                   TextTable::fmt(lr.total_power_w, 1),
+                   TextTable::fmt(lr.peak_c, 2)});
+      }
+    }
+  }
+  return t;
+}
+
+TextTable network_power_table(const ExperimentOptions&) {
+  const SystemSpec spec;
+  const MeshParams mesh;
+  TextTable t({"layout", "onchip_links", "interposer_links",
+               "avg_ilink_mm", "driver_size_15mm", "delay_ps_15mm",
+               "power_w_peak", "power_w_avg_bench"});
+
+  // Average network activity across the benchmark set.
+  double avg_act = 0.0;
+  for (const auto& b : benchmarks()) avg_act += b.net_activity;
+  avg_act /= static_cast<double>(benchmarks().size());
+  BenchmarkProfile peak_traffic = benchmark_by_name("shock");
+  peak_traffic.net_activity = 1.0;
+  BenchmarkProfile avg_traffic = peak_traffic;
+  avg_traffic.net_activity = avg_act;
+
+  const LinkDesign d15 = design_link(15.0, kNominalFreqMhz, mesh.link);
+
+  const auto add = [&](const std::string& name, const ChipletLayout& l) {
+    const MeshStructure s = analyze_mesh(l, mesh);
+    t.add_row({name, std::to_string(s.onchip_links),
+               std::to_string(s.interposer_links),
+               TextTable::fmt(s.avg_interposer_link_mm, 2),
+               std::to_string(d15.driver_size),
+               TextTable::fmt(d15.delay_ps, 0),
+               TextTable::fmt(network_power_w(l, peak_traffic, 1000.0, 0.9,
+                                              mesh),
+                              2),
+               TextTable::fmt(network_power_w(l, avg_traffic, 1000.0, 0.9,
+                                              mesh),
+                              2)});
+  };
+  add("single-chip", make_single_chip_layout(spec));
+  add("4-chiplet g=2mm", make_uniform_layout(2, 2.0, spec));
+  add("4-chiplet g=8mm", make_uniform_layout(2, 8.0, spec));
+  add("16-chiplet g=2mm", make_uniform_layout(4, 2.0, spec));
+  add("16-chiplet g=10mm", make_uniform_layout(4, 10.0, spec));
+  return t;
+}
+
+}  // namespace tacos

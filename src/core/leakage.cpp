@@ -1,0 +1,44 @@
+#include "core/leakage.hpp"
+
+#include <cmath>
+#include <optional>
+
+namespace tacos {
+
+LeakageResult run_leakage_fixed_point(ThermalModel& model,
+                                      const ChipletLayout& layout,
+                                      const BenchmarkProfile& bench,
+                                      const DvfsLevel& lvl,
+                                      const std::vector<int>& active,
+                                      const PowerModelParams& params,
+                                      double tol_c, int max_iters) {
+  TACOS_CHECK(max_iters >= 1, "need at least one iteration");
+  LeakageResult out;
+  std::optional<std::vector<double>> temps;  // first pass at T_ref
+  double prev_peak = -1e300;
+  for (int it = 0; it < max_iters; ++it) {
+    const PowerMap pmap =
+        build_power_map(layout, bench, lvl, active, temps, params);
+    const ThermalResult res = model.solve(pmap);
+    out.peak_c = res.peak_c;
+    out.total_power_w = pmap.total();
+    out.iterations = it + 1;
+    // The leakage clamp (power_model.cpp) bounds the fixed point, so any
+    // finite temperature is a valid answer — grossly infeasible designs
+    // simply report a very high peak.  Non-finite values indicate a
+    // genuine modeling bug.
+    TACOS_CHECK(std::isfinite(res.peak_c),
+                "leakage fixed point produced a non-finite temperature");
+    if (std::abs(res.peak_c - prev_peak) < tol_c) {
+      out.converged = true;
+      return out;
+    }
+    prev_peak = res.peak_c;
+    temps = model.tile_temperatures();
+  }
+  // Ran out of iterations: report the last state, flagged unconverged.
+  out.converged = false;
+  return out;
+}
+
+}  // namespace tacos

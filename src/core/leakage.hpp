@@ -1,0 +1,47 @@
+#pragma once
+/// \file leakage.hpp
+/// \brief Temperature-dependent leakage fixed point (paper §IV).
+///
+/// The paper: "We adjust the leakage power of each core based on its
+/// initial temperature obtained from HotSpot, and re-run HotSpot to update
+/// the thermal profile until the temperature converges."  This module
+/// implements exactly that loop for an arbitrary tiled layout, so both the
+/// Evaluator (4/16-chiplet organizations, 2D baseline) and the Fig. 5
+/// sweep (64/256-chiplet layouts) share one implementation.
+///
+/// Convergence: with the linear leakage model P_leak ∝ (1 + λ(T − T_ref)),
+/// the iteration is a linear fixed point with spectral radius
+/// ≈ λ · leak_share · R_thermal · P, far below 1 for every configuration
+/// in this design space; divergence (temperature runaway) is detected and
+/// reported as an error.
+
+#include <vector>
+
+#include "floorplan/layout.hpp"
+#include "perf/benchmark.hpp"
+#include "power/power_model.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace tacos {
+
+/// Converged result of the power ↔ temperature loop.
+struct LeakageResult {
+  double peak_c = 0.0;         ///< converged peak silicon temperature (°C)
+  double total_power_w = 0.0;  ///< converged total power (W)
+  int iterations = 0;          ///< thermal solves used
+  bool converged = false;
+};
+
+/// Run the leakage fixed point for `bench` at DVFS level `lvl` with the
+/// given active tiles on `model` (which must be built for `layout`).
+/// `tol_c` is the peak-temperature convergence tolerance.
+LeakageResult run_leakage_fixed_point(ThermalModel& model,
+                                      const ChipletLayout& layout,
+                                      const BenchmarkProfile& bench,
+                                      const DvfsLevel& lvl,
+                                      const std::vector<int>& active,
+                                      const PowerModelParams& params,
+                                      double tol_c = 0.05,
+                                      int max_iters = 12);
+
+}  // namespace tacos

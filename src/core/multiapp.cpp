@@ -1,0 +1,149 @@
+#include "core/multiapp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace tacos {
+
+namespace {
+
+/// Best feasible (f, p) for one benchmark on a fixed placement.
+struct BestPoint {
+  bool found = false;
+  std::size_t f = 0;
+  int p = 0;
+  double ips = 0.0;
+};
+
+BestPoint best_point_on(Evaluator& eval, const BenchmarkProfile& bench,
+                        const Organization& placement, double threshold_c) {
+  struct Cand {
+    std::size_t f;
+    int p;
+    double ips;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t f = 0; f < kDvfsLevelCount; ++f)
+    for (int p : kActiveCoreChoices)
+      cands.push_back({f, p, system_ips(bench, kDvfsLevels[f].freq_mhz, p)});
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.ips > b.ips; });
+  for (const Cand& c : cands) {
+    Organization org = placement;
+    org.dvfs_idx = c.f;
+    org.active_cores = c.p;
+    if (eval.feasible(org, bench, threshold_c))
+      return BestPoint{true, c.f, c.p, c.ips};
+  }
+  return {};
+}
+
+}  // namespace
+
+MultiAppResult optimize_multiapp(Evaluator& eval,
+                                 const std::vector<AppWeight>& mix,
+                                 MultiAppStrategy strategy,
+                                 const OptimizerOptions& opts) {
+  TACOS_CHECK(!mix.empty(), "application mix is empty");
+  const SystemSpec& spec = eval.config().spec;
+  const std::size_t solves_before = eval.solve_count();
+  Rng rng(opts.seed);
+
+  // Normalized weights and per-app 2D baselines.
+  std::vector<double> weights;
+  std::vector<const BenchmarkProfile*> benches;
+  std::vector<double> ips_2d;
+  double wsum = 0.0;
+  for (const auto& aw : mix) {
+    TACOS_CHECK(aw.weight > 0, "weights must be positive");
+    benches.push_back(&benchmark_by_name(aw.benchmark));
+    weights.push_back(strategy == MultiAppStrategy::kAverage ? 1.0
+                                                             : aw.weight);
+    wsum += weights.back();
+    const BaselinePoint& base =
+        eval.baseline_2d(*benches.back(), opts.threshold_c);
+    ips_2d.push_back(base.feasible
+                         ? base.ips
+                         : system_ips(*benches.back(),
+                                      kDvfsLevels.back().freq_mhz,
+                                      kActiveCoreChoices.front()));
+  }
+  for (double& w : weights) w /= wsum;
+
+  MultiAppResult best;
+  const double w_min = spec.chip_edge_mm() + 2 * spec.guard_band_mm;
+
+  const auto consider = [&](int n, const Spacing& s) {
+    Organization placement{n, s, 0, 256};
+    const double edge = interposer_edge_of(placement, spec);
+    if (edge > spec.max_interposer_mm + 1e-9) return;
+    const double chiplet_edge = spec.chip_edge_mm() / (n == 4 ? 2 : 4);
+    const double cost_norm =
+        system_cost_25d(n, chiplet_edge * chiplet_edge, edge * edge,
+                        eval.config().cost) /
+        eval.cost_2d();
+
+    double perf_term = 0.0;
+    std::vector<MultiAppResult::PerApp> apps;
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+      const BestPoint bp =
+          best_point_on(eval, *benches[i], placement, opts.threshold_c);
+      if (!bp.found) return;  // placement must serve every application
+      MultiAppResult::PerApp pa;
+      pa.benchmark = std::string(benches[i]->name);
+      pa.dvfs_idx = bp.f;
+      pa.active_cores = bp.p;
+      pa.ips = bp.ips;
+      pa.ips_vs_2d = bp.ips / ips_2d[i];
+      apps.push_back(pa);
+      const double term = ips_2d[i] / bp.ips;
+      if (strategy == MultiAppStrategy::kWorstCase)
+        perf_term = std::max(perf_term, term);
+      else
+        perf_term += weights[i] * term;
+    }
+    const double obj = opts.alpha * perf_term + opts.beta * cost_norm;
+    if (!best.found || obj < best.objective - 1e-12) {
+      best.found = true;
+      best.n_chiplets = n;
+      best.spacing = s;
+      best.interposer_mm = edge;
+      best.objective = obj;
+      best.cost_norm = cost_norm;
+      best.apps = std::move(apps);
+    }
+  };
+
+  for (int n : opts.chiplet_counts) {
+    for (double w = w_min; w <= spec.max_interposer_mm + 1e-9;
+         w += opts.step_mm) {
+      const double budget = w - w_min;
+      if (n == 4) {
+        consider(4, Spacing{0, 0, budget});
+        continue;
+      }
+      const double step = opts.step_mm;
+      const long grid_max =
+          std::lround(std::floor(budget / 2.0 / step + 1e-9));
+      // Uniform probe first (usually the best spreader), then random
+      // manifold points — mirroring the single-application greedy.
+      const long u1 = std::clamp(std::lround(budget / 3.0 / step), 0L,
+                                 grid_max);
+      const long u2 = std::clamp(
+          std::lround((budget - 2 * u1 * step) / 2.0 / step), 0L, grid_max);
+      consider(16, Spacing{u1 * step, u2 * step, budget - 2 * u1 * step});
+      for (int k = 1; k < opts.starts; ++k) {
+        const long i1 = rng.uniform_int(0, static_cast<int>(grid_max));
+        const long i2 = rng.uniform_int(0, static_cast<int>(grid_max));
+        consider(16, Spacing{i1 * step, i2 * step, budget - 2 * i1 * step});
+      }
+    }
+  }
+
+  best.thermal_solves = eval.solve_count() - solves_before;
+  return best;
+}
+
+}  // namespace tacos

@@ -1,0 +1,70 @@
+#pragma once
+/// \file multiapp.hpp
+/// \brief Multi-application chiplet organization (paper §IV, final ¶).
+///
+/// A real system runs many applications, but a chiplet organization is
+/// fixed at design time.  The paper describes three designer strategies:
+///
+///   * worst-case      — pick the design with the largest interposer that
+///                       ensures best performance for all applications;
+///   * average-case    — equal-weight mix;
+///   * weighted-average — Eq. (5) becomes
+///       alpha * sum_i (IPS_2D^i / IPS_2.5D^i * u_i) + beta * C_2.5D/C_2D
+///     where u_i is how frequently application i runs.
+///
+/// Here an organization is the *placement* (n, s1, s2, s3); each
+/// application then runs at its own best thermally-feasible (f, p) on
+/// that placement, which is how a DVFS-governed system would behave.
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/optimizer.hpp"
+
+namespace tacos {
+
+/// One application of the mix with its run-frequency weight u_i.
+struct AppWeight {
+  std::string benchmark;
+  double weight = 1.0;
+};
+
+/// Designer strategy (§IV).
+enum class MultiAppStrategy {
+  kWeighted,   ///< weights as given
+  kAverage,    ///< equal weights (ignores the given weights)
+  kWorstCase,  ///< max over apps of the per-app objective term
+};
+
+/// Result of a multi-application optimization.
+struct MultiAppResult {
+  bool found = false;
+  int n_chiplets = 0;
+  Spacing spacing;
+  double interposer_mm = 0.0;
+  double objective = 0.0;
+  double cost_norm = 0.0;
+  /// Per-app best operating point on the chosen placement.
+  struct PerApp {
+    std::string benchmark;
+    std::size_t dvfs_idx = 0;
+    int active_cores = 0;
+    double ips = 0.0;
+    double ips_vs_2d = 0.0;  ///< IPS / that app's 2D-baseline IPS
+  };
+  std::vector<PerApp> apps;
+  std::size_t thermal_solves = 0;
+};
+
+/// Optimize the placement for an application mix.  Placements are
+/// enumerated on the opts.step_mm grid (uniform probe plus opts.starts
+/// random manifold points per interposer size, as in the single-app
+/// greedy); each candidate is scored by the strategy's objective with
+/// each app at its best feasible (f, p).
+MultiAppResult optimize_multiapp(Evaluator& eval,
+                                 const std::vector<AppWeight>& mix,
+                                 MultiAppStrategy strategy,
+                                 const OptimizerOptions& opts);
+
+}  // namespace tacos

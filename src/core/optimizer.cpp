@@ -1,0 +1,297 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace tacos {
+
+namespace {
+
+/// Smallest interposer edge for n chiplets (fully packed, Eq. 9).
+double min_interposer(const SystemSpec& spec) {
+  return spec.chip_edge_mm() + 2 * spec.guard_band_mm;
+}
+
+
+/// The spacing-budget of a combo: total gap along one axis (Eq. 9).
+double spacing_budget(const Combo& combo, const SystemSpec& spec) {
+  return combo.interposer_mm - min_interposer(spec);
+}
+
+Organization make_org(const Combo& combo, const Spacing& s) {
+  return Organization{combo.n_chiplets, s, combo.dvfs_idx,
+                      combo.active_cores};
+}
+
+/// Spacing for the n=16 manifold point (s1, s2) at budget B.
+Spacing spacing16(double s1, double s2, double budget) {
+  return Spacing{s1, s2, budget - 2 * s1};
+}
+
+/// IPS fallback normalizer when no 2D point is thermally feasible: the
+/// weakest operating point (Eq. (5) still needs a positive IPS_2D).
+double ips_2d_or_fallback(const Evaluator& eval, const BenchmarkProfile& bench,
+                          const BaselinePoint& base) {
+  if (base.feasible) return base.ips;
+  Organization weakest{1, {}, kDvfsLevelCount - 1, kActiveCoreChoices.front()};
+  return eval.ips(weakest, bench);
+}
+
+}  // namespace
+
+std::vector<Combo> enumerate_combos(const Evaluator& eval,
+                                    const BenchmarkProfile& bench,
+                                    double ips_2d, double cost_2d,
+                                    const OptimizerOptions& opts) {
+  TACOS_CHECK(ips_2d > 0 && cost_2d > 0, "normalizers must be positive");
+  TACOS_CHECK(opts.step_mm > 0, "granularity must be positive");
+  const SystemSpec& spec = eval.config().spec;
+  // Interposer sizes start at the packed minimum and advance by the grid
+  // step, so every combination's spacing budget is step-aligned.
+  const double w_min = min_interposer(spec);
+
+  std::vector<Combo> combos;
+  for (int n : opts.chiplet_counts) {
+    TACOS_CHECK(n == 4 || n == 16, "chiplet count must be 4 or 16, got " << n);
+    const double chiplet_edge = spec.chip_edge_mm() / (n == 4 ? 2 : 4);
+    for (double w = w_min; w <= spec.max_interposer_mm + 1e-9;
+         w += opts.step_mm) {
+      const double cost = system_cost_25d(n, chiplet_edge * chiplet_edge,
+                                          w * w, eval.config().cost);
+      for (std::size_t f = 0; f < kDvfsLevelCount; ++f) {
+        for (int p : kActiveCoreChoices) {
+          Combo c;
+          c.dvfs_idx = f;
+          c.active_cores = p;
+          c.n_chiplets = n;
+          c.interposer_mm = w;
+          c.ips = system_ips(bench, kDvfsLevels[f].freq_mhz, p);
+          c.cost = cost;
+          c.objective =
+              opts.alpha * ips_2d / c.ips + opts.beta * c.cost / cost_2d;
+          combos.push_back(c);
+        }
+      }
+    }
+  }
+  std::sort(combos.begin(), combos.end(), [](const Combo& a, const Combo& b) {
+    if (a.objective != b.objective) return a.objective < b.objective;
+    // Deterministic tie-breaks: cheaper, then smaller, then faster.
+    if (a.cost != b.cost) return a.cost < b.cost;
+    if (a.n_chiplets != b.n_chiplets) return a.n_chiplets < b.n_chiplets;
+    if (a.dvfs_idx != b.dvfs_idx) return a.dvfs_idx < b.dvfs_idx;
+    return a.active_cores < b.active_cores;
+  });
+  return combos;
+}
+
+std::optional<Organization> find_placement_greedy(
+    Evaluator& eval, const BenchmarkProfile& bench, const Combo& combo,
+    const OptimizerOptions& opts, Rng& rng) {
+  const SystemSpec& spec = eval.config().spec;
+  const double budget = spacing_budget(combo, spec);
+  TACOS_CHECK(budget >= -1e-9, "combo interposer below the packed minimum");
+
+  if (combo.n_chiplets == 4) {
+    // Eq. (9) pins the single spacing; nothing to search.
+    const Organization org = make_org(combo, Spacing{0, 0, budget});
+    if (eval.feasible(org, bench, opts.threshold_c)) return org;
+    return std::nullopt;
+  }
+
+  // n = 16: search the (s1, s2) manifold.
+  const double step = opts.step_mm;
+  const double half = budget / 2.0;
+  const long grid_max = std::lround(std::floor(half / step + 1e-9));
+  const auto org_at = [&](long i1, long i2) {
+    return make_org(combo, spacing16(i1 * step, i2 * step, budget));
+  };
+
+  for (int start = 0; start < opts.starts; ++start) {
+    long i1, i2;
+    if (start == 0) {
+      // Deterministic first start: the uniform matrix placement
+      // (s1 = s3 = B/3, s2 = s3/2), usually the best heat spreader.
+      i1 = std::lround(budget / 3.0 / step);
+      i1 = std::clamp(i1, 0L, grid_max);
+      i2 = std::clamp(std::lround((budget - 2 * i1 * step) / 2.0 / step), 0L,
+                      grid_max);
+    } else {
+      i1 = rng.uniform_int(0, static_cast<int>(grid_max));
+      i2 = rng.uniform_int(0, static_cast<int>(grid_max));
+    }
+
+    Organization cur = org_at(i1, i2);
+    if (eval.feasible(cur, bench, opts.threshold_c)) return cur;
+    double cur_peak = eval.thermal_eval(cur, bench).peak_c;
+    if (start == 0 && opts.prune_margin_c > 0 &&
+        cur_peak > opts.threshold_c + opts.prune_margin_c) {
+      return std::nullopt;  // uniform probe far too hot: prune this combo
+    }
+
+    for (int move = 0; move < opts.max_moves; ++move) {
+      // The four ±step neighbours on the manifold, in random order (the
+      // paper picks neighbours randomly to avoid ordering bias).
+      std::array<std::pair<long, long>, 4> nbs = {
+          {{i1 + 1, i2}, {i1 - 1, i2}, {i1, i2 + 1}, {i1, i2 - 1}}};
+      std::shuffle(nbs.begin(), nbs.end(), rng.engine());
+      bool moved = false;
+      for (const auto& [n1, n2] : nbs) {
+        if (n1 < 0 || n1 > grid_max || n2 < 0 || n2 > grid_max) continue;
+        const Organization nb = org_at(n1, n2);
+        if (eval.feasible(nb, bench, opts.threshold_c)) return nb;
+        const double nb_peak = eval.thermal_eval(nb, bench).peak_c;
+        if (nb_peak < cur_peak) {
+          i1 = n1;
+          i2 = n2;
+          cur_peak = nb_peak;
+          moved = true;
+          break;  // S_neighbor becomes S_current
+        }
+      }
+      if (!moved) break;  // local minimum: try the next starting point
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Organization> find_placement_exhaustive(
+    Evaluator& eval, const BenchmarkProfile& bench, const Combo& combo,
+    const OptimizerOptions& opts) {
+  const SystemSpec& spec = eval.config().spec;
+  const double budget = spacing_budget(combo, spec);
+  if (combo.n_chiplets == 4) {
+    const Organization org = make_org(combo, Spacing{0, 0, budget});
+    if (eval.thermal_eval(org, bench).peak_c <= opts.threshold_c) return org;
+    return std::nullopt;
+  }
+  const double step = opts.step_mm;
+  const long grid_max = std::lround(std::floor(budget / 2.0 / step + 1e-9));
+  std::optional<Organization> found;
+  // True exhaustive semantics: evaluate every placement in the manifold
+  // (this is what makes the paper's exhaustive baseline cost 180k CPU
+  // hours), then report the feasible one with the lowest peak.
+  double best_peak = 1e300;
+  for (long i1 = 0; i1 <= grid_max; ++i1) {
+    for (long i2 = 0; i2 <= grid_max; ++i2) {
+      const Organization org =
+          make_org(combo, spacing16(i1 * step, i2 * step, budget));
+      const double peak = eval.thermal_eval(org, bench).peak_c;
+      if (peak <= opts.threshold_c && peak < best_peak) {
+        best_peak = peak;
+        found = org;
+      }
+    }
+  }
+  return found;
+}
+
+namespace {
+
+template <typename PlacementFn>
+OptResult optimize_impl(Evaluator& eval, const BenchmarkProfile& bench,
+                        const OptimizerOptions& opts, PlacementFn&& placer) {
+  const std::size_t solves_before = eval.solve_count();
+  const BaselinePoint& base = eval.baseline_2d(bench, opts.threshold_c);
+  const double ips_2d = ips_2d_or_fallback(eval, bench, base);
+  const std::vector<Combo> combos =
+      enumerate_combos(eval, bench, ips_2d, eval.cost_2d(), opts);
+
+  OptResult res;
+  for (const Combo& combo : combos) {
+    ++res.combos_tried;
+    const std::optional<Organization> org = placer(combo);
+    if (org) {
+      res.found = true;
+      res.org = *org;
+      res.ips = combo.ips;
+      res.cost = eval.cost(*org);
+      res.objective = combo.objective;
+      res.peak_c = eval.thermal_eval(*org, bench).peak_c;
+      break;
+    }
+  }
+  res.thermal_solves = eval.solve_count() - solves_before;
+  return res;
+}
+
+}  // namespace
+
+OptResult optimize_greedy(Evaluator& eval, const BenchmarkProfile& bench,
+                          const OptimizerOptions& opts) {
+  Rng rng(opts.seed);
+  return optimize_impl(eval, bench, opts, [&](const Combo& c) {
+    return find_placement_greedy(eval, bench, c, opts, rng);
+  });
+}
+
+OptResult optimize_exhaustive(Evaluator& eval, const BenchmarkProfile& bench,
+                              const OptimizerOptions& opts) {
+  return optimize_impl(eval, bench, opts, [&](const Combo& c) {
+    return find_placement_exhaustive(eval, bench, c, opts);
+  });
+}
+
+std::size_t design_space_size(const Evaluator& eval,
+                              const OptimizerOptions& opts) {
+  const SystemSpec& spec = eval.config().spec;
+  std::size_t placements = 0;
+  for (int n : opts.chiplet_counts) {
+    for (double w = min_interposer(spec); w <= spec.max_interposer_mm + 1e-9;
+         w += opts.step_mm) {
+      if (n == 4) {
+        placements += 1;  // Eq. (9) pins the single spacing
+      } else {
+        const double budget = w - min_interposer(spec);
+        const long grid_max =
+            std::lround(std::floor(budget / 2.0 / opts.step_mm + 1e-9));
+        placements += static_cast<std::size_t>(grid_max + 1) *
+                      static_cast<std::size_t>(grid_max + 1);
+      }
+    }
+  }
+  return placements * kDvfsLevelCount * kActiveCoreChoices.size();
+}
+
+MaxIpsResult max_ips_at_interposer(Evaluator& eval,
+                                   const BenchmarkProfile& bench, int n,
+                                   double w_mm, const OptimizerOptions& opts,
+                                   Rng& rng) {
+  struct Cand {
+    std::size_t f;
+    int p;
+    double ips;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t f = 0; f < kDvfsLevelCount; ++f)
+    for (int p : kActiveCoreChoices)
+      cands.push_back({f, p, system_ips(bench, kDvfsLevels[f].freq_mhz, p)});
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.ips > b.ips; });
+
+  const double chiplet_edge =
+      eval.config().spec.chip_edge_mm() / (n == 4 ? 2 : 4);
+  MaxIpsResult out;
+  for (const Cand& c : cands) {
+    Combo combo;
+    combo.dvfs_idx = c.f;
+    combo.active_cores = c.p;
+    combo.n_chiplets = n;
+    combo.interposer_mm = w_mm;
+    combo.ips = c.ips;
+    combo.cost = system_cost_25d(n, chiplet_edge * chiplet_edge, w_mm * w_mm,
+                                 eval.config().cost);
+    const std::optional<Organization> org =
+        find_placement_greedy(eval, bench, combo, opts, rng);
+    if (org) {
+      out.found = true;
+      out.org = *org;
+      out.ips = c.ips;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace tacos

@@ -1,0 +1,124 @@
+#pragma once
+/// \file optimizer.hpp
+/// \brief Chiplet-organization optimization (§III-D): objective Eq. (5),
+///        the three-step multi-start greedy algorithm, and the exhaustive
+///        search baseline used to validate it.
+///
+/// Step 1 computes IPS(f, p) for all 40 operating points (the Sniper
+/// substitute) and C_2.5D for all discretized interposer sizes (Eqs. 1–4).
+/// Step 2 forms every (f, p, n, W) combination, scores it with
+///   alpha * IPS_2D / IPS(f, p) + beta * C_2.5D(n, W) / C_2D        (Eq. 5)
+/// and sorts ascending.  Step 3 walks the sorted list and, for each
+/// combination, searches the placement manifold for a layout meeting the
+/// temperature threshold (Eq. 6):
+///
+///   * n = 4: s1 = s2 = 0 and Eq. (9) pins s3 = W - 2 w_c - 2 l_g — a
+///     single placement per interposer size;
+///   * n = 16: Eq. (9) pins 2 s1 + s3 = B := W - 4 w_c - 2 l_g, leaving a
+///     two-parameter manifold (s1, s2) ∈ [0, B/2]^2 on a `step_mm` grid
+///     (Eq. 10 bounds s2 by exactly B/2).  The greedy random-neighbor
+///     descent of the paper's pseudocode explores this manifold from m
+///     random starting points; the exhaustive baseline enumerates it.
+///
+/// The first combination with a feasible placement is the optimum, since
+/// combinations are visited in ascending objective order.
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/evaluator.hpp"
+
+namespace tacos {
+
+/// One (f, p, n, W) combination of step 2, with its Eq. (5) score.
+struct Combo {
+  std::size_t dvfs_idx = 0;
+  int active_cores = 0;
+  int n_chiplets = 0;         ///< 4 or 16
+  double interposer_mm = 0.0; ///< W (= H; square interposers)
+  double ips = 0.0;
+  double cost = 0.0;          ///< $, Eq. (4)
+  double objective = 0.0;     ///< Eq. (5) value
+};
+
+/// Search options shared by greedy and exhaustive placement search.
+struct OptimizerOptions {
+  double alpha = 1.0;          ///< performance weight in Eq. (5)
+  double beta = 0.0;           ///< cost weight in Eq. (5)
+  double threshold_c = 85.0;   ///< Eq. (6) temperature threshold
+  double step_mm = 0.5;        ///< spacing / interposer granularity
+  int starts = 10;             ///< m random starting points (paper uses 10)
+  int max_moves = 400;         ///< descent step budget per start
+  std::uint64_t seed = 2018;   ///< RNG seed (deterministic runs)
+  /// Pruning heuristic: the deterministic first start probes the uniform
+  /// matrix placement, which is within a few °C of the best placement on
+  /// the manifold.  If it misses the threshold by more than this margin,
+  /// the combination is declared infeasible without exploring further
+  /// (one simulation instead of ~m descents).  Set to 0 to disable —
+  /// the greedy-vs-exhaustive validation does.
+  double prune_margin_c = 6.0;
+  std::vector<int> chiplet_counts = {4, 16};
+};
+
+/// Optimization outcome.
+struct OptResult {
+  bool found = false;
+  Organization org;            ///< chosen organization (valid if found)
+  double ips = 0.0;
+  double cost = 0.0;
+  double objective = 0.0;
+  double peak_c = 0.0;
+  std::size_t combos_tried = 0;
+  std::size_t thermal_solves = 0;  ///< solver invocations consumed
+};
+
+/// Step 1 + 2: enumerate and sort all combinations by Eq. (5).
+/// `ips_2d` and `cost_2d` normalize the two objective terms.
+std::vector<Combo> enumerate_combos(const Evaluator& eval,
+                                    const BenchmarkProfile& bench,
+                                    double ips_2d, double cost_2d,
+                                    const OptimizerOptions& opts);
+
+/// Placement search for one combination at fixed interposer size, using
+/// the paper's multi-start greedy random-neighbor descent.  Returns the
+/// feasible organization if one is found.
+std::optional<Organization> find_placement_greedy(
+    Evaluator& eval, const BenchmarkProfile& bench, const Combo& combo,
+    const OptimizerOptions& opts, Rng& rng);
+
+/// Placement search by exhaustive enumeration of the (s1, s2) grid.
+std::optional<Organization> find_placement_exhaustive(
+    Evaluator& eval, const BenchmarkProfile& bench, const Combo& combo,
+    const OptimizerOptions& opts);
+
+/// Full three-step optimization with greedy placement search.
+OptResult optimize_greedy(Evaluator& eval, const BenchmarkProfile& bench,
+                          const OptimizerOptions& opts);
+
+/// Full optimization with exhaustive placement search (validation only).
+OptResult optimize_exhaustive(Evaluator& eval, const BenchmarkProfile& bench,
+                              const OptimizerOptions& opts);
+
+/// Best achievable IPS at a fixed interposer size `w_mm` and chiplet count
+/// `n` under the temperature threshold (drives Figs. 6 and 7): walks the
+/// (f, p) pairs in descending-IPS order and returns the first that has a
+/// feasible placement.
+struct MaxIpsResult {
+  bool found = false;
+  Organization org;
+  double ips = 0.0;
+};
+MaxIpsResult max_ips_at_interposer(Evaluator& eval,
+                                   const BenchmarkProfile& bench, int n,
+                                   double w_mm, const OptimizerOptions& opts,
+                                   Rng& rng);
+
+/// Size of the full per-benchmark design space at the options' granularity:
+/// every (f, p, n, W, placement) organization an exhaustive sweep would
+/// have to simulate (the paper counts ~680k at 0.5 mm granularity).  Used
+/// by the E9 validation to report the greedy's simulation savings.
+std::size_t design_space_size(const Evaluator& eval,
+                              const OptimizerOptions& opts);
+
+}  // namespace tacos

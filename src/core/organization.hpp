@@ -1,0 +1,53 @@
+#pragma once
+/// \file organization.hpp
+/// \brief A chiplet organization: the decision variables of Eq. (5).
+///
+/// An Organization bundles everything the optimizer chooses: chiplet count
+/// n ∈ {1, 4, 16} (1 = the monolithic 2D baseline), the chiplet spacings
+/// (s1, s2, s3) of Fig. 4(a), the DVFS level index, and the active core
+/// count p.  The physical layout and the interposer size follow from
+/// Eq. (9).
+
+#include "floorplan/layout.hpp"
+#include "power/dvfs.hpp"
+
+namespace tacos {
+
+/// Decision variables of the optimization problem (§III-D).
+struct Organization {
+  int n_chiplets = 16;       ///< 1 (2D baseline), 4, or 16
+  Spacing spacing;           ///< Fig. 4(a) spacings; ignored for n = 1
+  std::size_t dvfs_idx = 0;  ///< index into kDvfsLevels
+  int active_cores = 256;    ///< p ∈ kActiveCoreChoices
+
+  bool operator==(const Organization&) const = default;
+};
+
+/// Build the physical layout for `org` (throws on invalid spacings).
+inline ChipletLayout layout_for(const Organization& org,
+                                const SystemSpec& spec = {}) {
+  switch (org.n_chiplets) {
+    case 1: return make_single_chip_layout(spec);
+    case 4: return make_org4_layout(org.spacing.s3, spec);
+    case 16: return make_org16_layout(org.spacing, spec);
+    default:
+      TACOS_CHECK(false, "unsupported chiplet count " << org.n_chiplets
+                                                      << " (use 1, 4 or 16)");
+  }
+  return make_single_chip_layout(spec);  // unreachable
+}
+
+/// Interposer edge implied by Eq. (9) (chip edge for the 2D baseline).
+inline double interposer_edge_of(const Organization& org,
+                                 const SystemSpec& spec = {}) {
+  if (org.n_chiplets == 1) return spec.chip_edge_mm();
+  const int r = org.n_chiplets == 4 ? 2 : 4;
+  return interposer_edge_for(r, org.spacing, spec);
+}
+
+/// DVFS level of this organization.
+inline const DvfsLevel& level_of(const Organization& org) {
+  return dvfs_level(org.dvfs_idx);
+}
+
+}  // namespace tacos

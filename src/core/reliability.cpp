@@ -1,0 +1,23 @@
+#include "core/reliability.hpp"
+
+#include <cmath>
+
+namespace tacos {
+
+namespace {
+double to_kelvin(double c) { return c + 273.15; }
+}  // namespace
+
+double mttf_factor(double temp_c, double ref_c, double ea_ev) {
+  TACOS_CHECK(ea_ev > 0, "activation energy must be positive");
+  TACOS_CHECK(to_kelvin(temp_c) > 0 && to_kelvin(ref_c) > 0,
+              "temperatures below absolute zero");
+  return std::exp(ea_ev / kBoltzmannEvPerK *
+                  (1.0 / to_kelvin(temp_c) - 1.0 / to_kelvin(ref_c)));
+}
+
+double mttf_per_10c(double around_c, double ea_ev) {
+  return mttf_factor(around_c, around_c + 10.0, ea_ev);
+}
+
+}  // namespace tacos

@@ -1,0 +1,35 @@
+#pragma once
+/// \file reliability.hpp
+/// \brief Temperature-driven lifetime (MTTF) estimation.
+///
+/// The paper (§V-B) notes that even when 2.5D integration buys no
+/// performance (lu.cont), the lower operating temperature "improves
+/// transistor lifetime and reliability".  This extension quantifies that
+/// with the standard Arrhenius acceleration model used for
+/// electromigration / TDDB-style wear-out (Black's equation temperature
+/// term):
+///
+///   MTTF(T) ∝ exp(Ea / (k · T))     with T in kelvin,
+///
+/// so the lifetime of a design running at T relative to one at T_ref is
+///   AF = exp(Ea/k * (1/T - 1/T_ref)).
+///
+/// The default activation energy Ea = 0.7 eV is the JEDEC-typical value
+/// for electromigration in copper interconnect.
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+/// Boltzmann constant in eV/K.
+inline constexpr double kBoltzmannEvPerK = 8.617333262e-5;
+
+/// Relative lifetime of silicon operating at `temp_c` versus `ref_c`:
+/// > 1 means the part at `temp_c` lives longer.  Ea in eV.
+double mttf_factor(double temp_c, double ref_c, double ea_ev = 0.7);
+
+/// Convenience: per-10-°C rule of thumb implied by Ea at `around_c` — the
+/// classic "every 10 °C roughly halves lifetime" check.
+double mttf_per_10c(double around_c, double ea_ev = 0.7);
+
+}  // namespace tacos

@@ -1,0 +1,43 @@
+#pragma once
+/// \file sprint.hpp
+/// \brief Computational-sprinting analysis on the transient thermal model.
+///
+/// Computational sprinting [7] (paper §II) briefly runs more cores than
+/// the steady-state thermal budget allows, exploiting thermal capacitance.
+/// The paper positions thermally-aware chiplet organization as a
+/// *complementary* technique; this extension quantifies that: spacing the
+/// chiplets both raises the sustainable budget and lengthens the sprint
+/// before the threshold is hit.
+///
+/// measure_sprint() steps the transient model from its current state
+/// under a sprint power map until the peak silicon temperature crosses
+/// the threshold (returning the crossing time by linear interpolation)
+/// or the field settles below it (the sprint is sustainable).
+
+#include "core/leakage.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace tacos {
+
+/// Outcome of a sprint experiment.
+struct SprintResult {
+  bool sustainable = false;   ///< steady state stays below the threshold
+  double duration_s = 0.0;    ///< time to threshold (if not sustainable)
+  double final_peak_c = 0.0;  ///< peak at the end of the experiment
+};
+
+/// Step `model` under the (temperature-refreshed) power of `bench` at
+/// `lvl` with `active` cores until the peak crosses `threshold_c` or the
+/// transient settles.  The model's current temperature field is the
+/// sprint's starting state (call model.reset_to_ambient() for a cold
+/// start or pre-heat it with a steady solve).  Leakage follows the tile
+/// temperatures of the previous step.
+SprintResult measure_sprint(ThermalModel& model, const ChipletLayout& layout,
+                            const BenchmarkProfile& bench,
+                            const DvfsLevel& lvl,
+                            const std::vector<int>& active,
+                            const PowerModelParams& params,
+                            double threshold_c, double dt_s = 0.05,
+                            double max_s = 60.0);
+
+}  // namespace tacos

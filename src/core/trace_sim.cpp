@@ -1,0 +1,35 @@
+#include "core/trace_sim.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace tacos {
+
+TraceStats simulate_trace(ThermalModel& model, const ChipletLayout& layout,
+                          const BenchmarkProfile& bench, const DvfsLevel& lvl,
+                          const std::vector<int>& active,
+                          const PowerModelParams& params,
+                          const std::vector<Phase>& trace,
+                          double threshold_c) {
+  TACOS_CHECK(!trace.empty(), "empty phase trace");
+  TraceStats out;
+  std::optional<std::vector<double>> tile_temps;
+  double total_s = 0.0, weighted_peak = 0.0;
+  for (const Phase& ph : trace) {
+    TACOS_CHECK(ph.duration_s > 0, "phase with non-positive duration");
+    const PowerMap pmap = build_power_map(layout, bench, lvl, active,
+                                          tile_temps, params, ph.activity);
+    const ThermalResult res = model.step_transient(pmap, ph.duration_s);
+    tile_temps = model.tile_temperatures();
+    ++out.steps;
+    out.final_peak_c = res.peak_c;
+    out.max_peak_c = std::max(out.max_peak_c, res.peak_c);
+    weighted_peak += res.peak_c * ph.duration_s;
+    if (res.peak_c > threshold_c) out.time_above_threshold_s += ph.duration_s;
+    total_s += ph.duration_s;
+  }
+  out.mean_peak_c = weighted_peak / total_s;
+  return out;
+}
+
+}  // namespace tacos

@@ -1,0 +1,39 @@
+#pragma once
+/// \file trace_sim.hpp
+/// \brief Transient simulation of a phase trace (perf/phases.hpp).
+///
+/// Drives the backward-Euler transient engine with a time-varying
+/// activity trace: each phase scales the dynamic power, leakage follows
+/// the evolving per-tile temperatures.  Answers the question the paper's
+/// steady-state methodology leaves open: is sizing the organization for
+/// the all-phases-active steady state conservative for real, bursty
+/// execution?  (It is: the trace peak is bounded by the steady-state peak
+/// at full activity, and the margin quantifies the headroom phases leave
+/// on the table.)
+
+#include "perf/phases.hpp"
+#include "thermal/grid_model.hpp"
+#include "power/power_model.hpp"
+
+namespace tacos {
+
+/// Statistics of one trace simulation.
+struct TraceStats {
+  double max_peak_c = 0.0;          ///< hottest instant over the trace
+  double mean_peak_c = 0.0;         ///< time-weighted mean of the peak
+  double time_above_threshold_s = 0.0;
+  double final_peak_c = 0.0;
+  int steps = 0;
+};
+
+/// Run `trace` on `model` (starting from its current thermal state) for
+/// `bench` at DVFS level `lvl` with the given active tiles.  Each phase is
+/// one backward-Euler step of its duration.
+TraceStats simulate_trace(ThermalModel& model, const ChipletLayout& layout,
+                          const BenchmarkProfile& bench, const DvfsLevel& lvl,
+                          const std::vector<int>& active,
+                          const PowerModelParams& params,
+                          const std::vector<Phase>& trace,
+                          double threshold_c = 85.0);
+
+}  // namespace tacos

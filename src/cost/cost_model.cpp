@@ -1,0 +1,67 @@
+#include "cost/cost_model.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tacos {
+
+double dies_per_wafer(double die_area_mm2, double wafer_diameter_mm) {
+  TACOS_CHECK(die_area_mm2 > 0, "die area must be positive");
+  const double r = wafer_diameter_mm / 2.0;
+  const double n = std::numbers::pi * r * r / die_area_mm2 -
+                   std::numbers::pi * wafer_diameter_mm /
+                       std::sqrt(2.0 * die_area_mm2);
+  TACOS_CHECK(n >= 1.0, "die of " << die_area_mm2
+                                  << " mm^2 does not fit the wafer");
+  return n;
+}
+
+double cmos_yield(double die_area_mm2, const CostParams& p) {
+  p.validate();
+  // Eq. (2) with D0 in cm^-2 (see file comment): A * D0 needs area in cm^2.
+  const double area_cm2 = die_area_mm2 / 100.0;
+  return std::pow(
+      1.0 + area_cm2 * p.defect_density_cm2 / p.clustering_alpha,
+      -p.clustering_alpha);
+}
+
+double cmos_die_cost(double die_area_mm2, const CostParams& p) {
+  return p.wafer_cost /
+         (dies_per_wafer(die_area_mm2, p.wafer_diameter_mm) *
+          cmos_yield(die_area_mm2, p));
+}
+
+double interposer_cost(double interposer_area_mm2, const CostParams& p) {
+  p.validate();
+  return p.wafer_cost_int /
+         (dies_per_wafer(interposer_area_mm2, p.wafer_diameter_int_mm) *
+          p.interposer_yield);
+}
+
+double single_chip_cost(double chip_area_mm2, const CostParams& p) {
+  return cmos_die_cost(chip_area_mm2, p);
+}
+
+CostBreakdown cost_breakdown_25d(int n_chiplets, double chiplet_area_mm2,
+                                 double interposer_area_mm2,
+                                 const CostParams& p) {
+  TACOS_CHECK(n_chiplets >= 1, "need at least one chiplet");
+  CostBreakdown b;
+  b.chiplet_each = cmos_die_cost(chiplet_area_mm2, p);
+  b.chiplets_total = n_chiplets * b.chiplet_each;
+  b.interposer = interposer_cost(interposer_area_mm2, p);
+  b.bonding = n_chiplets * p.bond_cost;
+  b.bond_yield_factor = std::pow(p.bond_yield, n_chiplets);
+  b.total =
+      (b.chiplets_total + b.interposer + b.bonding) / b.bond_yield_factor;
+  return b;
+}
+
+double system_cost_25d(int n_chiplets, double chiplet_area_mm2,
+                       double interposer_area_mm2, const CostParams& p) {
+  return cost_breakdown_25d(n_chiplets, chiplet_area_mm2, interposer_area_mm2,
+                            p)
+      .total;
+}
+
+}  // namespace tacos

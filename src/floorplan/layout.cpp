@@ -1,0 +1,237 @@
+#include "floorplan/layout.hpp"
+
+#include <cmath>
+
+namespace tacos {
+
+ChipletLayout::ChipletLayout(SystemSpec spec, Rect interposer,
+                             std::vector<Chiplet> chiplets, int grid_r,
+                             Spacing spacing)
+    : spec_(spec),
+      interposer_(interposer),
+      chiplets_(std::move(chiplets)),
+      grid_r_(grid_r),
+      spacing_(spacing) {
+  TACOS_CHECK(!chiplets_.empty(), "layout needs at least one chiplet");
+  has_tiles_ = chiplets_.front().tiles_x > 0;
+  validate();
+}
+
+void ChipletLayout::validate() const {
+  spec_.validate();
+  TACOS_CHECK(interposer_.w <= spec_.max_interposer_mm + 1e-9 &&
+                  interposer_.h <= spec_.max_interposer_mm + 1e-9,
+              "interposer " << interposer_.w << "mm exceeds the "
+                            << spec_.max_interposer_mm << "mm bound (Eq. 7)");
+  // Guard band region chiplets must stay inside.  The single-chip baseline
+  // constructs itself with a zero guard band via a modified spec.
+  const Rect allowed = Rect::make(
+      interposer_.x + spec_.guard_band_mm, interposer_.y + spec_.guard_band_mm,
+      interposer_.w - 2 * spec_.guard_band_mm,
+      interposer_.h - 2 * spec_.guard_band_mm);
+  for (const auto& c : chiplets_) {
+    TACOS_CHECK(allowed.contains(c.rect, 1e-6),
+                "chiplet (" << c.grid_i << "," << c.grid_j
+                            << ") violates the guard band");
+  }
+  for (std::size_t a = 0; a < chiplets_.size(); ++a) {
+    for (std::size_t b = a + 1; b < chiplets_.size(); ++b) {
+      TACOS_CHECK(!chiplets_[a].rect.overlaps_interior(chiplets_[b].rect, 1e-6),
+                  "chiplets " << a << " and " << b << " overlap");
+    }
+  }
+  if (has_tiles_) {
+    int total_tiles = 0;
+    for (const auto& c : chiplets_) total_tiles += c.tiles_x * c.tiles_y;
+    TACOS_CHECK(total_tiles == spec_.core_count(),
+                "tile mapping covers " << total_tiles << " tiles, expected "
+                                       << spec_.core_count());
+  }
+}
+
+Rect ChipletLayout::tile_rect(int tx, int ty) const {
+  const auto& c = chiplets_[chiplet_of_tile(tx, ty)];
+  const double e = spec_.tile_edge_mm;
+  return Rect::make(c.rect.x + (tx - c.tile_x0) * e,
+                    c.rect.y + (ty - c.tile_y0) * e, e, e);
+}
+
+std::size_t ChipletLayout::chiplet_of_tile(int tx, int ty) const {
+  TACOS_CHECK(has_tiles_, "layout has no tile mapping");
+  TACOS_CHECK(tx >= 0 && tx < spec_.tiles_per_side && ty >= 0 &&
+                  ty < spec_.tiles_per_side,
+              "tile (" << tx << "," << ty << ") out of range");
+  for (std::size_t i = 0; i < chiplets_.size(); ++i) {
+    const auto& c = chiplets_[i];
+    if (tx >= c.tile_x0 && tx < c.tile_x0 + c.tiles_x && ty >= c.tile_y0 &&
+        ty < c.tile_y0 + c.tiles_y)
+      return i;
+  }
+  TACOS_ASSERT(false, "tile (" << tx << "," << ty << ") not mapped");
+  return 0;  // unreachable
+}
+
+double ChipletLayout::total_chiplet_area() const {
+  double a = 0.0;
+  for (const auto& c : chiplets_) a += c.rect.area();
+  return a;
+}
+
+ChipletLayout make_single_chip_layout(const SystemSpec& spec) {
+  SystemSpec s2d = spec;
+  s2d.guard_band_mm = 0.0;  // no interposer, no guard band
+  const double edge = spec.chip_edge_mm();
+  Chiplet chip;
+  chip.rect = Rect::make(0, 0, edge, edge);
+  chip.tiles_x = chip.tiles_y = spec.tiles_per_side;
+  return ChipletLayout(s2d, Rect::make(0, 0, edge, edge), {chip}, 1, {});
+}
+
+namespace {
+
+/// Shared builder: place r x r chiplets with per-axis positions `pos`
+/// (lower-left corners), chiplet edge `wc`; attach tiles when possible.
+std::vector<Chiplet> build_grid_chiplets(int r, double wc,
+                                         const std::vector<double>& pos_x,
+                                         const std::vector<double>& pos_y,
+                                         const SystemSpec& spec) {
+  const bool tiles = (spec.tiles_per_side % r) == 0;
+  const int m = tiles ? spec.tiles_per_side / r : 0;
+  std::vector<Chiplet> out;
+  out.reserve(static_cast<std::size_t>(r) * r);
+  for (int j = 0; j < r; ++j) {
+    for (int i = 0; i < r; ++i) {
+      Chiplet c;
+      c.rect = Rect::make(pos_x[i], pos_y[j], wc, wc);
+      c.grid_i = i;
+      c.grid_j = j;
+      if (tiles) {
+        c.tile_x0 = i * m;
+        c.tile_y0 = j * m;
+        c.tiles_x = c.tiles_y = m;
+      }
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ChipletLayout make_uniform_layout(int r, double spacing_mm,
+                                  const SystemSpec& spec) {
+  TACOS_CHECK(r >= 2, "uniform layout needs r >= 2 (got " << r << ")");
+  TACOS_CHECK(spacing_mm >= 0, "spacing cannot be negative");
+  const double wc = spec.chip_edge_mm() / r;
+  const double edge =
+      r * wc + (r - 1) * spacing_mm + 2 * spec.guard_band_mm;
+  std::vector<double> pos(r);
+  for (int i = 0; i < r; ++i)
+    pos[i] = spec.guard_band_mm + i * (wc + spacing_mm);
+  // Uniform gap g maps onto (s1, s2, s3) = (g, g/2, g) for r == 4 and
+  // (0, 0, g) for r == 2; other r values have no (s1,s2,s3) equivalent.
+  Spacing sp;
+  if (r == 2) {
+    sp = Spacing{0.0, 0.0, spacing_mm};
+  } else if (r == 4) {
+    sp = Spacing{spacing_mm, spacing_mm / 2.0, spacing_mm};
+  }
+  return ChipletLayout(spec, Rect::make(0, 0, edge, edge),
+                       build_grid_chiplets(r, wc, pos, pos, spec), r, sp);
+}
+
+ChipletLayout make_uniform_layout_for_interposer(int r, double interposer_mm,
+                                                 const SystemSpec& spec) {
+  TACOS_CHECK(r >= 2, "uniform layout needs r >= 2");
+  const double wc = spec.chip_edge_mm() / r;
+  const double gap_total =
+      interposer_mm - 2 * spec.guard_band_mm - r * wc;
+  TACOS_CHECK(gap_total >= -1e-9, "interposer " << interposer_mm
+                                                << "mm too small for " << r
+                                                << "x" << r << " chiplets");
+  return make_uniform_layout(r, std::max(0.0, gap_total / (r - 1)), spec);
+}
+
+double interposer_edge_for(int r, const Spacing& s, const SystemSpec& spec) {
+  const double wc = spec.chip_edge_mm() / r;
+  if (r == 2) return 2 * wc + s.s3 + 2 * spec.guard_band_mm;
+  if (r == 4) return 4 * wc + 2 * s.s1 + s.s3 + 2 * spec.guard_band_mm;
+  TACOS_CHECK(false, "Eq. (9) is defined for r in {2, 4}; got r=" << r);
+  return 0.0;  // unreachable
+}
+
+double max_uniform_spacing(int r, const SystemSpec& spec) {
+  const double wc = spec.chip_edge_mm() / r;
+  const double budget =
+      spec.max_interposer_mm - 2 * spec.guard_band_mm - r * wc;
+  return budget / (r - 1);
+}
+
+ChipletLayout make_custom_layout(const std::vector<Rect>& chiplets,
+                                 double interposer_mm,
+                                 const SystemSpec& spec) {
+  TACOS_CHECK(!chiplets.empty(), "custom layout needs at least one chiplet");
+  std::vector<Chiplet> out;
+  out.reserve(chiplets.size());
+  for (std::size_t i = 0; i < chiplets.size(); ++i) {
+    Chiplet c;
+    c.rect = chiplets[i];
+    c.grid_i = static_cast<int>(i);  // positional identity only
+    out.push_back(c);
+  }
+  return ChipletLayout(spec, Rect::make(0, 0, interposer_mm, interposer_mm),
+                       std::move(out), 0, {});
+}
+
+ChipletLayout make_org4_layout(double s3, const SystemSpec& spec) {
+  TACOS_CHECK(s3 >= 0, "s3 cannot be negative");
+  return make_uniform_layout(2, s3, spec);
+}
+
+ChipletLayout make_org16_layout(const Spacing& s, const SystemSpec& spec) {
+  TACOS_CHECK(s.s1 >= 0 && s.s2 >= 0 && s.s3 >= 0,
+              "spacings cannot be negative: s1=" << s.s1 << " s2=" << s.s2
+                                                 << " s3=" << s.s3);
+  TACOS_CHECK(2 * s.s1 + s.s3 - 2 * s.s2 >= -1e-9,
+              "Eq. (10) violated: 2*s1 + s3 - 2*s2 = "
+                  << (2 * s.s1 + s.s3 - 2 * s.s2));
+  constexpr int r = 4;
+  const double wc = spec.chip_edge_mm() / r;
+  const double lg = spec.guard_band_mm;
+  const double edge = interposer_edge_for(r, s, spec);
+  const double mid = edge / 2.0;
+
+  // Outer-ring column positions (Eq. (9) decomposition).
+  const std::vector<double> ring = {
+      lg, lg + wc + s.s1, lg + 2 * wc + s.s1 + s.s3,
+      lg + 3 * wc + 2 * s.s1 + s.s3};
+  // Center-cluster positions: offset s2 from the interposer center lines.
+  const double center_lo = mid - s.s2 - wc;
+  const double center_hi = mid + s.s2;
+
+  const bool tiles = (spec.tiles_per_side % r) == 0;
+  const int m = tiles ? spec.tiles_per_side / r : 0;
+  std::vector<Chiplet> chiplets;
+  chiplets.reserve(16);
+  for (int j = 0; j < r; ++j) {
+    for (int i = 0; i < r; ++i) {
+      const bool center = (i == 1 || i == 2) && (j == 1 || j == 2);
+      const double x = center ? (i == 1 ? center_lo : center_hi) : ring[i];
+      const double y = center ? (j == 1 ? center_lo : center_hi) : ring[j];
+      Chiplet c;
+      c.rect = Rect::make(x, y, wc, wc);
+      c.grid_i = i;
+      c.grid_j = j;
+      if (tiles) {
+        c.tile_x0 = i * m;
+        c.tile_y0 = j * m;
+        c.tiles_x = c.tiles_y = m;
+      }
+      chiplets.push_back(c);
+    }
+  }
+  return ChipletLayout(spec, Rect::make(0, 0, edge, edge), std::move(chiplets),
+                       r, s);
+}
+
+}  // namespace tacos

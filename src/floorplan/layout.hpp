@@ -1,0 +1,146 @@
+#pragma once
+/// \file layout.hpp
+/// \brief Chiplet layouts: the single-chip baseline, uniform r x r grids,
+///        and the paper's non-uniform (s1, s2, s3) organizations (Fig. 4a).
+///
+/// Geometry conventions
+/// --------------------
+/// The interposer occupies [0, W] x [0, H] (square in this work, W == H).
+/// Chiplets must stay at least `guard_band_mm` away from every interposer
+/// edge (Eq. (9)'s l_g term) and must not overlap.
+///
+/// The (s1, s2, s3) parameterization for the 16-chiplet (4 x 4) case:
+///   - the 12 *outer-ring* chiplets sit on a symmetric 4-column grid with
+///     outer gap s1 (between columns 1-2 and 3-4) and center gap s3
+///     (between columns 2-3); same for rows;
+///   - the 4 *center* chiplets form their own 2x2 cluster, each offset by
+///     s2 from the interposer center lines (so the gap between the two
+///     center chiplets along each axis is 2*s2).
+/// This reproduces Eq. (9), w_int = 4*w_c + 2*s1 + s3 + 2*l_g, and Eq. (10),
+/// 2*s1 + s3 - 2*s2 >= 0, which is exactly the condition that the center
+/// cluster fits into the hole left by the outer ring.  The uniform matrix
+/// placement with gap g corresponds to (s1, s2, s3) = (g, g/2, g).
+///
+/// For the 4-chiplet (2 x 2) case the paper fixes s1 = s2 = 0 and only the
+/// center gap s3 varies: w_int = 2*w_c + s3 + 2*l_g.
+///
+/// Tile bookkeeping: when r divides tiles_per_side, each chiplet carries a
+/// block of the logical 16 x 16 core-tile grid, and tile_rect() maps a
+/// logical tile to its physical rectangle.  Layouts with r not dividing 16
+/// (used only by the synthetic power-density studies of Fig. 3(b)) carry no
+/// tiles; their chiplets are uniform heat sources.
+
+#include <optional>
+#include <vector>
+
+#include "floorplan/system_spec.hpp"
+#include "geom/rect.hpp"
+
+namespace tacos {
+
+/// The three independent chiplet spacings of Fig. 4(a), in mm.
+struct Spacing {
+  double s1 = 0.0;  ///< outer-ring gap (16-chiplet case; 0 for 4-chiplet)
+  double s2 = 0.0;  ///< center-chiplet offset from the interposer center line
+  double s3 = 0.0;  ///< central gap between the two halves of the system
+
+  bool operator==(const Spacing&) const = default;
+};
+
+/// One chiplet: its physical rectangle plus (optionally) the block of
+/// logical core tiles it carries.
+struct Chiplet {
+  Rect rect;          ///< physical extent on the interposer (mm)
+  int grid_i = 0;     ///< column in the r x r chiplet grid
+  int grid_j = 0;     ///< row in the r x r chiplet grid
+  int tile_x0 = 0;    ///< first logical tile column carried (if any)
+  int tile_y0 = 0;    ///< first logical tile row carried (if any)
+  int tiles_x = 0;    ///< tiles per row carried (0 = no tile mapping)
+  int tiles_y = 0;    ///< tile rows carried
+};
+
+/// A complete chiplet placement on an interposer.
+class ChipletLayout {
+ public:
+  /// Construct and validate.  Throws tacos::Error if any chiplet violates
+  /// the guard band, overlaps another chiplet, or the interposer exceeds
+  /// the Eq. (7) bound.
+  ChipletLayout(SystemSpec spec, Rect interposer, std::vector<Chiplet> chiplets,
+                int grid_r, Spacing spacing);
+
+  const SystemSpec& spec() const { return spec_; }
+  const Rect& interposer() const { return interposer_; }
+  double interposer_edge() const { return interposer_.w; }
+  const std::vector<Chiplet>& chiplets() const { return chiplets_; }
+  int grid_r() const { return grid_r_; }
+  int chiplet_count() const { return static_cast<int>(chiplets_.size()); }
+  const Spacing& spacing() const { return spacing_; }
+
+  /// True if chiplets carry logical core tiles (r divides tiles_per_side).
+  bool has_tiles() const { return has_tiles_; }
+
+  /// Physical rectangle of logical tile (tx, ty); requires has_tiles().
+  Rect tile_rect(int tx, int ty) const;
+
+  /// Index into chiplets() of the chiplet carrying logical tile (tx, ty).
+  std::size_t chiplet_of_tile(int tx, int ty) const;
+
+  /// Total silicon (chiplet) area in mm^2.
+  double total_chiplet_area() const;
+
+  /// Area of one chiplet in mm^2 (all chiplets are identical).
+  double chiplet_area() const { return chiplets_.front().rect.area(); }
+
+ private:
+  void validate() const;
+
+  SystemSpec spec_;
+  Rect interposer_;
+  std::vector<Chiplet> chiplets_;
+  int grid_r_;
+  Spacing spacing_;
+  bool has_tiles_ = false;
+};
+
+/// The monolithic 2D baseline: one "chiplet" (the chip) covering the whole
+/// tile grid; the layout's "interposer" rectangle is the chip outline
+/// itself (no guard band — there is no interposer in the 2D system).
+ChipletLayout make_single_chip_layout(const SystemSpec& spec = {});
+
+/// Uniform r x r matrix placement with gap `spacing_mm` between adjacent
+/// chiplets and the guard band along the edges (used by Fig. 5 and by the
+/// synthetic study of Fig. 3(b); also the generic n-chiplet building block).
+/// Tiles are attached when r divides spec.tiles_per_side.
+ChipletLayout make_uniform_layout(int r, double spacing_mm,
+                                  const SystemSpec& spec = {});
+
+/// Uniform r x r placement stretched to an exact interposer edge
+/// `interposer_mm`: the gap is (interposer_mm - 2*guard - r*w_c)/(r-1).
+ChipletLayout make_uniform_layout_for_interposer(int r, double interposer_mm,
+                                                 const SystemSpec& spec = {});
+
+/// The paper's 4-chiplet organization (2 x 2, central gap s3).
+ChipletLayout make_org4_layout(double s3, const SystemSpec& spec = {});
+
+/// The paper's 16-chiplet organization (4 x 4 with independent s1, s2, s3).
+ChipletLayout make_org16_layout(const Spacing& s, const SystemSpec& spec = {});
+
+/// Interposer edge implied by Eq. (9) for the n-chiplet organization
+/// (r = 2 -> uses s3 only; r = 4 -> 2*s1 + s3).
+double interposer_edge_for(int r, const Spacing& s, const SystemSpec& spec = {});
+
+/// Largest uniform spacing representable for r x r chiplets within the
+/// Eq. (7) interposer bound.
+double max_uniform_spacing(int r, const SystemSpec& spec = {});
+
+/// Free-form layout: arbitrary chiplet rectangles on a square interposer
+/// of edge `interposer_mm`.  Carries no logical tile mapping (drive it
+/// with explicit PowerMaps).  Intended for heterogeneous systems — e.g. a
+/// CPU chiplet next to HBM-style memory stacks — which the thermal model
+/// handles exactly like the paper's homogeneous layouts.  All chiplets
+/// must respect the guard band and must not overlap (validated).
+ChipletLayout make_custom_layout(const std::vector<Rect>& chiplets,
+                                 double interposer_mm,
+                                 const SystemSpec& spec = {});
+
+}  // namespace tacos

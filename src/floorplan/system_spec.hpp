@@ -1,0 +1,41 @@
+#pragma once
+/// \file system_spec.hpp
+/// \brief Constants of the paper's example 256-core manycore system.
+///
+/// Paper §III-A: 256 IA-32-style cores at 22nm, each core+L2 tile is
+/// square, 1.13mm x 1.13mm (1.28mm^2).  The logical system is a 16x16 grid
+/// of tiles; the monolithic baseline chip is therefore 18mm x 18mm (16 × 1.125mm)
+/// (the paper rounds to "18mm x 18mm").  2.5D layouts split the tile grid
+/// into r x r chiplets placed on a passive interposer with a 1mm guard
+/// band along each interposer edge and a 50mm maximum interposer edge
+/// (single-exposure lithography limit, Eq. (7)).
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+/// Global geometry of the example system.  All lengths in mm.
+struct SystemSpec {
+  int tiles_per_side = 16;        ///< 16x16 = 256 core+L2 tiles
+  double tile_edge_mm = 1.125;    ///< square tile edge (the paper rounds 1.13)
+  double guard_band_mm = 1.0;     ///< l_g: chiplet-free rim of the interposer
+  double max_interposer_mm = 50.0;///< Eq. (7) upper bound on w_int, h_int
+
+  /// Edge of the monolithic 2D baseline chip (and of the merged tile grid).
+  double chip_edge_mm() const {
+    return tiles_per_side * tile_edge_mm;
+  }
+  /// Total core count.
+  int core_count() const { return tiles_per_side * tiles_per_side; }
+
+  /// Validate internal consistency (useful when callers customize fields).
+  void validate() const {
+    TACOS_CHECK(tiles_per_side >= 1, "need at least one tile per side");
+    TACOS_CHECK(tile_edge_mm > 0, "tile edge must be positive");
+    TACOS_CHECK(guard_band_mm >= 0, "guard band cannot be negative");
+    TACOS_CHECK(max_interposer_mm >= chip_edge_mm() + 2 * guard_band_mm,
+                "interposer bound cannot even fit the packed system");
+  }
+};
+
+}  // namespace tacos

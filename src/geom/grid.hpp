@@ -1,0 +1,89 @@
+#pragma once
+/// \file grid.hpp
+/// \brief Uniform 2D grid over a rectangular domain (the thermal mesh).
+///
+/// The thermal solver discretizes every layer of the package onto the same
+/// N×M grid covering the interposer footprint.  GridSpec maps between grid
+/// indices and physical cell rectangles and rasterizes arbitrary rectangles
+/// onto cells with exact area weights.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "geom/rect.hpp"
+
+namespace tacos {
+
+/// A uniform nx × ny grid covering `domain`.  Cell (ix, iy) has its
+/// lower-left corner at (domain.x + ix*dx, domain.y + iy*dy).
+class GridSpec {
+ public:
+  GridSpec(Rect domain, std::size_t nx, std::size_t ny)
+      : domain_(domain), nx_(nx), ny_(ny) {
+    TACOS_CHECK(nx >= 1 && ny >= 1, "grid must have at least one cell");
+    TACOS_CHECK(domain.w > 0 && domain.h > 0,
+                "grid domain must have positive area");
+    dx_ = domain.w / static_cast<double>(nx);
+    dy_ = domain.h / static_cast<double>(ny);
+  }
+
+  const Rect& domain() const { return domain_; }
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t cell_count() const { return nx_ * ny_; }
+  double dx() const { return dx_; }  ///< cell width (mm)
+  double dy() const { return dy_; }  ///< cell height (mm)
+  double cell_area() const { return dx_ * dy_; }
+
+  /// Flat index of cell (ix, iy); row-major with x fastest.
+  std::size_t index(std::size_t ix, std::size_t iy) const {
+    TACOS_ASSERT(ix < nx_ && iy < ny_, "cell index out of range");
+    return iy * nx_ + ix;
+  }
+
+  /// Physical rectangle of cell (ix, iy).
+  Rect cell_rect(std::size_t ix, std::size_t iy) const {
+    return Rect{domain_.x + static_cast<double>(ix) * dx_,
+                domain_.y + static_cast<double>(iy) * dy_, dx_, dy_};
+  }
+
+  /// Invoke fn(ix, iy, overlap_area_fraction_of_cell) for every cell that
+  /// `r` overlaps.  Fractions are exact (ratio of intersection area to cell
+  /// area), so rasterizing a block and summing fraction*cell_area recovers
+  /// the block's clipped area to machine precision.
+  void rasterize(const Rect& r,
+                 const std::function<void(std::size_t, std::size_t, double)>&
+                     fn) const {
+    if (r.w <= 0 || r.h <= 0) return;
+    // Clip to domain and find the index range of touched cells.
+    const double x0 = std::max(r.x, domain_.x);
+    const double y0 = std::max(r.y, domain_.y);
+    const double x1 = std::min(r.x2(), domain_.x2());
+    const double y1 = std::min(r.y2(), domain_.y2());
+    if (x1 <= x0 || y1 <= y0) return;
+    const auto clamp_idx = [](double v, std::size_t n) {
+      if (v < 0) return std::size_t{0};
+      const auto i = static_cast<std::size_t>(v);
+      return std::min(i, n - 1);
+    };
+    const std::size_t ix0 = clamp_idx((x0 - domain_.x) / dx_, nx_);
+    const std::size_t iy0 = clamp_idx((y0 - domain_.y) / dy_, ny_);
+    const std::size_t ix1 = clamp_idx((x1 - domain_.x) / dx_ - 1e-12, nx_);
+    const std::size_t iy1 = clamp_idx((y1 - domain_.y) / dy_ - 1e-12, ny_);
+    for (std::size_t iy = iy0; iy <= iy1; ++iy) {
+      for (std::size_t ix = ix0; ix <= ix1; ++ix) {
+        const double a = cell_rect(ix, iy).overlap_area(r);
+        if (a > 0) fn(ix, iy, a / cell_area());
+      }
+    }
+  }
+
+ private:
+  Rect domain_;
+  std::size_t nx_, ny_;
+  double dx_, dy_;
+};
+
+}  // namespace tacos

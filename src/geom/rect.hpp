@@ -1,0 +1,99 @@
+#pragma once
+/// \file rect.hpp
+/// \brief Axis-aligned rectangle geometry for floorplans (units: mm).
+///
+/// Floorplan blocks, chiplets, interposer outlines, spreader and sink
+/// extents are all axis-aligned rectangles.  The thermal grid builder uses
+/// overlap_area() to rasterize blocks onto grid cells, so the intersection
+/// math here is the geometric foundation of the whole thermal model.
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+/// 2D point in mm.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Axis-aligned rectangle: origin (lower-left corner) plus size, in mm.
+/// Invariant: w >= 0 and h >= 0 (enforced by the named constructor).
+struct Rect {
+  double x = 0.0;  ///< lower-left corner x (mm)
+  double y = 0.0;  ///< lower-left corner y (mm)
+  double w = 0.0;  ///< width (mm)
+  double h = 0.0;  ///< height (mm)
+
+  /// Named constructor validating non-negative dimensions.
+  static Rect make(double x, double y, double w, double h) {
+    TACOS_CHECK(w >= 0.0 && h >= 0.0,
+                "rectangle dimensions must be non-negative: w=" << w
+                                                                << " h=" << h);
+    return Rect{x, y, w, h};
+  }
+
+  /// Rectangle centered at (cx, cy).
+  static Rect centered(double cx, double cy, double w, double h) {
+    return make(cx - w / 2.0, cy - h / 2.0, w, h);
+  }
+
+  double x2() const { return x + w; }  ///< right edge
+  double y2() const { return y + h; }  ///< top edge
+  double area() const { return w * h; }
+  Point center() const { return {x + w / 2.0, y + h / 2.0}; }
+
+  /// True if (px, py) lies inside or on the boundary.
+  bool contains(double px, double py) const {
+    return px >= x && px <= x2() && py >= y && py <= y2();
+  }
+
+  /// True if `other` lies entirely inside (or on the boundary of) *this.
+  /// `tol` absorbs floating-point noise from accumulating spacings.
+  bool contains(const Rect& other, double tol = 1e-9) const {
+    return other.x >= x - tol && other.y >= y - tol &&
+           other.x2() <= x2() + tol && other.y2() <= y2() + tol;
+  }
+
+  /// Area of intersection with `other` (0 if disjoint).
+  double overlap_area(const Rect& other) const {
+    const double ox = std::max(0.0, std::min(x2(), other.x2()) -
+                                        std::max(x, other.x));
+    const double oy = std::max(0.0, std::min(y2(), other.y2()) -
+                                        std::max(y, other.y));
+    return ox * oy;
+  }
+
+  /// True if the interiors overlap (touching edges do not count).
+  /// `tol` treats sub-tolerance overlaps as touching, to be robust against
+  /// floating-point accumulation when chiplets abut exactly.
+  bool overlaps_interior(const Rect& other, double tol = 1e-9) const {
+    const double ox = std::min(x2(), other.x2()) - std::max(x, other.x);
+    const double oy = std::min(y2(), other.y2()) - std::max(y, other.y);
+    return ox > tol && oy > tol;
+  }
+
+  /// This rectangle translated by (dx, dy).
+  Rect translated(double dx, double dy) const {
+    return Rect{x + dx, y + dy, w, h};
+  }
+
+  /// Smallest rectangle containing both *this and `other`.
+  Rect united(const Rect& other) const {
+    const double nx = std::min(x, other.x);
+    const double ny = std::min(y, other.y);
+    return Rect{nx, ny, std::max(x2(), other.x2()) - nx,
+                std::max(y2(), other.y2()) - ny};
+  }
+};
+
+/// Exact equality is rarely wanted for geometry; use approx_equal in tests.
+inline bool approx_equal(const Rect& a, const Rect& b, double tol = 1e-9) {
+  return std::abs(a.x - b.x) <= tol && std::abs(a.y - b.y) <= tol &&
+         std::abs(a.w - b.w) <= tol && std::abs(a.h - b.h) <= tol;
+}
+
+}  // namespace tacos

@@ -1,0 +1,216 @@
+#include "io/hotspot_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace tacos::hotspot {
+
+namespace {
+
+constexpr double kMmToM = 1e-3;
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  TACOS_CHECK(out.good(), "cannot open " << path << " for writing");
+  out << std::setprecision(9);
+  return out;
+}
+
+void write_flp(const std::string& path, const std::vector<FlpBlock>& blocks) {
+  std::ofstream out = open_out(path);
+  out << "# HotSpot floorplan exported by tacos (units: metres)\n"
+      << "# <unit-name> <width> <height> <left-x> <bottom-y>\n";
+  for (const auto& b : blocks) {
+    out << b.name << '\t' << b.rect.w * kMmToM << '\t' << b.rect.h * kMmToM
+        << '\t' << b.rect.x * kMmToM << '\t' << b.rect.y * kMmToM << '\n';
+  }
+  TACOS_CHECK(out.good(), "write failed: " << path);
+}
+
+}  // namespace
+
+std::vector<Rect> complement_rectangles(const Rect& domain,
+                                        const std::vector<Rect>& holes) {
+  // Slab decomposition: cut the domain into horizontal slabs at every
+  // hole boundary, then emit the uncovered x-intervals of each slab.
+  std::set<double> ys = {domain.y, domain.y2()};
+  for (const auto& h : holes) {
+    if (h.y > domain.y && h.y < domain.y2()) ys.insert(h.y);
+    if (h.y2() > domain.y && h.y2() < domain.y2()) ys.insert(h.y2());
+  }
+  std::vector<Rect> out;
+  auto it = ys.begin();
+  double y0 = *it;
+  for (++it; it != ys.end(); ++it) {
+    const double y1 = *it;
+    const double ymid = (y0 + y1) / 2;
+    // Collect x-intervals of holes spanning this slab.
+    std::vector<std::pair<double, double>> spans;
+    for (const auto& h : holes) {
+      if (h.y <= ymid && h.y2() >= ymid) {
+        spans.emplace_back(std::max(h.x, domain.x),
+                           std::min(h.x2(), domain.x2()));
+      }
+    }
+    std::sort(spans.begin(), spans.end());
+    double x = domain.x;
+    for (const auto& [sx, ex] : spans) {
+      if (sx > x + 1e-12)
+        out.push_back(Rect::make(x, y0, sx - x, y1 - y0));
+      x = std::max(x, ex);
+    }
+    if (domain.x2() > x + 1e-12)
+      out.push_back(Rect::make(x, y0, domain.x2() - x, y1 - y0));
+    y0 = y1;
+  }
+  return out;
+}
+
+std::vector<FlpBlock> layer_blocks(const ChipletLayout& layout,
+                                   const Layer& layer, bool source_per_tile) {
+  std::vector<FlpBlock> blocks;
+  if (layer.extent == LayerExtent::kFull) {
+    blocks.push_back({layer.name + "_slab", layout.interposer()});
+    return blocks;
+  }
+  std::vector<Rect> holes;
+  if (source_per_tile && layer.heat_source && layout.has_tiles()) {
+    const int n = layout.spec().tiles_per_side;
+    for (int ty = 0; ty < n; ++ty) {
+      for (int tx = 0; tx < n; ++tx) {
+        std::ostringstream name;
+        name << "tile_" << tx << '_' << ty;
+        blocks.push_back({name.str(), layout.tile_rect(tx, ty)});
+      }
+    }
+    for (const auto& c : layout.chiplets()) holes.push_back(c.rect);
+  } else {
+    for (std::size_t i = 0; i < layout.chiplets().size(); ++i) {
+      std::ostringstream name;
+      name << layer.name << "_chiplet" << i;
+      blocks.push_back({name.str(), layout.chiplets()[i].rect});
+      holes.push_back(layout.chiplets()[i].rect);
+    }
+  }
+  const std::vector<Rect> fills =
+      complement_rectangles(layout.interposer(), holes);
+  for (std::size_t i = 0; i < fills.size(); ++i) {
+    std::ostringstream name;
+    name << layer.name << "_FILLER" << i;
+    blocks.push_back({name.str(), fills[i]});
+  }
+  return blocks;
+}
+
+ExportResult export_hotspot(const std::string& dir, const std::string& name,
+                            const ChipletLayout& layout,
+                            const LayerStack& stack, const PowerMap& power,
+                            const PackageConvention& package) {
+  TACOS_CHECK(!stack.layers.empty(), "empty layer stack");
+  ExportResult res;
+  const std::string prefix = dir.empty() ? name : dir + "/" + name;
+
+  // Per-layer floorplans; the heat-source layer is exported per tile so
+  // the power trace carries per-core powers.
+  std::vector<std::vector<FlpBlock>> per_layer;
+  for (const auto& layer : stack.layers) {
+    per_layer.push_back(layer_blocks(layout, layer, true));
+  }
+  for (std::size_t l = 0; l < stack.layers.size(); ++l) {
+    std::ostringstream path;
+    path << prefix << "_l" << l << ".flp";
+    write_flp(path.str(), per_layer[l]);
+    res.floorplan_files.push_back(path.str());
+  }
+
+  // Layer configuration file (bottom layer first, HotSpot numbering).
+  res.lcf_file = prefix + ".lcf";
+  {
+    std::ofstream out = open_out(res.lcf_file);
+    out << "# HotSpot layer configuration exported by tacos\n";
+    for (std::size_t l = 0; l < stack.layers.size(); ++l) {
+      const Layer& layer = stack.layers[l];
+      // Use the occupied material's properties; HotSpot grid mode reads
+      // per-block properties from the floorplan if given, but the common
+      // usage is homogeneous layer properties.
+      const double resistivity = 1.0 / layer.occupied.k_vertical;  // m·K/W
+      out << "# layer " << l << ": " << layer.name << '\n'
+          << l << '\n'
+          << "Y\n"                                      // lateral heat flow
+          << (layer.heat_source ? "Y" : "N") << '\n'    // dissipates power
+          << layer.occupied.vol_heat_cap << '\n'        // J/(m^3·K)
+          << resistivity << '\n'
+          << layer.thickness_mm * kMmToM << '\n'
+          << res.floorplan_files[l] << '\n';
+    }
+    TACOS_CHECK(out.good(), "write failed: " << res.lcf_file);
+  }
+
+  // Power trace: one row, power per source-layer block by area overlap.
+  res.ptrace_file = prefix + ".ptrace";
+  {
+    const std::size_t src = stack.source_layer();
+    const auto& blocks = per_layer[src];
+    std::ofstream out = open_out(res.ptrace_file);
+    for (std::size_t i = 0; i < blocks.size(); ++i)
+      out << blocks[i].name << (i + 1 < blocks.size() ? '\t' : '\n');
+    double exported = 0.0;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      double watts = 0.0;
+      for (const auto& s : power.sources) {
+        const double ov = s.rect.overlap_area(blocks[i].rect);
+        if (ov > 0) watts += s.watts * ov / s.rect.area();
+      }
+      exported += watts;
+      out << watts << (i + 1 < blocks.size() ? '\t' : '\n');
+    }
+    TACOS_CHECK(out.good(), "write failed: " << res.ptrace_file);
+    TACOS_CHECK(exported > 0.999 * power.total(),
+                "power map extends beyond the source layer blocks ("
+                    << exported << " of " << power.total() << " W exported)");
+  }
+
+  // Config snippet matching our package model.
+  res.config_file = prefix + ".config";
+  {
+    const double w_sink =
+        layout.interposer().w * package.spreader_scale * package.sink_scale;
+    const double a_sink_m2 = w_sink * w_sink * 1e-6;
+    std::ofstream out = open_out(res.config_file);
+    out << "# HotSpot config snippet exported by tacos\n"
+        << "-ambient " << package.ambient_c + 273.15 << '\n'
+        << "-s_sink " << w_sink * kMmToM << '\n'
+        << "-t_sink " << package.sink_thickness_mm * kMmToM << '\n'
+        << "-s_spreader "
+        << layout.interposer().w * package.spreader_scale * kMmToM << '\n'
+        << "-t_spreader " << package.spreader_thickness_mm * kMmToM << '\n'
+        << "-r_convec " << 1.0 / (package.h_convection * a_sink_m2) << '\n';
+    TACOS_CHECK(out.good(), "write failed: " << res.config_file);
+  }
+  return res;
+}
+
+std::vector<FlpBlock> parse_flp(const std::string& path) {
+  std::ifstream in(path);
+  TACOS_CHECK(in.good(), "cannot open " << path);
+  std::vector<FlpBlock> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string name;
+    double w, h, x, y;
+    if (is >> name >> w >> h >> x >> y) {
+      out.push_back({name, Rect::make(x / kMmToM, y / kMmToM, w / kMmToM,
+                                      h / kMmToM)});
+    }
+  }
+  return out;
+}
+
+}  // namespace tacos::hotspot

@@ -1,0 +1,71 @@
+#pragma once
+/// \file hotspot_export.hpp
+/// \brief Export layouts, layer stacks and power maps as HotSpot 6.0
+///        input files (.flp floorplans, .lcf layer configuration, .ptrace
+///        power trace, plus a config snippet).
+///
+/// The paper runs its thermal simulations in HotSpot [28]; this library
+/// replaces HotSpot with its own solver, but anyone with a HotSpot
+/// checkout can cross-validate any tacos configuration by exporting it:
+///
+///   export_hotspot("out/", "org16", layout, make_25d_stack(), power);
+///   hotspot -f out/org16_l4.flp -p out/org16.ptrace [...]
+///           -grid_layer_file out/org16.lcf -model_type grid
+///
+/// Conventions (HotSpot file formats):
+///   * .flp lines: `<unit> <width_m> <height_m> <left_m> <bottom_m>`,
+///     all in metres; each layer's floorplan must tile its bounding box,
+///     so inter-chiplet gaps are emitted as `FILLER*` epoxy blocks;
+///   * .lcf stanzas: layer number, lateral heat flow flag, power flag,
+///     specific heat (J/(m^3·K)), resistivity (m·K/W), thickness (m),
+///     floorplan file;
+///   * .ptrace: unit-name header plus one row of watts (steady state).
+
+#include <string>
+#include <vector>
+
+#include "floorplan/layout.hpp"
+#include "materials/stack.hpp"
+#include "thermal/power_map.hpp"
+
+namespace tacos::hotspot {
+
+/// Files produced by one export.
+struct ExportResult {
+  std::vector<std::string> floorplan_files;  ///< one .flp per layer
+  std::string lcf_file;
+  std::string ptrace_file;
+  std::string config_file;
+};
+
+/// A named rectangle in a HotSpot floorplan (mm here; written as metres).
+struct FlpBlock {
+  std::string name;
+  Rect rect;
+};
+
+/// Decompose `domain` minus `holes` into axis-aligned rectangles (the
+/// filler blocks HotSpot floorplans require).  Exposed for testing.
+std::vector<Rect> complement_rectangles(const Rect& domain,
+                                        const std::vector<Rect>& holes);
+
+/// Build the floorplan blocks for one layer of the stack: chiplet-extent
+/// layers get one block per chiplet (or per tile on the source layer when
+/// `per_tile_source` is set) plus epoxy fillers; full-extent layers get a
+/// single block.  Exposed for testing.
+std::vector<FlpBlock> layer_blocks(const ChipletLayout& layout,
+                                   const Layer& layer, bool source_per_tile);
+
+/// Write the full HotSpot input set into `dir` with file prefix `name`.
+/// The power trace assigns each source-layer block its power from `power`
+/// by area overlap.  Throws tacos::Error on I/O failure.
+ExportResult export_hotspot(const std::string& dir, const std::string& name,
+                            const ChipletLayout& layout,
+                            const LayerStack& stack, const PowerMap& power,
+                            const PackageConvention& package = {});
+
+/// Parse a HotSpot .flp file back into blocks (metres converted to mm) —
+/// used by the round-trip tests and handy for importing real floorplans.
+std::vector<FlpBlock> parse_flp(const std::string& path);
+
+}  // namespace tacos::hotspot

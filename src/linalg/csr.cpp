@@ -1,0 +1,52 @@
+#include "linalg/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace tacos {
+
+CsrMatrix CsrBuilder::build() const {
+  // Counting sort by row, then sort-and-merge columns within each row.
+  std::vector<std::size_t> row_count(n_ + 1, 0);
+  for (const auto& t : triplets_) ++row_count[t.i + 1];
+  std::vector<std::size_t> row_start(n_ + 1, 0);
+  std::partial_sum(row_count.begin(), row_count.end(), row_start.begin());
+
+  std::vector<std::size_t> cols(triplets_.size());
+  std::vector<double> vals(triplets_.size());
+  {
+    std::vector<std::size_t> cursor(row_start.begin(), row_start.end() - 1);
+    for (const auto& t : triplets_) {
+      const std::size_t k = cursor[t.i]++;
+      cols[k] = t.j;
+      vals[k] = t.v;
+    }
+  }
+
+  std::vector<std::size_t> row_ptr(n_ + 1, 0);
+  std::vector<std::size_t> out_cols;
+  std::vector<double> out_vals;
+  out_cols.reserve(triplets_.size());
+  out_vals.reserve(triplets_.size());
+
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t b = row_start[i], e = row_start[i + 1];
+    order.resize(e - b);
+    std::iota(order.begin(), order.end(), b);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t c) { return cols[a] < cols[c]; });
+    for (std::size_t k = 0; k < order.size();) {
+      const std::size_t col = cols[order[k]];
+      double acc = 0.0;
+      while (k < order.size() && cols[order[k]] == col) acc += vals[order[k++]];
+      out_cols.push_back(col);
+      out_vals.push_back(acc);
+    }
+    row_ptr[i + 1] = out_cols.size();
+  }
+  return CsrMatrix(n_, std::move(row_ptr), std::move(out_cols),
+                   std::move(out_vals));
+}
+
+}  // namespace tacos

@@ -1,0 +1,113 @@
+#pragma once
+/// \file csr.hpp
+/// \brief Compressed-sparse-row matrix and a triplet-based builder.
+///
+/// The thermal grid model assembles a symmetric positive-definite
+/// conductance matrix G (units W/K) from pairwise conductances.  The
+/// builder accepts duplicate (i, j) insertions and sums them, which lets
+/// the assembly code add one conductance per resistor without bookkeeping.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+/// Immutable CSR matrix (square, double precision).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(std::size_t n, std::vector<std::size_t> row_ptr,
+            std::vector<std::size_t> col_idx, std::vector<double> values)
+      : n_(n),
+        row_ptr_(std::move(row_ptr)),
+        col_idx_(std::move(col_idx)),
+        values_(std::move(values)) {
+    TACOS_CHECK(row_ptr_.size() == n_ + 1, "row_ptr size mismatch");
+    TACOS_CHECK(col_idx_.size() == values_.size(), "col/val size mismatch");
+  }
+
+  std::size_t rows() const { return n_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// y = A * x.  x and y must have size rows(); y is overwritten.
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const {
+    TACOS_CHECK(x.size() == n_ && y.size() == n_, "dimension mismatch");
+    for (std::size_t i = 0; i < n_; ++i) {
+      double acc = 0.0;
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+        acc += values_[k] * x[col_idx_[k]];
+      y[i] = acc;
+    }
+  }
+
+  /// Diagonal entries (0 where a row has no stored diagonal).
+  std::vector<double> diagonal() const {
+    std::vector<double> d(n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+        if (col_idx_[k] == i) d[i] += values_[k];
+    return d;
+  }
+
+  /// Raw access for solvers.
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+/// Accumulating triplet builder.  add(i, j, v) may be called repeatedly for
+/// the same (i, j); values are summed on build().
+class CsrBuilder {
+ public:
+  explicit CsrBuilder(std::size_t n) : n_(n) {}
+
+  std::size_t rows() const { return n_; }
+
+  /// Accumulate A(i, j) += v.
+  void add(std::size_t i, std::size_t j, double v) {
+    TACOS_ASSERT(i < n_ && j < n_,
+                 "triplet index out of range: (" << i << "," << j << ")");
+    triplets_.push_back({i, j, v});
+  }
+
+  /// Convenience for resistive networks: add conductance g between nodes
+  /// i and j (off-diagonals -g, diagonals +g), keeping the matrix SPD.
+  void add_conductance(std::size_t i, std::size_t j, double g) {
+    TACOS_ASSERT(g >= 0.0, "negative conductance " << g);
+    if (g == 0.0) return;
+    add(i, i, g);
+    add(j, j, g);
+    add(i, j, -g);
+    add(j, i, -g);
+  }
+
+  /// Add conductance g from node i to a fixed-temperature reference (the
+  /// reference node is eliminated: only the diagonal term remains; the
+  /// caller adds g * T_ref to the right-hand side).
+  void add_conductance_to_reference(std::size_t i, double g) {
+    TACOS_ASSERT(g >= 0.0, "negative conductance " << g);
+    if (g == 0.0) return;
+    add(i, i, g);
+  }
+
+  /// Build the CSR matrix, summing duplicate entries.
+  CsrMatrix build() const;
+
+ private:
+  struct Triplet {
+    std::size_t i, j;
+    double v;
+  };
+  std::size_t n_;
+  std::vector<Triplet> triplets_;
+};
+
+}  // namespace tacos

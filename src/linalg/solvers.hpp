@@ -1,0 +1,44 @@
+#pragma once
+/// \file solvers.hpp
+/// \brief Iterative linear solvers for the SPD thermal conductance system.
+///
+/// The production path is a Jacobi-preconditioned conjugate-gradient
+/// solver; Gauss-Seidel is kept as an independent reference implementation
+/// used by the test suite to cross-check CG on small systems.  Both solvers
+/// support warm starts, which the sweep harnesses exploit heavily (adjacent
+/// sweep points have nearly identical temperature fields).
+
+#include <vector>
+
+#include "linalg/csr.hpp"
+
+namespace tacos {
+
+/// Outcome of an iterative solve.
+struct SolveResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;  ///< final ||b - Ax|| / ||b||
+};
+
+/// Options shared by the iterative solvers.
+struct SolveOptions {
+  double rel_tolerance = 1e-8;  ///< convergence: ||r|| <= rel_tolerance*||b||
+  std::size_t max_iterations = 20000;
+};
+
+/// Jacobi-preconditioned conjugate gradient for SPD systems.
+/// `x` is both the initial guess (warm start) and the solution output; it
+/// must be sized A.rows() (zero-fill for a cold start).
+SolveResult solve_pcg(const CsrMatrix& A, const std::vector<double>& b,
+                      std::vector<double>& x, const SolveOptions& opts = {});
+
+/// Gauss-Seidel reference solver (slow; tests only).
+SolveResult solve_gauss_seidel(const CsrMatrix& A, const std::vector<double>& b,
+                               std::vector<double>& x,
+                               const SolveOptions& opts = {});
+
+/// Euclidean norm helper shared by solvers and tests.
+double norm2(const std::vector<double>& v);
+
+}  // namespace tacos

@@ -1,0 +1,76 @@
+#pragma once
+/// \file material.hpp
+/// \brief Thermal material properties and effective-medium mixing rules.
+///
+/// Conductivities are in W/(m·K).  Composite layers (microbump, TSV and C4
+/// layers are copper structures embedded in epoxy or silicon) are modeled
+/// as anisotropic effective media: vertically the metal pillars conduct in
+/// parallel with the matrix (area-fraction-weighted arithmetic mean), while
+/// laterally heat must cross matrix material between pillars, which the
+/// series (harmonic) mean captures.  This matches how HotSpot users model
+/// bump/TSV layers in 2.5D/3D stacks.
+
+#include <numbers>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+/// A (possibly anisotropic) thermal material.
+struct Material {
+  std::string name;
+  double k_lateral = 0.0;   ///< in-plane thermal conductivity, W/(m·K)
+  double k_vertical = 0.0;  ///< through-plane thermal conductivity, W/(m·K)
+  double vol_heat_cap = 1.6e6;  ///< volumetric heat capacity, J/(m^3·K)
+
+  /// Isotropic material helper.
+  static Material iso(std::string name, double k, double cv = 1.6e6) {
+    TACOS_CHECK(k > 0.0, "conductivity must be positive: " << name);
+    TACOS_CHECK(cv > 0.0, "heat capacity must be positive: " << name);
+    return Material{std::move(name), k, k, cv};
+  }
+};
+
+/// Standard material set used by the Table I stack. Values are the widely
+/// used HotSpot-style constants at operating temperature.
+namespace materials {
+
+inline Material silicon() { return Material::iso("silicon", 110.0, 1.63e6); }
+inline Material copper() { return Material::iso("copper", 385.0, 3.45e6); }
+/// Flip-chip underfill / inter-chiplet fill epoxy.
+inline Material epoxy() { return Material::iso("epoxy", 0.9, 2.0e6); }
+/// Thermal interface material (HotSpot default-style greased interface).
+inline Material tim() { return Material::iso("TIM", 4.0, 2.0e6); }
+/// FR-4 organic substrate.
+inline Material fr4() { return Material::iso("FR-4", 0.3, 1.2e6); }
+/// Still air (adiabatic-ish filler for regions outside a layer's extent).
+inline Material air() { return Material::iso("air", 0.026, 1.2e3); }
+
+}  // namespace materials
+
+/// Area fraction covered by a square-pitch array of cylindrical pillars
+/// (microbumps, TSVs, C4 bumps): pi * (d/2)^2 / pitch^2.
+inline double pillar_area_fraction(double diameter, double pitch) {
+  TACOS_CHECK(diameter > 0.0 && pitch > 0.0 && diameter <= pitch,
+              "invalid pillar geometry: d=" << diameter << " pitch=" << pitch);
+  const double r = diameter / 2.0;
+  return std::numbers::pi * r * r / (pitch * pitch);
+}
+
+/// Effective anisotropic medium for metal pillars (fraction `frac`) in a
+/// matrix material: vertical = parallel (arithmetic) mix, lateral = series
+/// (harmonic) mix; heat capacity mixes by volume.
+inline Material pillar_composite(std::string name, const Material& pillar,
+                                 const Material& matrix, double frac) {
+  TACOS_CHECK(frac >= 0.0 && frac <= 1.0, "fraction out of range: " << frac);
+  const double kv =
+      frac * pillar.k_vertical + (1.0 - frac) * matrix.k_vertical;
+  const double kl =
+      1.0 / (frac / pillar.k_lateral + (1.0 - frac) / matrix.k_lateral);
+  const double cv =
+      frac * pillar.vol_heat_cap + (1.0 - frac) * matrix.vol_heat_cap;
+  return Material{std::move(name), kl, kv, cv};
+}
+
+}  // namespace tacos

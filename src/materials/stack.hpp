@@ -1,0 +1,96 @@
+#pragma once
+/// \file stack.hpp
+/// \brief The 2.5D package layer stack of Table I and the 2D baseline stack.
+///
+/// A LayerStack is an ordered list of layers from the organic substrate at
+/// the bottom to the heat sink at the top.  Each layer has a thickness and
+/// two materials: the material inside the "occupied" region (e.g. silicon
+/// where a chiplet sits) and the fill material between occupied regions
+/// (epoxy underfill between chiplets, per the paper's assembly description).
+/// Which cells are "occupied" is decided per-layer by the floorplan module:
+///   - chiplet / microbump layers: occupied under chiplets only;
+///   - interposer / C4 / substrate layers: occupied across the full
+///     interposer footprint;
+///   - TIM: spans the interposer footprint (it sits under the spreader).
+/// The spreader and heat sink are handled separately by the package model
+/// because they are larger than the interposer footprint.
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "materials/material.hpp"
+
+namespace tacos {
+
+/// What part of the floorplan a layer's "occupied" material covers.
+enum class LayerExtent {
+  kChiplets,  ///< occupied only under chiplet rectangles (fill elsewhere)
+  kFull,      ///< occupied across the full interposer footprint
+};
+
+/// One layer of the stack (bottom to top ordering inside LayerStack).
+struct Layer {
+  std::string name;
+  double thickness_mm = 0.0;  ///< layer thickness in mm
+  Material occupied;          ///< material inside the occupied region
+  Material fill;              ///< material outside the occupied region
+  LayerExtent extent = LayerExtent::kFull;
+  bool heat_source = false;   ///< true for the active CMOS layer
+};
+
+/// Ordered stack, index 0 = bottom (substrate side).
+struct LayerStack {
+  std::vector<Layer> layers;
+
+  /// Index of the heat-source (CMOS) layer.
+  std::size_t source_layer() const;
+  /// Total thickness in mm.
+  double total_thickness() const;
+};
+
+/// Build the 2.5D stack of Table I:
+///   substrate 200um FR-4 | C4 70um Cu/epoxy | interposer 110um Si+TSV |
+///   microbump 10um Cu/epoxy | chiplet 150um Si (epoxy fill between
+///   chiplets) | TIM 20um.
+/// The spreader (1mm Cu) and heat sink (6.9mm Cu) are added by the package
+/// model on top of this stack.
+LayerStack make_25d_stack();
+
+/// Build the 2D baseline stack: the chip sits directly on the organic
+/// substrate with C4 bumps (paper §III-A):
+///   substrate 200um FR-4 | C4 70um Cu/epoxy | chip 150um Si | TIM 20um.
+LayerStack make_2d_stack();
+
+/// Geometry of the vertical interconnect structures (Table I, bottom half).
+struct BumpGeometry {
+  double diameter_mm;
+  double height_mm;
+  double pitch_mm;
+};
+
+/// Microbumps: 25um diameter, 10um height, 50um pitch.
+BumpGeometry microbump_geometry();
+/// TSVs: 10um diameter, 100um height, 50um pitch.
+BumpGeometry tsv_geometry();
+/// C4 bumps: 250um diameter, 70um height, 600um pitch.
+BumpGeometry c4_geometry();
+
+/// Spreader and heat-sink conventions (paper §IV): spreader edge is 2x the
+/// interposer edge, sink edge is 2x the spreader edge, thicknesses from
+/// Table I, copper, and the convective heat-transfer coefficient is held
+/// constant as the sink scales.
+struct PackageConvention {
+  double spreader_scale = 2.0;     ///< spreader edge / interposer edge
+  double sink_scale = 2.0;         ///< sink edge / spreader edge
+  double spreader_thickness_mm = 1.0;
+  double sink_thickness_mm = 6.9;
+  /// Convective heat-transfer coefficient, W/(m^2 K).  HotSpot's default
+  /// package (r_convec = 0.1 K/W on a 60mm sink) corresponds to
+  /// h ≈ 2800 W/(m^2 K); the paper keeps h constant while the sink scales
+  /// with the interposer.  See DESIGN.md for the calibration rationale.
+  double h_convection = 2800.0;
+  double ambient_c = 45.0;         ///< ambient temperature, °C
+};
+
+}  // namespace tacos

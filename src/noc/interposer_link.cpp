@@ -1,0 +1,60 @@
+#include "noc/interposer_link.hpp"
+
+#include <cmath>
+
+namespace tacos {
+
+namespace {
+
+/// Total switched capacitance in pF.
+double total_cap_pf(double length_mm, int driver_size, const LinkParams& p) {
+  return p.trace_c_pf_per_mm * length_mm + 2 * p.esd_c_pf + 2 * p.bump_c_pf +
+         p.receiver_c_ff * 1e-3 + p.driver_c_ff_unit * driver_size * 1e-3;
+}
+
+}  // namespace
+
+double link_delay_ps(double length_mm, int driver_size, const LinkParams& p) {
+  TACOS_CHECK(length_mm >= 0, "negative link length");
+  TACOS_CHECK(driver_size >= 1, "driver size must be >= 1");
+  const double r_drv = p.driver_r_ohm_unit / driver_size;  // ohm
+  const double r_trace = p.trace_r_ohm_per_mm * length_mm; // ohm
+  const double c_trace = p.trace_c_pf_per_mm * length_mm;  // pF
+  const double c_far = p.esd_c_pf + p.bump_c_pf + p.receiver_c_ff * 1e-3;
+  const double c_all = total_cap_pf(length_mm, driver_size, p);
+  // Elmore: driver sees everything; the distributed trace contributes
+  // R_trace * (C_trace/2 + C_far); bump resistance sees downstream caps.
+  const double elmore_ps =
+      r_drv * c_all +
+      2 * p.bump_r_ohm * (c_trace / 2 + c_far) +
+      r_trace * (c_trace / 2 + c_far);
+  return 0.69 * elmore_ps;  // ohm * pF = ps
+}
+
+double link_energy_pj(double length_mm, int driver_size, const LinkParams& p) {
+  // E = alpha * C * Vdd^2 ; pF * V^2 = pJ.
+  return p.activity * total_cap_pf(length_mm, driver_size, p) * p.vdd * p.vdd;
+}
+
+LinkDesign design_link(double length_mm, double freq_mhz, const LinkParams& p) {
+  TACOS_CHECK(freq_mhz > 0, "frequency must be positive");
+  const double period_ps = 1e6 / freq_mhz;
+  for (int size = 1; size <= p.max_driver_size; size *= 2) {
+    const double d = link_delay_ps(length_mm, size, p);
+    if (d <= period_ps) {
+      LinkDesign out;
+      out.driver_size = size;
+      out.delay_ps = d;
+      out.energy_pj_per_bit = link_energy_pj(length_mm, size, p);
+      out.total_c_pf = total_cap_pf(length_mm, size, p);
+      return out;
+    }
+  }
+  TACOS_CHECK(false, "no driver size up to "
+                         << p.max_driver_size << "x meets single-cycle timing"
+                         << " for a " << length_mm << "mm link at " << freq_mhz
+                         << "MHz");
+  return {};  // unreachable
+}
+
+}  // namespace tacos

@@ -1,0 +1,73 @@
+#pragma once
+/// \file interposer_link.hpp
+/// \brief Inter-chiplet link electrical model (Fig. 2) — the repository's
+///        HSpice substitute, based on the 2.5D interconnect model of
+///        Karim et al. [23].
+///
+/// Topology (driver → receiver):
+///   driver (sized CMOS inverter) → ESD pad → microbump (R, L) →
+///   interposer RDL trace (distributed RLC, length = physical chiplet
+///   separation) → microbump → ESD pad → receiver gate.
+///
+/// Instead of SPICE transient analysis we use first-order closed forms:
+///   * propagation delay: 0.69 × Elmore delay of the RC ladder (the
+///     inductances are small enough at these lengths that the response is
+///     RC-dominated; they are retained in the parameters for completeness
+///     and used in the damping sanity check);
+///   * switching energy per bit: alpha * C_total * Vdd^2 with activity
+///     factor alpha (a transition charges the full capacitance once).
+///
+/// The paper "sizes up the drivers to ensure single-cycle propagation
+/// delay in the inter-chiplet links" — design_link() reproduces exactly
+/// that loop: it returns the smallest integer driver size whose Elmore
+/// delay meets the cycle time at the target frequency.
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+/// Electrical parameters of the Fig. 2 link model.
+struct LinkParams {
+  // 65nm passive-interposer RDL trace, per mm.
+  double trace_r_ohm_per_mm = 1.0;
+  double trace_c_pf_per_mm = 0.17;
+  double trace_l_nh_per_mm = 0.50;
+  // Pad / microbump parasitics (Fig. 2 values).
+  double esd_c_pf = 0.50;          ///< ESD protection capacitance, each side
+  double bump_r_ohm = 0.095;       ///< microbump resistance
+  double bump_l_nh = 0.053;        ///< microbump inductance
+  double bump_c_pf = 0.025;        ///< microbump capacitance
+  // Driver/receiver.
+  double driver_r_ohm_unit = 2000.0;  ///< output resistance of a 1x driver
+  double driver_c_ff_unit = 1.5;      ///< input/self cap added per 1x of size
+  double receiver_c_ff = 10.0;        ///< receiver gate capacitance
+  double vdd = 0.9;                   ///< supply voltage (nominal DVFS level)
+  double activity = 0.25;             ///< average transition probability/bit
+  int max_driver_size = 512;          ///< sizing search bound
+};
+
+/// Result of sizing one link.
+struct LinkDesign {
+  int driver_size = 1;        ///< integer width multiplier of the driver
+  double delay_ps = 0.0;      ///< 0.69 * Elmore delay with that driver
+  double energy_pj_per_bit = 0.0;  ///< switching energy per transmitted bit
+  double total_c_pf = 0.0;    ///< total switched capacitance
+};
+
+/// Elmore-based propagation delay (ps) for a link of `length_mm` driven by
+/// a driver of integer size `driver_size`.
+double link_delay_ps(double length_mm, int driver_size,
+                     const LinkParams& p = {});
+
+/// Switching energy per bit (pJ) for a link of `length_mm` with driver
+/// size `driver_size` (includes driver self-capacitance).
+double link_energy_pj(double length_mm, int driver_size,
+                      const LinkParams& p = {});
+
+/// Size the driver so the link propagates in a single cycle at
+/// `freq_mhz`, reproducing the paper's driver-sizing step.  Throws
+/// tacos::Error if no driver within p.max_driver_size meets timing.
+LinkDesign design_link(double length_mm, double freq_mhz,
+                       const LinkParams& p = {});
+
+}  // namespace tacos

@@ -1,0 +1,91 @@
+#include "noc/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "perf/ips_model.hpp"
+
+namespace tacos {
+
+namespace {
+
+/// Center-to-center distance between two physically placed tiles.
+double tile_distance_mm(const ChipletLayout& l, int ax, int ay, int bx,
+                        int by) {
+  const Point a = l.tile_rect(ax, ay).center();
+  const Point b = l.tile_rect(bx, by).center();
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+}  // namespace
+
+MeshStructure analyze_mesh(const ChipletLayout& layout, const MeshParams&) {
+  TACOS_CHECK(layout.has_tiles(),
+              "mesh analysis needs a tiled layout (one router per tile)");
+  const int n = layout.spec().tiles_per_side;
+  MeshStructure s;
+  s.router_count = n * n;
+  double len_sum = 0.0;
+  const auto visit = [&](int ax, int ay, int bx, int by) {
+    if (layout.chiplet_of_tile(ax, ay) == layout.chiplet_of_tile(bx, by)) {
+      ++s.onchip_links;
+    } else {
+      ++s.interposer_links;
+      const double d = tile_distance_mm(layout, ax, ay, bx, by);
+      len_sum += d;
+      s.max_interposer_link_mm = std::max(s.max_interposer_link_mm, d);
+    }
+  };
+  for (int ty = 0; ty < n; ++ty)
+    for (int tx = 0; tx + 1 < n; ++tx) visit(tx, ty, tx + 1, ty);
+  for (int ty = 0; ty + 1 < n; ++ty)
+    for (int tx = 0; tx < n; ++tx) visit(tx, ty, tx, ty + 1);
+  if (s.interposer_links > 0)
+    s.avg_interposer_link_mm = len_sum / s.interposer_links;
+  return s;
+}
+
+double network_power_w(const ChipletLayout& layout,
+                       const BenchmarkProfile& bench, double freq_mhz,
+                       double vdd, const MeshParams& p) {
+  TACOS_CHECK(freq_mhz > 0 && vdd > 0, "bad operating point");
+  const int n = layout.spec().tiles_per_side;
+  const int cores = n * n;
+  // Uniform-random traffic on an n×n mesh: average hop count 2n/3; each
+  // flit also traverses hops+1 routers.
+  const double avg_hops = 2.0 * n / 3.0;
+  const double flits_per_s = cores * p.flits_per_core_per_cycle *
+                             bench.net_activity * freq_mhz * 1e6;
+  const double traversals_per_link =
+      flits_per_s * avg_hops / (2.0 * n * (n - 1));  // links share load
+
+  const double v_scale = (vdd / 0.9) * (vdd / 0.9);
+
+  // Routers.
+  double power = flits_per_s * (avg_hops + 1) *
+                 p.router_energy_pj_per_flit * 1e-12 * v_scale;
+
+  // Links: walk the mesh once, classifying each link.
+  const double onchip_len = layout.spec().tile_edge_mm;
+  const auto link_power = [&](int ax, int ay, int bx, int by) {
+    if (layout.chiplet_of_tile(ax, ay) == layout.chiplet_of_tile(bx, by)) {
+      return traversals_per_link * p.onchip_link_energy_pj_per_flit_mm *
+             onchip_len * 1e-12 * v_scale;
+    }
+    // Interposer link: driver sized for single-cycle at the nominal
+    // frequency (the paper sizes once, at design time).
+    const double len = tile_distance_mm(layout, ax, ay, bx, by);
+    const LinkDesign d = design_link(len, kNominalFreqMhz, p.link);
+    const double e_flit_pj = d.energy_pj_per_bit * p.flit_width_bits;
+    return traversals_per_link * e_flit_pj * 1e-12 * v_scale /
+           (p.link.vdd * p.link.vdd / 0.81);  // energy already at link vdd
+  };
+  for (int ty = 0; ty < n; ++ty)
+    for (int tx = 0; tx + 1 < n; ++tx) power += link_power(tx, ty, tx + 1, ty);
+  for (int ty = 0; ty + 1 < n; ++ty)
+    for (int tx = 0; tx < n; ++tx) power += link_power(tx, ty, tx, ty + 1);
+  return power;
+}
+
+}  // namespace tacos

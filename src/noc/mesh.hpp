@@ -1,0 +1,58 @@
+#pragma once
+/// \file mesh.hpp
+/// \brief Electrical mesh NoC power model — the repository's DSENT
+///        substitute (paper §III-A).
+///
+/// The example system uses a 16×16 electrical mesh with single-cycle
+/// routers and single-cycle links.  Intra-chiplet hops use on-chiplet
+/// wires; hops whose endpoints live on different chiplets are routed
+/// through the interposer and modeled with the Fig. 2 link model
+/// (noc/interposer_link.hpp), with the physical link length taken from
+/// the actual chiplet separation in the layout — so wider chiplet spacing
+/// costs proportionally more network power, which is exactly the
+/// performance/power trade the paper describes ("we trade off network
+/// power to match network performance"; ~3.9 W for the single-chip mesh,
+/// up to ~8.4 W for the 2.5D mesh).
+
+#include <vector>
+
+#include "floorplan/layout.hpp"
+#include "noc/interposer_link.hpp"
+#include "perf/benchmark.hpp"
+
+namespace tacos {
+
+/// Mesh energy parameters (22nm-class, DSENT-flavored).
+struct MeshParams {
+  double flit_width_bits = 128.0;
+  double router_energy_pj_per_flit = 6.0;  ///< per traversed router (128-bit)
+  double onchip_link_energy_pj_per_flit_mm = 5.2;  ///< 128 bits of wire, per mm
+  /// Average flits injected per core per cycle at activity factor 1.0.
+  /// Calibrated so the single-chip mesh dissipates ≈3.9 W at nominal
+  /// frequency/voltage and full activity (paper §III-A).
+  double flits_per_core_per_cycle = 0.115;
+  LinkParams link;  ///< interposer link electricals
+};
+
+/// Structural summary of the mesh mapped onto a layout.
+struct MeshStructure {
+  int router_count = 0;
+  int onchip_links = 0;       ///< links between same-chiplet neighbours
+  int interposer_links = 0;   ///< links crossing chiplet boundaries
+  double avg_interposer_link_mm = 0.0;  ///< mean center-to-center length
+  double max_interposer_link_mm = 0.0;
+};
+
+/// Count routers/links and measure interposer-link lengths for `layout`.
+/// Requires the layout to carry tiles (every tile hosts one router).
+MeshStructure analyze_mesh(const ChipletLayout& layout,
+                           const MeshParams& p = {});
+
+/// Total network power (W) for `bench` running at `freq_mhz` (voltage
+/// `vdd`) on `layout`.  Interposer-link drivers are sized for single-cycle
+/// propagation at the *nominal* frequency, as the paper does.
+double network_power_w(const ChipletLayout& layout,
+                       const BenchmarkProfile& bench, double freq_mhz,
+                       double vdd, const MeshParams& p = {});
+
+}  // namespace tacos

@@ -1,0 +1,64 @@
+#pragma once
+/// \file benchmark.hpp
+/// \brief Benchmark workload profiles — the repository's Sniper substitute.
+///
+/// The paper evaluates eight multi-threaded benchmarks (SPLASH-2 cholesky
+/// and lu.cont; PARSEC blackscholes, swaptions, streamcluster, canneal;
+/// HPCCG hpccg; UHPC shock) with Sniper and feeds the optimizer a table of
+/// IPS(f, p) values plus McPAT-derived power.  We cannot run Sniper here,
+/// so each benchmark is modeled by four architecture-level parameters:
+///
+///   * power_256_w   — total chip power with all 256 cores active at 1 GHz
+///                     and 60 °C (the leakage reference temperature);
+///   * sigma         — Amdahl-style parallelization overhead: the speedup
+///                     on p cores is S(p) = p / (1 + sigma * (p - 1));
+///   * sat_cores     — hard parallelism saturation: threads beyond this
+///                     count add no performance (canneal saturates at 192
+///                     cores, lu.cont at 96 — paper §V-B);
+///   * mem_fraction  — fraction of execution time that is memory-bound at
+///                     1 GHz; memory time does not shrink when the core
+///                     frequency drops, so IPS(f) = 1 / ((1-m)/f + m/f0).
+///
+/// The values are calibrated so the qualitative behaviors the paper
+/// reports emerge from the evaluation flow (which benchmarks are
+/// high/medium/low power, where the 2D baseline lands, which benchmarks
+/// saturate early); see the table in benchmark.cpp and EXPERIMENTS.md.
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+/// Power/performance class labels the paper uses in Figs. 5–7.
+enum class PowerClass { kLow, kMedium, kHigh };
+
+/// Architecture-level profile of one benchmark.
+struct BenchmarkProfile {
+  std::string_view name;
+  std::string_view suite;      ///< originating benchmark suite
+  PowerClass power_class;
+  double power_256_w;          ///< total power @ 1 GHz, 256 cores, 60 °C (W)
+  double sigma;                ///< Amdahl overhead per extra core
+  int sat_cores;               ///< parallelism saturation (<= 256)
+  double mem_fraction;         ///< memory-bound time fraction at 1 GHz
+  double net_activity;         ///< NoC activity factor in [0, 1]
+  double base_ipc;             ///< per-core IPC at 1 GHz (IPS scale factor)
+};
+
+/// Number of benchmarks in the paper's evaluation.
+inline constexpr std::size_t kBenchmarkCount = 8;
+
+/// The eight evaluated benchmarks (§IV).
+const std::array<BenchmarkProfile, kBenchmarkCount>& benchmarks();
+
+/// Look up one benchmark by name; throws tacos::Error if unknown.
+const BenchmarkProfile& benchmark_by_name(std::string_view name);
+
+/// Representative benchmarks used in Figs. 6 and 7 (one per power class):
+/// canneal (low), hpccg (medium), cholesky (high).
+const std::array<std::string_view, 3>& representative_benchmarks();
+
+}  // namespace tacos

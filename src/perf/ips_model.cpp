@@ -1,0 +1,25 @@
+#include "perf/ips_model.hpp"
+
+#include <algorithm>
+
+namespace tacos {
+
+double parallel_speedup(const BenchmarkProfile& bench, int active_cores) {
+  TACOS_CHECK(active_cores >= 1, "need at least one active core");
+  const int p = std::min(active_cores, bench.sat_cores);
+  return p / (1.0 + bench.sigma * (p - 1));
+}
+
+double effective_frequency(const BenchmarkProfile& bench, double freq_mhz) {
+  TACOS_CHECK(freq_mhz > 0, "frequency must be positive");
+  const double m = bench.mem_fraction;
+  return 1.0 / ((1.0 - m) / freq_mhz + m / kNominalFreqMhz);
+}
+
+double system_ips(const BenchmarkProfile& bench, double freq_mhz,
+                  int active_cores) {
+  return bench.base_ipc * effective_frequency(bench, freq_mhz) *
+         parallel_speedup(bench, active_cores);
+}
+
+}  // namespace tacos

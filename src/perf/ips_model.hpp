@@ -1,0 +1,37 @@
+#pragma once
+/// \file ips_model.hpp
+/// \brief System performance (IPS) as a function of frequency and active
+///        core count, per benchmark.
+///
+/// IPS(f, p) = base_ipc * f_eff(f) * S(min(p, sat_cores)) where:
+///   * f_eff models memory-boundedness: core-time scales with 1/f but
+///     memory time is frequency independent, so with memory fraction m
+///     (measured at the nominal 1000 MHz),
+///       f_eff(f) = 1 / ((1 - m)/f + m/f_nom);
+///     at f = f_nom this is exactly f_nom.
+///   * S(p) = p / (1 + sigma * (p - 1)) is Amdahl-style sublinear scaling,
+///     clamped at the benchmark's saturation core count.
+///
+/// Units: "IPS" values are in millions of instructions per second (the
+/// frequency unit is MHz); only ratios of IPS values matter to the
+/// optimizer (Eq. (5) normalizes by the 2D baseline's IPS).
+
+#include "perf/benchmark.hpp"
+
+namespace tacos {
+
+/// Nominal frequency at which mem_fraction and base_ipc are defined (MHz).
+inline constexpr double kNominalFreqMhz = 1000.0;
+
+/// Parallel speedup S(p) for `bench` on p active cores.
+double parallel_speedup(const BenchmarkProfile& bench, int active_cores);
+
+/// Effective frequency (MHz) after accounting for memory-bound time.
+double effective_frequency(const BenchmarkProfile& bench, double freq_mhz);
+
+/// System throughput (million instructions per second) for `bench` at
+/// `freq_mhz` with `active_cores` threads.
+double system_ips(const BenchmarkProfile& bench, double freq_mhz,
+                  int active_cores);
+
+}  // namespace tacos

@@ -1,0 +1,56 @@
+#include "perf/phases.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace tacos {
+
+std::vector<Phase> synthetic_trace(const BenchmarkProfile& bench,
+                                   double total_s, double dt_s,
+                                   std::uint64_t seed) {
+  TACOS_CHECK(total_s > 0 && dt_s > 0 && dt_s <= total_s,
+              "bad trace duration: total=" << total_s << " dt=" << dt_s);
+  // Structure parameters derived from the profile:
+  //  * mean activity tracks (1 - mem_fraction): stalls idle the pipeline;
+  //  * swing amplitude grows with memory-boundedness;
+  //  * phase period: solvers with strong Amdahl overhead (sigma) have
+  //    pronounced barrier phases -> longer periods.
+  const double mean = 0.55 + 0.45 * (1.0 - bench.mem_fraction);
+  const double swing = 0.10 + 0.55 * bench.mem_fraction;
+  const double period_s = 0.05 + 400.0 * bench.sigma;  // 0.05 .. ~3.3 s
+
+  Rng rng(seed ^ std::hash<std::string_view>{}(bench.name));
+  std::vector<Phase> trace;
+  const auto n = static_cast<std::size_t>(std::ceil(total_s / dt_s));
+  trace.reserve(n);
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dt = std::min(dt_s, total_s - t);
+    // Square-ish wave (phases) + jitter.
+    const double phase_pos =
+        std::sin(2.0 * std::numbers::pi * t / period_s);
+    const double square = phase_pos >= 0 ? 1.0 : -1.0;
+    const double jitter = rng.uniform_real(-0.06, 0.06);
+    const double a = mean + swing * 0.5 * square + jitter;
+    trace.push_back({dt, std::clamp(a, 0.05, 1.0)});
+    t += dt;
+  }
+  return trace;
+}
+
+double mean_activity(const std::vector<Phase>& trace) {
+  double asum = 0.0, tsum = 0.0;
+  for (const auto& p : trace) {
+    asum += p.activity * p.duration_s;
+    tsum += p.duration_s;
+  }
+  TACOS_CHECK(tsum > 0, "empty trace");
+  return asum / tsum;
+}
+
+}  // namespace tacos

@@ -1,0 +1,44 @@
+#pragma once
+/// \file phases.hpp
+/// \brief Synthetic execution-phase traces (time-varying activity).
+///
+/// The paper collects performance statistics "for each core every 1 ms"
+/// from Sniper (§IV) — real workloads are not flat; they alternate
+/// compute bursts, memory stalls and synchronization lulls.  This module
+/// generates deterministic per-benchmark activity traces with the
+/// qualitative structure of each suite's behaviour:
+///
+///   * compute-bound benchmarks (shock, blackscholes): high mean activity
+///     with shallow, short dips;
+///   * phase-structured solvers (cholesky, lu.cont, hpccg): alternating
+///     factorization/communication phases — square-wave-like swings;
+///   * memory-bound benchmarks (canneal, streamcluster): lower mean with
+///     large oscillations (cache-miss bursts).
+///
+/// An activity value a ∈ [0, 1] scales *dynamic* power (leakage does not
+/// pause when the pipeline stalls).  The traces drive the transient
+/// thermal engine (core/trace_sim.hpp) to ask whether the steady-state
+/// analysis of the paper is conservative for real phase behaviour.
+
+#include <vector>
+
+#include "perf/benchmark.hpp"
+
+namespace tacos {
+
+/// One execution phase: constant activity for a duration.
+struct Phase {
+  double duration_s = 0.0;
+  double activity = 1.0;  ///< dynamic-power scale in [0, 1]
+};
+
+/// Deterministic synthetic trace for `bench` of total length `total_s`
+/// sampled in `dt_s` phases.  Same (bench, seed) → identical trace.
+std::vector<Phase> synthetic_trace(const BenchmarkProfile& bench,
+                                   double total_s, double dt_s,
+                                   std::uint64_t seed = 2018);
+
+/// Time-weighted mean activity of a trace.
+double mean_activity(const std::vector<Phase>& trace);
+
+}  // namespace tacos

@@ -1,0 +1,48 @@
+#pragma once
+/// \file dvfs.hpp
+/// \brief DVFS operating points of the example system (Table II).
+///
+/// F = {1000, 800, 533, 400, 320} MHz with corresponding
+/// V = {0.90, 0.87, 0.71, 0.63, 0.63} V.  Index 0 is the nominal
+/// (highest) level.  Note the two lowest frequencies share a voltage —
+/// taken verbatim from the paper.
+
+#include <array>
+#include <cstddef>
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+/// One voltage/frequency operating point.
+struct DvfsLevel {
+  double freq_mhz;
+  double vdd;
+};
+
+/// Number of DVFS levels.
+inline constexpr std::size_t kDvfsLevelCount = 5;
+
+/// The paper's five operating points, fastest first.
+inline constexpr std::array<DvfsLevel, kDvfsLevelCount> kDvfsLevels = {{
+    {1000.0, 0.90},
+    {800.0, 0.87},
+    {533.0, 0.71},
+    {400.0, 0.63},
+    {320.0, 0.63},
+}};
+
+/// Nominal (fastest) level.
+inline constexpr DvfsLevel kNominalLevel = kDvfsLevels[0];
+
+/// Bounds-checked level access.
+inline const DvfsLevel& dvfs_level(std::size_t idx) {
+  TACOS_CHECK(idx < kDvfsLevelCount, "DVFS level " << idx << " out of range");
+  return kDvfsLevels[idx];
+}
+
+/// The paper's candidate active-core counts: {32, 64, ..., 256}.
+inline constexpr std::array<int, 8> kActiveCoreChoices = {32,  64,  96,  128,
+                                                          160, 192, 224, 256};
+
+}  // namespace tacos

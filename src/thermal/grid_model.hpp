@@ -1,0 +1,151 @@
+#pragma once
+/// \file grid_model.hpp
+/// \brief Steady-state 3D resistive thermal model of the 2.5D package
+///        (the repository's HotSpot-grid-mode substitute).
+///
+/// Model structure
+/// ---------------
+/// Every layer of the stack (substrate → C4 → interposer → microbump →
+/// chiplet → TIM for 2.5D; substrate → C4 → chip → TIM for the 2D
+/// baseline), plus the copper heat spreader and heat sink, is discretized
+/// on the same nx × ny grid covering the interposer footprint.  Grid cells
+/// are connected by lateral (within-layer) and vertical (between-layer)
+/// thermal conductances derived from each cell's effective material
+/// (anisotropic where the layer is a Cu-pillar composite).
+///
+/// The spreader (edge = 2× interposer) and sink (edge = 2× spreader)
+/// overhang the gridded footprint; the overhang is modeled HotSpot-style
+/// with lumped peripheral nodes: four spreader-periphery quadrant rings,
+/// four sink-inner-periphery rings (sink volume above the spreader
+/// overhang) and four sink-outer-periphery rings (sink beyond the spreader
+/// extent).  Every sink node — gridded or lumped — convects to ambient
+/// through h · A, with the heat-transfer coefficient h held constant as
+/// the package scales (paper §IV).  The bottom of the substrate is
+/// adiabatic (HotSpot's default: no secondary heat path).
+///
+/// Solving G·T = P with the SPD conductance matrix G gives the
+/// steady-state temperature field; the matrix depends only on geometry,
+/// so one ThermalModel instance amortizes assembly over many power maps
+/// (leakage iterations, optimizer probes), and consecutive solves warm-
+/// start from the previous temperature field.
+
+#include <cstddef>
+#include <vector>
+
+#include "floorplan/layout.hpp"
+#include "geom/grid.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/solvers.hpp"
+#include "materials/stack.hpp"
+#include "thermal/power_map.hpp"
+
+namespace tacos {
+
+/// Thermal solver configuration.
+struct ThermalConfig {
+  std::size_t grid_nx = 64;  ///< grid resolution (paper uses 64 × 64)
+  std::size_t grid_ny = 64;
+  PackageConvention package;
+  SolveOptions solve;
+};
+
+/// Result of a steady-state solve.
+struct ThermalResult {
+  double peak_c = 0.0;        ///< hottest silicon (chiplet-layer) cell, °C
+  double peak_anywhere_c = 0.0;  ///< hottest node in the whole package, °C
+  SolveResult solve_info;
+};
+
+/// Geometry-bound thermal model; reusable across power maps.
+class ThermalModel {
+ public:
+  /// Build the conductance network for `layout` with the given `stack`
+  /// (which must NOT include spreader/sink; those come from config.package).
+  ThermalModel(const ChipletLayout& layout, const LayerStack& stack,
+               const ThermalConfig& config);
+
+  /// Solve the steady state for `power`.  Throws tacos::Error if the
+  /// iterative solver fails to converge.
+  ThermalResult solve(const PowerMap& power);
+
+  /// Temperature of the CMOS layer averaged over each logical core tile,
+  /// indexed [ty * tiles_per_side + tx].  Valid after solve(); requires
+  /// the layout to carry tiles.  Used by the leakage fixed point.
+  std::vector<double> tile_temperatures() const;
+
+  /// Average CMOS-layer temperature over each chiplet, in layout chiplet
+  /// order.  Valid after solve().
+  std::vector<double> chiplet_temperatures() const;
+
+  /// Temperature field of one grid layer (row-major, x fastest), °C.
+  /// Layer indices follow the stack bottom→top, then spreader, then sink.
+  std::vector<double> layer_field(std::size_t layer) const;
+
+  /// Grid spec shared by all layers.
+  const GridSpec& grid() const { return grid_; }
+  /// Number of grid layers (stack + spreader + sink).
+  std::size_t layer_count() const { return n_layers_; }
+  /// Index of the CMOS (heat source) grid layer.
+  std::size_t source_layer() const { return source_layer_; }
+  /// Total number of unknowns in the linear system.
+  std::size_t node_count() const { return matrix_.rows(); }
+
+  /// Verify global energy balance of the last solve: returns
+  /// |P_in - P_out_ambient| / P_in (should be ~solver tolerance).
+  double energy_balance_error(const PowerMap& power) const;
+
+  // --- Transient simulation -------------------------------------------
+  //
+  // Every node carries a thermal capacitance C = c_v * volume; a backward
+  // Euler step solves (G + C/dt) T_{n+1} = C/dt * T_n + P, which is
+  // unconditionally stable and reuses the PCG machinery (the stepping
+  // matrix is SPD with the same sparsity as G plus the diagonal).  The
+  // temperature field persists across calls, so a sprint/rest schedule is
+  // just a sequence of step_transient() calls with different power maps.
+
+  /// Reset the temperature field to ambient (initial transient state).
+  void reset_to_ambient();
+
+  /// Advance the field by `dt_s` seconds under `power` (backward Euler).
+  /// Returns the peak silicon temperature after the step.
+  ThermalResult step_transient(const PowerMap& power, double dt_s);
+
+  /// Current peak silicon temperature without solving anything.
+  double current_peak_c() const;
+
+  /// Total thermal capacitance of the package (J/K) — for tests.
+  double total_capacitance() const;
+
+ private:
+  std::size_t node(std::size_t layer, std::size_t ix, std::size_t iy) const {
+    return layer * grid_.cell_count() + grid_.index(ix, iy);
+  }
+
+  GridSpec grid_;
+  ThermalConfig config_;
+  std::size_t n_layers_ = 0;       ///< gridded layers (stack + spreader + sink)
+  std::size_t source_layer_ = 0;   ///< gridded index of the CMOS layer
+  std::size_t n_grid_nodes_ = 0;
+  // Lumped node ids (see .cpp): 4 spreader periphery, 4 sink inner, 4 outer.
+  std::size_t first_lumped_ = 0;
+
+  /// Rasterize `power` into a right-hand-side vector starting from base.
+  std::vector<double> build_rhs(const PowerMap& power) const;
+  /// Extract peak statistics from the current temperature field.
+  ThermalResult make_result(const SolveResult& sr) const;
+
+  CsrMatrix matrix_;
+  std::vector<double> rhs_base_;     ///< ambient-injection part of the RHS
+  std::vector<double> ambient_g_;    ///< per-node conductance to ambient (W/K)
+  std::vector<double> capacitance_;  ///< per-node thermal capacitance (J/K)
+  std::vector<double> temperatures_; ///< last solution (also warm start)
+  std::vector<double> source_cover_; ///< chiplet coverage fraction per cell
+  CsrMatrix transient_matrix_;       ///< G + C/dt for the cached dt
+  double transient_dt_s_ = 0.0;      ///< dt the cached matrix was built for
+  // Tile rasterization cache: per tile, list of (cell, weight).
+  std::vector<std::vector<std::pair<std::size_t, double>>> tile_cells_;
+  std::vector<std::vector<std::pair<std::size_t, double>>> chiplet_cells_;
+  bool solved_ = false;
+};
+
+}  // namespace tacos

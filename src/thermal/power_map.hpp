@@ -1,0 +1,39 @@
+#pragma once
+/// \file power_map.hpp
+/// \brief Heat-source description consumed by the thermal model.
+///
+/// A PowerMap is a list of rectangular heat sources (in the plane of the
+/// CMOS layer) with their dissipation in watts.  The power and perf
+/// modules produce per-tile maps for benchmark runs; the synthetic design
+/// space studies (Fig. 3(b)) produce one uniform source per chiplet.
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "geom/rect.hpp"
+
+namespace tacos {
+
+/// One rectangular heat source on the active layer.
+struct HeatSource {
+  Rect rect;          ///< extent in the CMOS layer plane (mm)
+  double watts = 0.0; ///< total power dissipated by this source
+};
+
+/// A set of heat sources; total() is the system power seen by the solver.
+struct PowerMap {
+  std::vector<HeatSource> sources;
+
+  void add(const Rect& r, double watts) {
+    TACOS_CHECK(watts >= 0.0, "heat source power cannot be negative");
+    sources.push_back({r, watts});
+  }
+
+  double total() const {
+    double t = 0.0;
+    for (const auto& s : sources) t += s.watts;
+    return t;
+  }
+};
+
+}  // namespace tacos

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "alloc/policy.hpp"
+
+namespace tacos {
+namespace {
+
+TEST(AllocPolicy, EveryPolicyIsAPermutation) {
+  for (AllocPolicy p :
+       {AllocPolicy::kMinTemp, AllocPolicy::kRowMajor,
+        AllocPolicy::kCenterFirst, AllocPolicy::kCheckerboard}) {
+    const auto order = activation_order(p);
+    ASSERT_EQ(order.size(), 256u) << alloc_policy_name(p);
+    std::set<int> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), 256u) << alloc_policy_name(p);
+    EXPECT_EQ(*unique.begin(), 0);
+    EXPECT_EQ(*unique.rbegin(), 255);
+  }
+}
+
+TEST(AllocPolicy, MinTempStartsOnTheOuterRing) {
+  const auto order = activation_order(AllocPolicy::kMinTemp);
+  // The first 32 activations must all be on the boundary (ring 0 has 60
+  // tiles; chessboard-even boundary tiles come first).
+  for (int i = 0; i < 32; ++i) {
+    const int tx = order[static_cast<std::size_t>(i)] % 16;
+    const int ty = order[static_cast<std::size_t>(i)] / 16;
+    const bool boundary = tx == 0 || ty == 0 || tx == 15 || ty == 15;
+    EXPECT_TRUE(boundary) << "activation " << i << " at (" << tx << "," << ty
+                          << ")";
+  }
+}
+
+TEST(AllocPolicy, MinTempUsesChessboardParityWithinARing) {
+  const auto order = activation_order(AllocPolicy::kMinTemp);
+  // Ring 0 has 60 tiles, 30 of each parity; the first 30 must be even.
+  for (int i = 0; i < 30; ++i) {
+    const int tx = order[static_cast<std::size_t>(i)] % 16;
+    const int ty = order[static_cast<std::size_t>(i)] / 16;
+    EXPECT_EQ((tx + ty) % 2, 0) << "activation " << i;
+  }
+  for (int i = 30; i < 60; ++i) {
+    const int tx = order[static_cast<std::size_t>(i)] % 16;
+    const int ty = order[static_cast<std::size_t>(i)] / 16;
+    EXPECT_EQ((tx + ty) % 2, 1) << "activation " << i;
+  }
+}
+
+TEST(AllocPolicy, MinTempFillsOuterRingsBeforeInner) {
+  const auto order = activation_order(AllocPolicy::kMinTemp);
+  const auto ring = [](int id) {
+    const int tx = id % 16, ty = id / 16;
+    return std::min(std::min(tx, ty), std::min(15 - tx, 15 - ty));
+  };
+  // Ring index is non-decreasing along the activation order.
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_GE(ring(order[i]), ring(order[i - 1])) << "position " << i;
+}
+
+TEST(AllocPolicy, CenterFirstIsTheReverseRingOrder) {
+  const auto order = activation_order(AllocPolicy::kCenterFirst);
+  const int first = order.front();
+  const int tx = first % 16, ty = first / 16;
+  // Starts in the 4x4 center block (ring 6 or 7).
+  EXPECT_GE(std::min(std::min(tx, ty), std::min(15 - tx, 15 - ty)), 6);
+}
+
+TEST(AllocPolicy, RowMajorIsIdentity) {
+  const auto order = activation_order(AllocPolicy::kRowMajor);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(AllocPolicy, CheckerboardPutsAllEvenTilesFirst) {
+  const auto order = activation_order(AllocPolicy::kCheckerboard);
+  for (int i = 0; i < 128; ++i) {
+    const int tx = order[static_cast<std::size_t>(i)] % 16;
+    const int ty = order[static_cast<std::size_t>(i)] / 16;
+    EXPECT_EQ((tx + ty) % 2, 0);
+  }
+}
+
+TEST(AllocPolicy, ActiveTilesIsAPrefix) {
+  const auto order = activation_order(AllocPolicy::kMinTemp);
+  const auto active = active_tiles(AllocPolicy::kMinTemp, 96);
+  ASSERT_EQ(active.size(), 96u);
+  for (std::size_t i = 0; i < active.size(); ++i)
+    EXPECT_EQ(active[i], order[i]);
+}
+
+TEST(AllocPolicy, ActiveTilesValidatesRange) {
+  EXPECT_THROW(active_tiles(AllocPolicy::kMinTemp, 0), Error);
+  EXPECT_THROW(active_tiles(AllocPolicy::kMinTemp, 257), Error);
+  EXPECT_NO_THROW(active_tiles(AllocPolicy::kMinTemp, 256));
+}
+
+TEST(AllocPolicy, NamesAreStable) {
+  EXPECT_EQ(alloc_policy_name(AllocPolicy::kMinTemp), "MinTemp");
+  EXPECT_EQ(alloc_policy_name(AllocPolicy::kRowMajor), "RowMajor");
+}
+
+// Property: MinTemp's p-core prefix is more spread out (larger mean
+// pairwise distance) than RowMajor's for every p — the geometric reason
+// it runs cooler.
+class SpreadProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpreadProperty, MinTempSpreadsMoreThanRowMajor) {
+  const int p = GetParam();
+  const auto spread = [](const std::vector<int>& tiles) {
+    double sum = 0.0;
+    int cnt = 0;
+    for (std::size_t a = 0; a < tiles.size(); ++a) {
+      for (std::size_t b = a + 1; b < tiles.size(); ++b) {
+        const double dx = tiles[a] % 16 - tiles[b] % 16;
+        const double dy = tiles[a] / 16 - tiles[b] / 16;
+        sum += std::sqrt(dx * dx + dy * dy);
+        ++cnt;
+      }
+    }
+    return sum / cnt;
+  };
+  EXPECT_GT(spread(active_tiles(AllocPolicy::kMinTemp, p)),
+            spread(active_tiles(AllocPolicy::kRowMajor, p)));
+}
+
+INSTANTIATE_TEST_SUITE_P(CoreCounts, SpreadProperty,
+                         ::testing::Values(32, 64, 96, 128, 160, 192));
+
+}  // namespace
+}  // namespace tacos

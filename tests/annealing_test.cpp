@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/annealing.hpp"
+
+namespace tacos {
+namespace {
+
+EvalConfig fast_config() {
+  EvalConfig c;
+  c.thermal.grid_nx = c.thermal.grid_ny = 16;
+  return c;
+}
+
+AnnealOptions fast_options() {
+  AnnealOptions o;
+  o.step_mm = 2.0;
+  o.iterations = 80;
+  return o;
+}
+
+TEST(Annealing, FindsAFeasibleOrganization) {
+  Evaluator eval(fast_config());
+  const OptResult r =
+      optimize_annealing(eval, benchmark_by_name("lu.cont"), fast_options());
+  ASSERT_TRUE(r.found);
+  EXPECT_LE(r.peak_c, 85.0);
+  EXPECT_GT(r.ips, 0.0);
+  EXPECT_GT(r.thermal_solves, 0u);
+}
+
+TEST(Annealing, ResultRespectsManifoldConstraints) {
+  Evaluator eval(fast_config());
+  const OptResult r =
+      optimize_annealing(eval, benchmark_by_name("canneal"), fast_options());
+  ASSERT_TRUE(r.found);
+  const Spacing& s = r.org.spacing;
+  EXPECT_GE(s.s1, 0.0);
+  EXPECT_GE(s.s2, 0.0);
+  EXPECT_GE(s.s3, 0.0);
+  EXPECT_GE(2 * s.s1 + s.s3 - 2 * s.s2, -1e-9);  // Eq. (10)
+  EXPECT_LE(interposer_edge_of(r.org), 50.0 + 1e-9);  // Eq. (7)
+}
+
+TEST(Annealing, DeterministicForFixedSeed) {
+  Evaluator e1(fast_config());
+  Evaluator e2(fast_config());
+  const OptResult a =
+      optimize_annealing(e1, benchmark_by_name("hpccg"), fast_options());
+  const OptResult b =
+      optimize_annealing(e2, benchmark_by_name("hpccg"), fast_options());
+  ASSERT_EQ(a.found, b.found);
+  if (a.found) {
+    EXPECT_EQ(a.org, b.org);
+    EXPECT_DOUBLE_EQ(a.objective, b.objective);
+  }
+}
+
+TEST(Annealing, NeverBeatsSortedGreedyOptimum) {
+  // The greedy provably returns the global optimum of the discretized
+  // space (ascending-objective scan), so annealing on the same grid can
+  // at best tie.
+  Evaluator eg(fast_config());
+  Evaluator ea(fast_config());
+  OptimizerOptions go;
+  go.alpha = 1.0;
+  go.beta = 0.0;
+  go.step_mm = 2.0;
+  go.starts = 6;
+  const OptResult g = optimize_greedy(eg, benchmark_by_name("cholesky"), go);
+  AnnealOptions ao = fast_options();
+  ao.iterations = 150;
+  const OptResult a =
+      optimize_annealing(ea, benchmark_by_name("cholesky"), ao);
+  ASSERT_TRUE(g.found);
+  if (a.found) EXPECT_GE(a.objective, g.objective - 1e-9);
+}
+
+TEST(Annealing, RejectsBadSchedule) {
+  Evaluator eval(fast_config());
+  AnnealOptions o = fast_options();
+  o.iterations = 0;
+  EXPECT_THROW(optimize_annealing(eval, benchmark_by_name("hpccg"), o),
+               Error);
+  o = fast_options();
+  o.t_end = 0.0;
+  EXPECT_THROW(optimize_annealing(eval, benchmark_by_name("hpccg"), o),
+               Error);
+}
+
+}  // namespace
+}  // namespace tacos

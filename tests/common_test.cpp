@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace tacos {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    TACOS_CHECK(1 == 2, "custom message " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(TACOS_CHECK(true, "never shown"));
+  EXPECT_NO_THROW(TACOS_ASSERT(2 + 2 == 4, "math works"));
+}
+
+TEST(Units, LiteralsConvert) {
+  using namespace literals;
+  EXPECT_DOUBLE_EQ(150_um, 0.150);
+  EXPECT_DOUBLE_EQ(6.9_mm, 6.9);
+  EXPECT_DOUBLE_EQ(um_to_mm(20.0), 0.020);
+}
+
+TEST(Table, AlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"a-much-longer-name", "2"});
+  EXPECT_EQ(t.row_count(), 2u);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvIsMachineReadable) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Table, RowArityEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(2.0, 0), "2");
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a.uniform_int(0, 1 << 20) == b.uniform_int(0, 1 << 20)) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng r(7);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Rng, UniformRealStaysInRange) {
+  Rng r(9);
+  for (int i = 0; i < 200; ++i) {
+    const double v = r.uniform_real(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+}  // namespace
+}  // namespace tacos

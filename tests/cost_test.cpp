@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/cost_model.hpp"
+
+namespace tacos {
+namespace {
+
+TEST(CostModel, DiesPerWaferMatchesEquation1) {
+  // 18x18mm die on a 300mm wafer: pi*150^2/324 - pi*300/sqrt(648).
+  EXPECT_NEAR(dies_per_wafer(324.0, 300.0), 218.17 - 37.02, 0.1);
+  // Bigger dies, fewer per wafer.
+  EXPECT_GT(dies_per_wafer(100.0, 300.0), dies_per_wafer(400.0, 300.0));
+}
+
+TEST(CostModel, DiesPerWaferRejectsOversizedDie) {
+  EXPECT_THROW(dies_per_wafer(90000.0, 300.0), Error);
+  EXPECT_THROW(dies_per_wafer(0.0, 300.0), Error);
+}
+
+TEST(CostModel, YieldMatchesEquation2) {
+  // Eq. (2) with D0 = 0.25/cm^2, alpha = 3, A = 3.24 cm^2:
+  // (1 + 3.24*0.25/3)^-3 = 1.27^-3.
+  EXPECT_NEAR(cmos_yield(324.0), std::pow(1.27, -3.0), 1e-9);
+  // Yield decreases with area and defect density.
+  EXPECT_GT(cmos_yield(81.0), cmos_yield(324.0));
+  CostParams dirty;
+  dirty.defect_density_cm2 = 0.30;
+  EXPECT_GT(cmos_yield(324.0), cmos_yield(324.0, dirty));
+}
+
+TEST(CostModel, SmallDiesAreCheaperPerArea) {
+  // The whole premise of 2.5D disintegration: 4 quarter-size chiplets cost
+  // less than one full-size die.
+  const double whole = single_chip_cost(324.0);
+  const double quarters = 4.0 * cmos_die_cost(81.0);
+  EXPECT_LT(quarters, whole);
+}
+
+TEST(CostModel, InterposerIsCheapPerEquation3) {
+  // A passive interposer die costs far less than a CMOS die of equal area
+  // ($500 vs $5000 wafer, 98% flat yield).
+  EXPECT_LT(interposer_cost(400.0), cmos_die_cost(400.0) / 5.0);
+}
+
+TEST(CostModel, SystemCostMatchesBreakdown) {
+  const CostBreakdown b = cost_breakdown_25d(16, 20.25, 400.0);
+  EXPECT_NEAR(b.total, system_cost_25d(16, 20.25, 400.0), 1e-12);
+  EXPECT_NEAR(b.total,
+              (b.chiplets_total + b.interposer + b.bonding) /
+                  b.bond_yield_factor,
+              1e-12);
+  EXPECT_NEAR(b.bond_yield_factor, std::pow(0.99, 16), 1e-12);
+}
+
+TEST(CostModel, PaperClaim27xSingleChipGrowth) {
+  // §III-C: growing a single chip from 20x20 to 40x40 costs ~27x more.
+  const double ratio =
+      single_chip_cost(1600.0) / single_chip_cost(400.0);
+  EXPECT_GT(ratio, 25.0);
+  EXPECT_LT(ratio, 31.0);
+}
+
+TEST(CostModel, PaperClaim25DSystemCheaperThanEquivalentChip) {
+  // §III-C: 4 chiplets (10mm) + 40mm interposer is ~27% cheaper than the
+  // 20x20 single chip, and the interposer is ~30% of the system cost.
+  const double c_chip = single_chip_cost(400.0);
+  const CostBreakdown b = cost_breakdown_25d(4, 100.0, 1600.0);
+  const double saving = 1.0 - b.total / c_chip;
+  EXPECT_NEAR(saving, 0.27, 0.03);
+  EXPECT_NEAR(b.interposer / b.total, 0.30, 0.03);
+}
+
+TEST(CostModel, PaperClaim36PercentMinimalInterposerSaving) {
+  // §V-B: the minimal-interposer 16-chiplet system costs 36% less than
+  // the 18x18 single chip.
+  const double c2d = single_chip_cost(18.0 * 18.0);
+  const double c25 = system_cost_25d(16, 4.5 * 4.5, 20.0 * 20.0);
+  EXPECT_NEAR(1.0 - c25 / c2d, 0.36, 0.01);
+}
+
+TEST(CostModel, CostIncreasesWithInterposerSize) {
+  double prev = 0.0;
+  for (double w : {20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0}) {
+    const double c = system_cost_25d(16, 4.5 * 4.5, w * w);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CostModel, HigherDefectDensityFavors25D) {
+  // Fig. 3(a): cost saving grows with defect density (the monolithic die
+  // suffers more from low yield).
+  double prev_saving = 0.0;
+  for (double d0 : {0.20, 0.25, 0.30}) {
+    CostParams p;
+    p.defect_density_cm2 = d0;
+    const double saving = 1.0 - system_cost_25d(16, 4.5 * 4.5, 400.0, p) /
+                                    single_chip_cost(324.0, p);
+    EXPECT_GT(saving, prev_saving) << "D0=" << d0;
+    prev_saving = saving;
+  }
+}
+
+TEST(CostModel, ValidationRejectsBadParams) {
+  CostParams p;
+  p.interposer_yield = 0.0;
+  EXPECT_THROW(p.validate(), Error);
+  p = CostParams{};
+  p.clustering_alpha = -1.0;
+  EXPECT_THROW(p.validate(), Error);
+  p = CostParams{};
+  p.bond_yield = 1.5;
+  EXPECT_THROW(p.validate(), Error);
+  EXPECT_THROW(cost_breakdown_25d(0, 81.0, 400.0), Error);
+}
+
+// Property: more chiplets of smaller size always yields >= total silicon
+// yield benefit, but bonding risk grows — the model must price both.
+class ChipletCountProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChipletCountProperty, BondYieldPenaltyGrowsWithCount) {
+  const int n = GetParam();
+  const CostBreakdown b =
+      cost_breakdown_25d(n, 324.0 / n, 400.0);
+  EXPECT_NEAR(b.bond_yield_factor, std::pow(0.99, n), 1e-12);
+  EXPECT_GT(b.total, b.chiplets_total + b.interposer);  // assembly overhead
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ChipletCountProperty,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace tacos

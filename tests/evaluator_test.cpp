@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+
+namespace tacos {
+namespace {
+
+EvalConfig fast_config(std::size_t grid = 16) {
+  EvalConfig c;
+  c.thermal.grid_nx = c.thermal.grid_ny = grid;
+  return c;
+}
+
+const BenchmarkProfile& cholesky() { return benchmark_by_name("cholesky"); }
+
+TEST(Organization, LayoutDispatch) {
+  EXPECT_EQ(layout_for(Organization{1, {}, 0, 256}).chiplet_count(), 1);
+  EXPECT_EQ(layout_for(Organization{4, {0, 0, 2.0}, 0, 256}).chiplet_count(),
+            4);
+  EXPECT_EQ(
+      layout_for(Organization{16, {1.0, 1.0, 2.0}, 0, 256}).chiplet_count(),
+      16);
+  EXPECT_THROW(layout_for(Organization{9, {}, 0, 256}), Error);
+}
+
+TEST(Organization, InterposerEdge) {
+  EXPECT_NEAR(interposer_edge_of(Organization{1, {}, 0, 256}), 18.0, 1e-9);
+  EXPECT_NEAR(interposer_edge_of(Organization{4, {0, 0, 5.0}, 0, 256}), 25.0,
+              1e-9);
+  EXPECT_NEAR(interposer_edge_of(Organization{16, {2.0, 0, 3.0}, 0, 256}),
+              27.0, 1e-9);
+}
+
+TEST(Evaluator, ThermalEvalIsMemoized) {
+  Evaluator eval(fast_config());
+  const Organization org{16, {1.0, 0.5, 1.0}, 0, 128};
+  const ThermalEval& a = eval.thermal_eval(org, cholesky());
+  const std::size_t evals = eval.eval_count();
+  const std::size_t solves = eval.solve_count();
+  const ThermalEval& b = eval.thermal_eval(org, cholesky());
+  EXPECT_EQ(eval.eval_count(), evals);    // no new evaluation
+  EXPECT_EQ(eval.solve_count(), solves);  // no new solves
+  EXPECT_DOUBLE_EQ(a.peak_c, b.peak_c);
+}
+
+TEST(Evaluator, FrontierAvoidsRedundantSimulations) {
+  Evaluator eval(fast_config());
+  const Organization hot{16, {0.5, 0.25, 0.5}, 0, 256};   // 1 GHz
+  const Organization cool{16, {0.5, 0.25, 0.5}, 4, 256};  // 320 MHz
+  // Evaluate the hot case exactly; if it is already below the threshold,
+  // the cooler case at the same layout/active-set must be decidable with
+  // no extra simulation.
+  const double hot_peak = eval.thermal_eval(hot, cholesky()).peak_c;
+  const double threshold = hot_peak + 10.0;
+  const std::size_t evals = eval.eval_count();
+  EXPECT_TRUE(eval.feasible(cool, cholesky(), threshold));
+  EXPECT_EQ(eval.eval_count(), evals);
+}
+
+TEST(Evaluator, FrontierInfeasibleShortcut) {
+  Evaluator eval(fast_config());
+  const Organization cool{16, {0.5, 0.25, 0.5}, 4, 256};
+  const Organization hot{16, {0.5, 0.25, 0.5}, 0, 256};
+  const double cool_peak = eval.thermal_eval(cool, cholesky()).peak_c;
+  const std::size_t evals = eval.eval_count();
+  // Anything strictly below the cool case's peak is infeasible for the
+  // hotter configuration too — no simulation needed.
+  EXPECT_FALSE(eval.feasible(hot, cholesky(), cool_peak - 5.0));
+  EXPECT_EQ(eval.eval_count(), evals);
+}
+
+TEST(Evaluator, FeasibleMatchesExactEvaluationNearThreshold) {
+  Evaluator eval(fast_config(24));
+  const Organization org{16, {2.0, 1.0, 2.0}, 0, 224};
+  const double peak = eval.thermal_eval(org, cholesky()).peak_c;
+  EXPECT_TRUE(eval.feasible(org, cholesky(), peak + 0.1));
+  EXPECT_FALSE(eval.feasible(org, cholesky(), peak - 0.1));
+}
+
+TEST(Evaluator, CostMatchesCostModel) {
+  Evaluator eval(fast_config());
+  const Organization org{16, {1.0, 1.0, 1.0}, 0, 256};
+  const double edge = interposer_edge_of(org);
+  EXPECT_NEAR(eval.cost(org),
+              system_cost_25d(16, 4.5 * 4.5, edge * edge), 1e-9);
+  EXPECT_NEAR(eval.cost_2d(), single_chip_cost(324.0), 1e-9);
+  EXPECT_NEAR(eval.cost(Organization{1, {}, 0, 256}), eval.cost_2d(), 1e-12);
+}
+
+TEST(Evaluator, IpsMatchesPerfModel) {
+  Evaluator eval(fast_config());
+  const Organization org{4, {0, 0, 3.0}, 2, 128};
+  EXPECT_NEAR(eval.ips(org, cholesky()),
+              system_ips(cholesky(), 533.0, 128), 1e-9);
+}
+
+TEST(Evaluator, Baseline2DIsFeasibleAndMemoized) {
+  Evaluator eval(fast_config(24));
+  const BaselinePoint& b = eval.baseline_2d(cholesky(), 85.0);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_LE(b.peak_c, 85.0);
+  EXPECT_GT(b.ips, 0.0);
+  const std::size_t evals = eval.eval_count();
+  eval.baseline_2d(cholesky(), 85.0);
+  EXPECT_EQ(eval.eval_count(), evals);
+}
+
+TEST(Evaluator, Baseline2DImprovesWithThreshold) {
+  Evaluator eval(fast_config(24));
+  const double ips75 = eval.baseline_2d(cholesky(), 75.0).ips;
+  const double ips85 = eval.baseline_2d(cholesky(), 85.0).ips;
+  const double ips105 = eval.baseline_2d(cholesky(), 105.0).ips;
+  EXPECT_LE(ips75, ips85);
+  EXPECT_LE(ips85, ips105);
+}
+
+TEST(Evaluator, SpacingLowersPeakTemperature) {
+  // The core paper effect through the full evaluation stack.
+  Evaluator eval(fast_config(24));
+  const Organization packed{16, {0, 0, 0}, 0, 256};
+  const Organization spaced{16, {4.0, 2.0, 4.0}, 0, 256};
+  EXPECT_GT(eval.thermal_eval(packed, cholesky()).peak_c,
+            eval.thermal_eval(spaced, cholesky()).peak_c + 5.0);
+}
+
+TEST(Evaluator, ModelCacheEvictionStaysCorrect) {
+  EvalConfig cfg = fast_config(12);
+  cfg.model_cache_capacity = 2;  // force evictions
+  Evaluator eval(cfg);
+  const Organization a{16, {0.5, 0.25, 0.5}, 0, 128};
+  const Organization b{16, {1.0, 0.5, 1.0}, 0, 128};
+  const Organization c{16, {1.5, 0.75, 1.5}, 0, 128};
+  const double pa = eval.thermal_eval(a, cholesky()).peak_c;
+  eval.thermal_eval(b, cholesky());
+  eval.thermal_eval(c, cholesky());  // evicts a's model
+  // Memoized result still served without rebuilding.
+  EXPECT_DOUBLE_EQ(eval.thermal_eval(a, cholesky()).peak_c, pa);
+}
+
+}  // namespace
+}  // namespace tacos

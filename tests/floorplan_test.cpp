@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "floorplan/layout.hpp"
+
+namespace tacos {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(SystemSpec, ExampleSystemDimensions) {
+  const SystemSpec s;
+  EXPECT_EQ(s.core_count(), 256);
+  // 16 tiles of 1.125mm — the paper rounds this to "18mm x 18mm".
+  EXPECT_NEAR(s.chip_edge_mm(), 18.0, kTol);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(SingleChip, CoversAllTiles) {
+  const ChipletLayout l = make_single_chip_layout();
+  EXPECT_EQ(l.chiplet_count(), 1);
+  EXPECT_TRUE(l.has_tiles());
+  EXPECT_NEAR(l.interposer_edge(), 18.0, kTol);
+  EXPECT_NEAR(l.total_chiplet_area(), 18.0 * 18.0, 1e-6);
+  // Corner tiles map to the chip's corners.
+  EXPECT_TRUE(approx_equal(l.tile_rect(0, 0), Rect::make(0, 0, 1.125, 1.125)));
+  EXPECT_TRUE(approx_equal(l.tile_rect(15, 15),
+                           Rect::make(15 * 1.125, 15 * 1.125, 1.125, 1.125)));
+}
+
+TEST(UniformLayout, PackedFourChiplets) {
+  // Zero spacing: interposer is chip + guard band on each side.
+  const ChipletLayout l = make_uniform_layout(2, 0.0);
+  EXPECT_EQ(l.chiplet_count(), 4);
+  EXPECT_NEAR(l.interposer_edge(), 18.0 + 2.0, kTol);
+  EXPECT_TRUE(l.has_tiles());
+  EXPECT_NEAR(l.chiplet_area(), 9.0 * 9.0, 1e-9);
+}
+
+TEST(UniformLayout, SpacingGrowsInterposerPerEquation9) {
+  const SystemSpec spec;
+  for (double g : {0.5, 1.0, 2.5, 10.0}) {
+    const ChipletLayout l = make_uniform_layout(2, g);
+    // Eq. (9) with r=2, s1=0, s3=g.
+    EXPECT_NEAR(l.interposer_edge(), 18.0 + g + 2.0, kTol) << "g=" << g;
+    EXPECT_NEAR(interposer_edge_for(2, {0, 0, g}, spec), l.interposer_edge(),
+                kTol);
+  }
+}
+
+TEST(UniformLayout, SixteenChipletsMatchEquation9) {
+  const SystemSpec spec;
+  const double g = 3.0;
+  const ChipletLayout l = make_uniform_layout(4, g);
+  // Eq. (9) with r=4 and the uniform equivalence (s1,s3)=(g,g).
+  EXPECT_NEAR(l.interposer_edge(), 18.0 + 2 * g + g + 2.0, kTol);
+  EXPECT_NEAR(interposer_edge_for(4, {g, g / 2, g}, spec), l.interposer_edge(),
+              kTol);
+}
+
+TEST(UniformLayout, TileMappingPartitionsSystem) {
+  const ChipletLayout l = make_uniform_layout(4, 1.0);
+  // Every logical tile maps to exactly one chiplet and physical rects of
+  // adjacent tiles inside one chiplet abut exactly.
+  const Rect t00 = l.tile_rect(0, 0);
+  const Rect t10 = l.tile_rect(1, 0);
+  EXPECT_NEAR(t10.x - t00.x, 1.125, kTol);
+  // Tiles 3 and 4 are on different chiplets; the gap appears between them.
+  const Rect t3 = l.tile_rect(3, 0);
+  const Rect t4 = l.tile_rect(4, 0);
+  EXPECT_NEAR(t4.x - t3.x2(), 1.0, kTol);
+  EXPECT_NE(l.chiplet_of_tile(3, 0), l.chiplet_of_tile(4, 0));
+}
+
+TEST(UniformLayout, OddChipletCountsHaveNoTiles) {
+  // r=3 does not divide 16: synthetic-only layout.
+  const ChipletLayout l = make_uniform_layout(3, 1.0);
+  EXPECT_FALSE(l.has_tiles());
+  EXPECT_EQ(l.chiplet_count(), 9);
+  EXPECT_THROW(l.tile_rect(0, 0), Error);
+}
+
+TEST(UniformLayout, InterposerBoundEnforced) {
+  // Spacing that pushes past 50mm must throw (Eq. 7).
+  EXPECT_THROW(make_uniform_layout(2, 31.0), Error);
+  EXPECT_NO_THROW(make_uniform_layout(2, 29.9));
+}
+
+TEST(UniformLayout, ForInterposerRoundTrips) {
+  const ChipletLayout l = make_uniform_layout_for_interposer(4, 36.0);
+  EXPECT_NEAR(l.interposer_edge(), 36.0, 1e-9);
+  EXPECT_THROW(make_uniform_layout_for_interposer(4, 19.0), Error);
+}
+
+TEST(MaxUniformSpacing, MatchesBound) {
+  const SystemSpec spec;
+  const double g = max_uniform_spacing(2, spec);
+  EXPECT_NEAR(make_uniform_layout(2, g).interposer_edge(),
+              spec.max_interposer_mm, 1e-9);
+}
+
+TEST(Org4, CenterGapOnly) {
+  const ChipletLayout l = make_org4_layout(6.0);
+  EXPECT_EQ(l.chiplet_count(), 4);
+  EXPECT_NEAR(l.interposer_edge(), 18.0 + 6.0 + 2.0, kTol);
+  // The two chiplet columns are separated by exactly s3.
+  const auto& cs = l.chiplets();
+  EXPECT_NEAR(cs[1].rect.x - cs[0].rect.x2(), 6.0, kTol);
+}
+
+TEST(Org16, UniformEquivalence) {
+  // (s1, s2, s3) = (g, g/2, g) must reproduce the uniform matrix layout.
+  const double g = 2.0;
+  const ChipletLayout a = make_org16_layout({g, g / 2, g});
+  const ChipletLayout b = make_uniform_layout(4, g);
+  ASSERT_EQ(a.chiplet_count(), b.chiplet_count());
+  for (int i = 0; i < a.chiplet_count(); ++i) {
+    EXPECT_TRUE(approx_equal(a.chiplets()[i].rect, b.chiplets()[i].rect, 1e-9))
+        << "chiplet " << i;
+  }
+}
+
+TEST(Org16, CenterClusterMovesWithS2) {
+  // Growing s2 pushes the four center chiplets apart symmetrically.
+  const ChipletLayout l = make_org16_layout({2.0, 1.5, 2.0});
+  const double mid = l.interposer_edge() / 2.0;
+  int center_count = 0;
+  for (const auto& c : l.chiplets()) {
+    const bool center =
+        (c.grid_i == 1 || c.grid_i == 2) && (c.grid_j == 1 || c.grid_j == 2);
+    if (!center) continue;
+    ++center_count;
+    // Each center chiplet is s2 = 1.5mm from the center line on both axes.
+    const double dx = (c.grid_i == 1) ? mid - c.rect.x2() : c.rect.x - mid;
+    const double dy = (c.grid_j == 1) ? mid - c.rect.y2() : c.rect.y - mid;
+    EXPECT_NEAR(dx, 1.5, kTol);
+    EXPECT_NEAR(dy, 1.5, kTol);
+  }
+  EXPECT_EQ(center_count, 4);
+}
+
+TEST(Org16, Equation10Boundary) {
+  // 2*s1 + s3 - 2*s2 >= 0: boundary case is valid (chiplets touch)...
+  EXPECT_NO_THROW(make_org16_layout({1.0, 2.0, 2.0}));
+  // ...but beyond it the center cluster overlaps the ring.
+  EXPECT_THROW(make_org16_layout({1.0, 2.25, 2.0}), Error);
+}
+
+TEST(Org16, NegativeSpacingRejected) {
+  EXPECT_THROW(make_org16_layout({-0.5, 0.0, 1.0}), Error);
+  EXPECT_THROW(make_org4_layout(-1.0), Error);
+}
+
+TEST(Org16, PackedConfigurationIsValid) {
+  // The fully packed system (minimum interposer) must be constructible.
+  const ChipletLayout l = make_org16_layout({0.0, 0.0, 0.0});
+  EXPECT_NEAR(l.interposer_edge(), 20.0, kTol);
+  EXPECT_NEAR(l.total_chiplet_area(), 18.0 * 18.0, 1e-6);
+}
+
+TEST(CustomLayout, AcceptsValidHeterogeneousPlacement) {
+  const std::vector<Rect> rects = {Rect::make(2, 2, 12, 12),
+                                   Rect::make(16, 2, 6, 8),
+                                   Rect::make(16, 11, 6, 8)};
+  const ChipletLayout l = make_custom_layout(rects, 30.0);
+  EXPECT_EQ(l.chiplet_count(), 3);
+  EXPECT_FALSE(l.has_tiles());
+  EXPECT_NEAR(l.total_chiplet_area(), 144.0 + 48.0 + 48.0, 1e-9);
+}
+
+TEST(CustomLayout, RejectsGuardBandViolation) {
+  EXPECT_THROW(make_custom_layout({Rect::make(0.2, 5, 5, 5)}, 30.0), Error);
+}
+
+TEST(CustomLayout, RejectsOverlap) {
+  EXPECT_THROW(
+      make_custom_layout(
+          {Rect::make(5, 5, 10, 10), Rect::make(12, 12, 10, 10)}, 40.0),
+      Error);
+}
+
+TEST(CustomLayout, RejectsEmptyAndOversized) {
+  EXPECT_THROW(make_custom_layout({}, 30.0), Error);
+  EXPECT_THROW(make_custom_layout({Rect::make(5, 5, 5, 5)}, 60.0), Error);
+}
+
+// Property: random valid (s1, s2, s3) always produce non-overlapping
+// layouts inside the guard band (the constructor validates; we also check
+// total area conservation).
+class Org16Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Org16Property, RandomSpacingsAreConsistent) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> u(0.0, 5.0);
+  const SystemSpec spec;
+  for (int i = 0; i < 30; ++i) {
+    Spacing s{u(rng), 0.0, u(rng)};
+    s.s2 = std::uniform_real_distribution<double>(
+        0.0, s.s1 + s.s3 / 2.0)(rng);
+    if (interposer_edge_for(4, s, spec) > spec.max_interposer_mm) continue;
+    const ChipletLayout l = make_org16_layout(s);
+    EXPECT_NEAR(l.total_chiplet_area(), 18.0 * 18.0, 1e-6);
+    EXPECT_EQ(l.chiplet_count(), 16);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Org16Property, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace tacos

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geom/grid.hpp"
+#include "geom/rect.hpp"
+
+namespace tacos {
+namespace {
+
+TEST(Rect, BasicAccessors) {
+  const Rect r = Rect::make(1.0, 2.0, 3.0, 4.0);
+  EXPECT_DOUBLE_EQ(r.x2(), 4.0);
+  EXPECT_DOUBLE_EQ(r.y2(), 6.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.center().x, 2.5);
+  EXPECT_DOUBLE_EQ(r.center().y, 4.0);
+}
+
+TEST(Rect, MakeRejectsNegativeDimensions) {
+  EXPECT_THROW(Rect::make(0, 0, -1, 1), Error);
+  EXPECT_THROW(Rect::make(0, 0, 1, -1), Error);
+}
+
+TEST(Rect, CenteredPlacesCenterCorrectly) {
+  const Rect r = Rect::centered(10.0, 20.0, 4.0, 6.0);
+  EXPECT_DOUBLE_EQ(r.x, 8.0);
+  EXPECT_DOUBLE_EQ(r.y, 17.0);
+  EXPECT_DOUBLE_EQ(r.center().x, 10.0);
+  EXPECT_DOUBLE_EQ(r.center().y, 20.0);
+}
+
+TEST(Rect, ContainsPoint) {
+  const Rect r = Rect::make(0, 0, 2, 2);
+  EXPECT_TRUE(r.contains(1.0, 1.0));
+  EXPECT_TRUE(r.contains(0.0, 0.0));   // boundary counts
+  EXPECT_TRUE(r.contains(2.0, 2.0));   // boundary counts
+  EXPECT_FALSE(r.contains(2.1, 1.0));
+  EXPECT_FALSE(r.contains(1.0, -0.1));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect outer = Rect::make(0, 0, 10, 10);
+  EXPECT_TRUE(outer.contains(Rect::make(1, 1, 2, 2)));
+  EXPECT_TRUE(outer.contains(outer));  // itself (boundary)
+  EXPECT_FALSE(outer.contains(Rect::make(9, 9, 2, 2)));
+}
+
+TEST(Rect, OverlapArea) {
+  const Rect a = Rect::make(0, 0, 4, 4);
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect::make(2, 2, 4, 4)), 4.0);
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect::make(4, 0, 4, 4)), 0.0);  // touching
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect::make(5, 5, 1, 1)), 0.0);  // disjoint
+  EXPECT_DOUBLE_EQ(a.overlap_area(Rect::make(1, 1, 2, 2)), 4.0);  // inside
+}
+
+TEST(Rect, OverlapsInteriorIgnoresTouching) {
+  const Rect a = Rect::make(0, 0, 4, 4);
+  EXPECT_FALSE(a.overlaps_interior(Rect::make(4, 0, 4, 4)));
+  EXPECT_TRUE(a.overlaps_interior(Rect::make(3.9, 0, 4, 4)));
+  // Sub-tolerance overlap counts as touching.
+  EXPECT_FALSE(a.overlaps_interior(Rect::make(4.0 - 1e-12, 0, 4, 4)));
+}
+
+TEST(Rect, United) {
+  const Rect u = Rect::make(0, 0, 1, 1).united(Rect::make(3, 4, 1, 1));
+  EXPECT_TRUE(approx_equal(u, Rect::make(0, 0, 4, 5)));
+}
+
+TEST(Grid, CellGeometry) {
+  const GridSpec g(Rect::make(0, 0, 10, 20), 5, 4);
+  EXPECT_DOUBLE_EQ(g.dx(), 2.0);
+  EXPECT_DOUBLE_EQ(g.dy(), 5.0);
+  EXPECT_EQ(g.cell_count(), 20u);
+  EXPECT_TRUE(approx_equal(g.cell_rect(1, 2), Rect::make(2, 10, 2, 5)));
+  EXPECT_EQ(g.index(4, 3), 19u);
+}
+
+TEST(Grid, RasterizeFullDomainSumsToOne) {
+  const GridSpec g(Rect::make(0, 0, 7, 3), 13, 9);
+  double covered_area = 0.0;
+  g.rasterize(g.domain(), [&](std::size_t, std::size_t, double f) {
+    covered_area += f * g.cell_area();
+  });
+  EXPECT_NEAR(covered_area, 21.0, 1e-12);
+}
+
+TEST(Grid, RasterizePartialRectExactArea) {
+  const GridSpec g(Rect::make(0, 0, 8, 8), 8, 8);
+  const Rect r = Rect::make(1.25, 2.5, 3.5, 2.25);  // off-grid alignment
+  double area = 0.0;
+  std::size_t cells = 0;
+  g.rasterize(r, [&](std::size_t, std::size_t, double f) {
+    area += f * g.cell_area();
+    ++cells;
+  });
+  EXPECT_NEAR(area, r.area(), 1e-12);
+  EXPECT_GT(cells, 0u);
+}
+
+TEST(Grid, RasterizeClipsToDomain) {
+  const GridSpec g(Rect::make(0, 0, 4, 4), 4, 4);
+  const Rect r = Rect::make(3, 3, 5, 5);  // sticks out
+  double area = 0.0;
+  g.rasterize(r, [&](std::size_t, std::size_t, double f) {
+    area += f * g.cell_area();
+  });
+  EXPECT_NEAR(area, 1.0, 1e-12);  // only the 1x1 corner inside
+}
+
+TEST(Grid, RasterizeDisjointRectTouchesNothing) {
+  const GridSpec g(Rect::make(0, 0, 4, 4), 4, 4);
+  bool touched = false;
+  g.rasterize(Rect::make(10, 10, 1, 1),
+              [&](std::size_t, std::size_t, double) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+// Property: for random rectangles, rasterized area equals clipped area.
+class GridRasterizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridRasterizeProperty, AreaIsExact) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> u(-2.0, 12.0);
+  std::uniform_real_distribution<double> s(0.01, 8.0);
+  const GridSpec g(Rect::make(0, 0, 10, 10), 16, 16);
+  for (int i = 0; i < 50; ++i) {
+    const Rect r = Rect::make(u(rng), u(rng), s(rng), s(rng));
+    double area = 0.0;
+    g.rasterize(r, [&](std::size_t, std::size_t, double f) {
+      area += f * g.cell_area();
+    });
+    EXPECT_NEAR(area, r.overlap_area(g.domain()), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridRasterizeProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace tacos

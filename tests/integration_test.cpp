@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+
+namespace tacos {
+namespace {
+
+// End-to-end behaviours the paper's evaluation depends on, exercised
+// through the full stack (floorplan -> power -> thermal -> optimizer) at
+// reduced resolution so the suite stays fast.
+
+EvalConfig itest_config() {
+  EvalConfig c;
+  c.thermal.grid_nx = c.thermal.grid_ny = 24;
+  return c;
+}
+
+TEST(Integration, DarkSiliconIsReclaimedForHighPowerBenchmarks) {
+  // Fig. 5 / Fig. 6 in one assertion: shock cannot run all cores at 1 GHz
+  // on the single chip, but can on a spaced 16-chiplet interposer.
+  Evaluator eval(itest_config());
+  const BenchmarkProfile& shock = benchmark_by_name("shock");
+  const Organization all_on_2d{1, {}, 0, 256};
+  EXPECT_GT(eval.thermal_eval(all_on_2d, shock).peak_c, 85.0);
+  const Organization spaced{16, {7.0, 3.5, 7.0}, 0, 256};
+  EXPECT_LE(eval.thermal_eval(spaced, shock).peak_c, 85.0);
+}
+
+TEST(Integration, SaturatedBenchmarkGainsNothing) {
+  // lu.cont reaches peak IPS at 96 cores, already feasible on the single
+  // chip, so 2.5D integration buys no performance (only cost/temp).
+  Evaluator eval(itest_config());
+  const BenchmarkProfile& lu = benchmark_by_name("lu.cont");
+  const BaselinePoint& base = eval.baseline_2d(lu, 85.0);
+  ASSERT_TRUE(base.feasible);
+  EXPECT_EQ(base.active_cores, 96);
+  EXPECT_EQ(base.dvfs_idx, 0u);  // 1 GHz
+  OptimizerOptions opts;
+  opts.alpha = 1.0;
+  opts.beta = 0.0;
+  opts.step_mm = 2.0;
+  opts.starts = 4;
+  const OptResult res = optimize_greedy(eval, lu, opts);
+  ASSERT_TRUE(res.found);
+  EXPECT_NEAR(res.ips, base.ips, 1e-9);
+}
+
+TEST(Integration, LowerTemperatureEvenWithoutPerformanceGain) {
+  // §V-B: "Although 2.5D systems do not bring performance benefits for
+  // lu.cont, thermally-aware organization still lowers the operating
+  // temperature" (reliability benefit).
+  Evaluator eval(itest_config());
+  const BenchmarkProfile& lu = benchmark_by_name("lu.cont");
+  const BaselinePoint& base = eval.baseline_2d(lu, 85.0);
+  const Organization same_point_25d{16, {2.0, 1.0, 2.0}, base.dvfs_idx,
+                                    base.active_cores};
+  EXPECT_LT(eval.thermal_eval(same_point_25d, lu).peak_c, base.peak_c);
+}
+
+TEST(Integration, PackedSystemSavesCostWithoutPerformanceLoss) {
+  // The "36% cheaper at equal performance" claim, end to end: the packed
+  // 16-chiplet system runs the 2D baseline's operating point within the
+  // same threshold at ~0.64x the cost.
+  Evaluator eval(itest_config());
+  for (const char* name : {"canneal", "streamcluster", "lu.cont"}) {
+    const BenchmarkProfile& bench = benchmark_by_name(name);
+    const BaselinePoint& base = eval.baseline_2d(bench, 85.0);
+    ASSERT_TRUE(base.feasible) << name;
+    const Organization packed{16, {0, 0, 0}, base.dvfs_idx,
+                              base.active_cores};
+    EXPECT_LE(eval.thermal_eval(packed, bench).peak_c, 85.0) << name;
+    EXPECT_NEAR(eval.cost(packed) / eval.cost_2d(), 0.64, 0.01);
+  }
+}
+
+TEST(Integration, NonUniformPlacementCanBeatUniform) {
+  // The motivation for optimizing (s1, s2, s3) independently: at some
+  // budgets a non-uniform placement is strictly cooler than the uniform
+  // matrix with the same interposer size.
+  Evaluator eval(itest_config());
+  const BenchmarkProfile& bench = benchmark_by_name("blackscholes");
+  const double budget = 12.0;  // 32 mm interposer
+  const Organization uniform{16, {4.0, 2.0, 4.0}, 0, 256};
+  double best_other = 1e300;
+  for (double s1 : {2.0, 3.0, 5.0, 6.0}) {
+    for (double s2 : {1.0, 3.0, 5.0}) {
+      const Spacing s{s1, s2, budget - 2 * s1};
+      if (s.s3 < 0 || 2 * s.s1 + s.s3 - 2 * s.s2 < 0) continue;
+      const Organization org{16, s, 0, 256};
+      best_other =
+          std::min(best_other, eval.thermal_eval(org, bench).peak_c);
+    }
+  }
+  const double uniform_peak = eval.thermal_eval(uniform, bench).peak_c;
+  // At minimum, the optimizer's manifold contains nothing catastrophically
+  // worse, and often something better.
+  EXPECT_LT(best_other, uniform_peak + 0.5);
+}
+
+TEST(Integration, CostClaimsTableAgreesWithPaper) {
+  // E3 as an automated regression: all five claims within tolerance.
+  const TextTable t = cost_claims_table();
+  EXPECT_EQ(t.row_count(), 5u);
+  // Spot checks via the model directly.
+  EXPECT_NEAR(single_chip_cost(1600.0) / single_chip_cost(400.0), 27.0, 2.0);
+}
+
+TEST(Integration, ExperimentTablesProduceRows) {
+  // Smoke tests of the cheap experiment runners.
+  EXPECT_GT(fig3a_cost_table(5.0).row_count(), 0u);
+  ExperimentOptions opts;
+  opts.grid = 12;
+  EXPECT_EQ(network_power_table(opts).row_count(), 5u);
+}
+
+TEST(Integration, ThresholdSensitivityIsMonotone) {
+  // §V-B: higher thresholds leave less room for improvement.  Check via
+  // baselines: the 2D baseline IPS is monotone in the threshold for every
+  // benchmark.
+  Evaluator eval(itest_config());
+  for (const BenchmarkProfile& bench : benchmarks()) {
+    double prev = 0.0;
+    for (double th : {75.0, 85.0, 95.0, 105.0}) {
+      const BaselinePoint& b = eval.baseline_2d(bench, th);
+      if (!b.feasible) continue;
+      EXPECT_GE(b.ips, prev) << bench.name << " at " << th;
+      prev = b.ips;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tacos

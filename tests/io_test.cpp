@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "io/hotspot_export.hpp"
+#include "power/power_model.hpp"
+
+namespace tacos {
+namespace {
+
+namespace fs = std::filesystem;
+using hotspot::complement_rectangles;
+using hotspot::layer_blocks;
+
+double total_area(const std::vector<Rect>& rects) {
+  double a = 0.0;
+  for (const auto& r : rects) a += r.area();
+  return a;
+}
+
+TEST(Complement, EmptyHolesReturnsDomain) {
+  const Rect d = Rect::make(0, 0, 10, 10);
+  const auto out = complement_rectangles(d, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(approx_equal(out[0], d));
+}
+
+TEST(Complement, SingleCenteredHole) {
+  const Rect d = Rect::make(0, 0, 10, 10);
+  const auto out = complement_rectangles(d, {Rect::make(4, 4, 2, 2)});
+  EXPECT_NEAR(total_area(out), 96.0, 1e-9);
+  // No piece overlaps the hole.
+  for (const auto& r : out)
+    EXPECT_FALSE(r.overlaps_interior(Rect::make(4, 4, 2, 2)));
+}
+
+TEST(Complement, PiecesTileTheDomainExactly) {
+  std::vector<Rect> holes;
+  const ChipletLayout l = make_uniform_layout(4, 1.0);
+  for (const auto& c : l.chiplets()) holes.push_back(c.rect);
+  const auto out = complement_rectangles(l.interposer(), holes);
+  const double hole_area = total_area(holes);
+  EXPECT_NEAR(total_area(out), l.interposer().area() - hole_area, 1e-6);
+  // Pairwise disjoint.
+  for (std::size_t a = 0; a < out.size(); ++a)
+    for (std::size_t b = a + 1; b < out.size(); ++b)
+      EXPECT_FALSE(out[a].overlaps_interior(out[b]));
+}
+
+TEST(LayerBlocks, FullExtentLayerIsOneSlab) {
+  const ChipletLayout l = make_uniform_layout(2, 2.0);
+  const LayerStack s = make_25d_stack();
+  const auto blocks = layer_blocks(l, s.layers[2] /* interposer */, false);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_TRUE(approx_equal(blocks[0].rect, l.interposer()));
+}
+
+TEST(LayerBlocks, ChipletLayerTilesFullDomain) {
+  const ChipletLayout l = make_uniform_layout(4, 2.0);
+  const LayerStack s = make_25d_stack();
+  const auto blocks = layer_blocks(l, s.layers[4] /* chiplet */, true);
+  // 256 tiles + filler blocks, covering the whole interposer.
+  double area = 0.0;
+  int tiles = 0;
+  for (const auto& b : blocks) {
+    area += b.rect.area();
+    if (b.name.rfind("tile_", 0) == 0) ++tiles;
+  }
+  EXPECT_EQ(tiles, 256);
+  EXPECT_NEAR(area, l.interposer().area(), 1e-6);
+}
+
+class HotspotExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "tacos_hotspot_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+  std::string dir() const { return dir_.string(); }
+
+ private:
+  fs::path dir_;
+};
+
+TEST_F(HotspotExportTest, WritesAllFiles) {
+  const ChipletLayout l = make_uniform_layout(4, 2.0);
+  const LayerStack s = make_25d_stack();
+  const PowerMap p =
+      build_power_map(l, benchmark_by_name("cholesky"), kDvfsLevels[0],
+                      active_tiles(AllocPolicy::kMinTemp, 192), std::nullopt);
+  const auto res = hotspot::export_hotspot(dir(), "org", l, s, p);
+  EXPECT_EQ(res.floorplan_files.size(), s.layers.size());
+  for (const auto& f : res.floorplan_files) EXPECT_TRUE(fs::exists(f)) << f;
+  EXPECT_TRUE(fs::exists(res.lcf_file));
+  EXPECT_TRUE(fs::exists(res.ptrace_file));
+  EXPECT_TRUE(fs::exists(res.config_file));
+}
+
+TEST_F(HotspotExportTest, FloorplanRoundTripsThroughParser) {
+  const ChipletLayout l = make_uniform_layout(2, 4.0);
+  const LayerStack s = make_25d_stack();
+  PowerMap p;
+  for (const auto& c : l.chiplets()) p.add(c.rect, 50.0);
+  const auto res = hotspot::export_hotspot(dir(), "rt", l, s, p);
+
+  const std::size_t src = s.source_layer();
+  const auto parsed = hotspot::parse_flp(res.floorplan_files[src]);
+  double area = 0.0;
+  for (const auto& b : parsed) area += b.rect.area();
+  EXPECT_NEAR(area, l.interposer().area(), 1e-3);
+}
+
+TEST_F(HotspotExportTest, PowerTraceConservesTotalPower) {
+  const ChipletLayout l = make_uniform_layout(4, 1.0);
+  const LayerStack s = make_25d_stack();
+  const PowerMap p =
+      build_power_map(l, benchmark_by_name("shock"), kDvfsLevels[0],
+                      active_tiles(AllocPolicy::kMinTemp, 256), std::nullopt);
+  const auto res = hotspot::export_hotspot(dir(), "pt", l, s, p);
+
+  std::ifstream in(res.ptrace_file);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, row));
+  std::istringstream rs(row);
+  double total = 0.0, v;
+  while (rs >> v) total += v;
+  EXPECT_NEAR(total, p.total(), 1e-6 * p.total());
+}
+
+TEST_F(HotspotExportTest, LcfDescribesEveryLayerBottomUp) {
+  const ChipletLayout l = make_uniform_layout(2, 2.0);
+  const LayerStack s = make_25d_stack();
+  PowerMap p;
+  for (const auto& c : l.chiplets()) p.add(c.rect, 40.0);
+  const auto res = hotspot::export_hotspot(dir(), "lcf", l, s, p);
+
+  std::ifstream in(res.lcf_file);
+  std::string line;
+  std::vector<std::string> content;
+  while (std::getline(in, line))
+    if (!line.empty() && line[0] != '#') content.push_back(line);
+  // 7 fields per layer stanza: number, lateral, power, heat cap,
+  // resistivity, thickness, floorplan path.
+  ASSERT_EQ(content.size(), 7 * s.layers.size());
+  // Power flag is Y exactly once (the chiplet layer).
+  int power_layers = 0;
+  for (std::size_t layer = 0; layer < s.layers.size(); ++layer)
+    if (content[7 * layer + 2] == "Y") ++power_layers;
+  EXPECT_EQ(power_layers, 1);
+  // Thickness of the bottom layer (substrate) is 200um in metres.
+  EXPECT_NEAR(std::stod(content[5]), 200e-6, 1e-12);
+}
+
+TEST_F(HotspotExportTest, ConfigMatchesPackageConventions) {
+  const ChipletLayout l = make_uniform_layout(2, 2.0);  // 22 mm interposer
+  PowerMap p;
+  p.add(l.chiplets()[0].rect, 10.0);
+  const auto res =
+      hotspot::export_hotspot(dir(), "cfg", l, make_25d_stack(), p);
+  std::ifstream in(res.config_file);
+  std::string line;
+  double r_convec = 0, s_sink = 0, ambient = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    double value;
+    if (!(ls >> key >> value)) continue;
+    if (key == "-r_convec") r_convec = value;
+    if (key == "-s_sink") s_sink = value;
+    if (key == "-ambient") ambient = value;
+  }
+  // Sink edge = 4x interposer edge = 88 mm; h = 2800 W/m^2K.
+  EXPECT_NEAR(s_sink, 0.088, 1e-9);
+  EXPECT_NEAR(r_convec, 1.0 / (2800.0 * 0.088 * 0.088), 1e-9);
+  EXPECT_NEAR(ambient, 45.0 + 273.15, 1e-9);
+}
+
+TEST_F(HotspotExportTest, BadDirectoryThrows) {
+  const ChipletLayout l = make_uniform_layout(2, 1.0);
+  PowerMap p;
+  p.add(l.chiplets()[0].rect, 10.0);
+  EXPECT_THROW(hotspot::export_hotspot("/nonexistent_dir_tacos", "x", l,
+                                       make_25d_stack(), p),
+               Error);
+}
+
+TEST(FlpParser, MissingFileThrows) {
+  EXPECT_THROW(hotspot::parse_flp("/no/such/file.flp"), Error);
+}
+
+}  // namespace
+}  // namespace tacos

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/leakage.hpp"
+#include "materials/stack.hpp"
+
+namespace tacos {
+namespace {
+
+std::vector<int> all_tiles() {
+  std::vector<int> v(256);
+  for (int i = 0; i < 256; ++i) v[static_cast<std::size_t>(i)] = i;
+  return v;
+}
+
+ThermalConfig coarse(std::size_t n = 16) {
+  ThermalConfig c;
+  c.grid_nx = c.grid_ny = n;
+  return c;
+}
+
+TEST(LeakageLoop, ConvergesForNominalWorkload) {
+  const ChipletLayout l = make_uniform_layout(4, 4.0);
+  ThermalModel model(l, make_25d_stack(), coarse(24));
+  const LeakageResult r = run_leakage_fixed_point(
+      model, l, benchmark_by_name("cholesky"), kDvfsLevels[0], all_tiles(),
+      PowerModelParams{});
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 1);   // leakage feedback requires >1 pass
+  EXPECT_LT(r.iterations, 12);  // but converges quickly
+  EXPECT_GT(r.peak_c, 45.0);
+}
+
+TEST(LeakageLoop, HotterThanTemperatureIndependentModel) {
+  // With the fixed point, silicon above the 60 °C reference leaks more
+  // than the first-pass estimate, so the converged peak must be higher
+  // than the single-solve peak.
+  const ChipletLayout l = make_uniform_layout(4, 2.0);
+  const BenchmarkProfile& bench = benchmark_by_name("shock");
+  ThermalModel model(l, make_25d_stack(), coarse(24));
+  const PowerMap first = build_power_map(l, bench, kDvfsLevels[0],
+                                         all_tiles(), std::nullopt);
+  const double single_pass = model.solve(first).peak_c;
+  const LeakageResult r = run_leakage_fixed_point(
+      model, l, bench, kDvfsLevels[0], all_tiles(), PowerModelParams{});
+  EXPECT_GT(r.peak_c, single_pass);
+  EXPECT_GT(r.total_power_w, first.total());
+}
+
+TEST(LeakageLoop, ColdSystemsLeakLessThanReference) {
+  // A lightly loaded system sits below 60 °C, so converged power is below
+  // the reference-temperature estimate.
+  const ChipletLayout l = make_uniform_layout(4, 8.0);
+  const BenchmarkProfile& bench = benchmark_by_name("lu.cont");
+  const std::vector<int> few = active_tiles(AllocPolicy::kMinTemp, 32);
+  ThermalModel model(l, make_25d_stack(), coarse(24));
+  const PowerMap ref =
+      build_power_map(l, bench, kDvfsLevels[4], few, std::nullopt);
+  const LeakageResult r = run_leakage_fixed_point(
+      model, l, bench, kDvfsLevels[4], few, PowerModelParams{});
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.total_power_w, ref.total());
+}
+
+TEST(LeakageLoop, SaturatesInsteadOfDiverging) {
+  // An absurdly hot configuration (packed chiplets, max power, tiny sink)
+  // must saturate at the clamped leakage rather than run away.
+  ThermalConfig cfg = coarse(16);
+  cfg.package.h_convection = 250.0;  // deliberately poor cooling
+  const ChipletLayout l = make_uniform_layout(4, 0.0);
+  ThermalModel model(l, make_25d_stack(), cfg);
+  const LeakageResult r = run_leakage_fixed_point(
+      model, l, benchmark_by_name("shock"), kDvfsLevels[0], all_tiles(),
+      PowerModelParams{});
+  EXPECT_GT(r.peak_c, 150.0);   // grossly infeasible, as expected
+  EXPECT_LT(r.peak_c, 1000.0);  // but bounded by the leakage clamp
+  EXPECT_TRUE(std::isfinite(r.peak_c));
+}
+
+TEST(LeakageLoop, ToleranceControlsIterationCount) {
+  const ChipletLayout l = make_uniform_layout(4, 4.0);
+  const BenchmarkProfile& bench = benchmark_by_name("hpccg");
+  ThermalModel m1(l, make_25d_stack(), coarse(16));
+  ThermalModel m2(l, make_25d_stack(), coarse(16));
+  const LeakageResult loose = run_leakage_fixed_point(
+      m1, l, bench, kDvfsLevels[0], all_tiles(), PowerModelParams{}, 1.0);
+  const LeakageResult tight = run_leakage_fixed_point(
+      m2, l, bench, kDvfsLevels[0], all_tiles(), PowerModelParams{}, 0.001);
+  EXPECT_LE(loose.iterations, tight.iterations);
+  EXPECT_NEAR(loose.peak_c, tight.peak_c, 1.5);
+}
+
+TEST(LeakageLoop, RejectsBadIterationBudget) {
+  const ChipletLayout l = make_uniform_layout(2, 1.0);
+  ThermalModel model(l, make_25d_stack(), coarse(8));
+  EXPECT_THROW(run_leakage_fixed_point(model, l, benchmark_by_name("shock"),
+                                       kDvfsLevels[0], all_tiles(),
+                                       PowerModelParams{}, 0.05, 0),
+               Error);
+}
+
+// Property: the fixed point converges for every benchmark at every DVFS
+// level on a representative layout.
+class LeakageConvergenceProperty
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LeakageConvergenceProperty, AllLevelsConverge) {
+  const BenchmarkProfile& bench = benchmarks()[GetParam()];
+  const ChipletLayout l = make_uniform_layout(4, 3.0);
+  ThermalModel model(l, make_25d_stack(), coarse(16));
+  for (std::size_t f = 0; f < kDvfsLevelCount; ++f) {
+    const LeakageResult r = run_leakage_fixed_point(
+        model, l, bench, kDvfsLevels[f], all_tiles(), PowerModelParams{});
+    EXPECT_TRUE(r.converged) << bench.name << " level " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, LeakageConvergenceProperty,
+                         ::testing::Range<std::size_t>(0, kBenchmarkCount));
+
+}  // namespace
+}  // namespace tacos

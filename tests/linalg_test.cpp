@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "linalg/csr.hpp"
+#include "linalg/solvers.hpp"
+
+namespace tacos {
+namespace {
+
+TEST(Csr, BuildSumsDuplicates) {
+  CsrBuilder b(3);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.0);
+  b.add(0, 2, 5.0);
+  b.add(2, 0, 7.0);
+  b.add(1, 1, 4.0);
+  const CsrMatrix m = b.build();
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.nnz(), 4u);  // (0,0) merged
+  std::vector<double> x = {1.0, 1.0, 1.0}, y(3);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 8.0);
+  EXPECT_DOUBLE_EQ(y[1], 4.0);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+}
+
+TEST(Csr, DiagonalExtraction) {
+  CsrBuilder b(2);
+  b.add_conductance(0, 1, 3.0);
+  b.add(0, 0, 1.0);
+  const CsrMatrix m = b.build();
+  const auto d = m.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 4.0);
+  EXPECT_DOUBLE_EQ(d[1], 3.0);
+}
+
+TEST(Csr, ConductanceStampIsSymmetric) {
+  CsrBuilder b(4);
+  b.add_conductance(0, 3, 2.5);
+  b.add_conductance(1, 2, 0.5);
+  b.add_conductance_to_reference(0, 1.0);
+  const CsrMatrix m = b.build();
+  // Multiply by e_i to probe columns; symmetry: A e0 · e3 == A e3 · e0.
+  std::vector<double> e0 = {1, 0, 0, 0}, e3 = {0, 0, 0, 1}, y(4);
+  m.multiply(e0, y);
+  const double a30 = y[3];
+  m.multiply(e3, y);
+  EXPECT_DOUBLE_EQ(a30, y[0]);
+  EXPECT_DOUBLE_EQ(a30, -2.5);
+}
+
+TEST(Csr, ZeroConductanceIsSkipped) {
+  CsrBuilder b(2);
+  b.add_conductance(0, 1, 0.0);
+  EXPECT_EQ(b.build().nnz(), 0u);
+}
+
+/// Build a random SPD system as L + diag-dominant structure: a resistive
+/// ladder plus random extra conductances — exactly the structure the
+/// thermal model produces.
+CsrMatrix random_network(std::size_t n, std::mt19937_64& rng,
+                         std::vector<double>* ground_g = nullptr) {
+  CsrBuilder b(n);
+  std::uniform_real_distribution<double> g(0.1, 10.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) b.add_conductance(i, i + 1, g(rng));
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  for (std::size_t k = 0; k < 2 * n; ++k) {
+    const std::size_t i = pick(rng), j = pick(rng);
+    if (i != j) b.add_conductance(i, j, g(rng));
+  }
+  // Ground a few nodes so the system is non-singular.
+  for (std::size_t i = 0; i < n; i += 7) {
+    const double gg = g(rng);
+    b.add_conductance_to_reference(i, gg);
+    if (ground_g) ground_g->push_back(gg);
+  }
+  return b.build();
+}
+
+TEST(Solvers, PcgMatchesGaussSeidel) {
+  std::mt19937_64 rng(42);
+  const CsrMatrix A = random_network(50, rng);
+  std::vector<double> b(50);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (auto& v : b) v = u(rng);
+
+  std::vector<double> x_pcg(50, 0.0), x_gs(50, 0.0);
+  const SolveResult r1 = solve_pcg(A, b, x_pcg);
+  SolveOptions gs_opts;
+  gs_opts.max_iterations = 200000;
+  const SolveResult r2 = solve_gauss_seidel(A, b, x_gs, gs_opts);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_NEAR(x_pcg[i], x_gs[i], 1e-5);
+}
+
+TEST(Solvers, PcgSolvesIdentityInOneIteration) {
+  CsrBuilder bld(10);
+  for (std::size_t i = 0; i < 10; ++i) bld.add(i, i, 2.0);
+  const CsrMatrix A = bld.build();
+  std::vector<double> b(10, 4.0), x(10, 0.0);
+  const SolveResult r = solve_pcg(A, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2u);
+  for (double v : x) EXPECT_NEAR(v, 2.0, 1e-10);
+}
+
+TEST(Solvers, WarmStartConvergesFaster) {
+  std::mt19937_64 rng(7);
+  const CsrMatrix A = random_network(200, rng);
+  std::vector<double> b(200, 1.0);
+  std::vector<double> x(200, 0.0);
+  const SolveResult cold = solve_pcg(A, b, x);
+  ASSERT_TRUE(cold.converged);
+  // Perturb b slightly; warm start from x should converge in fewer steps.
+  std::vector<double> b2 = b;
+  for (auto& v : b2) v *= 1.01;
+  std::vector<double> x_warm = x;
+  const SolveResult warm = solve_pcg(A, b2, x_warm);
+  std::vector<double> x_cold(200, 0.0);
+  const SolveResult cold2 = solve_pcg(A, b2, x_cold);
+  ASSERT_TRUE(warm.converged);
+  ASSERT_TRUE(cold2.converged);
+  EXPECT_LT(warm.iterations, cold2.iterations);
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_NEAR(x_warm[i], x_cold[i], 1e-5);
+}
+
+TEST(Solvers, ResidualReportedBelowTolerance) {
+  std::mt19937_64 rng(3);
+  const CsrMatrix A = random_network(100, rng);
+  std::vector<double> b(100, 2.0), x(100, 0.0);
+  SolveOptions opts;
+  opts.rel_tolerance = 1e-10;
+  const SolveResult r = solve_pcg(A, b, x, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LE(r.residual_norm, 1e-10);
+  // Verify independently.
+  std::vector<double> Ax(100);
+  A.multiply(x, Ax);
+  double rn = 0, bn = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    rn += (b[i] - Ax[i]) * (b[i] - Ax[i]);
+    bn += b[i] * b[i];
+  }
+  EXPECT_LE(std::sqrt(rn / bn), 1e-9);
+}
+
+TEST(Solvers, DimensionMismatchThrows) {
+  CsrBuilder bld(4);
+  for (std::size_t i = 0; i < 4; ++i) bld.add(i, i, 1.0);
+  const CsrMatrix A = bld.build();
+  std::vector<double> b(3), x(4);
+  EXPECT_THROW(solve_pcg(A, b, x), Error);
+}
+
+// Property sweep: PCG solves networks of varying size against GS.
+class PcgProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PcgProperty, AgreesWithGaussSeidel) {
+  std::mt19937_64 rng(GetParam() * 13 + 1);
+  const std::size_t n = GetParam();
+  const CsrMatrix A = random_network(n, rng);
+  std::vector<double> b(n);
+  std::uniform_real_distribution<double> u(0.0, 5.0);
+  for (auto& v : b) v = u(rng);
+  std::vector<double> x1(n, 0.0), x2(n, 0.0);
+  SolveOptions gs_opts;
+  gs_opts.max_iterations = 500000;
+  ASSERT_TRUE(solve_pcg(A, b, x1).converged);
+  ASSERT_TRUE(solve_gauss_seidel(A, b, x2, gs_opts).converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PcgProperty,
+                         ::testing::Values(8, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace tacos

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "materials/material.hpp"
+#include "materials/stack.hpp"
+
+namespace tacos {
+namespace {
+
+TEST(Material, IsoRejectsNonPositiveConductivity) {
+  EXPECT_THROW(Material::iso("bad", 0.0), Error);
+  EXPECT_THROW(Material::iso("bad", -1.0), Error);
+}
+
+TEST(Material, PillarAreaFraction) {
+  // Microbumps: 25um diameter on 50um pitch -> pi/16 ≈ 0.19635.
+  EXPECT_NEAR(pillar_area_fraction(0.025, 0.050), 0.19635, 1e-4);
+  // TSVs: 10um on 50um pitch -> pi/100.
+  EXPECT_NEAR(pillar_area_fraction(0.010, 0.050), 0.031416, 1e-5);
+}
+
+TEST(Material, PillarAreaFractionRejectsBadGeometry) {
+  EXPECT_THROW(pillar_area_fraction(0.06, 0.05), Error);  // d > pitch
+  EXPECT_THROW(pillar_area_fraction(0.0, 0.05), Error);
+}
+
+TEST(Material, CompositeBounds) {
+  const Material cu = materials::copper();
+  const Material ep = materials::epoxy();
+  const Material mix = pillar_composite("mix", cu, ep, 0.2);
+  // Vertical (parallel) mix is the arithmetic mean — dominated by copper.
+  EXPECT_NEAR(mix.k_vertical, 0.2 * 385.0 + 0.8 * 0.9, 1e-9);
+  // Lateral (series) mix is dominated by the epoxy matrix.
+  EXPECT_LT(mix.k_lateral, 2.0);
+  EXPECT_GT(mix.k_lateral, ep.k_lateral);
+  // Fraction 0 and 1 recover the pure materials.
+  EXPECT_NEAR(pillar_composite("m", cu, ep, 0.0).k_vertical, ep.k_vertical,
+              1e-12);
+  EXPECT_NEAR(pillar_composite("m", cu, ep, 1.0).k_vertical, cu.k_vertical,
+              1e-12);
+}
+
+TEST(Stack, Table1Structure25D) {
+  const LayerStack s = make_25d_stack();
+  ASSERT_EQ(s.layers.size(), 6u);
+  EXPECT_EQ(s.layers[0].name, "substrate");
+  EXPECT_EQ(s.layers[1].name, "C4");
+  EXPECT_EQ(s.layers[2].name, "interposer");
+  EXPECT_EQ(s.layers[3].name, "microbump");
+  EXPECT_EQ(s.layers[4].name, "chiplet");
+  EXPECT_EQ(s.layers[5].name, "TIM");
+  // Table I thicknesses.
+  EXPECT_NEAR(s.layers[0].thickness_mm, 0.200, 1e-12);
+  EXPECT_NEAR(s.layers[1].thickness_mm, 0.070, 1e-12);
+  EXPECT_NEAR(s.layers[2].thickness_mm, 0.110, 1e-12);
+  EXPECT_NEAR(s.layers[3].thickness_mm, 0.010, 1e-12);
+  EXPECT_NEAR(s.layers[4].thickness_mm, 0.150, 1e-12);
+  EXPECT_NEAR(s.layers[5].thickness_mm, 0.020, 1e-12);
+  EXPECT_EQ(s.source_layer(), 4u);
+  EXPECT_TRUE(s.layers[4].heat_source);
+  // Chiplet and microbump layers only exist under chiplets.
+  EXPECT_EQ(s.layers[4].extent, LayerExtent::kChiplets);
+  EXPECT_EQ(s.layers[3].extent, LayerExtent::kChiplets);
+  // Gaps between chiplets are filled with epoxy (paper §III-A).
+  EXPECT_EQ(s.layers[4].fill.name, "epoxy");
+}
+
+TEST(Stack, Baseline2DStructure) {
+  const LayerStack s = make_2d_stack();
+  ASSERT_EQ(s.layers.size(), 4u);
+  EXPECT_EQ(s.layers[2].name, "chip");
+  EXPECT_EQ(s.source_layer(), 2u);
+  // No interposer / microbump layers in the 2D baseline.
+  for (const auto& l : s.layers) {
+    EXPECT_NE(l.name, "interposer");
+    EXPECT_NE(l.name, "microbump");
+  }
+}
+
+TEST(Stack, BumpGeometriesMatchTable1) {
+  EXPECT_NEAR(microbump_geometry().diameter_mm, 0.025, 1e-12);
+  EXPECT_NEAR(microbump_geometry().pitch_mm, 0.050, 1e-12);
+  EXPECT_NEAR(tsv_geometry().diameter_mm, 0.010, 1e-12);
+  EXPECT_NEAR(tsv_geometry().height_mm, 0.100, 1e-12);
+  EXPECT_NEAR(c4_geometry().diameter_mm, 0.250, 1e-12);
+  EXPECT_NEAR(c4_geometry().pitch_mm, 0.600, 1e-12);
+}
+
+TEST(Stack, TotalThickness) {
+  EXPECT_NEAR(make_25d_stack().total_thickness(), 0.560, 1e-9);
+  EXPECT_NEAR(make_2d_stack().total_thickness(), 0.440, 1e-9);
+}
+
+TEST(Stack, InterposerIsMostlySilicon) {
+  const LayerStack s = make_25d_stack();
+  const Material& interposer = s.layers[2].occupied;
+  // TSV fraction is ~3%, so vertical conductivity is close to silicon's
+  // but slightly raised by the copper vias.
+  EXPECT_GT(interposer.k_vertical, 110.0);
+  EXPECT_LT(interposer.k_vertical, 130.0);
+}
+
+}  // namespace
+}  // namespace tacos

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/multiapp.hpp"
+#include "core/reliability.hpp"
+
+namespace tacos {
+namespace {
+
+EvalConfig fast_config() {
+  EvalConfig c;
+  c.thermal.grid_nx = c.thermal.grid_ny = 16;
+  return c;
+}
+
+OptimizerOptions fast_options(double alpha, double beta) {
+  OptimizerOptions o;
+  o.alpha = alpha;
+  o.beta = beta;
+  o.step_mm = 4.0;
+  o.starts = 2;
+  return o;
+}
+
+TEST(MultiApp, FindsAPlacementServingAllApps) {
+  Evaluator eval(fast_config());
+  const std::vector<AppWeight> mix = {{"canneal", 0.5}, {"lu.cont", 0.5}};
+  const MultiAppResult r = optimize_multiapp(
+      eval, mix, MultiAppStrategy::kWeighted, fast_options(1, 0));
+  ASSERT_TRUE(r.found);
+  ASSERT_EQ(r.apps.size(), 2u);
+  for (const auto& a : r.apps) {
+    EXPECT_GT(a.ips, 0.0);
+    EXPECT_GT(a.ips_vs_2d, 0.5);
+  }
+}
+
+TEST(MultiApp, PureCostPrefersSmallInterposer) {
+  Evaluator eval(fast_config());
+  const std::vector<AppWeight> mix = {{"lu.cont", 1.0}};
+  const MultiAppResult r = optimize_multiapp(
+      eval, mix, MultiAppStrategy::kWeighted, fast_options(0, 1));
+  ASSERT_TRUE(r.found);
+  EXPECT_NEAR(r.interposer_mm, 20.0, 1e-9);
+  EXPECT_NEAR(r.cost_norm, 0.64, 0.01);
+}
+
+TEST(MultiApp, WorstCaseObjectiveIsAtLeastWeighted) {
+  // max_i(term_i) >= sum_i w_i term_i for any weights — the worst-case
+  // design can only be judged worse or equal under its own objective.
+  Evaluator eval(fast_config());
+  const std::vector<AppWeight> mix = {{"cholesky", 0.7}, {"canneal", 0.3}};
+  const MultiAppResult ww = optimize_multiapp(
+      eval, mix, MultiAppStrategy::kWeighted, fast_options(1, 0));
+  const MultiAppResult wc = optimize_multiapp(
+      eval, mix, MultiAppStrategy::kWorstCase, fast_options(1, 0));
+  ASSERT_TRUE(ww.found);
+  ASSERT_TRUE(wc.found);
+  EXPECT_GE(wc.objective, ww.objective - 1e-9);
+}
+
+TEST(MultiApp, AverageIgnoresWeights) {
+  Evaluator eval(fast_config());
+  const std::vector<AppWeight> skewed = {{"cholesky", 0.99},
+                                         {"lu.cont", 0.01}};
+  const std::vector<AppWeight> flat = {{"cholesky", 0.5}, {"lu.cont", 0.5}};
+  const MultiAppResult a = optimize_multiapp(
+      eval, skewed, MultiAppStrategy::kAverage, fast_options(1, 0));
+  const MultiAppResult b = optimize_multiapp(
+      eval, flat, MultiAppStrategy::kAverage, fast_options(1, 0));
+  ASSERT_EQ(a.found, b.found);
+  if (a.found) EXPECT_NEAR(a.objective, b.objective, 1e-12);
+}
+
+TEST(MultiApp, EmptyOrInvalidMixRejected) {
+  Evaluator eval(fast_config());
+  EXPECT_THROW(optimize_multiapp(eval, {}, MultiAppStrategy::kWeighted,
+                                 fast_options(1, 0)),
+               Error);
+  EXPECT_THROW(optimize_multiapp(eval, {{"cholesky", -1.0}},
+                                 MultiAppStrategy::kWeighted,
+                                 fast_options(1, 0)),
+               Error);
+  EXPECT_THROW(optimize_multiapp(eval, {{"nonexistent", 1.0}},
+                                 MultiAppStrategy::kWeighted,
+                                 fast_options(1, 0)),
+               Error);
+}
+
+TEST(Reliability, ColderSiliconLivesLonger) {
+  EXPECT_GT(mttf_factor(65.0, 85.0), 1.0);
+  EXPECT_LT(mttf_factor(105.0, 85.0), 1.0);
+  EXPECT_DOUBLE_EQ(mttf_factor(85.0, 85.0), 1.0);
+}
+
+TEST(Reliability, TenDegreeRuleOfThumb) {
+  // Around 85 °C with Ea = 0.7 eV, +10 °C costs roughly half the life
+  // (the classic reliability rule of thumb).
+  const double factor = mttf_per_10c(85.0);
+  EXPECT_GT(factor, 1.5);
+  EXPECT_LT(factor, 2.3);
+}
+
+TEST(Reliability, ArrheniusComposition) {
+  // AF(a→c) == AF(a→b) * AF(b→c).
+  const double ab = mttf_factor(65.0, 75.0);
+  const double bc = mttf_factor(75.0, 85.0);
+  const double ac = mttf_factor(65.0, 85.0);
+  EXPECT_NEAR(ac, ab * bc, 1e-12);
+}
+
+TEST(Reliability, InvalidInputsThrow) {
+  EXPECT_THROW(mttf_factor(65.0, 85.0, 0.0), Error);
+  EXPECT_THROW(mttf_factor(-300.0, 85.0), Error);
+}
+
+}  // namespace
+}  // namespace tacos

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "noc/interposer_link.hpp"
+#include "noc/mesh.hpp"
+
+namespace tacos {
+namespace {
+
+TEST(InterposerLink, DelayGrowsWithLength) {
+  double prev = 0.0;
+  for (double len : {1.0, 5.0, 10.0, 15.0, 25.0}) {
+    const double d = link_delay_ps(len, 8);
+    EXPECT_GT(d, prev) << len << "mm";
+    prev = d;
+  }
+}
+
+TEST(InterposerLink, BiggerDriversAreFaster) {
+  double prev = 1e300;
+  for (int size : {1, 2, 4, 8, 16}) {
+    const double d = link_delay_ps(15.0, size);
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(InterposerLink, DesignMeetsSingleCycleAtNominalFrequency) {
+  // The paper sizes drivers for single-cycle propagation; at 1 GHz the
+  // period is 1000 ps.
+  const LinkDesign d = design_link(15.0, 1000.0);
+  EXPECT_LE(d.delay_ps, 1000.0);
+  EXPECT_GE(d.driver_size, 1);
+  // A minimum-size driver cannot drive 15 mm in one cycle.
+  EXPECT_GT(link_delay_ps(15.0, 1), 1000.0);
+}
+
+TEST(InterposerLink, DesignPicksSmallestSufficientDriver) {
+  const LinkDesign d = design_link(15.0, 1000.0);
+  if (d.driver_size > 1)
+    EXPECT_GT(link_delay_ps(15.0, d.driver_size / 2), 1000.0);
+}
+
+TEST(InterposerLink, ImpossibleTimingThrows) {
+  LinkParams p;
+  p.max_driver_size = 2;
+  EXPECT_THROW(design_link(40.0, 4000.0, p), Error);
+  EXPECT_THROW(design_link(15.0, -1.0), Error);
+  EXPECT_THROW(link_delay_ps(-1.0, 4), Error);
+  EXPECT_THROW(link_delay_ps(5.0, 0), Error);
+}
+
+TEST(InterposerLink, EnergyGrowsWithLengthAndDriver) {
+  EXPECT_GT(link_energy_pj(15.0, 8), link_energy_pj(5.0, 8));
+  EXPECT_GT(link_energy_pj(15.0, 64), link_energy_pj(15.0, 8));
+}
+
+TEST(Mesh, SingleChipStructure) {
+  const MeshStructure s = analyze_mesh(make_single_chip_layout());
+  EXPECT_EQ(s.router_count, 256);
+  EXPECT_EQ(s.onchip_links, 480);  // 2 * 16 * 15
+  EXPECT_EQ(s.interposer_links, 0);
+}
+
+TEST(Mesh, SixteenChipletStructure) {
+  const MeshStructure s = analyze_mesh(make_uniform_layout(4, 4.0));
+  // 3 chiplet boundaries per axis * 16 rows * 2 axes = 96 crossings.
+  EXPECT_EQ(s.interposer_links, 96);
+  EXPECT_EQ(s.onchip_links, 480 - 96);
+  // Center-to-center length = tile edge + gap.
+  EXPECT_NEAR(s.avg_interposer_link_mm, 1.125 + 4.0, 1e-9);
+  EXPECT_NEAR(s.max_interposer_link_mm, 1.125 + 4.0, 1e-9);
+}
+
+TEST(Mesh, FourChipletStructure) {
+  const MeshStructure s = analyze_mesh(make_uniform_layout(2, 6.0));
+  EXPECT_EQ(s.interposer_links, 32);  // 1 boundary * 16 * 2 axes
+  EXPECT_NEAR(s.avg_interposer_link_mm, 1.125 + 6.0, 1e-9);
+}
+
+TEST(Mesh, UntiledLayoutRejected) {
+  EXPECT_THROW(analyze_mesh(make_uniform_layout(3, 1.0)), Error);
+}
+
+TEST(Mesh, SingleChipPowerMatchesPaper) {
+  // §III-A: the single-chip electrical mesh consumes ~3.9 W.
+  BenchmarkProfile full = benchmark_by_name("shock");
+  full.net_activity = 1.0;
+  const double p =
+      network_power_w(make_single_chip_layout(), full, 1000.0, 0.9);
+  EXPECT_NEAR(p, 3.9, 0.2);
+}
+
+TEST(Mesh, Spread25DPowerMatchesPaper) {
+  // §III-A: the 2.5D mesh consumes up to ~8.4 W (16 chiplets, max spread).
+  BenchmarkProfile full = benchmark_by_name("shock");
+  full.net_activity = 1.0;
+  const double p =
+      network_power_w(make_uniform_layout(4, 10.0), full, 1000.0, 0.9);
+  EXPECT_NEAR(p, 8.4, 0.5);
+}
+
+TEST(Mesh, PowerGrowsWithSpacing) {
+  BenchmarkProfile b = benchmark_by_name("cholesky");
+  double prev = 0.0;
+  for (double g : {1.0, 4.0, 8.0, 10.0}) {
+    const double p = network_power_w(make_uniform_layout(4, g), b, 1000.0,
+                                     0.9);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Mesh, PowerScalesWithFrequencyVoltageAndActivity) {
+  const ChipletLayout l = make_uniform_layout(2, 2.0);
+  BenchmarkProfile b = benchmark_by_name("cholesky");
+  const double nominal = network_power_w(l, b, 1000.0, 0.9);
+  // Half frequency at equal voltage -> half power.
+  EXPECT_NEAR(network_power_w(l, b, 500.0, 0.9), nominal / 2, 1e-9);
+  // Lower voltage -> quadratic reduction.
+  EXPECT_NEAR(network_power_w(l, b, 1000.0, 0.63) / nominal,
+              (0.63 / 0.9) * (0.63 / 0.9), 1e-9);
+  // Doubling activity doubles power.
+  BenchmarkProfile b2 = b;
+  b2.net_activity = b.net_activity / 2;
+  EXPECT_NEAR(network_power_w(l, b2, 1000.0, 0.9), nominal / 2, 1e-9);
+}
+
+// Property: every interposer link in every valid uniform layout can be
+// sized for single-cycle propagation at 1 GHz.
+class LinkTimingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinkTimingProperty, AllLayoutSpacingsAreDesignable) {
+  const int r = GetParam();
+  const double g_max = max_uniform_spacing(r);
+  for (double g : {0.5, g_max / 2, g_max}) {
+    const ChipletLayout l = make_uniform_layout(r, g);
+    const MeshStructure s = analyze_mesh(l);
+    const LinkDesign d = design_link(s.max_interposer_link_mm, 1000.0);
+    EXPECT_LE(d.delay_ps, 1000.0) << "r=" << r << " g=" << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChipletGrids, LinkTimingProperty,
+                         ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace tacos

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+
+namespace tacos {
+namespace {
+
+// Heavier, parameterized end-to-end properties of the optimization layer,
+// run at deliberately coarse settings to stay fast.
+
+EvalConfig tiny_config() {
+  EvalConfig c;
+  c.thermal.grid_nx = c.thermal.grid_ny = 12;
+  return c;
+}
+
+OptimizerOptions coarse_options() {
+  OptimizerOptions o;
+  o.alpha = 1.0;
+  o.beta = 0.0;
+  o.step_mm = 4.0;
+  o.starts = 4;
+  o.prune_margin_c = 0.0;  // exact semantics for the oracle comparison
+  return o;
+}
+
+/// E9 as a property test: for EVERY benchmark, the multi-start greedy
+/// finds the exhaustive-search optimum on the coarse design space.
+class GreedyOracleProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GreedyOracleProperty, MatchesExhaustive) {
+  const BenchmarkProfile& bench = benchmarks()[GetParam()];
+  Evaluator eg(tiny_config());
+  Evaluator ee(tiny_config());
+  const OptimizerOptions opts = coarse_options();
+  const OptResult g = optimize_greedy(eg, bench, opts);
+  const OptResult e = optimize_exhaustive(ee, bench, opts);
+  ASSERT_EQ(g.found, e.found) << bench.name;
+  if (g.found) {
+    EXPECT_NEAR(g.objective, e.objective, 1e-12) << bench.name;
+    // The greedy must not use more evaluations than the exhaustive scan.
+    EXPECT_LE(eg.eval_count(), ee.eval_count()) << bench.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, GreedyOracleProperty,
+                         ::testing::Range<std::size_t>(0, kBenchmarkCount));
+
+/// Thermal feasibility is monotone in the threshold for any organization.
+class ThresholdMonotoneProperty
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThresholdMonotoneProperty, FeasibleSetsAreNested) {
+  const BenchmarkProfile& bench = benchmarks()[GetParam()];
+  Evaluator eval(tiny_config());
+  const std::vector<Organization> probes = {
+      {16, {0, 0, 0}, 0, 256},  {16, {2, 1, 2}, 0, 192},
+      {16, {4, 2, 4}, 1, 256},  {4, {0, 0, 10}, 0, 128},
+      {4, {0, 0, 20}, 2, 256},  {1, {}, 0, 160},
+  };
+  for (const auto& org : probes) {
+    bool prev = false;
+    for (double th : {65.0, 75.0, 85.0, 95.0, 105.0}) {
+      const bool f = eval.feasible(org, bench, th);
+      if (prev) EXPECT_TRUE(f) << bench.name << " threshold " << th;
+      prev = f;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ThresholdMonotoneProperty,
+                         ::testing::Range<std::size_t>(0, kBenchmarkCount));
+
+/// Spreading monotonicity through the full evaluation stack: for the
+/// uniform 16-chiplet family, peak temperature is non-increasing in the
+/// spacing for every benchmark (the Fig. 5 property, as a test).
+class SpacingMonotoneProperty
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpacingMonotoneProperty, PeakFallsWithSpacing) {
+  const BenchmarkProfile& bench = benchmarks()[GetParam()];
+  Evaluator eval(tiny_config());
+  double prev = 1e300;
+  for (double g : {0.0, 2.0, 4.0, 8.0}) {
+    const Organization org{16, {g, g / 2, g}, 0, 256};
+    const double peak = eval.thermal_eval(org, bench).peak_c;
+    EXPECT_LT(peak, prev + 1e-9) << bench.name << " g=" << g;
+    prev = peak;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SpacingMonotoneProperty,
+                         ::testing::Range<std::size_t>(0, kBenchmarkCount));
+
+}  // namespace
+}  // namespace tacos

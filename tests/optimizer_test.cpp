@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+
+namespace tacos {
+namespace {
+
+EvalConfig fast_config(std::size_t grid = 16) {
+  EvalConfig c;
+  c.thermal.grid_nx = c.thermal.grid_ny = grid;
+  return c;
+}
+
+OptimizerOptions fast_options(double alpha, double beta) {
+  OptimizerOptions o;
+  o.alpha = alpha;
+  o.beta = beta;
+  o.step_mm = 2.0;  // coarse grids keep the tests quick
+  o.starts = 4;
+  return o;
+}
+
+const BenchmarkProfile& cholesky() { return benchmark_by_name("cholesky"); }
+const BenchmarkProfile& lu() { return benchmark_by_name("lu.cont"); }
+
+TEST(Combos, SortedAscendingByObjective) {
+  Evaluator eval(fast_config());
+  const auto combos =
+      enumerate_combos(eval, cholesky(), 1000.0, eval.cost_2d(),
+                       fast_options(0.5, 0.5));
+  ASSERT_FALSE(combos.empty());
+  for (std::size_t i = 1; i < combos.size(); ++i)
+    EXPECT_LE(combos[i - 1].objective, combos[i].objective);
+}
+
+TEST(Combos, CountMatchesDesignDimensions) {
+  Evaluator eval(fast_config());
+  const OptimizerOptions opts = fast_options(1, 0);
+  const auto combos =
+      enumerate_combos(eval, cholesky(), 1000.0, eval.cost_2d(), opts);
+  // W in {20, 22, ..., 50} = 16 sizes, x 2 chiplet counts x 5 f x 8 p.
+  EXPECT_EQ(combos.size(), 16u * 2u * 5u * 8u);
+}
+
+TEST(Combos, ObjectiveMatchesEquation5) {
+  Evaluator eval(fast_config());
+  const double ips2d = 1234.0;
+  const auto combos = enumerate_combos(eval, cholesky(), ips2d,
+                                       eval.cost_2d(), fast_options(0.3, 0.7));
+  for (const auto& c : combos) {
+    EXPECT_NEAR(c.objective,
+                0.3 * ips2d / c.ips + 0.7 * c.cost / eval.cost_2d(), 1e-9);
+  }
+}
+
+TEST(Combos, PureCostObjectiveIsMinimizedByPackedSystem) {
+  Evaluator eval(fast_config());
+  const auto combos = enumerate_combos(eval, cholesky(), 1000.0,
+                                       eval.cost_2d(), fast_options(0, 1));
+  // With beta = 1 the best combination must use the minimal interposer.
+  EXPECT_NEAR(combos.front().interposer_mm, 20.0, 1e-9);
+}
+
+TEST(Placement, FourChipletIsDeterministic) {
+  Evaluator eval(fast_config());
+  Rng rng(1);
+  Combo combo{0, 256, 4, 30.0, 1.0, 40.0, 0.0};
+  const OptimizerOptions opts = fast_options(1, 0);
+  const auto org = find_placement_greedy(eval, lu(), combo, opts, rng);
+  // lu.cont at 1 GHz / 256 cores may or may not fit — but if it does, the
+  // spacing must be exactly the Eq. (9)-pinned budget.
+  if (org) {
+    EXPECT_DOUBLE_EQ(org->spacing.s1, 0.0);
+    EXPECT_NEAR(org->spacing.s3, 10.0, 1e-9);
+  }
+}
+
+TEST(Placement, SixteenChipletRespectsBudget) {
+  Evaluator eval(fast_config());
+  Rng rng(7);
+  Combo combo{4, 96, 16, 34.0, 1.0, 40.0, 0.0};  // weak point: feasible
+  OptimizerOptions opts = fast_options(1, 0);
+  opts.threshold_c = 95.0;
+  const auto org = find_placement_greedy(eval, lu(), combo, opts, rng);
+  ASSERT_TRUE(org.has_value());
+  // Eq. (9): 2*s1 + s3 equals the spacing budget of a 34 mm interposer.
+  EXPECT_NEAR(2 * org->spacing.s1 + org->spacing.s3, 14.0, 1e-9);
+  // Eq. (10) holds.
+  EXPECT_GE(2 * org->spacing.s1 + org->spacing.s3 - 2 * org->spacing.s2,
+            -1e-9);
+  // The found organization is genuinely feasible.
+  EXPECT_LE(eval.thermal_eval(*org, lu()).peak_c, opts.threshold_c);
+}
+
+TEST(Optimize, GreedyFindsFeasibleOrganization) {
+  Evaluator eval(fast_config(24));
+  const OptResult res = optimize_greedy(eval, lu(), fast_options(1, 0));
+  ASSERT_TRUE(res.found);
+  EXPECT_LE(res.peak_c, 85.0);
+  EXPECT_GT(res.ips, 0.0);
+  EXPECT_GT(res.thermal_solves, 0u);
+}
+
+TEST(Optimize, PureCostPicksMinimalInterposer) {
+  Evaluator eval(fast_config(24));
+  const OptResult res = optimize_greedy(eval, lu(), fast_options(0, 1));
+  ASSERT_TRUE(res.found);
+  EXPECT_NEAR(interposer_edge_of(res.org), 20.0, 1e-9);
+  // Minimal interposer = the paper's ~36% cost saving.
+  EXPECT_NEAR(res.cost / eval.cost_2d(), 0.64, 0.01);
+}
+
+TEST(Optimize, GreedyMatchesExhaustiveOnCoarseSpace) {
+  Evaluator eval_g(fast_config(16));
+  Evaluator eval_e(fast_config(16));
+  OptimizerOptions opts = fast_options(1, 0);
+  opts.step_mm = 4.0;
+  opts.prune_margin_c = 0.0;
+  const OptResult g = optimize_greedy(eval_g, cholesky(), opts);
+  const OptResult e = optimize_exhaustive(eval_e, cholesky(), opts);
+  ASSERT_EQ(g.found, e.found);
+  if (g.found) EXPECT_NEAR(g.objective, e.objective, 1e-12);
+}
+
+TEST(Optimize, DeterministicAcrossRuns) {
+  const OptimizerOptions opts = fast_options(1, 0);
+  Evaluator e1(fast_config(16));
+  Evaluator e2(fast_config(16));
+  const OptResult a = optimize_greedy(e1, cholesky(), opts);
+  const OptResult b = optimize_greedy(e2, cholesky(), opts);
+  ASSERT_EQ(a.found, b.found);
+  EXPECT_EQ(a.org, b.org);
+}
+
+TEST(Optimize, TighterThresholdNeverImprovesPerformance) {
+  // With alpha = 1, beta = 0 the optimizer maximizes IPS; relaxing the
+  // temperature threshold can only enlarge the feasible set.
+  Evaluator eval(fast_config(16));
+  OptimizerOptions hot = fast_options(1, 0);
+  hot.threshold_c = 105.0;
+  OptimizerOptions cold = fast_options(1, 0);
+  cold.threshold_c = 75.0;
+  const OptResult rh = optimize_greedy(eval, cholesky(), hot);
+  const OptResult rc = optimize_greedy(eval, cholesky(), cold);
+  ASSERT_TRUE(rh.found);
+  if (rc.found) EXPECT_GE(rh.ips, rc.ips - 1e-9);
+}
+
+TEST(Optimize, MaxIpsGrowsWithInterposer) {
+  Evaluator eval(fast_config(24));
+  OptimizerOptions opts = fast_options(1, 0);
+  Rng rng(3);
+  const MaxIpsResult small =
+      max_ips_at_interposer(eval, cholesky(), 16, 22.0, opts, rng);
+  const MaxIpsResult large =
+      max_ips_at_interposer(eval, cholesky(), 16, 42.0, opts, rng);
+  ASSERT_TRUE(small.found);
+  ASSERT_TRUE(large.found);
+  EXPECT_GE(large.ips, small.ips);
+  EXPECT_GT(large.ips, 1.2 * small.ips);  // spacing reclaims dark silicon
+}
+
+TEST(DesignSpace, SizeFormula) {
+  Evaluator eval(fast_config());
+  OptimizerOptions opts = fast_options(1, 0);
+  opts.step_mm = 10.0;
+  // W in {20, 30, 40, 50}; n=4 contributes 1 placement each; n=16 budgets
+  // {0,10,20,30} -> grid_max {0,0,1,1} -> {1,1,4,4} placements.
+  const std::size_t expected = (4u + 10u) * 5u * 8u;
+  EXPECT_EQ(design_space_size(eval, opts), expected);
+}
+
+TEST(DesignSpace, PaperScaleGranularity) {
+  // At the paper's 0.5 mm granularity the per-benchmark space has the
+  // same order of magnitude as the paper's 680k organizations.
+  Evaluator eval(fast_config());
+  OptimizerOptions opts = fast_options(1, 0);
+  opts.step_mm = 0.5;
+  const std::size_t space = design_space_size(eval, opts);
+  EXPECT_GT(space, 300000u);
+  EXPECT_LT(space, 5000000u);
+}
+
+}  // namespace
+}  // namespace tacos

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "perf/benchmark.hpp"
+#include "perf/ips_model.hpp"
+#include "power/dvfs.hpp"
+
+namespace tacos {
+namespace {
+
+TEST(Benchmarks, AllEightArePresent) {
+  const auto& all = benchmarks();
+  ASSERT_EQ(all.size(), 8u);
+  for (const char* name :
+       {"shock", "blackscholes", "cholesky", "hpccg", "swaptions",
+        "streamcluster", "canneal", "lu.cont"}) {
+    EXPECT_NO_THROW(benchmark_by_name(name)) << name;
+  }
+  EXPECT_THROW(benchmark_by_name("doom"), Error);
+}
+
+TEST(Benchmarks, PaperCalibrationFacts) {
+  // §V-B: canneal saturates at 192 active cores, lu.cont at 96.
+  EXPECT_EQ(benchmark_by_name("canneal").sat_cores, 192);
+  EXPECT_EQ(benchmark_by_name("lu.cont").sat_cores, 96);
+  // shock, blackscholes, cholesky are the high-power benchmarks.
+  for (const char* name : {"shock", "blackscholes", "cholesky"}) {
+    EXPECT_EQ(benchmark_by_name(name).power_class, PowerClass::kHigh) << name;
+  }
+  // High-power benchmarks dissipate more than the others.
+  const double p_high = benchmark_by_name("cholesky").power_256_w;
+  EXPECT_GT(p_high, benchmark_by_name("swaptions").power_256_w);
+}
+
+TEST(Benchmarks, RepresentativesCoverAllClasses) {
+  const auto& reps = representative_benchmarks();
+  EXPECT_EQ(benchmark_by_name(reps[0]).power_class, PowerClass::kLow);
+  EXPECT_EQ(benchmark_by_name(reps[1]).power_class, PowerClass::kMedium);
+  EXPECT_EQ(benchmark_by_name(reps[2]).power_class, PowerClass::kHigh);
+}
+
+TEST(IpsModel, SpeedupIsMonotoneUntilSaturation) {
+  const BenchmarkProfile& canneal = benchmark_by_name("canneal");
+  double prev = 0.0;
+  for (int p : {32, 64, 96, 128, 160, 192}) {
+    const double s = parallel_speedup(canneal, p);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  // Beyond the 192-core saturation point, no further gain.
+  EXPECT_DOUBLE_EQ(parallel_speedup(canneal, 224),
+                   parallel_speedup(canneal, 192));
+  EXPECT_DOUBLE_EQ(parallel_speedup(canneal, 256),
+                   parallel_speedup(canneal, 192));
+}
+
+TEST(IpsModel, SpeedupIsSublinear) {
+  const BenchmarkProfile& b = benchmark_by_name("cholesky");
+  EXPECT_LT(parallel_speedup(b, 256), 256.0);
+  EXPECT_GT(parallel_speedup(b, 256), parallel_speedup(b, 128));
+  // One core gives exactly 1 regardless of sigma.
+  EXPECT_DOUBLE_EQ(parallel_speedup(b, 1), 1.0);
+}
+
+TEST(IpsModel, EffectiveFrequencyAtNominalIsExact) {
+  for (const auto& b : benchmarks())
+    EXPECT_NEAR(effective_frequency(b, kNominalFreqMhz), kNominalFreqMhz,
+                1e-9);
+}
+
+TEST(IpsModel, MemoryBoundBenchmarksLoseLessAtLowFrequency) {
+  // canneal (mem_fraction 0.5) keeps more of its performance at 533 MHz
+  // than shock (mem_fraction 0.05).
+  const BenchmarkProfile& canneal = benchmark_by_name("canneal");
+  const BenchmarkProfile& shock = benchmark_by_name("shock");
+  const double canneal_ratio =
+      effective_frequency(canneal, 533.0) / kNominalFreqMhz;
+  const double shock_ratio =
+      effective_frequency(shock, 533.0) / kNominalFreqMhz;
+  EXPECT_GT(canneal_ratio, shock_ratio);
+  EXPECT_GT(canneal_ratio, 0.6);  // far better than the naive 0.533
+  EXPECT_LT(shock_ratio, 0.60);
+}
+
+TEST(IpsModel, SystemIpsComposes) {
+  const BenchmarkProfile& b = benchmark_by_name("hpccg");
+  const double ips = system_ips(b, 800.0, 128);
+  EXPECT_NEAR(ips,
+              b.base_ipc * effective_frequency(b, 800.0) *
+                  parallel_speedup(b, 128),
+              1e-9);
+}
+
+TEST(IpsModel, InvalidInputsThrow) {
+  const BenchmarkProfile& b = benchmark_by_name("hpccg");
+  EXPECT_THROW(parallel_speedup(b, 0), Error);
+  EXPECT_THROW(effective_frequency(b, 0.0), Error);
+  EXPECT_THROW(effective_frequency(b, -100.0), Error);
+}
+
+TEST(Dvfs, TableMatchesPaper) {
+  ASSERT_EQ(kDvfsLevelCount, 5u);
+  EXPECT_DOUBLE_EQ(kDvfsLevels[0].freq_mhz, 1000.0);
+  EXPECT_DOUBLE_EQ(kDvfsLevels[0].vdd, 0.90);
+  EXPECT_DOUBLE_EQ(kDvfsLevels[2].freq_mhz, 533.0);
+  EXPECT_DOUBLE_EQ(kDvfsLevels[2].vdd, 0.71);
+  // The two lowest levels share 0.63 V (Table II).
+  EXPECT_DOUBLE_EQ(kDvfsLevels[3].vdd, kDvfsLevels[4].vdd);
+  EXPECT_THROW(dvfs_level(5), Error);
+  // Active-core choices are 32..256 step 32.
+  ASSERT_EQ(kActiveCoreChoices.size(), 8u);
+  EXPECT_EQ(kActiveCoreChoices.front(), 32);
+  EXPECT_EQ(kActiveCoreChoices.back(), 256);
+}
+
+// Property: IPS is monotone in both frequency and core count (up to
+// saturation) for every benchmark.
+class IpsMonotoneProperty
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IpsMonotoneProperty, InFrequencyAndCores) {
+  const BenchmarkProfile& b = benchmarks()[GetParam()];
+  for (int p : kActiveCoreChoices) {
+    double prev = 0.0;
+    for (auto it = kDvfsLevels.rbegin(); it != kDvfsLevels.rend(); ++it) {
+      const double ips = system_ips(b, it->freq_mhz, p);
+      EXPECT_GT(ips, prev) << b.name << " f=" << it->freq_mhz << " p=" << p;
+      prev = ips;
+    }
+  }
+  for (std::size_t f = 0; f < kDvfsLevelCount; ++f) {
+    double prev = 0.0;
+    for (int p : kActiveCoreChoices) {
+      const double ips = system_ips(b, kDvfsLevels[f].freq_mhz, p);
+      EXPECT_GE(ips, prev);
+      prev = ips;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, IpsMonotoneProperty,
+                         ::testing::Range<std::size_t>(0, kBenchmarkCount));
+
+}  // namespace
+}  // namespace tacos

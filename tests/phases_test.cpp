@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/leakage.hpp"
+#include "core/trace_sim.hpp"
+#include "materials/stack.hpp"
+#include "perf/phases.hpp"
+
+namespace tacos {
+namespace {
+
+TEST(Phases, TraceCoversRequestedDuration) {
+  const auto trace =
+      synthetic_trace(benchmark_by_name("cholesky"), 10.0, 0.25);
+  double total = 0.0;
+  for (const auto& p : trace) total += p.duration_s;
+  EXPECT_NEAR(total, 10.0, 1e-9);
+  EXPECT_EQ(trace.size(), 40u);
+}
+
+TEST(Phases, ActivityStaysInBounds) {
+  for (const auto& bench : benchmarks()) {
+    const auto trace = synthetic_trace(bench, 20.0, 0.1);
+    for (const auto& p : trace) {
+      EXPECT_GE(p.activity, 0.05);
+      EXPECT_LE(p.activity, 1.0);
+    }
+  }
+}
+
+TEST(Phases, DeterministicPerBenchmarkAndSeed) {
+  const auto a = synthetic_trace(benchmark_by_name("canneal"), 5.0, 0.2, 7);
+  const auto b = synthetic_trace(benchmark_by_name("canneal"), 5.0, 0.2, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].activity, b[i].activity);
+  // Different benchmarks get different traces even with the same seed.
+  const auto c = synthetic_trace(benchmark_by_name("shock"), 5.0, 0.2, 7);
+  int diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].activity != c[i].activity) ++diff;
+  EXPECT_GT(diff, static_cast<int>(a.size()) / 2);
+}
+
+TEST(Phases, MemoryBoundBenchmarksSwingMore) {
+  const auto compute = synthetic_trace(benchmark_by_name("shock"), 30, 0.1);
+  const auto memory = synthetic_trace(benchmark_by_name("canneal"), 30, 0.1);
+  const auto spread = [](const std::vector<Phase>& t) {
+    double lo = 1e9, hi = -1e9;
+    for (const auto& p : t) {
+      lo = std::min(lo, p.activity);
+      hi = std::max(hi, p.activity);
+    }
+    return hi - lo;
+  };
+  EXPECT_GT(spread(memory), spread(compute));
+  EXPECT_GT(mean_activity(compute), mean_activity(memory));
+}
+
+TEST(Phases, InvalidDurationsThrow) {
+  const auto& b = benchmark_by_name("hpccg");
+  EXPECT_THROW(synthetic_trace(b, 0.0, 0.1), Error);
+  EXPECT_THROW(synthetic_trace(b, 1.0, 2.0), Error);
+  EXPECT_THROW(mean_activity({}), Error);
+}
+
+TEST(TraceSim, BoundedByFullActivitySteadyState) {
+  // The core claim of the ext_phase_trace experiment: the transient peak
+  // under any activity<=1 trace never exceeds the full-activity steady
+  // state (same layout/cores/level).
+  const ChipletLayout l = make_uniform_layout(4, 4.0);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  const PowerModelParams pm;
+  std::vector<int> all(256);
+  for (int i = 0; i < 256; ++i) all[static_cast<std::size_t>(i)] = i;
+  const BenchmarkProfile& bench = benchmark_by_name("cholesky");
+
+  ThermalModel m(l, make_25d_stack(), cfg);
+  const LeakageResult steady =
+      run_leakage_fixed_point(m, l, bench, kDvfsLevels[0], all, pm);
+  m.reset_to_ambient();
+  const auto trace = synthetic_trace(bench, 20.0, 0.5);
+  const TraceStats st =
+      simulate_trace(m, l, bench, kDvfsLevels[0], all, pm, trace);
+  EXPECT_LE(st.max_peak_c, steady.peak_c + 0.2);
+  EXPECT_GT(st.max_peak_c, 45.0);
+  EXPECT_EQ(st.steps, 40);
+}
+
+TEST(TraceSim, FullActivityTraceApproachesSteadyState) {
+  const ChipletLayout l = make_uniform_layout(2, 2.0);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 16;
+  const PowerModelParams pm;
+  std::vector<int> all(256);
+  for (int i = 0; i < 256; ++i) all[static_cast<std::size_t>(i)] = i;
+  const BenchmarkProfile& bench = benchmark_by_name("swaptions");
+
+  ThermalModel m(l, make_25d_stack(), cfg);
+  const LeakageResult steady =
+      run_leakage_fixed_point(m, l, bench, kDvfsLevels[0], all, pm);
+  m.reset_to_ambient();
+  std::vector<Phase> flat(30, Phase{5.0, 1.0});  // 150 s at full activity
+  const TraceStats st =
+      simulate_trace(m, l, bench, kDvfsLevels[0], all, pm, flat);
+  EXPECT_NEAR(st.final_peak_c, steady.peak_c, 0.5);
+}
+
+TEST(TraceSim, RejectsEmptyTrace) {
+  const ChipletLayout l = make_uniform_layout(2, 1.0);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 8;
+  ThermalModel m(l, make_25d_stack(), cfg);
+  std::vector<int> some = {0, 1, 2};
+  EXPECT_THROW(simulate_trace(m, l, benchmark_by_name("shock"),
+                              kDvfsLevels[0], some, PowerModelParams{}, {}),
+               Error);
+}
+
+}  // namespace
+}  // namespace tacos

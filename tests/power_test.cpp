@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "power/power_model.hpp"
+
+namespace tacos {
+namespace {
+
+const BenchmarkProfile& shock() { return benchmark_by_name("shock"); }
+
+TEST(PowerModel, NominalPowerSplitsSeventyThirty) {
+  // At the nominal level and reference temperature the paper's 70/30
+  // dynamic/leakage split must hold exactly.
+  const PowerModelParams p;
+  const double q = shock().power_256_w / 256.0;
+  EXPECT_NEAR(core_dynamic_power_w(shock(), kDvfsLevels[0], p), 0.7 * q,
+              1e-12);
+  EXPECT_NEAR(core_leakage_power_w(shock(), kDvfsLevels[0], 60.0, p), 0.3 * q,
+              1e-12);
+  EXPECT_NEAR(chip_power_w(shock(), kDvfsLevels[0], 60.0, 256, p),
+              shock().power_256_w, 1e-9);
+}
+
+TEST(PowerModel, DynamicPowerScalesAsV2F) {
+  const DvfsLevel& lo = kDvfsLevels[2];  // 533 MHz / 0.71 V
+  const double ratio = core_dynamic_power_w(shock(), lo) /
+                       core_dynamic_power_w(shock(), kDvfsLevels[0]);
+  const double expect =
+      (0.71 / 0.90) * (0.71 / 0.90) * (533.0 / 1000.0);
+  EXPECT_NEAR(ratio, expect, 1e-12);
+}
+
+TEST(PowerModel, LeakageGrowsLinearlyWithTemperature) {
+  const PowerModelParams p;
+  const double l60 = core_leakage_power_w(shock(), kDvfsLevels[0], 60.0, p);
+  const double l85 = core_leakage_power_w(shock(), kDvfsLevels[0], 85.0, p);
+  const double l110 = core_leakage_power_w(shock(), kDvfsLevels[0], 110.0, p);
+  EXPECT_NEAR(l85 / l60, 1.0 + p.lambda_per_k * 25.0, 1e-12);
+  // Linearity: equal increments in T give equal increments in leakage.
+  EXPECT_NEAR(l110 - l85, l85 - l60, 1e-12);
+}
+
+TEST(PowerModel, LeakageClampsAtModelBounds) {
+  const PowerModelParams p;
+  // Above 150 °C the linear extrapolation saturates (runaway guard).
+  EXPECT_NEAR(core_leakage_power_w(shock(), kDvfsLevels[0], 200.0, p),
+              core_leakage_power_w(shock(), kDvfsLevels[0], 150.0, p), 1e-12);
+  // Never negative even at absurdly low temperature.
+  EXPECT_GE(core_leakage_power_w(shock(), kDvfsLevels[0], -500.0, p), 0.0);
+}
+
+TEST(PowerModel, LeakageScalesWithVoltage) {
+  const double nominal =
+      core_leakage_power_w(shock(), kDvfsLevels[0], 60.0);
+  const double low = core_leakage_power_w(shock(), kDvfsLevels[3], 60.0);
+  EXPECT_NEAR(low / nominal, 0.63 / 0.90, 1e-12);
+}
+
+TEST(PowerModel, BuildPowerMapSumsCorrectly) {
+  const ChipletLayout l = make_uniform_layout(4, 2.0);
+  const std::vector<int> active = active_tiles(AllocPolicy::kMinTemp, 128);
+  const PowerModelParams p;
+  const PowerMap map =
+      build_power_map(l, shock(), kDvfsLevels[0], active, std::nullopt, p);
+  const double expected_cores =
+      chip_power_w(shock(), kDvfsLevels[0], p.t_ref_c, 128, p);
+  const double net = mesh_power_w(l, shock(), kDvfsLevels[0], p);
+  EXPECT_NEAR(map.total(), expected_cores + net, 1e-9);
+  // One source per active core plus one per chiplet for the network.
+  EXPECT_EQ(map.sources.size(), 128u + 16u);
+}
+
+TEST(PowerModel, PerTileTemperaturesDriveLeakage) {
+  const ChipletLayout l = make_uniform_layout(2, 1.0);
+  const std::vector<int> active = active_tiles(AllocPolicy::kRowMajor, 64);
+  std::vector<double> hot(256, 95.0), cool(256, 55.0);
+  const double p_hot =
+      build_power_map(l, shock(), kDvfsLevels[0], active, hot).total();
+  const double p_cool =
+      build_power_map(l, shock(), kDvfsLevels[0], active, cool).total();
+  EXPECT_GT(p_hot, p_cool);
+}
+
+TEST(PowerModel, IdleCoresConsumeNothing) {
+  const ChipletLayout l = make_uniform_layout(2, 1.0);
+  const PowerModelParams p;
+  const PowerMap map32 = build_power_map(l, shock(), kDvfsLevels[0],
+                                         active_tiles(AllocPolicy::kMinTemp, 32),
+                                         std::nullopt, p);
+  const PowerMap map256 =
+      build_power_map(l, shock(), kDvfsLevels[0],
+                      active_tiles(AllocPolicy::kMinTemp, 256), std::nullopt,
+                      p);
+  const double net = mesh_power_w(l, shock(), kDvfsLevels[0], p);
+  EXPECT_NEAR((map256.total() - net) / (map32.total() - net), 8.0, 1e-9);
+}
+
+TEST(PowerModel, InvalidInputsThrow) {
+  const ChipletLayout l = make_uniform_layout(2, 1.0);
+  EXPECT_THROW(chip_power_w(shock(), kDvfsLevels[0], 60.0, 300), Error);
+  std::vector<double> short_temps(10, 60.0);
+  EXPECT_THROW(build_power_map(l, shock(), kDvfsLevels[0], {0, 1},
+                               short_temps),
+               Error);
+  EXPECT_THROW(build_power_map(l, shock(), kDvfsLevels[0], {999},
+                               std::nullopt),
+               Error);
+}
+
+TEST(PowerModel, MemoryControllersAddEdgeSources) {
+  const ChipletLayout l = make_uniform_layout(2, 1.0);
+  PowerModelParams p;
+  p.mc_power_total_w = 8.0;
+  const auto active = active_tiles(AllocPolicy::kMinTemp, 64);
+  const PowerMap with_mc =
+      build_power_map(l, shock(), kDvfsLevels[0], active, std::nullopt, p);
+  PowerModelParams p0;
+  const PowerMap without =
+      build_power_map(l, shock(), kDvfsLevels[0], active, std::nullopt, p0);
+  EXPECT_NEAR(with_mc.total() - without.total(), 8.0, 1e-9);
+  EXPECT_EQ(with_mc.sources.size(), without.sources.size() + 8);
+}
+
+TEST(PowerModel, MemoryControllerTilesSitOnOppositeEdges) {
+  const auto mcs = memory_controller_tiles();
+  ASSERT_EQ(mcs.size(), 8u);
+  int left = 0, right = 0;
+  for (int id : mcs) {
+    const int tx = id % 16;
+    if (tx == 0) ++left;
+    if (tx == 15) ++right;
+  }
+  EXPECT_EQ(left, 4);
+  EXPECT_EQ(right, 4);
+}
+
+// Property: for every benchmark and DVFS level, chip power decreases
+// monotonically with the level index (lower f and V -> less power).
+class PowerMonotoneProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PowerMonotoneProperty, PowerDropsWithDvfsLevel) {
+  const BenchmarkProfile& b = benchmarks()[GetParam()];
+  double prev = 1e300;
+  for (std::size_t f = 0; f < kDvfsLevelCount; ++f) {
+    const double p = chip_power_w(b, kDvfsLevels[f], 60.0, 256);
+    EXPECT_LT(p, prev) << b.name << " level " << f;
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PowerMonotoneProperty,
+                         ::testing::Range<std::size_t>(0, kBenchmarkCount));
+
+}  // namespace
+}  // namespace tacos

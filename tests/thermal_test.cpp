@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "floorplan/layout.hpp"
+#include "materials/stack.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace tacos {
+namespace {
+
+ThermalConfig coarse_config(std::size_t n = 24) {
+  ThermalConfig c;
+  c.grid_nx = c.grid_ny = n;
+  return c;
+}
+
+/// Uniform power over the whole chip of the 2D baseline.
+PowerMap uniform_chip_power(const ChipletLayout& l, double watts) {
+  PowerMap p;
+  for (const auto& c : l.chiplets()) p.add(c.rect, watts / l.chiplet_count());
+  return p;
+}
+
+TEST(ThermalModel, EnergyBalance2D) {
+  const ChipletLayout chip = make_single_chip_layout();
+  ThermalModel model(chip, make_2d_stack(), coarse_config());
+  const PowerMap p = uniform_chip_power(chip, 150.0);
+  const ThermalResult r = model.solve(p);
+  EXPECT_TRUE(r.solve_info.converged);
+  EXPECT_LT(model.energy_balance_error(p), 1e-5);
+  EXPECT_GT(r.peak_c, 45.0);  // hotter than ambient
+}
+
+TEST(ThermalModel, EnergyBalance25D) {
+  const ChipletLayout l = make_uniform_layout(4, 2.0);
+  ThermalModel model(l, make_25d_stack(), coarse_config());
+  const PowerMap p = uniform_chip_power(l, 200.0);
+  const ThermalResult r = model.solve(p);
+  EXPECT_TRUE(r.solve_info.converged);
+  EXPECT_LT(model.energy_balance_error(p), 1e-5);
+  EXPECT_GT(r.peak_c, 45.0);
+}
+
+TEST(ThermalModel, ZeroPowerGivesAmbientEverywhere) {
+  const ChipletLayout chip = make_single_chip_layout();
+  ThermalModel model(chip, make_2d_stack(), coarse_config(16));
+  const ThermalResult r = model.solve(PowerMap{});
+  EXPECT_NEAR(r.peak_c, 45.0, 1e-6);
+  EXPECT_NEAR(r.peak_anywhere_c, 45.0, 1e-6);
+}
+
+TEST(ThermalModel, TemperatureScalesLinearlyWithPower) {
+  // Steady-state conduction is linear: T(2P) - Tamb == 2 (T(P) - Tamb).
+  const ChipletLayout chip = make_single_chip_layout();
+  ThermalModel model(chip, make_2d_stack(), coarse_config(16));
+  const double t1 =
+      model.solve(uniform_chip_power(chip, 100.0)).peak_c - 45.0;
+  const double t2 =
+      model.solve(uniform_chip_power(chip, 200.0)).peak_c - 45.0;
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-3 * t2);
+}
+
+TEST(ThermalModel, MorePowerIsHotter) {
+  const ChipletLayout l = make_uniform_layout(2, 1.0);
+  ThermalModel model(l, make_25d_stack(), coarse_config(16));
+  const double t_low = model.solve(uniform_chip_power(l, 100.0)).peak_c;
+  const double t_high = model.solve(uniform_chip_power(l, 260.0)).peak_c;
+  EXPECT_GT(t_high, t_low + 1.0);
+}
+
+TEST(ThermalModel, SpacingReducesPeakTemperature) {
+  // The paper's central observation (Fig. 5): larger chiplet spacing →
+  // lower peak temperature at equal power.
+  double prev = 1e9;
+  for (double g : {0.0, 2.0, 6.0, 10.0}) {
+    const ChipletLayout l = make_uniform_layout(2, g);
+    ThermalModel model(l, make_25d_stack(), coarse_config());
+    const double t = model.solve(uniform_chip_power(l, 250.0)).peak_c;
+    EXPECT_LT(t, prev) << "spacing " << g << "mm did not reduce temperature";
+    prev = t;
+  }
+}
+
+TEST(ThermalModel, MoreChipletsRunCoolerAtSameInterposerSize) {
+  // Fig. 3(b): at fixed interposer size and power, higher chiplet count
+  // (finer power subdivision) lowers the peak temperature.
+  const double interposer = 36.0;
+  const double watts = 300.0;
+  double prev = 1e9;
+  for (int r : {2, 4, 8}) {
+    const ChipletLayout l = make_uniform_layout_for_interposer(r, interposer);
+    ThermalModel model(l, make_25d_stack(), coarse_config());
+    const double t = model.solve(uniform_chip_power(l, watts)).peak_c;
+    EXPECT_LT(t, prev) << r << "x" << r << " should be cooler";
+    prev = t;
+  }
+}
+
+TEST(ThermalModel, HotspotIsUnderTheActiveChiplet) {
+  // Power only the south-west chiplet; the peak must sit inside it.
+  const ChipletLayout l = make_uniform_layout(2, 4.0);
+  ThermalModel model(l, make_25d_stack(), coarse_config());
+  PowerMap p;
+  p.add(l.chiplets()[0].rect, 120.0);
+  const ThermalResult r = model.solve(p);
+  const auto chiplet_t = model.chiplet_temperatures();
+  ASSERT_EQ(chiplet_t.size(), 4u);
+  // Chiplet 0 is the hottest; the diagonal one (index 3) the coolest.
+  EXPECT_GT(chiplet_t[0], chiplet_t[1]);
+  EXPECT_GT(chiplet_t[0], chiplet_t[2]);
+  EXPECT_GT(chiplet_t[1], chiplet_t[3]);
+  EXPECT_NEAR(r.peak_c, chiplet_t[0], (r.peak_c - 45.0));  // same region
+}
+
+TEST(ThermalModel, SymmetricLayoutGivesSymmetricField) {
+  const ChipletLayout l = make_uniform_layout(2, 3.0);
+  ThermalModel model(l, make_25d_stack(), coarse_config(16));
+  model.solve(uniform_chip_power(l, 200.0));
+  const auto t = model.chiplet_temperatures();
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_NEAR(t[0], t[1], 0.05);
+  EXPECT_NEAR(t[0], t[2], 0.05);
+  EXPECT_NEAR(t[0], t[3], 0.05);
+}
+
+TEST(ThermalModel, TileTemperaturesAvailableForTiledLayouts) {
+  const ChipletLayout l = make_uniform_layout(4, 1.0);
+  ThermalModel model(l, make_25d_stack(), coarse_config());
+  model.solve(uniform_chip_power(l, 180.0));
+  const auto tiles = model.tile_temperatures();
+  ASSERT_EQ(tiles.size(), 256u);
+  for (double t : tiles) {
+    EXPECT_GT(t, 45.0);
+    EXPECT_LT(t, 200.0);
+  }
+  // Centre tiles are hotter than corner tiles for uniform power.
+  const double corner = tiles[0];
+  const double center = tiles[8 * 16 + 8];
+  EXPECT_GT(center, corner);
+}
+
+TEST(ThermalModel, QueriesBeforeSolveThrow) {
+  const ChipletLayout l = make_uniform_layout(2, 1.0);
+  ThermalModel model(l, make_25d_stack(), coarse_config(8));
+  EXPECT_THROW(model.tile_temperatures(), Error);
+  EXPECT_THROW(model.chiplet_temperatures(), Error);
+  EXPECT_THROW(model.layer_field(0), Error);
+}
+
+TEST(ThermalModel, SourceOutsideDomainThrows) {
+  const ChipletLayout l = make_uniform_layout(2, 1.0);
+  ThermalModel model(l, make_25d_stack(), coarse_config(8));
+  PowerMap p;
+  p.add(Rect::make(100.0, 100.0, 5.0, 5.0), 50.0);
+  EXPECT_THROW(model.solve(p), Error);
+}
+
+TEST(ThermalModel, LargerSinkRunsCooler) {
+  // Same layout and power, bigger sink scale → lower peak (constant h).
+  const ChipletLayout l = make_uniform_layout(2, 2.0);
+  ThermalConfig small = coarse_config(16);
+  ThermalConfig big = coarse_config(16);
+  big.package.sink_scale = 3.0;
+  const double t_small =
+      ThermalModel(l, make_25d_stack(), small)
+          .solve(uniform_chip_power(l, 200.0))
+          .peak_c;
+  const double t_big = ThermalModel(l, make_25d_stack(), big)
+                           .solve(uniform_chip_power(l, 200.0))
+                           .peak_c;
+  EXPECT_LT(t_big, t_small);
+}
+
+TEST(ThermalModel, GridRefinementConverges) {
+  // Peak temperature should change little between 24- and 32-cell grids.
+  const ChipletLayout l = make_uniform_layout(2, 4.0);
+  const PowerMap p = uniform_chip_power(l, 220.0);
+  const double t24 =
+      ThermalModel(l, make_25d_stack(), coarse_config(24)).solve(p).peak_c;
+  const double t32 =
+      ThermalModel(l, make_25d_stack(), coarse_config(32)).solve(p).peak_c;
+  EXPECT_NEAR(t24, t32, 0.05 * (t32 - 45.0));
+}
+
+TEST(ThermalModel, ReciprocityHolds) {
+  // The conductance network is symmetric, so the temperature rise at
+  // chiplet j due to unit power on chiplet i equals the rise at i due to
+  // unit power on j — a structural property no amount of parameter
+  // tweaking can fake.
+  const ChipletLayout l = make_uniform_layout(4, 3.0);
+  ThermalModel model(l, make_25d_stack(), coarse_config());
+  const auto rise = [&](std::size_t src, std::size_t probe) {
+    PowerMap p;
+    p.add(l.chiplets()[src].rect, 50.0);
+    model.solve(p);
+    return model.chiplet_temperatures()[probe] - 45.0;
+  };
+  // Corner (0) vs center (5), and two unrelated chiplets.
+  EXPECT_NEAR(rise(0, 5), rise(5, 0), 1e-5);
+  EXPECT_NEAR(rise(3, 12), rise(12, 3), 1e-5);
+}
+
+TEST(ThermalModel, SuperpositionHolds) {
+  // Steady-state conduction is linear: the field of P1+P2 equals the sum
+  // of the individual excess fields.
+  const ChipletLayout l = make_uniform_layout(2, 4.0);
+  ThermalModel model(l, make_25d_stack(), coarse_config(16));
+  PowerMap p1, p2, p12;
+  p1.add(l.chiplets()[0].rect, 80.0);
+  p2.add(l.chiplets()[3].rect, 120.0);
+  p12.add(l.chiplets()[0].rect, 80.0);
+  p12.add(l.chiplets()[3].rect, 120.0);
+  model.solve(p1);
+  const auto t1 = model.chiplet_temperatures();
+  model.solve(p2);
+  const auto t2 = model.chiplet_temperatures();
+  model.solve(p12);
+  const auto t12 = model.chiplet_temperatures();
+  for (std::size_t i = 0; i < t12.size(); ++i)
+    EXPECT_NEAR(t12[i] - 45.0, (t1[i] - 45.0) + (t2[i] - 45.0), 1e-4);
+}
+
+TEST(ThermalModel, Matches1DAnalyticSolution) {
+  // With spreader_scale = sink_scale = 1 and uniform power the package is
+  // a pure 1D stack: no lateral gradients, so the peak temperature equals
+  // ambient + P * R_1D exactly, with
+  //   R_1D = R(chip half -> TIM mid) + R(TIM mid -> spreader mid)
+  //        + R(spreader mid -> sink mid) + R_convection.
+  const ChipletLayout chip = make_single_chip_layout();
+  ThermalConfig cfg = coarse_config(16);
+  cfg.package.spreader_scale = 1.0;
+  cfg.package.sink_scale = 1.0;
+  ThermalModel model(chip, make_2d_stack(), cfg);
+  const double watts = 100.0;
+  const ThermalResult r = model.solve(uniform_chip_power(chip, watts));
+
+  const double area = 18.0 * 18.0;  // mm^2
+  const double k_si = 110.0, k_tim = 4.0, k_cu = 385.0;
+  auto slab = [&](double k, double len_mm) { return len_mm / (k * area) * 1e3; };
+  const double r_1d = slab(k_si, 0.150 / 2) + slab(k_tim, 0.020 / 2)  // chip->TIM
+                      + slab(k_tim, 0.020 / 2) + slab(k_cu, 1.0 / 2)  // TIM->spr
+                      + slab(k_cu, 1.0 / 2) + slab(k_cu, 6.9 / 2)     // spr->sink
+                      + 1.0 / (cfg.package.h_convection * area * 1e-6);
+  const double expected = 45.0 + watts * r_1d;
+  EXPECT_NEAR(r.peak_c, expected, 0.005 * (expected - 45.0));
+  // And the field is laterally uniform: chiplet mean equals the peak.
+  EXPECT_NEAR(model.chiplet_temperatures()[0], r.peak_c,
+              1e-6 * (expected - 45.0));
+}
+
+TEST(ThermalModel, ConvectionDominatedLimit) {
+  // Doubling h at scale-1 package nearly halves the convective part of
+  // the 1D resistance — a second closed-form consistency check.
+  const ChipletLayout chip = make_single_chip_layout();
+  ThermalConfig c1 = coarse_config(12);
+  c1.package.spreader_scale = c1.package.sink_scale = 1.0;
+  ThermalConfig c2 = c1;
+  c2.package.h_convection = 2 * c1.package.h_convection;
+  const double watts = 200.0;
+  const double t1 = ThermalModel(chip, make_2d_stack(), c1)
+                        .solve(uniform_chip_power(chip, watts))
+                        .peak_c;
+  const double t2 = ThermalModel(chip, make_2d_stack(), c2)
+                        .solve(uniform_chip_power(chip, watts))
+                        .peak_c;
+  const double area_m2 = 18.0 * 18.0 * 1e-6;
+  const double dr = 0.5 / (c1.package.h_convection * area_m2);
+  EXPECT_NEAR(t1 - t2, watts * dr, 0.01 * watts * dr);
+}
+
+// Parameterized sweep: energy balance holds across chiplet counts.
+class EnergyBalanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnergyBalanceProperty, Holds) {
+  const int r = GetParam();
+  const ChipletLayout l = make_uniform_layout(r, 1.5);
+  ThermalModel model(l, make_25d_stack(), coarse_config(16));
+  const PowerMap p = uniform_chip_power(l, 175.0);
+  model.solve(p);
+  EXPECT_LT(model.energy_balance_error(p), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChipletCounts, EnergyBalanceProperty,
+                         ::testing::Values(2, 3, 4, 5, 8));
+
+}  // namespace
+}  // namespace tacos

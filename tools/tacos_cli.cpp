@@ -1,0 +1,194 @@
+/// \file tacos_cli.cpp
+/// \brief Command-line front end for the tacos library.
+///
+/// Subcommands:
+///   list                                  — benchmarks and DVFS levels
+///   evaluate  <bench> <n> <s1> <s2> <s3> <f_idx> <p>
+///                                         — one organization end to end
+///   baseline  <bench> [threshold]         — best 2D operating point
+///   optimize  <bench> [alpha] [beta] [threshold]
+///                                         — multi-start greedy (§III-D)
+///   sweep     <bench> <n> [threshold]     — max IPS vs interposer size
+///   cost      <n> <interposer_mm>         — Eq. (4) breakdown
+///
+/// Every command prints plain text; exit code 0 on success, 1 on user
+/// error (with a usage message), propagating tacos::Error messages.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/optimizer.hpp"
+#include "cost/cost_model.hpp"
+
+using namespace tacos;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage: tacos_cli <command> [args]\n"
+      "  list\n"
+      "  evaluate <bench> <n:1|4|16> <s1> <s2> <s3> <f_idx:0-4> <p>\n"
+      "  baseline <bench> [threshold_c=85]\n"
+      "  optimize <bench> [alpha=1] [beta=0] [threshold_c=85]\n"
+      "  sweep    <bench> <n:4|16> [threshold_c=85]\n"
+      "  cost     <n:4|16> <interposer_mm>\n";
+  return 1;
+}
+
+Evaluator make_evaluator() {
+  EvalConfig cfg;
+  cfg.thermal.grid_nx = cfg.thermal.grid_ny = 32;
+  return Evaluator(cfg);
+}
+
+int cmd_list() {
+  TextTable t({"benchmark", "suite", "class", "P256_w", "sat_cores",
+               "mem_frac"});
+  for (const auto& b : benchmarks()) {
+    t.add_row({std::string(b.name), std::string(b.suite),
+               b.power_class == PowerClass::kHigh     ? "high"
+               : b.power_class == PowerClass::kMedium ? "medium"
+                                                      : "low",
+               TextTable::fmt(b.power_256_w, 0), std::to_string(b.sat_cores),
+               TextTable::fmt(b.mem_fraction, 2)});
+  }
+  t.print("benchmarks");
+  TextTable d({"idx", "freq_mhz", "vdd"});
+  for (std::size_t i = 0; i < kDvfsLevelCount; ++i)
+    d.add_row({std::to_string(i), TextTable::fmt(kDvfsLevels[i].freq_mhz, 0),
+               TextTable::fmt(kDvfsLevels[i].vdd, 2)});
+  d.print("DVFS levels");
+  return 0;
+}
+
+int cmd_evaluate(const std::vector<std::string>& a) {
+  if (a.size() != 7) return usage();
+  Evaluator eval = make_evaluator();
+  const BenchmarkProfile& bench = benchmark_by_name(a[0]);
+  Organization org{std::stoi(a[1]),
+                   Spacing{std::stod(a[2]), std::stod(a[3]), std::stod(a[4])},
+                   std::stoul(a[5]), std::stoi(a[6])};
+  const ThermalEval& te = eval.thermal_eval(org, bench);
+  std::cout << "organization: n=" << org.n_chiplets << " s=("
+            << org.spacing.s1 << "," << org.spacing.s2 << ","
+            << org.spacing.s3 << ") f=" << level_of(org).freq_mhz
+            << "MHz p=" << org.active_cores << "\n"
+            << "interposer:   " << interposer_edge_of(org) << " mm\n"
+            << "peak temp:    " << te.peak_c << " C (power "
+            << te.total_power_w << " W, " << te.leak_iterations
+            << " leakage iterations)\n"
+            << "IPS:          " << eval.ips(org, bench) << "\n"
+            << "cost:         $" << eval.cost(org) << " ("
+            << eval.cost(org) / eval.cost_2d() << "x the 2D chip)\n";
+  return 0;
+}
+
+int cmd_baseline(const std::vector<std::string>& a) {
+  if (a.empty()) return usage();
+  Evaluator eval = make_evaluator();
+  const BenchmarkProfile& bench = benchmark_by_name(a[0]);
+  const double th = a.size() > 1 ? std::stod(a[1]) : 85.0;
+  const BaselinePoint& b = eval.baseline_2d(bench, th);
+  if (!b.feasible) {
+    std::cout << "no feasible 2D operating point under " << th << " C\n";
+    return 0;
+  }
+  std::cout << "2D baseline for " << bench.name << " under " << th
+            << " C: " << kDvfsLevels[b.dvfs_idx].freq_mhz << " MHz, "
+            << b.active_cores << " cores, peak " << b.peak_c << " C, IPS "
+            << b.ips << ", cost $" << eval.cost_2d() << "\n";
+  return 0;
+}
+
+int cmd_optimize(const std::vector<std::string>& a) {
+  if (a.empty()) return usage();
+  Evaluator eval = make_evaluator();
+  const BenchmarkProfile& bench = benchmark_by_name(a[0]);
+  OptimizerOptions opts;
+  opts.alpha = a.size() > 1 ? std::stod(a[1]) : 1.0;
+  opts.beta = a.size() > 2 ? std::stod(a[2]) : 0.0;
+  opts.threshold_c = a.size() > 3 ? std::stod(a[3]) : 85.0;
+  const OptResult r = optimize_greedy(eval, bench, opts);
+  if (!r.found) {
+    std::cout << "no feasible organization\n";
+    return 0;
+  }
+  std::cout << "optimum for " << bench.name << " (alpha=" << opts.alpha
+            << ", beta=" << opts.beta << ", " << opts.threshold_c
+            << " C):\n  n=" << r.org.n_chiplets << " s=(" << r.org.spacing.s1
+            << "," << r.org.spacing.s2 << "," << r.org.spacing.s3 << ") "
+            << level_of(r.org).freq_mhz << "MHz p=" << r.org.active_cores
+            << "\n  interposer " << interposer_edge_of(r.org) << " mm, peak "
+            << r.peak_c << " C, IPS " << r.ips << ", cost $" << r.cost
+            << " (" << r.cost / eval.cost_2d() << "x)\n  objective "
+            << r.objective << ", " << r.thermal_solves << " thermal solves\n";
+  return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& a) {
+  if (a.size() < 2) return usage();
+  Evaluator eval = make_evaluator();
+  const BenchmarkProfile& bench = benchmark_by_name(a[0]);
+  const int n = std::stoi(a[1]);
+  OptimizerOptions opts;
+  opts.threshold_c = a.size() > 2 ? std::stod(a[2]) : 85.0;
+  Rng rng(opts.seed);
+  const BaselinePoint& base = eval.baseline_2d(bench, opts.threshold_c);
+  TextTable t({"interposer_mm", "max_ips", "vs_2D", "org"});
+  for (double w = 20.0; w <= 50.0 + 1e-9; w += 2.0) {
+    const MaxIpsResult r = max_ips_at_interposer(eval, bench, n, w, opts,
+                                                 rng);
+    std::ostringstream org;
+    if (r.found)
+      org << level_of(r.org).freq_mhz << "MHz p=" << r.org.active_cores;
+    t.add_row({TextTable::fmt(w, 0),
+               r.found ? TextTable::fmt(r.ips, 0) : "none",
+               r.found && base.feasible ? TextTable::fmt(r.ips / base.ips, 2)
+                                        : "n/a",
+               r.found ? org.str() : "-"});
+  }
+  t.print("max IPS vs interposer size (" + std::string(bench.name) + ", " +
+          std::to_string(n) + " chiplets)");
+  return 0;
+}
+
+int cmd_cost(const std::vector<std::string>& a) {
+  if (a.size() != 2) return usage();
+  const int n = std::stoi(a[0]);
+  const double w = std::stod(a[1]);
+  const SystemSpec spec;
+  const double edge = spec.chip_edge_mm() / (n == 4 ? 2 : 4);
+  const CostBreakdown b = cost_breakdown_25d(n, edge * edge, w * w);
+  const double c2d =
+      single_chip_cost(spec.chip_edge_mm() * spec.chip_edge_mm());
+  std::cout << n << " chiplets on a " << w << " mm interposer:\n"
+            << "  chiplets:   $" << b.chiplets_total << " (" << b.chiplet_each
+            << " each)\n  interposer: $" << b.interposer << "\n  bonding:    $"
+            << b.bonding << " (yield factor " << b.bond_yield_factor << ")\n"
+            << "  total:      $" << b.total << "  = "
+            << b.total / c2d << "x the 2D chip ($" << c2d << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "evaluate") return cmd_evaluate(args);
+    if (cmd == "baseline") return cmd_baseline(args);
+    if (cmd == "optimize") return cmd_optimize(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "cost") return cmd_cost(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
