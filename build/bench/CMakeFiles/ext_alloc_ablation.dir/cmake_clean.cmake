@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_alloc_ablation.dir/ext_alloc_ablation.cpp.o"
+  "CMakeFiles/ext_alloc_ablation.dir/ext_alloc_ablation.cpp.o.d"
+  "ext_alloc_ablation"
+  "ext_alloc_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_alloc_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

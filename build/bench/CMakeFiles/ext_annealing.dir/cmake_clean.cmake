@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_annealing.dir/ext_annealing.cpp.o"
+  "CMakeFiles/ext_annealing.dir/ext_annealing.cpp.o.d"
+  "ext_annealing"
+  "ext_annealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiapp.dir/ext_multiapp.cpp.o"
+  "CMakeFiles/ext_multiapp.dir/ext_multiapp.cpp.o.d"
+  "ext_multiapp"
+  "ext_multiapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_phase_trace.dir/ext_phase_trace.cpp.o"
+  "CMakeFiles/ext_phase_trace.dir/ext_phase_trace.cpp.o.d"
+  "ext_phase_trace"
+  "ext_phase_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_phase_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sprinting.dir/ext_sprinting.cpp.o"
+  "CMakeFiles/ext_sprinting.dir/ext_sprinting.cpp.o.d"
+  "ext_sprinting"
+  "ext_sprinting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sprinting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_cost_model.dir/fig3a_cost_model.cpp.o"
+  "CMakeFiles/fig3a_cost_model.dir/fig3a_cost_model.cpp.o.d"
+  "fig3a_cost_model"
+  "fig3a_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_thermal_sweep.dir/fig3b_thermal_sweep.cpp.o"
+  "CMakeFiles/fig3b_thermal_sweep.dir/fig3b_thermal_sweep.cpp.o.d"
+  "fig3b_thermal_sweep"
+  "fig3b_thermal_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_thermal_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_perf_cost.dir/fig6_perf_cost.cpp.o"
+  "CMakeFiles/fig6_perf_cost.dir/fig6_perf_cost.cpp.o.d"
+  "fig6_perf_cost"
+  "fig6_perf_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_perf_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_objective.dir/fig7_objective.cpp.o"
+  "CMakeFiles/fig7_objective.dir/fig7_objective.cpp.o.d"
+  "fig7_objective"
+  "fig7_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_cost_claims.dir/tab_cost_claims.cpp.o"
+  "CMakeFiles/tab_cost_claims.dir/tab_cost_claims.cpp.o.d"
+  "tab_cost_claims"
+  "tab_cost_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_cost_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

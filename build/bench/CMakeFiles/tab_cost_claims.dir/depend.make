@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_cost_claims.
+# This may be replaced when dependencies are built.

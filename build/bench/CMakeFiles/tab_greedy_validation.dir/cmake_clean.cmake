@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_greedy_validation.dir/tab_greedy_validation.cpp.o"
+  "CMakeFiles/tab_greedy_validation.dir/tab_greedy_validation.cpp.o.d"
+  "tab_greedy_validation"
+  "tab_greedy_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_greedy_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_improvement_summary.dir/tab_improvement_summary.cpp.o"
+  "CMakeFiles/tab_improvement_summary.dir/tab_improvement_summary.cpp.o.d"
+  "tab_improvement_summary"
+  "tab_improvement_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_improvement_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_network_power.dir/tab_network_power.cpp.o"
+  "CMakeFiles/tab_network_power.dir/tab_network_power.cpp.o.d"
+  "tab_network_power"
+  "tab_network_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_network_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

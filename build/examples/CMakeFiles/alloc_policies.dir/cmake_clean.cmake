@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_policies.dir/alloc_policies.cpp.o"
+  "CMakeFiles/alloc_policies.dir/alloc_policies.cpp.o.d"
+  "alloc_policies"
+  "alloc_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_hotspot.dir/export_hotspot.cpp.o"
+  "CMakeFiles/export_hotspot.dir/export_hotspot.cpp.o.d"
+  "export_hotspot"
+  "export_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_organization.dir/optimize_organization.cpp.o"
+  "CMakeFiles/optimize_organization.dir/optimize_organization.cpp.o.d"
+  "optimize_organization"
+  "optimize_organization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_organization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

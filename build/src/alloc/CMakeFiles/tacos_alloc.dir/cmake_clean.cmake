@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacos_alloc.dir/policy.cpp.o"
+  "CMakeFiles/tacos_alloc.dir/policy.cpp.o.d"
+  "libtacos_alloc.a"
+  "libtacos_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacos_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/annealing.cpp" "src/core/CMakeFiles/tacos_core.dir/annealing.cpp.o" "gcc" "src/core/CMakeFiles/tacos_core.dir/annealing.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/tacos_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/tacos_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/experiments_cost.cpp" "src/core/CMakeFiles/tacos_core.dir/experiments_cost.cpp.o" "gcc" "src/core/CMakeFiles/tacos_core.dir/experiments_cost.cpp.o.d"
+  "/root/repo/src/core/experiments_opt.cpp" "src/core/CMakeFiles/tacos_core.dir/experiments_opt.cpp.o" "gcc" "src/core/CMakeFiles/tacos_core.dir/experiments_opt.cpp.o.d"
+  "/root/repo/src/core/experiments_thermal.cpp" "src/core/CMakeFiles/tacos_core.dir/experiments_thermal.cpp.o" "gcc" "src/core/CMakeFiles/tacos_core.dir/experiments_thermal.cpp.o.d"
+  "/root/repo/src/core/leakage.cpp" "src/core/CMakeFiles/tacos_core.dir/leakage.cpp.o" "gcc" "src/core/CMakeFiles/tacos_core.dir/leakage.cpp.o.d"
+  "/root/repo/src/core/multiapp.cpp" "src/core/CMakeFiles/tacos_core.dir/multiapp.cpp.o" "gcc" "src/core/CMakeFiles/tacos_core.dir/multiapp.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/tacos_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/tacos_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/reliability.cpp" "src/core/CMakeFiles/tacos_core.dir/reliability.cpp.o" "gcc" "src/core/CMakeFiles/tacos_core.dir/reliability.cpp.o.d"
+  "/root/repo/src/core/sprint.cpp" "src/core/CMakeFiles/tacos_core.dir/sprint.cpp.o" "gcc" "src/core/CMakeFiles/tacos_core.dir/sprint.cpp.o.d"
+  "/root/repo/src/core/trace_sim.cpp" "src/core/CMakeFiles/tacos_core.dir/trace_sim.cpp.o" "gcc" "src/core/CMakeFiles/tacos_core.dir/trace_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/materials/CMakeFiles/tacos_materials.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tacos_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/tacos_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/tacos_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tacos_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/tacos_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tacos_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/tacos_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/tacos_alloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacos_core.dir/annealing.cpp.o"
+  "CMakeFiles/tacos_core.dir/annealing.cpp.o.d"
+  "CMakeFiles/tacos_core.dir/evaluator.cpp.o"
+  "CMakeFiles/tacos_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/tacos_core.dir/experiments_cost.cpp.o"
+  "CMakeFiles/tacos_core.dir/experiments_cost.cpp.o.d"
+  "CMakeFiles/tacos_core.dir/experiments_opt.cpp.o"
+  "CMakeFiles/tacos_core.dir/experiments_opt.cpp.o.d"
+  "CMakeFiles/tacos_core.dir/experiments_thermal.cpp.o"
+  "CMakeFiles/tacos_core.dir/experiments_thermal.cpp.o.d"
+  "CMakeFiles/tacos_core.dir/leakage.cpp.o"
+  "CMakeFiles/tacos_core.dir/leakage.cpp.o.d"
+  "CMakeFiles/tacos_core.dir/multiapp.cpp.o"
+  "CMakeFiles/tacos_core.dir/multiapp.cpp.o.d"
+  "CMakeFiles/tacos_core.dir/optimizer.cpp.o"
+  "CMakeFiles/tacos_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/tacos_core.dir/reliability.cpp.o"
+  "CMakeFiles/tacos_core.dir/reliability.cpp.o.d"
+  "CMakeFiles/tacos_core.dir/sprint.cpp.o"
+  "CMakeFiles/tacos_core.dir/sprint.cpp.o.d"
+  "CMakeFiles/tacos_core.dir/trace_sim.cpp.o"
+  "CMakeFiles/tacos_core.dir/trace_sim.cpp.o.d"
+  "libtacos_core.a"
+  "libtacos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

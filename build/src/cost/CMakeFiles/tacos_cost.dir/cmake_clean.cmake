@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacos_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/tacos_cost.dir/cost_model.cpp.o.d"
+  "libtacos_cost.a"
+  "libtacos_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacos_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtacos_cost.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacos_floorplan.dir/layout.cpp.o"
+  "CMakeFiles/tacos_floorplan.dir/layout.cpp.o.d"
+  "libtacos_floorplan.a"
+  "libtacos_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacos_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/hotspot_export.cpp" "src/io/CMakeFiles/tacos_io.dir/hotspot_export.cpp.o" "gcc" "src/io/CMakeFiles/tacos_io.dir/hotspot_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/floorplan/CMakeFiles/tacos_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/materials/CMakeFiles/tacos_materials.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/tacos_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tacos_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacos_io.dir/hotspot_export.cpp.o"
+  "CMakeFiles/tacos_io.dir/hotspot_export.cpp.o.d"
+  "libtacos_io.a"
+  "libtacos_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacos_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

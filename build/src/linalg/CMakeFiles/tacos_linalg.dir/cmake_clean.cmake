@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacos_linalg.dir/csr.cpp.o"
+  "CMakeFiles/tacos_linalg.dir/csr.cpp.o.d"
+  "CMakeFiles/tacos_linalg.dir/solvers.cpp.o"
+  "CMakeFiles/tacos_linalg.dir/solvers.cpp.o.d"
+  "libtacos_linalg.a"
+  "libtacos_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacos_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacos_materials.dir/stack.cpp.o"
+  "CMakeFiles/tacos_materials.dir/stack.cpp.o.d"
+  "libtacos_materials.a"
+  "libtacos_materials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacos_materials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacos_noc.dir/interposer_link.cpp.o"
+  "CMakeFiles/tacos_noc.dir/interposer_link.cpp.o.d"
+  "CMakeFiles/tacos_noc.dir/mesh.cpp.o"
+  "CMakeFiles/tacos_noc.dir/mesh.cpp.o.d"
+  "libtacos_noc.a"
+  "libtacos_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacos_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

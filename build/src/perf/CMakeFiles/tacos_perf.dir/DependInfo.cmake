@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/benchmark.cpp" "src/perf/CMakeFiles/tacos_perf.dir/benchmark.cpp.o" "gcc" "src/perf/CMakeFiles/tacos_perf.dir/benchmark.cpp.o.d"
+  "/root/repo/src/perf/ips_model.cpp" "src/perf/CMakeFiles/tacos_perf.dir/ips_model.cpp.o" "gcc" "src/perf/CMakeFiles/tacos_perf.dir/ips_model.cpp.o.d"
+  "/root/repo/src/perf/phases.cpp" "src/perf/CMakeFiles/tacos_perf.dir/phases.cpp.o" "gcc" "src/perf/CMakeFiles/tacos_perf.dir/phases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacos_perf.dir/benchmark.cpp.o"
+  "CMakeFiles/tacos_perf.dir/benchmark.cpp.o.d"
+  "CMakeFiles/tacos_perf.dir/ips_model.cpp.o"
+  "CMakeFiles/tacos_perf.dir/ips_model.cpp.o.d"
+  "CMakeFiles/tacos_perf.dir/phases.cpp.o"
+  "CMakeFiles/tacos_perf.dir/phases.cpp.o.d"
+  "libtacos_perf.a"
+  "libtacos_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacos_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

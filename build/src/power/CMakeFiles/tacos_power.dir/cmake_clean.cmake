@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacos_power.dir/power_model.cpp.o"
+  "CMakeFiles/tacos_power.dir/power_model.cpp.o.d"
+  "libtacos_power.a"
+  "libtacos_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacos_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacos_thermal.dir/grid_model.cpp.o"
+  "CMakeFiles/tacos_thermal.dir/grid_model.cpp.o.d"
+  "libtacos_thermal.a"
+  "libtacos_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacos_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

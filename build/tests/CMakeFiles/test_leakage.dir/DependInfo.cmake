@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/leakage_test.cpp" "tests/CMakeFiles/test_leakage.dir/leakage_test.cpp.o" "gcc" "tests/CMakeFiles/test_leakage.dir/leakage_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/tacos_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tacos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/tacos_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/tacos_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/materials/CMakeFiles/tacos_materials.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tacos_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/tacos_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/tacos_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/tacos_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/tacos_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/tacos_floorplan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

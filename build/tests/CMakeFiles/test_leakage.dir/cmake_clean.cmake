@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_leakage.dir/leakage_test.cpp.o"
+  "CMakeFiles/test_leakage.dir/leakage_test.cpp.o.d"
+  "test_leakage"
+  "test_leakage.pdb"
+  "test_leakage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimizer_property.dir/optimizer_property_test.cpp.o"
+  "CMakeFiles/test_optimizer_property.dir/optimizer_property_test.cpp.o.d"
+  "test_optimizer_property"
+  "test_optimizer_property.pdb"
+  "test_optimizer_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimizer_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tacos_cli.dir/tacos_cli.cpp.o"
+  "CMakeFiles/tacos_cli.dir/tacos_cli.cpp.o.d"
+  "tacos_cli"
+  "tacos_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tacos_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
