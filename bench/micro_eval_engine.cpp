@@ -1,0 +1,207 @@
+/// Micro-harness for the parallel evaluation engine (machine-readable).
+///
+/// Measures, at 1 / 2 / N pool threads:
+///   * steady-state solver throughput (solves/sec, warm-started, on a
+///     16-chiplet layout large enough to engage the parallel SpMV path);
+///   * end-to-end multi-benchmark optimizer wall time (one optimize_greedy
+///     per benchmark via optimize_greedy_batch, per-task Evaluator shards);
+/// and verifies both are bit-identical across thread counts (the
+/// deterministic-reduction contract of solvers.cpp).
+///
+/// Emits BENCH_eval_engine.json so the perf trajectory is tracked from
+/// PR to PR.  Usage:
+///
+///   micro_eval_engine [out.json] [e2e_grid] [solver_grid]
+///
+/// Defaults: BENCH_eval_engine.json, 24, 48.  Thread counts beyond the
+/// machine's cores still run (the pool timeshares); speedups are whatever
+/// the hardware gives — the JSON records hardware_concurrency so a reader
+/// can judge.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/optimizer.hpp"
+#include "floorplan/layout.hpp"
+#include "materials/stack.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace {
+
+using namespace tacos;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Exact (round-trippable) rendering, for fingerprints.
+std::string fmt_exact(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+PowerMap uniform_power(const ChipletLayout& l, double total_w) {
+  PowerMap p;
+  for (const auto& c : l.chiplets()) p.add(c.rect, total_w / l.chiplet_count());
+  return p;
+}
+
+struct SolverRun {
+  double solves_per_sec = 0.0;
+  std::string fingerprint;  // exact tile temperatures of the last solve
+};
+
+/// Warm-started solves alternating between two power levels.
+SolverRun run_solver_micro(std::size_t grid, int n_solves) {
+  const ChipletLayout l = make_uniform_layout(4, 4.0);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = grid;
+  ThermalModel model(l, make_25d_stack(), cfg);
+  model.solve(uniform_power(l, 300.0));  // warm-up (excluded from timing)
+  const auto t0 = Clock::now();
+  for (int i = 0; i < n_solves; ++i)
+    model.solve(uniform_power(l, i % 2 == 0 ? 303.0 : 300.0));
+  const double dt = seconds_since(t0);
+  SolverRun out;
+  out.solves_per_sec = n_solves / dt;
+  std::ostringstream fp;
+  for (double t : model.tile_temperatures()) fp << fmt_exact(t) << ";";
+  out.fingerprint = fp.str();
+  return out;
+}
+
+struct E2eRun {
+  double wall_s = 0.0;
+  EvalStats stats;
+  std::string fingerprint;  // chosen orgs + objectives, all benchmarks
+};
+
+E2eRun run_e2e(std::size_t grid, const std::vector<std::string>& names) {
+  EvalConfig cfg;
+  cfg.thermal.grid_nx = cfg.thermal.grid_ny = grid;
+  OptimizerOptions oo;
+  oo.step_mm = 2.0;
+  E2eRun out;
+  const auto t0 = Clock::now();
+  const std::vector<OptResult> results =
+      optimize_greedy_batch(cfg, names, oo, &out.stats);
+  out.wall_s = seconds_since(t0);
+  std::ostringstream fp;
+  for (const OptResult& r : results) {
+    fp << r.found << "|" << r.org.n_chiplets << "|"
+       << fmt_exact(r.org.spacing.s1) << "|" << fmt_exact(r.org.spacing.s2)
+       << "|" << fmt_exact(r.org.spacing.s3) << "|" << r.org.dvfs_idx << "|"
+       << r.org.active_cores << "|" << fmt_exact(r.objective) << "\n";
+  }
+  out.fingerprint = fp.str();
+  return out;
+}
+
+std::string json_map(const std::vector<std::size_t>& keys,
+                     const std::vector<double>& vals) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    os << (i ? ", " : "") << "\"" << keys[i] << "\": " << fmt(vals[i]);
+  os << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_eval_engine.json";
+  const std::size_t e2e_grid =
+      argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 24;
+  const std::size_t solver_grid =
+      argc > 3 ? static_cast<std::size_t>(std::stoul(argv[3])) : 48;
+
+  const std::size_t hw = ThreadPool::default_thread_count();
+  // Always measure 1 and 2; top out at the machine (or TACOS_THREADS),
+  // but no lower than 4 so the headline "N threads" column exists even
+  // when the harness is smoke-tested on a small box.
+  std::vector<std::size_t> counts = {1, 2, std::max<std::size_t>(4, hw)};
+
+  std::vector<std::string> names;
+  for (const auto& b : benchmarks()) names.emplace_back(b.name);
+
+  std::vector<double> solver_rates, e2e_walls;
+  std::vector<std::size_t> e2e_solves;
+  bool solver_identical = true, e2e_identical = true;
+  std::string solver_fp0, e2e_fp0;
+
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::size_t n = counts[i];
+    ThreadPool::set_global_threads(n);
+    std::cerr << "[micro_eval_engine] threads=" << n << " solver micro...\n";
+    const SolverRun s = run_solver_micro(solver_grid, 40);
+    solver_rates.push_back(s.solves_per_sec);
+    if (i == 0)
+      solver_fp0 = s.fingerprint;
+    else
+      solver_identical = solver_identical && s.fingerprint == solver_fp0;
+
+    std::cerr << "[micro_eval_engine] threads=" << n << " e2e optimizer...\n";
+    const E2eRun e = run_e2e(e2e_grid, names);
+    e2e_walls.push_back(e.wall_s);
+    e2e_solves.push_back(e.stats.solves);
+    if (i == 0)
+      e2e_fp0 = e.fingerprint;
+    else
+      e2e_identical = e2e_identical && e.fingerprint == e2e_fp0;
+  }
+  ThreadPool::set_global_threads(hw);
+
+  const double speedup = e2e_walls.front() / e2e_walls.back();
+  const double solver_speedup = solver_rates.back() / solver_rates.front();
+
+  std::ofstream os(out_path);
+  os << "{\n"
+     << "  \"harness\": \"micro_eval_engine\",\n"
+     << "  \"hardware_concurrency\": " << hw << ",\n"
+     << "  \"thread_counts\": [";
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    os << (i ? ", " : "") << counts[i];
+  os << "],\n"
+     << "  \"solver\": {\n"
+     << "    \"grid\": " << solver_grid << ",\n"
+     << "    \"solves_per_sec\": " << json_map(counts, solver_rates) << ",\n"
+     << "    \"speedup_max_vs_1\": " << fmt(solver_speedup) << ",\n"
+     << "    \"bit_identical\": " << (solver_identical ? "true" : "false")
+     << "\n  },\n"
+     << "  \"optimizer_e2e\": {\n"
+     << "    \"grid\": " << e2e_grid << ",\n"
+     << "    \"benchmarks\": " << names.size() << ",\n"
+     << "    \"thermal_solves\": " << e2e_solves.front() << ",\n"
+     << "    \"wall_s\": " << json_map(counts, e2e_walls) << ",\n"
+     << "    \"speedup_max_vs_1\": " << fmt(speedup) << ",\n"
+     << "    \"bit_identical\": " << (e2e_identical ? "true" : "false")
+     << "\n  }\n}\n";
+  os.close();
+
+  std::cout << "solver: " << fmt(solver_rates.front()) << " -> "
+            << fmt(solver_rates.back()) << " solves/s ("
+            << fmt(solver_speedup) << "x), bit_identical="
+            << (solver_identical ? "yes" : "NO") << "\n"
+            << "e2e optimizer (" << names.size() << " benchmarks): "
+            << fmt(e2e_walls.front()) << " s -> " << fmt(e2e_walls.back())
+            << " s (" << fmt(speedup) << "x at " << counts.back()
+            << " threads), bit_identical=" << (e2e_identical ? "yes" : "NO")
+            << "\n"
+            << "wrote " << out_path << "\n";
+  return (solver_identical && e2e_identical) ? 0 : 1;
+}

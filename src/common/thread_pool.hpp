@@ -1,0 +1,214 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Work-queue thread pool with `parallel_for` / `parallel_map`.
+///
+/// The evaluation engine parallelizes two very different loop shapes:
+///
+///   * coarse, embarrassingly-parallel outer loops (one optimizer run per
+///     benchmark, one sweep point per task) where each task owns its own
+///     `Evaluator` shard, and
+///   * fine-grained inner loops (row-partitioned SpMV and fused CG vector
+///     kernels) that run *inside* those tasks.
+///
+/// Both shapes go through the same pool.  The design choices that make
+/// this safe and deterministic:
+///
+///   * **Caller participates.**  `parallel_for` never blocks waiting for a
+///     worker: the calling thread drains chunks from the same atomic
+///     cursor as the workers.  A nested `parallel_for` issued from a
+///     worker thread therefore always completes (worst case the caller
+///     runs every chunk itself) — no deadlock, no oversubscription
+///     beyond the pool size.
+///   * **Fixed chunking.**  Chunk boundaries depend only on (n, grain),
+///     never on the number of threads, so per-chunk partial results can
+///     be reduced in chunk order to give bit-identical answers at any
+///     thread count (see solvers.cpp).
+///   * **Exceptions propagate.**  The first exception thrown by any chunk
+///     is captured and rethrown on the calling thread after the loop
+///     drains.
+///
+/// The global pool size defaults to `std::thread::hardware_concurrency()`
+/// and can be overridden with the `TACOS_THREADS` environment variable or
+/// `ThreadPool::set_global_threads()` (the knob the bench harness and the
+/// determinism tests turn).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+class ThreadPool {
+ public:
+  /// A pool of `threads` logical execution lanes.  One lane is the caller
+  /// itself, so `threads == 1` spawns no OS threads at all and every
+  /// parallel_for degenerates to the serial loop (same chunking, same
+  /// reduction order).
+  explicit ThreadPool(std::size_t threads)
+      : n_lanes_(threads == 0 ? 1 : threads) {
+    workers_.reserve(n_lanes_ - 1);
+    for (std::size_t t = 0; t + 1 < n_lanes_; ++t)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (workers + the participating caller).
+  std::size_t thread_count() const { return n_lanes_; }
+
+  /// The process-wide pool.  Sized from TACOS_THREADS if set, otherwise
+  /// hardware_concurrency().  Construction is thread-safe; resizing via
+  /// set_global_threads() is not (call it from a single thread between
+  /// parallel regions, as the bench harness does).
+  static ThreadPool& global() {
+    std::lock_guard<std::mutex> lk(global_mu());
+    auto& p = global_slot();
+    if (!p) p = std::make_unique<ThreadPool>(default_thread_count());
+    return *p;
+  }
+
+  /// Replace the global pool with one of `threads` lanes.  Must not be
+  /// called while a parallel region is running.
+  static void set_global_threads(std::size_t threads) {
+    std::lock_guard<std::mutex> lk(global_mu());
+    global_slot() = std::make_unique<ThreadPool>(threads == 0 ? 1 : threads);
+  }
+
+  /// Pool size implied by the environment (TACOS_THREADS) or hardware.
+  static std::size_t default_thread_count() {
+    if (const char* env = std::getenv("TACOS_THREADS")) {
+      const long v = std::atol(env);
+      if (v >= 1) return static_cast<std::size_t>(v);
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+  }
+
+  /// Run `fn(begin, end)` over every chunk of `[0, n)` with fixed chunk
+  /// size `grain` (the last chunk may be short).  Chunk boundaries are
+  /// independent of the thread count.  Blocks until all chunks are done;
+  /// rethrows the first chunk exception.
+  template <typename Fn>
+  void parallel_for(std::size_t n, std::size_t grain, Fn&& fn) {
+    if (n == 0) return;
+    TACOS_CHECK(grain > 0, "parallel_for grain must be positive");
+    const std::size_t n_chunks = (n + grain - 1) / grain;
+
+    // Serial fast path: one lane, or a single chunk — run inline (still
+    // per-chunk, so reductions see the same boundaries).
+    if (n_lanes_ == 1 || n_chunks == 1) {
+      for (std::size_t c = 0; c < n_chunks; ++c)
+        fn(c * grain, std::min(n, (c + 1) * grain));
+      return;
+    }
+
+    struct Job {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> done{0};
+      std::size_t n = 0, grain = 0, n_chunks = 0;
+      std::function<void(std::size_t, std::size_t)> body;
+      std::mutex err_mu;
+      std::exception_ptr error;
+    };
+    auto job = std::make_shared<Job>();
+    job->n = n;
+    job->grain = grain;
+    job->n_chunks = n_chunks;
+    job->body = std::ref(fn);
+
+    const auto drain = [](Job& j) {
+      std::size_t c;
+      while ((c = j.next.fetch_add(1, std::memory_order_relaxed)) <
+             j.n_chunks) {
+        try {
+          j.body(c * j.grain, std::min(j.n, (c + 1) * j.grain));
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(j.err_mu);
+          if (!j.error) j.error = std::current_exception();
+        }
+        j.done.fetch_add(1, std::memory_order_acq_rel);
+      }
+    };
+
+    // Offer the job to up to (chunks - 1) workers; the caller drains too.
+    const std::size_t helpers = std::min(n_lanes_ - 1, n_chunks - 1);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (std::size_t t = 0; t < helpers; ++t)
+        queue_.emplace_back([job, drain] { drain(*job); });
+    }
+    cv_.notify_all();
+
+    drain(*job);
+    // All chunks are claimed once the caller's drain returns; wait for the
+    // in-flight ones (claimed by workers) to finish.
+    while (job->done.load(std::memory_order_acquire) < n_chunks)
+      std::this_thread::yield();
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+  /// Apply `fn` to every element of `items`, returning results in input
+  /// order.  Each element is its own chunk (coarse tasks).  The result
+  /// type must be default-constructible and movable.
+  template <typename T, typename Fn>
+  auto parallel_map(const std::vector<T>& items, Fn&& fn)
+      -> std::vector<decltype(fn(items[0]))> {
+    std::vector<decltype(fn(items[0]))> out(items.size());
+    parallel_for(items.size(), 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) out[i] = fn(items[i]);
+    });
+    return out;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  static std::mutex& global_mu() {
+    static std::mutex m;
+    return m;
+  }
+  static std::unique_ptr<ThreadPool>& global_slot() {
+    static std::unique_ptr<ThreadPool> p;
+    return p;
+  }
+
+  const std::size_t n_lanes_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace tacos

@@ -153,6 +153,7 @@ const BaselinePoint& Evaluator::baseline_2d(const BenchmarkProfile& bench,
             [](const Cand& a, const Cand& b) { return a.ips > b.ips; });
 
   BaselinePoint best;
+  best.feasible = false;  // explicit: stays infeasible if nothing fits
   for (const Cand& c : cands) {
     Organization org{1, {}, c.f, c.p};
     if (feasible(org, bench, threshold_c)) {
@@ -164,6 +165,8 @@ const BaselinePoint& Evaluator::baseline_2d(const BenchmarkProfile& bench,
       break;
     }
   }
+  // Memoized either way: an infeasible threshold is a legitimate, stable
+  // answer (feasible == false), not a cache miss to retry.
   return baseline_memo_.emplace(key, best).first->second;
 }
 

@@ -63,12 +63,28 @@ struct ThermalEval {
 };
 
 /// The 2D baseline operating point (best (f, p) under a threshold).
+/// When no (f, p) pair meets the threshold, `feasible` is false and the
+/// remaining fields are meaningless placeholders (zeros) — callers must
+/// check `feasible` before using them (baseline_2d() documents this).
 struct BaselinePoint {
   std::size_t dvfs_idx = 0;
   int active_cores = 0;
   double ips = 0.0;
   double peak_c = 0.0;
   bool feasible = false;  ///< false if no (f, p) meets the threshold
+};
+
+/// Mergeable evaluation counters.  Parallel drivers give every task its
+/// own Evaluator shard (the caches are not thread-safe) and combine the
+/// shards' counters at join time with operator+=.
+struct EvalStats {
+  std::size_t solves = 0;  ///< linear-solver invocations
+  std::size_t evals = 0;   ///< full organization evaluations simulated
+  EvalStats& operator+=(const EvalStats& o) {
+    solves += o.solves;
+    evals += o.evals;
+    return *this;
+  }
 };
 
 class Evaluator {
@@ -96,6 +112,9 @@ class Evaluator {
   double cost_2d() const { return cost_2d_; }
 
   /// Best 2D operating point under `threshold_c` (memoized per threshold).
+  /// If no (f, p) pair is thermally feasible, the returned point has
+  /// `feasible == false` (explicitly marked, and memoized as such) and its
+  /// other fields must not be interpreted.
   const BaselinePoint& baseline_2d(const BenchmarkProfile& bench,
                                    double threshold_c);
 
@@ -103,6 +122,8 @@ class Evaluator {
   std::size_t solve_count() const { return solve_count_; }
   /// Number of full organization evaluations actually simulated.
   std::size_t eval_count() const { return eval_count_; }
+  /// Both counters as a mergeable snapshot (parallel shard join).
+  EvalStats stats() const { return EvalStats{solve_count_, eval_count_}; }
   void reset_stats() {
     solve_count_ = 0;
     eval_count_ = 0;

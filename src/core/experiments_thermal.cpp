@@ -1,3 +1,4 @@
+#include "common/thread_pool.hpp"
 #include "core/experiments.hpp"
 #include "core/leakage.hpp"
 #include "materials/stack.hpp"
@@ -33,31 +34,33 @@ TextTable fig3b_thermal_table(const ExperimentOptions& opts) {
   TextTable t({"series", "interposer_mm", "power_density_w_mm2", "peak_c"});
   const std::vector<double> densities = {0.5, 1.0, 1.5, 2.0};
 
-  // r x r chiplet grids, uniform spacing stretched to the interposer size.
-  for (int r = 2; r <= 10; ++r) {
+  // One parallel task per series (r = 2..10 chiplet grids, plus the grown
+  // single chip as r = 0); each task owns its models, and the join emits
+  // rows in series order, so the table is identical at any thread count.
+  std::vector<int> series;
+  for (int r = 2; r <= 10; ++r) series.push_back(r);
+  series.push_back(0);  // "new-2D"
+
+  const auto blocks = ThreadPool::global().parallel_map(series, [&](int r) {
+    std::vector<std::vector<std::string>> rows;
     for (double w = 20.0; w <= spec.max_interposer_mm + 1e-9; w += 1.0) {
-      const ChipletLayout l = make_uniform_layout_for_interposer(r, w, spec);
-      ThermalModel model(l, make_25d_stack(), cfg);
+      const ChipletLayout l = r == 0
+                                  ? grown_single_chip(w)
+                                  : make_uniform_layout_for_interposer(r, w,
+                                                                       spec);
+      ThermalModel model(l, r == 0 ? make_2d_stack() : make_25d_stack(), cfg);
       for (double pd : densities) {
         const ThermalResult res = model.solve(uniform_power(l, pd * chip_area));
-        t.add_row({std::to_string(r) + "x" + std::to_string(r),
-                   TextTable::fmt(w, 0), TextTable::fmt(pd, 1),
-                   TextTable::fmt(res.peak_c, 2)});
+        rows.push_back(
+            {r == 0 ? "new-2D" : std::to_string(r) + "x" + std::to_string(r),
+             TextTable::fmt(w, 0), TextTable::fmt(pd, 1),
+             TextTable::fmt(res.peak_c, 2)});
       }
     }
-  }
-
-  // "New 2D single chip": a monolithic die grown to the interposer size,
-  // dissipating the same total power (spread over the larger area).
-  for (double w = 20.0; w <= spec.max_interposer_mm + 1e-9; w += 1.0) {
-    const ChipletLayout l = grown_single_chip(w);
-    ThermalModel model(l, make_2d_stack(), cfg);
-    for (double pd : densities) {
-      const ThermalResult res = model.solve(uniform_power(l, pd * chip_area));
-      t.add_row({"new-2D", TextTable::fmt(w, 0), TextTable::fmt(pd, 1),
-                 TextTable::fmt(res.peak_c, 2)});
-    }
-  }
+    return rows;
+  });
+  for (const auto& rows : blocks)
+    for (const auto& row : rows) t.add_row(row);
   return t;
 }
 
@@ -73,35 +76,45 @@ TextTable fig5_spacing_table(const ExperimentOptions& opts) {
 
   TextTable t({"benchmark", "chiplets", "spacing_mm", "interposer_mm",
                "power_w", "peak_c"});
-  for (const BenchmarkProfile& bench : benchmarks()) {
-    // 0 mm: the single-chip system.
-    {
-      const ChipletLayout chip = make_single_chip_layout(spec);
-      ThermalModel model(chip, make_2d_stack(), cfg);
-      const LeakageResult lr = run_leakage_fixed_point(
-          model, chip, bench, nominal, all_cores, pm);
-      t.add_row({std::string(bench.name), "1", "0.0",
-                 TextTable::fmt(chip.interposer_edge(), 1),
-                 TextTable::fmt(lr.total_power_w, 1),
-                 TextTable::fmt(lr.peak_c, 2)});
-    }
-    // 2.5D: r x r chiplets, uniform spacing 0.5..10 mm within Eq. (7).
-    for (int r : {2, 4, 8, 16}) {
-      const double g_max = max_uniform_spacing(r, spec);
-      for (double g = 0.5; g <= 10.0 + 1e-9; g += 0.5) {
-        if (g > g_max + 1e-9) break;
-        const ChipletLayout l = make_uniform_layout(r, g, spec);
-        ThermalModel model(l, make_25d_stack(), cfg);
-        const LeakageResult lr =
-            run_leakage_fixed_point(model, l, bench, nominal, all_cores, pm);
-        t.add_row({std::string(bench.name), std::to_string(r * r),
-                   TextTable::fmt(g, 1),
-                   TextTable::fmt(l.interposer_edge(), 1),
-                   TextTable::fmt(lr.total_power_w, 1),
-                   TextTable::fmt(lr.peak_c, 2)});
-      }
-    }
-  }
+  // One parallel task per benchmark; each task owns its thermal models and
+  // returns its rows, appended at the join in benchmark order.
+  std::vector<std::string> names;
+  for (const BenchmarkProfile& bench : benchmarks())
+    names.emplace_back(bench.name);
+  const auto blocks = ThreadPool::global().parallel_map(
+      names, [&](const std::string& name) {
+        const BenchmarkProfile& bench = benchmark_by_name(name);
+        std::vector<std::vector<std::string>> rows;
+        // 0 mm: the single-chip system.
+        {
+          const ChipletLayout chip = make_single_chip_layout(spec);
+          ThermalModel model(chip, make_2d_stack(), cfg);
+          const LeakageResult lr = run_leakage_fixed_point(
+              model, chip, bench, nominal, all_cores, pm);
+          rows.push_back({name, "1", "0.0",
+                          TextTable::fmt(chip.interposer_edge(), 1),
+                          TextTable::fmt(lr.total_power_w, 1),
+                          TextTable::fmt(lr.peak_c, 2)});
+        }
+        // 2.5D: r x r chiplets, uniform spacing 0.5..10 mm within Eq. (7).
+        for (int r : {2, 4, 8, 16}) {
+          const double g_max = max_uniform_spacing(r, spec);
+          for (double g = 0.5; g <= 10.0 + 1e-9; g += 0.5) {
+            if (g > g_max + 1e-9) break;
+            const ChipletLayout l = make_uniform_layout(r, g, spec);
+            ThermalModel model(l, make_25d_stack(), cfg);
+            const LeakageResult lr = run_leakage_fixed_point(
+                model, l, bench, nominal, all_cores, pm);
+            rows.push_back({name, std::to_string(r * r), TextTable::fmt(g, 1),
+                            TextTable::fmt(l.interposer_edge(), 1),
+                            TextTable::fmt(lr.total_power_w, 1),
+                            TextTable::fmt(lr.peak_c, 2)});
+          }
+        }
+        return rows;
+      });
+  for (const auto& rows : blocks)
+    for (const auto& row : rows) t.add_row(row);
   return t;
 }
 

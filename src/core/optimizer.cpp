@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <string>
+
+#include "common/thread_pool.hpp"
 
 namespace tacos {
 
@@ -224,6 +227,30 @@ OptResult optimize_greedy(Evaluator& eval, const BenchmarkProfile& bench,
   return optimize_impl(eval, bench, opts, [&](const Combo& c) {
     return find_placement_greedy(eval, bench, c, opts, rng);
   });
+}
+
+std::vector<OptResult> optimize_greedy_batch(
+    const EvalConfig& config, const std::vector<std::string>& bench_names,
+    const OptimizerOptions& opts, EvalStats* merged) {
+  struct TaskOut {
+    OptResult result;
+    EvalStats stats;
+  };
+  const std::vector<TaskOut> outs = ThreadPool::global().parallel_map(
+      bench_names, [&](const std::string& name) {
+        Evaluator eval(config);  // per-task shard: caches never shared
+        TaskOut out;
+        out.result = optimize_greedy(eval, benchmark_by_name(name), opts);
+        out.stats = eval.stats();
+        return out;
+      });
+  std::vector<OptResult> results;
+  results.reserve(outs.size());
+  for (const TaskOut& o : outs) {
+    results.push_back(o.result);
+    if (merged) *merged += o.stats;
+  }
+  return results;
 }
 
 OptResult optimize_exhaustive(Evaluator& eval, const BenchmarkProfile& bench,

@@ -96,6 +96,19 @@ std::optional<Organization> find_placement_exhaustive(
 OptResult optimize_greedy(Evaluator& eval, const BenchmarkProfile& bench,
                           const OptimizerOptions& opts);
 
+/// Runs optimize_greedy for every benchmark in `bench_names` on the global
+/// ThreadPool.  Each benchmark gets its own freshly-constructed Evaluator
+/// shard (the Evaluator caches are not thread-safe, and sharing a frontier
+/// across benchmarks would make results depend on completion order) and
+/// its own Rng seeded from opts.seed, so the returned results — including
+/// every chosen organization and objective value — are byte-identical at
+/// any thread count, and identical to running the benchmarks serially in
+/// order.  Results align with `bench_names`; if `merged` is non-null the
+/// per-shard solver/eval counters are summed into it at join.
+std::vector<OptResult> optimize_greedy_batch(
+    const EvalConfig& config, const std::vector<std::string>& bench_names,
+    const OptimizerOptions& opts, EvalStats* merged = nullptr);
+
 /// Full optimization with exhaustive placement search (validation only).
 OptResult optimize_exhaustive(Evaluator& eval, const BenchmarkProfile& bench,
                               const OptimizerOptions& opts);

@@ -1,8 +1,10 @@
 #include "linalg/solvers.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace tacos {
 
@@ -14,10 +16,57 @@ double norm2(const std::vector<double>& v) {
 
 namespace {
 
-double dot(const std::vector<double>& a, const std::vector<double>& b) {
+/// Reduction chunk size (rows).  Chunk boundaries — and therefore the
+/// floating-point summation order — depend only on this constant and the
+/// problem size, never on the thread count, so every reduction below is
+/// bit-identical at 1, 2, or N threads.
+constexpr std::size_t kChunkRows = 2048;
+
+/// Row count below which the kernels skip the pool entirely (the serial
+/// path uses the same chunk boundaries, so results do not change — only
+/// the dispatch overhead is avoided).  Thermal systems at grid 32+ are
+/// above this; the small test matrices are below it.
+constexpr std::size_t kParallelMinRows = 8192;
+
+/// Runs `body(lo, hi)` over every kChunkRows-sized chunk of [0, n), on
+/// `pool` when given (nullptr = serial).  `body` must be data-parallel
+/// across chunks (each chunk touches only its own rows / partial slot).
+template <typename Body>
+void for_chunks(std::size_t n, ThreadPool* pool, Body&& body) {
+  if (pool) {
+    pool->parallel_for(n, kChunkRows, body);
+  } else {
+    for (std::size_t lo = 0; lo < n; lo += kChunkRows)
+      body(lo, std::min(n, lo + kChunkRows));
+  }
+}
+
+/// Deterministic reduction: `chunk_fn(lo, hi)` returns one partial sum per
+/// chunk; partials are combined sequentially in chunk order.
+template <typename ChunkFn>
+double reduce_chunks(std::size_t n, ThreadPool* pool,
+                     std::vector<double>& partials, ChunkFn&& chunk_fn) {
+  const std::size_t n_chunks = (n + kChunkRows - 1) / kChunkRows;
+  partials.assign(n_chunks, 0.0);
+  for_chunks(n, pool, [&](std::size_t lo, std::size_t hi) {
+    partials[lo / kChunkRows] = chunk_fn(lo, hi);
+  });
   double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  for (double v : partials) acc += v;
   return acc;
+}
+
+/// Row range of a sparse matrix-vector product: y[lo..hi) = (A x)[lo..hi).
+inline void spmv_rows(const CsrMatrix& A, const std::vector<double>& x,
+                      std::vector<double>& y, std::size_t lo, std::size_t hi) {
+  const auto& rp = A.row_ptr();
+  const auto& ci = A.col_idx();
+  const auto& va = A.values();
+  for (std::size_t i = lo; i < hi; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = rp[i]; k < rp[i + 1]; ++k) acc += va[k] * x[ci[k]];
+    y[i] = acc;
+  }
 }
 
 }  // namespace
@@ -26,6 +75,11 @@ SolveResult solve_pcg(const CsrMatrix& A, const std::vector<double>& b,
                       std::vector<double>& x, const SolveOptions& opts) {
   const std::size_t n = A.rows();
   TACOS_CHECK(b.size() == n && x.size() == n, "dimension mismatch in PCG");
+
+  ThreadPool& global_pool = ThreadPool::global();
+  ThreadPool* const par =
+      (n >= kParallelMinRows && global_pool.thread_count() > 1) ? &global_pool
+                                                                : nullptr;
 
   const std::vector<double> diag = A.diagonal();
   std::vector<double> inv_diag(n);
@@ -36,46 +90,95 @@ SolveResult solve_pcg(const CsrMatrix& A, const std::vector<double>& b,
   }
 
   std::vector<double> r(n), z(n), p(n), Ap(n);
-  A.multiply(x, Ap);
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - Ap[i];
+  std::vector<double> partials;
 
-  const double b_norm = norm2(b);
+  // r = b - A x, with ||r||^2 in the same pass.
+  double rr = reduce_chunks(n, par, partials, [&](std::size_t lo,
+                                                  std::size_t hi) {
+    spmv_rows(A, x, Ap, lo, hi);
+    double acc = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      r[i] = b[i] - Ap[i];
+      acc += r[i] * r[i];
+    }
+    return acc;
+  });
+
+  const double b_norm = std::sqrt(reduce_chunks(
+      n, par, partials, [&](std::size_t lo, std::size_t hi) {
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) acc += b[i] * b[i];
+        return acc;
+      }));
   const double threshold = opts.rel_tolerance * (b_norm > 0 ? b_norm : 1.0);
 
   SolveResult res;
-  double r_norm = norm2(r);
+  double r_norm = std::sqrt(rr);
   if (r_norm <= threshold) {
     res.converged = true;
     res.residual_norm = b_norm > 0 ? r_norm / b_norm : r_norm;
     return res;
   }
 
-  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  // z = M^{-1} r and rz = r·z, fused.
+  double rz =
+      reduce_chunks(n, par, partials, [&](std::size_t lo, std::size_t hi) {
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          z[i] = inv_diag[i] * r[i];
+          acc += r[i] * z[i];
+        }
+        return acc;
+      });
   p = z;
-  double rz = dot(r, z);
 
   for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
-    A.multiply(p, Ap);
-    const double pAp = dot(p, Ap);
+    // Ap = A p and pAp = p·Ap in one pass over the matrix.
+    const double pAp =
+        reduce_chunks(n, par, partials, [&](std::size_t lo, std::size_t hi) {
+          spmv_rows(A, p, Ap, lo, hi);
+          double acc = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) acc += p[i] * Ap[i];
+          return acc;
+        });
     TACOS_ASSERT(pAp > 0.0, "matrix is not positive definite (pAp=" << pAp
                                                                     << ")");
     const double alpha = rz / pAp;
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] += alpha * p[i];
-      r[i] -= alpha * Ap[i];
-    }
-    r_norm = norm2(r);
+
+    // x += alpha p, r -= alpha Ap, and ||r||^2 fused into one pass.
+    rr = reduce_chunks(n, par, partials,
+                       [&](std::size_t lo, std::size_t hi) {
+                         double acc = 0.0;
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           x[i] += alpha * p[i];
+                           r[i] -= alpha * Ap[i];
+                           acc += r[i] * r[i];
+                         }
+                         return acc;
+                       });
+    r_norm = std::sqrt(rr);
     if (r_norm <= threshold) {
       res.converged = true;
       res.iterations = it;
       res.residual_norm = b_norm > 0 ? r_norm / b_norm : r_norm;
       return res;
     }
-    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
-    const double rz_new = dot(r, z);
+
+    // z = M^{-1} r and rz_new = r·z, fused.
+    const double rz_new =
+        reduce_chunks(n, par, partials, [&](std::size_t lo, std::size_t hi) {
+          double acc = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            z[i] = inv_diag[i] * r[i];
+            acc += r[i] * z[i];
+          }
+          return acc;
+        });
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    for_chunks(n, par, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) p[i] = z[i] + beta * p[i];
+    });
   }
   res.converged = false;
   res.iterations = opts.max_iterations;
@@ -89,6 +192,8 @@ SolveResult solve_gauss_seidel(const CsrMatrix& A, const std::vector<double>& b,
   const std::size_t n = A.rows();
   TACOS_CHECK(b.size() == n && x.size() == n,
               "dimension mismatch in Gauss-Seidel");
+  TACOS_CHECK(opts.residual_check_interval >= 1,
+              "residual_check_interval must be >= 1");
   const auto& rp = A.row_ptr();
   const auto& ci = A.col_idx();
   const auto& v = A.values();
@@ -111,7 +216,12 @@ SolveResult solve_gauss_seidel(const CsrMatrix& A, const std::vector<double>& b,
       TACOS_CHECK(diag != 0.0, "zero diagonal at row " << i);
       x[i] = acc / diag;
     }
-    // Residual check every iteration (GS is tests-only; clarity > speed).
+    // GS is tests-only, but the full residual (an extra SpMV) every sweep
+    // dominated its runtime; check it only every residual_check_interval
+    // sweeps and on the final sweep.  Convergence may thus be detected up
+    // to interval-1 sweeps late; the reported state is still converged.
+    if (it % opts.residual_check_interval != 0 && it != opts.max_iterations)
+      continue;
     A.multiply(x, r);
     for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
     const double r_norm = norm2(r);

@@ -7,6 +7,16 @@
 /// used by the test suite to cross-check CG on small systems.  Both solvers
 /// support warm starts, which the sweep harnesses exploit heavily (adjacent
 /// sweep points have nearly identical temperature fields).
+///
+/// Performance & determinism
+/// -------------------------
+/// PCG is the evaluation engine's hot path.  Its vector passes are fused
+/// (SpMV with p·Ap, the x/r axpy pair with ||r||², the Jacobi apply with
+/// r·z) to cut memory traffic, and large systems row-partition the SpMV
+/// across the global ThreadPool.  Every reduction is computed as fixed-
+/// size per-chunk partials combined in chunk order, so solve results are
+/// **bit-identical regardless of thread count** — the determinism the
+/// parallel optimizer runs rely on (see docs/PERFORMANCE.md).
 
 #include <vector>
 
@@ -25,6 +35,11 @@ struct SolveResult {
 struct SolveOptions {
   double rel_tolerance = 1e-8;  ///< convergence: ||r|| <= rel_tolerance*||b||
   std::size_t max_iterations = 20000;
+  /// Gauss-Seidel only: the explicit residual (a full SpMV) is evaluated
+  /// every this many sweeps (and always on the final sweep), so detected
+  /// convergence can be up to interval-1 sweeps late.  PCG tracks the
+  /// recursive residual every iteration and ignores this field.
+  std::size_t residual_check_interval = 8;
 };
 
 /// Jacobi-preconditioned conjugate gradient for SPD systems.

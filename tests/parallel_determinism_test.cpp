@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/optimizer.hpp"
+#include "floorplan/layout.hpp"
+#include "materials/stack.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace tacos {
+namespace {
+
+// The determinism contract of the parallel evaluation engine: every result
+// — solver fields, chosen organizations, objective values — is
+// byte-identical at 1, 2, and 8 threads (fixed-chunk reductions in the
+// solver; one Evaluator shard and one seeded Rng per task in the batch
+// runner, per rng.hpp's "parallel experiment runners" contract).
+//
+// These tests are also the TSan targets for the thread pool and the
+// sharded evaluators (see .github/workflows/ci.yml).
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() {
+    ThreadPool::set_global_threads(ThreadPool::default_thread_count());
+  }
+};
+
+PowerMap uniform_power(const ChipletLayout& l, double total_w) {
+  PowerMap p;
+  for (const auto& c : l.chiplets()) p.add(c.rect, total_w / l.chiplet_count());
+  return p;
+}
+
+/// Cold-start solve at `threads` pool threads; returns the exact tile
+/// temperatures.  Grid 40 → ~12.8k unknowns, above the solver's parallel
+/// threshold, so the row-partitioned kernels actually engage.
+std::vector<double> solve_at(std::size_t threads) {
+  ThreadPool::set_global_threads(threads);
+  const ChipletLayout l = make_uniform_layout(4, 4.0);
+  ThermalConfig cfg;
+  cfg.grid_nx = cfg.grid_ny = 40;
+  ThermalModel model(l, make_25d_stack(), cfg);
+  model.solve(uniform_power(l, 300.0));
+  return model.tile_temperatures();
+}
+
+TEST(ParallelDeterminism, SolverBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const std::vector<double> t1 = solve_at(1);
+  const std::vector<double> t2 = solve_at(2);
+  const std::vector<double> t8 = solve_at(8);
+  ASSERT_EQ(t1.size(), t2.size());
+  ASSERT_EQ(t1.size(), t8.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    // Exact equality on doubles is the point of the chunked reductions.
+    EXPECT_EQ(t1[i], t2[i]) << "tile " << i;
+    EXPECT_EQ(t1[i], t8[i]) << "tile " << i;
+  }
+}
+
+EvalConfig small_config() {
+  EvalConfig c;
+  c.thermal.grid_nx = c.thermal.grid_ny = 12;
+  return c;
+}
+
+OptimizerOptions small_options() {
+  OptimizerOptions o;
+  o.step_mm = 4.0;
+  o.starts = 3;
+  return o;
+}
+
+std::vector<std::string> test_benchmarks() {
+  std::vector<std::string> names;
+  for (const auto& n : representative_benchmarks()) names.emplace_back(n);
+  return names;
+}
+
+std::string batch_fingerprint(std::size_t threads, EvalStats* stats) {
+  ThreadPool::set_global_threads(threads);
+  const std::vector<OptResult> results = optimize_greedy_batch(
+      small_config(), test_benchmarks(), small_options(), stats);
+  std::ostringstream fp;
+  fp.precision(17);
+  for (const OptResult& r : results) {
+    fp << r.found << "|" << r.org.n_chiplets << "|" << r.org.spacing.s1 << "|"
+       << r.org.spacing.s2 << "|" << r.org.spacing.s3 << "|" << r.org.dvfs_idx
+       << "|" << r.org.active_cores << "|" << r.objective << "|" << r.ips
+       << "\n";
+  }
+  return fp.str();
+}
+
+TEST(ParallelDeterminism, OptimizerBatchBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  EvalStats s1, s2, s8;
+  const std::string f1 = batch_fingerprint(1, &s1);
+  const std::string f2 = batch_fingerprint(2, &s2);
+  const std::string f8 = batch_fingerprint(8, &s8);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(f1, f8);
+  // The merged counters are sums over per-task shards — identical work
+  // happens at every thread count.
+  EXPECT_EQ(s1.solves, s2.solves);
+  EXPECT_EQ(s1.solves, s8.solves);
+  EXPECT_EQ(s1.evals, s8.evals);
+  EXPECT_GT(s1.solves, 0u);
+}
+
+TEST(ParallelDeterminism, BatchMatchesSerialPerBenchmarkRuns) {
+  ThreadCountGuard guard;
+  ThreadPool::set_global_threads(4);
+  const std::vector<OptResult> batch = optimize_greedy_batch(
+      small_config(), test_benchmarks(), small_options(), nullptr);
+  ASSERT_EQ(batch.size(), test_benchmarks().size());
+  std::size_t i = 0;
+  for (const std::string& name : test_benchmarks()) {
+    Evaluator eval(small_config());
+    const OptResult serial =
+        optimize_greedy(eval, benchmark_by_name(name), small_options());
+    EXPECT_EQ(batch[i].found, serial.found) << name;
+    EXPECT_EQ(batch[i].org, serial.org) << name;
+    EXPECT_EQ(batch[i].objective, serial.objective) << name;
+    ++i;
+  }
+}
+
+std::string combos_fingerprint(std::size_t threads) {
+  ThreadPool::set_global_threads(threads);
+  Evaluator eval(small_config());
+  const auto combos =
+      enumerate_combos(eval, benchmark_by_name("cholesky"), 1000.0,
+                       eval.cost_2d(), small_options());
+  std::ostringstream fp;
+  fp.precision(17);
+  for (const Combo& c : combos)
+    fp << c.dvfs_idx << "|" << c.active_cores << "|" << c.n_chiplets << "|"
+       << c.interposer_mm << "|" << c.ips << "|" << c.cost << "|"
+       << c.objective << "\n";
+  return fp.str();
+}
+
+TEST(ParallelDeterminism, EnumerateCombosByteIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const std::string f1 = combos_fingerprint(1);
+  EXPECT_EQ(f1, combos_fingerprint(2));
+  EXPECT_EQ(f1, combos_fingerprint(8));
+}
+
+}  // namespace
+}  // namespace tacos

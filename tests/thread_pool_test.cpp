@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace tacos {
+namespace {
+
+TEST(ThreadPool, SingleLaneSpawnsNoThreadsAndRuns) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<int> hit(100, 0);
+  pool.parallel_for(100, 7, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hit[i] += 1;
+  });
+  for (int h : hit) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hit(1000);
+  pool.parallel_for(1000, 13, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      hit[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hit) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkBoundariesIndependentOfThreadCount) {
+  const auto boundaries_at = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for(10000, 256, [&](std::size_t lo, std::size_t hi) {
+      std::lock_guard<std::mutex> lk(mu);
+      chunks.emplace(lo, hi);
+    });
+    return chunks;
+  };
+  const auto c1 = boundaries_at(1);
+  EXPECT_EQ(c1, boundaries_at(2));
+  EXPECT_EQ(c1, boundaries_at(8));
+  EXPECT_EQ(c1.size(), (10000u + 255u) / 256u);
+}
+
+TEST(ThreadPool, ParallelMapPreservesInputOrder) {
+  ThreadPool pool(8);
+  std::vector<int> items(500);
+  for (int i = 0; i < 500; ++i) items[static_cast<std::size_t>(i)] = i;
+  const std::vector<int> out =
+      pool.parallel_map(items, [](int v) { return v * v; });
+  ASSERT_EQ(out.size(), 500u);
+  for (int i = 0; i < 500; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100, 1,
+                        [&](std::size_t lo, std::size_t) {
+                          if (lo == 57) throw std::runtime_error("chunk 57");
+                        }),
+      std::runtime_error);
+  // The pool is still usable afterwards.
+  std::atomic<int> n{0};
+  pool.parallel_for(10, 1, [&](std::size_t, std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // A parallel_for issued from inside a worker task must not deadlock
+  // (the caller lane drains its own chunks).  This is exactly the shape
+  // of an optimizer task invoking the parallel solver.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hit(64 * 64);
+  pool.parallel_for(64, 1, [&](std::size_t olo, std::size_t ohi) {
+    for (std::size_t o = olo; o < ohi; ++o)
+      pool.parallel_for(64, 8, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          hit[o * 64 + i].fetch_add(1, std::memory_order_relaxed);
+      });
+  });
+  for (const auto& h : hit) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolResizing) {
+  ThreadPool::set_global_threads(3);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 3u);
+  ThreadPool::set_global_threads(1);
+  EXPECT_EQ(ThreadPool::global().thread_count(), 1u);
+  ThreadPool::set_global_threads(ThreadPool::default_thread_count());
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for(0, 16, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace tacos

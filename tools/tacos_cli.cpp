@@ -14,11 +14,13 @@
 /// Every command prints plain text; exit code 0 on success, 1 on user
 /// error (with a usage message), propagating tacos::Error messages.
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/optimizer.hpp"
 #include "cost/cost_model.hpp"
 
@@ -28,7 +30,7 @@ namespace {
 
 int usage() {
   std::cerr <<
-      "usage: tacos_cli <command> [args]\n"
+      "usage: tacos_cli [--threads=N] <command> [args]\n"
       "  list\n"
       "  evaluate <bench> <n:1|4|16> <s1> <s2> <s3> <f_idx:0-4> <p>\n"
       "  baseline <bench> [threshold_c=85]\n"
@@ -177,8 +179,18 @@ int cmd_cost(const std::vector<std::string>& a) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  int first = 1;
+  // Global option: --threads=N sizes the evaluation engine's pool (the
+  // TACOS_THREADS environment variable is the equivalent knob).
+  if (std::string(argv[first]).rfind("--threads=", 0) == 0) {
+    const long n = std::atol(argv[first] + 10);
+    if (n < 1) return usage();
+    ThreadPool::set_global_threads(static_cast<std::size_t>(n));
+    ++first;
+    if (argc - first < 1) return usage();
+  }
+  const std::string cmd = argv[first];
+  std::vector<std::string> args(argv + first + 1, argv + argc);
   try {
     if (cmd == "list") return cmd_list();
     if (cmd == "evaluate") return cmd_evaluate(args);
