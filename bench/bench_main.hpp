@@ -24,6 +24,13 @@ inline ExperimentOptions options_from_args(int argc, char** argv,
   return defaults;
 }
 
+/// Print a runner's RunHealth next to its results (stderr, one line), so
+/// redirected table output stays clean while recoveries/quarantines are
+/// still visible on the console.  See docs/ROBUSTNESS.md.
+inline void report_health(const std::string& title, const RunHealth& h) {
+  std::cerr << "[" << title << "] " << h.summary() << '\n';
+}
+
 /// Print an experiment table in both human and CSV form with timing.
 template <typename Fn>
 int run(const std::string& title, Fn&& make_table) {

@@ -5,7 +5,10 @@
 
 int main(int argc, char** argv) {
   const auto opts = tacos::benchmain::options_from_args(argc, argv);
-  return tacos::benchmain::run(
+  tacos::RunHealth health;
+  const int rc = tacos::benchmain::run(
       "Fig. 3(b): peak temperature design-space exploration",
-      [&] { return tacos::fig3b_thermal_table(opts); });
+      [&] { return tacos::fig3b_thermal_table(opts, &health); });
+  tacos::benchmain::report_health("fig3b", health);
+  return rc;
 }

@@ -5,6 +5,10 @@
 
 int main(int argc, char** argv) {
   const auto opts = tacos::benchmain::options_from_args(argc, argv);
-  return tacos::benchmain::run("Fig. 5: peak temperature vs chiplet spacing",
-                               [&] { return tacos::fig5_spacing_table(opts); });
+  tacos::RunHealth health;
+  const int rc = tacos::benchmain::run(
+      "Fig. 5: peak temperature vs chiplet spacing",
+      [&] { return tacos::fig5_spacing_table(opts, &health); });
+  tacos::benchmain::report_health("fig5", health);
+  return rc;
 }

@@ -8,7 +8,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> reps;
   for (auto name : tacos::representative_benchmarks())
     reps.emplace_back(name);
-  return tacos::benchmain::run(
+  tacos::RunHealth health;
+  const int rc = tacos::benchmain::run(
       "Fig. 6: max IPS and cost vs interposer size",
-      [&] { return tacos::fig6_perf_cost_table(opts, reps); });
+      [&] { return tacos::fig6_perf_cost_table(opts, reps, &health); });
+  tacos::benchmain::report_health("fig6", health);
+  return rc;
 }

@@ -8,7 +8,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> reps;
   for (auto name : tacos::representative_benchmarks())
     reps.emplace_back(name);
-  return tacos::benchmain::run(
+  tacos::RunHealth health;
+  const int rc = tacos::benchmain::run(
       "Fig. 7: objective value vs interposer size",
-      [&] { return tacos::fig7_objective_table(opts, reps); });
+      [&] { return tacos::fig7_objective_table(opts, reps, &health); });
+  tacos::benchmain::report_health("fig7", health);
+  return rc;
 }

@@ -5,7 +5,10 @@
 
 int main(int argc, char** argv) {
   const auto opts = tacos::benchmain::options_from_args(argc, argv);
-  return tacos::benchmain::run(
+  tacos::RunHealth health;
+  const int rc = tacos::benchmain::run(
       "Fig. 8: chosen chiplet organizations (alpha=1, beta=0)",
-      [&] { return tacos::fig8_chosen_orgs_table(opts); });
+      [&] { return tacos::fig8_chosen_orgs_table(opts, &health); });
+  tacos::benchmain::report_health("fig8", health);
+  return rc;
 }

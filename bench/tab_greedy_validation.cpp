@@ -10,7 +10,10 @@ int main(int argc, char** argv) {
   defaults.opt_step_mm = 2.0;
   defaults.w_step_mm = 2.0;
   const auto opts = tacos::benchmain::options_from_args(argc, argv, defaults);
-  return tacos::benchmain::run(
+  tacos::RunHealth health;
+  const int rc = tacos::benchmain::run(
       "Greedy vs exhaustive validation",
-      [&] { return tacos::greedy_validation_table(opts); });
+      [&] { return tacos::greedy_validation_table(opts, &health); });
+  tacos::benchmain::report_health("greedy-validation", health);
+  return rc;
 }

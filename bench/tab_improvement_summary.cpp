@@ -6,11 +6,14 @@
 
 int main(int argc, char** argv) {
   const auto opts = tacos::benchmain::options_from_args(argc, argv);
+  tacos::RunHealth h_impr, h_iso;
   int rc = tacos::benchmain::run(
       "Improvement at iso-cost across temperature thresholds",
-      [&] { return tacos::improvement_summary_table(opts); });
+      [&] { return tacos::improvement_summary_table(opts, &h_impr); });
+  tacos::benchmain::report_health("improvement-summary", h_impr);
   rc |= tacos::benchmain::run(
       "Iso-performance minimum-cost organizations (85C)",
-      [&] { return tacos::iso_performance_cost_table(opts); });
+      [&] { return tacos::iso_performance_cost_table(opts, &h_iso); });
+  tacos::benchmain::report_health("iso-performance", h_iso);
   return rc;
 }

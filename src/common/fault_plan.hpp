@@ -1,0 +1,73 @@
+#pragma once
+/// \file fault_plan.hpp
+/// \brief Deterministic fault injection for the solver → evaluator stack.
+///
+/// Exercising the recovery ladder and the quarantine machinery should not
+/// require contriving pathological geometries.  A FaultPlan rides inside
+/// SolveOptions (and therefore inside ThermalConfig / EvalConfig) and
+/// forces specific failures at specific points of a run:
+///
+///   * PCG non-convergence on the Nth solve (or every Nth solve), for the
+///     first `pcg_fail_rungs` attempts of the recovery ladder — rungs = 1
+///     exercises the cold restart, 4 exhausts the ladder and triggers
+///     quarantine;
+///   * a NaN injected into the solver's right-hand side on the Nth solve
+///     (equivalent to a corrupted power map), exercising the non-finite
+///     input gate;
+///   * leakage fixed-point non-convergence (the loop runs its full
+///     iteration budget and reports converged = false).
+///
+/// Solve indices are counted per SolveLedger — one per Evaluator shard —
+/// so an injected plan fires at the same logical points at any thread
+/// count, which is what the quarantine determinism tests rely on.
+
+#include <cstddef>
+#include <limits>
+
+namespace tacos {
+
+/// Deterministic fault-injection schedule (all faults off by default).
+struct FaultPlan {
+  static constexpr std::size_t kNever =
+      std::numeric_limits<std::size_t>::max();
+
+  /// Force PCG non-convergence on this 0-based solve index.
+  std::size_t pcg_fail_at = kNever;
+  /// Force PCG non-convergence on every solve with index % N == N - 1
+  /// (0 = off).  N = 20 fails 5% of solves.
+  std::size_t pcg_fail_every = 0;
+  /// How many ladder attempts the fault survives: 1 = only the warm first
+  /// try (the cold restart recovers), 2 = also the cold restart, 3 = also
+  /// the raised-cap retry, >= 4 = the whole ladder (quarantine).
+  int pcg_fail_rungs = 1;
+
+  /// Inject a NaN into the right-hand side of this 0-based solve index
+  /// (a corrupted power map reaching the solver).
+  std::size_t nan_rhs_at = kNever;
+
+  /// Skip the leakage fixed point's convergence test, so every evaluation
+  /// runs max_leak_iters iterations and reports converged = false.
+  bool leak_force_nonconverge = false;
+
+  bool enabled() const {
+    return pcg_fail_at != kNever || pcg_fail_every != 0 ||
+           nan_rhs_at != kNever || leak_force_nonconverge;
+  }
+
+  /// Should ladder attempt `attempt` (0 = warm first try) of solve
+  /// `solve_index` be forced to fail?
+  bool pcg_should_fail(std::size_t solve_index, int attempt) const {
+    const bool targeted =
+        solve_index == pcg_fail_at ||
+        (pcg_fail_every != 0 &&
+         solve_index % pcg_fail_every == pcg_fail_every - 1);
+    return targeted && attempt < pcg_fail_rungs;
+  }
+
+  /// Should solve `solve_index` receive a NaN right-hand side?
+  bool nan_rhs(std::size_t solve_index) const {
+    return solve_index == nan_rhs_at;
+  }
+};
+
+}  // namespace tacos

@@ -23,9 +23,11 @@
 ///     never on the number of threads, so per-chunk partial results can
 ///     be reduced in chunk order to give bit-identical answers at any
 ///     thread count (see solvers.cpp).
-///   * **Exceptions propagate.**  The first exception thrown by any chunk
-///     is captured and rethrown on the calling thread after the loop
-///     drains.
+///   * **Exceptions propagate, none silently.**  The first exception
+///     thrown by any chunk is captured and rethrown on the calling thread
+///     after the loop drains; later chunk exceptions are counted, and the
+///     rethrown message notes how many were suppressed so a multi-chunk
+///     failure is never mistaken for a single one.
 ///
 /// The global pool size defaults to `std::thread::hardware_concurrency()`
 /// and can be overridden with the `TACOS_THREADS` environment variable or
@@ -124,6 +126,7 @@ class ThreadPool {
     struct Job {
       std::atomic<std::size_t> next{0};
       std::atomic<std::size_t> done{0};
+      std::atomic<std::size_t> error_count{0};
       std::size_t n = 0, grain = 0, n_chunks = 0;
       std::function<void(std::size_t, std::size_t)> body;
       std::mutex err_mu;
@@ -142,6 +145,7 @@ class ThreadPool {
         try {
           j.body(c * j.grain, std::min(j.n, (c + 1) * j.grain));
         } catch (...) {
+          j.error_count.fetch_add(1, std::memory_order_relaxed);
           std::lock_guard<std::mutex> lk(j.err_mu);
           if (!j.error) j.error = std::current_exception();
         }
@@ -163,7 +167,25 @@ class ThreadPool {
     // in-flight ones (claimed by workers) to finish.
     while (job->done.load(std::memory_order_acquire) < n_chunks)
       std::this_thread::yield();
-    if (job->error) std::rethrow_exception(job->error);
+    if (job->error) {
+      const std::size_t n_errors =
+          job->error_count.load(std::memory_order_relaxed);
+      if (n_errors > 1) {
+        // Surface the suppressed failures: rethrow the first exception
+        // with the count appended (for non-std exceptions, the count
+        // cannot be attached, so the original propagates unchanged).
+        try {
+          std::rethrow_exception(job->error);
+        } catch (const std::exception& e) {
+          throw Error(std::string(e.what()) + " [parallel_for: " +
+                      std::to_string(n_errors - 1) +
+                      " additional chunk exception(s) suppressed]");
+        } catch (...) {
+          throw;
+        }
+      }
+      std::rethrow_exception(job->error);
+    }
   }
 
   /// Apply `fn` to every element of `items`, returning results in input

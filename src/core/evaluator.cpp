@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "common/errors.hpp"
 #include "core/leakage.hpp"
 
 namespace tacos {
@@ -43,6 +45,10 @@ Evaluator::ModelEntry& Evaluator::model_for(const Organization& org) {
       org.n_chiplets == 1 ? make_2d_stack() : make_25d_stack();
   entry.model = std::make_unique<ThermalModel>(*entry.layout, stack,
                                                config_.thermal);
+  // All models of this shard share one ledger: the fault plan's solve
+  // clock keeps ticking across model-cache evictions, and the health
+  // counters survive them.
+  entry.model->set_ledger(&ledger_);
   model_lru_.emplace_front(key, std::move(entry));
   model_index_[key] = model_lru_.begin();
   while (model_lru_.size() > config_.model_cache_capacity) {
@@ -76,14 +82,29 @@ const ThermalEval& Evaluator::thermal_eval(const Organization& org,
   const std::vector<int> active =
       active_tiles(config_.policy, org.active_cores, config_.spec);
 
-  const LeakageResult lr = run_leakage_fixed_point(
-      *entry.model, *entry.layout, bench, lvl, active, config_.power,
-      config_.leak_tol_c, config_.max_leak_iters);
+  LeakageResult lr;
+  try {
+    lr = run_leakage_fixed_point(
+        *entry.model, *entry.layout, bench, lvl, active, config_.power,
+        config_.leak_tol_c, config_.max_leak_iters,
+        config_.thermal.solve.fault.leak_force_nonconverge);
+  } catch (const Error& e) {
+    // The thermal stack already exhausted its recovery ladder (or rejected
+    // a non-finite input); add the organization context for quarantine
+    // diagnostics and rethrow as an evaluation failure.
+    std::ostringstream key_os;
+    key_os << "n=" << org.n_chiplets << " s=(" << org.spacing.s1 << " "
+           << org.spacing.s2 << " " << org.spacing.s3 << ")";
+    throw EvalError(key_os.str(), std::string(bench.name), org.dvfs_idx,
+                    org.active_cores, e.what());
+  }
   ThermalEval ev;
   ev.peak_c = lr.peak_c;
   ev.total_power_w = lr.total_power_w;
   ev.leak_iterations = lr.iterations;
   ev.solves = static_cast<std::size_t>(lr.iterations);
+  ev.leak_converged = lr.converged;
+  if (!lr.converged) ++ledger_.health.leak_nonconverged;
   solve_count_ += ev.solves;
   ++eval_count_;
 

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "alloc/policy.hpp"
+#include "common/run_health.hpp"
 #include "core/organization.hpp"
 #include "cost/cost_model.hpp"
 #include "materials/stack.hpp"
@@ -54,12 +55,15 @@ struct EvalConfig {
   std::size_t model_cache_capacity = 48;
 };
 
-/// Result of a converged thermal evaluation.
+/// Result of a thermal evaluation.  `leak_converged == false` flags a
+/// leakage fixed point that ran out of iterations: the fields are the last
+/// iterate, honest but not fully settled (also counted in RunHealth).
 struct ThermalEval {
   double peak_c = 0.0;         ///< converged peak silicon temperature
   double total_power_w = 0.0;  ///< converged total power (incl. leakage, net)
   int leak_iterations = 0;
   std::size_t solves = 0;      ///< linear solves used
+  bool leak_converged = true;  ///< leakage fixed point met its tolerance
 };
 
 /// The 2D baseline operating point (best (f, p) under a threshold).
@@ -80,9 +84,11 @@ struct BaselinePoint {
 struct EvalStats {
   std::size_t solves = 0;  ///< linear-solver invocations
   std::size_t evals = 0;   ///< full organization evaluations simulated
+  RunHealth health;        ///< recoveries / degradations / quarantines
   EvalStats& operator+=(const EvalStats& o) {
     solves += o.solves;
     evals += o.evals;
+    health += o.health;
     return *this;
   }
 };
@@ -122,11 +128,17 @@ class Evaluator {
   std::size_t solve_count() const { return solve_count_; }
   /// Number of full organization evaluations actually simulated.
   std::size_t eval_count() const { return eval_count_; }
-  /// Both counters as a mergeable snapshot (parallel shard join).
-  EvalStats stats() const { return EvalStats{solve_count_, eval_count_}; }
+  /// Health counters aggregated across every model this shard built
+  /// (recovery-ladder escalations, leakage non-convergence, failures).
+  const RunHealth& health() const { return ledger_.health; }
+  /// Counters as a mergeable snapshot (parallel shard join).
+  EvalStats stats() const {
+    return EvalStats{solve_count_, eval_count_, ledger_.health};
+  }
   void reset_stats() {
     solve_count_ = 0;
     eval_count_ = 0;
+    ledger_.health = RunHealth{};
   }
 
  private:
@@ -175,6 +187,9 @@ class Evaluator {
 
   std::size_t solve_count_ = 0;
   std::size_t eval_count_ = 0;
+  /// Shared solve clock + health for every model this shard builds; keeps
+  /// fault-plan indices stable across model-cache churn (see run_health.hpp).
+  SolveLedger ledger_;
 };
 
 }  // namespace tacos

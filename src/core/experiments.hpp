@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/run_health.hpp"
 #include "common/table.hpp"
 #include "core/evaluator.hpp"
 #include "core/optimizer.hpp"
@@ -54,15 +55,25 @@ TextTable fig3a_cost_table(double w_step_mm = 1.0);
 /// The four quantitative cost statements in the text, model vs paper.
 TextTable cost_claims_table();
 
+// Fault tolerance: every runner below isolates failures per parallel task
+// — a task whose evaluation fails past the thermal recovery ladder
+// contributes a single "quarantined: <diagnostic>" row instead of
+// aborting the table, and the surviving rows are identical at any thread
+// count.  When `health` is non-null it receives the run's merged
+// RunHealth (recoveries, degradations, quarantines) for the caller to
+// print alongside the results.  See docs/ROBUSTNESS.md.
+
 // --- E2 / Fig. 3(b): synthetic thermal design-space exploration. ---------
 /// Peak temperature for r×r chiplets (r = 2..10) and a grown single chip
 /// across interposer sizes and power densities 0.5..2.0 W/mm².
-TextTable fig3b_thermal_table(const ExperimentOptions& opts = {});
+TextTable fig3b_thermal_table(const ExperimentOptions& opts = {},
+                              RunHealth* health = nullptr);
 
 // --- E4 / Fig. 5: per-benchmark uniform spacing sweep. --------------------
 /// Peak temperature with all 256 cores at 1 GHz, for 4/16/64/256 chiplets
 /// and uniform spacings 0.5..10 mm (0 mm = single chip), all benchmarks.
-TextTable fig5_spacing_table(const ExperimentOptions& opts = {});
+TextTable fig5_spacing_table(const ExperimentOptions& opts = {},
+                             RunHealth* health = nullptr);
 
 // --- E11: network power (§III-A). ----------------------------------------
 /// Mesh structure and power for the single chip and representative 2.5D
@@ -73,31 +84,37 @@ TextTable network_power_table(const ExperimentOptions& opts = {});
 /// For each benchmark in `bench_names` and n ∈ {4, 16}: normalized max IPS
 /// under the threshold and normalized cost, per interposer size.
 TextTable fig6_perf_cost_table(const ExperimentOptions& opts,
-                               const std::vector<std::string>& bench_names);
+                               const std::vector<std::string>& bench_names,
+                               RunHealth* health = nullptr);
 
 // --- E6 / Fig. 7: objective value vs interposer size. ---------------------
 /// Minimum Eq. (5) value for (alpha, beta) ∈ {(0,1), (1,0), (0.5,0.5)}.
 TextTable fig7_objective_table(const ExperimentOptions& opts,
-                               const std::vector<std::string>& bench_names);
+                               const std::vector<std::string>& bench_names,
+                               RunHealth* health = nullptr);
 
 // --- E7 / Fig. 8: chosen organizations (alpha = 1, beta = 0). -------------
 /// Optimal organization per benchmark: 2D baseline vs 2.5D (n, W,
 /// spacings, f, p), improvement and cost ratio.
-TextTable fig8_chosen_orgs_table(const ExperimentOptions& opts = {});
+TextTable fig8_chosen_orgs_table(const ExperimentOptions& opts = {},
+                                 RunHealth* health = nullptr);
 
 // --- E8: headline improvement summary. ------------------------------------
 /// Per-benchmark performance improvement at iso-cost for temperature
 /// thresholds {75, 85, 95, 105} °C, with the average row the conclusion
 /// quotes (41/41/27/16 %).
-TextTable improvement_summary_table(const ExperimentOptions& opts = {});
+TextTable improvement_summary_table(const ExperimentOptions& opts = {},
+                                    RunHealth* health = nullptr);
 
 /// Iso-performance cost reduction at the default threshold (the paper's
 /// "36% cheaper without performance loss").
-TextTable iso_performance_cost_table(const ExperimentOptions& opts = {});
+TextTable iso_performance_cost_table(const ExperimentOptions& opts = {},
+                                     RunHealth* health = nullptr);
 
 // --- E9: greedy vs exhaustive validation (§III-D). -------------------------
 /// Agreement of the multi-start greedy with exhaustive search and the
 /// thermal-simulation savings, across benchmarks.
-TextTable greedy_validation_table(const ExperimentOptions& opts = {});
+TextTable greedy_validation_table(const ExperimentOptions& opts = {},
+                                  RunHealth* health = nullptr);
 
 }  // namespace tacos

@@ -65,18 +65,41 @@ std::string fmt_org(const Organization& org) {
 // a frontier shared across tasks would make results depend on completion
 // order).  Every task returns its rows; the join appends them in input
 // order, so tables are byte-identical at any thread count.
+//
+// Containment: each task body catches tacos::Error — an evaluation that
+// failed even after the thermal recovery ladder — and contributes a
+// single quarantine row instead of aborting the table.  The catch sits
+// inside the task, so surviving rows stay deterministic at any thread
+// count; the per-shard RunHealth counters are merged at the join.
 
 using Rows = std::vector<std::vector<std::string>>;
 
-void append_rows(TextTable& t, const std::vector<Rows>& blocks) {
-  for (const Rows& block : blocks)
-    for (const auto& row : block) t.add_row(row);
+/// Per-task output of a guarded unit: rows plus its shard's health.
+struct GuardedRows {
+  Rows rows;
+  RunHealth health;
+};
+
+/// Append guarded blocks in input order and merge their health counters.
+RunHealth merge_guarded(TextTable& t, const std::vector<GuardedRows>& blocks) {
+  RunHealth h;
+  for (const GuardedRows& block : blocks) {
+    for (const auto& row : block.rows) t.add_row(row);
+    h += block.health;
+  }
+  return h;
+}
+
+/// Marker cell for a quarantined unit's row.
+std::string quarantine_cell(const Error& e) {
+  return std::string("quarantined: ") + e.what();
 }
 
 }  // namespace
 
 TextTable fig6_perf_cost_table(const ExperimentOptions& opts,
-                               const std::vector<std::string>& bench_names) {
+                               const std::vector<std::string>& bench_names,
+                               RunHealth* health) {
   struct Unit {
     std::string bench;
     int n = 0;
@@ -85,35 +108,46 @@ TextTable fig6_perf_cost_table(const ExperimentOptions& opts,
   for (const auto& name : bench_names)
     for (int n : {4, 16}) units.push_back({name, n});
 
-  const std::vector<Rows> blocks =
+  const std::vector<GuardedRows> blocks =
       ThreadPool::global().parallel_map(units, [&](const Unit& u) {
         Evaluator eval(opts.eval_config());
-        const BenchmarkProfile& bench = benchmark_by_name(u.bench);
-        const BaselinePoint& base = eval.baseline_2d(bench, opts.threshold_c);
-        const auto curve = max_ips_curve(eval, bench, u.n, opts);
-        Rows rows;
-        for (const auto& [w, r] : curve) {
-          const double cost =
-              system_cost_25d(u.n, chiplet_area(eval.config().spec, u.n),
-                              w * w, eval.config().cost);
-          rows.push_back({u.bench, std::to_string(u.n), TextTable::fmt(w, 1),
-                          r.found && base.feasible
-                              ? TextTable::fmt(r.ips / base.ips, 3)
-                              : "n/a",
-                          TextTable::fmt(cost / eval.cost_2d(), 3),
-                          r.found ? fmt_org(r.org) : "infeasible"});
+        GuardedRows out;
+        try {
+          const BenchmarkProfile& bench = benchmark_by_name(u.bench);
+          const BaselinePoint& base =
+              eval.baseline_2d(bench, opts.threshold_c);
+          const auto curve = max_ips_curve(eval, bench, u.n, opts);
+          for (const auto& [w, r] : curve) {
+            const double cost =
+                system_cost_25d(u.n, chiplet_area(eval.config().spec, u.n),
+                                w * w, eval.config().cost);
+            out.rows.push_back(
+                {u.bench, std::to_string(u.n), TextTable::fmt(w, 1),
+                 r.found && base.feasible
+                     ? TextTable::fmt(r.ips / base.ips, 3)
+                     : "n/a",
+                 TextTable::fmt(cost / eval.cost_2d(), 3),
+                 r.found ? fmt_org(r.org) : "infeasible"});
+          }
+        } catch (const Error& e) {
+          out.rows = {{u.bench, std::to_string(u.n), "-", "n/a", "n/a",
+                       quarantine_cell(e)}};
+          out.health.quarantined = 1;
         }
-        return rows;
+        out.health += eval.health();
+        return out;
       });
 
   TextTable t({"benchmark", "n_chiplets", "interposer_mm", "max_ips_norm",
                "cost_norm", "org"});
-  append_rows(t, blocks);
+  const RunHealth h = merge_guarded(t, blocks);
+  if (health) *health = h;
   return t;
 }
 
 TextTable fig7_objective_table(const ExperimentOptions& opts,
-                               const std::vector<std::string>& bench_names) {
+                               const std::vector<std::string>& bench_names,
+                               RunHealth* health) {
   struct Unit {
     std::string bench;
     int n = 0;
@@ -124,80 +158,104 @@ TextTable fig7_objective_table(const ExperimentOptions& opts,
   const std::vector<std::pair<double, double>> weights = {
       {0.0, 1.0}, {1.0, 0.0}, {0.5, 0.5}};
 
-  const std::vector<Rows> blocks =
+  const std::vector<GuardedRows> blocks =
       ThreadPool::global().parallel_map(units, [&](const Unit& u) {
         Evaluator eval(opts.eval_config());
-        const BenchmarkProfile& bench = benchmark_by_name(u.bench);
-        const BaselinePoint& base = eval.baseline_2d(bench, opts.threshold_c);
-        const auto curve = max_ips_curve(eval, bench, u.n, opts);
-        Rows rows;
-        for (const auto& [w, r] : curve) {
-          const double cost_norm =
-              system_cost_25d(u.n, chiplet_area(eval.config().spec, u.n),
-                              w * w, eval.config().cost) /
-              eval.cost_2d();
-          for (const auto& [alpha, beta] : weights) {
-            double obj = std::numeric_limits<double>::quiet_NaN();
-            if (r.found && base.feasible)
-              obj = alpha * base.ips / r.ips + beta * cost_norm;
-            else if (r.found)
-              obj = beta * cost_norm;  // no feasible 2D point to normalize by
-            rows.push_back({u.bench, std::to_string(u.n), TextTable::fmt(w, 1),
-                            TextTable::fmt(alpha, 1), TextTable::fmt(beta, 1),
-                            std::isnan(obj) ? "inf" : TextTable::fmt(obj, 4)});
+        GuardedRows out;
+        try {
+          const BenchmarkProfile& bench = benchmark_by_name(u.bench);
+          const BaselinePoint& base =
+              eval.baseline_2d(bench, opts.threshold_c);
+          const auto curve = max_ips_curve(eval, bench, u.n, opts);
+          for (const auto& [w, r] : curve) {
+            const double cost_norm =
+                system_cost_25d(u.n, chiplet_area(eval.config().spec, u.n),
+                                w * w, eval.config().cost) /
+                eval.cost_2d();
+            for (const auto& [alpha, beta] : weights) {
+              double obj = std::numeric_limits<double>::quiet_NaN();
+              if (r.found && base.feasible)
+                obj = alpha * base.ips / r.ips + beta * cost_norm;
+              else if (r.found)
+                obj = beta * cost_norm;  // no feasible 2D point to normalize
+              out.rows.push_back(
+                  {u.bench, std::to_string(u.n), TextTable::fmt(w, 1),
+                   TextTable::fmt(alpha, 1), TextTable::fmt(beta, 1),
+                   std::isnan(obj) ? "inf" : TextTable::fmt(obj, 4)});
+            }
           }
+        } catch (const Error& e) {
+          out.rows = {{u.bench, std::to_string(u.n), "-", "-", "-",
+                       quarantine_cell(e)}};
+          out.health.quarantined = 1;
         }
-        return rows;
+        out.health += eval.health();
+        return out;
       });
 
   TextTable t({"benchmark", "n_chiplets", "interposer_mm", "alpha", "beta",
                "objective"});
-  append_rows(t, blocks);
+  const RunHealth h = merge_guarded(t, blocks);
+  if (health) *health = h;
   return t;
 }
 
-TextTable fig8_chosen_orgs_table(const ExperimentOptions& opts) {
+TextTable fig8_chosen_orgs_table(const ExperimentOptions& opts,
+                                 RunHealth* health) {
   std::vector<std::string> names;
   for (const BenchmarkProfile& bench : benchmarks())
     names.emplace_back(bench.name);
 
-  const std::vector<Rows> blocks =
+  const std::vector<GuardedRows> blocks =
       ThreadPool::global().parallel_map(names, [&](const std::string& name) {
         Evaluator eval(opts.eval_config());
-        const BenchmarkProfile& bench = benchmark_by_name(name);
-        const BaselinePoint& base = eval.baseline_2d(bench, opts.threshold_c);
-        const OptResult res =
-            optimize_greedy(eval, bench, opts.optimizer_options(1.0, 0.0));
-        std::ostringstream b2d;
-        if (base.feasible)
-          b2d << kDvfsLevels[base.dvfs_idx].freq_mhz << "MHz p="
-              << base.active_cores;
-        else
-          b2d << "infeasible";
-        return Rows{
-            {name, b2d.str(),
-             base.feasible ? TextTable::fmt(base.peak_c, 1) : "n/a",
-             res.found ? fmt_org(res.org) : "none",
-             res.found ? TextTable::fmt(
-                             interposer_edge_of(res.org, eval.config().spec), 1)
-                       : "n/a",
-             res.found ? TextTable::fmt(res.peak_c, 1) : "n/a",
-             res.found && base.feasible
-                 ? TextTable::fmt((res.ips / base.ips - 1.0) * 100.0, 1)
-                 : "n/a",
-             res.found
-                 ? TextTable::fmt((res.cost / eval.cost_2d() - 1.0) * 100.0, 1)
-                 : "n/a"}};
+        GuardedRows out;
+        try {
+          const BenchmarkProfile& bench = benchmark_by_name(name);
+          const BaselinePoint& base =
+              eval.baseline_2d(bench, opts.threshold_c);
+          const OptResult res =
+              optimize_greedy(eval, bench, opts.optimizer_options(1.0, 0.0));
+          std::ostringstream b2d;
+          if (base.feasible)
+            b2d << kDvfsLevels[base.dvfs_idx].freq_mhz << "MHz p="
+                << base.active_cores;
+          else
+            b2d << "infeasible";
+          out.rows = {
+              {name, b2d.str(),
+               base.feasible ? TextTable::fmt(base.peak_c, 1) : "n/a",
+               res.found ? fmt_org(res.org) : "none",
+               res.found
+                   ? TextTable::fmt(
+                         interposer_edge_of(res.org, eval.config().spec), 1)
+                   : "n/a",
+               res.found ? TextTable::fmt(res.peak_c, 1) : "n/a",
+               res.found && base.feasible
+                   ? TextTable::fmt((res.ips / base.ips - 1.0) * 100.0, 1)
+                   : "n/a",
+               res.found ? TextTable::fmt(
+                               (res.cost / eval.cost_2d() - 1.0) * 100.0, 1)
+                         : "n/a"}};
+        } catch (const Error& e) {
+          out.rows = {{name, "-", "n/a", quarantine_cell(e), "n/a", "n/a",
+                       "n/a", "n/a"}};
+          out.health.quarantined = 1;
+        }
+        out.health += eval.health();
+        return out;
       });
 
   TextTable t({"benchmark", "2D_best", "2D_peak_c", "25D_org",
                "interposer_mm", "25D_peak_c", "ips_gain_pct",
                "cost_vs_2D_pct"});
-  append_rows(t, blocks);
+  const RunHealth h = merge_guarded(t, blocks);
+  if (health) *health = h;
   return t;
 }
 
-TextTable improvement_summary_table(const ExperimentOptions& opts) {
+TextTable improvement_summary_table(const ExperimentOptions& opts,
+                                    RunHealth* health) {
   struct Unit {
     double threshold = 0.0;
     std::string bench;
@@ -210,53 +268,66 @@ TextTable improvement_summary_table(const ExperimentOptions& opts) {
   struct Out {
     Rows rows;
     double gain = 0.0;  // finite contribution to the per-threshold average
+    RunHealth health;
   };
   const std::vector<Out> outs =
       ThreadPool::global().parallel_map(units, [&](const Unit& u) {
         Evaluator eval(opts.eval_config());
-        ExperimentOptions o = opts;
-        o.threshold_c = u.threshold;
-        const BenchmarkProfile& bench = benchmark_by_name(u.bench);
-        const BaselinePoint& base = eval.baseline_2d(bench, u.threshold);
-        // Iso-cost constraint: the largest interposer whose cost does not
-        // exceed the single chip's, per chiplet count; take the better n.
-        OptimizerOptions oo = o.optimizer_options(1.0, 0.0);
-        Rng rng(opts.seed);
-        MaxIpsResult best;
-        for (int n : {4, 16}) {
-          const double w_eq = iso_cost_interposer(eval, n, opts.w_step_mm);
-          if (w_eq <= 0) continue;
-          const MaxIpsResult r =
-              max_ips_at_interposer(eval, bench, n, w_eq, oo, rng);
-          if (r.found && (!best.found || r.ips > best.ips)) best = r;
-        }
-        double gain = 0.0;
-        if (base.feasible && best.found)
-          gain = (best.ips / base.ips - 1.0) * 100.0;
-        else if (!base.feasible && best.found)
-          gain = std::numeric_limits<double>::infinity();
-        std::ostringstream b2d;
-        if (base.feasible)
-          b2d << kDvfsLevels[base.dvfs_idx].freq_mhz << "MHz p="
-              << base.active_cores;
-        else
-          b2d << "infeasible";
         Out out;
-        out.gain = std::isfinite(gain) ? gain : 0.0;
-        out.rows.push_back(
-            {u.bench, TextTable::fmt(u.threshold, 0), b2d.str(),
-             base.feasible ? TextTable::fmt(base.ips, 0) : "n/a",
-             best.found ? fmt_org(best.org) : "none",
-             best.found ? TextTable::fmt(best.ips, 0) : "n/a",
-             TextTable::fmt(gain, 1)});
+        try {
+          ExperimentOptions o = opts;
+          o.threshold_c = u.threshold;
+          const BenchmarkProfile& bench = benchmark_by_name(u.bench);
+          const BaselinePoint& base = eval.baseline_2d(bench, u.threshold);
+          // Iso-cost constraint: the largest interposer whose cost does not
+          // exceed the single chip's, per chiplet count; take the better n.
+          OptimizerOptions oo = o.optimizer_options(1.0, 0.0);
+          Rng rng(opts.seed);
+          MaxIpsResult best;
+          for (int n : {4, 16}) {
+            const double w_eq = iso_cost_interposer(eval, n, opts.w_step_mm);
+            if (w_eq <= 0) continue;
+            const MaxIpsResult r =
+                max_ips_at_interposer(eval, bench, n, w_eq, oo, rng);
+            if (r.found && (!best.found || r.ips > best.ips)) best = r;
+          }
+          double gain = 0.0;
+          if (base.feasible && best.found)
+            gain = (best.ips / base.ips - 1.0) * 100.0;
+          else if (!base.feasible && best.found)
+            gain = std::numeric_limits<double>::infinity();
+          std::ostringstream b2d;
+          if (base.feasible)
+            b2d << kDvfsLevels[base.dvfs_idx].freq_mhz << "MHz p="
+                << base.active_cores;
+          else
+            b2d << "infeasible";
+          out.gain = std::isfinite(gain) ? gain : 0.0;
+          out.rows.push_back(
+              {u.bench, TextTable::fmt(u.threshold, 0), b2d.str(),
+               base.feasible ? TextTable::fmt(base.ips, 0) : "n/a",
+               best.found ? fmt_org(best.org) : "none",
+               best.found ? TextTable::fmt(best.ips, 0) : "n/a",
+               TextTable::fmt(gain, 1)});
+        } catch (const Error& e) {
+          // A quarantined unit contributes gain 0 — the same value an
+          // infeasible unit contributes — so the AVERAGE row stays defined.
+          out.gain = 0.0;
+          out.rows = {{u.bench, TextTable::fmt(u.threshold, 0), "-", "n/a",
+                       quarantine_cell(e), "n/a", "n/a"}};
+          out.health.quarantined = 1;
+        }
+        out.health += eval.health();
         return out;
       });
 
   TextTable t({"benchmark", "threshold_c", "2D_best", "2D_ips", "25D_org",
                "25D_ips", "improvement_pct"});
+  RunHealth h;
   const int per_th = static_cast<int>(benchmarks().size());
   for (std::size_t i = 0; i < outs.size(); ++i) {
     t.add_row(outs[i].rows.front());
+    h += outs[i].health;
     if ((i + 1) % static_cast<std::size_t>(per_th) == 0) {
       double sum_gain = 0.0;
       for (std::size_t j = i + 1 - static_cast<std::size_t>(per_th); j <= i;
@@ -266,66 +337,81 @@ TextTable improvement_summary_table(const ExperimentOptions& opts) {
                  "", TextTable::fmt(sum_gain / std::max(per_th, 1), 1)});
     }
   }
+  if (health) *health = h;
   return t;
 }
 
-TextTable iso_performance_cost_table(const ExperimentOptions& opts) {
+TextTable iso_performance_cost_table(const ExperimentOptions& opts,
+                                     RunHealth* health) {
   std::vector<std::string> names;
   for (const BenchmarkProfile& bench : benchmarks())
     names.emplace_back(bench.name);
 
-  const std::vector<Rows> blocks =
+  const std::vector<GuardedRows> blocks =
       ThreadPool::global().parallel_map(names, [&](const std::string& name) {
         Evaluator eval(opts.eval_config());
-        const BenchmarkProfile& bench = benchmark_by_name(name);
-        OptimizerOptions oo = opts.optimizer_options(1.0, 0.0);
-        const BaselinePoint& base = eval.baseline_2d(bench, opts.threshold_c);
-        if (!base.feasible)
-          return Rows{{name, "n/a", "2D infeasible", "", "", ""}};
-        // Smallest interposer (over n) where some (f, p) with IPS >=
-        // IPS_2D is thermally feasible; cost is monotone in W, so scan W
-        // ascending.
-        bool found = false;
-        Organization chosen;
-        double chosen_cost = 0.0, chosen_w = 0.0;
-        const SystemSpec& spec = eval.config().spec;
-        for (double w = min_interposer(spec);
-             w <= spec.max_interposer_mm + 1e-9 && !found;
-             w += opts.w_step_mm) {
-          for (int n : {4, 16}) {
-            Rng rng(opts.seed);
-            const MaxIpsResult r =
-                max_ips_at_interposer(eval, bench, n, w, oo, rng);
-            if (r.found && r.ips >= base.ips - 1e-9) {
-              const double c = system_cost_25d(n, chiplet_area(spec, n), w * w,
-                                               eval.config().cost);
-              if (!found || c < chosen_cost) {
-                found = true;
-                chosen = r.org;
-                chosen_cost = c;
-                chosen_w = w;
+        GuardedRows out;
+        try {
+          const BenchmarkProfile& bench = benchmark_by_name(name);
+          OptimizerOptions oo = opts.optimizer_options(1.0, 0.0);
+          const BaselinePoint& base =
+              eval.baseline_2d(bench, opts.threshold_c);
+          if (!base.feasible) {
+            out.rows = {{name, "n/a", "2D infeasible", "", "", ""}};
+          } else {
+            // Smallest interposer (over n) where some (f, p) with IPS >=
+            // IPS_2D is thermally feasible; cost is monotone in W, so scan
+            // W ascending.
+            bool found = false;
+            Organization chosen;
+            double chosen_cost = 0.0, chosen_w = 0.0;
+            const SystemSpec& spec = eval.config().spec;
+            for (double w = min_interposer(spec);
+                 w <= spec.max_interposer_mm + 1e-9 && !found;
+                 w += opts.w_step_mm) {
+              for (int n : {4, 16}) {
+                Rng rng(opts.seed);
+                const MaxIpsResult r =
+                    max_ips_at_interposer(eval, bench, n, w, oo, rng);
+                if (r.found && r.ips >= base.ips - 1e-9) {
+                  const double c = system_cost_25d(n, chiplet_area(spec, n),
+                                                   w * w, eval.config().cost);
+                  if (!found || c < chosen_cost) {
+                    found = true;
+                    chosen = r.org;
+                    chosen_cost = c;
+                    chosen_w = w;
+                  }
+                }
               }
             }
+            out.rows = {
+                {name, TextTable::fmt(base.ips, 0),
+                 found ? fmt_org(chosen) : "none",
+                 found ? TextTable::fmt(chosen_w, 1) : "n/a",
+                 found ? TextTable::fmt(chosen_cost / eval.cost_2d(), 3)
+                       : "n/a",
+                 found ? TextTable::fmt(
+                             (1.0 - chosen_cost / eval.cost_2d()) * 100.0, 1)
+                       : "n/a"}};
           }
+        } catch (const Error& e) {
+          out.rows = {{name, "n/a", quarantine_cell(e), "n/a", "n/a", "n/a"}};
+          out.health.quarantined = 1;
         }
-        return Rows{
-            {name, TextTable::fmt(base.ips, 0),
-             found ? fmt_org(chosen) : "none",
-             found ? TextTable::fmt(chosen_w, 1) : "n/a",
-             found ? TextTable::fmt(chosen_cost / eval.cost_2d(), 3) : "n/a",
-             found ? TextTable::fmt((1.0 - chosen_cost / eval.cost_2d()) *
-                                        100.0,
-                                    1)
-                   : "n/a"}};
+        out.health += eval.health();
+        return out;
       });
 
   TextTable t({"benchmark", "2D_ips", "min_cost_org", "interposer_mm",
                "cost_norm", "cost_saving_pct"});
-  append_rows(t, blocks);
+  const RunHealth h = merge_guarded(t, blocks);
+  if (health) *health = h;
   return t;
 }
 
-TextTable greedy_validation_table(const ExperimentOptions& opts) {
+TextTable greedy_validation_table(const ExperimentOptions& opts,
+                                  RunHealth* health) {
   // Two comparisons, following §III-D:
   //  * correctness: the greedy must find the same optimum as exhaustive
   //    search.  Because combinations are scanned in ascending objective
@@ -343,48 +429,63 @@ TextTable greedy_validation_table(const ExperimentOptions& opts) {
   struct Out {
     std::vector<std::string> row;
     bool agree = false;
+    bool quarantined = false;
     std::size_t g_evals = 0;
     std::size_t space = 0;
+    RunHealth health;
   };
   const std::vector<Out> outs =
       ThreadPool::global().parallel_map(names, [&](const std::string& name) {
         // Separate evaluators so shared caches do not distort the counts.
         Evaluator eval_g(opts.eval_config());
         Evaluator eval_e(opts.eval_config());
-        const BenchmarkProfile& bench = benchmark_by_name(name);
-        OptimizerOptions oo = opts.optimizer_options(1.0, 0.0);
-        oo.prune_margin_c = 0.0;  // exact greedy semantics for the comparison
-        const OptResult g = optimize_greedy(eval_g, bench, oo);
-        const OptResult e = optimize_exhaustive(eval_e, bench, oo);
         Out out;
-        out.space = design_space_size(eval_g, oo);
-        out.agree = g.found == e.found &&
-                    (!g.found || std::abs(g.objective - e.objective) < 1e-9);
-        out.g_evals = eval_g.eval_count();
-        out.row = {name, g.found ? TextTable::fmt(g.objective, 4) : "none",
-                   e.found ? TextTable::fmt(e.objective, 4) : "none",
-                   out.agree ? "yes" : "NO", std::to_string(out.g_evals),
-                   std::to_string(out.space),
-                   out.g_evals > 0
-                       ? TextTable::fmt(static_cast<double>(out.space) /
-                                            static_cast<double>(out.g_evals),
-                                        0) +
-                             "x"
-                       : "n/a"};
+        try {
+          const BenchmarkProfile& bench = benchmark_by_name(name);
+          OptimizerOptions oo = opts.optimizer_options(1.0, 0.0);
+          oo.prune_margin_c = 0.0;  // exact greedy semantics for comparison
+          const OptResult g = optimize_greedy(eval_g, bench, oo);
+          const OptResult e = optimize_exhaustive(eval_e, bench, oo);
+          out.space = design_space_size(eval_g, oo);
+          out.agree =
+              g.found == e.found &&
+              (!g.found || std::abs(g.objective - e.objective) < 1e-9);
+          out.g_evals = eval_g.eval_count();
+          out.row = {name, g.found ? TextTable::fmt(g.objective, 4) : "none",
+                     e.found ? TextTable::fmt(e.objective, 4) : "none",
+                     out.agree ? "yes" : "NO", std::to_string(out.g_evals),
+                     std::to_string(out.space),
+                     out.g_evals > 0
+                         ? TextTable::fmt(static_cast<double>(out.space) /
+                                              static_cast<double>(out.g_evals),
+                                          0) +
+                               "x"
+                         : "n/a"};
+        } catch (const Error& e) {
+          out.quarantined = true;
+          out.row = {name, "none", "none", quarantine_cell(e), "0", "0",
+                     "n/a"};
+          out.health.quarantined = 1;
+        }
+        out.health += eval_g.health();
+        out.health += eval_e.health();
         return out;
       });
 
   TextTable t({"benchmark", "greedy_obj", "oracle_obj", "agree",
                "greedy_evals", "full_space_evals", "savings"});
+  RunHealth h;
   int agree_count = 0, total = 0;
   std::size_t g_evals_sum = 0;
   std::size_t space = 0;
   for (const Out& o : outs) {
+    h += o.health;
+    t.add_row(o.row);
+    if (o.quarantined) continue;  // excluded from the agreement totals
     agree_count += o.agree ? 1 : 0;
     ++total;
     g_evals_sum += o.g_evals;
     space = o.space;
-    t.add_row(o.row);
   }
   t.add_row({"TOTAL",
              TextTable::fmt(100.0 * agree_count / std::max(total, 1), 0) +
@@ -398,6 +499,7 @@ TextTable greedy_validation_table(const ExperimentOptions& opts) {
                                   0) +
                        "x"
                  : "n/a"});
+  if (health) *health = h;
   return t;
 }
 

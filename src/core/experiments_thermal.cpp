@@ -1,3 +1,6 @@
+#include <string>
+
+#include "common/check.hpp"
 #include "common/thread_pool.hpp"
 #include "core/experiments.hpp"
 #include "core/leakage.hpp"
@@ -23,9 +26,22 @@ PowerMap uniform_power(const ChipletLayout& l, double total_w) {
   return p;
 }
 
+/// Per-task output of a guarded unit: rows plus the task's solve health.
+/// The catch sits inside the task body, so surviving rows stay
+/// deterministic at any thread count (see experiments.hpp).
+struct GuardedRows {
+  std::vector<std::vector<std::string>> rows;
+  RunHealth health;
+};
+
+std::string quarantine_cell(const Error& e) {
+  return std::string("quarantined: ") + e.what();
+}
+
 }  // namespace
 
-TextTable fig3b_thermal_table(const ExperimentOptions& opts) {
+TextTable fig3b_thermal_table(const ExperimentOptions& opts,
+                              RunHealth* health) {
   const SystemSpec spec;
   const double chip_area = spec.chip_edge_mm() * spec.chip_edge_mm();
   ThermalConfig cfg;
@@ -42,29 +58,44 @@ TextTable fig3b_thermal_table(const ExperimentOptions& opts) {
   series.push_back(0);  // "new-2D"
 
   const auto blocks = ThreadPool::global().parallel_map(series, [&](int r) {
-    std::vector<std::vector<std::string>> rows;
-    for (double w = 20.0; w <= spec.max_interposer_mm + 1e-9; w += 1.0) {
-      const ChipletLayout l = r == 0
-                                  ? grown_single_chip(w)
-                                  : make_uniform_layout_for_interposer(r, w,
-                                                                       spec);
-      ThermalModel model(l, r == 0 ? make_2d_stack() : make_25d_stack(), cfg);
-      for (double pd : densities) {
-        const ThermalResult res = model.solve(uniform_power(l, pd * chip_area));
-        rows.push_back(
-            {r == 0 ? "new-2D" : std::to_string(r) + "x" + std::to_string(r),
-             TextTable::fmt(w, 0), TextTable::fmt(pd, 1),
-             TextTable::fmt(res.peak_c, 2)});
+    GuardedRows out;
+    SolveLedger led;  // one fault/health clock per series task
+    const std::string label =
+        r == 0 ? "new-2D" : std::to_string(r) + "x" + std::to_string(r);
+    try {
+      for (double w = 20.0; w <= spec.max_interposer_mm + 1e-9; w += 1.0) {
+        const ChipletLayout l =
+            r == 0 ? grown_single_chip(w)
+                   : make_uniform_layout_for_interposer(r, w, spec);
+        ThermalModel model(l, r == 0 ? make_2d_stack() : make_25d_stack(),
+                           cfg);
+        model.set_ledger(&led);
+        for (double pd : densities) {
+          const ThermalResult res =
+              model.solve(uniform_power(l, pd * chip_area));
+          out.rows.push_back({label, TextTable::fmt(w, 0),
+                              TextTable::fmt(pd, 1),
+                              TextTable::fmt(res.peak_c, 2)});
+        }
       }
+    } catch (const Error& e) {
+      out.rows = {{label, "-", "-", quarantine_cell(e)}};
+      out.health.quarantined = 1;
     }
-    return rows;
+    out.health += led.health;
+    return out;
   });
-  for (const auto& rows : blocks)
-    for (const auto& row : rows) t.add_row(row);
+  RunHealth h;
+  for (const GuardedRows& out : blocks) {
+    for (const auto& row : out.rows) t.add_row(row);
+    h += out.health;
+  }
+  if (health) *health = h;
   return t;
 }
 
-TextTable fig5_spacing_table(const ExperimentOptions& opts) {
+TextTable fig5_spacing_table(const ExperimentOptions& opts,
+                             RunHealth* health) {
   const SystemSpec spec;
   ThermalConfig cfg;
   cfg.grid_nx = cfg.grid_ny = opts.grid;
@@ -83,38 +114,57 @@ TextTable fig5_spacing_table(const ExperimentOptions& opts) {
     names.emplace_back(bench.name);
   const auto blocks = ThreadPool::global().parallel_map(
       names, [&](const std::string& name) {
-        const BenchmarkProfile& bench = benchmark_by_name(name);
-        std::vector<std::vector<std::string>> rows;
-        // 0 mm: the single-chip system.
-        {
-          const ChipletLayout chip = make_single_chip_layout(spec);
-          ThermalModel model(chip, make_2d_stack(), cfg);
-          const LeakageResult lr = run_leakage_fixed_point(
-              model, chip, bench, nominal, all_cores, pm);
-          rows.push_back({name, "1", "0.0",
-                          TextTable::fmt(chip.interposer_edge(), 1),
-                          TextTable::fmt(lr.total_power_w, 1),
-                          TextTable::fmt(lr.peak_c, 2)});
-        }
-        // 2.5D: r x r chiplets, uniform spacing 0.5..10 mm within Eq. (7).
-        for (int r : {2, 4, 8, 16}) {
-          const double g_max = max_uniform_spacing(r, spec);
-          for (double g = 0.5; g <= 10.0 + 1e-9; g += 0.5) {
-            if (g > g_max + 1e-9) break;
-            const ChipletLayout l = make_uniform_layout(r, g, spec);
-            ThermalModel model(l, make_25d_stack(), cfg);
+        GuardedRows out;
+        SolveLedger led;  // one fault/health clock per benchmark task
+        try {
+          const BenchmarkProfile& bench = benchmark_by_name(name);
+          const auto note_leak = [&led](const LeakageResult& lr) {
+            if (!lr.converged) ++led.health.leak_nonconverged;
+          };
+          // 0 mm: the single-chip system.
+          {
+            const ChipletLayout chip = make_single_chip_layout(spec);
+            ThermalModel model(chip, make_2d_stack(), cfg);
+            model.set_ledger(&led);
             const LeakageResult lr = run_leakage_fixed_point(
-                model, l, bench, nominal, all_cores, pm);
-            rows.push_back({name, std::to_string(r * r), TextTable::fmt(g, 1),
-                            TextTable::fmt(l.interposer_edge(), 1),
-                            TextTable::fmt(lr.total_power_w, 1),
-                            TextTable::fmt(lr.peak_c, 2)});
+                model, chip, bench, nominal, all_cores, pm);
+            note_leak(lr);
+            out.rows.push_back({name, "1", "0.0",
+                                TextTable::fmt(chip.interposer_edge(), 1),
+                                TextTable::fmt(lr.total_power_w, 1),
+                                TextTable::fmt(lr.peak_c, 2)});
           }
+          // 2.5D: r x r chiplets, uniform spacing 0.5..10 mm within Eq. (7).
+          for (int r : {2, 4, 8, 16}) {
+            const double g_max = max_uniform_spacing(r, spec);
+            for (double g = 0.5; g <= 10.0 + 1e-9; g += 0.5) {
+              if (g > g_max + 1e-9) break;
+              const ChipletLayout l = make_uniform_layout(r, g, spec);
+              ThermalModel model(l, make_25d_stack(), cfg);
+              model.set_ledger(&led);
+              const LeakageResult lr = run_leakage_fixed_point(
+                  model, l, bench, nominal, all_cores, pm);
+              note_leak(lr);
+              out.rows.push_back(
+                  {name, std::to_string(r * r), TextTable::fmt(g, 1),
+                   TextTable::fmt(l.interposer_edge(), 1),
+                   TextTable::fmt(lr.total_power_w, 1),
+                   TextTable::fmt(lr.peak_c, 2)});
+            }
+          }
+        } catch (const Error& e) {
+          out.rows = {{name, "-", "-", "-", "-", quarantine_cell(e)}};
+          out.health.quarantined = 1;
         }
-        return rows;
+        out.health += led.health;
+        return out;
       });
-  for (const auto& rows : blocks)
-    for (const auto& row : rows) t.add_row(row);
+  RunHealth h;
+  for (const GuardedRows& out : blocks) {
+    for (const auto& row : out.rows) t.add_row(row);
+    h += out.health;
+  }
+  if (health) *health = h;
   return t;
 }
 

@@ -11,7 +11,8 @@ LeakageResult run_leakage_fixed_point(ThermalModel& model,
                                       const DvfsLevel& lvl,
                                       const std::vector<int>& active,
                                       const PowerModelParams& params,
-                                      double tol_c, int max_iters) {
+                                      double tol_c, int max_iters,
+                                      bool fault_nonconverge) {
   TACOS_CHECK(max_iters >= 1, "need at least one iteration");
   LeakageResult out;
   std::optional<std::vector<double>> temps;  // first pass at T_ref
@@ -29,7 +30,7 @@ LeakageResult run_leakage_fixed_point(ThermalModel& model,
     // genuine modeling bug.
     TACOS_CHECK(std::isfinite(res.peak_c),
                 "leakage fixed point produced a non-finite temperature");
-    if (std::abs(res.peak_c - prev_peak) < tol_c) {
+    if (!fault_nonconverge && std::abs(res.peak_c - prev_peak) < tol_c) {
       out.converged = true;
       return out;
     }

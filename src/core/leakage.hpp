@@ -34,7 +34,12 @@ struct LeakageResult {
 
 /// Run the leakage fixed point for `bench` at DVFS level `lvl` with the
 /// given active tiles on `model` (which must be built for `layout`).
-/// `tol_c` is the peak-temperature convergence tolerance.
+/// `tol_c` is the peak-temperature convergence tolerance.  Running out of
+/// iterations is not an error: the last state is returned with
+/// `converged == false`, and callers (Evaluator) surface it through
+/// ThermalEval::leak_converged and RunHealth instead of hiding it.
+/// `fault_nonconverge` (FaultPlan::leak_force_nonconverge) skips the
+/// convergence test so the non-convergence path is testable on demand.
 LeakageResult run_leakage_fixed_point(ThermalModel& model,
                                       const ChipletLayout& layout,
                                       const BenchmarkProfile& bench,
@@ -42,6 +47,7 @@ LeakageResult run_leakage_fixed_point(ThermalModel& model,
                                       const std::vector<int>& active,
                                       const PowerModelParams& params,
                                       double tol_c = 0.05,
-                                      int max_iters = 12);
+                                      int max_iters = 12,
+                                      bool fault_nonconverge = false);
 
 }  // namespace tacos

@@ -240,8 +240,19 @@ std::vector<OptResult> optimize_greedy_batch(
       bench_names, [&](const std::string& name) {
         Evaluator eval(config);  // per-task shard: caches never shared
         TaskOut out;
-        out.result = optimize_greedy(eval, benchmark_by_name(name), opts);
+        try {
+          out.result = optimize_greedy(eval, benchmark_by_name(name), opts);
+        } catch (const Error& e) {
+          // Containment: this task failed even after the recovery ladder.
+          // Quarantine it (infeasible row + diagnostic) so the rest of the
+          // batch survives; the catch is inside the task body, so results
+          // stay deterministic at any thread count.
+          out.result = OptResult{};
+          out.result.quarantined = true;
+          out.result.diagnostic = e.what();
+        }
         out.stats = eval.stats();
+        if (out.result.quarantined) ++out.stats.health.quarantined;
         return out;
       });
   std::vector<OptResult> results;

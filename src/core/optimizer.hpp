@@ -24,6 +24,7 @@
 /// combinations are visited in ascending objective order.
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -61,7 +62,10 @@ struct OptimizerOptions {
   std::vector<int> chiplet_counts = {4, 16};
 };
 
-/// Optimization outcome.
+/// Optimization outcome.  A quarantined result is one whose task failed
+/// even after the thermal stack's recovery ladder: it is reported as
+/// infeasible (`found == false`) with the failure's structured diagnostic,
+/// and the rest of the batch is unaffected.
 struct OptResult {
   bool found = false;
   Organization org;            ///< chosen organization (valid if found)
@@ -71,6 +75,8 @@ struct OptResult {
   double peak_c = 0.0;
   std::size_t combos_tried = 0;
   std::size_t thermal_solves = 0;  ///< solver invocations consumed
+  bool quarantined = false;        ///< task isolated after an eval failure
+  std::string diagnostic;          ///< failure context (when quarantined)
 };
 
 /// Step 1 + 2: enumerate and sort all combinations by Eq. (5).
@@ -103,8 +109,13 @@ OptResult optimize_greedy(Evaluator& eval, const BenchmarkProfile& bench,
 /// its own Rng seeded from opts.seed, so the returned results — including
 /// every chosen organization and objective value — are byte-identical at
 /// any thread count, and identical to running the benchmarks serially in
-/// order.  Results align with `bench_names`; if `merged` is non-null the
-/// per-shard solver/eval counters are summed into it at join.
+/// order.  A task whose evaluation fails even after the thermal stack's
+/// recovery ladder is quarantined: its row is returned infeasible with the
+/// diagnostic attached (and counted in the merged RunHealth) while every
+/// other task completes normally — surviving rows are identical at any
+/// thread count.  Results align with `bench_names`; if `merged` is
+/// non-null the per-shard solver/eval/health counters are summed into it
+/// at join.
 std::vector<OptResult> optimize_greedy_batch(
     const EvalConfig& config, const std::vector<std::string>& bench_names,
     const OptimizerOptions& opts, EvalStats* merged = nullptr);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/errors.hpp"
 #include "common/thread_pool.hpp"
 
 namespace tacos {
@@ -74,7 +75,11 @@ inline void spmv_rows(const CsrMatrix& A, const std::vector<double>& x,
 SolveResult solve_pcg(const CsrMatrix& A, const std::vector<double>& b,
                       std::vector<double>& x, const SolveOptions& opts) {
   const std::size_t n = A.rows();
-  TACOS_CHECK(b.size() == n && x.size() == n, "dimension mismatch in PCG");
+  if (b.size() != n || x.size() != n)
+    throw SolverError("pcg", 0, 0.0, "dimension mismatch: matrix has " +
+                                         std::to_string(n) + " rows, b " +
+                                         std::to_string(b.size()) + ", x " +
+                                         std::to_string(x.size()));
 
   ThreadPool& global_pool = ThreadPool::global();
   ThreadPool* const par =
@@ -84,8 +89,10 @@ SolveResult solve_pcg(const CsrMatrix& A, const std::vector<double>& b,
   const std::vector<double> diag = A.diagonal();
   std::vector<double> inv_diag(n);
   for (std::size_t i = 0; i < n; ++i) {
-    TACOS_CHECK(diag[i] > 0.0, "non-positive diagonal at row "
-                                   << i << " — matrix not SPD-assembled");
+    if (diag[i] <= 0.0)
+      throw SolverError("pcg", 0, 0.0,
+                        "non-positive diagonal at row " + std::to_string(i) +
+                            " — matrix not SPD-assembled");
     inv_diag[i] = 1.0 / diag[i];
   }
 
@@ -141,8 +148,12 @@ SolveResult solve_pcg(const CsrMatrix& A, const std::vector<double>& b,
           for (std::size_t i = lo; i < hi; ++i) acc += p[i] * Ap[i];
           return acc;
         });
-    TACOS_ASSERT(pAp > 0.0, "matrix is not positive definite (pAp=" << pAp
-                                                                    << ")");
+    if (!(pAp > 0.0)) {
+      std::ostringstream os;
+      os << "matrix is not positive definite (pAp=" << pAp << ")";
+      throw SolverError("pcg", it, b_norm > 0 ? r_norm / b_norm : r_norm,
+                        os.str());
+    }
     const double alpha = rz / pAp;
 
     // x += alpha p, r -= alpha Ap, and ||r||^2 fused into one pass.
@@ -190,8 +201,8 @@ SolveResult solve_gauss_seidel(const CsrMatrix& A, const std::vector<double>& b,
                                std::vector<double>& x,
                                const SolveOptions& opts) {
   const std::size_t n = A.rows();
-  TACOS_CHECK(b.size() == n && x.size() == n,
-              "dimension mismatch in Gauss-Seidel");
+  if (b.size() != n || x.size() != n)
+    throw SolverError("gauss-seidel", 0, 0.0, "dimension mismatch");
   TACOS_CHECK(opts.residual_check_interval >= 1,
               "residual_check_interval must be >= 1");
   const auto& rp = A.row_ptr();
@@ -213,7 +224,9 @@ SolveResult solve_gauss_seidel(const CsrMatrix& A, const std::vector<double>& b,
         else
           acc -= v[k] * x[ci[k]];
       }
-      TACOS_CHECK(diag != 0.0, "zero diagonal at row " << i);
+      if (diag == 0.0)
+        throw SolverError("gauss-seidel", it, 0.0,
+                          "zero diagonal at row " + std::to_string(i));
       x[i] = acc / diag;
     }
     // GS is tests-only, but the full residual (an extra SpMV) every sweep

@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "common/fault_plan.hpp"
 #include "linalg/csr.hpp"
 
 namespace tacos {
@@ -40,6 +41,11 @@ struct SolveOptions {
   /// convergence can be up to interval-1 sweeps late.  PCG tracks the
   /// recursive residual every iteration and ignores this field.
   std::size_t residual_check_interval = 8;
+  /// Deterministic fault injection (off by default).  The solvers never
+  /// consult this themselves — ThermalModel's recovery ladder does; the
+  /// plan rides here so it reaches every layer through one config path
+  /// (SolveOptions → ThermalConfig → EvalConfig).
+  FaultPlan fault;
 };
 
 /// Jacobi-preconditioned conjugate gradient for SPD systems.

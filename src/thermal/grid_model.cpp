@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "common/errors.hpp"
 
 namespace tacos {
 
@@ -19,6 +22,9 @@ double slab_resistance(double k, double len_mm, double area_mm2) {
 double convection_conductance(double h, double area_mm2) {
   return h * area_mm2 * 1e-6;
 }
+
+/// Iteration-cap multiplier for the recovery ladder's raised-cap retry.
+constexpr std::size_t kCapRaiseFactor = 4;
 
 }  // namespace
 
@@ -315,12 +321,77 @@ ThermalResult ThermalModel::make_result(const SolveResult& sr) const {
   return out;
 }
 
+SolveResult ThermalModel::attempt_solve(const std::vector<double>& rhs,
+                                        std::size_t solve_index, int attempt) {
+  SolveOptions opts = config_.solve;
+  if (attempt == 2) opts.max_iterations *= kCapRaiseFactor;
+  const bool forced_fail = opts.fault.pcg_should_fail(solve_index, attempt);
+  if (forced_fail) {
+    // A crippled run (two iterations, unreachable tolerance) stands in for
+    // genuine divergence: it really mutates the iterate, so the restore
+    // paths are exercised against a truly dirtied field.
+    opts.max_iterations = std::min<std::size_t>(opts.max_iterations, 2);
+    opts.rel_tolerance = 0.0;
+  }
+  SolveResult sr = attempt == 3
+                       ? solve_gauss_seidel(matrix_, rhs, temperatures_, opts)
+                       : solve_pcg(matrix_, rhs, temperatures_, opts);
+  if (forced_fail) sr.converged = false;
+  return sr;
+}
+
 ThermalResult ThermalModel::solve(const PowerMap& power) {
-  const std::vector<double> rhs = build_rhs(power);
-  SolveResult sr = solve_pcg(matrix_, rhs, temperatures_, config_.solve);
-  TACOS_CHECK(sr.converged, "thermal solve did not converge: residual "
-                                << sr.residual_norm << " after "
-                                << sr.iterations << " iterations");
+  SolveLedger& led = ledger();
+  const std::size_t idx = led.solve_index++;
+  std::vector<double> rhs = build_rhs(power);
+  if (config_.solve.fault.nan_rhs(idx))
+    rhs[0] = std::numeric_limits<double>::quiet_NaN();
+  // Input gate: reject non-finite power before the solver can smear it
+  // through the warm-start field.  The field is untouched on this path.
+  for (double v : rhs) {
+    if (!std::isfinite(v)) {
+      ++led.health.nonfinite_inputs;
+      throw ThermalError(idx, 0, 0, 0.0,
+                         "non-finite power input (rhs contains NaN/inf)");
+    }
+  }
+
+  // Recovery ladder: warm start, then cold from ambient, then cold with a
+  // raised iteration cap, then the Gauss-Seidel fallback.  A structural
+  // solver breakdown (SolverError, e.g. a non-SPD pAp on a bad iterate)
+  // escalates exactly like non-convergence.
+  const std::vector<double> pre_solve = temperatures_;
+  std::string last_error;
+  const auto try_attempt = [&](int attempt) {
+    try {
+      return attempt_solve(rhs, idx, attempt);
+    } catch (const SolverError& e) {
+      last_error = e.what();
+      return SolveResult{};
+    }
+  };
+
+  SolveResult sr = try_attempt(0);
+  for (int attempt = 1; !sr.converged && attempt <= 3; ++attempt) {
+    switch (attempt) {
+      case 1: ++led.health.cold_restarts; break;
+      case 2: ++led.health.cap_retries; break;
+      default: ++led.health.gs_fallbacks; break;
+    }
+    // Discard the diverged iterate; every retry starts cold from ambient.
+    std::fill(temperatures_.begin(), temperatures_.end(),
+              config_.package.ambient_c);
+    sr = try_attempt(attempt);
+  }
+  if (!sr.converged) {
+    ++led.health.solve_failures;
+    temperatures_ = pre_solve;  // no warm-start poisoning for later solves
+    throw ThermalError(
+        idx, 4, sr.iterations, sr.residual_norm,
+        last_error.empty()
+            ? "solver did not converge after the full recovery ladder"
+            : "recovery ladder exhausted; last solver error: " + last_error);
+  }
   solved_ = true;
   return make_result(sr);
 }
@@ -359,10 +430,19 @@ ThermalResult ThermalModel::step_transient(const PowerMap& power,
   std::vector<double> rhs = build_rhs(power);
   for (std::size_t i = 0; i < rhs.size(); ++i)
     rhs[i] += capacitance_[i] / dt_s * temperatures_[i];
+  // No recovery ladder here: the pre-step field *is* the simulation state,
+  // and restarting a transient step from ambient would silently rewrite
+  // history.  Restore the state and report instead.
+  const std::vector<double> pre_step = temperatures_;
   SolveResult sr =
       solve_pcg(transient_matrix_, rhs, temperatures_, config_.solve);
-  TACOS_CHECK(sr.converged, "transient step did not converge: residual "
-                                << sr.residual_norm);
+  if (!sr.converged) {
+    ++ledger().health.solve_failures;
+    temperatures_ = pre_step;
+    throw ThermalError(ledger().solve_index, 1, sr.iterations,
+                       sr.residual_norm,
+                       "transient step did not converge (state restored)");
+  }
   solved_ = true;
   return make_result(sr);
 }

@@ -32,6 +32,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/run_health.hpp"
 #include "floorplan/layout.hpp"
 #include "geom/grid.hpp"
 #include "linalg/csr.hpp"
@@ -64,9 +65,23 @@ class ThermalModel {
   ThermalModel(const ChipletLayout& layout, const LayerStack& stack,
                const ThermalConfig& config);
 
-  /// Solve the steady state for `power`.  Throws tacos::Error if the
-  /// iterative solver fails to converge.
+  /// Solve the steady state for `power`.  On PCG non-convergence a
+  /// recovery ladder is climbed before giving up: the pre-solve field is
+  /// restored and the solve retried cold from ambient, then with a raised
+  /// iteration cap, then with the Gauss-Seidel fallback solver.  Each
+  /// escalation is counted in the ledger's RunHealth.  If every rung
+  /// fails, the pre-solve temperature field is restored (no warm-start
+  /// poisoning) and ThermalError is thrown; non-finite power input is
+  /// rejected up front with ThermalError and leaves the field untouched.
   ThermalResult solve(const PowerMap& power);
+
+  /// Share accounting with the caller: `ledger` (owned by the caller,
+  /// e.g. an Evaluator shard) receives this model's solve indices and
+  /// health counters.  nullptr reverts to the model's private ledger.
+  void set_ledger(SolveLedger* ledger) { ledger_ = ledger; }
+
+  /// Health counters of the active ledger (recoveries, failures).
+  const RunHealth& health() const { return ledger().health; }
 
   /// Temperature of the CMOS layer averaged over each logical core tile,
   /// indexed [ty * tiles_per_side + tx].  Valid after solve(); requires
@@ -121,6 +136,14 @@ class ThermalModel {
     return layer * grid_.cell_count() + grid_.index(ix, iy);
   }
 
+  SolveLedger& ledger() { return ledger_ ? *ledger_ : own_ledger_; }
+  const SolveLedger& ledger() const { return ledger_ ? *ledger_ : own_ledger_; }
+
+  /// One steady-state attempt of the recovery ladder; honors the fault
+  /// plan's forced failures for (solve_index, attempt).
+  SolveResult attempt_solve(const std::vector<double>& rhs,
+                            std::size_t solve_index, int attempt);
+
   GridSpec grid_;
   ThermalConfig config_;
   std::size_t n_layers_ = 0;       ///< gridded layers (stack + spreader + sink)
@@ -146,6 +169,8 @@ class ThermalModel {
   std::vector<std::vector<std::pair<std::size_t, double>>> tile_cells_;
   std::vector<std::vector<std::pair<std::size_t, double>>> chiplet_cells_;
   bool solved_ = false;
+  SolveLedger* ledger_ = nullptr;  ///< external accounting (Evaluator shard)
+  SolveLedger own_ledger_;         ///< fallback for standalone models
 };
 
 }  // namespace tacos

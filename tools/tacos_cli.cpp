@@ -11,14 +11,26 @@
 ///   sweep     <bench> <n> [threshold]     — max IPS vs interposer size
 ///   cost      <n> <interposer_mm>         — Eq. (4) breakdown
 ///
-/// Every command prints plain text; exit code 0 on success, 1 on user
-/// error (with a usage message), propagating tacos::Error messages.
+/// Every command prints plain text.  Exit-code discipline (see
+/// src/common/errors.hpp): 0 success, 1 usage error, 2 generic
+/// tacos::Error, 3 SolverError, 4 ThermalError, 5 EvalError, 70 other
+/// std::exception.  Failures emit one structured stderr line:
+///   tacos-error kind=<class> code=<n>: <message>
+///
+/// Global options:
+///   --threads=N          size of the evaluation thread pool
+///   --fault-pcg-every=N  force PCG failure on every Nth solve (testing)
+///   --fault-pcg-rungs=K  ladder rungs the fault survives (1..4, default 1)
+///
+/// Commands that run the thermal stack print the run's health summary
+/// (recoveries, degradations, quarantines) to stderr afterwards.
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/errors.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/optimizer.hpp"
@@ -28,22 +40,32 @@ using namespace tacos;
 
 namespace {
 
+/// Fault-injection schedule from the --fault-* flags (off by default).
+FaultPlan g_fault;
+
 int usage() {
   std::cerr <<
-      "usage: tacos_cli [--threads=N] <command> [args]\n"
+      "usage: tacos_cli [--threads=N] [--fault-pcg-every=N]"
+      " [--fault-pcg-rungs=K] <command> [args]\n"
       "  list\n"
       "  evaluate <bench> <n:1|4|16> <s1> <s2> <s3> <f_idx:0-4> <p>\n"
       "  baseline <bench> [threshold_c=85]\n"
       "  optimize <bench> [alpha=1] [beta=0] [threshold_c=85]\n"
       "  sweep    <bench> <n:4|16> [threshold_c=85]\n"
       "  cost     <n:4|16> <interposer_mm>\n";
-  return 1;
+  return exit_code::kUsage;
 }
 
 Evaluator make_evaluator() {
   EvalConfig cfg;
   cfg.thermal.grid_nx = cfg.thermal.grid_ny = 32;
+  cfg.thermal.solve.fault = g_fault;
   return Evaluator(cfg);
+}
+
+/// One-line health report after any command that ran the thermal stack.
+void report_health(const Evaluator& eval) {
+  std::cerr << eval.health().summary() << "\n";
 }
 
 int cmd_list() {
@@ -85,7 +107,8 @@ int cmd_evaluate(const std::vector<std::string>& a) {
             << "IPS:          " << eval.ips(org, bench) << "\n"
             << "cost:         $" << eval.cost(org) << " ("
             << eval.cost(org) / eval.cost_2d() << "x the 2D chip)\n";
-  return 0;
+  report_health(eval);
+  return exit_code::kOk;
 }
 
 int cmd_baseline(const std::vector<std::string>& a) {
@@ -96,13 +119,15 @@ int cmd_baseline(const std::vector<std::string>& a) {
   const BaselinePoint& b = eval.baseline_2d(bench, th);
   if (!b.feasible) {
     std::cout << "no feasible 2D operating point under " << th << " C\n";
-    return 0;
+    report_health(eval);
+    return exit_code::kOk;
   }
   std::cout << "2D baseline for " << bench.name << " under " << th
             << " C: " << kDvfsLevels[b.dvfs_idx].freq_mhz << " MHz, "
             << b.active_cores << " cores, peak " << b.peak_c << " C, IPS "
             << b.ips << ", cost $" << eval.cost_2d() << "\n";
-  return 0;
+  report_health(eval);
+  return exit_code::kOk;
 }
 
 int cmd_optimize(const std::vector<std::string>& a) {
@@ -116,7 +141,8 @@ int cmd_optimize(const std::vector<std::string>& a) {
   const OptResult r = optimize_greedy(eval, bench, opts);
   if (!r.found) {
     std::cout << "no feasible organization\n";
-    return 0;
+    report_health(eval);
+    return exit_code::kOk;
   }
   std::cout << "optimum for " << bench.name << " (alpha=" << opts.alpha
             << ", beta=" << opts.beta << ", " << opts.threshold_c
@@ -127,7 +153,8 @@ int cmd_optimize(const std::vector<std::string>& a) {
             << r.peak_c << " C, IPS " << r.ips << ", cost $" << r.cost
             << " (" << r.cost / eval.cost_2d() << "x)\n  objective "
             << r.objective << ", " << r.thermal_solves << " thermal solves\n";
-  return 0;
+  report_health(eval);
+  return exit_code::kOk;
 }
 
 int cmd_sweep(const std::vector<std::string>& a) {
@@ -154,7 +181,8 @@ int cmd_sweep(const std::vector<std::string>& a) {
   }
   t.print("max IPS vs interposer size (" + std::string(bench.name) + ", " +
           std::to_string(n) + " chiplets)");
-  return 0;
+  report_health(eval);
+  return exit_code::kOk;
 }
 
 int cmd_cost(const std::vector<std::string>& a) {
@@ -180,15 +208,30 @@ int cmd_cost(const std::vector<std::string>& a) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   int first = 1;
-  // Global option: --threads=N sizes the evaluation engine's pool (the
-  // TACOS_THREADS environment variable is the equivalent knob).
-  if (std::string(argv[first]).rfind("--threads=", 0) == 0) {
-    const long n = std::atol(argv[first] + 10);
-    if (n < 1) return usage();
-    ThreadPool::set_global_threads(static_cast<std::size_t>(n));
+  // Global options, in any order before the command.  --threads=N sizes
+  // the evaluation engine's pool (TACOS_THREADS is the equivalent knob);
+  // the --fault-* flags arm the deterministic fault-injection plan that
+  // every command's Evaluator inherits (docs/ROBUSTNESS.md).
+  while (first < argc && std::string(argv[first]).rfind("--", 0) == 0) {
+    const std::string flag = argv[first];
+    if (flag.rfind("--threads=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 10);
+      if (n < 1) return usage();
+      ThreadPool::set_global_threads(static_cast<std::size_t>(n));
+    } else if (flag.rfind("--fault-pcg-every=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 18);
+      if (n < 1) return usage();
+      g_fault.pcg_fail_every = static_cast<std::size_t>(n);
+    } else if (flag.rfind("--fault-pcg-rungs=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 18);
+      if (n < 1) return usage();
+      g_fault.pcg_fail_rungs = static_cast<int>(n);
+    } else {
+      return usage();
+    }
     ++first;
-    if (argc - first < 1) return usage();
   }
+  if (argc - first < 1) return usage();
   const std::string cmd = argv[first];
   std::vector<std::string> args(argv + first + 1, argv + argc);
   try {
@@ -200,7 +243,9 @@ int main(int argc, char** argv) {
     if (cmd == "cost") return cmd_cost(args);
     return usage();
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    // One structured line per failure, one exit code per error class, so
+    // scripts can branch on the failure kind without parsing messages.
+    std::cerr << diagnostic_line(e) << "\n";
+    return exit_code_for(e);
   }
 }
