@@ -7,12 +7,21 @@
 /// output can be redirected straight into a plotting script.  An optional
 /// first argument overrides the thermal grid resolution (e.g.
 /// `./fig5_spacing_sweep 64` for paper-resolution grids).
+///
+/// Durable runs: `--run-dir=DIR` journals every completed task so a killed
+/// sweep can be restarted with `--resume` (journaled tasks replay instead
+/// of recomputing — output is byte-identical to an uninterrupted run);
+/// `--task-deadline=SECONDS` bounds each task's wall clock; SIGINT/SIGTERM
+/// drain in-flight tasks, flush the journal, and exit with code 75
+/// (resumable).  See docs/ROBUSTNESS.md.
 
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "common/errors.hpp"
 #include "core/experiments.hpp"
 
 namespace tacos::benchmain {
@@ -50,5 +59,83 @@ int run(const std::string& title, Fn&& make_table) {
     return EXIT_FAILURE;
   }
 }
+
+/// Durable-run scaffolding for the experiment binaries: parses
+/// `--run-dir=DIR`, `--resume`, `--task-deadline=SECONDS`, and the
+/// optional positional grid override; installs the SIGINT/SIGTERM
+/// handlers; and wires the write-ahead journal and the global cancel
+/// token into `ExperimentOptions::run`.
+class Harness {
+ public:
+  Harness(int argc, char** argv, ExperimentOptions defaults = {})
+      : opts_(defaults) {
+    std::string run_dir;
+    bool resume = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--run-dir=", 0) == 0) {
+        run_dir = arg.substr(10);
+      } else if (arg == "--resume") {
+        resume = true;
+      } else if (arg.rfind("--task-deadline=", 0) == 0) {
+        opts_.run.task_deadline_s = std::stod(arg.substr(16));
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::cerr << "unknown flag: " << arg << "\nusage: " << argv[0]
+                  << " [grid] [--run-dir=DIR [--resume]]"
+                     " [--task-deadline=SECONDS]\n";
+        std::exit(EXIT_FAILURE);
+      } else {
+        opts_.grid = static_cast<std::size_t>(std::stoul(arg));
+      }
+    }
+    if (resume && run_dir.empty()) {
+      std::cerr << "--resume requires --run-dir=DIR\n";
+      std::exit(EXIT_FAILURE);
+    }
+    if (!run_dir.empty()) {
+      journal_ = std::make_unique<RunJournal>(run_dir);
+      const RunJournal::LoadStats st = journal_->load();
+      if (st.dropped > 0)
+        std::cerr << "[journal] dropped " << st.dropped
+                  << " torn/corrupt record(s) from " << journal_->path()
+                  << "; their tasks will be recomputed\n";
+      if (journal_->size() > 0 && !resume) {
+        std::cerr << "run directory " << run_dir
+                  << " already holds a journal (" << journal_->task_count()
+                  << " completed task(s)); pass --resume to continue it or "
+                     "use a fresh --run-dir\n";
+        std::exit(EXIT_FAILURE);
+      }
+      if (resume)
+        std::cerr << "[journal] resuming: " << journal_->task_count()
+                  << " task(s) already complete in " << run_dir << '\n';
+      opts_.run.journal = journal_.get();
+    }
+    install_signal_handlers();
+    opts_.run.cancel = &global_cancel_token();
+  }
+
+  ExperimentOptions& options() { return opts_; }
+  const ExperimentOptions& options() const { return opts_; }
+
+  /// Map the table status to the run outcome: an interrupted run exits
+  /// with the distinct resumable code (75) after telling the operator how
+  /// to pick the sweep back up.
+  int finish(int rc) const {
+    if (run_interrupted()) {
+      std::cerr << "[run] interrupted";
+      if (journal_)
+        std::cerr << "; completed tasks are journaled — resume with "
+                     "--run-dir=" << journal_->dir() << " --resume";
+      std::cerr << '\n';
+      return exit_code::kInterrupted;
+    }
+    return rc;
+  }
+
+ private:
+  ExperimentOptions opts_;
+  std::unique_ptr<RunJournal> journal_;
+};
 
 }  // namespace tacos::benchmain

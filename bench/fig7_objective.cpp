@@ -4,7 +4,8 @@
 #include "bench_main.hpp"
 
 int main(int argc, char** argv) {
-  const auto opts = tacos::benchmain::options_from_args(argc, argv);
+  tacos::benchmain::Harness harness(argc, argv);
+  const auto& opts = harness.options();
   std::vector<std::string> reps;
   for (auto name : tacos::representative_benchmarks())
     reps.emplace_back(name);
@@ -13,5 +14,5 @@ int main(int argc, char** argv) {
       "Fig. 7: objective value vs interposer size",
       [&] { return tacos::fig7_objective_table(opts, reps, &health); });
   tacos::benchmain::report_health("fig7", health);
-  return rc;
+  return harness.finish(rc);
 }

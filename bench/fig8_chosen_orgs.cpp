@@ -4,11 +4,12 @@
 #include "bench_main.hpp"
 
 int main(int argc, char** argv) {
-  const auto opts = tacos::benchmain::options_from_args(argc, argv);
+  tacos::benchmain::Harness harness(argc, argv);
+  const auto& opts = harness.options();
   tacos::RunHealth health;
   const int rc = tacos::benchmain::run(
       "Fig. 8: chosen chiplet organizations (alpha=1, beta=0)",
       [&] { return tacos::fig8_chosen_orgs_table(opts, &health); });
   tacos::benchmain::report_health("fig8", health);
-  return rc;
+  return harness.finish(rc);
 }

@@ -20,12 +20,12 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "common/thread_pool.hpp"
 #include "core/optimizer.hpp"
 #include "floorplan/layout.hpp"
@@ -169,7 +169,10 @@ int main(int argc, char** argv) {
   const double speedup = e2e_walls.front() / e2e_walls.back();
   const double solver_speedup = solver_rates.back() / solver_rates.front();
 
-  std::ofstream os(out_path);
+  // Atomic publish: a crash mid-write must not leave a truncated JSON
+  // that the perf-trajectory tooling would read as a (bogus) regression.
+  AtomicFile out_file(out_path);
+  std::ostream& os = out_file.stream();
   os << "{\n"
      << "  \"harness\": \"micro_eval_engine\",\n"
      << "  \"hardware_concurrency\": " << hw << ",\n"
@@ -191,7 +194,7 @@ int main(int argc, char** argv) {
      << "    \"speedup_max_vs_1\": " << fmt(speedup) << ",\n"
      << "    \"bit_identical\": " << (e2e_identical ? "true" : "false")
      << "\n  }\n}\n";
-  os.close();
+  out_file.commit();
 
   std::cout << "solver: " << fmt(solver_rates.front()) << " -> "
             << fmt(solver_rates.back()) << " solves/s ("

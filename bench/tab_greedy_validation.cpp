@@ -9,11 +9,12 @@ int main(int argc, char** argv) {
   defaults.grid = 24;
   defaults.opt_step_mm = 2.0;
   defaults.w_step_mm = 2.0;
-  const auto opts = tacos::benchmain::options_from_args(argc, argv, defaults);
+  tacos::benchmain::Harness harness(argc, argv, defaults);
+  const auto& opts = harness.options();
   tacos::RunHealth health;
   const int rc = tacos::benchmain::run(
       "Greedy vs exhaustive validation",
       [&] { return tacos::greedy_validation_table(opts, &health); });
   tacos::benchmain::report_health("greedy-validation", health);
-  return rc;
+  return harness.finish(rc);
 }

@@ -5,7 +5,8 @@
 #include "bench_main.hpp"
 
 int main(int argc, char** argv) {
-  const auto opts = tacos::benchmain::options_from_args(argc, argv);
+  tacos::benchmain::Harness harness(argc, argv);
+  const auto& opts = harness.options();
   tacos::RunHealth h_impr, h_iso;
   int rc = tacos::benchmain::run(
       "Improvement at iso-cost across temperature thresholds",
@@ -15,5 +16,5 @@ int main(int argc, char** argv) {
       "Iso-performance minimum-cost organizations (85C)",
       [&] { return tacos::iso_performance_cost_table(opts, &h_iso); });
   tacos::benchmain::report_health("iso-performance", h_iso);
-  return rc;
+  return harness.finish(rc);
 }

@@ -1,0 +1,45 @@
+#include "common/atomic_file.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+AtomicFile::AtomicFile(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  // Truncate any stale temp from a previous crash; the target itself is
+  // only touched by the rename in commit().
+  out_.open(tmp_path_, std::ios::out | std::ios::trunc);
+  TACOS_CHECK(out_.good(), "cannot open " << tmp_path_ << " for writing");
+}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) {
+    out_.close();
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+void AtomicFile::commit() {
+  TACOS_CHECK(!committed_, "AtomicFile already committed: " << path_);
+  out_.flush();
+  // The stream-state check is the whole point: a full disk or an I/O error
+  // anywhere since open() surfaces here instead of producing a truncated
+  // file that looks complete.
+  TACOS_CHECK(out_.good(), "write failed (disk full or I/O error): "
+                               << tmp_path_);
+  out_.close();
+  TACOS_CHECK(!out_.fail(), "close failed: " << tmp_path_);
+  TACOS_CHECK(std::rename(tmp_path_.c_str(), path_.c_str()) == 0,
+              "rename failed: " << tmp_path_ << " -> " << path_);
+  committed_ = true;
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  AtomicFile out(path);
+  out.stream() << content;
+  out.commit();
+}
+
+}  // namespace tacos

@@ -1,0 +1,66 @@
+#pragma once
+/// \file atomic_file.hpp
+/// \brief Crash-safe whole-file writes: temp file + flush + rename.
+///
+/// Every result-file writer in the tree (the run journal, the HotSpot
+/// exporters, the bench JSON emitters) goes through this helper so a crash
+/// or a full disk mid-write can never leave a silently truncated file that
+/// looks complete: readers only ever see either the previous content or
+/// the fully written new content, because the publish step is a single
+/// `rename(2)` within the same directory.
+///
+/// Usage:
+///
+///   AtomicFile out(path);
+///   out.stream() << ...;
+///   out.commit();   // flush, verify stream state, close, rename
+///
+/// commit() throws tacos::Error if any write failed (the stream went bad)
+/// or the rename itself fails; the destructor removes an uncommitted temp
+/// file, so an exception unwinding past an AtomicFile leaves no debris and
+/// — crucially — leaves any previous version of the file untouched.
+
+#include <fstream>
+#include <string>
+
+namespace tacos {
+
+/// A file being written to `<path>.tmp`, published to `<path>` on commit().
+class AtomicFile {
+ public:
+  explicit AtomicFile(std::string path);
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+  /// Movable so factory helpers can build-and-return one; the moved-from
+  /// object is marked committed (nothing left to clean up).
+  AtomicFile(AtomicFile&& other) noexcept
+      : path_(std::move(other.path_)),
+        tmp_path_(std::move(other.tmp_path_)),
+        out_(std::move(other.out_)),
+        committed_(other.committed_) {
+    other.committed_ = true;
+  }
+  AtomicFile& operator=(AtomicFile&&) = delete;
+
+  /// The stream to write through.  Valid until commit().
+  std::ostream& stream() { return out_; }
+
+  /// Flush, verify every prior write succeeded, close and atomically
+  /// publish.  Throws tacos::Error on any failure (temp file removed).
+  void commit();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+/// Convenience: atomically replace `path` with `content`.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+}  // namespace tacos

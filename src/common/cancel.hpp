@@ -1,0 +1,189 @@
+#pragma once
+/// \file cancel.hpp
+/// \brief Cooperative cancellation: cancel tokens, per-task deadlines and
+///        the process-wide signal-driven shutdown token.
+///
+/// A `CancelToken` is polled at the natural checkpoints of the evaluation
+/// stack — every PCG / Gauss-Seidel iteration (via `SolveOptions::cancel`)
+/// and every combination / descent move of the greedy optimizer — so a
+/// batch task can be stopped mid-solve within milliseconds without any
+/// preemption machinery.  Tokens chain: a per-task token carries that
+/// task's wall-clock budget and points at a parent (typically the global
+/// signal token), so one poll observes both "this task ran too long" and
+/// "the whole run was interrupted".
+///
+/// `poll()` reports cancellation by throwing `CancelledError`, which
+/// deliberately does NOT derive from `tacos::Error`: the quarantine
+/// catches in the batch drivers and the recovery ladder's
+/// `catch (const SolverError&)` must not swallow it, or a Ctrl-C would be
+/// misfiled as one more quarantined row.  The durable batch layer
+/// (`optimize_greedy_batch`, `durable_rows_map`) is the only place that
+/// catches it, converting a deadline overrun into a `timeout:` row and an
+/// interrupt into an unjournaled, resumable task.
+///
+/// See docs/ROBUSTNESS.md ("Checkpoint/resume, deadlines, and shutdown").
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace tacos {
+
+/// Thrown by CancelToken::poll() when cancellation is observed.  Not a
+/// tacos::Error on purpose (see file comment).
+class CancelledError : public std::exception {
+ public:
+  enum class Reason {
+    kInterrupt,  ///< run-level cancel (signal or caller); task is resumable
+    kDeadline,   ///< this task exceeded its wall-clock budget
+  };
+
+  CancelledError(Reason reason, double elapsed_s, double budget_s)
+      : reason_(reason), elapsed_s_(elapsed_s), budget_s_(budget_s) {
+    char buf[160];
+    if (reason == Reason::kDeadline) {
+      std::snprintf(buf, sizeof buf,
+                    "timeout: task exceeded its %.3g s deadline (ran %.2f s)",
+                    budget_s, elapsed_s);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "cancelled: run interrupted after %.2f s (resumable)",
+                    elapsed_s);
+    }
+    message_ = buf;
+  }
+
+  Reason reason() const { return reason_; }
+  double elapsed_s() const { return elapsed_s_; }
+  double budget_s() const { return budget_s_; }
+  const char* what() const noexcept override { return message_.c_str(); }
+
+ private:
+  Reason reason_;
+  double elapsed_s_ = 0.0;
+  double budget_s_ = 0.0;
+  std::string message_;
+};
+
+/// A cancellation flag plus an optional wall-clock deadline, with parent
+/// chaining.  cancel() may be called from any thread (and from a signal
+/// handler: it is a single lock-free atomic store); cancelled()/poll() are
+/// cheap enough for per-iteration use.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// A child token: cancellation of `parent` (at any chain depth) is
+  /// observed by this token too.  `parent` must outlive the child.
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Trip this token.  Async-signal-safe.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arm a wall-clock budget of `budget_s` seconds starting now
+  /// (`budget_s <= 0` disarms).
+  void set_deadline(double budget_s) {
+    budget_s_ = budget_s;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Seconds since construction (or the last set_deadline()).
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// True when this token or any ancestor was cancel()ed.
+  bool interrupted() const {
+    return cancelled_.load(std::memory_order_relaxed) ||
+           (parent_ && parent_->interrupted());
+  }
+
+  /// True when an armed deadline has passed.
+  bool expired() const { return budget_s_ > 0 && elapsed_s() > budget_s_; }
+
+  /// True when work under this token should stop for any reason.
+  bool cancelled() const { return interrupted() || expired(); }
+
+  /// Throw CancelledError if cancelled.  An interrupt outranks a deadline:
+  /// a run-level stop must stay resumable, not be misfiled as a timeout.
+  void poll() const {
+    if (interrupted())
+      throw CancelledError(CancelledError::Reason::kInterrupt, elapsed_s(),
+                           budget_s_);
+    if (expired())
+      throw CancelledError(CancelledError::Reason::kDeadline, elapsed_s(),
+                           budget_s_);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  const CancelToken* parent_ = nullptr;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  double budget_s_ = 0.0;
+};
+
+/// The process-wide token tripped by SIGINT/SIGTERM.  Batch drivers chain
+/// their per-task tokens off it.
+inline CancelToken& global_cancel_token() {
+  static CancelToken token;
+  return token;
+}
+
+namespace detail {
+inline std::atomic<int>& signal_hits() {
+  static std::atomic<int> hits{0};
+  return hits;
+}
+
+/// Handler body: only async-signal-safe operations (atomic stores,
+/// write(2), _Exit).  First signal trips the global token so drivers drain
+/// and journal; a second signal hard-exits with the conventional 128+sig.
+inline void on_shutdown_signal(int sig) {
+  const int nth = signal_hits().fetch_add(1, std::memory_order_relaxed) + 1;
+  if (nth >= 2) {
+#if defined(__unix__) || defined(__APPLE__)
+    constexpr char kMsg[] = "\n[tacos] second signal: hard exit\n";
+    [[maybe_unused]] ssize_t ignored =
+        ::write(STDERR_FILENO, kMsg, sizeof kMsg - 1);
+#endif
+    std::_Exit(128 + sig);
+  }
+  global_cancel_token().cancel();
+#if defined(__unix__) || defined(__APPLE__)
+  constexpr char kMsg[] =
+      "\n[tacos] interrupt: draining in-flight tasks, flushing journal "
+      "(signal again to force quit)\n";
+  [[maybe_unused]] ssize_t ignored =
+      ::write(STDERR_FILENO, kMsg, sizeof kMsg - 1);
+#endif
+}
+}  // namespace detail
+
+/// Install the SIGINT/SIGTERM graceful-shutdown handlers.  Idempotent;
+/// call early in main() (before any parallel region) so the function-local
+/// statics are constructed outside signal context.
+inline void install_signal_handlers() {
+  global_cancel_token();    // force construction on the main thread
+  detail::signal_hits();
+  std::signal(SIGINT, &detail::on_shutdown_signal);
+  std::signal(SIGTERM, &detail::on_shutdown_signal);
+}
+
+/// True once a shutdown signal has been received (the "print the
+/// interrupted-resumable notice and exit 75" predicate for mains).
+inline bool run_interrupted() { return global_cancel_token().interrupted(); }
+
+}  // namespace tacos

@@ -25,6 +25,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/cancel.hpp"
 #include "common/check.hpp"
 
 namespace tacos {
@@ -40,6 +41,10 @@ inline constexpr int kSolver = 3;   ///< SolverError
 inline constexpr int kThermal = 4;  ///< ThermalError
 inline constexpr int kEval = 5;     ///< EvalError
 inline constexpr int kUnknown = 70; ///< non-tacos std::exception
+/// Run interrupted by SIGINT/SIGTERM but left in a resumable state
+/// (journal flushed; rerun with --resume).  75 = EX_TEMPFAIL: "transient
+/// failure, retry later" — exactly the resume semantics.
+inline constexpr int kInterrupted = 75;
 }  // namespace exit_code
 
 /// A linear solve failed its contract or diverged irrecoverably.
@@ -141,6 +146,7 @@ class EvalError : public Error {
 
 /// Short class tag for structured diagnostics ("solver", "thermal", ...).
 inline const char* error_kind(const std::exception& e) {
+  if (dynamic_cast<const CancelledError*>(&e)) return "interrupted";
   if (dynamic_cast<const EvalError*>(&e)) return "eval";
   if (dynamic_cast<const ThermalError*>(&e)) return "thermal";
   if (dynamic_cast<const SolverError*>(&e)) return "solver";
@@ -150,6 +156,7 @@ inline const char* error_kind(const std::exception& e) {
 
 /// Exit code for `e` under the CLI's exit-code discipline.
 inline int exit_code_for(const std::exception& e) {
+  if (dynamic_cast<const CancelledError*>(&e)) return exit_code::kInterrupted;
   if (dynamic_cast<const EvalError*>(&e)) return exit_code::kEval;
   if (dynamic_cast<const ThermalError*>(&e)) return exit_code::kThermal;
   if (dynamic_cast<const SolverError*>(&e)) return exit_code::kSolver;

@@ -1,0 +1,307 @@
+#include "common/journal.hpp"
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_file.hpp"
+#include "common/check.hpp"
+
+namespace tacos {
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+bool json_unescape(const std::string& s, std::string* out) {
+  out->clear();
+  out->reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out->push_back(s[i]);
+      continue;
+    }
+    if (++i >= s.size()) return false;
+    switch (s[i]) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'n': out->push_back('\n'); break;
+      case 't': out->push_back('\t'); break;
+      case 'r': out->push_back('\r'); break;
+      case 'u': {
+        if (i + 4 >= s.size()) return false;
+        unsigned v = 0;
+        for (int k = 1; k <= 4; ++k) {
+          const char c = s[i + static_cast<std::size_t>(k)];
+          v <<= 4;
+          if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+          else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+          else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+          else return false;
+        }
+        if (v > 0xFF) return false;  // we only ever emit \u00XX
+        out->push_back(static_cast<char>(v));
+        i += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return true;
+}
+
+std::string escape_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out.push_back(s[i]);
+      continue;
+    }
+    switch (s[++i]) {
+      case '\\': out.push_back('\\'); break;
+      case 't': out.push_back('\t'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      default:  // unknown escape: keep verbatim (escape_field never emits it)
+        out.push_back('\\');
+        out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// CRC input: the raw (unescaped) id and payload, separated by a byte that
+/// json_escape can never leave unescaped ambiguity around.
+std::string crc_input(const std::string& id, const std::string& payload) {
+  std::string s;
+  s.reserve(id.size() + payload.size() + 1);
+  s += id;
+  s += '\x1f';
+  s += payload;
+  return s;
+}
+
+std::string format_record(const std::string& id, const std::string& payload) {
+  std::ostringstream os;
+  os << "{\"task\":\"" << json_escape(id) << "\",\"crc\":"
+     << crc32(crc_input(id, payload)) << ",\"data\":\""
+     << json_escape(payload) << "\"}";
+  return os.str();
+}
+
+/// Scan a JSON string literal starting at s[pos] (just after the opening
+/// quote); sets `end` to the index of the closing quote.  Returns false if
+/// the line ends before the string does (a truncated record).
+bool scan_string(const std::string& s, std::size_t pos, std::size_t* end) {
+  bool escaped = false;
+  for (std::size_t i = pos; i < s.size(); ++i) {
+    if (escaped) {
+      escaped = false;
+    } else if (s[i] == '\\') {
+      escaped = true;
+    } else if (s[i] == '"') {
+      *end = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool expect(const std::string& s, std::size_t* pos, const char* lit) {
+  const std::size_t n = std::char_traits<char>::length(lit);
+  if (s.compare(*pos, n, lit) != 0) return false;
+  *pos += n;
+  return true;
+}
+
+/// Strict parse of one journal line; returns false on any deviation from
+/// the exact format format_record emits (including a bad CRC).
+bool parse_record(const std::string& line, std::string* id,
+                  std::string* payload) {
+  std::size_t pos = 0;
+  if (!expect(line, &pos, "{\"task\":\"")) return false;
+  std::size_t end = 0;
+  if (!scan_string(line, pos, &end)) return false;
+  std::string raw_id = line.substr(pos, end - pos);
+  pos = end + 1;
+  if (!expect(line, &pos, ",\"crc\":")) return false;
+  std::uint64_t crc = 0;
+  std::size_t digits = 0;
+  while (pos < line.size() && line[pos] >= '0' && line[pos] <= '9') {
+    crc = crc * 10 + static_cast<std::uint64_t>(line[pos] - '0');
+    if (crc > 0xFFFFFFFFull) return false;
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  if (!expect(line, &pos, ",\"data\":\"")) return false;
+  if (!scan_string(line, pos, &end)) return false;
+  std::string raw_payload = line.substr(pos, end - pos);
+  pos = end + 1;
+  if (!expect(line, &pos, "}") || pos != line.size()) return false;
+
+  if (!json_unescape(raw_id, id)) return false;
+  if (!json_unescape(raw_payload, payload)) return false;
+  return crc32(crc_input(*id, *payload)) == static_cast<std::uint32_t>(crc);
+}
+
+}  // namespace
+
+RunJournal::RunJournal(std::string dir) : dir_(std::move(dir)) {
+  TACOS_CHECK(!dir_.empty(), "run directory must not be empty");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  TACOS_CHECK(!ec, "cannot create run directory " << dir_ << ": "
+                                                  << ec.message());
+}
+
+std::string RunJournal::path() const { return dir_ + "/journal.jsonl"; }
+
+RunJournal::LoadStats RunJournal::load() {
+  std::lock_guard<std::mutex> lk(mu_);
+  records_.clear();
+  index_.clear();
+  LoadStats stats;
+  std::ifstream in(path());
+  if (!in.good()) return stats;  // fresh run directory
+  std::string line;
+  bool torn = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string id, payload;
+    if (torn || !parse_record(line, &id, &payload)) {
+      // First tear (truncated tail, corrupted CRC, hand-edited line):
+      // everything from here on is untrusted and will be recomputed.
+      torn = true;
+      ++stats.dropped;
+      continue;
+    }
+    if (index_.count(id)) continue;  // duplicate id: first record wins
+    index_.emplace(id, records_.size());
+    records_.emplace_back(std::move(id), std::move(payload));
+    ++stats.loaded;
+  }
+  return stats;
+}
+
+void RunJournal::bind_meta(const std::string& key, const std::string& value) {
+  const std::string id = "meta:" + key;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = index_.find(id);
+    if (it != index_.end()) {
+      TACOS_CHECK(records_[it->second].second == value,
+                  "run directory " << dir_ << " belongs to a different sweep: "
+                                   << key << " was '"
+                                   << records_[it->second].second
+                                   << "', this run has '" << value << "'"
+                                   << " (use a fresh --run-dir)");
+      return;
+    }
+  }
+  append(id, value);
+}
+
+std::size_t RunJournal::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.size();
+}
+
+std::size_t RunJournal::task_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, payload] : records_)
+    if (id.rfind("meta:", 0) != 0) ++n;
+  return n;
+}
+
+bool RunJournal::has(const std::string& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return index_.count(id) != 0;
+}
+
+const std::string* RunJournal::find(const std::string& id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &records_[it->second].second;
+}
+
+void RunJournal::append(const std::string& id, const std::string& payload) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (index_.count(id)) return;  // idempotent (resume re-runs are no-ops)
+  index_.emplace(id, records_.size());
+  records_.emplace_back(id, payload);
+  rewrite_locked();
+}
+
+void RunJournal::rewrite_locked() {
+  // Whole-file rewrite through the atomic helper: the published journal is
+  // always a prefix-complete, checksummed snapshot.  O(records²) bytes over
+  // a run's lifetime — irrelevant at sweep scale (tens of tasks), and the
+  // price of never exposing a half-appended line.
+  AtomicFile out(path());
+  for (const auto& [id, payload] : records_)
+    out.stream() << format_record(id, payload) << '\n';
+  out.commit();
+}
+
+}  // namespace tacos

@@ -1,0 +1,110 @@
+#pragma once
+/// \file journal.hpp
+/// \brief Write-ahead run journal: one checksummed JSONL record per
+///        completed batch task, atomically published, tolerant to a torn
+///        tail — the substrate of `--run-dir` / `--resume`.
+///
+/// Record format (one per line, strict — we only ever parse our own
+/// output):
+///
+///   {"task":"<json-escaped id>","crc":<uint32>,"data":"<json-escaped
+///    payload>"}
+///
+/// The CRC-32 (IEEE 802.3) covers the raw bytes `id + '\x1f' + payload`,
+/// so a record whose line survived intact but whose content was corrupted
+/// is rejected, not replayed.  `load()` stops at the first truncated or
+/// corrupt record and reports how many lines were dropped: everything
+/// before the tear is trusted (each append rewrote the whole file through
+/// AtomicFile, so a tear can only be the product of manual editing or a
+/// dying filesystem — and even then the damage is contained).
+///
+/// Reserved ids: records whose id starts with "meta:" pin the sweep
+/// configuration (see bind_meta) and are not tasks.
+///
+/// See docs/ROBUSTNESS.md ("Checkpoint/resume, deadlines, and shutdown").
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cancel.hpp"
+
+namespace tacos {
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of `len` bytes.
+std::uint32_t crc32(const void* data, std::size_t len);
+inline std::uint32_t crc32(const std::string& s) {
+  return crc32(s.data(), s.size());
+}
+
+/// Minimal JSON string escaping (backslash, quote, control characters).
+std::string json_escape(const std::string& s);
+/// Inverse of json_escape; returns false on a malformed escape.
+bool json_unescape(const std::string& s, std::string* out);
+
+/// Line-oriented field escaping for record payloads: `\\`, `\t`, `\n`,
+/// `\r` — lets multi-line / tab-separated structures nest inside a
+/// payload line.
+std::string escape_field(const std::string& s);
+std::string unescape_field(const std::string& s);
+
+/// The write-ahead journal of one run directory.
+class RunJournal {
+ public:
+  /// Opens (creating the directory if needed) `<dir>/journal.jsonl`.
+  explicit RunJournal(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string path() const;
+
+  struct LoadStats {
+    std::size_t loaded = 0;   ///< intact records replayed
+    std::size_t dropped = 0;  ///< lines discarded at/after the first tear
+  };
+  /// Replay the journal file from disk (tolerant; see file comment).
+  /// Call once before the first append/find.
+  LoadStats load();
+
+  /// Pin one dimension of the sweep configuration: records
+  /// `meta:<key> -> value` on first call, and on resume throws
+  /// tacos::Error if the journaled value differs — a run directory must
+  /// not silently mix rows from two different sweep configurations.
+  void bind_meta(const std::string& key, const std::string& value);
+
+  /// Number of records (tasks + metas).
+  std::size_t size() const;
+  /// Number of task records (non-meta).
+  std::size_t task_count() const;
+
+  bool has(const std::string& id) const;
+  /// Payload of record `id`, or nullptr.  The pointer stays valid until
+  /// the journal is destroyed (records are never removed).
+  const std::string* find(const std::string& id) const;
+
+  /// Append a record and atomically publish the journal.  Thread-safe;
+  /// idempotent (an existing id is kept, not overwritten).
+  void append(const std::string& id, const std::string& payload);
+
+ private:
+  void rewrite_locked();
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::string>> records_;
+  std::map<std::string, std::size_t> index_;
+};
+
+/// Durable-execution controls threaded through every batch driver.  All
+/// three are optional and independent: journal-only gives checkpointing,
+/// cancel-only gives graceful shutdown, deadline-only gives budgets.
+struct RunControl {
+  RunJournal* journal = nullptr;       ///< checkpoint store (may be null)
+  const CancelToken* cancel = nullptr; ///< run-level stop (may be null)
+  double task_deadline_s = 0.0;        ///< per-task wall budget (0 = none)
+};
+
+}  // namespace tacos

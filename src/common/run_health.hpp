@@ -25,6 +25,8 @@ struct RunHealth {
   std::size_t nonfinite_inputs = 0;  ///< non-finite power rejected pre-solve
   std::size_t leak_nonconverged = 0; ///< leakage fixed points that hit max_iters
   std::size_t quarantined = 0;       ///< tasks isolated by a batch driver
+  std::size_t timeouts = 0;          ///< tasks that exceeded their deadline
+  std::size_t cancelled = 0;         ///< tasks abandoned by an interrupted run
 
   /// Total extra solve attempts spent recovering.
   std::size_t retries() const {
@@ -34,7 +36,8 @@ struct RunHealth {
   /// True when nothing had to be recovered, degraded or quarantined.
   bool clean() const {
     return retries() == 0 && solve_failures == 0 && nonfinite_inputs == 0 &&
-           leak_nonconverged == 0 && quarantined == 0;
+           leak_nonconverged == 0 && quarantined == 0 && timeouts == 0 &&
+           cancelled == 0;
   }
 
   RunHealth& operator+=(const RunHealth& o) {
@@ -45,6 +48,8 @@ struct RunHealth {
     nonfinite_inputs += o.nonfinite_inputs;
     leak_nonconverged += o.leak_nonconverged;
     quarantined += o.quarantined;
+    timeouts += o.timeouts;
+    cancelled += o.cancelled;
     return *this;
   }
 
@@ -67,6 +72,8 @@ struct RunHealth {
     field(nonfinite_inputs, "non-finite input(s)");
     field(leak_nonconverged, "leakage non-convergence(s)");
     field(quarantined, "quarantined task(s)");
+    field(timeouts, "timeout(s)");
+    field(cancelled, "cancelled task(s)");
     return os.str();
   }
 };

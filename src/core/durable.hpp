@@ -1,0 +1,217 @@
+#pragma once
+/// \file durable.hpp
+/// \brief Durable parallel-task scaffolding shared by the experiment
+///        drivers (Figs. 3(b)/5/6/7/8, E8/E9): journal replay, per-task
+///        deadlines, and graceful-interrupt handling around the
+///        GuardedRows pattern.
+///
+/// Each driver decomposes its table into independent units, runs them on
+/// the global ThreadPool, and appends the per-unit row blocks in input
+/// order — so tables are byte-identical at any thread count.  This header
+/// adds the durability layer around that pattern (see docs/ROBUSTNESS.md):
+///
+///  * with a RunJournal, every completed unit — including quarantined and
+///    timed-out ones, which are terminal — is appended as one checksummed
+///    record, and journaled units are *replayed* instead of recomputed, so
+///    a resumed run reproduces rows, extras, and merged health counters
+///    byte-for-byte;
+///  * with a CancelToken, units not yet dispatched when it trips come back
+///    `interrupted` (never journaled — a `--resume` run recomputes them);
+///  * with a per-task deadline, an over-budget unit becomes a quarantine-
+///    style row carrying the `timeout:` diagnostic and counts in
+///    `RunHealth::timeouts`.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/journal.hpp"
+#include "common/run_health.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace tacos {
+
+/// Rows of one experiment-table block.
+using Rows = std::vector<std::vector<std::string>>;
+
+/// Per-task output of a guarded durable unit: its rows, its shard's health
+/// counters, and any driver-specific scalars (journaled alongside the rows
+/// so replay reproduces derived summary rows too).
+struct GuardedRows {
+  Rows rows;
+  RunHealth health;
+  std::vector<std::string> extra;
+  /// The run was interrupted before (or while) this unit ran; it carries
+  /// no data and was NOT journaled — a resumed run recomputes it.
+  bool interrupted = false;
+};
+
+/// Exact (round-trippable) rendering for `extra` scalars.
+inline std::string extra_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+inline double extra_to_double(const std::string& s) {
+  return std::strtod(s.c_str(), nullptr);
+}
+
+/// Journal payload codec for one GuardedRows block.  Line-tagged format:
+/// `h` carries the nine RunHealth counters, each `x` one extra scalar,
+/// each `r` one row (cells field-escaped and tab-joined).
+inline std::string encode_guarded_rows(const GuardedRows& g) {
+  std::string out = "h";
+  const RunHealth& h = g.health;
+  for (std::size_t c : {h.cold_restarts, h.cap_retries, h.gs_fallbacks,
+                        h.solve_failures, h.nonfinite_inputs,
+                        h.leak_nonconverged, h.quarantined, h.timeouts,
+                        h.cancelled})
+    out += ' ' + std::to_string(c);
+  out += '\n';
+  for (const std::string& x : g.extra) out += "x " + escape_field(x) + '\n';
+  for (const auto& row : g.rows) {
+    out += "r ";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += '\t';  // escape_field escapes tabs inside cells
+      out += escape_field(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+inline bool decode_guarded_rows(const std::string& payload, GuardedRows* g) {
+  *g = GuardedRows{};
+  bool saw_health = false;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) eol = payload.size();
+    const std::string line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    const char tag = line[0];
+    const std::string rest = line.size() > 2 ? line.substr(2) : std::string();
+    if (tag == 'h') {
+      RunHealth& h = g->health;
+      std::size_t* slots[] = {&h.cold_restarts,     &h.cap_retries,
+                              &h.gs_fallbacks,      &h.solve_failures,
+                              &h.nonfinite_inputs,  &h.leak_nonconverged,
+                              &h.quarantined,       &h.timeouts,
+                              &h.cancelled};
+      std::size_t field = 0, at = 0;
+      while (field < 9 && at < rest.size()) {
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(rest.c_str() + at, &end, 10);
+        if (end == rest.c_str() + at) return false;
+        *slots[field++] = static_cast<std::size_t>(v);
+        at = static_cast<std::size_t>(end - rest.c_str());
+        while (at < rest.size() && rest[at] == ' ') ++at;
+      }
+      if (field != 9) return false;
+      saw_health = true;
+    } else if (tag == 'x') {
+      g->extra.push_back(unescape_field(rest));
+    } else if (tag == 'r') {
+      std::vector<std::string> row;
+      std::size_t at = 0;
+      while (at <= rest.size()) {
+        std::size_t sep = rest.find('\t', at);
+        if (sep == std::string::npos) sep = rest.size();
+        row.push_back(unescape_field(rest.substr(at, sep - at)));
+        at = sep + 1;
+      }
+      g->rows.push_back(std::move(row));
+    }
+    // Unknown tags are skipped: older journals stay readable.
+  }
+  return saw_health;
+}
+
+/// Marker cell for a quarantined unit's row.
+inline std::string quarantine_cell(const Error& e) {
+  return std::string("quarantined: ") + e.what();
+}
+
+/// Append guarded blocks in input order and merge their health counters.
+/// Interrupted blocks contribute no rows (the run is exiting resumable).
+inline RunHealth merge_guarded(TextTable& t,
+                               const std::vector<GuardedRows>& blocks) {
+  RunHealth h;
+  for (const GuardedRows& block : blocks) {
+    for (const auto& row : block.rows) t.add_row(row);
+    h += block.health;
+  }
+  return h;
+}
+
+/// Durable parallel map over experiment units.
+///
+///  * `id_fn(task)` → stable journal id (e.g. "fig6:blackscholes:16");
+///  * `body(task, cancel)` → GuardedRows; the token (nullptr when no run
+///    control is active) must be threaded into the unit's EvalConfig /
+///    OptimizerOptions.  The body keeps its own `catch (const Error&)`
+///    quarantine — CancelledError deliberately escapes it and is handled
+///    here;
+///  * `timeout_out(task, err)` → the GuardedRows a deadline overrun should
+///    contribute (typically one quarantine-style row whose last cell is
+///    `err.what()`, which starts with "timeout:").  Its health is replaced
+///    with a single `timeouts` count.
+template <typename Task, typename IdFn, typename Body, typename TimeoutFn>
+std::vector<GuardedRows> durable_rows_map(const std::vector<Task>& tasks,
+                                          const RunControl& run,
+                                          const std::string& meta_key,
+                                          const std::string& meta_value,
+                                          IdFn&& id_fn, Body&& body,
+                                          TimeoutFn&& timeout_out) {
+  RunJournal* const journal = run.journal;
+  if (journal) journal->bind_meta(meta_key, meta_value);
+  return ThreadPool::global().parallel_map(tasks, [&](const Task& t) {
+    GuardedRows out;
+    const std::string task_id = id_fn(t);
+    if (journal) {
+      if (const std::string* payload = journal->find(task_id)) {
+        // Checkpoint replay: the journaled block stands in for the
+        // recomputation.  An undecodable payload (hand-edited journal)
+        // falls through to recomputation.
+        if (decode_guarded_rows(*payload, &out)) return out;
+        out = GuardedRows{};
+      }
+    }
+    if (run.cancel && run.cancel->cancelled()) {
+      // Graceful shutdown: stop dispatching; in-flight units drain via
+      // their own tokens.
+      out.interrupted = true;
+      out.health.cancelled = 1;
+      return out;
+    }
+    // Per-task token: chains the run-level cancel and carries this unit's
+    // wall-clock budget.
+    CancelToken task_cancel(run.cancel);
+    if (run.task_deadline_s > 0) task_cancel.set_deadline(run.task_deadline_s);
+    const bool active = run.cancel != nullptr || run.task_deadline_s > 0;
+    try {
+      out = body(t, active ? &task_cancel : nullptr);
+    } catch (const CancelledError& c) {
+      if (c.reason() == CancelledError::Reason::kDeadline) {
+        out = timeout_out(t, c);
+        out.health = RunHealth{};
+        out.health.timeouts = 1;
+        out.interrupted = false;
+      } else {
+        out = GuardedRows{};
+        out.interrupted = true;
+        out.health.cancelled = 1;
+        return out;  // never journaled — resume recomputes it
+      }
+    }
+    if (journal) journal->append(task_id, encode_guarded_rows(out));
+    return out;
+  });
+}
+
+}  // namespace tacos

@@ -7,6 +7,7 @@
 /// rows are the series the paper plots; the bench binaries print both the
 /// aligned table and CSV.  All runners are deterministic (seeded RNG).
 
+#include <sstream>
 #include <vector>
 
 #include "common/run_health.hpp"
@@ -26,15 +27,21 @@ struct ExperimentOptions {
   int starts = 10;             ///< greedy starting points (paper uses 10)
   double threshold_c = 85.0;   ///< temperature threshold (Eq. 6)
   std::uint64_t seed = 2018;
+  /// Durable-execution control (write-ahead journal, cancel token, per-task
+  /// deadline); all off by default.  See docs/ROBUSTNESS.md.
+  RunControl run;
 
-  /// Evaluator configuration implied by these options.
-  EvalConfig eval_config() const {
+  /// Evaluator configuration implied by these options.  `cancel`, when
+  /// given, is polled by the solvers (per-task deadline / interrupt hook).
+  EvalConfig eval_config(const CancelToken* cancel = nullptr) const {
     EvalConfig c;
     c.thermal.grid_nx = c.thermal.grid_ny = grid;
+    c.thermal.solve.cancel = cancel;
     return c;
   }
   /// Optimizer options implied by these options.
-  OptimizerOptions optimizer_options(double alpha, double beta) const {
+  OptimizerOptions optimizer_options(double alpha, double beta,
+                                     const CancelToken* cancel = nullptr) const {
     OptimizerOptions o;
     o.alpha = alpha;
     o.beta = beta;
@@ -42,7 +49,17 @@ struct ExperimentOptions {
     o.step_mm = opt_step_mm;
     o.starts = starts;
     o.seed = seed;
+    o.cancel = cancel;
     return o;
+  }
+  /// Result-shaping knobs, rendered for `RunJournal::bind_meta`: resuming
+  /// a run directory with any of these changed is an error.
+  std::string fingerprint() const {
+    std::ostringstream os;
+    os << "grid=" << grid << " w_step=" << w_step_mm
+       << " opt_step=" << opt_step_mm << " starts=" << starts
+       << " threshold=" << threshold_c << " seed=" << seed;
+    return os.str();
   }
 };
 

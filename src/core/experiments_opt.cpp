@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/thread_pool.hpp"
+#include "core/durable.hpp"
 #include "core/experiments.hpp"
 
 namespace tacos {
@@ -38,9 +39,10 @@ double iso_cost_interposer(const Evaluator& eval, int n, double w_step) {
 std::map<double, MaxIpsResult> max_ips_curve(Evaluator& eval,
                                              const BenchmarkProfile& bench,
                                              int n,
-                                             const ExperimentOptions& opts) {
+                                             const ExperimentOptions& opts,
+                                             const CancelToken* cancel) {
   const SystemSpec& spec = eval.config().spec;
-  OptimizerOptions oo = opts.optimizer_options(1.0, 0.0);
+  OptimizerOptions oo = opts.optimizer_options(1.0, 0.0, cancel);
   Rng rng(opts.seed);
   std::map<double, MaxIpsResult> curve;
   for (double w = min_interposer(spec); w <= spec.max_interposer_mm + 1e-9;
@@ -59,41 +61,37 @@ std::string fmt_org(const Organization& org) {
   return os.str();
 }
 
+/// bind_meta value for a driver: result-shaping knobs plus the bench list.
+std::string driver_meta(const ExperimentOptions& opts,
+                        const std::vector<std::string>& bench_names) {
+  std::string m = opts.fingerprint() + " benches=";
+  for (std::size_t i = 0; i < bench_names.size(); ++i)
+    m += (i ? "," : "") + bench_names[i];
+  return m;
+}
+
+std::vector<std::string> all_benchmark_names() {
+  std::vector<std::string> names;
+  for (const BenchmarkProfile& bench : benchmarks())
+    names.emplace_back(bench.name);
+  return names;
+}
+
 // The experiment drivers below fan their outer loops out over the global
-// ThreadPool: one task per (benchmark[, chiplet count / threshold]) unit,
-// each with its own Evaluator shard (the caches are not thread-safe, and
-// a frontier shared across tasks would make results depend on completion
-// order).  Every task returns its rows; the join appends them in input
-// order, so tables are byte-identical at any thread count.
+// ThreadPool via durable_rows_map (core/durable.hpp): one task per
+// (benchmark[, chiplet count / threshold]) unit, each with its own
+// Evaluator shard (the caches are not thread-safe, and a frontier shared
+// across tasks would make results depend on completion order).  Every task
+// returns its rows; the join appends them in input order, so tables are
+// byte-identical at any thread count.
 //
 // Containment: each task body catches tacos::Error — an evaluation that
 // failed even after the thermal recovery ladder — and contributes a
-// single quarantine row instead of aborting the table.  The catch sits
-// inside the task, so surviving rows stay deterministic at any thread
-// count; the per-shard RunHealth counters are merged at the join.
-
-using Rows = std::vector<std::vector<std::string>>;
-
-/// Per-task output of a guarded unit: rows plus its shard's health.
-struct GuardedRows {
-  Rows rows;
-  RunHealth health;
-};
-
-/// Append guarded blocks in input order and merge their health counters.
-RunHealth merge_guarded(TextTable& t, const std::vector<GuardedRows>& blocks) {
-  RunHealth h;
-  for (const GuardedRows& block : blocks) {
-    for (const auto& row : block.rows) t.add_row(row);
-    h += block.health;
-  }
-  return h;
-}
-
-/// Marker cell for a quarantined unit's row.
-std::string quarantine_cell(const Error& e) {
-  return std::string("quarantined: ") + e.what();
-}
+// single "quarantined:" row instead of aborting the table.  The catch
+// sits inside the task, so surviving rows stay deterministic at any
+// thread count; the per-shard RunHealth counters are merged at the join.
+// Durability (journal replay, deadlines → "timeout:" rows, interrupt
+// draining) is handled by durable_rows_map around the body.
 
 }  // namespace
 
@@ -108,15 +106,19 @@ TextTable fig6_perf_cost_table(const ExperimentOptions& opts,
   for (const auto& name : bench_names)
     for (int n : {4, 16}) units.push_back({name, n});
 
-  const std::vector<GuardedRows> blocks =
-      ThreadPool::global().parallel_map(units, [&](const Unit& u) {
-        Evaluator eval(opts.eval_config());
+  const std::vector<GuardedRows> blocks = durable_rows_map(
+      units, opts.run, "fig6", driver_meta(opts, bench_names),
+      [](const Unit& u) {
+        return "fig6:" + u.bench + ":" + std::to_string(u.n);
+      },
+      [&](const Unit& u, const CancelToken* cancel) {
+        Evaluator eval(opts.eval_config(cancel));
         GuardedRows out;
         try {
           const BenchmarkProfile& bench = benchmark_by_name(u.bench);
           const BaselinePoint& base =
               eval.baseline_2d(bench, opts.threshold_c);
-          const auto curve = max_ips_curve(eval, bench, u.n, opts);
+          const auto curve = max_ips_curve(eval, bench, u.n, opts, cancel);
           for (const auto& [w, r] : curve) {
             const double cost =
                 system_cost_25d(u.n, chiplet_area(eval.config().spec, u.n),
@@ -136,6 +138,11 @@ TextTable fig6_perf_cost_table(const ExperimentOptions& opts,
         }
         out.health += eval.health();
         return out;
+      },
+      [](const Unit& u, const CancelledError& c) {
+        GuardedRows g;
+        g.rows = {{u.bench, std::to_string(u.n), "-", "n/a", "n/a", c.what()}};
+        return g;
       });
 
   TextTable t({"benchmark", "n_chiplets", "interposer_mm", "max_ips_norm",
@@ -158,15 +165,19 @@ TextTable fig7_objective_table(const ExperimentOptions& opts,
   const std::vector<std::pair<double, double>> weights = {
       {0.0, 1.0}, {1.0, 0.0}, {0.5, 0.5}};
 
-  const std::vector<GuardedRows> blocks =
-      ThreadPool::global().parallel_map(units, [&](const Unit& u) {
-        Evaluator eval(opts.eval_config());
+  const std::vector<GuardedRows> blocks = durable_rows_map(
+      units, opts.run, "fig7", driver_meta(opts, bench_names),
+      [](const Unit& u) {
+        return "fig7:" + u.bench + ":" + std::to_string(u.n);
+      },
+      [&](const Unit& u, const CancelToken* cancel) {
+        Evaluator eval(opts.eval_config(cancel));
         GuardedRows out;
         try {
           const BenchmarkProfile& bench = benchmark_by_name(u.bench);
           const BaselinePoint& base =
               eval.baseline_2d(bench, opts.threshold_c);
-          const auto curve = max_ips_curve(eval, bench, u.n, opts);
+          const auto curve = max_ips_curve(eval, bench, u.n, opts, cancel);
           for (const auto& [w, r] : curve) {
             const double cost_norm =
                 system_cost_25d(u.n, chiplet_area(eval.config().spec, u.n),
@@ -191,6 +202,11 @@ TextTable fig7_objective_table(const ExperimentOptions& opts,
         }
         out.health += eval.health();
         return out;
+      },
+      [](const Unit& u, const CancelledError& c) {
+        GuardedRows g;
+        g.rows = {{u.bench, std::to_string(u.n), "-", "-", "-", c.what()}};
+        return g;
       });
 
   TextTable t({"benchmark", "n_chiplets", "interposer_mm", "alpha", "beta",
@@ -202,20 +218,20 @@ TextTable fig7_objective_table(const ExperimentOptions& opts,
 
 TextTable fig8_chosen_orgs_table(const ExperimentOptions& opts,
                                  RunHealth* health) {
-  std::vector<std::string> names;
-  for (const BenchmarkProfile& bench : benchmarks())
-    names.emplace_back(bench.name);
+  const std::vector<std::string> names = all_benchmark_names();
 
-  const std::vector<GuardedRows> blocks =
-      ThreadPool::global().parallel_map(names, [&](const std::string& name) {
-        Evaluator eval(opts.eval_config());
+  const std::vector<GuardedRows> blocks = durable_rows_map(
+      names, opts.run, "fig8", driver_meta(opts, names),
+      [](const std::string& name) { return "fig8:" + name; },
+      [&](const std::string& name, const CancelToken* cancel) {
+        Evaluator eval(opts.eval_config(cancel));
         GuardedRows out;
         try {
           const BenchmarkProfile& bench = benchmark_by_name(name);
           const BaselinePoint& base =
               eval.baseline_2d(bench, opts.threshold_c);
-          const OptResult res =
-              optimize_greedy(eval, bench, opts.optimizer_options(1.0, 0.0));
+          const OptResult res = optimize_greedy(
+              eval, bench, opts.optimizer_options(1.0, 0.0, cancel));
           std::ostringstream b2d;
           if (base.feasible)
             b2d << kDvfsLevels[base.dvfs_idx].freq_mhz << "MHz p="
@@ -244,6 +260,11 @@ TextTable fig8_chosen_orgs_table(const ExperimentOptions& opts,
         }
         out.health += eval.health();
         return out;
+      },
+      [](const std::string& name, const CancelledError& c) {
+        GuardedRows g;
+        g.rows = {{name, "-", "n/a", c.what(), "n/a", "n/a", "n/a", "n/a"}};
+        return g;
       });
 
   TextTable t({"benchmark", "2D_best", "2D_peak_c", "25D_org",
@@ -265,15 +286,17 @@ TextTable improvement_summary_table(const ExperimentOptions& opts,
     for (const BenchmarkProfile& bench : benchmarks())
       units.push_back({th, std::string(bench.name)});
 
-  struct Out {
-    Rows rows;
-    double gain = 0.0;  // finite contribution to the per-threshold average
-    RunHealth health;
-  };
-  const std::vector<Out> outs =
-      ThreadPool::global().parallel_map(units, [&](const Unit& u) {
-        Evaluator eval(opts.eval_config());
-        Out out;
+  // extra[0] carries the unit's finite gain contribution to the
+  // per-threshold AVERAGE row, so journal replay reproduces it exactly.
+  const std::vector<GuardedRows> outs = durable_rows_map(
+      units, opts.run, "improvement_summary",
+      driver_meta(opts, all_benchmark_names()),
+      [](const Unit& u) {
+        return "impr:" + u.bench + ":" + TextTable::fmt(u.threshold, 0);
+      },
+      [&](const Unit& u, const CancelToken* cancel) {
+        Evaluator eval(opts.eval_config(cancel));
+        GuardedRows out;
         try {
           ExperimentOptions o = opts;
           o.threshold_c = u.threshold;
@@ -281,7 +304,7 @@ TextTable improvement_summary_table(const ExperimentOptions& opts,
           const BaselinePoint& base = eval.baseline_2d(bench, u.threshold);
           // Iso-cost constraint: the largest interposer whose cost does not
           // exceed the single chip's, per chiplet count; take the better n.
-          OptimizerOptions oo = o.optimizer_options(1.0, 0.0);
+          OptimizerOptions oo = o.optimizer_options(1.0, 0.0, cancel);
           Rng rng(opts.seed);
           MaxIpsResult best;
           for (int n : {4, 16}) {
@@ -302,7 +325,7 @@ TextTable improvement_summary_table(const ExperimentOptions& opts,
                 << base.active_cores;
           else
             b2d << "infeasible";
-          out.gain = std::isfinite(gain) ? gain : 0.0;
+          out.extra = {extra_double(std::isfinite(gain) ? gain : 0.0)};
           out.rows.push_back(
               {u.bench, TextTable::fmt(u.threshold, 0), b2d.str(),
                base.feasible ? TextTable::fmt(base.ips, 0) : "n/a",
@@ -312,13 +335,20 @@ TextTable improvement_summary_table(const ExperimentOptions& opts,
         } catch (const Error& e) {
           // A quarantined unit contributes gain 0 — the same value an
           // infeasible unit contributes — so the AVERAGE row stays defined.
-          out.gain = 0.0;
+          out.extra = {extra_double(0.0)};
           out.rows = {{u.bench, TextTable::fmt(u.threshold, 0), "-", "n/a",
                        quarantine_cell(e), "n/a", "n/a"}};
           out.health.quarantined = 1;
         }
         out.health += eval.health();
         return out;
+      },
+      [](const Unit& u, const CancelledError& c) {
+        GuardedRows g;
+        g.extra = {extra_double(0.0)};  // timed out ⇒ gain 0, like quarantine
+        g.rows = {{u.bench, TextTable::fmt(u.threshold, 0), "-", "n/a",
+                   c.what(), "n/a", "n/a"}};
+        return g;
       });
 
   TextTable t({"benchmark", "threshold_c", "2D_best", "2D_ips", "25D_org",
@@ -326,13 +356,14 @@ TextTable improvement_summary_table(const ExperimentOptions& opts,
   RunHealth h;
   const int per_th = static_cast<int>(benchmarks().size());
   for (std::size_t i = 0; i < outs.size(); ++i) {
-    t.add_row(outs[i].rows.front());
+    if (!outs[i].rows.empty()) t.add_row(outs[i].rows.front());
     h += outs[i].health;
     if ((i + 1) % static_cast<std::size_t>(per_th) == 0) {
       double sum_gain = 0.0;
       for (std::size_t j = i + 1 - static_cast<std::size_t>(per_th); j <= i;
            ++j)
-        sum_gain += outs[j].gain;
+        sum_gain += outs[j].extra.empty() ? 0.0
+                                          : extra_to_double(outs[j].extra[0]);
       t.add_row({"AVERAGE", TextTable::fmt(units[i].threshold, 0), "", "", "",
                  "", TextTable::fmt(sum_gain / std::max(per_th, 1), 1)});
     }
@@ -343,17 +374,17 @@ TextTable improvement_summary_table(const ExperimentOptions& opts,
 
 TextTable iso_performance_cost_table(const ExperimentOptions& opts,
                                      RunHealth* health) {
-  std::vector<std::string> names;
-  for (const BenchmarkProfile& bench : benchmarks())
-    names.emplace_back(bench.name);
+  const std::vector<std::string> names = all_benchmark_names();
 
-  const std::vector<GuardedRows> blocks =
-      ThreadPool::global().parallel_map(names, [&](const std::string& name) {
-        Evaluator eval(opts.eval_config());
+  const std::vector<GuardedRows> blocks = durable_rows_map(
+      names, opts.run, "iso_performance", driver_meta(opts, names),
+      [](const std::string& name) { return "iso:" + name; },
+      [&](const std::string& name, const CancelToken* cancel) {
+        Evaluator eval(opts.eval_config(cancel));
         GuardedRows out;
         try {
           const BenchmarkProfile& bench = benchmark_by_name(name);
-          OptimizerOptions oo = opts.optimizer_options(1.0, 0.0);
+          OptimizerOptions oo = opts.optimizer_options(1.0, 0.0, cancel);
           const BaselinePoint& base =
               eval.baseline_2d(bench, opts.threshold_c);
           if (!base.feasible) {
@@ -401,6 +432,11 @@ TextTable iso_performance_cost_table(const ExperimentOptions& opts,
         }
         out.health += eval.health();
         return out;
+      },
+      [](const std::string& name, const CancelledError& c) {
+        GuardedRows g;
+        g.rows = {{name, "n/a", c.what(), "n/a", "n/a", "n/a"}};
+        return g;
       });
 
   TextTable t({"benchmark", "2D_ips", "min_cost_org", "interposer_mm",
@@ -422,54 +458,58 @@ TextTable greedy_validation_table(const ExperimentOptions& opts,
   //    sweeping the whole design space (~680k organizations per benchmark
   //    at 0.5 mm granularity), so the savings column uses the full space
   //    size at this run's granularity.
-  std::vector<std::string> names;
-  for (const BenchmarkProfile& bench : benchmarks())
-    names.emplace_back(bench.name);
+  const std::vector<std::string> names = all_benchmark_names();
 
-  struct Out {
-    std::vector<std::string> row;
-    bool agree = false;
-    bool quarantined = false;
-    std::size_t g_evals = 0;
-    std::size_t space = 0;
-    RunHealth health;
-  };
-  const std::vector<Out> outs =
-      ThreadPool::global().parallel_map(names, [&](const std::string& name) {
+  // extra = {agree, excluded, greedy_evals, space}: the TOTAL row's inputs,
+  // journaled so replay reproduces it.  `excluded` marks units that do not
+  // enter the agreement totals (quarantined or timed out).
+  const std::vector<GuardedRows> outs = durable_rows_map(
+      names, opts.run, "greedy_validation", driver_meta(opts, names),
+      [](const std::string& name) { return "e9:" + name; },
+      [&](const std::string& name, const CancelToken* cancel) {
         // Separate evaluators so shared caches do not distort the counts.
-        Evaluator eval_g(opts.eval_config());
-        Evaluator eval_e(opts.eval_config());
-        Out out;
+        Evaluator eval_g(opts.eval_config(cancel));
+        Evaluator eval_e(opts.eval_config(cancel));
+        GuardedRows out;
         try {
           const BenchmarkProfile& bench = benchmark_by_name(name);
-          OptimizerOptions oo = opts.optimizer_options(1.0, 0.0);
+          OptimizerOptions oo = opts.optimizer_options(1.0, 0.0, cancel);
           oo.prune_margin_c = 0.0;  // exact greedy semantics for comparison
           const OptResult g = optimize_greedy(eval_g, bench, oo);
           const OptResult e = optimize_exhaustive(eval_e, bench, oo);
-          out.space = design_space_size(eval_g, oo);
-          out.agree =
+          const std::size_t space = design_space_size(eval_g, oo);
+          const bool agree =
               g.found == e.found &&
               (!g.found || std::abs(g.objective - e.objective) < 1e-9);
-          out.g_evals = eval_g.eval_count();
-          out.row = {name, g.found ? TextTable::fmt(g.objective, 4) : "none",
-                     e.found ? TextTable::fmt(e.objective, 4) : "none",
-                     out.agree ? "yes" : "NO", std::to_string(out.g_evals),
-                     std::to_string(out.space),
-                     out.g_evals > 0
-                         ? TextTable::fmt(static_cast<double>(out.space) /
-                                              static_cast<double>(out.g_evals),
-                                          0) +
-                               "x"
-                         : "n/a"};
+          const std::size_t g_evals = eval_g.eval_count();
+          out.extra = {agree ? "1" : "0", "0", std::to_string(g_evals),
+                       std::to_string(space)};
+          out.rows = {
+              {name, g.found ? TextTable::fmt(g.objective, 4) : "none",
+               e.found ? TextTable::fmt(e.objective, 4) : "none",
+               agree ? "yes" : "NO", std::to_string(g_evals),
+               std::to_string(space),
+               g_evals > 0
+                   ? TextTable::fmt(static_cast<double>(space) /
+                                        static_cast<double>(g_evals),
+                                    0) +
+                         "x"
+                   : "n/a"}};
         } catch (const Error& e) {
-          out.quarantined = true;
-          out.row = {name, "none", "none", quarantine_cell(e), "0", "0",
-                     "n/a"};
+          out.extra = {"0", "1", "0", "0"};
+          out.rows = {{name, "none", "none", quarantine_cell(e), "0", "0",
+                       "n/a"}};
           out.health.quarantined = 1;
         }
         out.health += eval_g.health();
         out.health += eval_e.health();
         return out;
+      },
+      [](const std::string& name, const CancelledError& c) {
+        GuardedRows g;
+        g.extra = {"0", "1", "0", "0"};
+        g.rows = {{name, "none", "none", c.what(), "0", "0", "n/a"}};
+        return g;
       });
 
   TextTable t({"benchmark", "greedy_obj", "oracle_obj", "agree",
@@ -478,14 +518,16 @@ TextTable greedy_validation_table(const ExperimentOptions& opts,
   int agree_count = 0, total = 0;
   std::size_t g_evals_sum = 0;
   std::size_t space = 0;
-  for (const Out& o : outs) {
+  for (const GuardedRows& o : outs) {
     h += o.health;
-    t.add_row(o.row);
-    if (o.quarantined) continue;  // excluded from the agreement totals
-    agree_count += o.agree ? 1 : 0;
+    if (o.rows.empty()) continue;  // interrupted — the run is exiting
+    t.add_row(o.rows.front());
+    if (o.extra.size() != 4 || o.extra[1] == "1")
+      continue;  // excluded from the agreement totals
+    agree_count += o.extra[0] == "1" ? 1 : 0;
     ++total;
-    g_evals_sum += o.g_evals;
-    space = o.space;
+    g_evals_sum += static_cast<std::size_t>(std::stoull(o.extra[2]));
+    space = static_cast<std::size_t>(std::stoull(o.extra[3]));
   }
   t.add_row({"TOTAL",
              TextTable::fmt(100.0 * agree_count / std::max(total, 1), 0) +

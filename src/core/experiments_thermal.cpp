@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "core/durable.hpp"
 #include "core/experiments.hpp"
 #include "core/leakage.hpp"
 #include "materials/stack.hpp"
@@ -26,17 +27,10 @@ PowerMap uniform_power(const ChipletLayout& l, double total_w) {
   return p;
 }
 
-/// Per-task output of a guarded unit: rows plus the task's solve health.
-/// The catch sits inside the task body, so surviving rows stay
-/// deterministic at any thread count (see experiments.hpp).
-struct GuardedRows {
-  std::vector<std::vector<std::string>> rows;
-  RunHealth health;
-};
-
-std::string quarantine_cell(const Error& e) {
-  return std::string("quarantined: ") + e.what();
-}
+// GuardedRows / quarantine_cell / durable_rows_map come from
+// core/durable.hpp: the catch sits inside each task body, so surviving
+// rows stay deterministic at any thread count, and the durability layer
+// (journal replay, deadlines, interrupts) wraps the body.
 
 }  // namespace
 
@@ -57,39 +51,49 @@ TextTable fig3b_thermal_table(const ExperimentOptions& opts,
   for (int r = 2; r <= 10; ++r) series.push_back(r);
   series.push_back(0);  // "new-2D"
 
-  const auto blocks = ThreadPool::global().parallel_map(series, [&](int r) {
-    GuardedRows out;
-    SolveLedger led;  // one fault/health clock per series task
-    const std::string label =
-        r == 0 ? "new-2D" : std::to_string(r) + "x" + std::to_string(r);
-    try {
-      for (double w = 20.0; w <= spec.max_interposer_mm + 1e-9; w += 1.0) {
-        const ChipletLayout l =
-            r == 0 ? grown_single_chip(w)
-                   : make_uniform_layout_for_interposer(r, w, spec);
-        ThermalModel model(l, r == 0 ? make_2d_stack() : make_25d_stack(),
-                           cfg);
-        model.set_ledger(&led);
-        for (double pd : densities) {
-          const ThermalResult res =
-              model.solve(uniform_power(l, pd * chip_area));
-          out.rows.push_back({label, TextTable::fmt(w, 0),
-                              TextTable::fmt(pd, 1),
-                              TextTable::fmt(res.peak_c, 2)});
+  const auto series_label = [](int r) {
+    return r == 0 ? std::string("new-2D")
+                  : std::to_string(r) + "x" + std::to_string(r);
+  };
+  const std::vector<GuardedRows> blocks = durable_rows_map(
+      series, opts.run, "fig3b", opts.fingerprint(),
+      [&](int r) { return "fig3b:" + series_label(r); },
+      [&](int r, const CancelToken* cancel) {
+        GuardedRows out;
+        SolveLedger led;  // one fault/health clock per series task
+        const std::string label = series_label(r);
+        ThermalConfig task_cfg = cfg;
+        task_cfg.solve.cancel = cancel;
+        try {
+          for (double w = 20.0; w <= spec.max_interposer_mm + 1e-9;
+               w += 1.0) {
+            const ChipletLayout l =
+                r == 0 ? grown_single_chip(w)
+                       : make_uniform_layout_for_interposer(r, w, spec);
+            ThermalModel model(l, r == 0 ? make_2d_stack() : make_25d_stack(),
+                               task_cfg);
+            model.set_ledger(&led);
+            for (double pd : densities) {
+              const ThermalResult res =
+                  model.solve(uniform_power(l, pd * chip_area));
+              out.rows.push_back({label, TextTable::fmt(w, 0),
+                                  TextTable::fmt(pd, 1),
+                                  TextTable::fmt(res.peak_c, 2)});
+            }
+          }
+        } catch (const Error& e) {
+          out.rows = {{label, "-", "-", quarantine_cell(e)}};
+          out.health.quarantined = 1;
         }
-      }
-    } catch (const Error& e) {
-      out.rows = {{label, "-", "-", quarantine_cell(e)}};
-      out.health.quarantined = 1;
-    }
-    out.health += led.health;
-    return out;
-  });
-  RunHealth h;
-  for (const GuardedRows& out : blocks) {
-    for (const auto& row : out.rows) t.add_row(row);
-    h += out.health;
-  }
+        out.health += led.health;
+        return out;
+      },
+      [&](int r, const CancelledError& c) {
+        GuardedRows g;
+        g.rows = {{series_label(r), "-", "-", c.what()}};
+        return g;
+      });
+  RunHealth h = merge_guarded(t, blocks);
   if (health) *health = h;
   return t;
 }
@@ -112,10 +116,14 @@ TextTable fig5_spacing_table(const ExperimentOptions& opts,
   std::vector<std::string> names;
   for (const BenchmarkProfile& bench : benchmarks())
     names.emplace_back(bench.name);
-  const auto blocks = ThreadPool::global().parallel_map(
-      names, [&](const std::string& name) {
+  const std::vector<GuardedRows> blocks = durable_rows_map(
+      names, opts.run, "fig5", opts.fingerprint(),
+      [](const std::string& name) { return "fig5:" + name; },
+      [&](const std::string& name, const CancelToken* cancel) {
         GuardedRows out;
         SolveLedger led;  // one fault/health clock per benchmark task
+        ThermalConfig task_cfg = cfg;
+        task_cfg.solve.cancel = cancel;
         try {
           const BenchmarkProfile& bench = benchmark_by_name(name);
           const auto note_leak = [&led](const LeakageResult& lr) {
@@ -124,7 +132,7 @@ TextTable fig5_spacing_table(const ExperimentOptions& opts,
           // 0 mm: the single-chip system.
           {
             const ChipletLayout chip = make_single_chip_layout(spec);
-            ThermalModel model(chip, make_2d_stack(), cfg);
+            ThermalModel model(chip, make_2d_stack(), task_cfg);
             model.set_ledger(&led);
             const LeakageResult lr = run_leakage_fixed_point(
                 model, chip, bench, nominal, all_cores, pm);
@@ -140,7 +148,7 @@ TextTable fig5_spacing_table(const ExperimentOptions& opts,
             for (double g = 0.5; g <= 10.0 + 1e-9; g += 0.5) {
               if (g > g_max + 1e-9) break;
               const ChipletLayout l = make_uniform_layout(r, g, spec);
-              ThermalModel model(l, make_25d_stack(), cfg);
+              ThermalModel model(l, make_25d_stack(), task_cfg);
               model.set_ledger(&led);
               const LeakageResult lr = run_leakage_fixed_point(
                   model, l, bench, nominal, all_cores, pm);
@@ -158,12 +166,13 @@ TextTable fig5_spacing_table(const ExperimentOptions& opts,
         }
         out.health += led.health;
         return out;
+      },
+      [](const std::string& name, const CancelledError& c) {
+        GuardedRows g;
+        g.rows = {{name, "-", "-", "-", "-", c.what()}};
+        return g;
       });
-  RunHealth h;
-  for (const GuardedRows& out : blocks) {
-    for (const auto& row : out.rows) t.add_row(row);
-    h += out.health;
-  }
+  RunHealth h = merge_guarded(t, blocks);
   if (health) *health = h;
   return t;
 }

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
+#include <sstream>
 #include <string>
 
 #include "common/thread_pool.hpp"
@@ -112,6 +115,7 @@ std::optional<Organization> find_placement_greedy(
   };
 
   for (int start = 0; start < opts.starts; ++start) {
+    if (opts.cancel) opts.cancel->poll();
     long i1, i2;
     if (start == 0) {
       // Deterministic first start: the uniform matrix placement
@@ -134,6 +138,7 @@ std::optional<Organization> find_placement_greedy(
     }
 
     for (int move = 0; move < opts.max_moves; ++move) {
+      if (opts.cancel) opts.cancel->poll();
       // The four ±step neighbours on the manifold, in random order (the
       // paper picks neighbours randomly to avoid ordering bias).
       std::array<std::pair<long, long>, 4> nbs = {
@@ -177,6 +182,7 @@ std::optional<Organization> find_placement_exhaustive(
   // hours), then report the feasible one with the lowest peak.
   double best_peak = 1e300;
   for (long i1 = 0; i1 <= grid_max; ++i1) {
+    if (opts.cancel) opts.cancel->poll();
     for (long i2 = 0; i2 <= grid_max; ++i2) {
       const Organization org =
           make_org(combo, spacing16(i1 * step, i2 * step, budget));
@@ -203,6 +209,7 @@ OptResult optimize_impl(Evaluator& eval, const BenchmarkProfile& bench,
 
   OptResult res;
   for (const Combo& combo : combos) {
+    if (opts.cancel) opts.cancel->poll();
     ++res.combos_tried;
     const std::optional<Organization> org = placer(combo);
     if (org) {
@@ -229,19 +236,177 @@ OptResult optimize_greedy(Evaluator& eval, const BenchmarkProfile& bench,
   });
 }
 
+namespace {
+
+/// Exact (round-trippable) rendering for journal payloads.
+std::string fmt_g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Configuration fingerprint pinned into a run directory: any knob that
+/// changes task results makes a resume with a mismatched journal an error.
+std::string batch_meta(const EvalConfig& config,
+                       const std::vector<std::string>& bench_names,
+                       const OptimizerOptions& opts) {
+  std::ostringstream m;
+  m << "grid=" << config.thermal.grid_nx << 'x' << config.thermal.grid_ny
+    << " alpha=" << fmt_g17(opts.alpha) << " beta=" << fmt_g17(opts.beta)
+    << " threshold=" << fmt_g17(opts.threshold_c)
+    << " step=" << fmt_g17(opts.step_mm) << " starts=" << opts.starts
+    << " max_moves=" << opts.max_moves << " seed=" << opts.seed
+    << " prune=" << fmt_g17(opts.prune_margin_c) << " n=";
+  for (std::size_t i = 0; i < opts.chiplet_counts.size(); ++i)
+    m << (i ? "," : "") << opts.chiplet_counts[i];
+  m << " benches=";
+  for (std::size_t i = 0; i < bench_names.size(); ++i)
+    m << (i ? "," : "") << bench_names[i];
+  return m.str();
+}
+
+}  // namespace
+
+std::string encode_opt_result(const OptResult& result,
+                              const EvalStats& stats) {
+  std::ostringstream os;
+  os << "found " << (result.found ? 1 : 0) << '\n'
+     << "org " << result.org.n_chiplets << ' ' << fmt_g17(result.org.spacing.s1)
+     << ' ' << fmt_g17(result.org.spacing.s2) << ' '
+     << fmt_g17(result.org.spacing.s3) << ' ' << result.org.dvfs_idx << ' '
+     << result.org.active_cores << '\n'
+     << "metrics " << fmt_g17(result.ips) << ' ' << fmt_g17(result.cost) << ' '
+     << fmt_g17(result.objective) << ' ' << fmt_g17(result.peak_c) << '\n'
+     << "counts " << result.combos_tried << ' ' << result.thermal_solves
+     << '\n'
+     << "quarantined " << (result.quarantined ? 1 : 0) << '\n';
+  if (!result.diagnostic.empty())
+    os << "diagnostic " << escape_field(result.diagnostic) << '\n';
+  const RunHealth& h = stats.health;
+  os << "stats " << stats.solves << ' ' << stats.evals << '\n'
+     << "health " << h.cold_restarts << ' ' << h.cap_retries << ' '
+     << h.gs_fallbacks << ' ' << h.solve_failures << ' ' << h.nonfinite_inputs
+     << ' ' << h.leak_nonconverged << ' ' << h.quarantined << ' ' << h.timeouts
+     << ' ' << h.cancelled << '\n';
+  return os.str();
+}
+
+bool decode_opt_result(const std::string& payload, OptResult* result,
+                       EvalStats* stats) {
+  *result = OptResult{};
+  *stats = EvalStats{};
+  bool saw_found = false, saw_health = false;
+  std::istringstream in(payload);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;
+    if (key == "found") {
+      int v = 0;
+      if (!(ls >> v)) return false;
+      result->found = v != 0;
+      saw_found = true;
+    } else if (key == "org") {
+      if (!(ls >> result->org.n_chiplets >> result->org.spacing.s1 >>
+            result->org.spacing.s2 >> result->org.spacing.s3 >>
+            result->org.dvfs_idx >> result->org.active_cores))
+        return false;
+    } else if (key == "metrics") {
+      if (!(ls >> result->ips >> result->cost >> result->objective >>
+            result->peak_c))
+        return false;
+    } else if (key == "counts") {
+      if (!(ls >> result->combos_tried >> result->thermal_solves))
+        return false;
+    } else if (key == "quarantined") {
+      int v = 0;
+      if (!(ls >> v)) return false;
+      result->quarantined = v != 0;
+    } else if (key == "diagnostic") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      result->diagnostic = unescape_field(rest);
+    } else if (key == "stats") {
+      if (!(ls >> stats->solves >> stats->evals)) return false;
+    } else if (key == "health") {
+      RunHealth& h = stats->health;
+      if (!(ls >> h.cold_restarts >> h.cap_retries >> h.gs_fallbacks >>
+            h.solve_failures >> h.nonfinite_inputs >> h.leak_nonconverged >>
+            h.quarantined >> h.timeouts >> h.cancelled))
+        return false;
+      saw_health = true;
+    }
+    // Unknown keys are skipped: older journals stay readable.
+  }
+  return saw_found && saw_health;
+}
+
 std::vector<OptResult> optimize_greedy_batch(
     const EvalConfig& config, const std::vector<std::string>& bench_names,
-    const OptimizerOptions& opts, EvalStats* merged) {
+    const OptimizerOptions& opts, EvalStats* merged, const RunControl* run) {
+  RunJournal* const journal = run ? run->journal : nullptr;
+  if (journal)
+    journal->bind_meta("optimize_greedy_batch",
+                       batch_meta(config, bench_names, opts));
   struct TaskOut {
     OptResult result;
     EvalStats stats;
+    bool completed = true;  ///< terminal result (journalable)
   };
   const std::vector<TaskOut> outs = ThreadPool::global().parallel_map(
       bench_names, [&](const std::string& name) {
-        Evaluator eval(config);  // per-task shard: caches never shared
         TaskOut out;
+        const std::string task_id = "optimize:" + name;
+        if (journal) {
+          if (const std::string* payload = journal->find(task_id)) {
+            // Checkpoint replay: the journaled row and its shard stats
+            // stand in for the recomputation, so a resumed run's output —
+            // including the merged counters — is byte-identical to an
+            // uninterrupted one.  An undecodable payload (hand-edited
+            // journal) falls through to recomputation.
+            if (decode_opt_result(*payload, &out.result, &out.stats))
+              return out;
+          }
+        }
+        if (run && run->cancel && run->cancel->cancelled()) {
+          // Graceful shutdown: stop dispatching new tasks; in-flight ones
+          // drain via their own tokens.  Not journaled → recomputed on
+          // resume.
+          out.result.interrupted = true;
+          out.completed = false;
+          ++out.stats.health.cancelled;
+          return out;
+        }
+        // Per-task token: chains the run-level cancel and carries this
+        // task's wall-clock budget.
+        CancelToken task_cancel(run ? run->cancel : nullptr);
+        if (run && run->task_deadline_s > 0)
+          task_cancel.set_deadline(run->task_deadline_s);
+        EvalConfig task_config = config;
+        task_config.thermal.solve.cancel = &task_cancel;
+        OptimizerOptions task_opts = opts;
+        task_opts.cancel = &task_cancel;
+
+        Evaluator eval(task_config);  // per-task shard: caches never shared
+        bool timed_out = false;
         try {
-          out.result = optimize_greedy(eval, benchmark_by_name(name), opts);
+          out.result =
+              optimize_greedy(eval, benchmark_by_name(name), task_opts);
+        } catch (const CancelledError& c) {
+          if (c.reason() == CancelledError::Reason::kDeadline) {
+            // Over budget: a terminal, journalable outcome — the paper
+            // workload must never hang on one pathological layout.
+            out.result = OptResult{};
+            out.result.quarantined = true;
+            out.result.diagnostic = c.what();
+            timed_out = true;
+          } else {
+            out.result = OptResult{};
+            out.result.interrupted = true;
+            out.completed = false;
+          }
         } catch (const Error& e) {
           // Containment: this task failed even after the recovery ladder.
           // Quarantine it (infeasible row + diagnostic) so the rest of the
@@ -252,7 +417,14 @@ std::vector<OptResult> optimize_greedy_batch(
           out.result.diagnostic = e.what();
         }
         out.stats = eval.stats();
-        if (out.result.quarantined) ++out.stats.health.quarantined;
+        if (timed_out)
+          ++out.stats.health.timeouts;
+        else if (out.result.quarantined)
+          ++out.stats.health.quarantined;
+        else if (out.result.interrupted)
+          ++out.stats.health.cancelled;
+        if (out.completed && journal)
+          journal->append(task_id, encode_opt_result(out.result, out.stats));
         return out;
       });
   std::vector<OptResult> results;

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/journal.hpp"
 #include "common/rng.hpp"
 #include "core/evaluator.hpp"
 
@@ -60,6 +61,10 @@ struct OptimizerOptions {
   /// the greedy-vs-exhaustive validation does.
   double prune_margin_c = 6.0;
   std::vector<int> chiplet_counts = {4, 16};
+  /// Cooperative cancellation (nullptr = never cancelled), polled once per
+  /// combination and per descent move; pair it with
+  /// `EvalConfig::thermal.solve.cancel` for solver-granularity response.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Optimization outcome.  A quarantined result is one whose task failed
@@ -77,6 +82,10 @@ struct OptResult {
   std::size_t thermal_solves = 0;  ///< solver invocations consumed
   bool quarantined = false;        ///< task isolated after an eval failure
   std::string diagnostic;          ///< failure context (when quarantined)
+  /// The batch run was interrupted before (or while) this task ran; the
+  /// result carries no data and the task was NOT journaled — a resumed run
+  /// recomputes it from scratch, reproducing the uninterrupted output.
+  bool interrupted = false;
 };
 
 /// Step 1 + 2: enumerate and sort all combinations by Eq. (5).
@@ -116,9 +125,27 @@ OptResult optimize_greedy(Evaluator& eval, const BenchmarkProfile& bench,
 /// thread count.  Results align with `bench_names`; if `merged` is
 /// non-null the per-shard solver/eval/health counters are summed into it
 /// at join.
+///
+/// Durability (`run`, optional): with a journal, each completed task —
+/// including quarantined and timed-out ones, which are terminal results —
+/// is appended as one checksummed record, and journaled tasks are replayed
+/// instead of recomputed (rows AND merged stats reproduce the
+/// uninterrupted run byte-for-byte).  With a cancel token, tasks not yet
+/// dispatched when it trips return `interrupted` (unjournaled, so a
+/// `--resume` run recomputes them); with a deadline, an over-budget task
+/// becomes a quarantined row with a `timeout:` diagnostic and counts in
+/// `RunHealth::timeouts`.  See docs/ROBUSTNESS.md.
 std::vector<OptResult> optimize_greedy_batch(
     const EvalConfig& config, const std::vector<std::string>& bench_names,
-    const OptimizerOptions& opts, EvalStats* merged = nullptr);
+    const OptimizerOptions& opts, EvalStats* merged = nullptr,
+    const RunControl* run = nullptr);
+
+/// Journal payload codec for one batch task (exposed for durability
+/// tests).  encode → decode round-trips every field bit-exactly (doubles
+/// rendered with %.17g).
+std::string encode_opt_result(const OptResult& result, const EvalStats& stats);
+bool decode_opt_result(const std::string& payload, OptResult* result,
+                       EvalStats* stats);
 
 /// Full optimization with exhaustive placement search (validation only).
 OptResult optimize_exhaustive(Evaluator& eval, const BenchmarkProfile& bench,

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
 #include "common/check.hpp"
 
 namespace tacos::hotspot {
@@ -14,22 +15,25 @@ namespace {
 
 constexpr double kMmToM = 1e-3;
 
-std::ofstream open_out(const std::string& path) {
-  std::ofstream out(path);
-  TACOS_CHECK(out.good(), "cannot open " << path << " for writing");
-  out << std::setprecision(9);
+/// All export files publish atomically (temp file + rename, stream state
+/// checked after flush — see common/atomic_file.hpp): a crash or full
+/// disk mid-export never leaves a truncated file at the target path.
+AtomicFile open_out(const std::string& path) {
+  AtomicFile out(path);
+  out.stream() << std::setprecision(9);
   return out;
 }
 
 void write_flp(const std::string& path, const std::vector<FlpBlock>& blocks) {
-  std::ofstream out = open_out(path);
+  AtomicFile file = open_out(path);
+  std::ostream& out = file.stream();
   out << "# HotSpot floorplan exported by tacos (units: metres)\n"
       << "# <unit-name> <width> <height> <left-x> <bottom-y>\n";
   for (const auto& b : blocks) {
     out << b.name << '\t' << b.rect.w * kMmToM << '\t' << b.rect.h * kMmToM
         << '\t' << b.rect.x * kMmToM << '\t' << b.rect.y * kMmToM << '\n';
   }
-  TACOS_CHECK(out.good(), "write failed: " << path);
+  file.commit();
 }
 
 }  // namespace
@@ -131,7 +135,8 @@ ExportResult export_hotspot(const std::string& dir, const std::string& name,
   // Layer configuration file (bottom layer first, HotSpot numbering).
   res.lcf_file = prefix + ".lcf";
   {
-    std::ofstream out = open_out(res.lcf_file);
+    AtomicFile file = open_out(res.lcf_file);
+    std::ostream& out = file.stream();
     out << "# HotSpot layer configuration exported by tacos\n";
     for (std::size_t l = 0; l < stack.layers.size(); ++l) {
       const Layer& layer = stack.layers[l];
@@ -148,7 +153,7 @@ ExportResult export_hotspot(const std::string& dir, const std::string& name,
           << layer.thickness_mm * kMmToM << '\n'
           << res.floorplan_files[l] << '\n';
     }
-    TACOS_CHECK(out.good(), "write failed: " << res.lcf_file);
+    file.commit();
   }
 
   // Power trace: one row, power per source-layer block by area overlap.
@@ -156,7 +161,8 @@ ExportResult export_hotspot(const std::string& dir, const std::string& name,
   {
     const std::size_t src = stack.source_layer();
     const auto& blocks = per_layer[src];
-    std::ofstream out = open_out(res.ptrace_file);
+    AtomicFile file = open_out(res.ptrace_file);
+    std::ostream& out = file.stream();
     for (std::size_t i = 0; i < blocks.size(); ++i)
       out << blocks[i].name << (i + 1 < blocks.size() ? '\t' : '\n');
     double exported = 0.0;
@@ -169,10 +175,10 @@ ExportResult export_hotspot(const std::string& dir, const std::string& name,
       exported += watts;
       out << watts << (i + 1 < blocks.size() ? '\t' : '\n');
     }
-    TACOS_CHECK(out.good(), "write failed: " << res.ptrace_file);
     TACOS_CHECK(exported > 0.999 * power.total(),
                 "power map extends beyond the source layer blocks ("
                     << exported << " of " << power.total() << " W exported)");
+    file.commit();
   }
 
   // Config snippet matching our package model.
@@ -181,7 +187,8 @@ ExportResult export_hotspot(const std::string& dir, const std::string& name,
     const double w_sink =
         layout.interposer().w * package.spreader_scale * package.sink_scale;
     const double a_sink_m2 = w_sink * w_sink * 1e-6;
-    std::ofstream out = open_out(res.config_file);
+    AtomicFile file = open_out(res.config_file);
+    std::ostream& out = file.stream();
     out << "# HotSpot config snippet exported by tacos\n"
         << "-ambient " << package.ambient_c + 273.15 << '\n'
         << "-s_sink " << w_sink * kMmToM << '\n'
@@ -190,7 +197,7 @@ ExportResult export_hotspot(const std::string& dir, const std::string& name,
         << layout.interposer().w * package.spreader_scale * kMmToM << '\n'
         << "-t_spreader " << package.spreader_thickness_mm * kMmToM << '\n'
         << "-r_convec " << 1.0 / (package.h_convection * a_sink_m2) << '\n';
-    TACOS_CHECK(out.good(), "write failed: " << res.config_file);
+    file.commit();
   }
   return res;
 }

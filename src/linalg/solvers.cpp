@@ -140,6 +140,7 @@ SolveResult solve_pcg(const CsrMatrix& A, const std::vector<double>& b,
   p = z;
 
   for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    if (opts.cancel) opts.cancel->poll();
     // Ap = A p and pAp = p·Ap in one pass over the matrix.
     const double pAp =
         reduce_chunks(n, par, partials, [&](std::size_t lo, std::size_t hi) {
@@ -215,6 +216,7 @@ SolveResult solve_gauss_seidel(const CsrMatrix& A, const std::vector<double>& b,
   SolveResult res;
   std::vector<double> r(n);
   for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
+    if (opts.cancel) opts.cancel->poll();
     for (std::size_t i = 0; i < n; ++i) {
       double acc = b[i];
       double diag = 0.0;

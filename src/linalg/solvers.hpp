@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/fault_plan.hpp"
 #include "linalg/csr.hpp"
 
@@ -46,6 +47,11 @@ struct SolveOptions {
   /// plan rides here so it reaches every layer through one config path
   /// (SolveOptions → ThermalConfig → EvalConfig).
   FaultPlan fault;
+  /// Cooperative cancellation (nullptr = never cancelled).  Both solvers
+  /// poll it once per iteration/sweep and abandon the solve by throwing
+  /// CancelledError — the hook that bounds a batch task's wall time at
+  /// solver granularity.  Rides the same config path as `fault`.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Jacobi-preconditioned conjugate gradient for SPD systems.

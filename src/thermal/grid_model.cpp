@@ -371,17 +371,26 @@ ThermalResult ThermalModel::solve(const PowerMap& power) {
     }
   };
 
-  SolveResult sr = try_attempt(0);
-  for (int attempt = 1; !sr.converged && attempt <= 3; ++attempt) {
-    switch (attempt) {
-      case 1: ++led.health.cold_restarts; break;
-      case 2: ++led.health.cap_retries; break;
-      default: ++led.health.gs_fallbacks; break;
+  SolveResult sr;
+  try {
+    sr = try_attempt(0);
+    for (int attempt = 1; !sr.converged && attempt <= 3; ++attempt) {
+      switch (attempt) {
+        case 1: ++led.health.cold_restarts; break;
+        case 2: ++led.health.cap_retries; break;
+        default: ++led.health.gs_fallbacks; break;
+      }
+      // Discard the diverged iterate; every retry starts cold from ambient.
+      std::fill(temperatures_.begin(), temperatures_.end(),
+                config_.package.ambient_c);
+      sr = try_attempt(attempt);
     }
-    // Discard the diverged iterate; every retry starts cold from ambient.
-    std::fill(temperatures_.begin(), temperatures_.end(),
-              config_.package.ambient_c);
-    sr = try_attempt(attempt);
+  } catch (const CancelledError&) {
+    // Cancellation is not a ladder rung: the abandoned attempt left a
+    // partial iterate behind, so restore the last good field (the task may
+    // be resumed, and a later solve must not warm-start from garbage).
+    temperatures_ = pre_solve;
+    throw;
   }
   if (!sr.converged) {
     ++led.health.solve_failures;
@@ -434,8 +443,13 @@ ThermalResult ThermalModel::step_transient(const PowerMap& power,
   // and restarting a transient step from ambient would silently rewrite
   // history.  Restore the state and report instead.
   const std::vector<double> pre_step = temperatures_;
-  SolveResult sr =
-      solve_pcg(transient_matrix_, rhs, temperatures_, config_.solve);
+  SolveResult sr;
+  try {
+    sr = solve_pcg(transient_matrix_, rhs, temperatures_, config_.solve);
+  } catch (const CancelledError&) {
+    temperatures_ = pre_step;  // cancelled mid-step: keep history intact
+    throw;
+  }
   if (!sr.converged) {
     ++ledger().health.solve_failures;
     temperatures_ = pre_step;

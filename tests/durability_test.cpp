@@ -1,0 +1,560 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_file.hpp"
+#include "common/journal.hpp"
+#include "common/thread_pool.hpp"
+#include "core/durable.hpp"
+#include "core/experiments.hpp"
+#include "core/optimizer.hpp"
+#include "perf/benchmark.hpp"
+
+namespace tacos {
+namespace {
+
+// The durability contract (docs/ROBUSTNESS.md): results publish
+// atomically; every completed batch task lands in the run journal as one
+// checksummed record; a resumed run replays journaled tasks and
+// reproduces the uninterrupted run's rows AND merged counters
+// byte-for-byte at any thread count; deadline overruns become quarantined
+// "timeout:" rows; an interrupt leaves undispatched tasks unjournaled.
+
+namespace fs = std::filesystem;
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() {
+    ThreadPool::set_global_threads(ThreadPool::default_thread_count());
+  }
+};
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "tacos_durability_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::string> file_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Seed `dir` with the first `n_lines` of `src_journal` — the state an
+/// interrupted run would have left behind.
+void copy_journal_prefix(const std::string& src_journal,
+                         const std::string& dir, std::size_t n_lines) {
+  const std::vector<std::string> lines = file_lines(src_journal);
+  ASSERT_LE(n_lines, lines.size());
+  fs::create_directories(dir);
+  std::ofstream out(dir + "/journal.jsonl", std::ios::binary);
+  for (std::size_t i = 0; i < n_lines; ++i) out << lines[i] << '\n';
+}
+
+// ---------------------------------------------------------------- crc32
+
+TEST(Crc32, KnownVectors) {
+  // The IEEE 802.3 check value for the classic "123456789" vector.
+  EXPECT_EQ(crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(std::string("")), 0u);
+  // Incremental sanity: a one-byte change must change the CRC.
+  EXPECT_NE(crc32(std::string("journal")), crc32(std::string("journak")));
+}
+
+TEST(FieldEscape, RoundTripsControlBytes) {
+  const std::string nasty = "a\tb\\c\nd\re\x1f tail";
+  const std::string esc = escape_field(nasty);
+  EXPECT_EQ(esc.find('\n'), std::string::npos);
+  EXPECT_EQ(esc.find('\t'), std::string::npos);
+  EXPECT_EQ(unescape_field(esc), nasty);
+}
+
+TEST(JsonEscape, RoundTrips) {
+  const std::string nasty = "quote\" backslash\\ newline\n ctrl\x01 end";
+  std::string back;
+  ASSERT_TRUE(json_unescape(json_escape(nasty), &back));
+  EXPECT_EQ(back, nasty);
+}
+
+// ----------------------------------------------------------- AtomicFile
+
+TEST(AtomicFile, CommitPublishesAndCleansTemp) {
+  const std::string dir = fresh_dir("atomic");
+  fs::create_directories(dir);
+  const std::string path = dir + "/out.txt";
+  {
+    AtomicFile f(path);
+    f.stream() << "hello";
+    EXPECT_FALSE(fs::exists(path)) << "target must not exist before commit";
+    f.commit();
+  }
+  EXPECT_EQ(slurp(path), "hello");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(AtomicFile, AbandonedWriteLeavesPreviousContent) {
+  const std::string dir = fresh_dir("atomic_abandon");
+  fs::create_directories(dir);
+  const std::string path = dir + "/out.txt";
+  write_file_atomic(path, "v1");
+  {
+    AtomicFile f(path);
+    f.stream() << "v2 partial";
+    // No commit: destructor must discard the temp, not the target.
+  }
+  EXPECT_EQ(slurp(path), "v1");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+// ----------------------------------------------------------- RunJournal
+
+TEST(RunJournal, AppendFindReloadRoundTrip) {
+  const std::string dir = fresh_dir("journal_roundtrip");
+  const std::string payload = "line1\nline2\twith tab\nfinal \\slash";
+  {
+    RunJournal j(dir);
+    j.load();
+    j.append("task:a", payload);
+    j.append("task:b", "b-payload");
+    j.append("task:a", "IGNORED");  // idempotent: first id wins
+    EXPECT_EQ(j.task_count(), 2u);
+    ASSERT_NE(j.find("task:a"), nullptr);
+    EXPECT_EQ(*j.find("task:a"), payload);
+  }
+  RunJournal j2(dir);
+  const RunJournal::LoadStats st = j2.load();
+  EXPECT_EQ(st.loaded, 2u);
+  EXPECT_EQ(st.dropped, 0u);
+  ASSERT_NE(j2.find("task:a"), nullptr);
+  EXPECT_EQ(*j2.find("task:a"), payload);
+  ASSERT_NE(j2.find("task:b"), nullptr);
+  EXPECT_EQ(*j2.find("task:b"), "b-payload");
+  EXPECT_EQ(j2.find("task:missing"), nullptr);
+}
+
+TEST(RunJournal, BindMetaRejectsMismatchedConfig) {
+  const std::string dir = fresh_dir("journal_meta");
+  {
+    RunJournal j(dir);
+    j.load();
+    j.bind_meta("sweep", "grid=32 seed=2018");
+    j.bind_meta("sweep", "grid=32 seed=2018");  // same value: fine
+  }
+  RunJournal j2(dir);
+  j2.load();
+  EXPECT_THROW(j2.bind_meta("sweep", "grid=64 seed=2018"), Error);
+}
+
+TEST(RunJournal, TruncatedFinalRecordIsDropped) {
+  const std::string dir = fresh_dir("journal_torn");
+  {
+    RunJournal j(dir);
+    j.load();
+    for (int i = 0; i < 4; ++i)
+      j.append("task:" + std::to_string(i), "payload-" + std::to_string(i));
+  }
+  RunJournal probe(dir);
+  // Tear the file mid-final-record, as a crash during a non-atomic write
+  // (or a dying filesystem) would.
+  fs::resize_file(probe.path(), fs::file_size(probe.path()) - 7);
+  RunJournal j2(dir);
+  const RunJournal::LoadStats st = j2.load();
+  EXPECT_EQ(st.loaded, 3u);
+  EXPECT_EQ(st.dropped, 1u);
+  EXPECT_TRUE(j2.has("task:2"));
+  EXPECT_FALSE(j2.has("task:3"));
+  // The journal stays writable: the torn task can simply be recomputed.
+  j2.append("task:3", "payload-3");
+  EXPECT_EQ(j2.task_count(), 4u);
+}
+
+TEST(RunJournal, CorruptedCrcMidFileStopsReplayThere) {
+  const std::string dir = fresh_dir("journal_crc");
+  {
+    RunJournal j(dir);
+    j.load();
+    for (int i = 0; i < 4; ++i)
+      j.append("task:" + std::to_string(i), "payload-" + std::to_string(i));
+  }
+  RunJournal probe(dir);
+  std::string content = slurp(probe.path());
+  // Flip one payload byte inside record 1 without touching its CRC.
+  const std::size_t pos = content.find("payload-1");
+  ASSERT_NE(pos, std::string::npos);
+  content[pos] = 'X';
+  std::ofstream(probe.path(), std::ios::binary) << content;
+  RunJournal j2(dir);
+  const RunJournal::LoadStats st = j2.load();
+  // Everything before the corruption is trusted; nothing after is.
+  EXPECT_EQ(st.loaded, 1u);
+  EXPECT_EQ(st.dropped, 3u);
+  EXPECT_TRUE(j2.has("task:0"));
+  EXPECT_FALSE(j2.has("task:1"));
+  EXPECT_FALSE(j2.has("task:2"));
+}
+
+// ---------------------------------------------------------- task codecs
+
+TEST(TaskCodec, OptResultRoundTripsBitExact) {
+  OptResult r;
+  r.found = true;
+  r.org = Organization{16, Spacing{0.1 + 0.2, 4.0 / 3.0, 2.5}, 3, 192};
+  r.ips = 227050.99778270512;
+  r.cost = 48.630317877582982;
+  r.objective = 0.54574310141811289;
+  r.peak_c = 84.278897499871;
+  r.combos_tried = 123;
+  r.thermal_solves = 456;
+  r.quarantined = true;
+  r.diagnostic = "multi\nline\tdiagnostic \\ with escapes";
+  EvalStats s;
+  s.solves = 789;
+  s.evals = 321;
+  s.health.cold_restarts = 1;
+  s.health.gs_fallbacks = 2;
+  s.health.quarantined = 3;
+  s.health.timeouts = 4;
+  s.health.cancelled = 5;
+
+  OptResult r2;
+  EvalStats s2;
+  ASSERT_TRUE(decode_opt_result(encode_opt_result(r, s), &r2, &s2));
+  EXPECT_EQ(r2.found, r.found);
+  EXPECT_EQ(r2.org.n_chiplets, r.org.n_chiplets);
+  EXPECT_EQ(r2.org.spacing.s1, r.org.spacing.s1);  // exact: %.17g round-trip
+  EXPECT_EQ(r2.org.spacing.s2, r.org.spacing.s2);
+  EXPECT_EQ(r2.org.spacing.s3, r.org.spacing.s3);
+  EXPECT_EQ(r2.org.dvfs_idx, r.org.dvfs_idx);
+  EXPECT_EQ(r2.org.active_cores, r.org.active_cores);
+  EXPECT_EQ(r2.ips, r.ips);
+  EXPECT_EQ(r2.cost, r.cost);
+  EXPECT_EQ(r2.objective, r.objective);
+  EXPECT_EQ(r2.peak_c, r.peak_c);
+  EXPECT_EQ(r2.combos_tried, r.combos_tried);
+  EXPECT_EQ(r2.thermal_solves, r.thermal_solves);
+  EXPECT_EQ(r2.quarantined, r.quarantined);
+  EXPECT_EQ(r2.diagnostic, r.diagnostic);
+  EXPECT_EQ(s2.solves, s.solves);
+  EXPECT_EQ(s2.evals, s.evals);
+  EXPECT_EQ(s2.health.cold_restarts, s.health.cold_restarts);
+  EXPECT_EQ(s2.health.gs_fallbacks, s.health.gs_fallbacks);
+  EXPECT_EQ(s2.health.quarantined, s.health.quarantined);
+  EXPECT_EQ(s2.health.timeouts, s.health.timeouts);
+  EXPECT_EQ(s2.health.cancelled, s.health.cancelled);
+
+  EXPECT_FALSE(decode_opt_result("garbage payload", &r2, &s2));
+}
+
+TEST(TaskCodec, GuardedRowsRoundTripsNastyCells) {
+  GuardedRows g;
+  g.rows = {{"cell with space", "tab\tinside", "newline\ninside", ""},
+            {"second row", "\\backslash\\"}};
+  g.extra = {extra_double(41.75), "agree=1"};
+  g.health.quarantined = 2;
+  g.health.timeouts = 1;
+  GuardedRows g2;
+  ASSERT_TRUE(decode_guarded_rows(encode_guarded_rows(g), &g2));
+  EXPECT_EQ(g2.rows, g.rows);
+  EXPECT_EQ(g2.extra, g.extra);
+  EXPECT_EQ(g2.health.quarantined, g.health.quarantined);
+  EXPECT_EQ(g2.health.timeouts, g.health.timeouts);
+  EXPECT_FALSE(decode_guarded_rows("r only rows, no health", &g2));
+}
+
+// --------------------------------------------------- CancelToken basics
+
+TEST(CancelToken, PollReportsInterruptAndDeadline) {
+  CancelToken t;
+  EXPECT_NO_THROW(t.poll());
+  t.cancel();
+  try {
+    t.poll();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& c) {
+    EXPECT_EQ(c.reason(), CancelledError::Reason::kInterrupt);
+    EXPECT_NE(std::string(c.what()).find("cancelled:"), std::string::npos);
+  }
+
+  CancelToken d;
+  d.set_deadline(1e-9);
+  while (!d.expired()) {
+  }
+  try {
+    d.poll();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& c) {
+    EXPECT_EQ(c.reason(), CancelledError::Reason::kDeadline);
+    EXPECT_EQ(std::string(c.what()).rfind("timeout:", 0), 0u)
+        << "deadline diagnostic must start with 'timeout:'";
+  }
+
+  // Parent chaining: a child observes its parent's interrupt, and the
+  // interrupt outranks the child's own expired deadline.
+  CancelToken parent;
+  CancelToken child(&parent);
+  child.set_deadline(1e-9);
+  while (!child.expired()) {
+  }
+  parent.cancel();
+  try {
+    child.poll();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& c) {
+    EXPECT_EQ(c.reason(), CancelledError::Reason::kInterrupt);
+  }
+}
+
+// ------------------------------------------- batch checkpoint / resume
+
+EvalConfig small_config() {
+  EvalConfig c;
+  c.thermal.grid_nx = c.thermal.grid_ny = 12;
+  return c;
+}
+
+OptimizerOptions small_options() {
+  OptimizerOptions o;
+  o.step_mm = 4.0;
+  o.starts = 3;
+  return o;
+}
+
+std::vector<std::string> test_benchmarks() {
+  std::vector<std::string> names;
+  for (const auto& n : representative_benchmarks()) names.emplace_back(n);
+  return names;
+}
+
+/// Byte-exact fingerprint of a batch outcome (results + merged stats).
+std::string batch_fingerprint(const std::vector<OptResult>& results,
+                              const EvalStats& stats) {
+  std::string fp;
+  for (const OptResult& r : results) fp += encode_opt_result(r, EvalStats{});
+  fp += "merged:" + encode_opt_result(OptResult{}, stats);
+  return fp;
+}
+
+TEST(DurableBatch, JournaledRunMatchesPlainRun) {
+  const std::vector<std::string> names = test_benchmarks();
+  EvalStats ref_stats;
+  const std::vector<OptResult> ref =
+      optimize_greedy_batch(small_config(), names, small_options(),
+                            &ref_stats);
+
+  const std::string dir = fresh_dir("batch_journaled");
+  RunJournal journal(dir);
+  journal.load();
+  const RunControl run{&journal, nullptr, 0.0};
+  EvalStats j_stats;
+  const std::vector<OptResult> j = optimize_greedy_batch(
+      small_config(), names, small_options(), &j_stats, &run);
+  EXPECT_EQ(batch_fingerprint(j, j_stats), batch_fingerprint(ref, ref_stats));
+  EXPECT_EQ(journal.task_count(), names.size());
+}
+
+TEST(DurableBatch, ResumeAfterPartialRunIsByteIdenticalAtAnyThreadCount) {
+  ThreadCountGuard guard;
+  const std::vector<std::string> names = test_benchmarks();
+  EvalStats ref_stats;
+  const std::vector<OptResult> ref =
+      optimize_greedy_batch(small_config(), names, small_options(),
+                            &ref_stats);
+  const std::string ref_fp = batch_fingerprint(ref, ref_stats);
+
+  // A complete journaled run provides the "pre-crash" journal to truncate.
+  const std::string dir_a = fresh_dir("batch_full");
+  RunJournal ja(dir_a);
+  ja.load();
+  const RunControl run_a{&ja, nullptr, 0.0};
+  EvalStats a_stats;
+  optimize_greedy_batch(small_config(), names, small_options(), &a_stats,
+                        &run_a);
+  const std::vector<std::string> lines = file_lines(ja.path());
+  ASSERT_EQ(lines.size(), names.size() + 1);  // meta + one per task
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool::set_global_threads(threads);
+    // Keep the meta record and the first two completed tasks — the state
+    // a SIGINT partway through the sweep leaves behind.
+    const std::string dir =
+        fresh_dir("batch_resume_" + std::to_string(threads));
+    copy_journal_prefix(ja.path(), dir, 3);
+    RunJournal jb(dir);
+    const RunJournal::LoadStats st = jb.load();
+    EXPECT_EQ(st.loaded, 3u);
+    const RunControl run_b{&jb, nullptr, 0.0};
+    EvalStats b_stats;
+    const std::vector<OptResult> b = optimize_greedy_batch(
+        small_config(), names, small_options(), &b_stats, &run_b);
+    EXPECT_EQ(batch_fingerprint(b, b_stats), ref_fp);
+    EXPECT_EQ(jb.task_count(), names.size());
+  }
+}
+
+TEST(DurableBatch, DeadlineOverrunBecomesQuarantinedTimeoutRow) {
+  const std::vector<std::string> names = test_benchmarks();
+  const std::string dir = fresh_dir("batch_deadline");
+  RunJournal journal(dir);
+  journal.load();
+  // A 1 ns budget: every task trips its deadline at the first poll.
+  const RunControl run{&journal, nullptr, 1e-9};
+  EvalStats stats;
+  const std::vector<OptResult> results = optimize_greedy_batch(
+      small_config(), names, small_options(), &stats, &run);
+  ASSERT_EQ(results.size(), names.size());
+  for (const OptResult& r : results) {
+    EXPECT_TRUE(r.quarantined);
+    EXPECT_FALSE(r.found);
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_EQ(r.diagnostic.rfind("timeout:", 0), 0u) << r.diagnostic;
+  }
+  EXPECT_EQ(stats.health.timeouts, names.size());
+  EXPECT_EQ(stats.health.quarantined, 0u);
+  // Timed-out tasks are terminal results: journaled, not retried.
+  EXPECT_EQ(journal.task_count(), names.size());
+}
+
+TEST(DurableBatch, InterruptLeavesTasksUnjournaledAndResumable) {
+  const std::vector<std::string> names = test_benchmarks();
+  const std::string dir = fresh_dir("batch_interrupt");
+  RunJournal journal(dir);
+  journal.load();
+  CancelToken cancel;
+  cancel.cancel();  // tripped before dispatch, as a signal would
+  const RunControl run{&journal, &cancel, 0.0};
+  EvalStats stats;
+  const std::vector<OptResult> results = optimize_greedy_batch(
+      small_config(), names, small_options(), &stats, &run);
+  ASSERT_EQ(results.size(), names.size());
+  for (const OptResult& r : results) {
+    EXPECT_TRUE(r.interrupted);
+    EXPECT_FALSE(r.quarantined);
+  }
+  EXPECT_EQ(stats.health.cancelled, names.size());
+  EXPECT_EQ(journal.task_count(), 0u) << "interrupted tasks must not be "
+                                         "journaled (resume recomputes them)";
+
+  // The same directory then resumes to the uninterrupted result.
+  EvalStats ref_stats;
+  const std::vector<OptResult> ref = optimize_greedy_batch(
+      small_config(), names, small_options(), &ref_stats);
+  RunJournal j2(dir);
+  j2.load();
+  const RunControl run2{&j2, nullptr, 0.0};
+  EvalStats r_stats;
+  const std::vector<OptResult> resumed = optimize_greedy_batch(
+      small_config(), names, small_options(), &r_stats, &run2);
+  EXPECT_EQ(batch_fingerprint(resumed, r_stats),
+            batch_fingerprint(ref, ref_stats));
+}
+
+// ------------------------------------- experiment drivers (GuardedRows)
+
+TEST(DurableDrivers, Fig3bResumeReproducesCsvAndHealth) {
+  ThreadCountGuard guard;
+  ExperimentOptions opts;
+  opts.grid = 12;
+  RunHealth ref_health;
+  const std::string ref_csv = fig3b_thermal_table(opts, &ref_health).to_csv();
+
+  ExperimentOptions oa = opts;
+  const std::string dir_a = fresh_dir("fig3b_full");
+  RunJournal ja(dir_a);
+  ja.load();
+  oa.run.journal = &ja;
+  RunHealth a_health;
+  EXPECT_EQ(fig3b_thermal_table(oa, &a_health).to_csv(), ref_csv);
+  const std::vector<std::string> lines = file_lines(ja.path());
+  ASSERT_GT(lines.size(), 4u);
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool::set_global_threads(threads);
+    const std::string dir =
+        fresh_dir("fig3b_resume_" + std::to_string(threads));
+    copy_journal_prefix(ja.path(), dir, 4);
+    ExperimentOptions ob = opts;
+    RunJournal jb(dir);
+    jb.load();
+    ob.run.journal = &jb;
+    RunHealth b_health;
+    EXPECT_EQ(fig3b_thermal_table(ob, &b_health).to_csv(), ref_csv);
+    EXPECT_EQ(b_health.summary(), ref_health.summary());
+  }
+}
+
+TEST(DurableDrivers, MetaMismatchRefusesForeignRunDir) {
+  ExperimentOptions opts;
+  opts.grid = 12;
+  const std::string dir = fresh_dir("fig3b_meta");
+  {
+    ExperimentOptions oa = opts;
+    RunJournal ja(dir);
+    ja.load();
+    oa.run.journal = &ja;
+    fig3b_thermal_table(oa);
+  }
+  ExperimentOptions ob = opts;
+  ob.grid = 16;  // different sweep configuration, same run dir
+  RunJournal jb(dir);
+  jb.load();
+  ob.run.journal = &jb;
+  EXPECT_THROW(fig3b_thermal_table(ob), Error);
+}
+
+TEST(DurableDrivers, InterruptedDriverRunIsResumable) {
+  ExperimentOptions opts;
+  opts.grid = 12;
+  RunHealth ref_health;
+  const std::string ref_csv = fig3b_thermal_table(opts, &ref_health).to_csv();
+
+  const std::string dir = fresh_dir("fig3b_interrupt");
+  CancelToken cancel;
+  cancel.cancel();
+  {
+    ExperimentOptions oi = opts;
+    RunJournal ji(dir);
+    ji.load();
+    oi.run.journal = &ji;
+    oi.run.cancel = &cancel;
+    RunHealth i_health;
+    fig3b_thermal_table(oi, &i_health);
+    EXPECT_GT(i_health.cancelled, 0u);
+    EXPECT_EQ(ji.task_count(), 0u);
+  }
+  ExperimentOptions od = opts;
+  RunJournal jd(dir);
+  jd.load();
+  od.run.journal = &jd;
+  RunHealth d_health;
+  EXPECT_EQ(fig3b_thermal_table(od, &d_health).to_csv(), ref_csv);
+  EXPECT_EQ(d_health.summary(), ref_health.summary());
+}
+
+TEST(DurableDrivers, DriverDeadlineYieldsTimeoutRows) {
+  ExperimentOptions opts;
+  opts.grid = 12;
+  opts.run.task_deadline_s = 1e-9;
+  RunHealth health;
+  const TextTable t = fig3b_thermal_table(opts, &health);
+  EXPECT_GT(health.timeouts, 0u);
+  EXPECT_NE(t.to_csv().find("timeout:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tacos

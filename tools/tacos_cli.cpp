@@ -10,23 +10,36 @@
 ///                                         — multi-start greedy (§III-D)
 ///   sweep     <bench> <n> [threshold]     — max IPS vs interposer size
 ///   cost      <n> <interposer_mm>         — Eq. (4) breakdown
+///   batch     [alpha] [beta] [threshold] [grid] [step]
+///                                         — optimize every benchmark
+///                                           (durable: --run-dir/--resume)
 ///
 /// Every command prints plain text.  Exit-code discipline (see
 /// src/common/errors.hpp): 0 success, 1 usage error, 2 generic
 /// tacos::Error, 3 SolverError, 4 ThermalError, 5 EvalError, 70 other
-/// std::exception.  Failures emit one structured stderr line:
+/// std::exception, 75 interrupted (resumable).  Failures emit one
+/// structured stderr line:
 ///   tacos-error kind=<class> code=<n>: <message>
 ///
 /// Global options:
 ///   --threads=N          size of the evaluation thread pool
 ///   --fault-pcg-every=N  force PCG failure on every Nth solve (testing)
 ///   --fault-pcg-rungs=K  ladder rungs the fault survives (1..4, default 1)
+///   --run-dir=DIR        journal completed batch tasks under DIR
+///   --resume             replay DIR's journal instead of recomputing
+///   --task-deadline=S    per-task wall-clock budget in seconds
+///
+/// SIGINT/SIGTERM trip the global cancel token: batch runs stop
+/// dispatching, drain in-flight tasks, flush the journal, and exit 75
+/// (send the signal again to force-quit).  See docs/ROBUSTNESS.md.
 ///
 /// Commands that run the thermal stack print the run's health summary
 /// (recoveries, degradations, quarantines) to stderr afterwards.
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -43,16 +56,25 @@ namespace {
 /// Fault-injection schedule from the --fault-* flags (off by default).
 FaultPlan g_fault;
 
+/// Durable-run knobs from --run-dir/--resume/--task-deadline.
+std::string g_run_dir;
+bool g_resume = false;
+double g_task_deadline_s = 0.0;
+
 int usage() {
   std::cerr <<
       "usage: tacos_cli [--threads=N] [--fault-pcg-every=N]"
-      " [--fault-pcg-rungs=K] <command> [args]\n"
+      " [--fault-pcg-rungs=K]\n"
+      "                 [--run-dir=DIR] [--resume] [--task-deadline=S]"
+      " <command> [args]\n"
       "  list\n"
       "  evaluate <bench> <n:1|4|16> <s1> <s2> <s3> <f_idx:0-4> <p>\n"
       "  baseline <bench> [threshold_c=85]\n"
       "  optimize <bench> [alpha=1] [beta=0] [threshold_c=85]\n"
       "  sweep    <bench> <n:4|16> [threshold_c=85]\n"
-      "  cost     <n:4|16> <interposer_mm>\n";
+      "  cost     <n:4|16> <interposer_mm>\n"
+      "  batch    [alpha=1] [beta=0] [threshold_c=85] [grid=32]"
+      " [step=0.5]\n";
   return exit_code::kUsage;
 }
 
@@ -60,6 +82,9 @@ Evaluator make_evaluator() {
   EvalConfig cfg;
   cfg.thermal.grid_nx = cfg.thermal.grid_ny = 32;
   cfg.thermal.solve.fault = g_fault;
+  // Interactive commands honor Ctrl-C at solver granularity: the solve
+  // aborts with CancelledError and the process exits 75.
+  cfg.thermal.solve.cancel = &global_cancel_token();
   return Evaluator(cfg);
 }
 
@@ -138,6 +163,7 @@ int cmd_optimize(const std::vector<std::string>& a) {
   opts.alpha = a.size() > 1 ? std::stod(a[1]) : 1.0;
   opts.beta = a.size() > 2 ? std::stod(a[2]) : 0.0;
   opts.threshold_c = a.size() > 3 ? std::stod(a[3]) : 85.0;
+  opts.cancel = &global_cancel_token();
   const OptResult r = optimize_greedy(eval, bench, opts);
   if (!r.found) {
     std::cout << "no feasible organization\n";
@@ -185,6 +211,95 @@ int cmd_sweep(const std::vector<std::string>& a) {
   return exit_code::kOk;
 }
 
+/// Durable batch optimization: optimize_greedy_batch over every
+/// benchmark, wired to the write-ahead journal and the global cancel
+/// token.  Stdout carries only deterministic result rows (table + CSV);
+/// progress and health go to stderr — so a resumed run's stdout is
+/// byte-identical to an uninterrupted one.
+int cmd_batch(const std::vector<std::string>& a) {
+  if (a.size() > 5) return usage();
+  EvalConfig cfg;
+  cfg.thermal.grid_nx = cfg.thermal.grid_ny =
+      a.size() > 3 ? std::stoul(a[3]) : 32;
+  cfg.thermal.solve.fault = g_fault;
+  OptimizerOptions opts;
+  opts.alpha = !a.empty() ? std::stod(a[0]) : 1.0;
+  opts.beta = a.size() > 1 ? std::stod(a[1]) : 0.0;
+  opts.threshold_c = a.size() > 2 ? std::stod(a[2]) : 85.0;
+  opts.step_mm = a.size() > 4 ? std::stod(a[4]) : 0.5;
+
+  std::unique_ptr<RunJournal> journal;
+  if (!g_run_dir.empty()) {
+    journal = std::make_unique<RunJournal>(g_run_dir);
+    const RunJournal::LoadStats st = journal->load();
+    if (st.dropped > 0)
+      std::cerr << "[journal] dropped " << st.dropped
+                << " torn/corrupt record(s); their tasks will be"
+                   " recomputed\n";
+    if (journal->size() > 0 && !g_resume) {
+      std::cerr << "run directory " << g_run_dir
+                << " already holds a journal (" << journal->task_count()
+                << " completed task(s)); pass --resume to continue it or"
+                   " use a fresh --run-dir\n";
+      return exit_code::kUsage;
+    }
+    if (g_resume)
+      std::cerr << "[journal] resuming: " << journal->task_count()
+                << " task(s) already complete in " << g_run_dir << "\n";
+  } else if (g_resume) {
+    std::cerr << "--resume requires --run-dir=DIR\n";
+    return exit_code::kUsage;
+  }
+  const RunControl run{journal.get(), &global_cancel_token(),
+                       g_task_deadline_s};
+
+  std::vector<std::string> names;
+  for (const auto& b : benchmarks()) names.emplace_back(b.name);
+  EvalStats stats;
+  const std::vector<OptResult> results =
+      optimize_greedy_batch(cfg, names, opts, &stats, &run);
+
+  TextTable t({"benchmark", "org", "interposer_mm", "peak_c", "ips",
+               "cost", "objective", "status"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const OptResult& r = results[i];
+    std::ostringstream org;
+    if (r.found)
+      org << "n=" << r.org.n_chiplets << " s=(" << r.org.spacing.s1 << ","
+          << r.org.spacing.s2 << "," << r.org.spacing.s3 << ") "
+          << level_of(r.org).freq_mhz << "MHz p=" << r.org.active_cores;
+    std::string status = "ok";
+    if (r.interrupted)
+      status = "interrupted";
+    else if (r.quarantined)
+      status = r.diagnostic;
+    else if (!r.found)
+      status = "infeasible";
+    t.add_row({names[i], r.found ? org.str() : "none",
+               r.found ? TextTable::fmt(interposer_edge_of(r.org), 1) : "n/a",
+               r.found ? TextTable::fmt(r.peak_c, 1) : "n/a",
+               r.found ? TextTable::fmt(r.ips, 0) : "n/a",
+               r.found ? TextTable::fmt(r.cost, 0) : "n/a",
+               r.found ? TextTable::fmt(r.objective, 4) : "n/a", status});
+  }
+  std::ostringstream title;
+  title << "batch optimize (alpha=" << opts.alpha << ", beta=" << opts.beta
+        << ", " << opts.threshold_c << " C, grid "
+        << cfg.thermal.grid_nx << ", step " << opts.step_mm << " mm)";
+  t.print(title.str());
+  std::cout << "\n-- CSV --\n" << t.to_csv();
+  std::cerr << stats.health.summary() << "\n";
+  if (run_interrupted()) {
+    std::cerr << "[run] interrupted";
+    if (journal)
+      std::cerr << "; completed tasks are journaled — resume with"
+                   " --run-dir=" << g_run_dir << " --resume";
+    std::cerr << "\n";
+    return exit_code::kInterrupted;
+  }
+  return exit_code::kOk;
+}
+
 int cmd_cost(const std::vector<std::string>& a) {
   if (a.size() != 2) return usage();
   const int n = std::stoi(a[0]);
@@ -226,12 +341,19 @@ int main(int argc, char** argv) {
       const long n = std::atol(flag.c_str() + 18);
       if (n < 1) return usage();
       g_fault.pcg_fail_rungs = static_cast<int>(n);
+    } else if (flag.rfind("--run-dir=", 0) == 0) {
+      g_run_dir = flag.substr(10);
+    } else if (flag == "--resume") {
+      g_resume = true;
+    } else if (flag.rfind("--task-deadline=", 0) == 0) {
+      g_task_deadline_s = std::stod(flag.substr(16));
     } else {
       return usage();
     }
     ++first;
   }
   if (argc - first < 1) return usage();
+  install_signal_handlers();
   const std::string cmd = argv[first];
   std::vector<std::string> args(argv + first + 1, argv + argc);
   try {
@@ -241,6 +363,7 @@ int main(int argc, char** argv) {
     if (cmd == "optimize") return cmd_optimize(args);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "cost") return cmd_cost(args);
+    if (cmd == "batch") return cmd_batch(args);
     return usage();
   } catch (const std::exception& e) {
     // One structured line per failure, one exit code per error class, so
