@@ -1,10 +1,31 @@
 #include "common/atomic_file.hpp"
 
+#include <cstddef>
 #include <cstdio>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 #include "common/check.hpp"
 
 namespace tacos {
+
+namespace {
+
+#ifndef _WIN32
+/// fsync the file or directory at `path`; returns false on any failure.
+bool sync_path(const char* path, int oflags) {
+  const int fd = ::open(path, oflags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+#endif
+
+}  // namespace
 
 AtomicFile::AtomicFile(std::string path)
     : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
@@ -31,8 +52,22 @@ void AtomicFile::commit() {
                                << tmp_path_);
   out_.close();
   TACOS_CHECK(!out_.fail(), "close failed: " << tmp_path_);
+#ifndef _WIN32
+  // Power-loss safety: the data must reach stable storage before the
+  // rename publishes it, or a crash could publish an empty/partial file.
+  TACOS_CHECK(sync_path(tmp_path_.c_str(), O_RDONLY),
+              "fsync failed: " << tmp_path_);
+#endif
   TACOS_CHECK(std::rename(tmp_path_.c_str(), path_.c_str()) == 0,
               "rename failed: " << tmp_path_ << " -> " << path_);
+#ifndef _WIN32
+  // Make the rename itself durable.  Best-effort: some filesystems reject
+  // fsync on a directory fd, and the file contents are already safe.
+  const std::size_t slash = path_.rfind('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : slash == 0 ? "/" : path_.substr(0, slash);
+  sync_path(dir.c_str(), O_RDONLY | O_DIRECTORY);
+#endif
   committed_ = true;
 }
 

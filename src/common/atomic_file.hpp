@@ -1,19 +1,22 @@
 #pragma once
 /// \file atomic_file.hpp
-/// \brief Crash-safe whole-file writes: temp file + flush + rename.
+/// \brief Crash-safe whole-file writes: temp file + flush + fsync + rename.
 ///
 /// Every result-file writer in the tree (the run journal, the HotSpot
 /// exporters, the bench JSON emitters) goes through this helper so a crash
 /// or a full disk mid-write can never leave a silently truncated file that
 /// looks complete: readers only ever see either the previous content or
 /// the fully written new content, because the publish step is a single
-/// `rename(2)` within the same directory.
+/// `rename(2)` within the same directory.  On POSIX the temp file is
+/// fsync'd before the rename (so the published path can never hold
+/// empty/partial data after a power loss) and the containing directory is
+/// fsync'd after it (best-effort) so the rename itself is durable.
 ///
 /// Usage:
 ///
 ///   AtomicFile out(path);
 ///   out.stream() << ...;
-///   out.commit();   // flush, verify stream state, close, rename
+///   out.commit();   // flush, verify stream state, close, fsync, rename
 ///
 /// commit() throws tacos::Error if any write failed (the stream went bad)
 /// or the rename itself fails; the destructor removes an uncommitted temp

@@ -279,10 +279,11 @@ bool RunJournal::has(const std::string& id) const {
   return index_.count(id) != 0;
 }
 
-const std::string* RunJournal::find(const std::string& id) const {
+std::optional<std::string> RunJournal::find(const std::string& id) const {
   std::lock_guard<std::mutex> lk(mu_);
   const auto it = index_.find(id);
-  return it == index_.end() ? nullptr : &records_[it->second].second;
+  if (it == index_.end()) return std::nullopt;
+  return records_[it->second].second;
 }
 
 void RunJournal::append(const std::string& id, const std::string& payload) {

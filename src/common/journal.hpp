@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -81,9 +82,10 @@ class RunJournal {
   std::size_t task_count() const;
 
   bool has(const std::string& id) const;
-  /// Payload of record `id`, or nullptr.  The pointer stays valid until
-  /// the journal is destroyed (records are never removed).
-  const std::string* find(const std::string& id) const;
+  /// Payload of record `id`, or nullopt.  Returned by value, copied under
+  /// the journal lock: concurrent append() calls reallocate the internal
+  /// record storage, so no reference into it can safely be exposed.
+  std::optional<std::string> find(const std::string& id) const;
 
   /// Append a record and atomically publish the journal.  Thread-safe;
   /// idempotent (an existing id is kept, not overwritten).

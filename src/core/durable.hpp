@@ -23,6 +23,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -62,7 +63,9 @@ inline double extra_to_double(const std::string& s) {
 
 /// Journal payload codec for one GuardedRows block.  Line-tagged format:
 /// `h` carries the nine RunHealth counters, each `x` one extra scalar,
-/// each `r` one row (cells field-escaped and tab-joined).
+/// each `r` one row as `r <n_cells> <tab-joined cells>` (cells
+/// field-escaped; the explicit count makes a zero-cell row round-trip
+/// exactly instead of decoding as one empty cell).
 inline std::string encode_guarded_rows(const GuardedRows& g) {
   std::string out = "h";
   const RunHealth& h = g.health;
@@ -74,9 +77,9 @@ inline std::string encode_guarded_rows(const GuardedRows& g) {
   out += '\n';
   for (const std::string& x : g.extra) out += "x " + escape_field(x) + '\n';
   for (const auto& row : g.rows) {
-    out += "r ";
+    out += "r " + std::to_string(row.size());
     for (std::size_t i = 0; i < row.size(); ++i) {
-      if (i) out += '\t';  // escape_field escapes tabs inside cells
+      out += i ? '\t' : ' ';  // escape_field escapes tabs inside cells
       out += escape_field(row[i]);
     }
     out += '\n';
@@ -117,13 +120,21 @@ inline bool decode_guarded_rows(const std::string& payload, GuardedRows* g) {
     } else if (tag == 'x') {
       g->extra.push_back(unescape_field(rest));
     } else if (tag == 'r') {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(rest.c_str(), &end, 10);
+      if (end == rest.c_str()) return false;
+      std::size_t at = static_cast<std::size_t>(end - rest.c_str());
       std::vector<std::string> row;
-      std::size_t at = 0;
-      while (at <= rest.size()) {
-        std::size_t sep = rest.find('\t', at);
-        if (sep == std::string::npos) sep = rest.size();
-        row.push_back(unescape_field(rest.substr(at, sep - at)));
-        at = sep + 1;
+      if (n > 0) {
+        if (at >= rest.size() || rest[at] != ' ') return false;
+        ++at;
+        while (row.size() < n && at <= rest.size()) {
+          std::size_t sep = rest.find('\t', at);
+          if (sep == std::string::npos) sep = rest.size();
+          row.push_back(unescape_field(rest.substr(at, sep - at)));
+          at = sep + 1;
+        }
+        if (row.size() != n) return false;
       }
       g->rows.push_back(std::move(row));
     }
@@ -174,7 +185,7 @@ std::vector<GuardedRows> durable_rows_map(const std::vector<Task>& tasks,
     GuardedRows out;
     const std::string task_id = id_fn(t);
     if (journal) {
-      if (const std::string* payload = journal->find(task_id)) {
+      if (const std::optional<std::string> payload = journal->find(task_id)) {
         // Checkpoint replay: the journaled block stands in for the
         // recomputation.  An undecodable payload (hand-edited journal)
         // falls through to recomputation.

@@ -5,6 +5,8 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -245,6 +247,17 @@ std::string fmt_g17(double v) {
   return buf;
 }
 
+/// Reads one whitespace-delimited token as a double via strtod, which —
+/// unlike istream extraction — accepts the "inf"/"nan" spellings that
+/// %.17g emits for non-finite values.
+bool read_double(std::istream& in, double* out) {
+  std::string tok;
+  if (!(in >> tok)) return false;
+  char* end = nullptr;
+  *out = std::strtod(tok.c_str(), &end);
+  return end == tok.c_str() + tok.size();
+}
+
 /// Configuration fingerprint pinned into a run directory: any knob that
 /// changes task results makes a resume with a mismatched journal an error.
 std::string batch_meta(const EvalConfig& config,
@@ -308,13 +321,17 @@ bool decode_opt_result(const std::string& payload, OptResult* result,
       result->found = v != 0;
       saw_found = true;
     } else if (key == "org") {
-      if (!(ls >> result->org.n_chiplets >> result->org.spacing.s1 >>
-            result->org.spacing.s2 >> result->org.spacing.s3 >>
-            result->org.dvfs_idx >> result->org.active_cores))
+      if (!(ls >> result->org.n_chiplets)) return false;
+      if (!read_double(ls, &result->org.spacing.s1) ||
+          !read_double(ls, &result->org.spacing.s2) ||
+          !read_double(ls, &result->org.spacing.s3))
+        return false;
+      if (!(ls >> result->org.dvfs_idx >> result->org.active_cores))
         return false;
     } else if (key == "metrics") {
-      if (!(ls >> result->ips >> result->cost >> result->objective >>
-            result->peak_c))
+      if (!read_double(ls, &result->ips) || !read_double(ls, &result->cost) ||
+          !read_double(ls, &result->objective) ||
+          !read_double(ls, &result->peak_c))
         return false;
     } else if (key == "counts") {
       if (!(ls >> result->combos_tried >> result->thermal_solves))
@@ -360,7 +377,8 @@ std::vector<OptResult> optimize_greedy_batch(
         TaskOut out;
         const std::string task_id = "optimize:" + name;
         if (journal) {
-          if (const std::string* payload = journal->find(task_id)) {
+          if (const std::optional<std::string> payload =
+                  journal->find(task_id)) {
             // Checkpoint replay: the journaled row and its shard stats
             // stand in for the recomputation, so a resumed run's output —
             // including the merged counters — is byte-identical to an

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -132,18 +134,18 @@ TEST(RunJournal, AppendFindReloadRoundTrip) {
     j.append("task:b", "b-payload");
     j.append("task:a", "IGNORED");  // idempotent: first id wins
     EXPECT_EQ(j.task_count(), 2u);
-    ASSERT_NE(j.find("task:a"), nullptr);
+    ASSERT_TRUE(j.find("task:a").has_value());
     EXPECT_EQ(*j.find("task:a"), payload);
   }
   RunJournal j2(dir);
   const RunJournal::LoadStats st = j2.load();
   EXPECT_EQ(st.loaded, 2u);
   EXPECT_EQ(st.dropped, 0u);
-  ASSERT_NE(j2.find("task:a"), nullptr);
+  ASSERT_TRUE(j2.find("task:a").has_value());
   EXPECT_EQ(*j2.find("task:a"), payload);
-  ASSERT_NE(j2.find("task:b"), nullptr);
+  ASSERT_TRUE(j2.find("task:b").has_value());
   EXPECT_EQ(*j2.find("task:b"), "b-payload");
-  EXPECT_EQ(j2.find("task:missing"), nullptr);
+  EXPECT_FALSE(j2.find("task:missing").has_value());
 }
 
 TEST(RunJournal, BindMetaRejectsMismatchedConfig) {
@@ -259,6 +261,24 @@ TEST(TaskCodec, OptResultRoundTripsBitExact) {
   EXPECT_FALSE(decode_opt_result("garbage payload", &r2, &s2));
 }
 
+TEST(TaskCodec, OptResultRoundTripsNonFiniteMetrics) {
+  // %.17g renders non-finite doubles as "inf"/"nan"; the decoder must
+  // replay such a journaled result, not silently recompute it forever.
+  OptResult r;
+  r.found = true;
+  r.ips = std::numeric_limits<double>::infinity();
+  r.cost = -std::numeric_limits<double>::infinity();
+  r.objective = std::numeric_limits<double>::quiet_NaN();
+  r.peak_c = 91.5;
+  OptResult r2;
+  EvalStats s2;
+  ASSERT_TRUE(decode_opt_result(encode_opt_result(r, EvalStats{}), &r2, &s2));
+  EXPECT_EQ(r2.ips, r.ips);
+  EXPECT_EQ(r2.cost, r.cost);
+  EXPECT_TRUE(std::isnan(r2.objective));
+  EXPECT_EQ(r2.peak_c, r.peak_c);
+}
+
 TEST(TaskCodec, GuardedRowsRoundTripsNastyCells) {
   GuardedRows g;
   g.rows = {{"cell with space", "tab\tinside", "newline\ninside", ""},
@@ -273,6 +293,16 @@ TEST(TaskCodec, GuardedRowsRoundTripsNastyCells) {
   EXPECT_EQ(g2.health.quarantined, g.health.quarantined);
   EXPECT_EQ(g2.health.timeouts, g.health.timeouts);
   EXPECT_FALSE(decode_guarded_rows("r only rows, no health", &g2));
+}
+
+TEST(TaskCodec, GuardedRowsRoundTripsEmptyAndSingleEmptyCellRows) {
+  // A zero-cell row and a one-empty-cell row must stay distinct through
+  // the codec (the r-line carries an explicit cell count).
+  GuardedRows g;
+  g.rows = {{}, {""}, {"", ""}};
+  GuardedRows g2;
+  ASSERT_TRUE(decode_guarded_rows(encode_guarded_rows(g), &g2));
+  EXPECT_EQ(g2.rows, g.rows);
 }
 
 // --------------------------------------------------- CancelToken basics
