@@ -23,21 +23,45 @@
 
 #include "common/errors.hpp"
 #include "core/experiments.hpp"
+#include "obs/obs.hpp"
 
 namespace tacos::benchmain {
 
-/// Parse the optional grid-resolution argument.
+/// The process's observability configuration: every entry path (Harness
+/// or options_from_args) parses into this one instance, and run() /
+/// report_health() / Harness::finish() publish from it.
+inline obs::ObsOptions& obs_options() {
+  static obs::ObsOptions o;
+  return o;
+}
+
+/// Parse the optional grid-resolution argument plus the observability
+/// flags (`--metrics[=FILE]`, `--trace[=FILE]`).
 inline ExperimentOptions options_from_args(int argc, char** argv,
                                            ExperimentOptions defaults = {}) {
-  if (argc > 1) defaults.grid = static_cast<std::size_t>(std::stoul(argv[1]));
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (obs_options().parse_flag(arg)) continue;
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\nusage: " << argv[0]
+                << " [grid]" << obs::ObsOptions::usage() << '\n';
+      std::exit(EXIT_FAILURE);
+    }
+    defaults.grid = static_cast<std::size_t>(std::stoul(arg));
+  }
+  obs_options().finalize();
   return defaults;
 }
 
 /// Print a runner's RunHealth next to its results (stderr, one line), so
 /// redirected table output stays clean while recoveries/quarantines are
-/// still visible on the console.  See docs/ROBUSTNESS.md.
+/// still visible on the console.  See docs/ROBUSTNESS.md.  The counters
+/// also land in the metrics artifact (re-published so the final file
+/// carries them).
 inline void report_health(const std::string& title, const RunHealth& h) {
   std::cerr << "[" << title << "] " << h.summary() << '\n';
+  obs::record_run_health(h);
+  if (obs_options().any()) obs_options().publish();
 }
 
 /// Print an experiment table in both human and CSV form with timing.
@@ -45,7 +69,13 @@ template <typename Fn>
 int run(const std::string& title, Fn&& make_table) {
   const auto t0 = std::chrono::steady_clock::now();
   try {
-    const TextTable table = make_table();
+    // Root span: every other span nests under run.main, so per-phase
+    // self-times in the metrics artifact sum to ~the root's total.
+    static obs::SpanSite root_site("run.main", "run");
+    const TextTable table = [&] {
+      obs::TraceSpan root(root_site);
+      return make_table();
+    }();
     table.print(title);
     std::cout << "\n-- CSV --\n" << table.to_csv();
     const double secs =
@@ -53,9 +83,11 @@ int run(const std::string& title, Fn&& make_table) {
             .count();
     std::cout << "\n[" << title << "] completed in " << table.row_count()
               << " rows, " << secs << " s\n";
+    if (obs_options().any()) obs_options().publish();
     return EXIT_SUCCESS;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
+    if (obs_options().any()) obs_options().publish();
     return EXIT_FAILURE;
   }
 }
@@ -79,10 +111,13 @@ class Harness {
         resume = true;
       } else if (arg.rfind("--task-deadline=", 0) == 0) {
         opts_.run.task_deadline_s = std::stod(arg.substr(16));
+      } else if (obs_options().parse_flag(arg)) {
+        // consumed by the observability layer
       } else if (!arg.empty() && arg[0] == '-') {
         std::cerr << "unknown flag: " << arg << "\nusage: " << argv[0]
                   << " [grid] [--run-dir=DIR [--resume]]"
-                     " [--task-deadline=SECONDS]\n";
+                     " [--task-deadline=SECONDS]"
+                  << obs::ObsOptions::usage() << '\n';
         std::exit(EXIT_FAILURE);
       } else {
         opts_.grid = static_cast<std::size_t>(std::stoul(arg));
@@ -111,6 +146,9 @@ class Harness {
                   << " task(s) already complete in " << run_dir << '\n';
       opts_.run.journal = journal_.get();
     }
+    // Observability artifacts live next to the journal: a resumed run
+    // preloads and extends the same record.
+    obs_options().finalize(run_dir, resume);
     install_signal_handlers();
     opts_.run.cancel = &global_cancel_token();
   }
@@ -122,6 +160,10 @@ class Harness {
   /// with the distinct resumable code (75) after telling the operator how
   /// to pick the sweep back up.
   int finish(int rc) const {
+    // Final publish: the artifacts on disk reflect everything recorded up
+    // to exit, including an interrupted run's partial record (which the
+    // resumed run preloads and extends).
+    if (obs_options().any()) obs_options().publish();
     if (run_interrupted()) {
       std::cerr << "[run] interrupted";
       if (journal_)

@@ -3,7 +3,8 @@
 /// 0.20 / 0.25 / 0.30 per cm^2 and 4 / 16 chiplets (E1 in DESIGN.md).
 #include "bench_main.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tacos::benchmain::options_from_args(argc, argv);  // obs flags only
   return tacos::benchmain::run("Fig. 3(a): 2.5D cost vs interposer size",
                                [] { return tacos::fig3a_cost_table(1.0); });
 }

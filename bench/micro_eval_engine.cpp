@@ -12,6 +12,7 @@
 /// PR to PR.  Usage:
 ///
 ///   micro_eval_engine [out.json] [e2e_grid] [solver_grid]
+///                     [--metrics[=FILE]] [--trace[=FILE]]
 ///
 /// Defaults: BENCH_eval_engine.json, 24, 48.  Thread counts beyond the
 /// machine's cores still run (the pool timeshares); speedups are whatever
@@ -30,6 +31,7 @@
 #include "core/optimizer.hpp"
 #include "floorplan/layout.hpp"
 #include "materials/stack.hpp"
+#include "obs/obs.hpp"
 #include "thermal/grid_model.hpp"
 
 namespace {
@@ -124,11 +126,26 @@ std::string json_map(const std::vector<std::size_t>& keys,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_eval_engine.json";
+  obs::ObsOptions obs_opts;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (obs_opts.parse_flag(arg)) continue;
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown flag: " << arg << "\nusage: " << argv[0]
+                << " [out.json] [e2e_grid] [solver_grid]"
+                << obs::ObsOptions::usage() << "\n";
+      return 1;
+    }
+    pos.push_back(arg);
+  }
+  obs_opts.finalize();
+  const std::string out_path =
+      !pos.empty() ? pos[0] : "BENCH_eval_engine.json";
   const std::size_t e2e_grid =
-      argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 24;
+      pos.size() > 1 ? static_cast<std::size_t>(std::stoul(pos[1])) : 24;
   const std::size_t solver_grid =
-      argc > 3 ? static_cast<std::size_t>(std::stoul(argv[3])) : 48;
+      pos.size() > 2 ? static_cast<std::size_t>(std::stoul(pos[2])) : 48;
 
   const std::size_t hw = ThreadPool::default_thread_count();
   // Always measure 1 and 2; top out at the machine (or TACOS_THREADS),
@@ -143,6 +160,7 @@ int main(int argc, char** argv) {
   std::vector<std::size_t> e2e_solves;
   bool solver_identical = true, e2e_identical = true;
   std::string solver_fp0, e2e_fp0;
+  RunHealth health;  // merged across every e2e run (all thread counts)
 
   for (std::size_t i = 0; i < counts.size(); ++i) {
     const std::size_t n = counts[i];
@@ -159,6 +177,7 @@ int main(int argc, char** argv) {
     const E2eRun e = run_e2e(e2e_grid, names);
     e2e_walls.push_back(e.wall_s);
     e2e_solves.push_back(e.stats.solves);
+    health += e.stats.health;
     if (i == 0)
       e2e_fp0 = e.fingerprint;
     else
@@ -193,7 +212,8 @@ int main(int argc, char** argv) {
      << "    \"wall_s\": " << json_map(counts, e2e_walls) << ",\n"
      << "    \"speedup_max_vs_1\": " << fmt(speedup) << ",\n"
      << "    \"bit_identical\": " << (e2e_identical ? "true" : "false")
-     << "\n  }\n}\n";
+     << "\n  },\n"
+     << "  \"health\": " << health.to_json() << "\n}\n";
   out_file.commit();
 
   std::cout << "solver: " << fmt(solver_rates.front()) << " -> "
@@ -206,5 +226,8 @@ int main(int argc, char** argv) {
             << " threads), bit_identical=" << (e2e_identical ? "yes" : "NO")
             << "\n"
             << "wrote " << out_path << "\n";
+  std::cerr << "[micro_eval_engine] " << health.summary() << "\n";
+  obs::record_run_health(health);
+  if (obs_opts.any()) obs_opts.publish();
   return (solver_identical && e2e_identical) ? 0 : 1;
 }

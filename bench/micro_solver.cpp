@@ -5,7 +5,10 @@
 /// exhaustive-search estimate is built on.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/leakage.hpp"
+#include "obs/obs.hpp"
 #include "floorplan/layout.hpp"
 #include "materials/stack.hpp"
 #include "thermal/grid_model.hpp"
@@ -83,4 +86,23 @@ BENCHMARK(BM_LeakageFixedPoint)->Arg(24)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN: the observability flags (--metrics[=FILE],
+// --trace[=FILE]) are stripped before google-benchmark sees argv, and the
+// artifacts are published after the run — so the solver microbenchmarks
+// can be profiled with the same flags as every other bench main.
+int main(int argc, char** argv) {
+  tacos::obs::ObsOptions obs_opts;
+  std::vector<char*> kept;
+  kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (!obs_opts.parse_flag(argv[i])) kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  obs_opts.finalize();
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (obs_opts.any()) obs_opts.publish();
+  return 0;
+}

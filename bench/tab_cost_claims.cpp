@@ -3,7 +3,8 @@
 /// 30% interposer share, and the 30-42% / 36% minimal-interposer savings.
 #include "bench_main.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  tacos::benchmain::options_from_args(argc, argv);  // obs flags only
   return tacos::benchmain::run("In-text cost claims (paper vs model)",
                                [] { return tacos::cost_claims_table(); });
 }

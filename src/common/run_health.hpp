@@ -76,6 +76,22 @@ struct RunHealth {
     field(cancelled, "cancelled task(s)");
     return os.str();
   }
+
+  /// One-object JSON rendering for the BENCH_*.json emitters and the
+  /// observability exporters: health travels with the timings it explains.
+  std::string to_json() const {
+    std::ostringstream os;
+    os << "{\"cold_restarts\": " << cold_restarts
+       << ", \"cap_retries\": " << cap_retries
+       << ", \"gs_fallbacks\": " << gs_fallbacks
+       << ", \"solve_failures\": " << solve_failures
+       << ", \"nonfinite_inputs\": " << nonfinite_inputs
+       << ", \"leak_nonconverged\": " << leak_nonconverged
+       << ", \"quarantined\": " << quarantined
+       << ", \"timeouts\": " << timeouts << ", \"cancelled\": " << cancelled
+       << "}";
+    return os.str();
+  }
 };
 
 /// Shared accounting a ThermalModel writes into: the running solve index

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace tacos {
 
@@ -57,9 +58,21 @@ class ThreadPool {
   /// reduction order).
   explicit ThreadPool(std::size_t threads)
       : n_lanes_(threads == 0 ? 1 : threads) {
+    // Resolve every metric handle before spawning workers.  Touching the
+    // registry here also forces its magic static to complete construction
+    // first, so it is destroyed after every pool — worker-loop metric
+    // updates can never outlive it.
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.gauge("pool.threads").set(static_cast<double>(n_lanes_));
+    tasks_enqueued_ = reg.counter("pool.tasks_enqueued");
+    queue_depth_ = reg.gauge("pool.queue_depth");
+    worker_tasks_.reserve(n_lanes_ - 1);
+    for (std::size_t t = 0; t + 1 < n_lanes_; ++t)
+      worker_tasks_.push_back(reg.counter(
+          "pool.worker." + std::to_string(t) + ".tasks_executed"));
     workers_.reserve(n_lanes_ - 1);
     for (std::size_t t = 0; t + 1 < n_lanes_; ++t)
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, t] { worker_loop(t); });
   }
 
   ~ThreadPool() {
@@ -159,6 +172,8 @@ class ThreadPool {
       std::lock_guard<std::mutex> lk(mu_);
       for (std::size_t t = 0; t < helpers; ++t)
         queue_.emplace_back([job, drain] { drain(*job); });
+      tasks_enqueued_.add(static_cast<double>(helpers));
+      queue_depth_.set(static_cast<double>(queue_.size()));
     }
     cv_.notify_all();
 
@@ -202,7 +217,7 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop() {
+  void worker_loop(std::size_t worker_index) {
     for (;;) {
       std::function<void()> task;
       {
@@ -211,8 +226,10 @@ class ThreadPool {
         if (stop_ && queue_.empty()) return;
         task = std::move(queue_.front());
         queue_.pop_front();
+        queue_depth_.set(static_cast<double>(queue_.size()));
       }
       task();
+      worker_tasks_[worker_index].add();
     }
   }
 
@@ -226,6 +243,12 @@ class ThreadPool {
   }
 
   const std::size_t n_lanes_;
+  // Pool utilization metrics (no-ops while metrics are disabled): helper
+  // jobs offered / drained and the instantaneous queue depth.  Handles are
+  // resolved once in the constructor; worker_tasks_ is immutable after it.
+  obs::Counter tasks_enqueued_;
+  obs::Gauge queue_depth_;
+  std::vector<obs::Counter> worker_tasks_;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;

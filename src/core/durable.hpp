@@ -33,6 +33,7 @@
 #include "common/run_health.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace tacos {
 
@@ -182,14 +183,22 @@ std::vector<GuardedRows> durable_rows_map(const std::vector<Task>& tasks,
   RunJournal* const journal = run.journal;
   if (journal) journal->bind_meta(meta_key, meta_value);
   return ThreadPool::global().parallel_map(tasks, [&](const Task& t) {
+    // One span per experiment unit: every driver built on this scaffold
+    // shows up in a trace as run.task rows tagged with id + outcome.
+    static obs::SpanSite task_site("run.task", "run");
+    obs::TraceSpan task_span(task_site);
     GuardedRows out;
     const std::string task_id = id_fn(t);
+    task_span.arg("id", task_id);
     if (journal) {
       if (const std::optional<std::string> payload = journal->find(task_id)) {
         // Checkpoint replay: the journaled block stands in for the
         // recomputation.  An undecodable payload (hand-edited journal)
         // falls through to recomputation.
-        if (decode_guarded_rows(*payload, &out)) return out;
+        if (decode_guarded_rows(*payload, &out)) {
+          task_span.arg("outcome", "replayed");
+          return out;
+        }
         out = GuardedRows{};
       }
     }
@@ -198,6 +207,7 @@ std::vector<GuardedRows> durable_rows_map(const std::vector<Task>& tasks,
       // their own tokens.
       out.interrupted = true;
       out.health.cancelled = 1;
+      task_span.arg("outcome", "interrupted");
       return out;
     }
     // Per-task token: chains the run-level cancel and carries this unit's
@@ -207,16 +217,20 @@ std::vector<GuardedRows> durable_rows_map(const std::vector<Task>& tasks,
     const bool active = run.cancel != nullptr || run.task_deadline_s > 0;
     try {
       out = body(t, active ? &task_cancel : nullptr);
+      task_span.arg("outcome", out.health.quarantined > 0 ? "quarantined"
+                                                          : "ok");
     } catch (const CancelledError& c) {
       if (c.reason() == CancelledError::Reason::kDeadline) {
         out = timeout_out(t, c);
         out.health = RunHealth{};
         out.health.timeouts = 1;
         out.interrupted = false;
+        task_span.arg("outcome", "timeout");
       } else {
         out = GuardedRows{};
         out.interrupted = true;
         out.health.cancelled = 1;
+        task_span.arg("outcome", "interrupted");
         return out;  // never journaled — resume recomputes it
       }
     }

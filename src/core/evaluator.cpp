@@ -6,6 +6,7 @@
 
 #include "common/errors.hpp"
 #include "core/leakage.hpp"
+#include "obs/trace.hpp"
 
 namespace tacos {
 
@@ -77,6 +78,16 @@ const ThermalEval& Evaluator::thermal_eval(const Organization& org,
   if (auto it = eval_memo_.find(key); it != eval_memo_.end())
     return it->second;
 
+  // Cache misses only: a memo hit costs nothing and traces nothing.
+  static obs::SpanSite eval_site("eval.thermal", "eval");
+  obs::TraceSpan span(eval_site);
+  if (span.active()) {
+    span.arg("n", static_cast<std::int64_t>(org.n_chiplets));
+    span.arg("bench", std::string(bench.name));
+    span.arg("f", static_cast<std::int64_t>(org.dvfs_idx));
+    span.arg("p", static_cast<std::int64_t>(org.active_cores));
+  }
+
   ModelEntry& entry = model_for(org);
   const DvfsLevel& lvl = level_of(org);
   const std::vector<int> active =
@@ -140,10 +151,14 @@ bool Evaluator::feasible(const Organization& org,
 
 double Evaluator::ips(const Organization& org,
                       const BenchmarkProfile& bench) const {
+  static obs::SpanSite perf_site("eval.perf", "eval");
+  obs::TraceSpan span(perf_site);
   return system_ips(bench, level_of(org).freq_mhz, org.active_cores);
 }
 
 double Evaluator::cost(const Organization& org) const {
+  static obs::SpanSite cost_site("eval.cost", "eval");
+  obs::TraceSpan span(cost_site);
   if (org.n_chiplets == 1) return cost_2d_;
   const double edge = interposer_edge_of(org, config_.spec);
   const double chiplet_edge =
@@ -158,6 +173,10 @@ const BaselinePoint& Evaluator::baseline_2d(const BenchmarkProfile& bench,
                                   std::lround(threshold_c * 100.0));
   if (auto it = baseline_memo_.find(key); it != baseline_memo_.end())
     return it->second;
+
+  static obs::SpanSite baseline_site("eval.baseline", "eval");
+  obs::TraceSpan span(baseline_site);
+  span.arg("bench", std::string(bench.name));
 
   // Enumerate the 40 (f, p) pairs in descending IPS order and return the
   // first thermally feasible one.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <optional>
 
+#include "obs/trace.hpp"
+
 namespace tacos {
 
 LeakageResult run_leakage_fixed_point(ThermalModel& model,
@@ -14,12 +16,28 @@ LeakageResult run_leakage_fixed_point(ThermalModel& model,
                                       double tol_c, int max_iters,
                                       bool fault_nonconverge) {
   TACOS_CHECK(max_iters >= 1, "need at least one iteration");
+  static obs::SpanSite leak_site("eval.leakage", "eval");
+  static obs::SpanSite iter_site("leakage.iter", "eval");
+  static obs::SpanSite pmap_site("power.build_map", "eval");
+  obs::TraceSpan span(leak_site);
+
+  const auto record = [](const LeakageResult& r) {
+    if (!obs::metrics_enabled()) return;
+    static obs::Histogram iters = obs::MetricsRegistry::global().histogram(
+        "leakage.iterations", obs::pow2_edges(1, 64));
+    iters.observe(static_cast<double>(r.iterations));
+  };
+
   LeakageResult out;
   std::optional<std::vector<double>> temps;  // first pass at T_ref
   double prev_peak = -1e300;
   for (int it = 0; it < max_iters; ++it) {
-    const PowerMap pmap =
-        build_power_map(layout, bench, lvl, active, temps, params);
+    obs::TraceSpan iter_span(iter_site);
+    iter_span.arg("iter", static_cast<std::int64_t>(it));
+    const PowerMap pmap = [&] {
+      obs::TraceSpan pmap_span(pmap_site);
+      return build_power_map(layout, bench, lvl, active, temps, params);
+    }();
     const ThermalResult res = model.solve(pmap);
     out.peak_c = res.peak_c;
     out.total_power_w = pmap.total();
@@ -32,6 +50,8 @@ LeakageResult run_leakage_fixed_point(ThermalModel& model,
                 "leakage fixed point produced a non-finite temperature");
     if (!fault_nonconverge && std::abs(res.peak_c - prev_peak) < tol_c) {
       out.converged = true;
+      record(out);
+      span.arg("iters", static_cast<std::int64_t>(out.iterations));
       return out;
     }
     prev_peak = res.peak_c;
@@ -39,6 +59,9 @@ LeakageResult run_leakage_fixed_point(ThermalModel& model,
   }
   // Ran out of iterations: report the last state, flagged unconverged.
   out.converged = false;
+  record(out);
+  span.arg("iters", static_cast<std::int64_t>(out.iterations));
+  span.arg("converged", "false");
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/thread_pool.hpp"
+#include "obs/trace.hpp"
 
 namespace tacos {
 
@@ -374,6 +375,9 @@ std::vector<OptResult> optimize_greedy_batch(
   };
   const std::vector<TaskOut> outs = ThreadPool::global().parallel_map(
       bench_names, [&](const std::string& name) {
+        static obs::SpanSite task_site("opt.task", "opt");
+        obs::TraceSpan task_span(task_site);
+        task_span.arg("bench", name);
         TaskOut out;
         const std::string task_id = "optimize:" + name;
         if (journal) {
@@ -384,8 +388,10 @@ std::vector<OptResult> optimize_greedy_batch(
             // including the merged counters — is byte-identical to an
             // uninterrupted one.  An undecodable payload (hand-edited
             // journal) falls through to recomputation.
-            if (decode_opt_result(*payload, &out.result, &out.stats))
+            if (decode_opt_result(*payload, &out.result, &out.stats)) {
+              task_span.arg("outcome", "replayed");
               return out;
+            }
           }
         }
         if (run && run->cancel && run->cancel->cancelled()) {
@@ -395,6 +401,7 @@ std::vector<OptResult> optimize_greedy_batch(
           out.result.interrupted = true;
           out.completed = false;
           ++out.stats.health.cancelled;
+          task_span.arg("outcome", "interrupted");
           return out;
         }
         // Per-task token: chains the run-level cancel and carries this
@@ -441,6 +448,11 @@ std::vector<OptResult> optimize_greedy_batch(
           ++out.stats.health.quarantined;
         else if (out.result.interrupted)
           ++out.stats.health.cancelled;
+        task_span.arg("outcome", timed_out ? "timeout"
+                      : out.result.quarantined
+                          ? "quarantined"
+                          : out.result.interrupted ? "interrupted" : "ok");
+        task_span.arg("solves", static_cast<std::int64_t>(out.stats.solves));
         if (out.completed && journal)
           journal->append(task_id, encode_opt_result(out.result, out.stats));
         return out;

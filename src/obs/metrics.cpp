@@ -1,0 +1,404 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace tacos::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+std::atomic<std::uint64_t> g_registry_uid{1};
+
+/// Exact (round-trippable) rendering for exported values.
+std::string fmt_g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Per-thread cache of (registry uid -> shard).  Registry uids are never
+/// reused, so a stale entry for a destroyed registry can never alias a new
+/// one; the vector stays tiny (one entry per registry a thread touches).
+struct ShardCache {
+  std::vector<std::pair<std::uint64_t, void*>> entries;
+};
+thread_local ShardCache t_shard_cache;
+
+/// Strict field extraction from our own JSON line format.  Returns false
+/// when `key` is absent.
+bool find_raw(const std::string& line, const std::string& key,
+              std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t begin = at + needle.size();
+  std::size_t end = begin;
+  int depth = 0;
+  bool in_str = false;
+  for (; end < line.size(); ++end) {
+    const char c = line[end];
+    if (in_str) {
+      if (c == '\\')
+        ++end;
+      else if (c == '"')
+        in_str = false;
+      continue;
+    }
+    if (c == '"') in_str = true;
+    if (c == '[' || c == '{') ++depth;
+    if (c == ']' || c == '}') {
+      if (depth == 0) break;
+      --depth;
+    }
+    if (c == ',' && depth == 0) break;
+  }
+  *out = line.substr(begin, end - begin);
+  return true;
+}
+
+bool parse_number_list(const std::string& raw, std::vector<double>* out) {
+  out->clear();
+  std::size_t at = raw.find('[');
+  const std::size_t close = raw.rfind(']');
+  if (at == std::string::npos || close == std::string::npos) return false;
+  ++at;
+  while (at < close) {
+    char* end = nullptr;
+    const double v = std::strtod(raw.c_str() + at, &end);
+    if (end == raw.c_str() + at) return false;
+    out->push_back(v);
+    at = static_cast<std::size_t>(end - raw.c_str());
+    while (at < close && (raw[at] == ',' || raw[at] == ' ')) ++at;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::vector<double> pow2_edges(double first, double last) {
+  std::vector<double> e;
+  for (double v = first; ; v *= 2.0) {
+    e.push_back(v);
+    if (v >= last) break;
+  }
+  return e;
+}
+
+std::vector<double> decade_edges(double first, double last) {
+  std::vector<double> e;
+  for (double v = first; ; v *= 10.0) {
+    e.push_back(v);
+    if (v >= last) break;
+  }
+  return e;
+}
+
+void Counter::add(double v) {
+  if (reg_ && metrics_enabled()) reg_->counter_add(id_, v);
+}
+
+void Gauge::set(double v) {
+  if (reg_ && metrics_enabled()) reg_->gauge_set(id_, v);
+}
+
+void Histogram::observe(double v) {
+  if (reg_ && metrics_enabled()) reg_->hist_observe(id_, v);
+}
+
+MetricsRegistry::MetricsRegistry()
+    : uid_(g_registry_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = counter_ids_.try_emplace(name, counter_names_.size());
+  if (inserted) counter_names_.push_back(name);
+  return Counter(this, it->second);
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = gauge_ids_.try_emplace(name, gauge_names_.size());
+  if (inserted) gauge_names_.push_back(name);
+  return Gauge(this, it->second);
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     std::vector<double> edges) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = hist_ids_.try_emplace(name, hist_names_.size());
+  if (inserted) {
+    hist_names_.push_back(name);
+    std::sort(edges.begin(), edges.end());
+    hist_edges_.push_back(std::move(edges));
+  }
+  return Histogram(this, it->second);
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for_this_thread() {
+  for (const auto& [uid, ptr] : t_shard_cache.entries)
+    if (uid == uid_) return *static_cast<Shard*>(ptr);
+  std::lock_guard<std::mutex> lk(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* s = shards_.back().get();
+  t_shard_cache.entries.emplace_back(uid_, s);
+  return *s;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::preload_shard() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!preload_shard_) {
+    shards_.push_back(std::make_unique<Shard>());
+    preload_shard_ = shards_.back().get();
+  }
+  return *preload_shard_;
+}
+
+void MetricsRegistry::counter_add(std::size_t id, double v) {
+  Shard& s = shard_for_this_thread();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.counters.size() <= id) s.counters.resize(id + 1, 0.0);
+  s.counters[id] += v;
+}
+
+void MetricsRegistry::gauge_set(std::size_t id, double v) {
+  Shard& s = shard_for_this_thread();
+  const std::uint64_t seq =
+      gauge_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.gauge_vals.size() <= id) {
+    s.gauge_vals.resize(id + 1, 0.0);
+    s.gauge_seq.resize(id + 1, 0);
+  }
+  s.gauge_vals[id] = v;
+  s.gauge_seq[id] = seq;
+}
+
+void MetricsRegistry::hist_observe(std::size_t id, double v) {
+  std::vector<double> const* edges;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    edges = &hist_edges_[id];
+  }
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(edges->begin(), edges->end(), v) - edges->begin());
+  // `le` semantics: a value equal to an edge belongs to that edge's bucket.
+  const std::size_t le_bucket =
+      (bucket > 0 && (*edges)[bucket - 1] == v) ? bucket - 1 : bucket;
+  Shard& s = shard_for_this_thread();
+  std::lock_guard<std::mutex> lk(s.mu);
+  if (s.hists.size() <= id) s.hists.resize(id + 1);
+  HistCells& h = s.hists[id];
+  if (h.counts.empty()) h.counts.assign(edges->size() + 1, 0);
+  h.counts[le_bucket] += 1;
+  h.sum += v;
+  h.count += 1;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.counters.reserve(counter_names_.size());
+  for (const std::string& n : counter_names_) out.counters.emplace_back(n, 0.0);
+  std::vector<std::pair<double, std::uint64_t>> gauges(gauge_names_.size(),
+                                                       {0.0, 0});
+  out.histograms.reserve(hist_names_.size());
+  for (std::size_t i = 0; i < hist_names_.size(); ++i) {
+    HistogramSnapshot h;
+    h.edges = hist_edges_[i];
+    h.counts.assign(h.edges.size() + 1, 0);
+    out.histograms.emplace_back(hist_names_[i], std::move(h));
+  }
+  // Merge shards in creation order (deterministic for integer sums; gauges
+  // pick the write with the highest global sequence).
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> slk(s.mu);
+    for (std::size_t i = 0; i < s.counters.size(); ++i)
+      out.counters[i].second += s.counters[i];
+    for (std::size_t i = 0; i < s.gauge_vals.size(); ++i)
+      if (s.gauge_seq[i] > gauges[i].second)
+        gauges[i] = {s.gauge_vals[i], s.gauge_seq[i]};
+    for (std::size_t i = 0; i < s.hists.size(); ++i) {
+      const HistCells& h = s.hists[i];
+      if (h.counts.empty()) continue;
+      HistogramSnapshot& dst = out.histograms[i].second;
+      for (std::size_t b = 0; b < h.counts.size(); ++b)
+        dst.counts[b] += h.counts[b];
+      dst.sum += h.sum;
+      dst.count += h.count;
+    }
+  }
+  out.gauges.reserve(gauge_names_.size());
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i)
+    out.gauges.emplace_back(gauge_names_[i], gauges[i].first);
+  return out;
+}
+
+std::string MetricsRegistry::to_text() const {
+  const MetricsSnapshot s = snapshot();
+  std::ostringstream os;
+  for (const auto& [name, v] : s.counters)
+    os << name << " " << fmt_g17(v) << "\n";
+  for (const auto& [name, v] : s.gauges)
+    os << name << " " << fmt_g17(v) << " (gauge)\n";
+  for (const auto& [name, h] : s.histograms) {
+    os << name << " count=" << h.count << " sum=" << fmt_g17(h.sum);
+    if (h.count > 0)
+      os << " mean=" << fmt_g17(h.sum / static_cast<double>(h.count));
+    os << " buckets[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b) os << " ";
+      if (b < h.edges.size())
+        os << "le" << fmt_g17(h.edges[b]) << ":" << h.counts[b];
+      else
+        os << "inf:" << h.counts[b];
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  const MetricsSnapshot s = snapshot();
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  const auto sep = [&] {
+    os << (first ? "\n" : ",\n");
+    first = false;
+  };
+  for (const auto& [name, v] : s.counters) {
+    sep();
+    os << "{\"name\":\"" << name << "\",\"type\":\"counter\",\"value\":"
+       << fmt_g17(v) << "}";
+  }
+  for (const auto& [name, v] : s.gauges) {
+    sep();
+    os << "{\"name\":\"" << name << "\",\"type\":\"gauge\",\"value\":"
+       << fmt_g17(v) << "}";
+  }
+  for (const auto& [name, h] : s.histograms) {
+    sep();
+    os << "{\"name\":\"" << name << "\",\"type\":\"histogram\",\"edges\":[";
+    for (std::size_t b = 0; b < h.edges.size(); ++b)
+      os << (b ? "," : "") << fmt_g17(h.edges[b]);
+    os << "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b)
+      os << (b ? "," : "") << h.counts[b];
+    os << "],\"sum\":" << fmt_g17(h.sum) << ",\"count\":" << h.count << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::size_t MetricsRegistry::preload_from_json(const std::string& json) {
+  std::size_t loaded = 0;
+  std::size_t pos = 0;
+  while (pos < json.size()) {
+    std::size_t eol = json.find('\n', pos);
+    if (eol == std::string::npos) eol = json.size();
+    const std::string line = json.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("{\"name\":\"", 0) != 0) continue;
+    std::string name_raw, type_raw, value_raw;
+    if (!find_raw(line, "name", &name_raw) ||
+        !find_raw(line, "type", &type_raw))
+      continue;
+    // Metric names are emitted unescaped (they contain no JSON-special
+    // characters by construction); strip the surrounding quotes.
+    if (name_raw.size() < 2 || name_raw.front() != '"') continue;
+    const std::string name = name_raw.substr(1, name_raw.size() - 2);
+    if (type_raw == "\"counter\"") {
+      if (!find_raw(line, "value", &value_raw)) continue;
+      const std::size_t id = counter(name).id_;
+      Shard& s = preload_shard();
+      std::lock_guard<std::mutex> lk(s.mu);
+      if (s.counters.size() <= id) s.counters.resize(id + 1, 0.0);
+      s.counters[id] += std::strtod(value_raw.c_str(), nullptr);
+      ++loaded;
+    } else if (type_raw == "\"gauge\"") {
+      if (!find_raw(line, "value", &value_raw)) continue;
+      const std::size_t id = gauge(name).id_;
+      Shard& s = preload_shard();
+      std::lock_guard<std::mutex> lk(s.mu);
+      if (s.gauge_vals.size() <= id) {
+        s.gauge_vals.resize(id + 1, 0.0);
+        s.gauge_seq.resize(id + 1, 0);
+      }
+      // Preload takes a normal sequence number; it happens at startup, so
+      // any later live write of the same gauge overrides it at scrape.
+      s.gauge_vals[id] = std::strtod(value_raw.c_str(), nullptr);
+      s.gauge_seq[id] = gauge_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+      ++loaded;
+    } else if (type_raw == "\"histogram\"") {
+      std::string edges_raw, counts_raw, sum_raw, count_raw;
+      std::vector<double> edges, counts;
+      if (!find_raw(line, "edges", &edges_raw) ||
+          !find_raw(line, "counts", &counts_raw) ||
+          !find_raw(line, "sum", &sum_raw) ||
+          !find_raw(line, "count", &count_raw))
+        continue;
+      if (!parse_number_list(edges_raw, &edges) ||
+          !parse_number_list(counts_raw, &counts))
+        continue;
+      if (counts.size() != edges.size() + 1) continue;
+      const std::size_t id = histogram(name, edges).id_;
+      std::vector<double> reg_edges;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        reg_edges = hist_edges_[id];
+      }
+      if (reg_edges != edges) continue;  // edge mismatch: skip, don't corrupt
+      Shard& s = preload_shard();
+      std::lock_guard<std::mutex> lk(s.mu);
+      if (s.hists.size() <= id) s.hists.resize(id + 1);
+      HistCells& h = s.hists[id];
+      if (h.counts.empty()) h.counts.assign(edges.size() + 1, 0);
+      for (std::size_t b = 0; b < counts.size(); ++b)
+        h.counts[b] += static_cast<std::uint64_t>(counts[b]);
+      h.sum += std::strtod(sum_raw.c_str(), nullptr);
+      h.count += static_cast<std::uint64_t>(
+          std::strtoull(count_raw.c_str(), nullptr, 10));
+      ++loaded;
+    }
+  }
+  return loaded;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> slk(s.mu);
+    std::fill(s.counters.begin(), s.counters.end(), 0.0);
+    std::fill(s.gauge_vals.begin(), s.gauge_vals.end(), 0.0);
+    std::fill(s.gauge_seq.begin(), s.gauge_seq.end(), 0);
+    for (HistCells& h : s.hists) {
+      std::fill(h.counts.begin(), h.counts.end(), 0);
+      h.sum = 0.0;
+      h.count = 0;
+    }
+  }
+}
+
+}  // namespace tacos::obs

@@ -1,0 +1,186 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Lock-cheap metrics registry: counters, gauges and fixed-bucket
+///        histograms with per-thread shards merged at scrape.
+///
+/// The evaluation engine's hot path must pay (near) nothing for
+/// instrumentation when it is off and almost nothing when it is on, so the
+/// registry follows the same pattern as EvalStats / RunHealth: every
+/// thread writes into its **own shard** (guarded by a mutex that is never
+/// contended on the write path — only the scraper ever takes somebody
+/// else's shard lock) and shards are **merged at scrape time** in shard-
+/// creation order.  Counter and histogram-bucket merges are integer /
+/// exact-double sums, so scraped totals are identical at any thread count;
+/// gauges are last-writer-wins via a global sequence clock.
+///
+/// Everything is gated on one process-wide flag: when
+/// `metrics_enabled() == false` (the default), `add()` / `set()` /
+/// `observe()` are a single relaxed atomic load and a branch.  Handles
+/// (`Counter`, `Gauge`, `Histogram`) are cheap value types resolved once —
+/// instrumentation sites cache them in function-local statics.
+///
+/// Exporters: `to_text()` for consoles, `to_json()` for tooling (one
+/// metric per line — the strict line format `preload_from_json` parses
+/// back so a resumed `--run-dir` sweep accumulates into the same
+/// observability record; see docs/OBSERVABILITY.md).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tacos::obs {
+
+/// Process-wide metrics switch (off by default; near-zero disabled cost).
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+class MetricsRegistry;
+
+/// Monotonic counter handle.  Copyable; valid as long as its registry.
+class Counter {
+ public:
+  Counter() = default;
+  /// No-op when metrics are disabled.
+  void add(double v = 1.0);
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* reg, std::size_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// Last-writer-wins gauge handle.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v);
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* reg, std::size_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// Fixed-bucket histogram handle.  A value lands in the first bucket whose
+/// upper edge is >= value (`le` semantics); values above the last edge
+/// land in the implicit overflow bucket.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v);
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(MetricsRegistry* reg, std::size_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::size_t id_ = 0;
+};
+
+/// Power-of-two bucket edges: first, first*2, ... up to and including the
+/// first value >= last.
+std::vector<double> pow2_edges(double first, double last);
+/// Decade bucket edges: first, first*10, ... up to >= last.
+std::vector<double> decade_edges(double first, double last);
+
+/// Scraped state of one histogram.
+struct HistogramSnapshot {
+  std::vector<double> edges;
+  std::vector<std::uint64_t> counts;  ///< edges.size() + 1 (overflow last)
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Merged view of every metric, in registration order per type.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every instrumentation site uses.
+  static MetricsRegistry& global();
+
+  /// Handle registration (idempotent by name; thread-safe).  Registering
+  /// an existing name returns the same underlying metric; a histogram
+  /// re-registered with different edges keeps the original edges.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name, std::vector<double> edges);
+
+  /// Merge every thread's shard (shard-creation order) into one snapshot.
+  MetricsSnapshot snapshot() const;
+
+  /// Human-readable export (one metric per line).
+  std::string to_text() const;
+  /// Machine-readable export: `{"metrics":[` one JSON object per line
+  /// `]}`.  Strict line format — `preload_from_json` parses it back.
+  std::string to_json() const;
+
+  /// Accumulate a previous run's `to_json()` output into a dedicated
+  /// preload shard, so the next export carries old + new totals (the
+  /// `--run-dir` resume path).  Unknown lines are skipped; returns the
+  /// number of metrics loaded.
+  std::size_t preload_from_json(const std::string& json);
+
+  /// Zero every shard's values (definitions and handles stay valid).
+  void reset_values();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct HistCells {
+    std::vector<std::uint64_t> counts;  // sized edges+1 on first touch
+    double sum = 0.0;
+    std::uint64_t count = 0;
+  };
+  /// One thread's private slice of every metric.  The owning thread locks
+  /// `mu` on every write; only the scraper ever contends.
+  struct Shard {
+    std::mutex mu;
+    std::vector<double> counters;
+    std::vector<double> gauge_vals;
+    std::vector<std::uint64_t> gauge_seq;
+    std::vector<HistCells> hists;
+  };
+
+  Shard& shard_for_this_thread();
+  Shard& preload_shard();
+
+  void counter_add(std::size_t id, double v);
+  void gauge_set(std::size_t id, double v);
+  void hist_observe(std::size_t id, double v);
+
+  const std::uint64_t uid_;  ///< distinguishes registries in thread caches
+
+  mutable std::mutex mu_;  ///< guards definitions and the shard list
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> hist_names_;
+  /// Deque: element addresses stay stable across registrations, so the
+  /// observe path can read edges without holding the registry lock.
+  std::deque<std::vector<double>> hist_edges_;
+  std::map<std::string, std::size_t> counter_ids_, gauge_ids_, hist_ids_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // scrape merges in this order
+  Shard* preload_shard_ = nullptr;              // owned via shards_
+
+  std::atomic<std::uint64_t> gauge_clock_{0};  ///< last-writer-wins ordering
+};
+
+}  // namespace tacos::obs

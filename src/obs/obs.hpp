@@ -1,0 +1,65 @@
+#pragma once
+/// \file obs.hpp
+/// \brief Front door of the instrumentation layer: flag parsing, artifact
+///        publication, and RunHealth -> metrics bridging.
+///
+/// Every entry point (tacos_cli and each bench main) owns one `ObsOptions`
+/// and feeds it its argv:
+///
+///   obs::ObsOptions obs;
+///   for (each arg) if (obs.parse_flag(arg)) continue;
+///   obs.finalize(run_dir, resume);   // default paths, enable, preload
+///   ... run ...
+///   obs.publish();                   // AtomicFile into --run-dir
+///
+/// `--metrics[=FILE]` and `--trace[=FILE]` are off by default; bare forms
+/// default to `metrics.json` / `trace.json` inside `--run-dir` (next to
+/// the journal) or the working directory without one.  On `--resume` the
+/// previous artifacts are preloaded once at startup, so `publish()` writes
+/// one continuous observability record per run directory no matter how
+/// many times the sweep was interrupted.  See docs/OBSERVABILITY.md.
+
+#include <string>
+
+#include "common/run_health.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tacos::obs {
+
+/// Per-process observability configuration, parsed from the command line.
+struct ObsOptions {
+  bool metrics = false;      ///< `--metrics` seen
+  bool trace = false;        ///< `--trace` seen
+  std::string metrics_path;  ///< explicit `=FILE`, else set by finalize()
+  std::string trace_path;
+
+  /// Consume one argv token; returns false when the flag isn't ours.
+  bool parse_flag(const std::string& arg);
+
+  /// Usage fragment for --help text.
+  static const char* usage() { return " [--metrics[=FILE]] [--trace[=FILE]]"; }
+
+  /// Resolve default paths (into `run_dir` when given), flip the global
+  /// enable switches, and — when `resume` is set — preload the previous
+  /// artifacts so the next publish() extends them.  Call exactly once,
+  /// after flag parsing and before any instrumented work.
+  void finalize(const std::string& run_dir = "", bool resume = false);
+
+  /// Atomically write the enabled artifacts.  Best-effort: failures are
+  /// reported on stderr, never thrown (publication must not turn a
+  /// finished sweep into a failed one).  Returns true when everything
+  /// requested was written.
+  bool publish() const;
+
+  bool any() const { return metrics || trace; }
+};
+
+/// Record a run's RunHealth counters into the global registry as
+/// `health.<field>` counters, so the metrics artifact carries the same
+/// ledger the console summary prints.  Call once per run with the final
+/// merged health (counters add — resumed runs accumulate across restarts
+/// via the preloaded artifact).
+void record_run_health(const RunHealth& h);
+
+}  // namespace tacos::obs

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/errors.hpp"
+#include "obs/trace.hpp"
 
 namespace tacos {
 
@@ -341,6 +342,9 @@ SolveResult ThermalModel::attempt_solve(const std::vector<double>& rhs,
 }
 
 ThermalResult ThermalModel::solve(const PowerMap& power) {
+  static obs::SpanSite solve_site("thermal.solve", "thermal");
+  obs::TraceSpan span(solve_site);
+
   SolveLedger& led = ledger();
   const std::size_t idx = led.solve_index++;
   std::vector<double> rhs = build_rhs(power);
@@ -362,7 +366,17 @@ ThermalResult ThermalModel::solve(const PowerMap& power) {
   // escalates exactly like non-convergence.
   const std::vector<double> pre_solve = temperatures_;
   std::string last_error;
+  // One span per ladder rung, so a trace shows exactly where the recovery
+  // budget went for a misbehaving task.
+  static obs::SpanSite rung_warm("thermal.rung.warm", "thermal");
+  static obs::SpanSite rung_cold("thermal.rung.cold", "thermal");
+  static obs::SpanSite rung_cap("thermal.rung.cap", "thermal");
+  static obs::SpanSite rung_gs("thermal.rung.gs", "thermal");
+  obs::SpanSite* const rung_sites[4] = {&rung_warm, &rung_cold, &rung_cap,
+                                        &rung_gs};
   const auto try_attempt = [&](int attempt) {
+    obs::TraceSpan rung(*rung_sites[attempt]);
+    rung.arg("solve", static_cast<std::int64_t>(idx));
     try {
       return attempt_solve(rhs, idx, attempt);
     } catch (const SolverError& e) {
@@ -402,6 +416,22 @@ ThermalResult ThermalModel::solve(const PowerMap& power) {
             : "recovery ladder exhausted; last solver error: " + last_error);
   }
   solved_ = true;
+  if (obs::metrics_enabled()) {
+    struct SolveMetrics {
+      obs::Counter solves =
+          obs::MetricsRegistry::global().counter("thermal.solves");
+      obs::Histogram iters = obs::MetricsRegistry::global().histogram(
+          "thermal.cg_iterations", obs::pow2_edges(1, 4096));
+      obs::Histogram resid = obs::MetricsRegistry::global().histogram(
+          "thermal.residual", obs::decade_edges(1e-12, 1.0));
+    };
+    static SolveMetrics m;
+    m.solves.add();
+    m.iters.observe(static_cast<double>(sr.iterations));
+    m.resid.observe(sr.residual_norm);
+  }
+  span.arg("solve", static_cast<std::int64_t>(idx));
+  span.arg("iters", static_cast<std::int64_t>(sr.iterations));
   return make_result(sr);
 }
 

@@ -28,6 +28,11 @@
 ///   --run-dir=DIR        journal completed batch tasks under DIR
 ///   --resume             replay DIR's journal instead of recomputing
 ///   --task-deadline=S    per-task wall-clock budget in seconds
+///   --metrics[=FILE]     write the metrics registry as JSON (defaults to
+///                        metrics.json inside --run-dir)
+///   --trace[=FILE]       write a Chrome trace_event JSON timeline
+///                        (defaults to trace.json inside --run-dir); see
+///                        docs/OBSERVABILITY.md
 ///
 /// SIGINT/SIGTERM trip the global cancel token: batch runs stop
 /// dispatching, drain in-flight tasks, flush the journal, and exit 75
@@ -48,6 +53,7 @@
 #include "common/thread_pool.hpp"
 #include "core/optimizer.hpp"
 #include "cost/cost_model.hpp"
+#include "obs/obs.hpp"
 
 using namespace tacos;
 
@@ -61,11 +67,15 @@ std::string g_run_dir;
 bool g_resume = false;
 double g_task_deadline_s = 0.0;
 
+/// Observability knobs from --metrics/--trace (docs/OBSERVABILITY.md).
+obs::ObsOptions g_obs;
+
 int usage() {
   std::cerr <<
       "usage: tacos_cli [--threads=N] [--fault-pcg-every=N]"
       " [--fault-pcg-rungs=K]\n"
-      "                 [--run-dir=DIR] [--resume] [--task-deadline=S]"
+      "                 [--run-dir=DIR] [--resume] [--task-deadline=S]\n"
+      "                 [--metrics[=FILE]] [--trace[=FILE]]"
       " <command> [args]\n"
       "  list\n"
       "  evaluate <bench> <n:1|4|16> <s1> <s2> <s3> <f_idx:0-4> <p>\n"
@@ -89,8 +99,10 @@ Evaluator make_evaluator() {
 }
 
 /// One-line health report after any command that ran the thermal stack.
+/// The counters also land in the metrics artifact when --metrics is on.
 void report_health(const Evaluator& eval) {
   std::cerr << eval.health().summary() << "\n";
+  obs::record_run_health(eval.health());
 }
 
 int cmd_list() {
@@ -289,6 +301,7 @@ int cmd_batch(const std::vector<std::string>& a) {
   t.print(title.str());
   std::cout << "\n-- CSV --\n" << t.to_csv();
   std::cerr << stats.health.summary() << "\n";
+  obs::record_run_health(stats.health);
   if (run_interrupted()) {
     std::cerr << "[run] interrupted";
     if (journal)
@@ -347,28 +360,39 @@ int main(int argc, char** argv) {
       g_resume = true;
     } else if (flag.rfind("--task-deadline=", 0) == 0) {
       g_task_deadline_s = std::stod(flag.substr(16));
+    } else if (g_obs.parse_flag(flag)) {
+      // consumed by the observability layer
     } else {
       return usage();
     }
     ++first;
   }
   if (argc - first < 1) return usage();
+  g_obs.finalize(g_run_dir, g_resume);
   install_signal_handlers();
   const std::string cmd = argv[first];
   std::vector<std::string> args(argv + first + 1, argv + argc);
+  int rc;
   try {
-    if (cmd == "list") return cmd_list();
-    if (cmd == "evaluate") return cmd_evaluate(args);
-    if (cmd == "baseline") return cmd_baseline(args);
-    if (cmd == "optimize") return cmd_optimize(args);
-    if (cmd == "sweep") return cmd_sweep(args);
-    if (cmd == "cost") return cmd_cost(args);
-    if (cmd == "batch") return cmd_batch(args);
-    return usage();
+    // Root span: every hot-path span nests under run.main, so per-phase
+    // self-times in the metrics artifact sum to ~the command's wall time.
+    static obs::SpanSite root_site("run.main", "run");
+    obs::TraceSpan root(root_site);
+    root.arg("cmd", cmd);
+    if (cmd == "list") rc = cmd_list();
+    else if (cmd == "evaluate") rc = cmd_evaluate(args);
+    else if (cmd == "baseline") rc = cmd_baseline(args);
+    else if (cmd == "optimize") rc = cmd_optimize(args);
+    else if (cmd == "sweep") rc = cmd_sweep(args);
+    else if (cmd == "cost") rc = cmd_cost(args);
+    else if (cmd == "batch") rc = cmd_batch(args);
+    else rc = usage();
   } catch (const std::exception& e) {
     // One structured line per failure, one exit code per error class, so
     // scripts can branch on the failure kind without parsing messages.
     std::cerr << diagnostic_line(e) << "\n";
-    return exit_code_for(e);
+    rc = exit_code_for(e);
   }
+  if (g_obs.any()) g_obs.publish();
+  return rc;
 }
