@@ -36,15 +36,25 @@ inline obs::ObsOptions& obs_options() {
 }
 
 /// Parse the optional grid-resolution argument plus the observability
-/// flags (`--metrics[=FILE]`, `--trace[=FILE]`).
+/// flags (`--metrics[=FILE]`, `--trace[=FILE]`) and the steady-state
+/// preconditioner override (`--precond={auto,jacobi,mg}`).
 inline ExperimentOptions options_from_args(int argc, char** argv,
                                            ExperimentOptions defaults = {}) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (obs_options().parse_flag(arg)) continue;
+    if (arg.rfind("--precond=", 0) == 0) {
+      if (!parse_precond_name(arg.substr(10), &defaults.precond)) {
+        std::cerr << "bad --precond value (want auto|jacobi|mg): " << arg
+                  << '\n';
+        std::exit(EXIT_FAILURE);
+      }
+      continue;
+    }
     if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag: " << arg << "\nusage: " << argv[0]
-                << " [grid]" << obs::ObsOptions::usage() << '\n';
+                << " [grid] [--precond=auto|jacobi|mg]"
+                << obs::ObsOptions::usage() << '\n';
       std::exit(EXIT_FAILURE);
     }
     defaults.grid = static_cast<std::size_t>(std::stoul(arg));
@@ -111,12 +121,18 @@ class Harness {
         resume = true;
       } else if (arg.rfind("--task-deadline=", 0) == 0) {
         opts_.run.task_deadline_s = std::stod(arg.substr(16));
+      } else if (arg.rfind("--precond=", 0) == 0) {
+        if (!parse_precond_name(arg.substr(10), &opts_.precond)) {
+          std::cerr << "bad --precond value (want auto|jacobi|mg): " << arg
+                    << '\n';
+          std::exit(EXIT_FAILURE);
+        }
       } else if (obs_options().parse_flag(arg)) {
         // consumed by the observability layer
       } else if (!arg.empty() && arg[0] == '-') {
         std::cerr << "unknown flag: " << arg << "\nusage: " << argv[0]
                   << " [grid] [--run-dir=DIR [--resume]]"
-                     " [--task-deadline=SECONDS]"
+                     " [--task-deadline=SECONDS] [--precond=auto|jacobi|mg]"
                   << obs::ObsOptions::usage() << '\n';
         std::exit(EXIT_FAILURE);
       } else {

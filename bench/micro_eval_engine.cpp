@@ -19,7 +19,9 @@
 /// the hardware gives — the JSON records hardware_concurrency so a reader
 /// can judge.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -113,6 +115,50 @@ E2eRun run_e2e(std::size_t grid, const std::vector<std::string>& names) {
   return out;
 }
 
+/// Preconditioner A/B at the paper's full 64x64 resolution: one cold
+/// solve of the 16-chiplet layout per preconditioner.  Demonstrates the
+/// multigrid iteration-count win (the acceptance target is >= 3x) and
+/// that both preconditioners land on the same temperatures.
+struct PrecondAB {
+  std::size_t grid = 64;
+  std::size_t jacobi_iters = 0;
+  std::size_t mg_iters = 0;
+  std::size_t mg_levels = 0;
+  double iters_ratio = 0.0;
+  double max_tile_diff_c = 0.0;
+  bool temps_match = false;
+};
+
+PrecondAB run_precond_ab(std::size_t grid) {
+  const ChipletLayout l = make_uniform_layout(4, 4.0);
+  const LayerStack stack = make_25d_stack();
+  const PowerMap p = uniform_power(l, 300.0);
+  PrecondAB out;
+  out.grid = grid;
+  std::vector<double> temps[2];
+  for (int k = 0; k < 2; ++k) {
+    ThermalConfig cfg;
+    cfg.grid_nx = cfg.grid_ny = grid;
+    cfg.solve.precond = k == 0 ? PrecondKind::kJacobi : PrecondKind::kMultigrid;
+    ThermalModel model(l, stack, cfg);  // fresh -> cold start
+    const SolveResult sr = model.solve(p).solve_info;
+    temps[k] = model.tile_temperatures();
+    if (k == 0) {
+      out.jacobi_iters = sr.iterations;
+    } else {
+      out.mg_iters = sr.iterations;
+      out.mg_levels = model.multigrid() ? model.multigrid()->level_count() : 0;
+    }
+  }
+  for (std::size_t i = 0; i < temps[0].size(); ++i)
+    out.max_tile_diff_c =
+        std::max(out.max_tile_diff_c, std::abs(temps[0][i] - temps[1][i]));
+  out.iters_ratio = static_cast<double>(out.jacobi_iters) /
+                    static_cast<double>(std::max<std::size_t>(1, out.mg_iters));
+  out.temps_match = out.max_tile_diff_c < 1e-4;
+  return out;
+}
+
 std::string json_map(const std::vector<std::size_t>& keys,
                      const std::vector<double>& vals) {
   std::ostringstream os;
@@ -185,6 +231,9 @@ int main(int argc, char** argv) {
   }
   ThreadPool::set_global_threads(hw);
 
+  std::cerr << "[micro_eval_engine] preconditioner A/B (grid 64)...\n";
+  const PrecondAB ab = run_precond_ab(64);
+
   const double speedup = e2e_walls.front() / e2e_walls.back();
   const double solver_speedup = solver_rates.back() / solver_rates.front();
 
@@ -213,6 +262,15 @@ int main(int argc, char** argv) {
      << "    \"speedup_max_vs_1\": " << fmt(speedup) << ",\n"
      << "    \"bit_identical\": " << (e2e_identical ? "true" : "false")
      << "\n  },\n"
+     << "  \"preconditioner\": {\n"
+     << "    \"grid\": " << ab.grid << ",\n"
+     << "    \"jacobi_iters\": " << ab.jacobi_iters << ",\n"
+     << "    \"mg_iters\": " << ab.mg_iters << ",\n"
+     << "    \"iters_ratio\": " << fmt(ab.iters_ratio) << ",\n"
+     << "    \"mg_levels\": " << ab.mg_levels << ",\n"
+     << "    \"max_tile_diff_c\": " << fmt(ab.max_tile_diff_c) << ",\n"
+     << "    \"temps_match\": " << (ab.temps_match ? "true" : "false")
+     << "\n  },\n"
      << "  \"health\": " << health.to_json() << "\n}\n";
   out_file.commit();
 
@@ -225,9 +283,14 @@ int main(int argc, char** argv) {
             << " s (" << fmt(speedup) << "x at " << counts.back()
             << " threads), bit_identical=" << (e2e_identical ? "yes" : "NO")
             << "\n"
+            << "preconditioner (grid " << ab.grid
+            << "): jacobi=" << ab.jacobi_iters << " iters, mg=" << ab.mg_iters
+            << " iters (" << fmt(ab.iters_ratio) << "x, " << ab.mg_levels
+            << " levels), temps_match=" << (ab.temps_match ? "yes" : "NO")
+            << "\n"
             << "wrote " << out_path << "\n";
   std::cerr << "[micro_eval_engine] " << health.summary() << "\n";
   obs::record_run_health(health);
   if (obs_opts.any()) obs_opts.publish();
-  return (solver_identical && e2e_identical) ? 0 : 1;
+  return (solver_identical && e2e_identical && ab.temps_match) ? 0 : 1;
 }

@@ -5,6 +5,9 @@
 /// exhaustive-search estimate is built on.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/leakage.hpp"
@@ -17,9 +20,13 @@ namespace {
 
 using namespace tacos;
 
+/// Preconditioner every benchmarked solve uses (--precond=auto|jacobi|mg).
+PrecondKind g_precond = PrecondKind::kAuto;
+
 ThermalConfig config_for(std::size_t n) {
   ThermalConfig c;
   c.grid_nx = c.grid_ny = n;
+  c.solve.precond = g_precond;
   return c;
 }
 
@@ -84,21 +91,99 @@ void BM_LeakageFixedPoint(benchmark::State& state) {
 }
 BENCHMARK(BM_LeakageFixedPoint)->Arg(24)->Arg(32);
 
+/// CI smoke check (--selftest[=GRID], default 64 — the paper's
+/// resolution): cold-solve the 16-chiplet layout with Jacobi and with
+/// multigrid, then assert that (a) both converge, (b) multigrid needs at
+/// least 3x fewer PCG iterations, and (c) the temperature fields agree to
+/// well within solver tolerance.  Returns a process exit code.
+int run_selftest(std::size_t grid) {
+  const ChipletLayout l = make_uniform_layout(4, 4.0);
+  const LayerStack stack = make_25d_stack();
+  const PowerMap p = uniform_power(l, 300.0);
+
+  struct Run {
+    PrecondKind kind;
+    SolveResult sr;
+    std::vector<double> tile_temps;
+  } runs[2] = {{PrecondKind::kJacobi, {}, {}},
+               {PrecondKind::kMultigrid, {}, {}}};
+  for (Run& r : runs) {
+    ThermalConfig cfg;
+    cfg.grid_nx = cfg.grid_ny = grid;
+    cfg.solve.precond = r.kind;
+    ThermalModel model(l, stack, cfg);  // fresh model -> cold start
+    r.sr = model.solve(p).solve_info;
+    r.tile_temps = model.tile_temperatures();
+  }
+
+  double max_diff_c = 0.0;
+  for (std::size_t i = 0; i < runs[0].tile_temps.size(); ++i)
+    max_diff_c = std::max(
+        max_diff_c, std::abs(runs[0].tile_temps[i] - runs[1].tile_temps[i]));
+  const double ratio =
+      static_cast<double>(runs[0].sr.iterations) /
+      static_cast<double>(std::max<std::size_t>(1, runs[1].sr.iterations));
+
+  std::printf(
+      "[selftest] grid=%zu jacobi_iters=%zu mg_iters=%zu ratio=%.2f "
+      "max_tile_diff_c=%.3g\n",
+      grid, runs[0].sr.iterations, runs[1].sr.iterations, ratio, max_diff_c);
+  bool ok = true;
+  if (!runs[0].sr.converged || !runs[1].sr.converged) {
+    std::fprintf(stderr, "[selftest] FAIL: a solve did not converge\n");
+    ok = false;
+  }
+  if (ratio < 3.0) {
+    std::fprintf(stderr,
+                 "[selftest] FAIL: multigrid iteration reduction %.2fx < 3x\n",
+                 ratio);
+    ok = false;
+  }
+  if (!(max_diff_c < 1e-4)) {
+    std::fprintf(stderr,
+                 "[selftest] FAIL: preconditioners disagree by %.3g C\n",
+                 max_diff_c);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 // Expanded BENCHMARK_MAIN: the observability flags (--metrics[=FILE],
-// --trace[=FILE]) are stripped before google-benchmark sees argv, and the
-// artifacts are published after the run — so the solver microbenchmarks
-// can be profiled with the same flags as every other bench main.
+// --trace[=FILE]) plus --precond= and --selftest[=GRID] are stripped
+// before google-benchmark sees argv, and the artifacts are published
+// after the run — so the solver microbenchmarks can be profiled with the
+// same flags as every other bench main.
 int main(int argc, char** argv) {
   tacos::obs::ObsOptions obs_opts;
+  bool selftest = false;
+  std::size_t selftest_grid = 64;
   std::vector<char*> kept;
   kept.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
-    if (!obs_opts.parse_flag(argv[i])) kept.push_back(argv[i]);
+    const std::string arg = argv[i];
+    if (arg.rfind("--precond=", 0) == 0) {
+      if (!tacos::parse_precond_name(arg.substr(10), &g_precond)) {
+        std::fprintf(stderr, "bad --precond value (want auto|jacobi|mg)\n");
+        return 1;
+      }
+    } else if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg.rfind("--selftest=", 0) == 0) {
+      selftest = true;
+      selftest_grid = std::stoul(arg.substr(11));
+    } else if (!obs_opts.parse_flag(argv[i])) {
+      kept.push_back(argv[i]);
+    }
+  }
+  obs_opts.finalize();
+  if (selftest) {
+    const int rc = run_selftest(selftest_grid);
+    if (obs_opts.any()) obs_opts.publish();
+    return rc;
   }
   int kept_argc = static_cast<int>(kept.size());
-  obs_opts.finalize();
   benchmark::Initialize(&kept_argc, kept.data());
   if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -34,29 +34,34 @@ int Evaluator::bench_index(const BenchmarkProfile& bench) const {
   return -1;  // unreachable
 }
 
-Evaluator::ModelEntry& Evaluator::model_for(const Organization& org) {
+std::shared_ptr<Evaluator::ModelEntry> Evaluator::model_for(
+    const Organization& org) {
   const LayoutKey key = LayoutKey::of(org);
   if (auto it = model_index_.find(key); it != model_index_.end()) {
     model_lru_.splice(model_lru_.begin(), model_lru_, it->second);
     return model_lru_.front().second;
   }
-  ModelEntry entry;
-  entry.layout = std::make_unique<ChipletLayout>(layout_for(org, config_.spec));
+  auto entry = std::make_shared<ModelEntry>();
+  entry->layout =
+      std::make_unique<ChipletLayout>(layout_for(org, config_.spec));
   const LayerStack stack =
       org.n_chiplets == 1 ? make_2d_stack() : make_25d_stack();
-  entry.model = std::make_unique<ThermalModel>(*entry.layout, stack,
-                                               config_.thermal);
+  entry->model =
+      std::make_unique<ThermalModel>(*entry->layout, stack, config_.thermal);
   // All models of this shard share one ledger: the fault plan's solve
   // clock keeps ticking across model-cache evictions, and the health
   // counters survive them.
-  entry.model->set_ledger(&ledger_);
-  model_lru_.emplace_front(key, std::move(entry));
+  entry->model->set_ledger(&ledger_);
+  model_lru_.emplace_front(key, entry);
   model_index_[key] = model_lru_.begin();
+  // Eviction only drops the cache's reference; the shared handle we are
+  // about to return keeps the new entry alive for the caller even when
+  // capacity is 0 and the entry is evicted immediately.
   while (model_lru_.size() > config_.model_cache_capacity) {
     model_index_.erase(model_lru_.back().first);
     model_lru_.pop_back();
   }
-  return model_lru_.front().second;
+  return entry;
 }
 
 double Evaluator::reference_power(const Organization& org,
@@ -88,7 +93,7 @@ const ThermalEval& Evaluator::thermal_eval(const Organization& org,
     span.arg("p", static_cast<std::int64_t>(org.active_cores));
   }
 
-  ModelEntry& entry = model_for(org);
+  const std::shared_ptr<ModelEntry> entry = model_for(org);
   const DvfsLevel& lvl = level_of(org);
   const std::vector<int> active =
       active_tiles(config_.policy, org.active_cores, config_.spec);
@@ -96,7 +101,7 @@ const ThermalEval& Evaluator::thermal_eval(const Organization& org,
   LeakageResult lr;
   try {
     lr = run_leakage_fixed_point(
-        *entry.model, *entry.layout, bench, lvl, active, config_.power,
+        *entry->model, *entry->layout, bench, lvl, active, config_.power,
         config_.leak_tol_c, config_.max_leak_iters,
         config_.thermal.solve.fault.leak_force_nonconverge);
   } catch (const Error& e) {
@@ -119,9 +124,15 @@ const ThermalEval& Evaluator::thermal_eval(const Organization& org,
   solve_count_ += ev.solves;
   ++eval_count_;
 
-  // Record in the monotone frontier.
-  frontier_[FrontierKey{key.layout, org.active_cores}].emplace_back(
-      reference_power(org, bench), ev.peak_c);
+  // Record in the monotone frontier — converged evaluations only.  An
+  // unconverged peak is the last iterate of an unsettled fixed point, not
+  // a trustworthy monotone bound; letting it into the frontier would have
+  // feasible() short-circuit later queries off a bad number.  (The memo
+  // above still records it, explicitly flagged via leak_converged.  A
+  // quarantined evaluation — EvalError above — records nothing at all.)
+  if (lr.converged)
+    frontier_[FrontierKey{key.layout, org.active_cores}].emplace_back(
+        reference_power(org, bench), ev.peak_c);
 
   return eval_memo_.emplace(key, ev).first->second;
 }

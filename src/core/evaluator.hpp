@@ -167,7 +167,12 @@ class Evaluator {
     std::unique_ptr<ThermalModel> model;
   };
 
-  ModelEntry& model_for(const Organization& org);
+  /// Fetch (or build) the model for `org`'s layout.  Returns a shared
+  /// handle: callers hold it across the whole solve, so an LRU eviction —
+  /// including the degenerate capacity-0 case, where the entry is evicted
+  /// on the very call that built it — can never destroy a model (and its
+  /// cached multigrid hierarchy) out from under an in-flight evaluation.
+  std::shared_ptr<ModelEntry> model_for(const Organization& org);
   int bench_index(const BenchmarkProfile& bench) const;
   /// Total power at the leakage reference temperature (frontier abscissa).
   double reference_power(const Organization& org,
@@ -176,9 +181,11 @@ class Evaluator {
   EvalConfig config_;
   double cost_2d_ = 0.0;
 
-  // LRU model cache.
-  std::list<std::pair<LayoutKey, ModelEntry>> model_lru_;
-  std::map<LayoutKey, std::list<std::pair<LayoutKey, ModelEntry>>::iterator>
+  // LRU model cache (shared_ptr entries: see model_for on eviction safety).
+  std::list<std::pair<LayoutKey, std::shared_ptr<ModelEntry>>> model_lru_;
+  std::map<LayoutKey,
+           std::list<std::pair<LayoutKey, std::shared_ptr<ModelEntry>>>::
+               iterator>
       model_index_;
 
   std::map<EvalKey, ThermalEval> eval_memo_;

@@ -27,6 +27,9 @@ struct ExperimentOptions {
   int starts = 10;             ///< greedy starting points (paper uses 10)
   double threshold_c = 85.0;   ///< temperature threshold (Eq. 6)
   std::uint64_t seed = 2018;
+  /// Steady-state PCG preconditioner (`--precond={auto,jacobi,mg}`): auto
+  /// picks multigrid above ThermalModel's size threshold.
+  PrecondKind precond = PrecondKind::kAuto;
   /// Durable-execution control (write-ahead journal, cancel token, per-task
   /// deadline); all off by default.  See docs/ROBUSTNESS.md.
   RunControl run;
@@ -37,6 +40,7 @@ struct ExperimentOptions {
     EvalConfig c;
     c.thermal.grid_nx = c.thermal.grid_ny = grid;
     c.thermal.solve.cancel = cancel;
+    c.thermal.solve.precond = precond;
     return c;
   }
   /// Optimizer options implied by these options.
@@ -58,7 +62,8 @@ struct ExperimentOptions {
     std::ostringstream os;
     os << "grid=" << grid << " w_step=" << w_step_mm
        << " opt_step=" << opt_step_mm << " starts=" << starts
-       << " threshold=" << threshold_c << " seed=" << seed;
+       << " threshold=" << threshold_c << " seed=" << seed
+       << " precond=" << precond_name(precond);
     return os.str();
   }
 };

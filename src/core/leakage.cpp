@@ -1,6 +1,7 @@
 #include "core/leakage.hpp"
 
 #include <cmath>
+#include <limits>
 #include <optional>
 
 #include "obs/trace.hpp"
@@ -30,7 +31,6 @@ LeakageResult run_leakage_fixed_point(ThermalModel& model,
 
   LeakageResult out;
   std::optional<std::vector<double>> temps;  // first pass at T_ref
-  double prev_peak = -1e300;
   for (int it = 0; it < max_iters; ++it) {
     obs::TraceSpan iter_span(iter_site);
     iter_span.arg("iter", static_cast<std::int64_t>(it));
@@ -48,17 +48,36 @@ LeakageResult run_leakage_fixed_point(ThermalModel& model,
     // genuine modeling bug.
     TACOS_CHECK(std::isfinite(res.peak_c),
                 "leakage fixed point produced a non-finite temperature");
-    if (!fault_nonconverge && std::abs(res.peak_c - prev_peak) < tol_c) {
+    // Convergence is judged on the *whole* tile-temperature field, not
+    // just the peak: when the leakage clamp saturates the hottest tiles
+    // their temperatures settle immediately while cooler secondary
+    // hotspots are still drifting, and a peak-only test declares victory
+    // with the off-peak field (and hence total power) still moving.
+    std::vector<double> new_temps = model.tile_temperatures();
+    double delta_c = std::numeric_limits<double>::infinity();
+    if (temps) {
+      delta_c = 0.0;
+      for (std::size_t i = 0; i < new_temps.size(); ++i)
+        delta_c = std::max(delta_c, std::abs(new_temps[i] - (*temps)[i]));
+    }
+    temps = std::move(new_temps);
+    if (!fault_nonconverge && delta_c < tol_c) {
       out.converged = true;
       record(out);
       span.arg("iters", static_cast<std::int64_t>(out.iterations));
       return out;
     }
-    prev_peak = res.peak_c;
-    temps = model.tile_temperatures();
   }
   // Ran out of iterations: report the last state, flagged unconverged.
+  // The power map the loop last solved with was built from the *previous*
+  // iterate's temperatures; rebuild it from the final field so peak_c and
+  // total_power_w describe the same state.
   out.converged = false;
+  {
+    obs::TraceSpan pmap_span(pmap_site);
+    out.total_power_w =
+        build_power_map(layout, bench, lvl, active, temps, params).total();
+  }
   record(out);
   span.arg("iters", static_cast<std::int64_t>(out.iterations));
   span.arg("converged", "false");

@@ -34,10 +34,14 @@ struct LeakageResult {
 
 /// Run the leakage fixed point for `bench` at DVFS level `lvl` with the
 /// given active tiles on `model` (which must be built for `layout`).
-/// `tol_c` is the peak-temperature convergence tolerance.  Running out of
-/// iterations is not an error: the last state is returned with
-/// `converged == false`, and callers (Evaluator) surface it through
-/// ThermalEval::leak_converged and RunHealth instead of hiding it.
+/// `tol_c` bounds the max-norm of the tile-temperature change between
+/// consecutive iterations — the whole field must settle, not just the
+/// peak (a clamped peak goes quiet while secondary hotspots still drift).
+/// Running out of iterations is not an error: the last state is returned
+/// with `converged == false` and `total_power_w` recomputed from the
+/// final temperatures (self-consistent with `peak_c`), and callers
+/// (Evaluator) surface it through ThermalEval::leak_converged and
+/// RunHealth instead of hiding it.
 /// `fault_nonconverge` (FaultPlan::leak_force_nonconverge) skips the
 /// convergence test so the non-convergence path is testable on demand.
 LeakageResult run_leakage_fixed_point(ThermalModel& model,

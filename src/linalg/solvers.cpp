@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "common/check.hpp"
 #include "common/errors.hpp"
-#include "common/thread_pool.hpp"
+#include "linalg/chunked.hpp"
+#include "obs/metrics.hpp"
 
 namespace tacos {
 
@@ -15,59 +17,41 @@ double norm2(const std::vector<double>& v) {
   return std::sqrt(acc);
 }
 
+JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& A) {
+  const std::vector<double> diag = A.diagonal();
+  inv_diag_.resize(diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) {
+    if (diag[i] <= 0.0)
+      throw SolverError("pcg", 0, 0.0,
+                        "non-positive diagonal at row " + std::to_string(i) +
+                            " — matrix not SPD-assembled");
+    inv_diag_[i] = 1.0 / diag[i];
+  }
+}
+
+double JacobiPreconditioner::apply_dot(const std::vector<double>& r,
+                                       std::vector<double>& z) {
+  const std::size_t n = inv_diag_.size();
+  return reduce_chunks(n, chunk_pool(n), partials_,
+                       [&](std::size_t lo, std::size_t hi) {
+                         double acc = 0.0;
+                         for (std::size_t i = lo; i < hi; ++i) {
+                           z[i] = inv_diag_[i] * r[i];
+                           acc += r[i] * z[i];
+                         }
+                         return acc;
+                       });
+}
+
 namespace {
 
-/// Reduction chunk size (rows).  Chunk boundaries — and therefore the
-/// floating-point summation order — depend only on this constant and the
-/// problem size, never on the thread count, so every reduction below is
-/// bit-identical at 1, 2, or N threads.
-constexpr std::size_t kChunkRows = 2048;
-
-/// Row count below which the kernels skip the pool entirely (the serial
-/// path uses the same chunk boundaries, so results do not change — only
-/// the dispatch overhead is avoided).  Thermal systems at grid 32+ are
-/// above this; the small test matrices are below it.
-constexpr std::size_t kParallelMinRows = 8192;
-
-/// Runs `body(lo, hi)` over every kChunkRows-sized chunk of [0, n), on
-/// `pool` when given (nullptr = serial).  `body` must be data-parallel
-/// across chunks (each chunk touches only its own rows / partial slot).
-template <typename Body>
-void for_chunks(std::size_t n, ThreadPool* pool, Body&& body) {
-  if (pool) {
-    pool->parallel_for(n, kChunkRows, body);
-  } else {
-    for (std::size_t lo = 0; lo < n; lo += kChunkRows)
-      body(lo, std::min(n, lo + kChunkRows));
-  }
-}
-
-/// Deterministic reduction: `chunk_fn(lo, hi)` returns one partial sum per
-/// chunk; partials are combined sequentially in chunk order.
-template <typename ChunkFn>
-double reduce_chunks(std::size_t n, ThreadPool* pool,
-                     std::vector<double>& partials, ChunkFn&& chunk_fn) {
-  const std::size_t n_chunks = (n + kChunkRows - 1) / kChunkRows;
-  partials.assign(n_chunks, 0.0);
-  for_chunks(n, pool, [&](std::size_t lo, std::size_t hi) {
-    partials[lo / kChunkRows] = chunk_fn(lo, hi);
-  });
-  double acc = 0.0;
-  for (double v : partials) acc += v;
-  return acc;
-}
-
-/// Row range of a sparse matrix-vector product: y[lo..hi) = (A x)[lo..hi).
-inline void spmv_rows(const CsrMatrix& A, const std::vector<double>& x,
-                      std::vector<double>& y, std::size_t lo, std::size_t hi) {
-  const auto& rp = A.row_ptr();
-  const auto& ci = A.col_idx();
-  const auto& va = A.values();
-  for (std::size_t i = lo; i < hi; ++i) {
-    double acc = 0.0;
-    for (std::size_t k = rp[i]; k < rp[i + 1]; ++k) acc += va[k] * x[ci[k]];
-    y[i] = acc;
-  }
+/// One histogram across every PCG invocation: the preconditioner A/B
+/// story (`--precond=jacobi|mg`) reads directly off this distribution.
+void record_pcg_iterations(const SolveResult& res) {
+  if (!obs::metrics_enabled()) return;
+  static obs::Histogram iters = obs::MetricsRegistry::global().histogram(
+      "pcg.iterations", obs::pow2_edges(1, 4096));
+  iters.observe(static_cast<double>(res.iterations));
 }
 
 }  // namespace
@@ -81,19 +65,16 @@ SolveResult solve_pcg(const CsrMatrix& A, const std::vector<double>& b,
                                          std::to_string(b.size()) + ", x " +
                                          std::to_string(x.size()));
 
-  ThreadPool& global_pool = ThreadPool::global();
-  ThreadPool* const par =
-      (n >= kParallelMinRows && global_pool.thread_count() > 1) ? &global_pool
-                                                                : nullptr;
+  ThreadPool* const par = chunk_pool(n);
 
-  const std::vector<double> diag = A.diagonal();
-  std::vector<double> inv_diag(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (diag[i] <= 0.0)
-      throw SolverError("pcg", 0, 0.0,
-                        "non-positive diagonal at row " + std::to_string(i) +
-                            " — matrix not SPD-assembled");
-    inv_diag[i] = 1.0 / diag[i];
+  // The preconditioner: injected (ThermalModel's multigrid hierarchy) or
+  // the built-in Jacobi fallback.  Jacobi reproduces the historical fused
+  // D⁻¹-apply pass exactly, so existing results are bit-identical.
+  std::unique_ptr<JacobiPreconditioner> own_jacobi;
+  Preconditioner* precond = opts.preconditioner;
+  if (!precond) {
+    own_jacobi = std::make_unique<JacobiPreconditioner>(A);
+    precond = own_jacobi.get();
   }
 
   std::vector<double> r(n), z(n), p(n), Ap(n);
@@ -124,19 +105,12 @@ SolveResult solve_pcg(const CsrMatrix& A, const std::vector<double>& b,
   if (r_norm <= threshold) {
     res.converged = true;
     res.residual_norm = b_norm > 0 ? r_norm / b_norm : r_norm;
+    record_pcg_iterations(res);
     return res;
   }
 
-  // z = M^{-1} r and rz = r·z, fused.
-  double rz =
-      reduce_chunks(n, par, partials, [&](std::size_t lo, std::size_t hi) {
-        double acc = 0.0;
-        for (std::size_t i = lo; i < hi; ++i) {
-          z[i] = inv_diag[i] * r[i];
-          acc += r[i] * z[i];
-        }
-        return acc;
-      });
+  // z = M^{-1} r with rz = r·z fused inside the preconditioner apply.
+  double rz = precond->apply_dot(r, z);
   p = z;
 
   for (std::size_t it = 1; it <= opts.max_iterations; ++it) {
@@ -173,19 +147,12 @@ SolveResult solve_pcg(const CsrMatrix& A, const std::vector<double>& b,
       res.converged = true;
       res.iterations = it;
       res.residual_norm = b_norm > 0 ? r_norm / b_norm : r_norm;
+      record_pcg_iterations(res);
       return res;
     }
 
-    // z = M^{-1} r and rz_new = r·z, fused.
-    const double rz_new =
-        reduce_chunks(n, par, partials, [&](std::size_t lo, std::size_t hi) {
-          double acc = 0.0;
-          for (std::size_t i = lo; i < hi; ++i) {
-            z[i] = inv_diag[i] * r[i];
-            acc += r[i] * z[i];
-          }
-          return acc;
-        });
+    // z = M^{-1} r with rz_new = r·z fused inside the preconditioner apply.
+    const double rz_new = precond->apply_dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
     for_chunks(n, par, [&](std::size_t lo, std::size_t hi) {
@@ -195,6 +162,7 @@ SolveResult solve_pcg(const CsrMatrix& A, const std::vector<double>& b,
   res.converged = false;
   res.iterations = opts.max_iterations;
   res.residual_norm = b_norm > 0 ? r_norm / b_norm : r_norm;
+  record_pcg_iterations(res);
   return res;
 }
 

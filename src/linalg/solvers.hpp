@@ -2,22 +2,27 @@
 /// \file solvers.hpp
 /// \brief Iterative linear solvers for the SPD thermal conductance system.
 ///
-/// The production path is a Jacobi-preconditioned conjugate-gradient
-/// solver; Gauss-Seidel is kept as an independent reference implementation
-/// used by the test suite to cross-check CG on small systems.  Both solvers
-/// support warm starts, which the sweep harnesses exploit heavily (adjacent
-/// sweep points have nearly identical temperature fields).
+/// The production path is a preconditioned conjugate-gradient solver with
+/// a pluggable SPD preconditioner: Jacobi by default, or the geometric
+/// multigrid V-cycle (linalg/multigrid.hpp) that ThermalModel injects for
+/// large systems.  Gauss-Seidel is kept as an independent reference
+/// implementation used by the test suite to cross-check CG on small
+/// systems.  Both solvers support warm starts, which the sweep harnesses
+/// exploit heavily (adjacent sweep points have nearly identical
+/// temperature fields).
 ///
 /// Performance & determinism
 /// -------------------------
 /// PCG is the evaluation engine's hot path.  Its vector passes are fused
-/// (SpMV with p·Ap, the x/r axpy pair with ||r||², the Jacobi apply with
-/// r·z) to cut memory traffic, and large systems row-partition the SpMV
-/// across the global ThreadPool.  Every reduction is computed as fixed-
-/// size per-chunk partials combined in chunk order, so solve results are
-/// **bit-identical regardless of thread count** — the determinism the
-/// parallel optimizer runs rely on (see docs/PERFORMANCE.md).
+/// (SpMV with p·Ap, the x/r axpy pair with ||r||², the preconditioner
+/// apply with r·z) to cut memory traffic, and large systems row-partition
+/// the SpMV across the global ThreadPool.  Every reduction is computed as
+/// fixed-size per-chunk partials combined in chunk order (linalg/
+/// chunked.hpp), so solve results are **bit-identical regardless of
+/// thread count** — the determinism the parallel optimizer runs rely on
+/// (see docs/PERFORMANCE.md).
 
+#include <string>
 #include <vector>
 
 #include "common/cancel.hpp"
@@ -25,6 +30,66 @@
 #include "linalg/csr.hpp"
 
 namespace tacos {
+
+/// Pluggable SPD preconditioner for solve_pcg.  Implementations must be
+/// symmetric positive definite as operators (CG requires it) and must use
+/// the deterministic chunked kernels for any parallel work so solves stay
+/// bit-identical at every thread count.  An instance serves one matrix and
+/// one solve at a time (internal workspaces are not thread-safe); sharing
+/// across sequential solves on the same matrix is the intended use.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  /// z = M⁻¹ r, returning r·z computed with the chunk-ordered reduction.
+  /// r and z are sized to the system; z is overwritten (no initial-guess
+  /// semantics).
+  virtual double apply_dot(const std::vector<double>& r,
+                           std::vector<double>& z) = 0;
+  /// Short identifier for diagnostics ("jacobi", "mg").
+  virtual const char* name() const = 0;
+};
+
+/// The default preconditioner: z = D⁻¹ r fused with the r·z reduction in
+/// a single vector pass.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  /// Throws SolverError if any diagonal entry is non-positive (the matrix
+  /// is then not SPD-assembled).
+  explicit JacobiPreconditioner(const CsrMatrix& A);
+  double apply_dot(const std::vector<double>& r,
+                   std::vector<double>& z) override;
+  const char* name() const override { return "jacobi"; }
+
+ private:
+  std::vector<double> inv_diag_;
+  std::vector<double> partials_;
+};
+
+/// Preconditioner selection, carried through the one config path
+/// (SolveOptions → ThermalConfig → EvalConfig) so `--precond=jacobi|mg`
+/// reaches every layer.  kAuto lets the owner of the system choose:
+/// ThermalModel picks multigrid above a size threshold and Jacobi below
+/// it.  solve_pcg itself never consults this field — it only looks at
+/// SolveOptions::preconditioner.
+enum class PrecondKind { kAuto, kJacobi, kMultigrid };
+
+/// Flag-value parsing for --precond= ("auto", "jacobi", "mg").
+inline bool parse_precond_name(const std::string& s, PrecondKind* out) {
+  if (s == "auto") *out = PrecondKind::kAuto;
+  else if (s == "jacobi") *out = PrecondKind::kJacobi;
+  else if (s == "mg") *out = PrecondKind::kMultigrid;
+  else return false;
+  return true;
+}
+
+inline const char* precond_name(PrecondKind k) {
+  switch (k) {
+    case PrecondKind::kJacobi: return "jacobi";
+    case PrecondKind::kMultigrid: return "mg";
+    case PrecondKind::kAuto: break;
+  }
+  return "auto";
+}
 
 /// Outcome of an iterative solve.
 struct SolveResult {
@@ -52,6 +117,15 @@ struct SolveOptions {
   /// CancelledError — the hook that bounds a batch task's wall time at
   /// solver granularity.  Rides the same config path as `fault`.
   const CancelToken* cancel = nullptr;
+  /// Preconditioner *selection* riding the config path (see PrecondKind).
+  /// Resolved by ThermalModel, not by solve_pcg.
+  PrecondKind precond = PrecondKind::kAuto;
+  /// Externally-owned preconditioner instance for solve_pcg (nullptr =
+  /// build a Jacobi preconditioner internally).  Not owned; must outlive
+  /// the solve and match the matrix being solved — ThermalModel injects
+  /// its cached multigrid hierarchy here for steady-state solves only
+  /// (the transient matrix G + C/dt has a different operator).
+  Preconditioner* preconditioner = nullptr;
 };
 
 /// Jacobi-preconditioned conjugate gradient for SPD systems.

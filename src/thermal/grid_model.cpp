@@ -27,6 +27,13 @@ double convection_conductance(double h, double area_mm2) {
 /// Iteration-cap multiplier for the recovery ladder's raised-cap retry.
 constexpr std::size_t kCapRaiseFactor = 4;
 
+/// System size (unknowns) at which PrecondKind::kAuto selects the
+/// multigrid preconditioner for steady-state solves.  Grid 32 at the
+/// paper's layer stacks (32·32·8 + 12 = 8204 unknowns) is the smallest
+/// production configuration and engages multigrid; the tiny grids the
+/// unit tests use stay on Jacobi, whose setup is essentially free.
+constexpr std::size_t kMultigridAutoThreshold = 8192;
+
 }  // namespace
 
 ThermalModel::ThermalModel(const ChipletLayout& layout, const LayerStack& stack,
@@ -322,6 +329,31 @@ ThermalResult ThermalModel::make_result(const SolveResult& sr) const {
   return out;
 }
 
+PrecondKind ThermalModel::steady_precond() const {
+  switch (config_.solve.precond) {
+    case PrecondKind::kJacobi: return PrecondKind::kJacobi;
+    case PrecondKind::kMultigrid: return PrecondKind::kMultigrid;
+    case PrecondKind::kAuto: break;
+  }
+  return matrix_.rows() >= kMultigridAutoThreshold ? PrecondKind::kMultigrid
+                                                   : PrecondKind::kJacobi;
+}
+
+MultigridPreconditioner* ThermalModel::multigrid_for_solve() {
+  if (!mg_) {
+    static obs::SpanSite build_site("thermal.mg.build", "thermal");
+    obs::TraceSpan span(build_site);
+    const MultigridGeometry geom{grid_.nx(), grid_.ny(), n_layers_,
+                                 matrix_.rows() - n_grid_nodes_};
+    mg_ = std::make_unique<MultigridPreconditioner>(matrix_, geom);
+    span.arg("levels", static_cast<std::int64_t>(mg_->level_count()));
+    span.arg("rows", static_cast<std::int64_t>(matrix_.rows()));
+    span.arg("coarse_rows", static_cast<std::int64_t>(
+                                mg_->unknowns(mg_->level_count() - 1)));
+  }
+  return mg_.get();
+}
+
 SolveResult ThermalModel::attempt_solve(const std::vector<double>& rhs,
                                         std::size_t solve_index, int attempt) {
   SolveOptions opts = config_.solve;
@@ -334,6 +366,10 @@ SolveResult ThermalModel::attempt_solve(const std::vector<double>& rhs,
     opts.max_iterations = std::min<std::size_t>(opts.max_iterations, 2);
     opts.rel_tolerance = 0.0;
   }
+  // The multigrid hierarchy matches `matrix_`, so steady-state PCG rungs
+  // inject it; the Gauss-Seidel rung (attempt 3) has no preconditioner.
+  if (attempt != 3 && steady_precond() == PrecondKind::kMultigrid)
+    opts.preconditioner = multigrid_for_solve();
   SolveResult sr = attempt == 3
                        ? solve_gauss_seidel(matrix_, rhs, temperatures_, opts)
                        : solve_pcg(matrix_, rhs, temperatures_, opts);
@@ -475,6 +511,11 @@ ThermalResult ThermalModel::step_transient(const PowerMap& power,
   const std::vector<double> pre_step = temperatures_;
   SolveResult sr;
   try {
+    // Transient steps always use the built-in Jacobi preconditioner: the
+    // multigrid hierarchy is built for G, not for G + C/dt, and injecting
+    // a mismatched hierarchy would break CG.  config_.solve carries a null
+    // `preconditioner`, so no injection happens here even under
+    // --precond=mg (which governs steady-state solves only).
     sr = solve_pcg(transient_matrix_, rhs, temperatures_, config_.solve);
   } catch (const CancelledError&) {
     temperatures_ = pre_step;  // cancelled mid-step: keep history intact

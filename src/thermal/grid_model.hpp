@@ -30,12 +30,14 @@
 /// start from the previous temperature field.
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/run_health.hpp"
 #include "floorplan/layout.hpp"
 #include "geom/grid.hpp"
 #include "linalg/csr.hpp"
+#include "linalg/multigrid.hpp"
 #include "linalg/solvers.hpp"
 #include "materials/stack.hpp"
 #include "thermal/power_map.hpp"
@@ -131,6 +133,18 @@ class ThermalModel {
   /// Total thermal capacitance of the package (J/K) — for tests.
   double total_capacitance() const;
 
+  /// The preconditioner steady-state solves will use, with kAuto resolved:
+  /// config.solve.precond if explicit, otherwise multigrid above a size
+  /// threshold and Jacobi below it.  Transient steps always use Jacobi
+  /// (the stepping matrix G + C/dt is a different operator than the
+  /// hierarchy was built for).
+  PrecondKind steady_precond() const;
+
+  /// The lazily-built multigrid hierarchy, or nullptr if no steady-state
+  /// solve has needed it yet.  Cached for the model's lifetime — the
+  /// Evaluator's model LRU therefore caches hierarchy and model together.
+  const MultigridPreconditioner* multigrid() const { return mg_.get(); }
+
  private:
   std::size_t node(std::size_t layer, std::size_t ix, std::size_t iy) const {
     return layer * grid_.cell_count() + grid_.index(ix, iy);
@@ -143,6 +157,9 @@ class ThermalModel {
   /// plan's forced failures for (solve_index, attempt).
   SolveResult attempt_solve(const std::vector<double>& rhs,
                             std::size_t solve_index, int attempt);
+
+  /// Build (once) and return the multigrid hierarchy for steady solves.
+  MultigridPreconditioner* multigrid_for_solve();
 
   GridSpec grid_;
   ThermalConfig config_;
@@ -169,6 +186,7 @@ class ThermalModel {
   std::vector<std::vector<std::pair<std::size_t, double>>> tile_cells_;
   std::vector<std::vector<std::pair<std::size_t, double>>> chiplet_cells_;
   bool solved_ = false;
+  std::unique_ptr<MultigridPreconditioner> mg_;  ///< lazy; steady-state only
   SolveLedger* ledger_ = nullptr;  ///< external accounting (Evaluator shard)
   SolveLedger own_ledger_;         ///< fallback for standalone models
 };

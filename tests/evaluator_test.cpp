@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/errors.hpp"
 #include "core/evaluator.hpp"
 
 namespace tacos {
@@ -135,6 +136,73 @@ TEST(Evaluator, ModelCacheEvictionStaysCorrect) {
   eval.thermal_eval(c, cholesky());  // evicts a's model
   // Memoized result still served without rebuilding.
   EXPECT_DOUBLE_EQ(eval.thermal_eval(a, cholesky()).peak_c, pa);
+}
+
+TEST(Evaluator, ModelCacheCapacityZeroAndOneMatchLargeCache) {
+  // Regression for the capacity-0 use-after-free: eviction used to destroy
+  // the ModelEntry the in-flight evaluation was still solving on (at
+  // capacity 0 the entry was evicted on the very call that built it).
+  // With shared handles every capacity must work and agree.
+  const Organization orgs[] = {
+      {16, {0.5, 0.25, 0.5}, 0, 128},
+      {16, {0.5, 0.25, 0.5}, 2, 128},  // same layout, different level
+      {4, {0, 0, 2.0}, 0, 192},
+  };
+  std::vector<double> peaks[3];
+  const std::size_t capacities[] = {0, 1, 48};
+  for (int v = 0; v < 3; ++v) {
+    EvalConfig cfg = fast_config(12);
+    cfg.model_cache_capacity = capacities[v];
+    Evaluator eval(cfg);
+    for (const Organization& org : orgs)
+      peaks[v].push_back(eval.thermal_eval(org, cholesky()).peak_c);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    // Cache capacity only changes whether a model (and its warm-start
+    // field) is rebuilt, so results agree to solver tolerance.
+    EXPECT_NEAR(peaks[0][i], peaks[2][i], 1e-5) << "org " << i;
+    EXPECT_NEAR(peaks[1][i], peaks[2][i], 1e-5) << "org " << i;
+  }
+}
+
+TEST(Evaluator, QuarantinedEvaluationRecordsNothing) {
+  // A solve whose recovery ladder is exhausted surfaces as EvalError; the
+  // failed evaluation must leave no memo, frontier, or eval-count trace —
+  // a later query of the same organization simulates from scratch.
+  EvalConfig cfg = fast_config(12);
+  cfg.thermal.solve.fault.pcg_fail_at = 0;  // first solve fails every rung
+  cfg.thermal.solve.fault.pcg_fail_rungs = 4;
+  Evaluator eval(cfg);
+  const Organization org{16, {1.0, 0.5, 1.0}, 0, 128};
+  EXPECT_THROW(eval.thermal_eval(org, cholesky()), EvalError);
+  EXPECT_EQ(eval.eval_count(), 0u);
+  EXPECT_EQ(eval.health().solve_failures, 1u);
+  // The fault targeted solve index 0 only; the retry simulates cleanly
+  // (nothing poisoned was served from a cache).
+  const ThermalEval& ev = eval.thermal_eval(org, cholesky());
+  EXPECT_TRUE(ev.leak_converged);
+  EXPECT_EQ(eval.eval_count(), 1u);
+  EXPECT_GT(ev.peak_c, 25.0);
+}
+
+TEST(Evaluator, UnconvergedLeakageStaysOutOfTheFrontier) {
+  // An unconverged fixed point's peak is the last iterate of an unsettled
+  // loop, not a monotone bound: it must not let feasible() short-circuit
+  // later queries.  (The memo still serves it, flagged.)
+  EvalConfig cfg = fast_config(12);
+  cfg.thermal.solve.fault.leak_force_nonconverge = true;
+  Evaluator eval(cfg);
+  const Organization hot{16, {0.5, 0.25, 0.5}, 0, 256};
+  const Organization cool{16, {0.5, 0.25, 0.5}, 4, 256};
+  const ThermalEval& ev = eval.thermal_eval(hot, cholesky());
+  EXPECT_FALSE(ev.leak_converged);
+  EXPECT_GE(eval.health().leak_nonconverged, 1u);
+  // With a trustworthy frontier entry this query would be answered with
+  // no simulation (see FrontierAvoidsRedundantSimulations); here it must
+  // fall through to an exact evaluation.
+  const std::size_t evals = eval.eval_count();
+  eval.feasible(cool, cholesky(), ev.peak_c + 10.0);
+  EXPECT_EQ(eval.eval_count(), evals + 1);
 }
 
 }  // namespace

@@ -76,7 +76,12 @@ TEST(LayerBlocks, ChipletLayerTilesFullDomain) {
 class HotspotExportTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "tacos_hotspot_test";
+    // Unique per test: ctest runs each TEST_F as its own process in
+    // parallel, and a shared directory would let one test's TearDown
+    // delete files another test is still writing.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("tacos_hotspot_test_") + info->name());
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <optional>
+
 #include "core/leakage.hpp"
 #include "materials/stack.hpp"
 
@@ -87,6 +91,80 @@ TEST(LeakageLoop, ToleranceControlsIterationCount) {
       m2, l, bench, kDvfsLevels[0], all_tiles(), PowerModelParams{}, 0.001);
   EXPECT_LE(loose.iterations, tight.iterations);
   EXPECT_NEAR(loose.peak_c, tight.peak_c, 1.5);
+}
+
+TEST(LeakageLoop, ConvergenceTracksWholeFieldNotJustPeak) {
+  // Regression for the peak-only convergence bug: a dense cluster pushed
+  // past the 150 °C leakage clamp goes quiet immediately (clamped leakage
+  // no longer responds to temperature), while a sparse cooler cluster is
+  // still drifting.  Judging convergence on the peak alone stops while
+  // the off-peak field — and hence total power — is still moving.
+  ThermalConfig cfg = coarse(16);
+  cfg.package.h_convection = 250.0;  // poor cooling → clamped hot cluster
+  const ChipletLayout l = make_uniform_layout(4, 0.0);
+  const BenchmarkProfile& bench = benchmark_by_name("shock");
+  const DvfsLevel& lvl = kDvfsLevels[0];
+  // Dense 8×8 tile block in one corner plus a sparse 4×4-spaced set in
+  // the opposite corner.
+  std::vector<int> active;
+  for (int ty = 0; ty < 8; ++ty)
+    for (int tx = 0; tx < 8; ++tx) active.push_back(ty * 16 + tx);
+  for (int ty = 8; ty < 16; ty += 4)
+    for (int tx = 8; tx < 16; tx += 4) active.push_back(ty * 16 + tx);
+  const double tol_c = 0.05;
+
+  // Replay the fixed point by hand, recording when the peak alone would
+  // have declared convergence vs. when the whole tile field settles.
+  ThermalModel probe(l, make_25d_stack(), cfg);
+  std::optional<std::vector<double>> temps;
+  double prev_peak = std::numeric_limits<double>::infinity();
+  int peak_settled_at = 0, field_settled_at = 0;
+  for (int it = 1; it <= 12 && field_settled_at == 0; ++it) {
+    const PowerMap pmap = build_power_map(l, bench, lvl, active, temps);
+    const double peak = probe.solve(pmap).peak_c;
+    std::vector<double> now = probe.tile_temperatures();
+    double field_delta = std::numeric_limits<double>::infinity();
+    if (temps) {
+      field_delta = 0.0;
+      for (std::size_t i = 0; i < now.size(); ++i)
+        field_delta = std::max(field_delta, std::abs(now[i] - (*temps)[i]));
+    }
+    if (peak_settled_at == 0 && std::abs(peak - prev_peak) < tol_c)
+      peak_settled_at = it;
+    if (field_settled_at == 0 && field_delta < tol_c) field_settled_at = it;
+    prev_peak = peak;
+    temps = std::move(now);
+  }
+  ASSERT_GT(peak_settled_at, 0) << "scenario never clamps the peak";
+  ASSERT_GT(field_settled_at, 0);
+  // The scenario separates the two criteria: the clamped peak settles
+  // while secondary hotspots are still moving by more than tol_c.
+  EXPECT_GT(field_settled_at, peak_settled_at);
+
+  // The production loop must use the whole-field criterion.
+  ThermalModel model(l, make_25d_stack(), cfg);
+  const LeakageResult r = run_leakage_fixed_point(
+      model, l, bench, lvl, active, PowerModelParams{}, tol_c);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, field_settled_at);
+  EXPECT_GT(r.iterations, peak_settled_at);
+}
+
+TEST(LeakageLoop, UnconvergedReturnIsSelfConsistent) {
+  // When the iteration budget runs out, the reported total power must be
+  // rebuilt from the *final* temperature field — not the stale map built
+  // from the previous iterate that the last solve consumed.
+  const ChipletLayout l = make_uniform_layout(4, 4.0);
+  const BenchmarkProfile& bench = benchmark_by_name("cholesky");
+  ThermalModel model(l, make_25d_stack(), coarse(16));
+  const LeakageResult r = run_leakage_fixed_point(
+      model, l, bench, kDvfsLevels[0], all_tiles(), PowerModelParams{},
+      0.05, 4, /*fault_nonconverge=*/true);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 4);
+  const PowerMap from_final = build_power_map(
+      l, bench, kDvfsLevels[0], all_tiles(), model.tile_temperatures());
+  EXPECT_DOUBLE_EQ(r.total_power_w, from_final.total());
 }
 
 TEST(LeakageLoop, RejectsBadIterationBudget) {

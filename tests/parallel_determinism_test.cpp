@@ -35,24 +35,26 @@ PowerMap uniform_power(const ChipletLayout& l, double total_w) {
   return p;
 }
 
-/// Cold-start solve at `threads` pool threads; returns the exact tile
-/// temperatures.  Grid 40 → ~12.8k unknowns, above the solver's parallel
-/// threshold, so the row-partitioned kernels actually engage.
-std::vector<double> solve_at(std::size_t threads) {
+/// Cold-start solve at `threads` pool threads with an explicit
+/// preconditioner choice; returns the exact tile temperatures.  Grid 40 →
+/// ~12.8k unknowns, above the solver's parallel threshold, so the
+/// row-partitioned kernels actually engage (and, for kMultigrid, the
+/// V-cycle's chunked smoothing runs on the pool too).
+std::vector<double> solve_at(std::size_t threads, PrecondKind precond) {
   ThreadPool::set_global_threads(threads);
   const ChipletLayout l = make_uniform_layout(4, 4.0);
   ThermalConfig cfg;
   cfg.grid_nx = cfg.grid_ny = 40;
+  cfg.solve.precond = precond;
   ThermalModel model(l, make_25d_stack(), cfg);
   model.solve(uniform_power(l, 300.0));
   return model.tile_temperatures();
 }
 
-TEST(ParallelDeterminism, SolverBitIdenticalAcrossThreadCounts) {
-  ThreadCountGuard guard;
-  const std::vector<double> t1 = solve_at(1);
-  const std::vector<double> t2 = solve_at(2);
-  const std::vector<double> t8 = solve_at(8);
+void expect_bit_identical_across_threads(PrecondKind precond) {
+  const std::vector<double> t1 = solve_at(1, precond);
+  const std::vector<double> t2 = solve_at(2, precond);
+  const std::vector<double> t8 = solve_at(8, precond);
   ASSERT_EQ(t1.size(), t2.size());
   ASSERT_EQ(t1.size(), t8.size());
   for (std::size_t i = 0; i < t1.size(); ++i) {
@@ -60,6 +62,25 @@ TEST(ParallelDeterminism, SolverBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(t1[i], t2[i]) << "tile " << i;
     EXPECT_EQ(t1[i], t8[i]) << "tile " << i;
   }
+}
+
+TEST(ParallelDeterminism, SolverBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  expect_bit_identical_across_threads(PrecondKind::kJacobi);
+}
+
+TEST(ParallelDeterminism, MultigridSolveBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  expect_bit_identical_across_threads(PrecondKind::kMultigrid);
+}
+
+TEST(ParallelDeterminism, JacobiAndMultigridAgreeWithinTolerance) {
+  ThreadCountGuard guard;
+  const std::vector<double> tj = solve_at(4, PrecondKind::kJacobi);
+  const std::vector<double> tm = solve_at(4, PrecondKind::kMultigrid);
+  ASSERT_EQ(tj.size(), tm.size());
+  for (std::size_t i = 0; i < tj.size(); ++i)
+    EXPECT_NEAR(tj[i], tm[i], 1e-4) << "tile " << i;
 }
 
 EvalConfig small_config() {

@@ -26,9 +26,15 @@ Checks performed:
 
 Exit status 0 when everything holds, 1 with a message per violation.
 
+  span presence (--require-span NAME, repeatable):
+    * the trace contains at least one event with that exact name — how CI
+      asserts that a code path (e.g. the multigrid preconditioner's
+      thermal.mg.build / thermal.mg.cycle spans) actually ran.
+
 Usage:
   tools/check_trace.py --trace trace.json --metrics metrics.json \
-      [--strict-phases] [--phase-tolerance 0.05]
+      [--strict-phases] [--phase-tolerance 0.05] \
+      [--require-span NAME ...]
 """
 
 import argparse
@@ -43,7 +49,7 @@ def fail(errors, msg):
     print(f"FAIL: {msg}", file=sys.stderr)
 
 
-def check_trace(path, errors):
+def check_trace(path, errors, require_spans=()):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -111,6 +117,13 @@ def check_trace(path, errors):
     print(f"ok: {path}: {len(events)} events on {n_tids} thread(s), "
           f"strictly nested per thread")
 
+    seen = {ev.get("name") for ev in events}
+    for name in require_spans:
+        if name in seen:
+            print(f"ok: {path}: required span '{name}' present")
+        else:
+            fail(errors, f"{path}: required span '{name}' never emitted")
+
 
 def check_metrics(path, strict_phases, tolerance, errors):
     try:
@@ -172,13 +185,19 @@ def main():
     ap.add_argument("--phase-tolerance", type=float, default=0.05,
                     help="allowed deviation for --strict-phases "
                          "(default 0.05)")
+    ap.add_argument("--require-span", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless the trace contains an event with "
+                         "this exact name (repeatable)")
     args = ap.parse_args()
     if not args.trace and not args.metrics:
         ap.error("give --trace and/or --metrics")
+    if args.require_span and not args.trace:
+        ap.error("--require-span needs --trace")
 
     errors = []
     if args.trace:
-        check_trace(args.trace, errors)
+        check_trace(args.trace, errors, args.require_span)
     if args.metrics:
         check_metrics(args.metrics, args.strict_phases,
                       args.phase_tolerance, errors)

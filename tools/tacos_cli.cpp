@@ -67,6 +67,10 @@ std::string g_run_dir;
 bool g_resume = false;
 double g_task_deadline_s = 0.0;
 
+/// Steady-state PCG preconditioner from --precond (auto by default:
+/// multigrid above ThermalModel's size threshold, Jacobi below).
+PrecondKind g_precond = PrecondKind::kAuto;
+
 /// Observability knobs from --metrics/--trace (docs/OBSERVABILITY.md).
 obs::ObsOptions g_obs;
 
@@ -74,7 +78,9 @@ int usage() {
   std::cerr <<
       "usage: tacos_cli [--threads=N] [--fault-pcg-every=N]"
       " [--fault-pcg-rungs=K]\n"
+      "                 [--fault-leak-nonconverge]\n"
       "                 [--run-dir=DIR] [--resume] [--task-deadline=S]\n"
+      "                 [--precond=auto|jacobi|mg]\n"
       "                 [--metrics[=FILE]] [--trace[=FILE]]"
       " <command> [args]\n"
       "  list\n"
@@ -92,6 +98,7 @@ Evaluator make_evaluator() {
   EvalConfig cfg;
   cfg.thermal.grid_nx = cfg.thermal.grid_ny = 32;
   cfg.thermal.solve.fault = g_fault;
+  cfg.thermal.solve.precond = g_precond;
   // Interactive commands honor Ctrl-C at solver granularity: the solve
   // aborts with CancelledError and the process exits 75.
   cfg.thermal.solve.cancel = &global_cancel_token();
@@ -234,6 +241,7 @@ int cmd_batch(const std::vector<std::string>& a) {
   cfg.thermal.grid_nx = cfg.thermal.grid_ny =
       a.size() > 3 ? std::stoul(a[3]) : 32;
   cfg.thermal.solve.fault = g_fault;
+  cfg.thermal.solve.precond = g_precond;
   OptimizerOptions opts;
   opts.alpha = !a.empty() ? std::stod(a[0]) : 1.0;
   opts.beta = a.size() > 1 ? std::stod(a[1]) : 0.0;
@@ -354,12 +362,16 @@ int main(int argc, char** argv) {
       const long n = std::atol(flag.c_str() + 18);
       if (n < 1) return usage();
       g_fault.pcg_fail_rungs = static_cast<int>(n);
+    } else if (flag == "--fault-leak-nonconverge") {
+      g_fault.leak_force_nonconverge = true;
     } else if (flag.rfind("--run-dir=", 0) == 0) {
       g_run_dir = flag.substr(10);
     } else if (flag == "--resume") {
       g_resume = true;
     } else if (flag.rfind("--task-deadline=", 0) == 0) {
       g_task_deadline_s = std::stod(flag.substr(16));
+    } else if (flag.rfind("--precond=", 0) == 0) {
+      if (!parse_precond_name(flag.substr(10), &g_precond)) return usage();
     } else if (g_obs.parse_flag(flag)) {
       // consumed by the observability layer
     } else {
