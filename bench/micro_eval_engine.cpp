@@ -6,7 +6,11 @@
 ///   * end-to-end multi-benchmark optimizer wall time (one optimize_greedy
 ///     per benchmark via optimize_greedy_batch, per-task Evaluator shards);
 /// and verifies both are bit-identical across thread counts (the
-/// deterministic-reduction contract of solvers.cpp).
+/// deterministic-reduction contract of solvers.cpp).  A fidelity-ladder
+/// A/B then reruns the paper's full greedy sweep (default 0.5 mm step)
+/// in kFull and kLadder modes, asserting identical winners, counting the
+/// full-resolution solves avoided, and checking the ladder is itself
+/// bit-identical at every thread count.
 ///
 /// Emits BENCH_eval_engine.json so the perf trajectory is tracked from
 /// PR to PR.  Usage:
@@ -94,11 +98,13 @@ struct E2eRun {
   std::string fingerprint;  // chosen orgs + objectives, all benchmarks
 };
 
-E2eRun run_e2e(std::size_t grid, const std::vector<std::string>& names) {
+E2eRun run_e2e(std::size_t grid, const std::vector<std::string>& names,
+               FidelityMode mode = FidelityMode::kFull, double step_mm = 2.0) {
   EvalConfig cfg;
   cfg.thermal.grid_nx = cfg.thermal.grid_ny = grid;
+  cfg.ladder.mode = mode;
   OptimizerOptions oo;
-  oo.step_mm = 2.0;
+  oo.step_mm = step_mm;
   E2eRun out;
   const auto t0 = Clock::now();
   const std::vector<OptResult> results =
@@ -156,6 +162,63 @@ PrecondAB run_precond_ab(std::size_t grid) {
   out.iters_ratio = static_cast<double>(out.jacobi_iters) /
                     static_cast<double>(std::max<std::size_t>(1, out.mg_iters));
   out.temps_match = out.max_tile_diff_c < 1e-4;
+  return out;
+}
+
+/// Fidelity-ladder A/B on the paper's greedy sweep (all benchmarks, the
+/// default 0.5 mm placement step).  The full-mode reference runs once at
+/// one thread; the ladder runs at every thread count so the block also
+/// certifies the ladder's cross-thread bit-identity.  The headline claims
+/// — identical winners, >= 60% fewer full-resolution solves, >= 2x
+/// end-to-end — are serial-work claims, so both sides of the speedup are
+/// the 1-thread walls.
+struct LadderAB {
+  double full_wall_s = 0.0;
+  double ladder_wall_s = 0.0;  // at 1 thread
+  EvalStats full_stats;
+  EvalStats ladder_stats;
+  double solve_reduction = 0.0;
+  double speedup = 0.0;
+  bool winner_match = false;
+  bool bit_identical = false;
+};
+
+LadderAB run_ladder_ab(std::size_t grid, const std::vector<std::string>& names,
+                       const std::vector<std::size_t>& counts,
+                       RunHealth* health) {
+  constexpr double kPaperStep = 0.5;
+  LadderAB out;
+  ThreadPool::set_global_threads(1);
+  std::cerr << "[micro_eval_engine] ladder A/B: full reference (step "
+            << kPaperStep << ")...\n";
+  const E2eRun full =
+      run_e2e(grid, names, FidelityMode::kFull, kPaperStep);
+  out.full_wall_s = full.wall_s;
+  out.full_stats = full.stats;
+  *health += full.stats.health;
+
+  out.bit_identical = true;
+  std::string fp0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ThreadPool::set_global_threads(counts[i]);
+    std::cerr << "[micro_eval_engine] ladder A/B: ladder, threads="
+              << counts[i] << "...\n";
+    const E2eRun lad =
+        run_e2e(grid, names, FidelityMode::kLadder, kPaperStep);
+    *health += lad.stats.health;
+    if (i == 0) {
+      fp0 = lad.fingerprint;
+      out.ladder_wall_s = lad.wall_s;
+      out.ladder_stats = lad.stats;
+      out.winner_match = lad.fingerprint == full.fingerprint;
+    } else {
+      out.bit_identical = out.bit_identical && lad.fingerprint == fp0;
+    }
+  }
+  out.solve_reduction =
+      1.0 - static_cast<double>(out.ladder_stats.solves) /
+                static_cast<double>(std::max<std::size_t>(1, full.stats.solves));
+  out.speedup = out.full_wall_s / std::max(1e-9, out.ladder_wall_s);
   return out;
 }
 
@@ -234,6 +297,9 @@ int main(int argc, char** argv) {
   std::cerr << "[micro_eval_engine] preconditioner A/B (grid 64)...\n";
   const PrecondAB ab = run_precond_ab(64);
 
+  const LadderAB lab = run_ladder_ab(e2e_grid, names, counts, &health);
+  ThreadPool::set_global_threads(hw);
+
   const double speedup = e2e_walls.front() / e2e_walls.back();
   const double solver_speedup = solver_rates.back() / solver_rates.front();
 
@@ -271,6 +337,33 @@ int main(int argc, char** argv) {
      << "    \"max_tile_diff_c\": " << fmt(ab.max_tile_diff_c) << ",\n"
      << "    \"temps_match\": " << (ab.temps_match ? "true" : "false")
      << "\n  },\n"
+     << "  \"fidelity_ladder\": {\n"
+     << "    \"grid\": " << e2e_grid << ",\n"
+     << "    \"step_mm\": 0.5,\n"
+     << "    \"full\": {\"wall_s\": " << fmt(lab.full_wall_s)
+     << ", \"solves\": " << lab.full_stats.solves
+     << ", \"evals\": " << lab.full_stats.evals << "},\n"
+     << "    \"ladder\": {\"wall_s\": " << fmt(lab.ladder_wall_s)
+     << ", \"solves\": " << lab.ladder_stats.solves
+     << ", \"evals\": " << lab.ladder_stats.evals << "},\n"
+     << "    \"screened\": " << lab.ladder_stats.ladder.screened << ",\n"
+     << "    \"rejected\": " << lab.ladder_stats.ladder.rejected << ",\n"
+     << "    \"promoted\": " << lab.ladder_stats.ladder.promoted << ",\n"
+     << "    \"audits\": " << lab.ladder_stats.ladder.audits << ",\n"
+     << "    \"surrogate_fits\": " << lab.ladder_stats.ladder.surrogate_fits
+     << ",\n"
+     << "    \"surrogate_scores\": "
+     << lab.ladder_stats.ladder.surrogate_scores << ",\n"
+     << "    \"coarse_solves\": " << lab.ladder_stats.ladder.coarse_solves
+     << ",\n"
+     << "    \"medium_solves\": " << lab.ladder_stats.ladder.medium_solves
+     << ",\n"
+     << "    \"full_solve_reduction\": " << fmt(lab.solve_reduction) << ",\n"
+     << "    \"e2e_speedup_vs_full\": " << fmt(lab.speedup) << ",\n"
+     << "    \"winner_match\": " << (lab.winner_match ? "true" : "false")
+     << ",\n"
+     << "    \"bit_identical_across_threads\": "
+     << (lab.bit_identical ? "true" : "false") << "\n  },\n"
      << "  \"health\": " << health.to_json() << "\n}\n";
   out_file.commit();
 
@@ -288,9 +381,20 @@ int main(int argc, char** argv) {
             << " iters (" << fmt(ab.iters_ratio) << "x, " << ab.mg_levels
             << " levels), temps_match=" << (ab.temps_match ? "yes" : "NO")
             << "\n"
+            << "fidelity ladder (step 0.5): " << fmt(lab.full_wall_s)
+            << " s full -> " << fmt(lab.ladder_wall_s) << " s ladder ("
+            << fmt(lab.speedup) << "x), full solves "
+            << lab.full_stats.solves << " -> " << lab.ladder_stats.solves
+            << " (-" << fmt(100.0 * lab.solve_reduction)
+            << "%), winner_match=" << (lab.winner_match ? "yes" : "NO")
+            << ", bit_identical=" << (lab.bit_identical ? "yes" : "NO")
+            << "\n"
             << "wrote " << out_path << "\n";
   std::cerr << "[micro_eval_engine] " << health.summary() << "\n";
   obs::record_run_health(health);
   if (obs_opts.any()) obs_opts.publish();
-  return (solver_identical && e2e_identical && ab.temps_match) ? 0 : 1;
+  return (solver_identical && e2e_identical && ab.temps_match &&
+          lab.winner_match && lab.bit_identical)
+             ? 0
+             : 1;
 }

@@ -144,6 +144,12 @@ class ThreadPool {
       std::function<void(std::size_t, std::size_t)> body;
       std::mutex err_mu;
       std::exception_ptr error;
+      // Completion latch: whoever finishes the last chunk signals the
+      // (possibly sleeping) caller.  Kept separate from err_mu so error
+      // capture never contends with completion.
+      std::mutex done_mu;
+      std::condition_variable done_cv;
+      bool all_done = false;
     };
     auto job = std::make_shared<Job>();
     job->n = n;
@@ -162,7 +168,13 @@ class ThreadPool {
           std::lock_guard<std::mutex> lk(j.err_mu);
           if (!j.error) j.error = std::current_exception();
         }
-        j.done.fetch_add(1, std::memory_order_acq_rel);
+        if (j.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            j.n_chunks) {
+          // Last chunk overall (not necessarily ours): wake the caller.
+          std::lock_guard<std::mutex> lk(j.done_mu);
+          j.all_done = true;
+          j.done_cv.notify_all();
+        }
       }
     };
 
@@ -179,9 +191,20 @@ class ThreadPool {
 
     drain(*job);
     // All chunks are claimed once the caller's drain returns; wait for the
-    // in-flight ones (claimed by workers) to finish.
-    while (job->done.load(std::memory_order_acquire) < n_chunks)
+    // in-flight ones (claimed by workers) to finish.  Spin briefly for the
+    // fine-grained kernels (an in-flight SpMV chunk finishes in
+    // microseconds), then sleep on the completion latch: busy-yielding
+    // through a multi-second optimizer task would have the caller's lane
+    // compete with the workers for cores — on machines with fewer cores
+    // than lanes that made 4-thread coarse runs *slower* than 1-thread.
+    for (int spin = 0;
+         spin < 128 && job->done.load(std::memory_order_acquire) < n_chunks;
+         ++spin)
       std::this_thread::yield();
+    if (job->done.load(std::memory_order_acquire) < n_chunks) {
+      std::unique_lock<std::mutex> lk(job->done_mu);
+      job->done_cv.wait(lk, [&] { return job->all_done; });
+    }
     if (job->error) {
       const std::size_t n_errors =
           job->error_count.load(std::memory_order_relaxed);

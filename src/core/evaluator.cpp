@@ -2,13 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/errors.hpp"
 #include "core/leakage.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace tacos {
+
+const char* fidelity_mode_name(FidelityMode m) {
+  switch (m) {
+    case FidelityMode::kAuto:
+      return "auto";
+    case FidelityMode::kFull:
+      return "full";
+    case FidelityMode::kLadder:
+      return "ladder";
+  }
+  return "?";
+}
+
+std::optional<FidelityMode> parse_fidelity_mode(std::string_view s) {
+  if (s == "auto") return FidelityMode::kAuto;
+  if (s == "full") return FidelityMode::kFull;
+  if (s == "ladder") return FidelityMode::kLadder;
+  return std::nullopt;
+}
 
 Evaluator::LayoutKey Evaluator::LayoutKey::of(const Organization& org) {
   const auto q = [](double v) { return std::lround(v * 100.0); };
@@ -23,6 +44,12 @@ Evaluator::Evaluator(EvalConfig config) : config_(std::move(config)) {
   const double chip_area =
       config_.spec.chip_edge_mm() * config_.spec.chip_edge_mm();
   cost_2d_ = single_chip_cost(chip_area, config_.cost);
+  // Resolve kAuto once, at construction: the ladder needs a grid with a
+  // meaningful Galerkin coarse level for rung 1 to pay off.
+  if (config_.ladder.mode == FidelityMode::kAuto)
+    config_.ladder.mode = config_.thermal.grid_nx >= 16
+                              ? FidelityMode::kLadder
+                              : FidelityMode::kFull;
 }
 
 int Evaluator::bench_index(const BenchmarkProfile& bench) const {
@@ -134,7 +161,31 @@ const ThermalEval& Evaluator::thermal_eval(const Organization& org,
     frontier_[FrontierKey{key.layout, org.active_cores}].emplace_back(
         reference_power(org, bench), ev.peak_c);
 
+  // Ladder bookkeeping: close out any pending rung estimates for this
+  // candidate (they calibrate the rungs' residual bounds) and feed the
+  // rung-0 surrogate one training sample.
+  if (ladder_active()) record_full_result(key, org, bench, ev, lr.converged);
+
   return eval_memo_.emplace(key, ev).first->second;
+}
+
+std::optional<bool> Evaluator::frontier_verdict(const EvalKey& key,
+                                                const Organization& org,
+                                                const BenchmarkProfile& bench,
+                                                double threshold_c) const {
+  // Monotone frontier: for the same layout and active-core pattern, peak
+  // temperature grows with injected power.
+  const auto it = frontier_.find(FrontierKey{key.layout, org.active_cores});
+  if (it == frontier_.end()) return std::nullopt;
+  const double p_ref = reference_power(org, bench);
+  const double margin = config_.frontier_margin_c;
+  for (const auto& [p_known, peak_known] : it->second) {
+    if (p_known >= p_ref && peak_known <= threshold_c - margin)
+      return true;  // even more power stayed comfortably below
+    if (p_known <= p_ref && peak_known > threshold_c + margin)
+      return false;  // even less power was clearly above
+  }
+  return std::nullopt;
 }
 
 bool Evaluator::feasible(const Organization& org,
@@ -143,20 +194,7 @@ bool Evaluator::feasible(const Organization& org,
                     org.active_cores};
   if (auto it = eval_memo_.find(key); it != eval_memo_.end())
     return it->second.peak_c <= threshold_c;
-
-  // Monotone frontier: for the same layout and active-core pattern, peak
-  // temperature grows with injected power.
-  if (auto it = frontier_.find(FrontierKey{key.layout, org.active_cores});
-      it != frontier_.end()) {
-    const double p_ref = reference_power(org, bench);
-    const double margin = config_.frontier_margin_c;
-    for (const auto& [p_known, peak_known] : it->second) {
-      if (p_known >= p_ref && peak_known <= threshold_c - margin)
-        return true;  // even more power stayed comfortably below
-      if (p_known <= p_ref && peak_known > threshold_c + margin)
-        return false;  // even less power was clearly above
-    }
-  }
+  if (const auto v = frontier_verdict(key, org, bench, threshold_c)) return *v;
   return thermal_eval(org, bench).peak_c <= threshold_c;
 }
 
@@ -207,6 +245,10 @@ const BaselinePoint& Evaluator::baseline_2d(const BenchmarkProfile& bench,
   best.feasible = false;  // explicit: stays infeasible if nothing fits
   for (const Cand& c : cands) {
     Organization org{1, {}, c.f, c.p};
+    // Fidelity ladder: skip candidates a calibrated rung confidently puts
+    // above the threshold — the same verdict (infeasible → next candidate)
+    // the full walk would reach, minus the leakage fixed point.
+    if (screen_infeasible(org, bench, threshold_c)) continue;
     if (feasible(org, bench, threshold_c)) {
       best.dvfs_idx = c.f;
       best.active_cores = c.p;
@@ -219,6 +261,328 @@ const BaselinePoint& Evaluator::baseline_2d(const BenchmarkProfile& bench,
   // Memoized either way: an infeasible threshold is a legitimate, stable
   // answer (feasible == false), not a cache miss to retry.
   return baseline_memo_.emplace(key, best).first->second;
+}
+
+// --- Fidelity ladder ---------------------------------------------------
+
+std::array<double, kSurrogateFeatures> Evaluator::features_of(
+    const Organization& org, const BenchmarkProfile& bench) const {
+  return PeakSurrogate::features(org.n_chiplets, org.spacing.s1,
+                                 org.spacing.s2, org.spacing.s3,
+                                 level_of(org).freq_mhz, org.active_cores,
+                                 reference_power(org, bench));
+}
+
+int Evaluator::rung_verdict(int rung, const EvalKey& key, double est_c,
+                            double reject_above_c) const {
+  const auto it = calib_.find(RungKey{rung, key.bench_idx, key.layout.n});
+  if (it == calib_.end() || it->second.count < config_.ladder.min_calibration)
+    return 0;  // uncalibrated: this rung has no opinion yet
+  const ResidBound& b = it->second;
+  const double margin = config_.ladder.safety_margin_c;
+  // Early promotion: even the most pessimistic calibrated residual keeps
+  // the candidate clear of the rejection threshold, so no higher rung
+  // could reject it — skip them.  This direction is winner-safe even when
+  // extrapolated (a missed reject costs time, never correctness), so the
+  // global max_resid suffices.
+  if (est_c + b.max_resid + margin <= reject_above_c) return -1;
+  // Rejection: min_resid is the most optimistic full − estimate seen
+  // out-of-sample; even if this estimate errs as far low as any before
+  // it, the candidate still clears the threshold by the safety margin.
+  // The statistical rungs (surrogate, coarse) additionally require the
+  // estimate to sit inside the calibrated band — their bias drifts with
+  // operating point, and extrapolating the bound is how feasible
+  // candidates get wrongly screened out.  The medium rung's
+  // discretization bias is small and stable, so it rejects globally.
+  const bool in_band = est_c >= b.est_lo && est_c <= b.est_hi;
+  if ((rung == 2 || in_band) &&
+      est_c + b.min_resid - margin > reject_above_c)
+    return 1;
+  return 0;
+}
+
+bool Evaluator::medium_available() {
+  if (!medium_init_) {
+    medium_init_ = true;
+    const std::size_t nx = config_.thermal.grid_nx / 2;
+    const std::size_t ny = config_.thermal.grid_ny / 2;
+    if (nx >= config_.ladder.medium_grid_min &&
+        ny >= config_.ladder.medium_grid_min) {
+      medium_thermal_ = config_.thermal;
+      medium_thermal_->grid_nx = nx;
+      medium_thermal_->grid_ny = ny;
+      // Screening solves keep their own clean fault clock: the plan's
+      // pcg_fail_* indices target the full path, coarse_fail_* targets
+      // rung 1.  (The cancel token is inherited — screening must stay
+      // responsive to batch shutdown.)
+      medium_thermal_->solve.fault = FaultPlan{};
+    }
+  }
+  return medium_thermal_.has_value();
+}
+
+std::shared_ptr<Evaluator::ModelEntry> Evaluator::medium_model_for(
+    const Organization& org) {
+  const LayoutKey key = LayoutKey::of(org);
+  if (auto it = medium_index_.find(key); it != medium_index_.end()) {
+    medium_lru_.splice(medium_lru_.begin(), medium_lru_, it->second);
+    return medium_lru_.front().second;
+  }
+  auto entry = std::make_shared<ModelEntry>();
+  entry->layout =
+      std::make_unique<ChipletLayout>(layout_for(org, config_.spec));
+  const LayerStack stack =
+      org.n_chiplets == 1 ? make_2d_stack() : make_25d_stack();
+  entry->model =
+      std::make_unique<ThermalModel>(*entry->layout, stack, *medium_thermal_);
+  entry->model->set_ledger(&medium_ledger_);
+  medium_lru_.emplace_front(key, entry);
+  medium_index_[key] = medium_lru_.begin();
+  while (medium_lru_.size() > config_.model_cache_capacity) {
+    medium_index_.erase(medium_lru_.back().first);
+    medium_lru_.pop_back();
+  }
+  return entry;
+}
+
+bool Evaluator::audit_due() {
+  ++confident_rejects_;
+  const double f = config_.ladder.keep_frac;
+  return f > 0.0 &&
+         static_cast<std::size_t>(static_cast<double>(confident_rejects_) *
+                                  f) >
+             static_cast<std::size_t>(
+                 static_cast<double>(confident_rejects_ - 1) * f);
+}
+
+std::optional<double> Evaluator::medium_estimate(const EvalKey& key,
+                                                 const Organization& org,
+                                                 const BenchmarkProfile& bench,
+                                                 bool* fresh) {
+  *fresh = false;
+  if (!medium_available()) return std::nullopt;
+  if (auto it = medium_memo_.find(key); it != medium_memo_.end())
+    return it->second;
+  *fresh = true;
+  static obs::SpanSite r2_site("eval.rung2", "eval");
+  obs::TraceSpan span(r2_site);
+  try {
+    const std::shared_ptr<ModelEntry> entry = medium_model_for(org);
+    const std::vector<int> active =
+        active_tiles(config_.policy, org.active_cores, config_.spec);
+    const LeakageResult lr = run_leakage_fixed_point(
+        *entry->model, *entry->layout, bench, level_of(org), active,
+        config_.power,
+        std::max(config_.leak_tol_c, config_.ladder.medium_leak_tol_c),
+        config_.max_leak_iters);
+    ladder_stats_.medium_solves += static_cast<std::size_t>(lr.iterations);
+    if (span.active()) span.arg("est_c", lr.peak_c);
+    if (!lr.converged) return std::nullopt;
+    medium_memo_.emplace(key, lr.peak_c);
+    constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+    pending_est_
+        .try_emplace(key, std::array<double, 3>{kNaN, kNaN, kNaN})
+        .first->second[2] = lr.peak_c;
+    return lr.peak_c;
+  } catch (const Error&) {
+    ++ladder_stats_.medium_failures;
+    return std::nullopt;
+  }
+}
+
+bool Evaluator::screen_infeasible(const Organization& org,
+                                  const BenchmarkProfile& bench,
+                                  double reject_above_c) {
+  if (!ladder_active()) return false;
+  const EvalKey key{LayoutKey::of(org), bench_index(bench), org.dvfs_idx,
+                    org.active_cores};
+  // An exact memoized answer beats every rung (and costs nothing).  Only
+  // converged results reject — same discipline as the frontier.
+  if (auto it = eval_memo_.find(key); it != eval_memo_.end())
+    return it->second.leak_converged && it->second.peak_c > reject_above_c;
+
+  ++ladder_stats_.screened;
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  const auto pit =
+      pending_est_.try_emplace(key, std::array<double, 3>{kNaN, kNaN, kNaN})
+          .first;
+
+  // A confident reject at any rung lands here; the keep-frac audit
+  // promotes a deterministic fraction of rejects anyway so the
+  // calibration bounds keep being tested against full results.
+  const auto reject_verdict = [&]() {
+    if (audit_due()) {
+      ++ladder_stats_.audits;
+      ++ladder_stats_.promoted;
+      return false;  // pending estimates stay; the full eval closes them
+    }
+    ++ladder_stats_.rejected;
+    return true;
+  };
+
+  // Rung 0: trained surrogate (sub-microsecond).
+  if (auto sit = surrogates_.find(key.bench_idx);
+      sit != surrogates_.end() && sit->second.ready()) {
+    static obs::SpanSite r0_site("eval.rung0", "eval");
+    obs::TraceSpan span(r0_site);
+    const std::size_t fits_before = sit->second.fit_count();
+    const double est = sit->second.predict(features_of(org, bench));
+    ladder_stats_.surrogate_fits += sit->second.fit_count() - fits_before;
+    ++ladder_stats_.surrogate_scores;
+    if (span.active()) span.arg("est_c", est);
+    pit->second[0] = est;
+    const int v = rung_verdict(0, key, est, reject_above_c);
+    if (v > 0) return reject_verdict();
+    if (v < 0) {
+      ++ladder_stats_.promoted;
+      return false;  // clearly cool: skip the solve rungs entirely
+    }
+  }
+
+  // Rung 1: one Jacobi-PCG solve on the multigrid hierarchy's first
+  // Galerkin coarse operator (reuses the full model's assembly).  Any
+  // failure — including an injected FaultPlan::coarse_fail_* — promotes.
+  {
+    static obs::SpanSite r1_site("eval.rung1", "eval");
+    obs::TraceSpan span(r1_site);
+    try {
+      const std::shared_ptr<ModelEntry> entry = model_for(org);
+      const std::vector<int> active =
+          active_tiles(config_.policy, org.active_cores, config_.spec);
+      const PowerMap pm =
+          build_power_map(*entry->layout, bench, level_of(org), active,
+                          std::nullopt, config_.power);
+      const double est = entry->model->coarse_peak_estimate(pm);
+      ++ladder_stats_.coarse_solves;
+      if (span.active()) span.arg("est_c", est);
+      pit->second[1] = est;
+      const int v = rung_verdict(1, key, est, reject_above_c);
+      if (v > 0) return reject_verdict();
+      if (v < 0) {
+        ++ladder_stats_.promoted;
+        return false;  // clearly cool: the medium rung cannot reject it
+      }
+    } catch (const Error&) {
+      ++ladder_stats_.coarse_failures;
+    }
+  }
+
+  // Rung 2: full leakage fixed point on a half-resolution model (separate
+  // cache and ledger; never ticks the full path's solve clock).
+  {
+    bool fresh = false;
+    if (const auto est = medium_estimate(key, org, bench, &fresh);
+        est && rung_verdict(2, key, *est, reject_above_c) > 0)
+      return reject_verdict();
+  }
+
+  ++ladder_stats_.promoted;
+  return false;
+}
+
+Evaluator::WalkEval Evaluator::walk_eval(const Organization& org,
+                                         const BenchmarkProfile& bench,
+                                         double threshold_c,
+                                         double prune_above_c) {
+  const auto exact_of = [&]() -> WalkEval {
+    const double peak = thermal_eval(org, bench).peak_c;
+    return WalkEval{peak, 0.0, true, peak <= threshold_c};
+  };
+  if (!ladder_active()) return exact_of();
+  const EvalKey key{LayoutKey::of(org), bench_index(bench), org.dvfs_idx,
+                    org.active_cores};
+  if (auto it = eval_memo_.find(key); it != eval_memo_.end())
+    return WalkEval{it->second.peak_c, 0.0, true,
+                    it->second.peak_c <= threshold_c};
+  // The same margin-guarded frontier shortcut the full path's feasible()
+  // takes.  A deduced-feasible verdict commits without a solve in either
+  // mode; a deduced-infeasible one settles feasibility but not the peak.
+  const std::optional<bool> fv = frontier_verdict(key, org, bench,
+                                                  threshold_c);
+  if (fv == true) return WalkEval{threshold_c, 0.0, false, true};
+
+  bool fresh = false;
+  const std::optional<double> est = medium_estimate(key, org, bench, &fresh);
+  if (fresh) ++ladder_stats_.screened;
+  const auto promote = [&]() -> WalkEval {
+    if (fresh) ++ladder_stats_.promoted;
+    return exact_of();
+  };
+  if (!est) return promote();  // rung unavailable / failed / unconverged
+
+  // Prefer the walk-grade bound (same operating point, placement-only
+  // residuals); fall back to the pooled per-(bench, n) bound while the
+  // combo's own walk is still warming up.
+  const ResidBound* bp = nullptr;
+  if (const auto wit = walk_calib_.find(
+          WalkKey{key.bench_idx, key.layout.n, key.dvfs_idx, key.p});
+      wit != walk_calib_.end() &&
+      wit->second.count >= config_.ladder.min_calibration)
+    bp = &wit->second;
+  else if (const auto cit =
+               calib_.find(RungKey{2, key.bench_idx, key.layout.n});
+           cit != calib_.end() &&
+           cit->second.count >= config_.ladder.min_calibration)
+    bp = &cit->second;
+  if (!bp) return promote();  // cold start: exact, which also calibrates
+  const ResidBound& b = *bp;
+  const double sm = config_.ladder.safety_margin_c;
+  // Absolute verdicts (feasibility, prune boundary) are walk-fatal when
+  // wrong, so they demand the full safety margin on the calibrated
+  // residual extremes.  Any boundary the interval straddles → exact.
+  const bool infeasible_sure =
+      fv == false || *est + b.min_resid - sm > threshold_c;
+  const bool prune_sure =
+      !std::isfinite(prune_above_c) ||
+      *est + b.min_resid - sm > prune_above_c ||
+      *est + b.max_resid + sm <= prune_above_c;
+  if (!infeasible_sure || !prune_sure) return promote();
+  if (audit_due()) {
+    ++ladder_stats_.audits;
+    if (fresh) ++ladder_stats_.promoted;
+    return exact_of();
+  }
+  if (fresh) ++ladder_stats_.rejected;
+  // Bias-corrected estimate for peak ordering; the band is the residual
+  // half-spread, reported so callers (and tests) can see how tight the
+  // calibration is at this operating point.
+  return WalkEval{*est + 0.5 * (b.min_resid + b.max_resid),
+                  0.5 * (b.max_resid - b.min_resid), false, false};
+}
+
+void Evaluator::record_full_result(const EvalKey& key, const Organization& org,
+                                   const BenchmarkProfile& bench,
+                                   const ThermalEval& ev, bool converged) {
+  if (const auto pit = pending_est_.find(key); pit != pending_est_.end()) {
+    if (converged) {
+      for (int rung = 0; rung < 3; ++rung) {
+        const double est = pit->second[static_cast<std::size_t>(rung)];
+        if (!std::isfinite(est)) continue;
+        const double resid = ev.peak_c - est;
+        const auto absorb = [&](ResidBound& cb) {
+          cb.min_resid = cb.count == 0 ? resid : std::min(cb.min_resid, resid);
+          cb.max_resid = cb.count == 0 ? resid : std::max(cb.max_resid, resid);
+          cb.est_lo = cb.count == 0 ? est : std::min(cb.est_lo, est);
+          cb.est_hi = cb.count == 0 ? est : std::max(cb.est_hi, est);
+          ++cb.count;
+        };
+        absorb(calib_[RungKey{rung, key.bench_idx, key.layout.n}]);
+        if (rung == 2)
+          absorb(walk_calib_[WalkKey{key.bench_idx, key.layout.n,
+                                     key.dvfs_idx, key.p}]);
+        if (rung == 0 && obs::metrics_enabled()) {
+          static obs::Histogram err = obs::MetricsRegistry::global().histogram(
+              "ladder.surrogate_error_c", obs::pow2_edges(0.25, 16.0));
+          err.observe(std::abs(resid));
+        }
+      }
+    }
+    pending_est_.erase(pit);
+  }
+  if (converged)
+    surrogates_
+        .try_emplace(key.bench_idx, 1e-3, config_.ladder.surrogate_min_samples)
+        .first->second.add(features_of(org, bench), ev.peak_c);
 }
 
 }  // namespace tacos

@@ -22,15 +22,19 @@
 /// paper's greedy-vs-exhaustive cost comparison (§III-D: 400× fewer
 /// simulations).
 
+#include <array>
+#include <limits>
 #include <list>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "alloc/policy.hpp"
 #include "common/run_health.hpp"
 #include "core/organization.hpp"
+#include "core/surrogate.hpp"
 #include "cost/cost_model.hpp"
 #include "materials/stack.hpp"
 #include "perf/ips_model.hpp"
@@ -38,6 +42,79 @@
 #include "thermal/grid_model.hpp"
 
 namespace tacos {
+
+/// Evaluation fidelity selector (CLI `--fidelity=`).  kFull evaluates
+/// every candidate with the full leakage fixed point (the historical
+/// behavior).  kLadder screens candidates through the multi-fidelity
+/// ladder first (surrogate → coarse Galerkin solve → medium grid → full);
+/// kAuto resolves at Evaluator construction to kLadder when the grid is
+/// large enough for coarse screening to pay off (nx ≥ 16), else kFull.
+enum class FidelityMode { kAuto, kFull, kLadder };
+
+const char* fidelity_mode_name(FidelityMode m);
+std::optional<FidelityMode> parse_fidelity_mode(std::string_view s);
+
+/// Fidelity-ladder knobs (EvalConfig::ladder).  The ladder is a *screen*:
+/// it may only reject candidates the full path would also reject, and any
+/// doubt promotes the candidate to the next rung (ultimately the full
+/// solve).  Confidence is empirical: a rung's estimate only rejects once
+/// `min_calibration` (estimate, full) pairs have been observed for that
+/// (rung, benchmark, chiplet count) and the *most optimistic* observed
+/// residual, minus `safety_margin_c`, still puts the candidate above the
+/// rejection threshold.  Cold start (no calibration data, no trained
+/// surrogate) therefore promotes everything — bit-identical to kFull.
+struct LadderOptions {
+  FidelityMode mode = FidelityMode::kFull;
+  /// Fraction of confident rejects promoted anyway (deterministic integer
+  /// schedule, no RNG) as a continuing audit of the calibration bounds.
+  double keep_frac = 0.0;
+  /// (estimate, full-result) pairs required per (rung, bench, n) before a
+  /// rung's estimates may reject.
+  int min_calibration = 5;
+  /// Extra headroom (°C) on top of the calibrated residual bound.
+  double safety_margin_c = 1.0;
+  /// Training samples before the rung-0 surrogate scores candidates.
+  std::size_t surrogate_min_samples = 8;
+  /// Rung 2 uses a half-resolution model; below this edge it is skipped.
+  std::size_t medium_grid_min = 8;
+  /// Leakage fixed-point tolerance (°C) for rung-2 estimates.  Looser than
+  /// the full path's: the unconverged tail is a smooth bias the residual
+  /// calibration absorbs, and it saves ~2 medium solves per estimate.
+  double medium_leak_tol_c = 0.25;
+};
+
+/// Mergeable fidelity-ladder counters (EvalStats::ladder; journal line
+/// "ladder").  screened = candidates entering the ladder; each one ends
+/// as exactly one of rejected / promoted (audited rejects count as
+/// promoted, plus audits).
+struct LadderStats {
+  std::size_t screened = 0;          ///< candidates entering the ladder
+  std::size_t rejected = 0;          ///< screened out (no full evaluation)
+  std::size_t promoted = 0;          ///< passed through to the full path
+  std::size_t audits = 0;            ///< keep-frac audits (subset of promoted)
+  std::size_t surrogate_scores = 0;  ///< rung-0 predictions made
+  std::size_t surrogate_fits = 0;    ///< rung-0 model refits
+  std::size_t coarse_solves = 0;     ///< rung-1 coarse Galerkin solves
+  std::size_t coarse_failures = 0;   ///< rung-1 failures (promoted past)
+  std::size_t medium_solves = 0;     ///< rung-2 medium-grid solves
+  std::size_t medium_failures = 0;   ///< rung-2 failures (promoted past)
+
+  bool any() const { return screened != 0; }
+
+  LadderStats& operator+=(const LadderStats& o) {
+    screened += o.screened;
+    rejected += o.rejected;
+    promoted += o.promoted;
+    audits += o.audits;
+    surrogate_scores += o.surrogate_scores;
+    surrogate_fits += o.surrogate_fits;
+    coarse_solves += o.coarse_solves;
+    coarse_failures += o.coarse_failures;
+    medium_solves += o.medium_solves;
+    medium_failures += o.medium_failures;
+    return *this;
+  }
+};
 
 /// Evaluator configuration (every model parameter in one place).
 struct EvalConfig {
@@ -53,6 +130,8 @@ struct EvalConfig {
   /// threshold; otherwise an exact simulation is run.
   double frontier_margin_c = 1.0;
   std::size_t model_cache_capacity = 48;
+  /// Multi-fidelity evaluation ladder (off — kFull — by default).
+  LadderOptions ladder;
 };
 
 /// Result of a thermal evaluation.  `leak_converged == false` flags a
@@ -85,10 +164,12 @@ struct EvalStats {
   std::size_t solves = 0;  ///< linear-solver invocations
   std::size_t evals = 0;   ///< full organization evaluations simulated
   RunHealth health;        ///< recoveries / degradations / quarantines
+  LadderStats ladder;      ///< fidelity-ladder screening counters
   EvalStats& operator+=(const EvalStats& o) {
     solves += o.solves;
     evals += o.evals;
     health += o.health;
+    ladder += o.ladder;
     return *this;
   }
 };
@@ -124,6 +205,56 @@ class Evaluator {
   const BaselinePoint& baseline_2d(const BenchmarkProfile& bench,
                                    double threshold_c);
 
+  /// Fidelity-ladder screen: true when the ladder is on and a calibrated
+  /// lower-fidelity rung concludes — with margin — that `org`'s peak
+  /// exceeds `reject_above_c`, so the caller may skip the candidate
+  /// without a full evaluation.  False means "not confidently rejectable":
+  /// callers MUST then take exactly the path they would have taken without
+  /// the ladder (same solves, same RNG draws) — that promotion discipline
+  /// is what makes the ladder winner-invariant.  In kFull mode (and for
+  /// memoized candidates the full path already rejected exactly) this is
+  /// a no-op returning the exact verdict.  Never throws for rung failures:
+  /// a failed coarse or medium solve just promotes.
+  bool screen_infeasible(const Organization& org,
+                         const BenchmarkProfile& bench,
+                         double reject_above_c);
+
+  /// True when config().ladder resolves to the ladder being active.
+  bool ladder_active() const {
+    return config_.ladder.mode == FidelityMode::kLadder;
+  }
+
+  /// One walk-candidate verdict from walk_eval (and the shape the greedy
+  /// walk consumes in full mode too).  `feasible == true` means "commit:
+  /// return this organization" — in ladder mode that verdict is always
+  /// backed by an exact full evaluation or a margin-guarded frontier
+  /// deduction, never by an estimate alone.  When `exact == false`,
+  /// `peak_c` is a bias-corrected medium-rung estimate and `band_c` the
+  /// calibrated residual half-spread at this operating point — the walk
+  /// orders such candidates by the estimate (ordering noise in the hot
+  /// region only perturbs the descent path, never the committed winner).
+  struct WalkEval {
+    double peak_c = 0.0;
+    double band_c = 0.0;
+    bool exact = true;
+    bool feasible = false;
+  };
+
+  /// Ladder-mode walk evaluation: returns a calibrated medium-rung
+  /// estimate when the rung is confident the placement is infeasible (and,
+  /// if `prune_above_c` is finite, confident on which side of that second
+  /// boundary the true peak lies); in every ambiguous case — cold start,
+  /// estimate near a decision boundary, medium rung unavailable or failed
+  /// — it falls through to the exact full evaluation, which also closes
+  /// the calibration loop.  In kFull mode this is exactly thermal_eval.
+  WalkEval walk_eval(const Organization& org, const BenchmarkProfile& bench,
+                     double threshold_c,
+                     double prune_above_c =
+                         std::numeric_limits<double>::quiet_NaN());
+
+  /// Fidelity-ladder counters for this shard.
+  const LadderStats& ladder_stats() const { return ladder_stats_; }
+
   /// Thermal-solver invocation counter (for the E9 validation experiment).
   std::size_t solve_count() const { return solve_count_; }
   /// Number of full organization evaluations actually simulated.
@@ -133,12 +264,14 @@ class Evaluator {
   const RunHealth& health() const { return ledger_.health; }
   /// Counters as a mergeable snapshot (parallel shard join).
   EvalStats stats() const {
-    return EvalStats{solve_count_, eval_count_, ledger_.health};
+    return EvalStats{solve_count_, eval_count_, ledger_.health,
+                     ladder_stats_};
   }
   void reset_stats() {
     solve_count_ = 0;
     eval_count_ = 0;
     ledger_.health = RunHealth{};
+    ladder_stats_ = LadderStats{};
   }
 
  private:
@@ -174,9 +307,72 @@ class Evaluator {
   /// cached multigrid hierarchy) out from under an in-flight evaluation.
   std::shared_ptr<ModelEntry> model_for(const Organization& org);
   int bench_index(const BenchmarkProfile& bench) const;
+  /// Monotone-frontier deduction for feasibility at `threshold_c`:
+  /// true/false when a margin-guarded bound decides it, nullopt otherwise.
+  std::optional<bool> frontier_verdict(const EvalKey& key,
+                                       const Organization& org,
+                                       const BenchmarkProfile& bench,
+                                       double threshold_c) const;
   /// Total power at the leakage reference temperature (frontier abscissa).
   double reference_power(const Organization& org,
                          const BenchmarkProfile& bench) const;
+
+  // --- Fidelity ladder (see LadderOptions) ----------------------------
+  /// Calibration identity: residual bounds are tracked independently per
+  /// (rung, benchmark, chiplet count) — the rungs' bias differs across
+  /// all three axes.
+  struct RungKey {
+    int rung;
+    int bench_idx;
+    int n;
+    auto operator<=>(const RungKey&) const = default;
+  };
+  /// Out-of-sample residual record of one rung: count observed pairs, the
+  /// extremes of full − estimate, and the band of estimates the pairs
+  /// covered.  A rung's bias drifts with operating point (e.g. the coarse
+  /// rung under-estimates hot layouts by more °C than warm ones), so the
+  /// additive *rejection* bound of the statistical rungs (surrogate,
+  /// coarse) is only trusted for estimates inside the calibrated band —
+  /// extrapolation promotes.  The medium rung is the same physics at half
+  /// resolution with a small, stable discretization bias; its rejection
+  /// bound is trusted globally.  Early promotion (est + max_resid still
+  /// clearly below the threshold) is winner-safe in any direction — a
+  /// missed reject only costs time — so it never needs the band.
+  struct ResidBound {
+    int count = 0;
+    double min_resid = 0.0;
+    double max_resid = 0.0;
+    double est_lo = 0.0;
+    double est_hi = 0.0;
+  };
+
+  /// Surrogate feature vector for `org` under `bench`.
+  std::array<double, kSurrogateFeatures> features_of(
+      const Organization& org, const BenchmarkProfile& bench) const;
+  /// Calibrated three-way verdict for one rung's estimate: +1 reject,
+  /// -1 promote immediately (skip higher rungs), 0 no opinion (continue).
+  int rung_verdict(int rung, const EvalKey& key, double est_c,
+                   double reject_above_c) const;
+  /// Rung 2 availability (lazy medium-config construction).
+  bool medium_available();
+  /// Medium-resolution twin of model_for (separate LRU + ledger).
+  std::shared_ptr<ModelEntry> medium_model_for(const Organization& org);
+  /// Memoized rung-2 estimate (converged medium-grid leakage fixed point);
+  /// registers the pending calibration pair.  nullopt when the medium rung
+  /// is unavailable, failed, or did not converge — callers promote.
+  /// `*fresh` reports whether this call paid for a new medium solve.
+  std::optional<double> medium_estimate(const EvalKey& key,
+                                        const Organization& org,
+                                        const BenchmarkProfile& bench,
+                                        bool* fresh);
+  /// Deterministic keep-frac audit schedule: true when this confident
+  /// reject is the one in 1/keep_frac that must be promoted anyway.
+  bool audit_due();
+  /// Record the calibration pairs + surrogate sample of a completed full
+  /// evaluation (called from thermal_eval).
+  void record_full_result(const EvalKey& key, const Organization& org,
+                          const BenchmarkProfile& bench, const ThermalEval& ev,
+                          bool converged);
 
   EvalConfig config_;
   double cost_2d_ = 0.0;
@@ -197,6 +393,42 @@ class Evaluator {
   /// Shared solve clock + health for every model this shard builds; keeps
   /// fault-plan indices stable across model-cache churn (see run_health.hpp).
   SolveLedger ledger_;
+
+  // --- Fidelity-ladder state (all insertion-ordered / deterministic) ---
+  LadderStats ladder_stats_;
+  /// One online surrogate per benchmark (rung 0).
+  std::map<int, PeakSurrogate> surrogates_;
+  /// Calibrated residual bounds per (rung, bench, n).
+  std::map<RungKey, ResidBound> calib_;
+  /// Walk-grade rung-2 residual bounds, keyed per (bench, n, f, p): the
+  /// candidates of one placement walk share the operating point, so the
+  /// medium rung's residual varies only with placement there — a much
+  /// tighter band than the pooled one, which is what keeps walk
+  /// comparisons from degenerating into all-ties.
+  struct WalkKey {
+    int bench_idx;
+    int n;
+    std::size_t dvfs_idx;
+    int p;
+    auto operator<=>(const WalkKey&) const = default;
+  };
+  std::map<WalkKey, ResidBound> walk_calib_;
+  /// Rung estimates awaiting their full result (NaN = rung not run).
+  std::map<EvalKey, std::array<double, 3>> pending_est_;
+  /// Memoized rung-2 estimates (mirrors eval_memo_ for the medium grid).
+  std::map<EvalKey, double> medium_memo_;
+  /// Confident-reject counter driving the deterministic keep-frac audit.
+  std::size_t confident_rejects_ = 0;
+  /// Rung-2 medium-grid models: separate LRU and ledger so screening
+  /// solves never tick the full path's solve clock or health counters.
+  bool medium_init_ = false;
+  std::optional<ThermalConfig> medium_thermal_;
+  std::list<std::pair<LayoutKey, std::shared_ptr<ModelEntry>>> medium_lru_;
+  std::map<LayoutKey,
+           std::list<std::pair<LayoutKey, std::shared_ptr<ModelEntry>>>::
+               iterator>
+      medium_index_;
+  SolveLedger medium_ledger_;
 };
 
 }  // namespace tacos

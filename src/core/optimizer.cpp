@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -105,6 +106,13 @@ std::optional<Organization> find_placement_greedy(
   if (combo.n_chiplets == 4) {
     // Eq. (9) pins the single spacing; nothing to search.
     const Organization org = make_org(combo, Spacing{0, 0, budget});
+    // Fidelity ladder: a calibrated low-fidelity reject stands in for the
+    // full infeasibility verdict.  No RNG is consumed on either path, so
+    // the decision is placement-for-placement identical when the screen
+    // promotes (see Evaluator::screen_infeasible).
+    if (opts.prune_margin_c > 0 &&
+        eval.screen_infeasible(org, bench, opts.threshold_c))
+      return std::nullopt;
     if (eval.feasible(org, bench, opts.threshold_c)) return org;
     return std::nullopt;
   }
@@ -115,6 +123,47 @@ std::optional<Organization> find_placement_greedy(
   const long grid_max = std::lround(std::floor(half / step + 1e-9));
   const auto org_at = [&](long i1, long i2) {
     return make_org(combo, spacing16(i1 * step, i2 * step, budget));
+  };
+
+  // One walk-candidate verdict.  Full mode: the historical
+  // feasible()-then-thermal_eval pair (exact peaks, frontier shortcut
+  // intact).  Ladder mode: Evaluator::walk_eval, which substitutes a
+  // calibrated medium-rung estimate for candidates it is sure are
+  // infeasible and clear of `prune_above`, and promotes every ambiguous
+  // one to the identical exact evaluation.
+  const auto cand_eval = [&](const Organization& o,
+                             double prune_above) -> Evaluator::WalkEval {
+    if (eval.ladder_active())
+      return eval.walk_eval(o, bench, opts.threshold_c, prune_above);
+    Evaluator::WalkEval w;
+    if (eval.feasible(o, bench, opts.threshold_c)) {
+      w.feasible = true;
+      return w;
+    }
+    w.peak_c = eval.thermal_eval(o, bench).peak_c;
+    return w;
+  };
+  constexpr double kNoPrune = std::numeric_limits<double>::quiet_NaN();
+
+  // Neighbour shuffles draw from a child stream seeded per (combo, start),
+  // not from the shared per-benchmark Rng: the number of move rounds a
+  // walk takes (and hence its draw count) depends on evaluation fidelity,
+  // and letting it advance the shared stream would make every later
+  // combo's random starts — and so the chosen organization — depend on
+  // how early previous walks happened to terminate.  With the fork, the
+  // shared stream advances exactly two draws per random start in every
+  // fidelity mode.
+  const auto walk_rng_for = [&](int start) {
+    std::uint64_t h = opts.seed;
+    const auto mix = [&h](std::uint64_t v) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<std::uint64_t>(combo.dvfs_idx));
+    mix(static_cast<std::uint64_t>(combo.active_cores));
+    mix(static_cast<std::uint64_t>(combo.n_chiplets));
+    mix(static_cast<std::uint64_t>(std::llround(combo.interposer_mm * 100)));
+    mix(static_cast<std::uint64_t>(start));
+    return Rng(h);
   };
 
   for (int start = 0; start < opts.starts; ++start) {
@@ -133,30 +182,43 @@ std::optional<Organization> find_placement_greedy(
     }
 
     Organization cur = org_at(i1, i2);
-    if (eval.feasible(cur, bench, opts.threshold_c)) return cur;
-    double cur_peak = eval.thermal_eval(cur, bench).peak_c;
+    // Fidelity ladder: screen the deterministic uniform probe against the
+    // prune bound before paying for the full evaluation.  A reject takes
+    // exactly the branch the full path's prune would have taken (before
+    // any RNG draw); a promote falls through to the unchanged full path.
     if (start == 0 && opts.prune_margin_c > 0 &&
-        cur_peak > opts.threshold_c + opts.prune_margin_c) {
+        eval.screen_infeasible(cur, bench,
+                               opts.threshold_c + opts.prune_margin_c)) {
+      return std::nullopt;  // screened: uniform probe far too hot
+    }
+    Evaluator::WalkEval cur_e =
+        cand_eval(cur, start == 0 && opts.prune_margin_c > 0
+                           ? opts.threshold_c + opts.prune_margin_c
+                           : kNoPrune);
+    if (cur_e.feasible) return cur;
+    if (start == 0 && opts.prune_margin_c > 0 &&
+        cur_e.peak_c > opts.threshold_c + opts.prune_margin_c) {
       return std::nullopt;  // uniform probe far too hot: prune this combo
     }
 
+    Rng walk_rng = walk_rng_for(start);
     for (int move = 0; move < opts.max_moves; ++move) {
       if (opts.cancel) opts.cancel->poll();
       // The four ±step neighbours on the manifold, in random order (the
       // paper picks neighbours randomly to avoid ordering bias).
       std::array<std::pair<long, long>, 4> nbs = {
           {{i1 + 1, i2}, {i1 - 1, i2}, {i1, i2 + 1}, {i1, i2 - 1}}};
-      std::shuffle(nbs.begin(), nbs.end(), rng.engine());
+      std::shuffle(nbs.begin(), nbs.end(), walk_rng.engine());
       bool moved = false;
       for (const auto& [n1, n2] : nbs) {
         if (n1 < 0 || n1 > grid_max || n2 < 0 || n2 > grid_max) continue;
         const Organization nb = org_at(n1, n2);
-        if (eval.feasible(nb, bench, opts.threshold_c)) return nb;
-        const double nb_peak = eval.thermal_eval(nb, bench).peak_c;
-        if (nb_peak < cur_peak) {
+        Evaluator::WalkEval nb_e = cand_eval(nb, kNoPrune);
+        if (nb_e.feasible) return nb;
+        if (nb_e.peak_c < cur_e.peak_c) {
           i1 = n1;
           i2 = n2;
-          cur_peak = nb_peak;
+          cur_e = nb_e;
           moved = true;
           break;  // S_neighbor becomes S_current
         }
@@ -270,7 +332,11 @@ std::string batch_meta(const EvalConfig& config,
     << " threshold=" << fmt_g17(opts.threshold_c)
     << " step=" << fmt_g17(opts.step_mm) << " starts=" << opts.starts
     << " max_moves=" << opts.max_moves << " seed=" << opts.seed
-    << " prune=" << fmt_g17(opts.prune_margin_c) << " n=";
+    << " prune=" << fmt_g17(opts.prune_margin_c)
+    << " fidelity=" << fidelity_mode_name(config.ladder.mode)
+    << " keep_frac=" << fmt_g17(config.ladder.keep_frac)
+    << " min_calib=" << config.ladder.min_calibration
+    << " ladder_margin=" << fmt_g17(config.ladder.safety_margin_c) << " n=";
   for (std::size_t i = 0; i < opts.chiplet_counts.size(); ++i)
     m << (i ? "," : "") << opts.chiplet_counts[i];
   m << " benches=";
@@ -302,6 +368,17 @@ std::string encode_opt_result(const OptResult& result,
      << h.gs_fallbacks << ' ' << h.solve_failures << ' ' << h.nonfinite_inputs
      << ' ' << h.leak_nonconverged << ' ' << h.quarantined << ' ' << h.timeouts
      << ' ' << h.cancelled << '\n';
+  // Rung metadata travels with the row so a resumed ladder sweep replays
+  // its screening counters identically.  Emitted only when the ladder ran:
+  // full-mode payloads stay byte-identical to earlier releases, and older
+  // decoders skip the unknown key.
+  const LadderStats& l = stats.ladder;
+  if (l.any())
+    os << "ladder " << l.screened << ' ' << l.rejected << ' ' << l.promoted
+       << ' ' << l.audits << ' ' << l.surrogate_scores << ' '
+       << l.surrogate_fits << ' ' << l.coarse_solves << ' '
+       << l.coarse_failures << ' ' << l.medium_solves << ' '
+       << l.medium_failures << '\n';
   return os.str();
 }
 
@@ -355,8 +432,15 @@ bool decode_opt_result(const std::string& payload, OptResult* result,
             h.quarantined >> h.timeouts >> h.cancelled))
         return false;
       saw_health = true;
+    } else if (key == "ladder") {
+      LadderStats& l = stats->ladder;
+      if (!(ls >> l.screened >> l.rejected >> l.promoted >> l.audits >>
+            l.surrogate_scores >> l.surrogate_fits >> l.coarse_solves >>
+            l.coarse_failures >> l.medium_solves >> l.medium_failures))
+        return false;
     }
-    // Unknown keys are skipped: older journals stay readable.
+    // Unknown keys are skipped: older journals stay readable (a pre-ladder
+    // row simply decodes with zero LadderStats).
   }
   return saw_found && saw_health;
 }

@@ -1,0 +1,128 @@
+#include "core/surrogate.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tacos {
+
+std::array<double, kSurrogateFeatures> PeakSurrogate::features(
+    int n_chiplets, double s1, double s2, double s3, double freq_mhz,
+    int active_cores, double ref_power_w) {
+  // Chiplet-count one-hots (n = 1 is the all-zeros base case), raw
+  // spacings plus their sum (the interposer slack, a strong univariate
+  // predictor of heat spreading), frequency in GHz, active-core fraction,
+  // and the reference power in hundreds of watts.  All O(1)-magnitude
+  // after standardization; the explicit scaling just keeps the
+  // pre-standardization moments well-conditioned.
+  return {n_chiplets == 4 ? 1.0 : 0.0,
+          n_chiplets == 16 ? 1.0 : 0.0,
+          s1,
+          s2,
+          s3,
+          s1 + s2 + s3,
+          freq_mhz * 1e-3,
+          static_cast<double>(active_cores) / 256.0,
+          ref_power_w * 1e-2};
+}
+
+void PeakSurrogate::add(const std::array<double, kSurrogateFeatures>& x,
+                        double peak_c) {
+  samples_.push_back(Sample{x, peak_c});
+}
+
+void PeakSurrogate::fit() {
+  static obs::SpanSite fit_site("surrogate.fit", "surrogate");
+  obs::TraceSpan span(fit_site);
+  span.arg("samples", static_cast<std::int64_t>(samples_.size()));
+
+  const std::size_t m = samples_.size();
+  constexpr std::size_t K = kSurrogateFeatures;
+  // Standardize each feature column; a constant column (e.g. the n = 16
+  // one-hot while only 16-chiplet layouts were seen) gets scale 1 and is
+  // absorbed by the intercept.
+  for (std::size_t j = 0; j < K; ++j) {
+    double mean = 0.0;
+    for (const Sample& s : samples_) mean += s.x[j];
+    mean /= static_cast<double>(m);
+    double var = 0.0;
+    for (const Sample& s : samples_) {
+      const double d = s.x[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(m);
+    mean_[j] = mean;
+    scale_[j] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+
+  // Normal equations on [1 | standardized X]: N = XᵀX + m·lambda·I (the
+  // intercept is not regularized), b = Xᵀy.  K + 1 = 10 unknowns — the
+  // dense Cholesky below is microseconds.
+  constexpr std::size_t D = K + 1;
+  double N[D][D] = {};
+  double b[D] = {};
+  for (const Sample& s : samples_) {
+    double row[D];
+    row[0] = 1.0;
+    for (std::size_t j = 0; j < K; ++j)
+      row[j + 1] = (s.x[j] - mean_[j]) / scale_[j];
+    for (std::size_t i = 0; i < D; ++i) {
+      for (std::size_t j = i; j < D; ++j) N[i][j] += row[i] * row[j];
+      b[i] += row[i] * s.y;
+    }
+  }
+  const double ridge = lambda_ * static_cast<double>(m);
+  for (std::size_t i = 1; i < D; ++i) N[i][i] += ridge;
+  for (std::size_t i = 0; i < D; ++i)
+    for (std::size_t j = 0; j < i; ++j) N[i][j] = N[j][i];
+
+  // In-place LLᵀ; the ridge keeps N positive definite even with
+  // duplicated or constant columns.
+  double L[D][D] = {};
+  for (std::size_t j = 0; j < D; ++j) {
+    double d = N[j][j];
+    for (std::size_t k = 0; k < j; ++k) d -= L[j][k] * L[j][k];
+    TACOS_CHECK(d > 0.0, "surrogate normal matrix lost definiteness");
+    L[j][j] = std::sqrt(d);
+    for (std::size_t i = j + 1; i < D; ++i) {
+      double s = N[i][j];
+      for (std::size_t k = 0; k < j; ++k) s -= L[i][k] * L[j][k];
+      L[i][j] = s / L[j][j];
+    }
+  }
+  double y[D];
+  for (std::size_t i = 0; i < D; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= L[i][k] * y[k];
+    y[i] = s / L[i][i];
+  }
+  for (std::size_t ii = D; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < D; ++k) s -= L[k][ii] * weights_[k];
+    weights_[ii] = s / L[ii][ii];
+  }
+
+  fitted_samples_ = m;
+  ++fit_count_;
+  if (obs::metrics_enabled()) {
+    static obs::Counter fits =
+        obs::MetricsRegistry::global().counter("surrogate.fits");
+    fits.add();
+  }
+}
+
+double PeakSurrogate::predict(
+    const std::array<double, kSurrogateFeatures>& x) {
+  TACOS_CHECK(ready(), "surrogate predict() before enough samples");
+  if (fitted_samples_ != samples_.size()) fit();
+  static obs::SpanSite score_site("surrogate.score", "surrogate");
+  obs::TraceSpan span(score_site);
+  double y = weights_[0];
+  for (std::size_t j = 0; j < kSurrogateFeatures; ++j)
+    y += weights_[j + 1] * (x[j] - mean_[j]) / scale_[j];
+  return y;
+}
+
+}  // namespace tacos

@@ -1,0 +1,88 @@
+#pragma once
+/// \file surrogate.hpp
+/// \brief Rung 0 of the fidelity ladder: a regularized ridge-regression
+///        peak-temperature surrogate trained online from completed full
+///        evaluations.
+///
+/// Every full thermal evaluation the Evaluator completes contributes one
+/// training sample `(features(org), peak_c)`; candidate organizations are
+/// then scored for a few hundred nanoseconds instead of a full leakage
+/// fixed point.  The feature vector spans the paper's organization space
+/// `(r, s1..s3, p, f)` plus the reference power (which folds the
+/// benchmark's power class and the DVFS level's V²f scaling into one
+/// physical abscissa); one independent model is kept per benchmark, so no
+/// benchmark one-hots are needed.
+///
+/// The fit is exact least squares on the normal equations with Tikhonov
+/// regularization (features standardized first, so one lambda fits all
+/// columns), solved by dense Cholesky — a K×K system with K = 9, refit
+/// lazily whenever new samples arrived since the last fit.  Everything is
+/// serial and insertion-ordered: predictions are bit-identical for the
+/// same training history at any thread count.
+///
+/// The surrogate never decides feasibility on its own.  The Evaluator
+/// wraps every rung's estimate in calibrated out-of-sample residual
+/// bounds (see LadderOptions) and only screens out candidates whose
+/// bounded prediction clears the threshold with margin; anything within
+/// the current error bound is promoted to a higher-fidelity rung.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace tacos {
+
+/// Feature-vector width (see PeakSurrogate::features).
+inline constexpr std::size_t kSurrogateFeatures = 9;
+
+class PeakSurrogate {
+ public:
+  /// Lambda scales the identity added to the standardized normal matrix;
+  /// min_samples gates ready() (below it, predictions are refused and the
+  /// ladder promotes everything — the cold-start contract).
+  explicit PeakSurrogate(double lambda = 1e-3, std::size_t min_samples = 8)
+      : lambda_(lambda), min_samples_(min_samples) {}
+
+  /// Feature map for one organization: chiplet-count one-hots, spacings,
+  /// frequency, active-core fraction, reference power (W).
+  static std::array<double, kSurrogateFeatures> features(
+      int n_chiplets, double s1, double s2, double s3, double freq_mhz,
+      int active_cores, double ref_power_w);
+
+  /// Record one completed full evaluation.  O(1); the model refits lazily
+  /// on the next predict().
+  void add(const std::array<double, kSurrogateFeatures>& x, double peak_c);
+
+  /// Enough training data to score candidates?
+  bool ready() const { return samples_.size() >= min_samples_; }
+
+  std::size_t sample_count() const { return samples_.size(); }
+  /// Normal-equation refits performed so far (each emits surrogate.fit).
+  std::size_t fit_count() const { return fit_count_; }
+
+  /// Predicted peak temperature (°C).  Requires ready(); refits first if
+  /// samples were added since the last fit (emits a surrogate.fit span),
+  /// then scores under a surrogate.score span.
+  double predict(const std::array<double, kSurrogateFeatures>& x);
+
+ private:
+  void fit();
+
+  struct Sample {
+    std::array<double, kSurrogateFeatures> x;
+    double y;
+  };
+
+  double lambda_;
+  std::size_t min_samples_;
+  std::vector<Sample> samples_;
+  std::size_t fitted_samples_ = 0;  ///< samples_ size at the last fit
+  std::size_t fit_count_ = 0;
+  // Standardization + weights of the last fit (weights include the
+  // intercept at index 0; feature j uses weights_[j + 1]).
+  std::array<double, kSurrogateFeatures> mean_{};
+  std::array<double, kSurrogateFeatures> scale_{};
+  std::array<double, kSurrogateFeatures + 1> weights_{};
+};
+
+}  // namespace tacos

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/check.hpp"
 #include "common/errors.hpp"
 #include "linalg/chunked.hpp"
 #include "obs/metrics.hpp"
@@ -24,6 +25,11 @@ struct MultigridPreconditioner::Level {
   std::vector<double> inv_diag;
   std::vector<std::size_t> agg;
   std::vector<double> z, tmp, rbuf;
+  // Mixed-precision smoother state (empty unless opts.mixed_precision):
+  // an f32 mirror of A plus float workspaces.  Smoothing sweeps read and
+  // write these; the double z is synced once per smooth() call.
+  std::unique_ptr<CsrF32> Af;
+  std::vector<float> inv_diag_f, zf, tmpf, rf;
 };
 
 MultigridPreconditioner::~MultigridPreconditioner() = default;
@@ -115,6 +121,13 @@ MultigridPreconditioner::MultigridPreconditioner(const CsrMatrix& A,
                               std::to_string(i));
       lv.inv_diag[i] = 1.0 / diag[i];
     }
+    if (opts_.mixed_precision) {
+      lv.Af = std::make_unique<CsrF32>(*lv.A);
+      lv.inv_diag_f.assign(lv.inv_diag.begin(), lv.inv_diag.end());
+      lv.zf.assign(n, 0.0f);
+      lv.tmpf.assign(n, 0.0f);
+      lv.rf.assign(n, 0.0f);
+    }
   }
 
   // Coarsest level: dense Cholesky, factored once.  The loop above only
@@ -167,11 +180,39 @@ std::size_t MultigridPreconditioner::unknowns(std::size_t level) const {
   return levels_[level].A->rows();
 }
 
+const CsrMatrix& MultigridPreconditioner::level_matrix(
+    std::size_t level) const {
+  return *levels_[level].A;
+}
+
+const std::vector<std::size_t>& MultigridPreconditioner::aggregates(
+    std::size_t level) const {
+  TACOS_CHECK(level + 1 < levels_.size(),
+              "aggregates(" << level << "): level has no coarser neighbor");
+  return levels_[level].agg;
+}
+
+std::size_t MultigridPreconditioner::level_nx(std::size_t level) const {
+  return levels_[level].nx;
+}
+
+std::size_t MultigridPreconditioner::level_ny(std::size_t level) const {
+  return levels_[level].ny;
+}
+
 /// Weighted-Jacobi sweeps: z <- z + omega D^{-1} (r - A z).  When the
 /// incoming z is logically zero the first sweep skips the SpMV.  Each
 /// sweep is two chunked passes with a barrier between them (tmp = A z
 /// reads all of z, so z updates must not overlap it); all writes are
 /// per-row, so the result is trivially thread-count independent.
+///
+/// Mixed precision (opts.mixed_precision): the SpMV — the memory-bound
+/// part of a sweep — runs on the f32 mirror (float values, 32-bit
+/// columns, float iterate copy), while z itself and the Jacobi update
+/// stay double.  The smoother only steers the V-cycle's error reduction,
+/// so solution accuracy is governed by the outer PCG tolerance either
+/// way; the float path stays bit-identical across thread counts because
+/// every float op is row-local inside fixed chunks.
 void MultigridPreconditioner::smooth(Level& lv, const std::vector<double>& r,
                                      std::vector<double>& z,
                                      std::size_t sweeps, bool z_is_zero) {
@@ -186,14 +227,30 @@ void MultigridPreconditioner::smooth(Level& lv, const std::vector<double>& r,
     });
     s = 1;
   }
+  const bool mixed = opts_.mixed_precision && lv.Af != nullptr;
   for (; s < sweeps; ++s) {
-    for_chunks(n, pool, [&](std::size_t lo, std::size_t hi) {
-      spmv_rows(*lv.A, z, lv.tmp, lo, hi);
-    });
-    for_chunks(n, pool, [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i)
-        z[i] += omega * lv.inv_diag[i] * (r[i] - lv.tmp[i]);
-    });
+    if (mixed) {
+      for_chunks(n, pool, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          lv.zf[i] = static_cast<float>(z[i]);
+      });
+      for_chunks(n, pool, [&](std::size_t lo, std::size_t hi) {
+        spmv_rows_f32(*lv.A, *lv.Af, lv.zf, lv.tmpf, lo, hi);
+      });
+      for_chunks(n, pool, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          z[i] += omega * lv.inv_diag[i] *
+                  (r[i] - static_cast<double>(lv.tmpf[i]));
+      });
+    } else {
+      for_chunks(n, pool, [&](std::size_t lo, std::size_t hi) {
+        spmv_rows(*lv.A, z, lv.tmp, lo, hi);
+      });
+      for_chunks(n, pool, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i)
+          z[i] += omega * lv.inv_diag[i] * (r[i] - lv.tmp[i]);
+      });
+    }
   }
 }
 
@@ -234,11 +291,12 @@ void MultigridPreconditioner::vcycle(std::size_t l,
 
   smooth(lv, r, z, opts_.pre_sweeps, /*z_is_zero=*/true);
 
-  // Residual tmp = r - A z, then restrict into the next level's rbuf.
+  // Residual tmp = r - A z (fused kernel, always double: the coarse-grid
+  // correction hinges on an accurate residual), then restrict into the
+  // next level's rbuf.
   ThreadPool* const pool = chunk_pool(n);
   for_chunks(n, pool, [&](std::size_t lo, std::size_t hi) {
-    spmv_rows(*lv.A, z, lv.tmp, lo, hi);
-    for (std::size_t i = lo; i < hi; ++i) lv.tmp[i] = r[i] - lv.tmp[i];
+    residual_rows(*lv.A, z, r, lv.tmp, lo, hi);
   });
   Level& cv = levels_[l + 1];
   // Restriction is a scatter-add over aggregates; parallelizing it would

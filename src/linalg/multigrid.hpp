@@ -62,6 +62,16 @@ struct MultigridOptions {
   std::size_t pre_sweeps = 1;   ///< weighted-Jacobi sweeps before descent
   std::size_t post_sweeps = 1;  ///< must equal pre_sweeps for symmetry
   double omega = 0.7;           ///< Jacobi damping (< 1 for SPD safety)
+  /// Run the weighted-Jacobi smoothing sweeps in single precision (float
+  /// matrix values, 32-bit column indices) while residuals, restriction,
+  /// prolongation and the coarse direct solve stay double.  The smoother
+  /// only needs a rough error reduction, so the outer PCG tolerance — and
+  /// therefore the solution accuracy — is unaffected; only the iteration
+  /// count may shift by ±1.  Results remain bit-identical at any thread
+  /// count (all float work is row-local and chunk-ordered) but differ
+  /// bitwise from the all-double cycle, so the flag defaults to off and is
+  /// excluded from the determinism tests (see docs/PERFORMANCE.md).
+  bool mixed_precision = false;
 };
 
 /// Geometric multigrid V-cycle implementing solve_pcg's Preconditioner
@@ -86,6 +96,23 @@ class MultigridPreconditioner final : public Preconditioner {
   std::size_t level_count() const;
   /// Unknowns on a level (0 = finest).
   std::size_t unknowns(std::size_t level) const;
+
+  // --- Hierarchy introspection (the fidelity ladder's coarse rung) -----
+  //
+  // The Galerkin coarse operators are themselves conductance networks, so
+  // a cheap screening solve can run directly on level 1 with no new
+  // assembly.  ThermalModel::coarse_peak_estimate restricts its RHS
+  // through `aggregates(0)` and solves `level_matrix(1)`.
+
+  /// The operator of a level (0 = the caller's fine matrix).
+  const CsrMatrix& level_matrix(std::size_t level) const;
+  /// Aggregation map from `level`'s nodes to `level + 1`'s (piecewise-
+  /// constant restriction: coarse value = sum over fine nodes mapping to
+  /// it).  Only valid for level < level_count() - 1.
+  const std::vector<std::size_t>& aggregates(std::size_t level) const;
+  /// Per-layer grid extent of a level (nx, ny).
+  std::size_t level_nx(std::size_t level) const;
+  std::size_t level_ny(std::size_t level) const;
 
  private:
   struct Level;

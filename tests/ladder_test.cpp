@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/optimizer.hpp"
+#include "core/surrogate.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace tacos {
+namespace {
+
+// Fidelity-ladder contract (docs/PERFORMANCE.md): lower-fidelity rungs may
+// only *reject* candidates, and only with calibrated margin; every
+// ambiguous candidate is promoted to the exact full evaluation, and the
+// committed winner is always backed by one.  The ladder must therefore
+// never change the chosen organization, must promote everything on a cold
+// start, must survive injected coarse-rung failures, and must stay
+// bit-identical at any thread count (including its journal encoding).
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() {
+    ThreadPool::set_global_threads(ThreadPool::default_thread_count());
+  }
+};
+
+EvalConfig fast_config(std::size_t grid = 16) {
+  EvalConfig c;
+  c.thermal.grid_nx = c.thermal.grid_ny = grid;
+  return c;
+}
+
+EvalConfig ladder_config(std::size_t grid = 16) {
+  EvalConfig c = fast_config(grid);
+  c.ladder.mode = FidelityMode::kLadder;
+  return c;
+}
+
+OptimizerOptions fast_opts(double threshold_c = 85.0) {
+  OptimizerOptions oo;
+  oo.step_mm = 2.0;
+  oo.threshold_c = threshold_c;
+  return oo;
+}
+
+const BenchmarkProfile& cholesky() { return benchmark_by_name("cholesky"); }
+
+// --- Rung 0: the ridge-regression surrogate. -----------------------------
+
+TEST(Surrogate, ColdStartRefusesUntilMinSamples) {
+  PeakSurrogate s;
+  for (int i = 0; i < 7; ++i) {
+    s.add(PeakSurrogate::features(16, 1.0 + i, 0.5, 2.0, 1000.0, 128,
+                                  200.0 + i),
+          60.0 + i);
+    EXPECT_FALSE(s.ready());
+  }
+  s.add(PeakSurrogate::features(16, 9.0, 0.5, 2.0, 1000.0, 128, 208.0), 68.0);
+  EXPECT_TRUE(s.ready());
+  EXPECT_EQ(s.sample_count(), 8u);
+}
+
+TEST(Surrogate, FitAndPredictAreDeterministic) {
+  // Identical training histories must give bit-identical predictions (the
+  // surrogate is part of the cross-thread determinism contract).
+  PeakSurrogate a, b;
+  for (int i = 0; i < 12; ++i) {
+    const auto x = PeakSurrogate::features(
+        16, 0.5 * i, 0.25 * i, 4.0 - 0.2 * i, 800.0 + 40.0 * i,
+        128 + 8 * i, 150.0 + 5.0 * i);
+    const double y = 55.0 + 1.7 * i;  // smooth, learnable target
+    a.add(x, y);
+    b.add(x, y);
+  }
+  const auto q = PeakSurrogate::features(16, 0.5 * 6, 0.25 * 6, 4.0 - 1.2,
+                                         800.0 + 240.0, 128 + 48, 180.0);
+  const double pa = a.predict(q);
+  EXPECT_EQ(pa, b.predict(q));
+  EXPECT_EQ(pa, a.predict(q));  // re-scoring does not drift
+  EXPECT_EQ(a.fit_count(), 1u);  // lazy refit: one fit serves many scores
+  // The query is the i = 6 training point, so the (lightly regularized)
+  // fit should land close to its label.
+  EXPECT_NEAR(pa, 55.0 + 1.7 * 6.0, 2.0);
+}
+
+// --- Cold start: no calibration data, everything promotes. ---------------
+
+TEST(Ladder, ColdStartPromotesEverything) {
+  Evaluator eval(ladder_config());
+  const Organization hot{16, {0.5, 0.25, 0.5}, 0, 256};
+  // Even against an absurdly low bound, an uncalibrated ladder must not
+  // reject: no trained surrogate, no residual bounds.
+  EXPECT_FALSE(eval.screen_infeasible(hot, cholesky(), 40.0));
+  EXPECT_GE(eval.ladder_stats().screened, 1u);
+  EXPECT_EQ(eval.ladder_stats().rejected, 0u);
+  // The walk-grade path likewise falls through to the exact evaluation.
+  const Evaluator::WalkEval w = eval.walk_eval(hot, cholesky(), 85.0);
+  EXPECT_TRUE(w.exact);
+  EXPECT_EQ(eval.ladder_stats().rejected, 0u);
+}
+
+// --- Trust region: the ladder can never flip the chosen organization. ----
+
+TEST(Ladder, WinnerInvariantAcrossFidelityModes) {
+  Rng dummy(0);
+  for (const double threshold : {80.0, 85.0, 90.0}) {
+    Evaluator full(fast_config());
+    Evaluator ladder(ladder_config());
+    const OptResult rf = optimize_greedy(full, cholesky(),
+                                         fast_opts(threshold));
+    const OptResult rl = optimize_greedy(ladder, cholesky(),
+                                         fast_opts(threshold));
+    SCOPED_TRACE("threshold=" + std::to_string(threshold));
+    ASSERT_EQ(rf.found, rl.found);
+    if (!rf.found) continue;
+    EXPECT_EQ(rf.org.n_chiplets, rl.org.n_chiplets);
+    EXPECT_EQ(rf.org.spacing.s1, rl.org.spacing.s1);
+    EXPECT_EQ(rf.org.spacing.s2, rl.org.spacing.s2);
+    EXPECT_EQ(rf.org.spacing.s3, rl.org.spacing.s3);
+    EXPECT_EQ(rf.org.dvfs_idx, rl.org.dvfs_idx);
+    EXPECT_EQ(rf.org.active_cores, rl.org.active_cores);
+    // Objective depends only on the combo, so it is bit-identical; the
+    // winner's peak re-solves from a different warm-start history, so it
+    // only agrees to solver tolerance.
+    EXPECT_EQ(rf.objective, rl.objective);
+    EXPECT_NEAR(rf.peak_c, rl.peak_c, 1e-6);
+    // The ladder actually did something on this workload (grid 16 keeps
+    // the medium rung active), and the winner's verdict was exact.
+    EXPECT_GE(ladder.ladder_stats().screened, 1u);
+  }
+}
+
+// --- Determinism: bit-identical rows at any thread count. ----------------
+
+TEST(Ladder, BatchBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  std::vector<std::string> names;
+  for (const auto& b : benchmarks()) {
+    names.emplace_back(b.name);
+    if (names.size() == 3) break;
+  }
+  std::string fp0;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool::set_global_threads(threads);
+    EvalStats merged;
+    const std::vector<OptResult> rows =
+        optimize_greedy_batch(ladder_config(), names, fast_opts(), &merged);
+    ASSERT_EQ(rows.size(), names.size());
+    // The journal codec renders every field (doubles at %.17g), so equal
+    // encodings mean bit-identical rows AND bit-identical merged stats —
+    // including every ladder counter.
+    std::string fp;
+    for (const OptResult& r : rows) fp += encode_opt_result(r, merged);
+    if (fp0.empty())
+      fp0 = fp;
+    else
+      EXPECT_EQ(fp, fp0) << "threads=" << threads;
+    EXPECT_TRUE(merged.ladder.any());
+  }
+}
+
+// --- Fault injection: a failing coarse rung degrades to promotion. -------
+
+TEST(Ladder, CoarseRungFailuresPromoteWithoutChangingWinner) {
+  Evaluator clean(ladder_config());
+  EvalConfig faulted_cfg = ladder_config();
+  faulted_cfg.thermal.solve.fault.coarse_fail_every = 1;  // every one fails
+  Evaluator faulted(faulted_cfg);
+
+  const OptResult rc = optimize_greedy(clean, cholesky(), fast_opts());
+  const OptResult rf = optimize_greedy(faulted, cholesky(), fast_opts());
+
+  EXPECT_GT(clean.ladder_stats().coarse_solves, 0u);
+  EXPECT_EQ(clean.ladder_stats().coarse_failures, 0u);
+  EXPECT_GT(faulted.ladder_stats().coarse_failures, 0u);
+  // A coarse failure is not an error: the candidate is promoted, so the
+  // search commits the same organization.
+  ASSERT_EQ(rc.found, rf.found);
+  ASSERT_TRUE(rc.found);
+  EXPECT_EQ(rc.org.spacing.s1, rf.org.spacing.s1);
+  EXPECT_EQ(rc.org.spacing.s2, rf.org.spacing.s2);
+  EXPECT_EQ(rc.org.spacing.s3, rf.org.spacing.s3);
+  EXPECT_EQ(rc.org.dvfs_idx, rf.org.dvfs_idx);
+  EXPECT_EQ(rc.org.active_cores, rf.org.active_cores);
+  EXPECT_EQ(rc.objective, rf.objective);
+}
+
+// --- Journal codec: rung metadata rides with the row. --------------------
+
+TEST(Ladder, JournalRoundTripsLadderStats) {
+  OptResult r;
+  r.found = true;
+  r.org = Organization{16, {1.0 / 3.0, 0.25, 2.0 / 7.0}, 2, 192};
+  r.ips = 123.456;
+  r.cost = 78.9;
+  r.objective = 1.0 / 3.0;
+  r.peak_c = 84.9999;
+  r.combos_tried = 17;
+  r.thermal_solves = 412;
+  EvalStats s;
+  s.solves = 412;
+  s.evals = 33;
+  s.ladder.screened = 10;
+  s.ladder.rejected = 4;
+  s.ladder.promoted = 6;
+  s.ladder.audits = 1;
+  s.ladder.surrogate_scores = 9;
+  s.ladder.surrogate_fits = 2;
+  s.ladder.coarse_solves = 8;
+  s.ladder.coarse_failures = 1;
+  s.ladder.medium_solves = 40;
+  s.ladder.medium_failures = 3;
+
+  const std::string payload = encode_opt_result(r, s);
+  EXPECT_NE(payload.find("\nladder "), std::string::npos);
+  OptResult r2;
+  EvalStats s2;
+  ASSERT_TRUE(decode_opt_result(payload, &r2, &s2));
+  EXPECT_EQ(r2.org.spacing.s1, r.org.spacing.s1);
+  EXPECT_EQ(r2.org.spacing.s3, r.org.spacing.s3);
+  EXPECT_EQ(r2.objective, r.objective);
+  EXPECT_EQ(s2.ladder.screened, s.ladder.screened);
+  EXPECT_EQ(s2.ladder.rejected, s.ladder.rejected);
+  EXPECT_EQ(s2.ladder.promoted, s.ladder.promoted);
+  EXPECT_EQ(s2.ladder.audits, s.ladder.audits);
+  EXPECT_EQ(s2.ladder.surrogate_scores, s.ladder.surrogate_scores);
+  EXPECT_EQ(s2.ladder.surrogate_fits, s.ladder.surrogate_fits);
+  EXPECT_EQ(s2.ladder.coarse_solves, s.ladder.coarse_solves);
+  EXPECT_EQ(s2.ladder.coarse_failures, s.ladder.coarse_failures);
+  EXPECT_EQ(s2.ladder.medium_solves, s.ladder.medium_solves);
+  EXPECT_EQ(s2.ladder.medium_failures, s.ladder.medium_failures);
+}
+
+TEST(Ladder, PreLadderJournalRowsDecodeWithZeroStats) {
+  // Full-mode rows (and rows written before the ladder existed) carry no
+  // "ladder" line; decoding must tolerate that and yield zero counters.
+  OptResult r;
+  r.found = false;
+  EvalStats s;
+  s.solves = 7;
+  s.evals = 1;
+  const std::string payload = encode_opt_result(r, s);
+  EXPECT_EQ(payload.find("ladder "), std::string::npos);
+  OptResult r2;
+  EvalStats s2;
+  s2.ladder.screened = 99;  // stale state must be cleared by decode
+  ASSERT_TRUE(decode_opt_result(payload, &r2, &s2));
+  EXPECT_FALSE(s2.ladder.any());
+  EXPECT_EQ(s2.solves, 7u);
+}
+
+// --- Mixed-precision multigrid smoothing. --------------------------------
+
+TEST(Ladder, MixedPrecisionMgMatchesDoubleSolve) {
+  const ChipletLayout layout = make_uniform_layout(4, 4.0);
+  const LayerStack stack = make_25d_stack();
+  PowerMap power;
+  for (const auto& c : layout.chiplets()) power.add(c.rect, 300.0 / 16.0);
+
+  std::vector<double> temps[2];
+  for (int k = 0; k < 2; ++k) {
+    ThermalConfig cfg;
+    cfg.grid_nx = cfg.grid_ny = 48;
+    cfg.solve.precond = PrecondKind::kMultigrid;
+    cfg.solve.mg_mixed_precision = k == 1;
+    ThermalModel model(layout, stack, cfg);
+    model.solve(power);
+    temps[k] = model.tile_temperatures();
+    EXPECT_EQ(model.health().solve_failures, 0u);
+  }
+  ASSERT_EQ(temps[0].size(), temps[1].size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < temps[0].size(); ++i)
+    max_diff = std::max(max_diff, std::abs(temps[0][i] - temps[1][i]));
+  // The float smoother changes the preconditioner, not the answer: PCG
+  // still converges in double to the same tolerance.
+  EXPECT_LT(max_diff, 1e-4);
+}
+
+}  // namespace
+}  // namespace tacos

@@ -74,13 +74,24 @@ PrecondKind g_precond = PrecondKind::kAuto;
 /// Observability knobs from --metrics/--trace (docs/OBSERVABILITY.md).
 obs::ObsOptions g_obs;
 
+/// Evaluation fidelity from --fidelity (docs/PERFORMANCE.md): full runs
+/// every candidate through the leakage fixed point; ladder screens through
+/// surrogate → coarse → medium rungs first; auto picks per grid size.
+FidelityMode g_fidelity = FidelityMode::kFull;
+/// --surrogate-keep-frac: fraction of confident rejects audited anyway.
+double g_keep_frac = 0.0;
+/// --mg-mixed: float smoothing sweeps inside the MG preconditioner.
+bool g_mg_mixed = false;
+
 int usage() {
   std::cerr <<
       "usage: tacos_cli [--threads=N] [--fault-pcg-every=N]"
       " [--fault-pcg-rungs=K]\n"
-      "                 [--fault-leak-nonconverge]\n"
+      "                 [--fault-leak-nonconverge] [--fault-coarse-every=N]\n"
       "                 [--run-dir=DIR] [--resume] [--task-deadline=S]\n"
-      "                 [--precond=auto|jacobi|mg]\n"
+      "                 [--precond=auto|jacobi|mg] [--mg-mixed]\n"
+      "                 [--fidelity=auto|full|ladder]"
+      " [--surrogate-keep-frac=F]\n"
       "                 [--metrics[=FILE]] [--trace[=FILE]]"
       " <command> [args]\n"
       "  list\n"
@@ -99,6 +110,9 @@ Evaluator make_evaluator() {
   cfg.thermal.grid_nx = cfg.thermal.grid_ny = 32;
   cfg.thermal.solve.fault = g_fault;
   cfg.thermal.solve.precond = g_precond;
+  cfg.thermal.solve.mg_mixed_precision = g_mg_mixed;
+  cfg.ladder.mode = g_fidelity;
+  cfg.ladder.keep_frac = g_keep_frac;
   // Interactive commands honor Ctrl-C at solver granularity: the solve
   // aborts with CancelledError and the process exits 75.
   cfg.thermal.solve.cancel = &global_cancel_token();
@@ -242,6 +256,9 @@ int cmd_batch(const std::vector<std::string>& a) {
       a.size() > 3 ? std::stoul(a[3]) : 32;
   cfg.thermal.solve.fault = g_fault;
   cfg.thermal.solve.precond = g_precond;
+  cfg.thermal.solve.mg_mixed_precision = g_mg_mixed;
+  cfg.ladder.mode = g_fidelity;
+  cfg.ladder.keep_frac = g_keep_frac;
   OptimizerOptions opts;
   opts.alpha = !a.empty() ? std::stod(a[0]) : 1.0;
   opts.beta = a.size() > 1 ? std::stod(a[1]) : 0.0;
@@ -308,6 +325,15 @@ int cmd_batch(const std::vector<std::string>& a) {
         << cfg.thermal.grid_nx << ", step " << opts.step_mm << " mm)";
   t.print(title.str());
   std::cout << "\n-- CSV --\n" << t.to_csv();
+  if (stats.ladder.any()) {
+    const LadderStats& l = stats.ladder;
+    std::cerr << "ladder: " << l.screened << " screened, " << l.rejected
+              << " rejected, " << l.promoted << " promoted (" << l.audits
+              << " audit(s)), " << l.surrogate_scores << " surrogate score(s)/"
+              << l.surrogate_fits << " fit(s), " << l.coarse_solves
+              << " coarse + " << l.medium_solves << " medium solve(s), "
+              << l.coarse_failures + l.medium_failures << " rung failure(s)\n";
+  }
   std::cerr << stats.health.summary() << "\n";
   obs::record_run_health(stats.health);
   if (run_interrupted()) {
@@ -364,6 +390,20 @@ int main(int argc, char** argv) {
       g_fault.pcg_fail_rungs = static_cast<int>(n);
     } else if (flag == "--fault-leak-nonconverge") {
       g_fault.leak_force_nonconverge = true;
+    } else if (flag.rfind("--fault-coarse-every=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 21);
+      if (n < 1) return usage();
+      g_fault.coarse_fail_every = static_cast<std::size_t>(n);
+    } else if (flag.rfind("--fidelity=", 0) == 0) {
+      const std::optional<FidelityMode> m =
+          parse_fidelity_mode(flag.substr(11));
+      if (!m) return usage();
+      g_fidelity = *m;
+    } else if (flag.rfind("--surrogate-keep-frac=", 0) == 0) {
+      g_keep_frac = std::stod(flag.substr(22));
+      if (!(g_keep_frac >= 0.0 && g_keep_frac <= 1.0)) return usage();
+    } else if (flag == "--mg-mixed") {
+      g_mg_mixed = true;
     } else if (flag.rfind("--run-dir=", 0) == 0) {
       g_run_dir = flag.substr(10);
     } else if (flag == "--resume") {
