@@ -22,7 +22,9 @@
 /// count, which is what the quarantine determinism tests rely on.
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <string>
 
 namespace tacos {
 
@@ -49,6 +51,26 @@ struct FaultPlan {
   /// runs max_leak_iters iterations and reports converged = false.
   bool leak_force_nonconverge = false;
 
+  /// --- Worker-level faults (consumed by the sweep fabric, never by the
+  /// solver stack; see src/core/fabric.hpp).  All are armed only in a
+  /// worker's first incarnation: the supervisor strips them from restart
+  /// command lines, so an injected crash fires once per worker, the way a
+  /// real OOM-kill would.
+  /// Crash the worker process (SIGKILL to self) immediately after
+  /// *claiming* its Kth task, 1-based (0 = off) — the lease is live and
+  /// the result unpublished, exactly the window a real crash leaves.
+  std::size_t worker_crash_after = 0;
+  /// Crash the worker whenever it claims this task id — unlike
+  /// worker_crash_after this survives restarts (the flag is re-armed per
+  /// claim of the named task), so two incarnations die on it and the
+  /// supervisor's poison-task detection trips.
+  std::string worker_crash_task;
+  /// Stall (sleep) for this many ms after the first claim of worker index
+  /// 0, incarnation 0 — a deterministic zombie: with a lease TTL shorter
+  /// than the stall, the lease expires, another worker reclaims at a
+  /// higher epoch, and the woken zombie's publish must be fenced off.
+  std::uint64_t lease_stall_ms = 0;
+
   /// Force the fidelity ladder's coarse-rung screening solve to fail on
   /// this 0-based coarse-solve index / on every Nth coarse solve (0 =
   /// off).  Coarse solves have their own ledger clock (SolveLedger::
@@ -63,6 +85,12 @@ struct FaultPlan {
     return pcg_fail_at != kNever || pcg_fail_every != 0 ||
            nan_rhs_at != kNever || leak_force_nonconverge ||
            coarse_fail_at != kNever || coarse_fail_every != 0;
+  }
+
+  /// Any worker-level (fabric) fault armed?
+  bool worker_faults_enabled() const {
+    return worker_crash_after != 0 || !worker_crash_task.empty() ||
+           lease_stall_ms != 0;
   }
 
   /// Should ladder attempt `attempt` (0 = warm first try) of solve

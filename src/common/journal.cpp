@@ -1,13 +1,21 @@
 #include "common/journal.hpp"
 
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/atomic_file.hpp"
 #include "common/check.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
 
 namespace tacos {
 
@@ -140,14 +148,6 @@ std::string crc_input(const std::string& id, const std::string& payload) {
   return s;
 }
 
-std::string format_record(const std::string& id, const std::string& payload) {
-  std::ostringstream os;
-  os << "{\"task\":\"" << json_escape(id) << "\",\"crc\":"
-     << crc32(crc_input(id, payload)) << ",\"data\":\""
-     << json_escape(payload) << "\"}";
-  return os.str();
-}
-
 /// Scan a JSON string literal starting at s[pos] (just after the opening
 /// quote); sets `end` to the index of the closing quote.  Returns false if
 /// the line ends before the string does (a truncated record).
@@ -173,10 +173,19 @@ bool expect(const std::string& s, std::size_t* pos, const char* lit) {
   return true;
 }
 
-/// Strict parse of one journal line; returns false on any deviation from
-/// the exact format format_record emits (including a bad CRC).
-bool parse_record(const std::string& line, std::string* id,
-                  std::string* payload) {
+}  // namespace
+
+std::string format_journal_line(const std::string& id,
+                                const std::string& payload) {
+  std::ostringstream os;
+  os << "{\"task\":\"" << json_escape(id) << "\",\"crc\":"
+     << crc32(crc_input(id, payload)) << ",\"data\":\""
+     << json_escape(payload) << "\"}";
+  return os.str();
+}
+
+bool parse_journal_line(const std::string& line, std::string* id,
+                        std::string* payload) {
   std::size_t pos = 0;
   if (!expect(line, &pos, "{\"task\":\"")) return false;
   std::size_t end = 0;
@@ -204,42 +213,57 @@ bool parse_record(const std::string& line, std::string* id,
   return crc32(crc_input(*id, *payload)) == static_cast<std::uint32_t>(crc);
 }
 
-}  // namespace
-
-RunJournal::RunJournal(std::string dir) : dir_(std::move(dir)) {
+RunJournal::RunJournal(std::string dir, std::string filename)
+    : dir_(std::move(dir)), filename_(std::move(filename)) {
   TACOS_CHECK(!dir_.empty(), "run directory must not be empty");
+  TACOS_CHECK(!filename_.empty(), "journal filename must not be empty");
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   TACOS_CHECK(!ec, "cannot create run directory " << dir_ << ": "
                                                   << ec.message());
+  acquire_lockfile();
 }
 
-std::string RunJournal::path() const { return dir_ + "/journal.jsonl"; }
+RunJournal::~RunJournal() { release_lockfile(); }
 
-RunJournal::LoadStats RunJournal::load() {
-  std::lock_guard<std::mutex> lk(mu_);
-  records_.clear();
-  index_.clear();
+std::string RunJournal::path() const { return dir_ + "/" + filename_; }
+
+RunJournal::LoadStats RunJournal::read_records(
+    const std::string& path,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
   LoadStats stats;
-  std::ifstream in(path());
+  std::ifstream in(path);
   if (!in.good()) return stats;  // fresh run directory
+  std::map<std::string, std::size_t> seen;
   std::string line;
   bool torn = false;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     std::string id, payload;
-    if (torn || !parse_record(line, &id, &payload)) {
+    if (torn || !parse_journal_line(line, &id, &payload)) {
       // First tear (truncated tail, corrupted CRC, hand-edited line):
       // everything from here on is untrusted and will be recomputed.
       torn = true;
       ++stats.dropped;
       continue;
     }
-    if (index_.count(id)) continue;  // duplicate id: first record wins
-    index_.emplace(id, records_.size());
-    records_.emplace_back(std::move(id), std::move(payload));
+    if (seen.count(id)) continue;  // duplicate id: first record wins
+    seen.emplace(id, out->size());
+    out->emplace_back(std::move(id), std::move(payload));
     ++stats.loaded;
   }
+  return stats;
+}
+
+RunJournal::LoadStats RunJournal::load() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::pair<std::string, std::string>> records;
+  const LoadStats stats = read_records(path(), &records);
+  records_ = std::move(records);
+  index_.clear();
+  for (std::size_t i = 0; i < records_.size(); ++i)
+    index_.emplace(records_[i].first, i);
   return stats;
 }
 
@@ -301,8 +325,68 @@ void RunJournal::rewrite_locked() {
   // price of never exposing a half-appended line.
   AtomicFile out(path());
   for (const auto& [id, payload] : records_)
-    out.stream() << format_record(id, payload) << '\n';
+    out.stream() << format_journal_line(id, payload) << '\n';
   out.commit();
+}
+
+void RunJournal::acquire_lockfile() {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::string lock = path() + ".lock";
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int fd = ::open(lock.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      const std::string pid = std::to_string(::getpid()) + "\n";
+      [[maybe_unused]] ssize_t n = ::write(fd, pid.data(), pid.size());
+      ::close(fd);
+      locked_ = true;
+      return;
+    }
+    if (errno != EEXIST) return;  // unlockable filesystem: proceed unlocked
+    long owner = 0;
+    {
+      std::ifstream in(lock);
+      in >> owner;
+    }
+    if (owner <= 0) {
+      // Mid-creation by another process, or debris with no pid: give the
+      // writer one beat, then treat the lock as stale.
+      if (attempt < 2) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+    } else if (owner != static_cast<long>(::getpid()) &&
+               !(::kill(static_cast<pid_t>(owner), 0) == -1 &&
+                 errno == ESRCH)) {
+      // A live process (or one we cannot signal, which still proves
+      // existence) owns this journal: fail fast instead of interleaving.
+      throw Error("run journal " + path() + " is locked by live process " +
+                  std::to_string(owner) +
+                  " (two sweeps must not share one journal file; use the"
+                  " --workers fabric or a fresh --run-dir)");
+    }
+    // Stale (dead pid) or our own pid (same-process reopen, which the
+    // in-memory mutex already serializes): take the lock over.
+    ::unlink(lock.c_str());
+  }
+  throw Error("run journal " + path() +
+              " lockfile thrashing: could not acquire " + lock);
+#endif
+}
+
+void RunJournal::release_lockfile() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (!locked_) return;
+  locked_ = false;
+  const std::string lock = path() + ".lock";
+  long owner = 0;
+  {
+    std::ifstream in(lock);
+    in >> owner;
+  }
+  // Only remove a lock that is still ours: a same-pid takeover (see
+  // acquire) may have re-issued it to a newer instance.
+  if (owner == static_cast<long>(::getpid())) ::unlink(lock.c_str());
+#endif
 }
 
 }  // namespace tacos

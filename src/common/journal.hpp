@@ -53,11 +53,34 @@ bool json_unescape(const std::string& s, std::string* out);
 std::string escape_field(const std::string& s);
 std::string unescape_field(const std::string& s);
 
+/// One checksummed record line in the journal's on-disk format (no
+/// trailing newline) — shared with the lease log (`src/common/lease.hpp`),
+/// which appends the same format under O_APPEND.
+std::string format_journal_line(const std::string& id,
+                                const std::string& payload);
+/// Strict inverse of format_journal_line, including the CRC check.
+bool parse_journal_line(const std::string& line, std::string* id,
+                        std::string* payload);
+
 /// The write-ahead journal of one run directory.
+///
+/// Opening a journal acquires `<file>.lock` next to it (`O_CREAT|O_EXCL`,
+/// POSIX): two unrelated processes pointing at the same file fail fast
+/// instead of silently interleaving whole-file rewrites.  The lock holds
+/// the owner's pid; a lock left behind by a dead process (SIGKILL, OOM) —
+/// or by this same process, which serializes its own appends internally —
+/// is taken over.  The multi-process sweep fabric never contends here:
+/// each worker journals to its own shard file (see src/core/fabric.hpp).
 class RunJournal {
  public:
-  /// Opens (creating the directory if needed) `<dir>/journal.jsonl`.
-  explicit RunJournal(std::string dir);
+  /// Opens (creating the directory if needed) `<dir>/<filename>` and
+  /// acquires its lockfile.  Throws tacos::Error when another live
+  /// process holds the lock.
+  explicit RunJournal(std::string dir,
+                      std::string filename = "journal.jsonl");
+  ~RunJournal();
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
 
   const std::string& dir() const { return dir_; }
   std::string path() const;
@@ -69,6 +92,12 @@ class RunJournal {
   /// Replay the journal file from disk (tolerant; see file comment).
   /// Call once before the first append/find.
   LoadStats load();
+
+  /// Read a journal file without opening (or locking) it: the shard-merge
+  /// path of the sweep fabric.  Same tolerant tear semantics as load().
+  static LoadStats read_records(
+      const std::string& path,
+      std::vector<std::pair<std::string, std::string>>* out);
 
   /// Pin one dimension of the sweep configuration: records
   /// `meta:<key> -> value` on first call, and on resume throws
@@ -93,8 +122,12 @@ class RunJournal {
 
  private:
   void rewrite_locked();
+  void acquire_lockfile();
+  void release_lockfile();
 
   std::string dir_;
+  std::string filename_;
+  bool locked_ = false;
   mutable std::mutex mu_;
   std::vector<std::pair<std::string, std::string>> records_;
   std::map<std::string, std::size_t> index_;

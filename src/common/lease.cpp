@@ -1,0 +1,316 @@
+#include "common/lease.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "common/check.hpp"
+#include "common/journal.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace tacos {
+
+namespace {
+
+const char* kind_name(LeaseRecord::Kind k) {
+  switch (k) {
+    case LeaseRecord::Kind::kClaim: return "claim";
+    case LeaseRecord::Kind::kDone: return "done";
+    case LeaseRecord::Kind::kRelease: return "release";
+    case LeaseRecord::Kind::kCrash: return "crash";
+    case LeaseRecord::Kind::kPoison: return "poison";
+  }
+  return "?";
+}
+
+bool kind_from(const std::string& s, LeaseRecord::Kind* k) {
+  if (s == "claim") *k = LeaseRecord::Kind::kClaim;
+  else if (s == "done") *k = LeaseRecord::Kind::kDone;
+  else if (s == "release") *k = LeaseRecord::Kind::kRelease;
+  else if (s == "crash") *k = LeaseRecord::Kind::kCrash;
+  else if (s == "poison") *k = LeaseRecord::Kind::kPoison;
+  else return false;
+  return true;
+}
+
+constexpr char kIdPrefix[] = "lease:";
+
+}  // namespace
+
+std::string encode_lease_record(const LeaseRecord& rec) {
+  std::ostringstream payload;
+  payload << kind_name(rec.kind) << ' '
+          << (rec.worker.empty() ? "-" : rec.worker) << ' ' << rec.epoch
+          << ' ' << rec.deadline_ms;
+  return format_journal_line(kIdPrefix + rec.task, payload.str()) + "\n";
+}
+
+bool decode_lease_record(const std::string& line, LeaseRecord* rec) {
+  std::string id, payload;
+  if (!parse_journal_line(line, &id, &payload)) return false;
+  if (id.rfind(kIdPrefix, 0) != 0) return false;
+  rec->task = id.substr(sizeof kIdPrefix - 1);
+  std::istringstream in(payload);
+  std::string kind, worker;
+  if (!(in >> kind >> worker >> rec->epoch >> rec->deadline_ms)) return false;
+  if (!kind_from(kind, &rec->kind)) return false;
+  rec->worker = worker == "-" ? std::string() : worker;
+  return true;
+}
+
+std::uint64_t lease_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Replayed event state of one task (applied in file order).
+struct LeaseTable::TaskEvents {
+  struct Claim {
+    std::string owner;             ///< first claimant of this epoch (wins)
+    std::uint64_t deadline_ms = 0; ///< owner's latest (renewed) deadline
+    bool released = false;
+  };
+  std::map<std::uint64_t, Claim> claims;
+  std::uint64_t max_epoch = 0;
+  std::string done_worker;
+  std::uint64_t done_epoch = 0;
+  std::size_t crashes = 0;
+  bool poisoned = false;
+
+  void apply(const LeaseRecord& rec) {
+    switch (rec.kind) {
+      case LeaseRecord::Kind::kClaim: {
+        Claim& c = claims[rec.epoch];
+        if (c.owner.empty()) {
+          c.owner = rec.worker;  // first claim in file order wins the epoch
+          c.deadline_ms = rec.deadline_ms;
+        } else if (c.owner == rec.worker) {
+          c.deadline_ms = rec.deadline_ms;  // renewal: same epoch, no re-fence
+        }
+        if (rec.epoch > max_epoch) max_epoch = rec.epoch;
+        break;
+      }
+      case LeaseRecord::Kind::kDone:
+        if (rec.epoch > done_epoch) {  // last-valid-epoch wins on replay
+          done_epoch = rec.epoch;
+          done_worker = rec.worker;
+        }
+        break;
+      case LeaseRecord::Kind::kRelease: {
+        const auto it = claims.find(rec.epoch);
+        if (it != claims.end() && it->second.owner == rec.worker)
+          it->second.released = true;
+        break;
+      }
+      case LeaseRecord::Kind::kCrash: ++crashes; break;
+      case LeaseRecord::Kind::kPoison: poisoned = true; break;
+    }
+  }
+};
+
+LeaseTable::LeaseTable(std::string dir) : dir_(std::move(dir)) {
+  TACOS_CHECK(!dir_.empty(), "lease directory must not be empty");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);  // first opener wins; races
+                                                  // with peers are benign
+#if defined(__unix__) || defined(__APPLE__)
+  fd_ = ::open(path().c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  TACOS_CHECK(fd_ >= 0, "cannot open lease log " << path());
+#endif
+}
+
+LeaseTable::~LeaseTable() {
+#if defined(__unix__) || defined(__APPLE__)
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+std::string LeaseTable::path() const { return dir_ + "/leases.jsonl"; }
+
+void LeaseTable::append_record(const LeaseRecord& rec) {
+  const std::string line = encode_lease_record(rec);
+#if defined(__unix__) || defined(__APPLE__)
+  // One write(2) per record: O_APPEND makes concurrent appenders from
+  // different processes interleave at record granularity, never mid-line.
+  ssize_t n = ::write(fd_, line.data(), line.size());
+  TACOS_CHECK(n == static_cast<ssize_t>(line.size()),
+              "short write to lease log " << path());
+  ::fsync(fd_);
+#else
+  std::ofstream out(path(), std::ios::binary | std::ios::app);
+  out << line;
+#endif
+}
+
+std::size_t LeaseTable::refresh() {
+  std::ifstream in(path(), std::ios::binary);
+  if (!in.good()) return 0;
+  in.seekg(static_cast<std::streamoff>(read_offset_));
+  std::string chunk((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  read_offset_ += chunk.size();
+  tail_ += chunk;
+  std::size_t applied = 0;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t eol = tail_.find('\n', pos);
+    if (eol == std::string::npos) break;  // incomplete line: retry next time
+    const std::string line = tail_.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    LeaseRecord rec;
+    if (!decode_lease_record(line, &rec)) {
+      ++corrupt_records_;  // complete but corrupt: skip, never fatal
+      continue;
+    }
+    tasks_[rec.task].apply(rec);
+    ++applied;
+  }
+  tail_.erase(0, pos);
+  return applied;
+}
+
+const LeaseTable::TaskEvents* LeaseTable::events(
+    const std::string& task) const {
+  const auto it = tasks_.find(task);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+LeaseState LeaseTable::state(const std::string& task) const {
+  LeaseState s;
+  const TaskEvents* ev = events(task);
+  if (!ev) return s;
+  s.epoch = ev->max_epoch;
+  s.done_worker = ev->done_worker;
+  s.done_epoch = ev->done_epoch;
+  s.crashes = ev->crashes;
+  if (ev->poisoned) {
+    s.phase = LeaseState::Phase::kPoisoned;
+  } else if (ev->done_epoch > 0) {
+    s.phase = LeaseState::Phase::kDone;
+  } else if (ev->max_epoch > 0) {
+    const TaskEvents::Claim& c = ev->claims.at(ev->max_epoch);
+    if (!c.released && lease_now_ms() < c.deadline_ms) {
+      s.phase = LeaseState::Phase::kHeld;
+      s.holder = c.owner;
+      s.deadline_ms = c.deadline_ms;
+    }
+  }
+  return s;
+}
+
+std::optional<std::uint64_t> LeaseTable::try_claim(const std::string& task,
+                                                   const std::string& worker,
+                                                   std::uint64_t ttl_ms) {
+  refresh();
+  const LeaseState before = state(task);
+  if (before.phase != LeaseState::Phase::kFree) return std::nullopt;
+  const std::uint64_t epoch = before.epoch + 1;
+  append_record({LeaseRecord::Kind::kClaim, task, worker, epoch,
+                 lease_now_ms() + ttl_ms});
+  // Re-read and let file order arbitrate: the first claim record for this
+  // epoch owns the lease; everyone else lost the race.
+  refresh();
+  const TaskEvents* ev = events(task);
+  if (!ev || ev->poisoned || ev->done_epoch > 0) return std::nullopt;
+  const auto it = ev->claims.find(epoch);
+  if (it == ev->claims.end() || it->second.owner != worker) return std::nullopt;
+  if (ev->max_epoch > epoch) return std::nullopt;  // superseded already
+  if (before.epoch > 0) ++reclaims_;  // took over an expired/released lease
+  return epoch;
+}
+
+bool LeaseTable::renew(const std::string& task, const std::string& worker,
+                       std::uint64_t epoch, std::uint64_t ttl_ms) {
+  refresh();
+  const TaskEvents* ev = events(task);
+  if (!ev || ev->poisoned || ev->done_epoch > 0 || ev->max_epoch != epoch)
+    return false;
+  const auto it = ev->claims.find(epoch);
+  if (it == ev->claims.end() || it->second.owner != worker ||
+      it->second.released)
+    return false;
+  append_record({LeaseRecord::Kind::kClaim, task, worker, epoch,
+                 lease_now_ms() + ttl_ms});
+  return true;
+}
+
+bool LeaseTable::publish_done(const std::string& task,
+                              const std::string& worker,
+                              std::uint64_t epoch) {
+  refresh();
+  const TaskEvents* ev = events(task);
+  const auto fenced = [&] {
+    ++stale_publishes_;
+    return false;
+  };
+  if (!ev) return fenced();
+  if (ev->done_worker == worker && ev->done_epoch == epoch)
+    return true;  // idempotent re-publish of our own commit
+  if (ev->poisoned || ev->done_epoch > 0) return fenced();
+  const auto it = ev->claims.find(epoch);
+  // The fence: our claim must still be the newest epoch and unreleased.
+  // (An expired-but-unsuperseded lease may still publish — nobody else
+  // committed, so the result is unique; reclaim is what re-fences.)
+  if (it == ev->claims.end() || it->second.owner != worker ||
+      it->second.released || ev->max_epoch != epoch)
+    return fenced();
+  append_record({LeaseRecord::Kind::kDone, task, worker, epoch, 0});
+  // A racing commit can still have appended first; file order decides.
+  refresh();
+  const LeaseState after = state(task);
+  if (after.done_worker == worker && after.done_epoch == epoch) return true;
+  return fenced();
+}
+
+void LeaseTable::release(const std::string& task, const std::string& worker,
+                         std::uint64_t epoch) {
+  append_record({LeaseRecord::Kind::kRelease, task, worker, epoch, 0});
+  refresh();
+}
+
+void LeaseTable::record_crash(const std::string& task) {
+  append_record({LeaseRecord::Kind::kCrash, task, std::string(), 0, 0});
+  refresh();
+}
+
+void LeaseTable::poison(const std::string& task) {
+  append_record({LeaseRecord::Kind::kPoison, task, std::string(), 0, 0});
+  refresh();
+}
+
+std::size_t LeaseTable::replay_reclaims() const {
+  std::size_t n = 0;
+  for (const auto& [task, ev] : tasks_) {
+    (void)task;
+    std::size_t owned = 0;
+    for (const auto& [epoch, claim] : ev.claims) {
+      (void)epoch;
+      if (!claim.owner.empty()) ++owned;
+    }
+    if (owned > 1) n += owned - 1;
+  }
+  return n;
+}
+
+bool LeaseTable::all_settled(const std::vector<std::string>& tasks) const {
+  for (const std::string& t : tasks) {
+    const LeaseState s = state(t);
+    if (s.phase != LeaseState::Phase::kDone &&
+        s.phase != LeaseState::Phase::kPoisoned)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace tacos

@@ -1,0 +1,164 @@
+#pragma once
+/// \file lease.hpp
+/// \brief Journal-leased work sharding for the multi-process sweep fabric.
+///
+/// Worker processes of a `--workers=N` sweep coordinate through one
+/// append-only file, `<run-dir>/leases.jsonl`.  Each record is a single
+/// line in the run journal's checksummed format (`{"task":...,"crc":...,
+/// "data":...}`) appended with a single O_APPEND `write(2)` — atomic on
+/// POSIX for these short lines — so concurrent appenders never tear each
+/// other's records and the file's byte order is a total order of events.
+/// Unlike `journal.jsonl`, ids repeat: the file is an event log, and the
+/// per-task state is *resolved* by replaying it:
+///
+///   claim   <worker> <epoch> <deadline_ms>   — lease until deadline
+///   done    <worker> <epoch>                 — result durably journaled
+///   release <worker> <epoch>                 — claim given back early
+///   crash   <count-marker>                   — a worker died holding it
+///   poison  —                                — quarantined by supervisor
+///
+/// Claim protocol (optimistic, first-writer-wins): a worker resolves the
+/// task's current epoch E, appends `claim` with epoch E+1, then re-reads
+/// the file; the *first* claim record for (task, E+1) in file order owns
+/// the lease, later same-epoch claims lost the race.  A lease is
+/// reclaimable once its deadline passes or it was released (the
+/// supervisor releases the leases of a worker it reaped), and every
+/// reclaim bumps the epoch.
+///
+/// Epoch fencing: `publish_done` re-reads the log and refuses when the
+/// task's lease is no longer (worker, epoch) — so a zombie worker that
+/// stalls past its deadline and wakes after a reclaim can never commit
+/// over the newer worker's row.  On replay, the `done` record with the
+/// highest epoch wins (`state().done_epoch`), so even a fenced record
+/// that raced onto disk is ignored deterministically.
+///
+/// A reader may catch the last line mid-write: `refresh()` only advances
+/// past complete (newline-terminated) records and re-reads the tail on
+/// the next call; a complete-but-corrupt line (bad CRC) is skipped and
+/// counted, never fatal.  See docs/ROBUSTNESS.md ("The sweep fabric").
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tacos {
+
+/// One event of the lease log.
+struct LeaseRecord {
+  enum class Kind { kClaim, kDone, kRelease, kCrash, kPoison };
+  Kind kind = Kind::kClaim;
+  std::string task;             ///< journal task id, e.g. "optimize:canneal"
+  std::string worker;           ///< worker name, e.g. "w0.1" (empty: crash/poison)
+  std::uint64_t epoch = 0;      ///< fencing epoch (claim/done/release)
+  std::uint64_t deadline_ms = 0;///< wall-clock expiry (claim only)
+};
+
+/// One line of leases.jsonl (checksummed, newline-terminated).
+std::string encode_lease_record(const LeaseRecord& rec);
+/// Strict inverse; false on any malformed or checksum-failing line.
+bool decode_lease_record(const std::string& line, LeaseRecord* rec);
+
+/// Wall-clock milliseconds (CLOCK_REALTIME) — the shared lease clock.
+/// Coarse by design: it only gates expiry, never result content.
+std::uint64_t lease_now_ms();
+
+/// Resolved per-task state after replaying the log.
+struct LeaseState {
+  enum class Phase {
+    kFree,      ///< never claimed, expired, or released — claimable
+    kHeld,      ///< live unexpired lease
+    kDone,      ///< a result was committed (done_worker/done_epoch)
+    kPoisoned,  ///< quarantined by the supervisor; never claimable again
+  };
+  Phase phase = Phase::kFree;
+  std::string holder;            ///< current lease owner (kHeld)
+  std::uint64_t epoch = 0;       ///< highest epoch ever claimed
+  std::uint64_t deadline_ms = 0; ///< current lease expiry (kHeld)
+  std::string done_worker;       ///< committer of the winning result
+  std::uint64_t done_epoch = 0;  ///< fencing epoch of the winning result
+  std::size_t crashes = 0;       ///< workers that died holding this task
+};
+
+/// The lease log of one run directory.  One instance per process (each
+/// fabric worker owns its own, coordinating purely through the file);
+/// methods are safe to call from one thread at a time.
+class LeaseTable {
+ public:
+  /// Opens (creating if needed) `<dir>/leases.jsonl` for O_APPEND writes.
+  explicit LeaseTable(std::string dir);
+  ~LeaseTable();
+  LeaseTable(const LeaseTable&) = delete;
+  LeaseTable& operator=(const LeaseTable&) = delete;
+
+  std::string path() const;
+
+  /// Read and apply any records appended since the last refresh (by this
+  /// or any other process).  Returns the number of records applied.
+  std::size_t refresh();
+
+  /// Resolved state of `task` as of the last refresh().
+  LeaseState state(const std::string& task) const;
+
+  /// Attempt to claim `task` for `worker` with a `ttl_ms` lease.  Returns
+  /// the fencing epoch on success, nullopt when the task is done,
+  /// poisoned, validly held by someone else, or the claim race was lost.
+  /// Refreshes before and after the append (see file comment).
+  std::optional<std::uint64_t> try_claim(const std::string& task,
+                                         const std::string& worker,
+                                         std::uint64_t ttl_ms);
+
+  /// Extend an owned lease's deadline by `ttl_ms` from now (same epoch —
+  /// renewal never re-fences).  False if the lease is no longer ours.
+  bool renew(const std::string& task, const std::string& worker,
+             std::uint64_t epoch, std::uint64_t ttl_ms);
+
+  /// Epoch-fenced commit: true (and a durable `done` record) only when
+  /// the task's lease still belongs to (worker, epoch) and no newer-epoch
+  /// result exists.  A false return means the publish was fenced off —
+  /// the caller's result must be discarded, not journaled.
+  bool publish_done(const std::string& task, const std::string& worker,
+                    std::uint64_t epoch);
+
+  /// Give a claim back (graceful shutdown, or the supervisor reaping a
+  /// dead worker's leases so they are reclaimable before expiry).
+  void release(const std::string& task, const std::string& worker,
+               std::uint64_t epoch);
+
+  /// Supervisor bookkeeping: `task` was in flight when its worker died.
+  void record_crash(const std::string& task);
+  /// Supervisor verdict: quarantine `task` (terminal; workers skip it).
+  void poison(const std::string& task);
+
+  /// True when every id in `tasks` is done or poisoned.
+  bool all_settled(const std::vector<std::string>& tasks) const;
+
+  /// Claims that bumped a previously used epoch (expired/released lease
+  /// taken over) — the run-level `leases_reclaimed` feed.
+  std::size_t reclaims() const { return reclaims_; }
+  /// Log-wide reclaim count resolved from replay (claimed epochs beyond
+  /// each task's first): unlike reclaims(), this sees takeovers performed
+  /// by *other* processes — the supervisor's view of the whole run.
+  std::size_t replay_reclaims() const;
+  /// Commits refused by the epoch fence (zombie publishes).
+  std::size_t stale_publishes() const { return stale_publishes_; }
+  /// Complete-but-corrupt lines skipped during refresh.
+  std::size_t corrupt_records() const { return corrupt_records_; }
+
+ private:
+  struct TaskEvents;
+  void append_record(const LeaseRecord& rec);
+  const TaskEvents* events(const std::string& task) const;
+
+  std::string dir_;
+  int fd_ = -1;
+  std::uint64_t read_offset_ = 0;
+  std::string tail_;  ///< incomplete trailing line carried across refreshes
+  std::map<std::string, TaskEvents> tasks_;
+  std::size_t reclaims_ = 0;
+  std::size_t stale_publishes_ = 0;
+  std::size_t corrupt_records_ = 0;
+};
+
+}  // namespace tacos

@@ -28,6 +28,14 @@ struct RunHealth {
   std::size_t timeouts = 0;          ///< tasks that exceeded their deadline
   std::size_t cancelled = 0;         ///< tasks abandoned by an interrupted run
 
+  // Sweep-fabric counters (src/core/fabric.hpp), populated by the
+  // supervisor's run-level health only — per-task journal records never
+  // carry them, which keeps the journal byte-format (and byte-identity
+  // between fabric and single-process runs) unchanged.
+  std::size_t leases_reclaimed = 0;  ///< expired/released leases taken over
+  std::size_t worker_restarts = 0;   ///< crashed workers respawned
+  std::size_t poison_tasks = 0;      ///< tasks quarantined for killing workers
+
   /// Total extra solve attempts spent recovering.
   std::size_t retries() const {
     return cold_restarts + cap_retries + gs_fallbacks;
@@ -37,7 +45,8 @@ struct RunHealth {
   bool clean() const {
     return retries() == 0 && solve_failures == 0 && nonfinite_inputs == 0 &&
            leak_nonconverged == 0 && quarantined == 0 && timeouts == 0 &&
-           cancelled == 0;
+           cancelled == 0 && leases_reclaimed == 0 && worker_restarts == 0 &&
+           poison_tasks == 0;
   }
 
   RunHealth& operator+=(const RunHealth& o) {
@@ -50,6 +59,9 @@ struct RunHealth {
     quarantined += o.quarantined;
     timeouts += o.timeouts;
     cancelled += o.cancelled;
+    leases_reclaimed += o.leases_reclaimed;
+    worker_restarts += o.worker_restarts;
+    poison_tasks += o.poison_tasks;
     return *this;
   }
 
@@ -74,6 +86,9 @@ struct RunHealth {
     field(quarantined, "quarantined task(s)");
     field(timeouts, "timeout(s)");
     field(cancelled, "cancelled task(s)");
+    field(leases_reclaimed, "lease(s) reclaimed");
+    field(worker_restarts, "worker restart(s)");
+    field(poison_tasks, "poison task(s)");
     return os.str();
   }
 
@@ -89,7 +104,9 @@ struct RunHealth {
        << ", \"leak_nonconverged\": " << leak_nonconverged
        << ", \"quarantined\": " << quarantined
        << ", \"timeouts\": " << timeouts << ", \"cancelled\": " << cancelled
-       << "}";
+       << ", \"leases_reclaimed\": " << leases_reclaimed
+       << ", \"worker_restarts\": " << worker_restarts
+       << ", \"poison_tasks\": " << poison_tasks << "}";
     return os.str();
   }
 };

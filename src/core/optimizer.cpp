@@ -321,8 +321,8 @@ bool read_double(std::istream& in, double* out) {
   return end == tok.c_str() + tok.size();
 }
 
-/// Configuration fingerprint pinned into a run directory: any knob that
-/// changes task results makes a resume with a mismatched journal an error.
+}  // namespace
+
 std::string batch_meta(const EvalConfig& config,
                        const std::vector<std::string>& bench_names,
                        const OptimizerOptions& opts) {
@@ -344,8 +344,6 @@ std::string batch_meta(const EvalConfig& config,
     m << (i ? "," : "") << bench_names[i];
   return m.str();
 }
-
-}  // namespace
 
 std::string encode_opt_result(const OptResult& result,
                               const EvalStats& stats) {
@@ -445,105 +443,105 @@ bool decode_opt_result(const std::string& payload, OptResult* result,
   return saw_found && saw_health;
 }
 
+TaskOutcome optimize_one_guarded(const EvalConfig& config,
+                                 const std::string& name,
+                                 const OptimizerOptions& opts,
+                                 const RunControl* run) {
+  RunJournal* const journal = run ? run->journal : nullptr;
+  static obs::SpanSite task_site("opt.task", "opt");
+  obs::TraceSpan task_span(task_site);
+  task_span.arg("bench", name);
+  TaskOutcome out;
+  const std::string task_id = "optimize:" + name;
+  if (journal) {
+    if (const std::optional<std::string> payload = journal->find(task_id)) {
+      // Checkpoint replay: the journaled row and its shard stats
+      // stand in for the recomputation, so a resumed run's output —
+      // including the merged counters — is byte-identical to an
+      // uninterrupted one.  An undecodable payload (hand-edited
+      // journal) falls through to recomputation.
+      if (decode_opt_result(*payload, &out.result, &out.stats)) {
+        task_span.arg("outcome", "replayed");
+        return out;
+      }
+    }
+  }
+  if (run && run->cancel && run->cancel->cancelled()) {
+    // Graceful shutdown: stop dispatching new tasks; in-flight ones
+    // drain via their own tokens.  Not journaled → recomputed on
+    // resume.
+    out.result.interrupted = true;
+    out.completed = false;
+    ++out.stats.health.cancelled;
+    task_span.arg("outcome", "interrupted");
+    return out;
+  }
+  // Per-task token: chains the run-level cancel and carries this
+  // task's wall-clock budget.
+  CancelToken task_cancel(run ? run->cancel : nullptr);
+  if (run && run->task_deadline_s > 0)
+    task_cancel.set_deadline(run->task_deadline_s);
+  EvalConfig task_config = config;
+  task_config.thermal.solve.cancel = &task_cancel;
+  OptimizerOptions task_opts = opts;
+  task_opts.cancel = &task_cancel;
+
+  Evaluator eval(task_config);  // per-task shard: caches never shared
+  bool timed_out = false;
+  try {
+    out.result = optimize_greedy(eval, benchmark_by_name(name), task_opts);
+  } catch (const CancelledError& c) {
+    if (c.reason() == CancelledError::Reason::kDeadline) {
+      // Over budget: a terminal, journalable outcome — the paper
+      // workload must never hang on one pathological layout.
+      out.result = OptResult{};
+      out.result.quarantined = true;
+      out.result.diagnostic = c.what();
+      timed_out = true;
+    } else {
+      out.result = OptResult{};
+      out.result.interrupted = true;
+      out.completed = false;
+    }
+  } catch (const Error& e) {
+    // Containment: this task failed even after the recovery ladder.
+    // Quarantine it (infeasible row + diagnostic) so the rest of the
+    // batch survives; the catch is inside the task body, so results
+    // stay deterministic at any thread count.
+    out.result = OptResult{};
+    out.result.quarantined = true;
+    out.result.diagnostic = e.what();
+  }
+  out.stats = eval.stats();
+  if (timed_out)
+    ++out.stats.health.timeouts;
+  else if (out.result.quarantined)
+    ++out.stats.health.quarantined;
+  else if (out.result.interrupted)
+    ++out.stats.health.cancelled;
+  task_span.arg("outcome", timed_out ? "timeout"
+                : out.result.quarantined
+                    ? "quarantined"
+                    : out.result.interrupted ? "interrupted" : "ok");
+  task_span.arg("solves", static_cast<std::int64_t>(out.stats.solves));
+  if (out.completed && journal)
+    journal->append(task_id, encode_opt_result(out.result, out.stats));
+  return out;
+}
+
 std::vector<OptResult> optimize_greedy_batch(
     const EvalConfig& config, const std::vector<std::string>& bench_names,
     const OptimizerOptions& opts, EvalStats* merged, const RunControl* run) {
-  RunJournal* const journal = run ? run->journal : nullptr;
-  if (journal)
-    journal->bind_meta("optimize_greedy_batch",
-                       batch_meta(config, bench_names, opts));
-  struct TaskOut {
-    OptResult result;
-    EvalStats stats;
-    bool completed = true;  ///< terminal result (journalable)
-  };
-  const std::vector<TaskOut> outs = ThreadPool::global().parallel_map(
+  if (run && run->journal)
+    run->journal->bind_meta("optimize_greedy_batch",
+                            batch_meta(config, bench_names, opts));
+  const std::vector<TaskOutcome> outs = ThreadPool::global().parallel_map(
       bench_names, [&](const std::string& name) {
-        static obs::SpanSite task_site("opt.task", "opt");
-        obs::TraceSpan task_span(task_site);
-        task_span.arg("bench", name);
-        TaskOut out;
-        const std::string task_id = "optimize:" + name;
-        if (journal) {
-          if (const std::optional<std::string> payload =
-                  journal->find(task_id)) {
-            // Checkpoint replay: the journaled row and its shard stats
-            // stand in for the recomputation, so a resumed run's output —
-            // including the merged counters — is byte-identical to an
-            // uninterrupted one.  An undecodable payload (hand-edited
-            // journal) falls through to recomputation.
-            if (decode_opt_result(*payload, &out.result, &out.stats)) {
-              task_span.arg("outcome", "replayed");
-              return out;
-            }
-          }
-        }
-        if (run && run->cancel && run->cancel->cancelled()) {
-          // Graceful shutdown: stop dispatching new tasks; in-flight ones
-          // drain via their own tokens.  Not journaled → recomputed on
-          // resume.
-          out.result.interrupted = true;
-          out.completed = false;
-          ++out.stats.health.cancelled;
-          task_span.arg("outcome", "interrupted");
-          return out;
-        }
-        // Per-task token: chains the run-level cancel and carries this
-        // task's wall-clock budget.
-        CancelToken task_cancel(run ? run->cancel : nullptr);
-        if (run && run->task_deadline_s > 0)
-          task_cancel.set_deadline(run->task_deadline_s);
-        EvalConfig task_config = config;
-        task_config.thermal.solve.cancel = &task_cancel;
-        OptimizerOptions task_opts = opts;
-        task_opts.cancel = &task_cancel;
-
-        Evaluator eval(task_config);  // per-task shard: caches never shared
-        bool timed_out = false;
-        try {
-          out.result =
-              optimize_greedy(eval, benchmark_by_name(name), task_opts);
-        } catch (const CancelledError& c) {
-          if (c.reason() == CancelledError::Reason::kDeadline) {
-            // Over budget: a terminal, journalable outcome — the paper
-            // workload must never hang on one pathological layout.
-            out.result = OptResult{};
-            out.result.quarantined = true;
-            out.result.diagnostic = c.what();
-            timed_out = true;
-          } else {
-            out.result = OptResult{};
-            out.result.interrupted = true;
-            out.completed = false;
-          }
-        } catch (const Error& e) {
-          // Containment: this task failed even after the recovery ladder.
-          // Quarantine it (infeasible row + diagnostic) so the rest of the
-          // batch survives; the catch is inside the task body, so results
-          // stay deterministic at any thread count.
-          out.result = OptResult{};
-          out.result.quarantined = true;
-          out.result.diagnostic = e.what();
-        }
-        out.stats = eval.stats();
-        if (timed_out)
-          ++out.stats.health.timeouts;
-        else if (out.result.quarantined)
-          ++out.stats.health.quarantined;
-        else if (out.result.interrupted)
-          ++out.stats.health.cancelled;
-        task_span.arg("outcome", timed_out ? "timeout"
-                      : out.result.quarantined
-                          ? "quarantined"
-                          : out.result.interrupted ? "interrupted" : "ok");
-        task_span.arg("solves", static_cast<std::int64_t>(out.stats.solves));
-        if (out.completed && journal)
-          journal->append(task_id, encode_opt_result(out.result, out.stats));
-        return out;
+        return optimize_one_guarded(config, name, opts, run);
       });
   std::vector<OptResult> results;
   results.reserve(outs.size());
-  for (const TaskOut& o : outs) {
+  for (const TaskOutcome& o : outs) {
     results.push_back(o.result);
     if (merged) *merged += o.stats;
   }

@@ -140,6 +140,33 @@ std::vector<OptResult> optimize_greedy_batch(
     const OptimizerOptions& opts, EvalStats* merged = nullptr,
     const RunControl* run = nullptr);
 
+/// One task's outcome from the guarded per-task driver.
+struct TaskOutcome {
+  OptResult result;
+  EvalStats stats;
+  bool completed = true;  ///< terminal result (journalable)
+};
+
+/// The per-task body of optimize_greedy_batch, exposed so the sweep
+/// fabric's worker loop (src/core/fabric.cpp) runs the *same* code path:
+/// journal replay, per-task cancel/deadline token, quarantine containment,
+/// health accounting, span annotation and journal append — which is what
+/// makes an N-worker fabric journal byte-identical to the single-process
+/// one.  `run` (and its journal) may be null.
+TaskOutcome optimize_one_guarded(const EvalConfig& config,
+                                 const std::string& name,
+                                 const OptimizerOptions& opts,
+                                 const RunControl* run);
+
+/// Configuration fingerprint pinned into a run directory (the value bound
+/// under `meta:optimize_greedy_batch`): any knob that changes task results
+/// makes a resume with a mismatched journal an error.  Exposed so the
+/// sweep fabric binds the *same* fingerprint into shard journals and the
+/// merged canonical journal.
+std::string batch_meta(const EvalConfig& config,
+                       const std::vector<std::string>& bench_names,
+                       const OptimizerOptions& opts);
+
 /// Journal payload codec for one batch task (exposed for durability
 /// tests).  encode → decode round-trips every field bit-exactly (doubles
 /// rendered with %.17g).

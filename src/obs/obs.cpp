@@ -125,6 +125,9 @@ void record_run_health(const RunHealth& h) {
   rec("health.quarantined", h.quarantined);
   rec("health.timeouts", h.timeouts);
   rec("health.cancelled", h.cancelled);
+  rec("health.leases_reclaimed", h.leases_reclaimed);
+  rec("health.worker_restarts", h.worker_restarts);
+  rec("health.poison_tasks", h.poison_tasks);
 }
 
 }  // namespace tacos::obs

@@ -8,6 +8,11 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 #include "common/atomic_file.hpp"
 #include "common/journal.hpp"
 #include "common/thread_pool.hpp"
@@ -184,6 +189,53 @@ TEST(RunJournal, TruncatedFinalRecordIsDropped) {
   EXPECT_EQ(j2.task_count(), 4u);
 }
 
+TEST(RunJournal, TornTailAtEveryByteOffsetRecoversThePrefix) {
+  // A crash can truncate the journal at ANY byte.  Whatever the cut, the
+  // prefix records must load, the torn row must be dropped (never a wrong
+  // or partial payload), and recomputing the lost task must restore the
+  // file byte-for-byte.
+  const std::string dir = fresh_dir("journal_torn_sweep");
+  const std::string last_payload = "payload-3 with \ttab, \nnewline, \\slash";
+  std::string journal_path;
+  {
+    RunJournal j(dir);
+    j.load();
+    for (int i = 0; i < 3; ++i)
+      j.append("task:" + std::to_string(i), "payload-" + std::to_string(i));
+    j.append("task:3", last_payload);
+    journal_path = j.path();
+  }
+  const std::string full = slurp(journal_path);
+  ASSERT_GT(full.size(), 2u);
+  ASSERT_EQ(full.back(), '\n');
+  const std::size_t last_start = full.rfind('\n', full.size() - 2) + 1;
+  for (std::size_t cut = last_start; cut < full.size(); ++cut) {
+    SCOPED_TRACE("cut=" + std::to_string(cut) + "/" +
+                 std::to_string(full.size()));
+    std::ofstream(journal_path, std::ios::binary | std::ios::trunc)
+        << full.substr(0, cut);
+    RunJournal j(dir);
+    const RunJournal::LoadStats st = j.load();
+    if (cut == full.size() - 1) {
+      // Only the trailing newline is missing: the final line is complete
+      // and checksummed, so it is trusted.
+      EXPECT_EQ(st.loaded, 4u);
+      EXPECT_EQ(st.dropped, 0u);
+      ASSERT_TRUE(j.find("task:3").has_value());
+      EXPECT_EQ(*j.find("task:3"), last_payload);
+    } else {
+      EXPECT_EQ(st.loaded, 3u);
+      EXPECT_EQ(st.dropped, cut == last_start ? 0u : 1u);
+      EXPECT_FALSE(j.has("task:3"));
+      EXPECT_EQ(*j.find("task:2"), "payload-2");
+      // Recompute the torn task: the journal heals to the exact pre-crash
+      // bytes (the whole-file rewrite re-canonicalizes the tail).
+      j.append("task:3", last_payload);
+      EXPECT_EQ(slurp(journal_path), full);
+    }
+  }
+}
+
 TEST(RunJournal, CorruptedCrcMidFileStopsReplayThere) {
   const std::string dir = fresh_dir("journal_crc");
   {
@@ -208,6 +260,70 @@ TEST(RunJournal, CorruptedCrcMidFileStopsReplayThere) {
   EXPECT_FALSE(j2.has("task:1"));
   EXPECT_FALSE(j2.has("task:2"));
 }
+
+// ------------------------------------------------------------- lockfile
+
+#if defined(__unix__) || defined(__APPLE__)
+
+TEST(RunJournalLock, LiveForeignPidRefusesToOpen) {
+  const std::string dir = fresh_dir("lock_live");
+  fs::create_directories(dir);
+  // Pid 1 always exists (and EPERM on kill(1,0) still proves existence):
+  // a second sweep must never share a locked journal.
+  std::ofstream(dir + "/journal.jsonl.lock") << 1 << "\n";
+  EXPECT_THROW({ RunJournal j(dir); }, Error);
+}
+
+TEST(RunJournalLock, StaleDeadPidIsTakenOver) {
+  const std::string dir = fresh_dir("lock_stale");
+  fs::create_directories(dir);
+  // A real, guaranteed-dead pid: fork a child that exits immediately and
+  // reap it — the state a crashed previous run leaves behind.
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) _Exit(0);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  const std::string lock = dir + "/journal.jsonl.lock";
+  std::ofstream(lock) << child << "\n";
+  {
+    RunJournal j(dir);  // takeover, not a throw
+    j.load();
+    j.append("task:a", "payload");
+    long owner = 0;
+    std::ifstream(lock) >> owner;
+    EXPECT_EQ(owner, static_cast<long>(getpid()));
+  }
+  EXPECT_FALSE(fs::exists(lock)) << "released on clean close";
+}
+
+TEST(RunJournalLock, DebrisWithoutPidIsTakenOverAfterGrace) {
+  const std::string dir = fresh_dir("lock_debris");
+  fs::create_directories(dir);
+  std::ofstream(dir + "/journal.jsonl.lock") << "not-a-pid";
+  RunJournal j(dir);  // one grace beat, then treated as stale
+  j.load();
+  j.append("task:a", "payload");
+  EXPECT_TRUE(j.has("task:a"));
+}
+
+TEST(RunJournalLock, SameProcessReopenTakesOverAndReleasesOnce) {
+  const std::string dir = fresh_dir("lock_reopen");
+  const std::string lock = dir + "/journal.jsonl.lock";
+  {
+    RunJournal j(dir);
+    EXPECT_TRUE(fs::exists(lock));
+    {
+      // Our own pid is never "live contention": the in-memory mutex
+      // already serializes same-process instances.
+      RunJournal j2(dir);
+      EXPECT_TRUE(fs::exists(lock));
+    }
+  }
+  EXPECT_FALSE(fs::exists(lock));
+}
+
+#endif  // unix
 
 // ---------------------------------------------------------- task codecs
 

@@ -1,0 +1,588 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/journal.hpp"
+#include "common/lease.hpp"
+#include "common/thread_pool.hpp"
+#include "core/durable.hpp"
+#include "core/fabric.hpp"
+#include "core/optimizer.hpp"
+#include "perf/benchmark.hpp"
+
+namespace tacos {
+namespace {
+
+// The fabric contract (docs/ROBUSTNESS.md, "The sweep fabric"): workers
+// coordinate through epoch-fenced leases in an append-only log; a zombie
+// holding a stale epoch can never commit over a newer worker's row; and
+// the merged canonical journal of an N-worker sweep — with any injected
+// crashes — is byte-identical to a single-process run.
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "tacos_fabric_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+EvalConfig small_config() {
+  EvalConfig c;
+  c.thermal.grid_nx = c.thermal.grid_ny = 12;
+  return c;
+}
+
+OptimizerOptions small_options() {
+  OptimizerOptions o;
+  o.step_mm = 4.0;
+  o.starts = 3;
+  return o;
+}
+
+std::vector<std::string> test_benchmarks() {
+  std::vector<std::string> names;
+  for (const auto& n : representative_benchmarks()) names.emplace_back(n);
+  return names;
+}
+
+std::vector<std::string> task_ids(const std::vector<std::string>& names) {
+  std::vector<std::string> ids;
+  for (const std::string& n : names) ids.push_back("optimize:" + n);
+  return ids;
+}
+
+/// The canonical journal bytes of a 1-thread single-process run — the
+/// byte-identity oracle every fabric sweep must reproduce.  Computed once
+/// per test binary.
+const std::string& reference_journal_bytes() {
+  static const std::string bytes = [] {
+    ThreadPool::set_global_threads(1);
+    const std::string dir = fresh_dir("reference");
+    RunJournal j(dir);
+    j.load();
+    const RunControl run{&j, nullptr, 0.0};
+    EvalStats stats;
+    optimize_greedy_batch(small_config(), test_benchmarks(), small_options(),
+                          &stats, &run);
+    ThreadPool::set_global_threads(ThreadPool::default_thread_count());
+    return slurp(j.path());
+  }();
+  return bytes;
+}
+
+/// Merge a finished in-process sweep into `dir`'s canonical journal and
+/// return its bytes (binding the batch meta record first, exactly as
+/// run_fabric_sweep does).
+std::string merge_and_slurp(const std::string& dir,
+                            const std::vector<std::string>& names,
+                            std::size_t* merged = nullptr) {
+  RunJournal journal(dir);
+  journal.load();
+  journal.bind_meta("optimize_greedy_batch",
+                    batch_meta(small_config(), names, small_options()));
+  const std::size_t n = merge_fabric_shards(journal, dir, names);
+  if (merged) *merged = n;
+  return slurp(journal.path());
+}
+
+// ----------------------------------------------------- lease record codec
+
+TEST(LeaseCodec, RoundTripsEveryKind) {
+  const std::array<LeaseRecord::Kind, 5> kinds = {
+      LeaseRecord::Kind::kClaim, LeaseRecord::Kind::kDone,
+      LeaseRecord::Kind::kRelease, LeaseRecord::Kind::kCrash,
+      LeaseRecord::Kind::kPoison};
+  for (const LeaseRecord::Kind k : kinds) {
+    LeaseRecord rec;
+    rec.kind = k;
+    rec.task = "optimize:canneal";
+    rec.worker = (k == LeaseRecord::Kind::kCrash ||
+                  k == LeaseRecord::Kind::kPoison)
+                     ? std::string()
+                     : "w2.1";
+    rec.epoch = 7;
+    rec.deadline_ms = 1234567890123ull;
+    const std::string line = encode_lease_record(rec);
+    ASSERT_EQ(line.back(), '\n');
+    LeaseRecord back;
+    ASSERT_TRUE(decode_lease_record(line.substr(0, line.size() - 1), &back));
+    EXPECT_EQ(back.kind, rec.kind);
+    EXPECT_EQ(back.task, rec.task);
+    EXPECT_EQ(back.worker, rec.worker);
+    EXPECT_EQ(back.epoch, rec.epoch);
+    EXPECT_EQ(back.deadline_ms, rec.deadline_ms);
+  }
+}
+
+TEST(LeaseCodec, RejectsCorruptAndForeignLines) {
+  LeaseRecord rec;
+  rec.task = "t";
+  rec.worker = "w0.0";
+  rec.epoch = 1;
+  std::string line = encode_lease_record(rec);
+  line.pop_back();  // strip '\n'
+  LeaseRecord back;
+  ASSERT_TRUE(decode_lease_record(line, &back));
+  // One flipped payload byte must fail the CRC.
+  std::string bad = line;
+  bad[bad.size() / 2] ^= 1;
+  EXPECT_FALSE(decode_lease_record(bad, &back));
+  EXPECT_FALSE(decode_lease_record("garbage", &back));
+  // A valid journal line that is not a lease record is rejected too.
+  EXPECT_FALSE(decode_lease_record(
+      format_journal_line("optimize:canneal", "not a lease"), &back));
+}
+
+// -------------------------------------------------- claim / fence units
+
+TEST(LeaseTable, ClaimConflictAndDone) {
+  const std::string dir = fresh_dir("claim");
+  fs::create_directories(dir);
+  LeaseTable a(dir);
+  LeaseTable b(dir);
+  const std::string id = "optimize:x264";
+  const auto ea = a.try_claim(id, "w0.0", 60'000);
+  ASSERT_TRUE(ea.has_value());
+  EXPECT_EQ(*ea, 1u);
+  // b sees a live unexpired lease: the claim must be refused.
+  EXPECT_FALSE(b.try_claim(id, "w1.0", 60'000).has_value());
+  EXPECT_EQ(b.state(id).phase, LeaseState::Phase::kHeld);
+  EXPECT_EQ(b.state(id).holder, "w0.0");
+  EXPECT_TRUE(a.publish_done(id, "w0.0", *ea));
+  b.refresh();
+  EXPECT_EQ(b.state(id).phase, LeaseState::Phase::kDone);
+  EXPECT_EQ(b.state(id).done_worker, "w0.0");
+  EXPECT_TRUE(b.all_settled({id}));
+  // Publishing our own commit again is idempotent, not a stale publish.
+  EXPECT_TRUE(a.publish_done(id, "w0.0", *ea));
+  EXPECT_EQ(a.stale_publishes(), 0u);
+}
+
+TEST(LeaseTable, ExpiredLeaseIsReclaimedAtHigherEpoch) {
+  const std::string dir = fresh_dir("expiry");
+  fs::create_directories(dir);
+  LeaseTable a(dir);
+  LeaseTable b(dir);
+  const std::string id = "optimize:x264";
+  ASSERT_TRUE(a.try_claim(id, "w0.0", 40).has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  b.refresh();
+  EXPECT_EQ(b.state(id).phase, LeaseState::Phase::kFree) << "expired";
+  const auto eb = b.try_claim(id, "w1.0", 60'000);
+  ASSERT_TRUE(eb.has_value());
+  EXPECT_EQ(*eb, 2u) << "reclaim must bump the epoch";
+  EXPECT_EQ(b.reclaims(), 1u);
+  // A fresh replay of the whole log sees the takeover too.
+  LeaseTable fresh(dir);
+  fresh.refresh();
+  EXPECT_EQ(fresh.replay_reclaims(), 1u);
+}
+
+// The hard constraint: a zombie worker whose lease expired and was
+// reclaimed can never overwrite the newer worker's commit.
+TEST(LeaseTable, StaleEpochPublishIsFenced) {
+  const std::string dir = fresh_dir("fence");
+  fs::create_directories(dir);
+  LeaseTable zombie(dir);
+  LeaseTable fresh_worker(dir);
+  const std::string id = "optimize:x264";
+  const auto e1 = zombie.try_claim(id, "w0.0", 40);
+  ASSERT_TRUE(e1.has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  const auto e2 = fresh_worker.try_claim(id, "w1.0", 60'000);
+  ASSERT_TRUE(e2.has_value());
+  ASSERT_EQ(*e2, 2u);
+  // The zombie wakes and tries to commit its stale result: fenced.
+  EXPECT_FALSE(zombie.publish_done(id, "w0.0", *e1));
+  EXPECT_EQ(zombie.stale_publishes(), 1u);
+  EXPECT_TRUE(fresh_worker.publish_done(id, "w1.0", *e2));
+  LeaseTable reader(dir);
+  reader.refresh();
+  EXPECT_EQ(reader.state(id).done_worker, "w1.0");
+  EXPECT_EQ(reader.state(id).done_epoch, 2u);
+  // Even a stale `done` record that raced onto disk is ignored on
+  // replay: the done with the highest epoch wins deterministically.
+  {
+    std::ofstream app(reader.path(), std::ios::binary | std::ios::app);
+    app << encode_lease_record(
+        {LeaseRecord::Kind::kDone, id, "w0.0", *e1, 0});
+  }
+  LeaseTable replayed(dir);
+  replayed.refresh();
+  EXPECT_EQ(replayed.state(id).done_worker, "w1.0");
+  EXPECT_EQ(replayed.state(id).done_epoch, 2u);
+}
+
+TEST(LeaseTable, ReleasedLeaseIsImmediatelyReclaimable) {
+  const std::string dir = fresh_dir("release");
+  fs::create_directories(dir);
+  LeaseTable a(dir);
+  LeaseTable b(dir);
+  const std::string id = "optimize:x264";
+  const auto ea = a.try_claim(id, "w0.0", 3'600'000);
+  ASSERT_TRUE(ea.has_value());
+  a.release(id, "w0.0", *ea);
+  b.refresh();
+  const auto eb = b.try_claim(id, "w1.0", 3'600'000);
+  ASSERT_TRUE(eb.has_value()) << "no TTL wait after an explicit release";
+  EXPECT_EQ(*eb, 2u);
+  // The releasing worker's own late publish is fenced as well.
+  EXPECT_FALSE(a.publish_done(id, "w0.0", *ea));
+}
+
+TEST(LeaseTable, RenewExtendsWithoutReFencing) {
+  const std::string dir = fresh_dir("renew");
+  fs::create_directories(dir);
+  LeaseTable a(dir);
+  const std::string id = "optimize:x264";
+  const auto e = a.try_claim(id, "w0.0", 500);
+  ASSERT_TRUE(e.has_value());
+  const std::uint64_t d0 = a.state(id).deadline_ms;
+  EXPECT_TRUE(a.renew(id, "w0.0", *e, 2'000));
+  EXPECT_GE(a.state(id).deadline_ms, d0);
+  EXPECT_EQ(a.state(id).epoch, *e) << "renewal must not bump the epoch";
+  EXPECT_FALSE(a.renew(id, "w9.9", *e, 2'000)) << "not the owner";
+  EXPECT_TRUE(a.publish_done(id, "w0.0", *e));
+  EXPECT_FALSE(a.renew(id, "w0.0", *e, 2'000)) << "already done";
+}
+
+TEST(LeaseTable, PoisonIsTerminalAndSettled) {
+  const std::string dir = fresh_dir("poison");
+  fs::create_directories(dir);
+  LeaseTable sup(dir);
+  const std::string id = "optimize:x264";
+  sup.record_crash(id);
+  sup.record_crash(id);
+  sup.poison(id);
+  EXPECT_EQ(sup.state(id).phase, LeaseState::Phase::kPoisoned);
+  EXPECT_EQ(sup.state(id).crashes, 2u);
+  EXPECT_FALSE(sup.try_claim(id, "w0.0", 60'000).has_value());
+  EXPECT_TRUE(sup.all_settled({id}));
+  EXPECT_FALSE(sup.all_settled({id, "optimize:other"}));
+}
+
+TEST(LeaseTable, CorruptLineIsSkippedAndTornTailCarried) {
+  const std::string dir = fresh_dir("lease_tear");
+  fs::create_directories(dir);
+  LeaseTable writer(dir);
+  ASSERT_TRUE(writer.try_claim("t0", "w0.0", 60'000).has_value());
+  // A complete-but-corrupt line is counted and skipped, never fatal.
+  {
+    std::ofstream app(writer.path(), std::ios::binary | std::ios::app);
+    app << "{\"task\":\"lease:t1\",\"crc\":1,\"data\":\"bad\"}\n";
+  }
+  LeaseTable reader(dir);
+  reader.refresh();
+  EXPECT_EQ(reader.corrupt_records(), 1u);
+  EXPECT_EQ(reader.state("t0").phase, LeaseState::Phase::kHeld);
+  // A torn (newline-less) tail is carried across refreshes and applied
+  // only once the rest of the line lands.
+  const std::string line = encode_lease_record(
+      {LeaseRecord::Kind::kClaim, "t2", "w1.0", 1,
+       lease_now_ms() + 60'000});
+  const std::size_t half = line.size() / 2;
+  {
+    std::ofstream app(reader.path(), std::ios::binary | std::ios::app);
+    app << line.substr(0, half);
+  }
+  reader.refresh();
+  EXPECT_EQ(reader.state("t2").phase, LeaseState::Phase::kFree);
+  EXPECT_EQ(reader.corrupt_records(), 1u) << "a torn tail is not corrupt";
+  {
+    std::ofstream app(reader.path(), std::ios::binary | std::ios::app);
+    app << line.substr(half);
+  }
+  reader.refresh();
+  EXPECT_EQ(reader.state("t2").phase, LeaseState::Phase::kHeld);
+}
+
+// --------------------------------------------- fabric naming / placeholder
+
+TEST(Fabric, WorkerNamesAndShardFiles) {
+  EXPECT_EQ(fabric_worker_name(0, 0), "w0.0");
+  EXPECT_EQ(fabric_worker_name(2, 1), "w2.1");
+  EXPECT_EQ(shard_journal_file(0), "shard-w0.jsonl");
+  EXPECT_EQ(shard_journal_file(11), "shard-w11.jsonl");
+}
+
+TEST(Fabric, PoisonPlaceholderIsDeterministicAndDecodes) {
+  const std::string p = poison_placeholder_payload(2);
+  EXPECT_EQ(p, poison_placeholder_payload(2)) << "no pids, no timestamps";
+  OptResult r;
+  EvalStats s;
+  ASSERT_TRUE(decode_opt_result(p, &r, &s));
+  EXPECT_TRUE(r.quarantined);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.diagnostic.rfind("poison-task:", 0), 0u) << r.diagnostic;
+  EXPECT_EQ(s.health.quarantined, 1u);
+}
+
+// ------------------------------------- in-process multi-worker sweeps
+
+TEST(FabricSweep, InProcessWorkersAreByteIdenticalToSingleProcess) {
+  const std::vector<std::string> names = test_benchmarks();
+  const std::string dir = fresh_dir("sweep_plain");
+  FabricOptions fab;
+  fab.workers = 3;
+  fab.lease_ttl_ms = 600'000;
+  fab.poll_ms = 5;
+  fab.crash_via_abandon = true;
+  std::array<WorkerReport, 3> reps;
+  {
+    std::vector<std::thread> workers;
+    for (int k = 0; k < 3; ++k)
+      workers.emplace_back([&, k] {
+        reps[static_cast<std::size_t>(k)] =
+            run_fabric_worker(small_config(), names, small_options(), dir, k,
+                              0, fab, FaultPlan{}, nullptr);
+      });
+    for (std::thread& t : workers) t.join();
+  }
+  std::size_t claimed = 0;
+  std::size_t published = 0;
+  for (const WorkerReport& r : reps) {
+    EXPECT_FALSE(r.crashed);
+    EXPECT_FALSE(r.interrupted);
+    claimed += r.claimed;
+    published += r.published;
+  }
+  EXPECT_EQ(claimed, names.size()) << "every task claimed exactly once";
+  EXPECT_EQ(published, names.size());
+  std::size_t merged = 0;
+  const std::string bytes = merge_and_slurp(dir, names, &merged);
+  EXPECT_EQ(merged, names.size());
+  EXPECT_EQ(bytes, reference_journal_bytes());
+  // The merge is idempotent: a second pass changes nothing.
+  std::size_t merged2 = 0;
+  EXPECT_EQ(merge_and_slurp(dir, names, &merged2),
+            reference_journal_bytes());
+  EXPECT_EQ(merged2, names.size());
+}
+
+TEST(FabricSweep, CrashedWorkersRecoverByteIdentical) {
+  const std::vector<std::string> names = test_benchmarks();
+  const std::vector<std::string> ids = task_ids(names);
+  const std::string dir = fresh_dir("sweep_crash");
+  FabricOptions fab;
+  fab.workers = 2;
+  fab.lease_ttl_ms = 600'000;
+  fab.poll_ms = 5;
+  fab.crash_via_abandon = true;
+  FaultPlan crash_first;
+  crash_first.worker_crash_after = 1;  // die on the first claimed task
+  std::array<WorkerReport, 2> gen0;
+  {
+    std::vector<std::thread> workers;
+    for (int k = 0; k < 2; ++k)
+      workers.emplace_back([&, k] {
+        gen0[static_cast<std::size_t>(k)] =
+            run_fabric_worker(small_config(), names, small_options(), dir, k,
+                              0, fab, crash_first, nullptr);
+      });
+    for (std::thread& t : workers) t.join();
+  }
+  for (const WorkerReport& r : gen0) {
+    EXPECT_TRUE(r.crashed);
+    EXPECT_EQ(r.claimed, 1u);
+    EXPECT_EQ(r.published, 0u) << "crash window: lease live, row unpublished";
+  }
+  // Supervisor reap: release the dead incarnations' leases immediately.
+  {
+    LeaseTable sup(dir);
+    sup.refresh();
+    std::size_t held = 0;
+    for (const std::string& id : ids) {
+      const LeaseState s = sup.state(id);
+      if (s.phase != LeaseState::Phase::kHeld) continue;
+      ++held;
+      sup.record_crash(id);
+      sup.release(id, s.holder, s.epoch);
+    }
+    EXPECT_EQ(held, 2u) << "each crashed worker died holding one task";
+  }
+  // Restarted incarnations (fault flags stripped, as the supervisor does)
+  // finish the sweep.
+  std::array<WorkerReport, 2> gen1;
+  {
+    std::vector<std::thread> workers;
+    for (int k = 0; k < 2; ++k)
+      workers.emplace_back([&, k] {
+        gen1[static_cast<std::size_t>(k)] =
+            run_fabric_worker(small_config(), names, small_options(), dir, k,
+                              1, fab, FaultPlan{}, nullptr);
+      });
+    for (std::thread& t : workers) t.join();
+  }
+  std::size_t published = 0;
+  std::size_t reclaims = 0;
+  for (const WorkerReport& r : gen1) {
+    EXPECT_FALSE(r.crashed);
+    published += r.published;
+    reclaims += r.reclaims;
+  }
+  EXPECT_EQ(published, names.size());
+  EXPECT_EQ(reclaims, 2u) << "the two released leases were reclaimed";
+  LeaseTable audit(dir);
+  audit.refresh();
+  EXPECT_EQ(audit.replay_reclaims(), 2u);
+  EXPECT_EQ(merge_and_slurp(dir, names), reference_journal_bytes())
+      << "crash + restart must not change a single byte";
+}
+
+TEST(FabricSweep, ZombieWorkerIsFencedAndSweepStaysByteIdentical) {
+  const std::vector<std::string> names = test_benchmarks();
+  const std::vector<std::string> ids = task_ids(names);
+  const std::string dir = fresh_dir("sweep_zombie");
+  FabricOptions fab;
+  fab.workers = 2;
+  fab.lease_ttl_ms = 200;  // expires mid-stall: the zombie backstop
+  fab.poll_ms = 5;
+  fab.crash_via_abandon = true;
+  FaultPlan stall;
+  stall.lease_stall_ms = 3'000;  // w0 sleeps holding its first lease
+  WorkerReport zombie;
+  WorkerReport healthy;
+  {
+    std::thread w0([&] {
+      zombie = run_fabric_worker(small_config(), names, small_options(), dir,
+                                 0, 0, fab, stall, nullptr);
+    });
+    // Start the healthy worker after the zombie's lease has expired, so
+    // the reclaim-before-zombie-publish ordering is deterministic.
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    FabricOptions fab1 = fab;
+    fab1.lease_ttl_ms = 600'000;
+    std::thread w1([&] {
+      healthy = run_fabric_worker(small_config(), names, small_options(),
+                                  dir, 1, 0, fab1, FaultPlan{}, nullptr);
+    });
+    w0.join();
+    w1.join();
+  }
+  EXPECT_GE(zombie.fenced, 1u) << "the stale-epoch publish must be refused";
+  EXPECT_GE(healthy.reclaims, 1u);
+  LeaseTable audit(dir);
+  audit.refresh();
+  const LeaseState first = audit.state(ids.front());
+  EXPECT_EQ(first.done_worker, "w1.0") << "the reclaiming worker won";
+  EXPECT_EQ(first.done_epoch, 2u);
+  EXPECT_EQ(merge_and_slurp(dir, names), reference_journal_bytes());
+}
+
+TEST(FabricSweep, PoisonedTaskMergesDeterministicPlaceholder) {
+  const std::vector<std::string> names = test_benchmarks();
+  ASSERT_GE(names.size(), 2u);
+  const std::string dir = fresh_dir("sweep_poison");
+  const std::string bad = names[1];
+  const std::string bad_id = "optimize:" + bad;
+  {
+    LeaseTable sup(dir);
+    sup.record_crash(bad_id);
+    sup.record_crash(bad_id);
+    sup.poison(bad_id);
+  }
+  FabricOptions fab;
+  fab.workers = 1;
+  fab.lease_ttl_ms = 600'000;
+  fab.poll_ms = 5;
+  fab.crash_via_abandon = true;
+  const WorkerReport rep = run_fabric_worker(
+      small_config(), names, small_options(), dir, 0, 0, fab, FaultPlan{},
+      nullptr);
+  EXPECT_EQ(rep.published, names.size() - 1) << "poisoned task is skipped";
+  std::size_t merged = 0;
+  RunJournal journal(dir);
+  journal.load();
+  journal.bind_meta("optimize_greedy_batch",
+                    batch_meta(small_config(), names, small_options()));
+  merged = merge_fabric_shards(journal, dir, names);
+  EXPECT_EQ(merged, names.size());
+  ASSERT_TRUE(journal.find(bad_id).has_value());
+  EXPECT_EQ(*journal.find(bad_id), poison_placeholder_payload(2));
+  ASSERT_TRUE(journal.find("quarantine:" + bad).has_value());
+  EXPECT_EQ(*journal.find("quarantine:" + bad), "poison crashes=2");
+}
+
+TEST(FabricSweep, CancelledWorkerExitsWithoutClaiming) {
+  const std::vector<std::string> names = test_benchmarks();
+  const std::string dir = fresh_dir("sweep_cancel");
+  CancelToken cancel;
+  cancel.cancel();
+  FabricOptions fab;
+  fab.workers = 1;
+  fab.crash_via_abandon = true;
+  const WorkerReport rep = run_fabric_worker(
+      small_config(), names, small_options(), dir, 0, 0, fab, FaultPlan{},
+      &cancel);
+  EXPECT_TRUE(rep.interrupted);
+  EXPECT_EQ(rep.claimed, 0u);
+  EXPECT_EQ(rep.published, 0u);
+}
+
+// ------------------------------------------- lease contention (TSan-able)
+
+// N threads race over M plain tasks through their own LeaseTable
+// instances, exactly like N worker processes would.  The shared atomic
+// holder count proves no lease is ever held by two live workers at once;
+// the publish tally proves every task commits exactly once.  This test
+// runs under TSan in CI (tsan-concurrency job).
+TEST(LeaseContention, NoLeaseIsEverDoubleHeld) {
+  const std::string dir = fresh_dir("contention");
+  fs::create_directories(dir);
+  constexpr int kThreads = 4;
+  constexpr std::size_t kTasks = 6;
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < kTasks; ++i)
+    ids.push_back("t" + std::to_string(i));
+  std::array<std::atomic<int>, kTasks> holders{};
+  std::array<std::atomic<int>, kTasks> commits{};
+  std::atomic<bool> double_held{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      const std::string me = fabric_worker_name(t, 0);
+      LeaseTable lt(dir);
+      for (;;) {
+        lt.refresh();
+        if (lt.all_settled(ids)) break;
+        bool progressed = false;
+        for (std::size_t i = 0; i < kTasks; ++i) {
+          const LeaseState s = lt.state(ids[i]);
+          if (s.phase != LeaseState::Phase::kFree) continue;
+          const auto e = lt.try_claim(ids[i], me, 60'000);
+          if (!e) continue;
+          progressed = true;
+          if (holders[i].fetch_add(1) != 0) double_held = true;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          holders[i].fetch_sub(1);
+          if (lt.publish_done(ids[i], me, *e)) commits[i].fetch_add(1);
+        }
+        if (!progressed)
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(double_held.load())
+      << "two live workers held the same lease simultaneously";
+  for (std::size_t i = 0; i < kTasks; ++i)
+    EXPECT_EQ(commits[i].load(), 1) << "task " << ids[i];
+}
+
+}  // namespace
+}  // namespace tacos

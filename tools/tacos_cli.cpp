@@ -51,6 +51,7 @@
 #include "common/errors.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
+#include "core/fabric.hpp"
 #include "core/optimizer.hpp"
 #include "cost/cost_model.hpp"
 #include "obs/obs.hpp"
@@ -66,6 +67,18 @@ FaultPlan g_fault;
 std::string g_run_dir;
 bool g_resume = false;
 double g_task_deadline_s = 0.0;
+
+/// Sweep-fabric knobs (batch only; docs/ROBUSTNESS.md "The sweep
+/// fabric").  --workers=N forks N worker processes over the shared
+/// --run-dir; --fabric-worker/--fabric-incarnation are the internal flags
+/// the supervisor re-execs workers with (not for interactive use).
+int g_workers = 0;
+std::uint64_t g_lease_ttl_ms = 30'000;
+int g_fabric_worker = -1;
+int g_fabric_incarnation = 0;
+/// Original command line, kept verbatim so the supervisor can re-exec
+/// itself as workers.
+std::vector<std::string> g_argv;
 
 /// Steady-state PCG preconditioner from --precond (auto by default:
 /// multigrid above ThermalModel's size threshold, Jacobi below).
@@ -89,6 +102,10 @@ int usage() {
       " [--fault-pcg-rungs=K]\n"
       "                 [--fault-leak-nonconverge] [--fault-coarse-every=N]\n"
       "                 [--run-dir=DIR] [--resume] [--task-deadline=S]\n"
+      "                 [--workers=N] [--lease-ttl-ms=T]\n"
+      "                 [--fault-worker-crash-after=K]"
+      " [--fault-worker-crash-task=BENCH]\n"
+      "                 [--fault-lease-stall-ms=T]\n"
       "                 [--precond=auto|jacobi|mg] [--mg-mixed]\n"
       "                 [--fidelity=auto|full|ladder]"
       " [--surrogate-keep-frac=F]\n"
@@ -265,6 +282,34 @@ int cmd_batch(const std::vector<std::string>& a) {
   opts.threshold_c = a.size() > 2 ? std::stod(a[2]) : 85.0;
   opts.step_mm = a.size() > 4 ? std::stod(a[4]) : 0.5;
 
+  std::vector<std::string> names;
+  for (const auto& b : benchmarks()) names.emplace_back(b.name);
+
+  FabricOptions fab;
+  fab.workers = g_workers;
+  fab.lease_ttl_ms = g_lease_ttl_ms;
+  fab.task_deadline_s = g_task_deadline_s;
+
+  if (g_fabric_worker >= 0) {
+    // Worker process of a --workers=N sweep: run the claim → run →
+    // publish loop against the shared run dir and exit.  The canonical
+    // journal stays the supervisor's (it holds the lock); this process
+    // journals into its own shard.
+    if (g_run_dir.empty()) {
+      std::cerr << "--fabric-worker requires --run-dir=DIR\n";
+      return exit_code::kUsage;
+    }
+    const WorkerReport rep = run_fabric_worker(
+        cfg, names, opts, g_run_dir, g_fabric_worker, g_fabric_incarnation,
+        fab, g_fault, &global_cancel_token());
+    std::cerr << "[fabric "
+              << fabric_worker_name(g_fabric_worker, g_fabric_incarnation)
+              << "] claimed " << rep.claimed << ", published "
+              << rep.published << ", fenced " << rep.fenced << ", reclaimed "
+              << rep.reclaims << "\n";
+    return rep.interrupted ? exit_code::kInterrupted : exit_code::kOk;
+  }
+
   std::unique_ptr<RunJournal> journal;
   if (!g_run_dir.empty()) {
     journal = std::make_unique<RunJournal>(g_run_dir);
@@ -290,8 +335,31 @@ int cmd_batch(const std::vector<std::string>& a) {
   const RunControl run{journal.get(), &global_cancel_token(),
                        g_task_deadline_s};
 
-  std::vector<std::string> names;
-  for (const auto& b : benchmarks()) names.emplace_back(b.name);
+  RunHealth fabric_health;
+  if (g_workers > 0) {
+    // Supervisor of a multi-process sweep: fork workers over the shared
+    // run dir, ride out crashes, and merge the winning shard rows into
+    // the canonical journal.  The optimize_greedy_batch call below then
+    // replays that journal, so stdout is byte-identical to a
+    // single-process run at any worker count.
+    if (!journal) {
+      std::cerr << "--workers requires --run-dir=DIR\n";
+      return exit_code::kUsage;
+    }
+    const FabricReport fr =
+        run_fabric_sweep(cfg, names, opts, *journal, g_run_dir, fab, g_argv,
+                         &global_cancel_token());
+    if (fr.interrupted) {
+      std::cerr << "[fabric] interrupted; shards and lease log are on disk"
+                   " — resume with --run-dir=" << g_run_dir
+                << " --resume --workers=" << g_workers << "\n";
+      return exit_code::kInterrupted;
+    }
+    std::cerr << "[fabric] merged " << fr.merged << " task(s) from "
+              << g_workers << " worker(s); " << fr.health.summary() << "\n";
+    fabric_health = fr.health;
+  }
+
   EvalStats stats;
   const std::vector<OptResult> results =
       optimize_greedy_batch(cfg, names, opts, &stats, &run);
@@ -334,6 +402,7 @@ int cmd_batch(const std::vector<std::string>& a) {
               << " coarse + " << l.medium_solves << " medium solve(s), "
               << l.coarse_failures + l.medium_failures << " rung failure(s)\n";
   }
+  stats.health += fabric_health;  // supervisor-level counters, stderr only
   std::cerr << stats.health.summary() << "\n";
   obs::record_run_health(stats.health);
   if (run_interrupted()) {
@@ -404,6 +473,33 @@ int main(int argc, char** argv) {
       if (!(g_keep_frac >= 0.0 && g_keep_frac <= 1.0)) return usage();
     } else if (flag == "--mg-mixed") {
       g_mg_mixed = true;
+    } else if (flag.rfind("--workers=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 10);
+      if (n < 1) return usage();
+      g_workers = static_cast<int>(n);
+    } else if (flag.rfind("--lease-ttl-ms=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 15);
+      if (n < 1) return usage();
+      g_lease_ttl_ms = static_cast<std::uint64_t>(n);
+    } else if (flag.rfind("--fault-worker-crash-after=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 27);
+      if (n < 1) return usage();
+      g_fault.worker_crash_after = static_cast<std::size_t>(n);
+    } else if (flag.rfind("--fault-worker-crash-task=", 0) == 0) {
+      g_fault.worker_crash_task = flag.substr(26);
+      if (g_fault.worker_crash_task.empty()) return usage();
+    } else if (flag.rfind("--fault-lease-stall-ms=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 23);
+      if (n < 1) return usage();
+      g_fault.lease_stall_ms = static_cast<std::uint64_t>(n);
+    } else if (flag.rfind("--fabric-worker=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 16);
+      if (n < 0) return usage();
+      g_fabric_worker = static_cast<int>(n);
+    } else if (flag.rfind("--fabric-incarnation=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 21);
+      if (n < 0) return usage();
+      g_fabric_incarnation = static_cast<int>(n);
     } else if (flag.rfind("--run-dir=", 0) == 0) {
       g_run_dir = flag.substr(10);
     } else if (flag == "--resume") {
@@ -420,6 +516,13 @@ int main(int argc, char** argv) {
     ++first;
   }
   if (argc - first < 1) return usage();
+  g_argv.assign(argv, argv + argc);
+  if (g_fabric_worker >= 0) {
+    // Fabric workers leave the observability artifacts to the supervisor:
+    // N workers publishing to the same --metrics/--trace paths would
+    // clobber each other's files.
+    g_obs = obs::ObsOptions{};
+  }
   g_obs.finalize(g_run_dir, g_resume);
   install_signal_handlers();
   const std::string cmd = argv[first];
