@@ -27,17 +27,23 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/atomic_file.hpp"
+#include "common/cancel.hpp"
+#include "common/errors.hpp"
 #include "common/thread_pool.hpp"
 #include "core/optimizer.hpp"
 #include "floorplan/layout.hpp"
 #include "materials/stack.hpp"
 #include "obs/obs.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "thermal/grid_model.hpp"
 
 namespace {
@@ -222,6 +228,89 @@ LadderAB run_ladder_ab(std::size_t grid, const std::vector<std::string>& names,
   return out;
 }
 
+/// Evaluation-service round-trip costs: an in-process server on a Unix
+/// socket, one real client.  Three numbers matter for sizing a remote
+/// sweep: the pure transport/framing overhead (ping round-trips/sec),
+/// the cold optimize RPC (compute dominates; its payload must be
+/// byte-identical to the local journal line), and the warm memo-hit RPC
+/// (the steady state of a long-lived server — cache lookup + framing).
+struct ServiceBench {
+  double ping_rps = 0.0;
+  double cold_ms = 0.0;
+  double warm_rps = 0.0;
+  bool payload_matches_local = false;
+  bool warm_all_memo_hits = false;
+  std::size_t requests = 0;
+  std::size_t memo_hits = 0;
+};
+
+ServiceBench run_service_bench(std::size_t grid) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "tacos_bench_svc").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ServerOptions so;
+  so.endpoint = parse_endpoint(dir + "/svc.sock");
+  so.memo_dir = dir;
+  so.threads = 2;
+  so.queue_capacity = 16;
+  CancelToken stop;
+  ServerStats stats;
+  std::thread server([&] { stats = serve_forever(so, &stop); });
+  for (int i = 0; i < 500; ++i) {
+    try {
+      if (connect_endpoint(so.endpoint, 200).ok()) break;
+    } catch (const ServiceError&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  EvalConfig cfg;
+  cfg.thermal.grid_nx = cfg.thermal.grid_ny = grid;
+  OptimizerOptions oo;
+  oo.step_mm = 4.0;
+  oo.starts = 3;
+  const std::string bench = "cholesky";
+  const TaskOutcome local = optimize_one_guarded(cfg, bench, oo, nullptr);
+  const std::string oracle = encode_opt_result(local.result, local.stats);
+
+  ClientOptions co;
+  co.endpoint = so.endpoint;
+  EvalClient client(co);
+  ServiceBench out;
+
+  constexpr int kPings = 200;
+  for (int i = 0; i < 5; ++i) client.ping();  // warm-up
+  auto t0 = Clock::now();
+  for (int i = 0; i < kPings; ++i) client.ping();
+  out.ping_rps = kPings / seconds_since(t0);
+
+  t0 = Clock::now();
+  bool memo_hit = false;
+  const std::string cold = client.optimize(cfg, oo, bench, 0.0, &memo_hit);
+  out.cold_ms = seconds_since(t0) * 1e3;
+  out.payload_matches_local = !memo_hit && cold == oracle;
+
+  constexpr int kWarm = 100;
+  out.warm_all_memo_hits = true;
+  t0 = Clock::now();
+  for (int i = 0; i < kWarm; ++i) {
+    const std::string warm = client.optimize(cfg, oo, bench, 0.0, &memo_hit);
+    out.warm_all_memo_hits =
+        out.warm_all_memo_hits && memo_hit && warm == oracle;
+  }
+  out.warm_rps = kWarm / seconds_since(t0);
+
+  stop.cancel();
+  server.join();
+  out.requests = stats.requests;
+  out.memo_hits = stats.memo_hits;
+  fs::remove_all(dir);
+  return out;
+}
+
 std::string json_map(const std::vector<std::size_t>& keys,
                      const std::vector<double>& vals) {
   std::ostringstream os;
@@ -300,6 +389,9 @@ int main(int argc, char** argv) {
   const LadderAB lab = run_ladder_ab(e2e_grid, names, counts, &health);
   ThreadPool::set_global_threads(hw);
 
+  std::cerr << "[micro_eval_engine] evaluation-service round-trips...\n";
+  const ServiceBench svc = run_service_bench(e2e_grid);
+
   const double speedup = e2e_walls.front() / e2e_walls.back();
   const double solver_speedup = solver_rates.back() / solver_rates.front();
 
@@ -364,6 +456,17 @@ int main(int argc, char** argv) {
      << ",\n"
      << "    \"bit_identical_across_threads\": "
      << (lab.bit_identical ? "true" : "false") << "\n  },\n"
+     << "  \"service\": {\n"
+     << "    \"grid\": " << e2e_grid << ",\n"
+     << "    \"ping_round_trips_per_sec\": " << fmt(svc.ping_rps) << ",\n"
+     << "    \"cold_optimize_ms\": " << fmt(svc.cold_ms) << ",\n"
+     << "    \"warm_memo_hits_per_sec\": " << fmt(svc.warm_rps) << ",\n"
+     << "    \"requests\": " << svc.requests << ",\n"
+     << "    \"memo_hits\": " << svc.memo_hits << ",\n"
+     << "    \"payload_matches_local\": "
+     << (svc.payload_matches_local ? "true" : "false") << ",\n"
+     << "    \"warm_all_memo_hits\": "
+     << (svc.warm_all_memo_hits ? "true" : "false") << "\n  },\n"
      << "  \"health\": " << health.to_json() << "\n}\n";
   out_file.commit();
 
@@ -389,12 +492,18 @@ int main(int argc, char** argv) {
             << "%), winner_match=" << (lab.winner_match ? "yes" : "NO")
             << ", bit_identical=" << (lab.bit_identical ? "yes" : "NO")
             << "\n"
+            << "service: ping " << fmt(svc.ping_rps) << " rt/s, cold optimize "
+            << fmt(svc.cold_ms) << " ms, warm memo " << fmt(svc.warm_rps)
+            << " rt/s, payload_match="
+            << (svc.payload_matches_local ? "yes" : "NO") << ", all_memo_hits="
+            << (svc.warm_all_memo_hits ? "yes" : "NO") << "\n"
             << "wrote " << out_path << "\n";
   std::cerr << "[micro_eval_engine] " << health.summary() << "\n";
   obs::record_run_health(health);
   if (obs_opts.any()) obs_opts.publish();
   return (solver_identical && e2e_identical && ab.temps_match &&
-          lab.winner_match && lab.bit_identical)
+          lab.winner_match && lab.bit_identical &&
+          svc.payload_matches_local && svc.warm_all_memo_hits)
              ? 0
              : 1;
 }

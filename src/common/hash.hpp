@@ -1,0 +1,41 @@
+#pragma once
+/// \file hash.hpp
+/// \brief Stable content hashing for cache keys and idempotency tokens.
+///
+/// FNV-1a (64-bit) over raw bytes: simple, dependency-free, and — unlike
+/// std::hash — specified, so a hash written into a cross-run artifact (the
+/// evaluation service's memo cache, a client's idempotency key) means the
+/// same thing to every build on every platform.  Not cryptographic; these
+/// keys only have to be collision-sparse and stable, and every cached
+/// payload is still CRC-checked independently (src/common/journal.hpp).
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace tacos {
+
+/// 64-bit FNV-1a of `len` bytes.
+inline std::uint64_t fnv1a64(const void* data, std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x00000100000001B3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a64(const std::string& s) {
+  return fnv1a64(s.data(), s.size());
+}
+
+/// Canonical 16-digit lower-case hex rendering (cache-key spelling).
+inline std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace tacos

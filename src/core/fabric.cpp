@@ -10,6 +10,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/backoff.hpp"
 #include "common/check.hpp"
 #include "common/errors.hpp"
 #include "common/lease.hpp"
@@ -367,8 +368,11 @@ FabricReport run_fabric_sweep(const EvalConfig& config,
                     << fab.max_restarts << " restart(s); degrading\n";
           continue;
         }
+        const BackoffPolicy restart_backoff{fab.backoff_base_ms,
+                                            fab.backoff_max_ms,
+                                            /*jitter_frac=*/0.0, /*seed=*/0};
         const std::uint64_t delay =
-            std::min(fab.backoff_base_ms << s.restarts, fab.backoff_max_ms);
+            restart_backoff.delay_ms(static_cast<unsigned>(s.restarts));
         ++s.restarts;
         ++s.incarnation;
         ++out.health.worker_restarts;

@@ -1,0 +1,119 @@
+#include "service/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace tacos {
+
+namespace {
+
+/// Client-side receive budget for one attempt: the request deadline plus
+/// slack for queueing and the response bytes, or a generous fallback so
+/// even a deadline-less request cannot hang on a wedged server forever.
+std::uint64_t recv_budget_ms(const ClientOptions& options) {
+  if (options.request_deadline_ms > 0)
+    return options.request_deadline_ms + 5'000;
+  return 10 * 60 * 1'000;  // 10 min: longer than any sane evaluation
+}
+
+}  // namespace
+
+EvalResponse EvalClient::attempt(const EvalRequest& req) {
+  if (!conn_.ok())
+    conn_ = connect_endpoint(options_.endpoint, options_.connect_timeout_ms);
+  conn_.send_frame({Frame::Type::kRequest, encode_request(req)}, 10'000);
+  const std::optional<Frame> frame = conn_.recv_frame(recv_budget_ms(options_));
+  if (!frame)
+    throw ServiceError(ServiceError::Kind::kConnection,
+                       "server closed the connection before responding");
+  if (frame->type != Frame::Type::kResponse)
+    throw ServiceError(ServiceError::Kind::kProtocol,
+                       "expected a response frame");
+  EvalResponse resp;
+  if (!decode_response(frame->payload, &resp))
+    throw ServiceError(ServiceError::Kind::kProtocol,
+                       "malformed response payload");
+  // A shed frame is answered before the server reads the request, so its
+  // idem echo may be 0; any *other* mismatch means the stream delivered
+  // somebody else's answer.
+  if (resp.idem != req.idem && resp.idem != 0)
+    throw ServiceError(ServiceError::Kind::kProtocol,
+                       "response idempotency key mismatch");
+  if (!resp.ok) throw_response_error(resp);
+  return resp;
+}
+
+EvalResponse EvalClient::call(EvalRequest req) {
+  req.idem = request_idem_key(req);
+  req.deadline_ms = options_.request_deadline_ms;
+  static obs::Counter retry_metric =
+      obs::MetricsRegistry::global().counter("service.client_retries");
+  Backoff backoff(options_.backoff);
+  last_attempts_ = 0;
+  for (;;) {
+    if (options_.cancel) options_.cancel->poll();
+    ++last_attempts_;
+    try {
+      return attempt(req);
+    } catch (const ServiceError& e) {
+      conn_.close();  // reconnect fresh: the stream state is suspect
+      if (!e.retryable() || last_attempts_ >= options_.max_attempts) throw;
+      retry_metric.add();
+      const std::uint64_t delay = backoff.next_ms();
+      // Sleep in short slices so a cancel (Ctrl-C) interrupts the backoff
+      // within ~50 ms instead of after a full capped delay.
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(delay);
+      while (std::chrono::steady_clock::now() < until) {
+        if (options_.cancel) options_.cancel->poll();
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+  }
+}
+
+bool EvalClient::ping() {
+  EvalRequest req;
+  req.kind = EvalRequest::Kind::kPing;
+  req.idem = request_idem_key(req);
+  req.deadline_ms = options_.request_deadline_ms;
+  try {
+    const EvalResponse resp = attempt(req);
+    return resp.payload == "pong";
+  } catch (const ServiceError&) {
+    conn_.close();
+    return false;
+  }
+}
+
+std::string EvalClient::optimize(const EvalConfig& config,
+                                 const OptimizerOptions& opts,
+                                 const std::string& bench,
+                                 double task_deadline_s, bool* memo_hit) {
+  EvalRequest req;
+  req.kind = EvalRequest::Kind::kOptimize;
+  req.task_deadline_s = task_deadline_s;
+  req.params = encode_eval_params(config, opts);
+  req.bench = bench;
+  const EvalResponse resp = call(std::move(req));
+  if (memo_hit) *memo_hit = resp.memo_hit;
+  return resp.payload;
+}
+
+std::string EvalClient::evaluate(const EvalConfig& config,
+                                 const OptimizerOptions& opts,
+                                 const std::string& bench,
+                                 const Organization& org, bool* memo_hit) {
+  EvalRequest req;
+  req.kind = EvalRequest::Kind::kEvaluate;
+  req.params = encode_eval_params(config, opts);
+  req.bench = bench;
+  req.org = org;
+  const EvalResponse resp = call(std::move(req));
+  if (memo_hit) *memo_hit = resp.memo_hit;
+  return resp.payload;
+}
+
+}  // namespace tacos

@@ -1,0 +1,92 @@
+#pragma once
+/// \file client.hpp
+/// \brief Retrying client of the evaluation service.
+///
+/// The client owns the unreliable half of the contract: connections drop,
+/// servers restart, admission queues fill.  Its job is to convert all of
+/// that into either a correct response or a typed ServiceError — never a
+/// hang, never a silently wrong answer:
+///
+///   * every request carries its idempotency key; the response must echo
+///     it (a mismatch is a protocol error, not a quietly misattributed
+///     result);
+///   * retryable failures — refused/dropped connections, `overloaded`
+///     shed frames, expired request deadlines, a draining server — are
+///     retried up to `max_attempts` with capped exponential backoff and
+///     deterministic jitter (common/backoff.hpp), reconnecting each time;
+///   * retrying is *safe* because completed work is memoized server-side
+///     under the same canonical key: a request whose first attempt
+///     finished just before the connection died is answered from cache,
+///     bit-identically, not recomputed;
+///   * non-retryable failures (malformed requests, evaluation errors)
+///     and exhausted retries throw ServiceError — which derives from
+///     tacos::Error, so a batch driver quarantines that one task and the
+///     sweep survives.
+
+#include <cstdint>
+#include <string>
+
+#include "common/backoff.hpp"
+#include "common/cancel.hpp"
+#include "service/transport.hpp"
+
+namespace tacos {
+
+/// Client configuration (CLI: `--remote=ADDR` and friends).
+struct ClientOptions {
+  Endpoint endpoint;
+  int max_attempts = 5;
+  /// Attempt backoff: 100 ms doubling to a 5 s cap, 25% deterministic
+  /// jitter (seeded per client so a worker fleet doesn't retry in
+  /// lockstep).
+  BackoffPolicy backoff{100, 5'000, 0.25, 0};
+  std::uint64_t connect_timeout_ms = 2'000;
+  /// Per-attempt transport deadline (ms; 0 = none).  Sent to the server —
+  /// which enforces it with its watchdog — and used client-side (plus
+  /// slack for the response to travel) so a wedged server cannot hold a
+  /// request past its budget.
+  std::uint64_t request_deadline_ms = 0;
+  /// Polled between attempts: a tripped token aborts the retry loop with
+  /// CancelledError so Ctrl-C interrupts a client stuck in backoff.
+  const CancelToken* cancel = nullptr;
+};
+
+/// One connection to the evaluation service, transparently re-established
+/// across retries.  Not thread-safe: one client per worker thread.
+class EvalClient {
+ public:
+  explicit EvalClient(ClientOptions options) : options_(options) {}
+
+  /// Issue `req` (the idempotency key is filled in from its canonical
+  /// content), retrying per the options.  Returns the successful
+  /// response; throws ServiceError after exhausted retries or on any
+  /// non-retryable failure, CancelledError when `cancel` trips mid-retry.
+  EvalResponse call(EvalRequest req);
+
+  /// True when the server answers a ping within the options' budget
+  /// (single attempt, no retries — the "is it up yet" probe).
+  bool ping();
+
+  /// Remote optimize round-trip: returns the response payload — byte-for-
+  /// byte what a local run would journal for this task.
+  std::string optimize(const EvalConfig& config, const OptimizerOptions& opts,
+                       const std::string& bench, double task_deadline_s,
+                       bool* memo_hit = nullptr);
+
+  /// Remote point evaluation of one organization.
+  std::string evaluate(const EvalConfig& config, const OptimizerOptions& opts,
+                       const std::string& bench, const Organization& org,
+                       bool* memo_hit = nullptr);
+
+  /// Attempts consumed by the last call (observability / tests).
+  int last_attempts() const { return last_attempts_; }
+
+ private:
+  EvalResponse attempt(const EvalRequest& req);
+
+  ClientOptions options_;
+  Conn conn_;
+  int last_attempts_ = 0;
+};
+
+}  // namespace tacos

@@ -1,0 +1,37 @@
+#include "service/memo.hpp"
+
+namespace tacos {
+
+MemoStore::MemoStore(const std::string& dir) : journal_(dir, "memo.jsonl") {
+  const RunJournal::LoadStats stats = journal_.load();
+  replayed_ = stats.loaded;
+  dropped_ = stats.dropped;
+}
+
+std::optional<std::string> MemoStore::lookup(const std::string& key) {
+  std::optional<std::string> hit = journal_.find(key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (hit)
+      ++hits_;
+    else
+      ++misses_;
+  }
+  return hit;
+}
+
+void MemoStore::store(const std::string& key, const std::string& payload) {
+  journal_.append(key, payload);  // idempotent: an existing slot is kept
+}
+
+std::size_t MemoStore::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t MemoStore::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace tacos

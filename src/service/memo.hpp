@@ -1,0 +1,59 @@
+#pragma once
+/// \file memo.hpp
+/// \brief Cross-run memoization cache of the evaluation service.
+///
+/// The cache is a RunJournal (`memo.jsonl`): checksummed JSONL, atomic
+/// whole-file publication, a lockfile against unrelated writers, and
+/// torn-tail tolerance on load — the same crash-safety contract every
+/// other durable file in a run directory already honors, so `tacos_cli
+/// fsck` validates it with zero new code.
+///
+/// Keys are canonical content hashes (protocol.hpp): the eval-params line
+/// hash + benchmark (+ the quantized organization key for point
+/// evaluations).  Two runs — or one run and its retry after a dropped
+/// connection — agree on a slot iff they agree on every result-affecting
+/// knob, which makes the cache double as the service's idempotency table:
+/// a retried request whose first attempt completed is answered from the
+/// cache bit-identically, never recomputed.  Values are the exact response
+/// payload bytes, so a warm hit reproduces the cold result to the byte.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/journal.hpp"
+
+namespace tacos {
+
+/// Durable response cache (thread-safe; one per server).
+class MemoStore {
+ public:
+  /// Opens `<dir>/memo.jsonl`, replaying whatever a previous server —
+  /// including one that crashed mid-write — left behind.  Throws
+  /// tacos::Error when another live process holds the store.
+  explicit MemoStore(const std::string& dir);
+
+  /// Cached response payload for `key`, or nullopt.
+  std::optional<std::string> lookup(const std::string& key);
+
+  /// Durably record `payload` under `key` (idempotent: first write wins,
+  /// matching the byte-identity contract — a slot's bytes never change).
+  void store(const std::string& key, const std::string& payload);
+
+  std::size_t entries() const { return journal_.task_count(); }
+  std::size_t hits() const;
+  std::size_t misses() const;
+  std::size_t replayed() const { return replayed_; }  ///< loaded from disk
+  std::size_t dropped() const { return dropped_; }    ///< torn-tail lines
+
+ private:
+  RunJournal journal_;
+  std::size_t replayed_ = 0;
+  std::size_t dropped_ = 0;
+  mutable std::mutex mu_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace tacos

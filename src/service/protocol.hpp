@@ -1,0 +1,147 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief Wire protocol of the persistent evaluation service: framed,
+///        checksummed, versioned request/response messages.
+///
+/// Transport framing (binary, little-endian, 16-byte header):
+///
+///   magic   u32  0x54434F53 ("TCOS") — rejects cross-talk on a socket
+///   version u16  kProtocolVersion — a mismatched peer errors, never
+///                misparses
+///   type    u16  frame type (request / response)
+///   length  u32  payload byte count, bounded by kMaxFramePayload
+///   crc     u32  CRC-32 (IEEE 802.3) of the payload bytes
+///
+/// Every field is validated on decode; any violation — wrong magic, alien
+/// version, oversized length, checksum mismatch, short payload — raises
+/// `ServiceError(kProtocol)`: a corrupted or truncated frame is a typed,
+/// reportable failure, never a crash or a silently misread request.
+///
+/// Payloads are the repo's line-oriented key/value text (the journal
+/// codecs' idiom): human-debuggable with `xxd`, strict to parse, and
+/// byte-stable — which matters because the *bytes* of an optimize response
+/// are exactly what the client journals, and byte-identity with a local
+/// run is the service's core contract (docs/ROBUSTNESS.md).
+///
+/// Idempotency: a request's `idem` key is the FNV-1a hash of its
+/// canonical content (params line + kind + task identity), so a retry of
+/// the same logical request carries the same key and resolves to the same
+/// memo-cache slot server-side — a request that completed just before the
+/// connection died is answered from cache on retry, not recomputed.
+
+#include <cstdint>
+#include <string>
+
+#include "common/errors.hpp"
+#include "core/optimizer.hpp"
+#include "core/organization.hpp"
+
+namespace tacos {
+
+inline constexpr std::uint32_t kFrameMagic = 0x54434F53u;  // "TCOS"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;  // 16 MiB
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+
+/// One framed message.
+struct Frame {
+  enum class Type : std::uint16_t { kRequest = 1, kResponse = 2 };
+  Type type = Type::kRequest;
+  std::string payload;
+};
+
+/// Serialize `frame` (header + payload) into wire bytes.  Throws
+/// ServiceError(kProtocol) when the payload exceeds kMaxFramePayload.
+std::string encode_frame(const Frame& frame);
+
+/// Header-only encode/decode (the transport reads the header first, then
+/// exactly `length` payload bytes).  decode throws ServiceError(kProtocol)
+/// on any field violation.
+struct FrameHeader {
+  Frame::Type type = Frame::Type::kRequest;
+  std::uint32_t length = 0;
+  std::uint32_t crc = 0;
+};
+std::string encode_frame_header(const FrameHeader& h);
+FrameHeader decode_frame_header(const char* bytes, std::size_t len);
+
+/// Validate `payload` against the header's length/crc; throws
+/// ServiceError(kProtocol) on mismatch.
+void check_frame_payload(const FrameHeader& h, const std::string& payload);
+
+/// Whole-buffer decode (tests and in-memory paths): header + payload in
+/// one contiguous byte string.  Throws ServiceError(kProtocol) on any
+/// corruption or truncation.
+Frame decode_frame(const std::string& bytes);
+
+// --- Messages ----------------------------------------------------------
+
+/// One request.  `params` is the canonical eval-params line (below): the
+/// complete result-affecting configuration, which doubles as the memo-key
+/// material.  `deadline_ms` bounds this request end to end (0 = none);
+/// `task_deadline_s` is the *semantic* per-task budget (`--task-deadline`)
+/// that produces the same journaled `timeout:` rows a local run would.
+struct EvalRequest {
+  enum class Kind { kPing, kOptimize, kEvaluate };
+  Kind kind = Kind::kPing;
+  std::uint64_t idem = 0;
+  std::uint64_t deadline_ms = 0;
+  double task_deadline_s = 0.0;
+  std::string params;
+  std::string bench;
+  Organization org;  ///< kEvaluate only
+};
+
+/// One response.  `ok` carries `payload` (the result bytes — for
+/// kOptimize exactly the journal payload `encode_opt_result` produced);
+/// otherwise `error_kind` is a ServiceError kind tag (or an evaluation
+/// error class) with `retryable` telling the client whether backing off
+/// and retrying can succeed.
+struct EvalResponse {
+  bool ok = false;
+  std::uint64_t idem = 0;
+  bool memo_hit = false;
+  std::string payload;
+  std::string error_kind;
+  std::string detail;
+  bool retryable = false;
+};
+
+std::string encode_request(const EvalRequest& req);
+bool decode_request(const std::string& payload, EvalRequest* req);
+std::string encode_response(const EvalResponse& resp);
+bool decode_response(const std::string& payload, EvalResponse* resp);
+
+/// Throw the ServiceError a failed response describes (client side).
+[[noreturn]] void throw_response_error(const EvalResponse& resp);
+
+// --- Configuration canonicalization ------------------------------------
+
+/// Canonical one-line rendering of every knob that changes evaluation
+/// results (EvalConfig + OptimizerOptions as the CLI can set them).  The
+/// server rebuilds its evaluation config from this line, so a remote task
+/// runs under bit-identical settings — and the line's hash keys the memo
+/// cache, so two sweeps agree on a cache slot iff they agree on every
+/// result-affecting knob.
+std::string encode_eval_params(const EvalConfig& config,
+                               const OptimizerOptions& opts);
+/// Strict inverse onto defaulted structs; false on any malformed field.
+bool decode_eval_params(const std::string& line, EvalConfig* config,
+                        OptimizerOptions* opts);
+
+/// Canonical organization identity at the Evaluator's own quantization
+/// (0.01 mm on spacings): two organizations the evaluation stack cannot
+/// distinguish hash to the same memo key.
+std::string canonical_org_key(const Organization& org);
+
+/// Memo-cache keys (stable across runs, builds and platforms).
+std::string memo_key_optimize(const std::string& params,
+                              const std::string& bench);
+std::string memo_key_evaluate(const std::string& params,
+                              const std::string& bench,
+                              const Organization& org);
+
+/// The idempotency key of a request: FNV-1a of its canonical identity.
+std::uint64_t request_idem_key(const EvalRequest& req);
+
+}  // namespace tacos

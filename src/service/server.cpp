@@ -1,0 +1,487 @@
+#include "service/server.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "perf/benchmark.hpp"
+#include "service/memo.hpp"
+#include "service/protocol.hpp"
+
+namespace tacos {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string fmt_g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Cancels a request's token when its transport deadline passes.  One
+/// thread watches every armed request: workers are busy *computing* when
+/// the deadline matters, so they cannot watch themselves — and CancelToken
+/// deadline expiry does not propagate to the child tokens the solver
+/// polls, only the cancel() flag does.
+class DeadlineWatchdog {
+ public:
+  DeadlineWatchdog() : thread_([this] { run(); }) {}
+  ~DeadlineWatchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  /// Arm `token` to be cancelled `after_ms` from now.  `*fired` is set
+  /// (under the watchdog lock) iff the deadline actually tripped.
+  std::uint64_t arm(CancelToken* token, std::uint64_t after_ms, bool* fired) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = ++next_id_;
+    entries_.push_back(
+        {id, Clock::now() + std::chrono::milliseconds(after_ms), token,
+         fired});
+    cv_.notify_all();
+    return id;
+  }
+
+  /// Disarm after the request completes.  Returns whether it had fired.
+  bool disarm(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->id == id) {
+        entries_.erase(it);
+        return false;
+      }
+    }
+    return true;  // already fired (and removed) by the watchdog
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    Clock::time_point when;
+    CancelToken* token;
+    bool* fired;
+  };
+
+  void run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      Clock::time_point next = Clock::time_point::max();
+      const Clock::time_point now = Clock::now();
+      for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->when <= now) {
+          it->token->cancel();
+          if (it->fired) *it->fired = true;
+          it = entries_.erase(it);
+        } else {
+          next = std::min(next, it->when);
+          ++it;
+        }
+      }
+      if (next == Clock::time_point::max())
+        cv_.wait(lock);
+      else
+        cv_.wait_until(lock, next);
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<Entry> entries_;
+  std::uint64_t next_id_ = 0;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+struct Counters {
+  std::atomic<std::size_t> connections{0}, requests{0}, served_ok{0},
+      memo_hits{0}, shed{0}, deadline_expired{0}, eval_errors{0},
+      protocol_errors{0};
+};
+
+EvalResponse error_response(std::uint64_t idem, ServiceError::Kind kind,
+                            const std::string& detail, bool retryable) {
+  EvalResponse resp;
+  resp.ok = false;
+  resp.idem = idem;
+  resp.error_kind = ServiceError::kind_name(kind);
+  resp.detail = detail;
+  resp.retryable = retryable;
+  return resp;
+}
+
+/// The whole-server context one worker needs.
+struct ServerCtx {
+  const ServerOptions* options;
+  MemoStore* memo;
+  DeadlineWatchdog* watchdog;
+  Counters* counters;
+  std::atomic<bool>* draining;
+};
+
+/// Compute (or replay) one optimize request.  Never throws: every failure
+/// becomes a typed error response.
+EvalResponse handle_optimize(const ServerCtx& ctx, const EvalRequest& req) {
+  EvalConfig config;
+  OptimizerOptions opts;
+  if (!decode_eval_params(req.params, &config, &opts))
+    return error_response(req.idem, ServiceError::Kind::kProtocol,
+                          "malformed eval-params line", false);
+  const std::string key = memo_key_optimize(req.params, req.bench);
+  if (std::optional<std::string> hit = ctx.memo->lookup(key)) {
+    ctx.counters->memo_hits.fetch_add(1, std::memory_order_relaxed);
+    EvalResponse resp;
+    resp.ok = true;
+    resp.idem = req.idem;
+    resp.memo_hit = true;
+    resp.payload = std::move(*hit);
+    return resp;
+  }
+  // Request-scoped token: the watchdog trips it when the transport
+  // deadline passes; optimize_one_guarded chains the task token off it.
+  CancelToken request_token;
+  bool fired = false;
+  std::uint64_t watch_id = 0;
+  if (req.deadline_ms > 0)
+    watch_id = ctx.watchdog->arm(&request_token, req.deadline_ms, &fired);
+  RunControl run;
+  run.cancel = &request_token;
+  run.task_deadline_s = req.task_deadline_s;
+  TaskOutcome out;
+  try {
+    out = optimize_one_guarded(config, req.bench, opts, &run);
+  } catch (const Error& e) {
+    if (watch_id) ctx.watchdog->disarm(watch_id);
+    return error_response(req.idem, ServiceError::Kind::kRemote, e.what(),
+                          false);
+  }
+  if (watch_id) ctx.watchdog->disarm(watch_id);
+  if (!out.completed) {
+    // kInterrupt path: either our watchdog fired or the server is
+    // draining.  Nothing was journaled locally and nothing is memoized —
+    // a retry recomputes from scratch, byte-identical.
+    if (fired) {
+      ctx.counters->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      return error_response(
+          req.idem, ServiceError::Kind::kDeadline,
+          "request exceeded its " + std::to_string(req.deadline_ms) +
+              " ms transport deadline",
+          true);
+    }
+    return error_response(req.idem, ServiceError::Kind::kShutdown,
+                          "server draining", true);
+  }
+  const std::string payload = encode_opt_result(out.result, out.stats);
+  // Durable-before-visible, except wall-clock timeouts: a task-deadline
+  // row depends on this machine's speed, so caching it would let one slow
+  // moment masquerade as a deterministic result forever.
+  const bool timed_out = out.stats.health.timeouts != 0;
+  if (!timed_out) ctx.memo->store(key, payload);
+  EvalResponse resp;
+  resp.ok = true;
+  resp.idem = req.idem;
+  resp.payload = payload;
+  return resp;
+}
+
+/// Compute (or replay) one point-evaluation request.
+EvalResponse handle_evaluate(const ServerCtx& ctx, const EvalRequest& req) {
+  EvalConfig config;
+  OptimizerOptions opts;
+  if (!decode_eval_params(req.params, &config, &opts))
+    return error_response(req.idem, ServiceError::Kind::kProtocol,
+                          "malformed eval-params line", false);
+  const std::string key = memo_key_evaluate(req.params, req.bench, req.org);
+  if (std::optional<std::string> hit = ctx.memo->lookup(key)) {
+    ctx.counters->memo_hits.fetch_add(1, std::memory_order_relaxed);
+    EvalResponse resp;
+    resp.ok = true;
+    resp.idem = req.idem;
+    resp.memo_hit = true;
+    resp.payload = std::move(*hit);
+    return resp;
+  }
+  CancelToken request_token;
+  bool fired = false;
+  std::uint64_t watch_id = 0;
+  if (req.deadline_ms > 0)
+    watch_id = ctx.watchdog->arm(&request_token, req.deadline_ms, &fired);
+  config.thermal.solve.cancel = &request_token;
+  EvalResponse resp;
+  try {
+    Evaluator eval(config);
+    const ThermalEval& ev =
+        eval.thermal_eval(req.org, benchmark_by_name(req.bench));
+    std::ostringstream os;
+    os << "peak " << fmt_g17(ev.peak_c) << '\n'
+       << "power " << fmt_g17(ev.total_power_w) << '\n'
+       << "leak_iters " << ev.leak_iterations << '\n'
+       << "solves " << ev.solves << '\n'
+       << "converged " << (ev.leak_converged ? 1 : 0) << '\n';
+    resp.ok = true;
+    resp.idem = req.idem;
+    resp.payload = os.str();
+  } catch (const CancelledError&) {
+    if (watch_id) ctx.watchdog->disarm(watch_id);
+    ctx.counters->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    return error_response(req.idem, ServiceError::Kind::kDeadline,
+                          "evaluation cancelled by the request deadline",
+                          true);
+  } catch (const Error& e) {
+    if (watch_id) ctx.watchdog->disarm(watch_id);
+    return error_response(req.idem, ServiceError::Kind::kRemote, e.what(),
+                          false);
+  }
+  if (watch_id) ctx.watchdog->disarm(watch_id);
+  ctx.memo->store(key, resp.payload);
+  return resp;
+}
+
+EvalResponse handle_request(const ServerCtx& ctx, const EvalRequest& req) {
+  if (ctx.options->fault_hold_ms > 0)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(ctx.options->fault_hold_ms));
+  switch (req.kind) {
+    case EvalRequest::Kind::kPing: {
+      EvalResponse resp;
+      resp.ok = true;
+      resp.idem = req.idem;
+      resp.payload = "pong";
+      return resp;
+    }
+    case EvalRequest::Kind::kOptimize:
+      return handle_optimize(ctx, req);
+    case EvalRequest::Kind::kEvaluate:
+      return handle_evaluate(ctx, req);
+  }
+  return error_response(req.idem, ServiceError::Kind::kProtocol,
+                        "unknown request kind", false);
+}
+
+/// Serve every request of one connection until the peer closes or the
+/// server drains.  Never throws.
+void handle_conn(const ServerCtx& ctx, Conn conn) {
+  static obs::SpanSite conn_site("service.conn", "service");
+  obs::TraceSpan conn_span(conn_site);
+  std::size_t served = 0;
+  for (;;) {
+    if (ctx.draining->load(std::memory_order_relaxed)) break;
+    try {
+      if (!conn.wait_readable(200)) continue;  // idle tick (drain check)
+      const std::optional<Frame> frame = conn.recv_frame();
+      if (!frame) break;  // peer finished cleanly
+      if (frame->type != Frame::Type::kRequest) {
+        ctx.counters->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        conn.send_frame(
+            {Frame::Type::kResponse,
+             encode_response(error_response(
+                 0, ServiceError::Kind::kProtocol,
+                 "expected a request frame", false))},
+            2'000);
+        break;  // stream integrity is in doubt: drop the connection
+      }
+      EvalRequest req;
+      if (!decode_request(frame->payload, &req)) {
+        ctx.counters->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        conn.send_frame(
+            {Frame::Type::kResponse,
+             encode_response(error_response(
+                 0, ServiceError::Kind::kProtocol,
+                 "malformed request payload", false))},
+            2'000);
+        break;
+      }
+      ctx.counters->requests.fetch_add(1, std::memory_order_relaxed);
+      const EvalResponse resp = handle_request(ctx, req);
+      if (resp.ok)
+        ctx.counters->served_ok.fetch_add(1, std::memory_order_relaxed);
+      else if (resp.error_kind ==
+               ServiceError::kind_name(ServiceError::Kind::kRemote))
+        ctx.counters->eval_errors.fetch_add(1, std::memory_order_relaxed);
+      else if (resp.error_kind ==
+               ServiceError::kind_name(ServiceError::Kind::kProtocol))
+        ctx.counters->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      conn.send_frame({Frame::Type::kResponse, encode_response(resp)},
+                      10'000);
+      ++served;
+    } catch (const ServiceError& e) {
+      // A corrupt frame still gets its typed refusal when the stream can
+      // carry one; either way the connection is done.
+      if (e.kind() == ServiceError::Kind::kProtocol) {
+        ctx.counters->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        try {
+          conn.send_frame({Frame::Type::kResponse,
+                           encode_response(error_response(
+                               0, e.kind(), e.what(), false))},
+                          2'000);
+        } catch (const ServiceError&) {
+        }
+      }
+      break;
+    }
+  }
+  conn_span.arg("served", static_cast<std::int64_t>(served));
+}
+
+/// Shed one over-admission connection: answer its first request with the
+/// distinct `overloaded` frame, bounded so the accept loop never hangs.
+void shed_conn(Conn conn, Counters* counters) {
+  counters->shed.fetch_add(1, std::memory_order_relaxed);
+  static obs::Counter shed_metric =
+      obs::MetricsRegistry::global().counter("service.shed");
+  shed_metric.add();
+  std::uint64_t idem = 0;
+  try {
+    if (conn.wait_readable(500)) {
+      const std::optional<Frame> frame = conn.recv_frame(500);
+      EvalRequest req;
+      if (frame && frame->type == Frame::Type::kRequest &&
+          decode_request(frame->payload, &req))
+        idem = req.idem;
+    }
+    conn.send_frame(
+        {Frame::Type::kResponse,
+         encode_response(error_response(
+             idem, ServiceError::Kind::kOverloaded,
+             "admission queue full (server at capacity); back off and retry",
+             true))},
+        500);
+  } catch (const ServiceError&) {
+    // The refused peer vanished first; shedding is best-effort by design.
+  }
+}
+
+}  // namespace
+
+ServerStats serve_forever(const ServerOptions& options,
+                          const CancelToken* stop) {
+  Listener listener;
+  listener.open(options.endpoint);
+  MemoStore memo(options.memo_dir);
+  DeadlineWatchdog watchdog;
+  Counters counters;
+  std::atomic<bool> draining{false};
+  ServerCtx ctx{&options, &memo, &watchdog, &counters, &draining};
+
+  static obs::Counter requests_metric =
+      obs::MetricsRegistry::global().counter("service.requests");
+  static obs::Counter memo_hits_metric =
+      obs::MetricsRegistry::global().counter("service.memo_hits");
+
+  // Admission queue: accepted connections awaiting a worker.
+  std::mutex qmu;
+  std::condition_variable qcv;
+  std::deque<Conn> queue;
+  bool closed = false;
+
+  std::vector<std::thread> workers;
+  workers.reserve(options.threads);
+  for (std::size_t i = 0; i < options.threads; ++i) {
+    workers.emplace_back([&] {
+      for (;;) {
+        Conn conn;
+        {
+          std::unique_lock<std::mutex> lock(qmu);
+          qcv.wait(lock, [&] { return closed || !queue.empty(); });
+          if (queue.empty()) return;  // closed and drained
+          conn = std::move(queue.front());
+          queue.pop_front();
+        }
+        handle_conn(ctx, std::move(conn));
+      }
+    });
+  }
+
+  std::fprintf(stderr,
+               "[serve] listening on %s (threads=%zu queue=%zu memo=%zu "
+               "replayed)\n",
+               listener.endpoint().describe().c_str(), options.threads,
+               options.queue_capacity, memo.replayed());
+
+  while (!(stop && stop->interrupted())) {
+    std::optional<Conn> conn;
+    try {
+      conn = listener.accept(200);
+    } catch (const ServiceError&) {
+      break;  // listener torn down underneath us
+    }
+    if (!conn) continue;  // accept tick: re-check the stop token
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(qmu);
+      if (queue.size() < options.queue_capacity) {
+        queue.push_back(std::move(*conn));
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      counters.connections.fetch_add(1, std::memory_order_relaxed);
+      qcv.notify_one();
+    } else {
+      shed_conn(std::move(*conn), &counters);
+    }
+  }
+
+  // Graceful drain: stop accepting, let queued connections' in-flight
+  // requests finish (each worker sees `draining` at its next idle tick),
+  // then join.  In-flight computations run to completion and are memoized
+  // before their workers observe the flag.
+  listener.close();
+  draining.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(qmu);
+    closed = true;
+  }
+  qcv.notify_all();
+  for (std::thread& w : workers) w.join();
+  {
+    // Connections admitted but never picked up: released unanswered (the
+    // retrying client treats the EOF as a retryable connection error).
+    std::lock_guard<std::mutex> lock(qmu);
+    queue.clear();
+  }
+
+  ServerStats stats;
+  stats.connections = counters.connections.load();
+  stats.requests = counters.requests.load();
+  stats.served_ok = counters.served_ok.load();
+  stats.memo_hits = counters.memo_hits.load();
+  stats.shed = counters.shed.load();
+  stats.deadline_expired = counters.deadline_expired.load();
+  stats.eval_errors = counters.eval_errors.load();
+  stats.protocol_errors = counters.protocol_errors.load();
+  stats.memo_replayed = memo.replayed();
+  stats.memo_dropped = memo.dropped();
+  requests_metric.add(static_cast<double>(stats.requests));
+  memo_hits_metric.add(static_cast<double>(stats.memo_hits));
+  return stats;
+}
+
+std::string format_drain_summary(const ServerStats& s) {
+  std::ostringstream os;
+  os << "[serve] drained requests=" << s.requests << " ok=" << s.served_ok
+     << " memo_hits=" << s.memo_hits << " shed=" << s.shed
+     << " deadline=" << s.deadline_expired << " eval_errors=" << s.eval_errors
+     << " protocol_errors=" << s.protocol_errors
+     << " memo_replayed=" << s.memo_replayed
+     << " memo_dropped=" << s.memo_dropped;
+  return os.str();
+}
+
+}  // namespace tacos

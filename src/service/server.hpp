@@ -1,0 +1,82 @@
+#pragma once
+/// \file server.hpp
+/// \brief The persistent evaluation server behind `tacos_cli serve`.
+///
+/// One process owns the expensive state — warmed caches, the durable memo
+/// store — and serves evaluation requests over the framed protocol.  Its
+/// robustness posture, in order of importance:
+///
+///   1. **Bounded admission.**  Connections queue into a fixed-capacity
+///      admission queue drained by a fixed worker pool.  A full queue is
+///      answered *immediately* with a distinct, retryable `overloaded`
+///      error frame — load is shed explicitly, never absorbed as an
+///      unbounded backlog or an unexplained hang.
+///   2. **Deadlines.**  A request's transport budget (`deadline_ms`) is
+///      enforced server-side by a watchdog thread that trips the
+///      request's CancelToken — the solver abandons the task within
+///      milliseconds (kInterrupt, so the abandoned attempt is *not*
+///      memoized) and the client gets a retryable `deadline` error.  The
+///      semantic per-task budget (`task_deadline_s`) instead flows into
+///      RunControl, producing the same journalable `timeout:` rows a
+///      local run would — two different promises, kept separately.
+///   3. **Idempotency via memoization.**  Completed responses are stored
+///      durably in the MemoStore before they are sent; a retry of the
+///      same canonical request — same params hash, same bench — is a
+///      cache hit answered bit-identically.  Wall-clock-dependent
+///      outcomes (task-deadline timeouts) are deliberately never cached.
+///   4. **Graceful drain.**  When the stop token trips (SIGINT/SIGTERM),
+///      the listener closes, in-flight requests run to completion and
+///      are memoized, queued-but-idle connections are released, and
+///      serve() returns its final statistics.  The CLI exits 75, the
+///      repo-wide "interrupted but resumable" code.
+///
+/// The server computes through `optimize_one_guarded` — the *same*
+/// guarded task body every local batch driver uses — with a fresh
+/// Evaluator shard per task, so a response's payload bytes are exactly
+/// what a local run would journal for that task.
+
+#include <cstdint>
+#include <string>
+
+#include "common/cancel.hpp"
+#include "service/transport.hpp"
+
+namespace tacos {
+
+/// Server configuration (CLI: `tacos_cli serve`).
+struct ServerOptions {
+  Endpoint endpoint;
+  std::string memo_dir;           ///< run dir holding memo.jsonl (required)
+  std::size_t threads = 2;        ///< evaluation worker pool size
+  std::size_t queue_capacity = 8; ///< admission queue bound (connections)
+  /// Fault-injection hold (ms) applied to every request before it is
+  /// computed (`--fault-serve-hold-ms`): makes overload deterministic in
+  /// tests — hold the workers, flood the queue, assert the shed frames.
+  std::uint64_t fault_hold_ms = 0;
+};
+
+/// Counters serve() reports on drain (and prints as the drain summary).
+struct ServerStats {
+  std::size_t connections = 0;      ///< accepted into the queue
+  std::size_t requests = 0;         ///< frames decoded as requests
+  std::size_t served_ok = 0;        ///< ok responses (computed or memoized)
+  std::size_t memo_hits = 0;        ///< ok responses answered from cache
+  std::size_t shed = 0;             ///< connections refused `overloaded`
+  std::size_t deadline_expired = 0; ///< requests killed by the watchdog
+  std::size_t eval_errors = 0;      ///< typed evaluation failures returned
+  std::size_t protocol_errors = 0;  ///< corrupt frames / requests rejected
+  std::size_t memo_replayed = 0;    ///< cache entries loaded from disk
+  std::size_t memo_dropped = 0;     ///< torn-tail cache lines dropped
+};
+
+/// Run the evaluation server until `stop` trips.  Binds the endpoint and
+/// opens the memo store (throws ServiceError / tacos::Error on either
+/// failing), then serves; returns the drain statistics.
+ServerStats serve_forever(const ServerOptions& options,
+                          const CancelToken* stop);
+
+/// One-line drain summary (stderr + CI's measurable record):
+/// `[serve] drained requests=... ok=... memo_hits=... shed=... ...`.
+std::string format_drain_summary(const ServerStats& s);
+
+}  // namespace tacos

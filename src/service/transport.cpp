@@ -1,0 +1,327 @@
+#include "service/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace tacos {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void conn_error(const std::string& what) {
+  throw ServiceError(ServiceError::Kind::kConnection,
+                     what + ": " + std::strerror(errno));
+}
+
+/// Millisecond budget tracker: 0 = unbounded.
+struct Budget {
+  explicit Budget(std::uint64_t timeout_ms)
+      : bounded(timeout_ms != 0),
+        deadline(Clock::now() + std::chrono::milliseconds(timeout_ms)) {}
+  bool bounded;
+  Clock::time_point deadline;
+
+  /// Remaining milliseconds for poll(): -1 = wait forever, 0 = expired.
+  int poll_ms() const {
+    if (!bounded) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    if (left <= 0) return 0;
+    return static_cast<int>(left > 60'000 ? 60'000 : left);
+  }
+  bool expired() const { return bounded && Clock::now() >= deadline; }
+};
+
+/// poll() one fd for `events`, honoring the budget.  Returns false on
+/// budget expiry; throws ServiceError(kConnection) on poll failure.
+bool wait_fd(int fd, short events, const Budget& budget) {
+  for (;;) {
+    if (budget.expired()) return false;
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int rc = ::poll(&p, 1, budget.poll_ms());
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      conn_error("poll");
+    }
+    if (rc == 0) {
+      if (budget.expired()) return false;
+      continue;  // periodic tick of an unbounded wait
+    }
+    return true;  // readable/writable (or error/hup — the I/O call reports)
+  }
+}
+
+void send_all(int fd, const char* data, std::size_t len,
+              const Budget& budget) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!wait_fd(fd, POLLOUT, budget))
+        throw ServiceError(ServiceError::Kind::kDeadline,
+                           "send budget expired mid-frame");
+      continue;
+    }
+    conn_error("send");
+  }
+}
+
+/// Read exactly `len` bytes.  Returns false iff the peer closed cleanly
+/// *before the first byte* and `eof_ok`; EOF later is a torn frame.
+bool recv_exact(int fd, char* out, std::size_t len, const Budget& budget,
+                bool eof_ok) {
+  std::size_t off = 0;
+  while (off < len) {
+    if (!wait_fd(fd, POLLIN, budget))
+      throw ServiceError(ServiceError::Kind::kDeadline,
+                         "receive budget expired");
+    const ssize_t n = ::recv(fd, out + off, len - off, 0);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (off == 0 && eof_ok) return false;
+      throw ServiceError(ServiceError::Kind::kConnection,
+                         "peer closed mid-frame (" + std::to_string(off) +
+                             " of " + std::to_string(len) + " bytes)");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    conn_error("recv");
+  }
+  return true;
+}
+
+int make_socket(bool tcp) {
+  const int fd = ::socket(tcp ? AF_INET : AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) conn_error("socket");
+  return fd;
+}
+
+sockaddr_un unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof addr.sun_path)
+    throw ServiceError(ServiceError::Kind::kConnection,
+                       "socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1)
+    throw ServiceError(ServiceError::Kind::kConnection,
+                       "bad IPv4 host '" + ep.host + "'");
+  return addr;
+}
+
+}  // namespace
+
+std::string Endpoint::describe() const {
+  if (tcp) return "tcp:" + host + ":" + std::to_string(port);
+  return path;
+}
+
+Endpoint parse_endpoint(const std::string& addr) {
+  Endpoint ep;
+  if (addr.rfind("tcp:", 0) == 0) {
+    ep.tcp = true;
+    const std::string rest = addr.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= rest.size())
+      throw ServiceError(ServiceError::Kind::kConnection,
+                         "bad tcp address '" + addr +
+                             "' (expected tcp:<host>:<port>)");
+    ep.host = rest.substr(0, colon);
+    const long port = std::atol(rest.c_str() + colon + 1);
+    if (port <= 0 || port > 65535)
+      throw ServiceError(ServiceError::Kind::kConnection,
+                         "bad tcp port in '" + addr + "'");
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  if (addr.empty())
+    throw ServiceError(ServiceError::Kind::kConnection,
+                       "empty service address");
+  ep.path = addr.rfind("unix:", 0) == 0 ? addr.substr(5) : addr;
+  return ep;
+}
+
+Conn& Conn::operator=(Conn&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Conn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Conn::send_frame(const Frame& frame, std::uint64_t timeout_ms) {
+  if (fd_ < 0)
+    throw ServiceError(ServiceError::Kind::kConnection,
+                       "send on a closed connection");
+  const std::string bytes = encode_frame(frame);
+  const Budget budget(timeout_ms);
+  send_all(fd_, bytes.data(), bytes.size(), budget);
+}
+
+std::optional<Frame> Conn::recv_frame(std::uint64_t timeout_ms) {
+  if (fd_ < 0)
+    throw ServiceError(ServiceError::Kind::kConnection,
+                       "receive on a closed connection");
+  const Budget budget(timeout_ms);
+  char header[kFrameHeaderBytes];
+  if (!recv_exact(fd_, header, sizeof header, budget, /*eof_ok=*/true))
+    return std::nullopt;
+  const FrameHeader h = decode_frame_header(header, sizeof header);
+  Frame f;
+  f.type = h.type;
+  f.payload.resize(h.length);
+  if (h.length > 0)
+    recv_exact(fd_, f.payload.data(), h.length, budget, /*eof_ok=*/false);
+  check_frame_payload(h, f.payload);
+  return f;
+}
+
+bool Conn::wait_readable(std::uint64_t timeout_ms) {
+  if (fd_ < 0)
+    throw ServiceError(ServiceError::Kind::kConnection,
+                       "wait on a closed connection");
+  const Budget budget(timeout_ms == 0 ? 1 : timeout_ms);
+  return wait_fd(fd_, POLLIN, budget);
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::open(const Endpoint& ep) {
+  close();
+  endpoint_ = ep;
+  const int fd = make_socket(ep.tcp);
+  if (ep.tcp) {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr = tcp_addr(ep);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd);
+      conn_error("bind " + ep.describe());
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+      bound_port_ = ntohs(addr.sin_port);
+  } else {
+    // A crashed server leaves its socket file behind; a bound path would
+    // refuse EADDRINUSE forever, so unlink the stale file first.  (A
+    // *live* server is protected by its own lockfile, not by this path.)
+    ::unlink(ep.path.c_str());
+    sockaddr_un addr = unix_addr(ep.path);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd);
+      conn_error("bind " + ep.describe());
+    }
+  }
+  if (::listen(fd, 64) < 0) {
+    ::close(fd);
+    conn_error("listen " + ep.describe());
+  }
+  fd_ = fd;
+}
+
+std::optional<Conn> Listener::accept(std::uint64_t timeout_ms) {
+  if (fd_ < 0)
+    throw ServiceError(ServiceError::Kind::kConnection,
+                       "accept on a closed listener");
+  const Budget budget(timeout_ms);
+  if (!wait_fd(fd_, POLLIN, budget)) return std::nullopt;
+  for (;;) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) return Conn(cfd);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    conn_error("accept");
+  }
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (!endpoint_.tcp && !endpoint_.path.empty())
+      ::unlink(endpoint_.path.c_str());
+  }
+}
+
+Conn connect_endpoint(const Endpoint& ep, std::uint64_t timeout_ms) {
+  const int fd = make_socket(ep.tcp);
+  // Non-blocking connect so the budget applies to connection establishment
+  // too (a wedged server must not hang the client past its deadline).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc;
+  if (ep.tcp) {
+    sockaddr_in addr = tcp_addr(ep);
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } else {
+    sockaddr_un addr = unix_addr(ep.path);
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  }
+  if (rc < 0 && errno != EINPROGRESS && errno != EAGAIN) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    conn_error("connect " + ep.describe());
+  }
+  if (rc < 0) {
+    const Budget budget(timeout_ms);
+    bool ready = false;
+    try {
+      ready = wait_fd(fd, POLLOUT, budget);
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    if (!ready) {
+      ::close(fd);
+      throw ServiceError(ServiceError::Kind::kConnection,
+                         "connect " + ep.describe() + " timed out");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      errno = err != 0 ? err : errno;
+      conn_error("connect " + ep.describe());
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking; I/O is poll-driven
+  return Conn(fd);
+}
+
+}  // namespace tacos

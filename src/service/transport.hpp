@@ -1,0 +1,111 @@
+#pragma once
+/// \file transport.hpp
+/// \brief Socket transport of the evaluation service: a Unix-domain (or
+///        TCP) byte stream carrying the framed protocol of protocol.hpp.
+///
+/// Everything here is deliberately boring POSIX: blocking sockets driven
+/// through poll() so every receive honors a millisecond budget, MSG_NOSIGNAL
+/// sends so a dying peer yields an error return instead of SIGPIPE, and
+/// EINTR retried everywhere.  All failures are typed:
+///
+///   * connect/accept/read/write failures, EOF mid-frame, refused or
+///     vanished peers → ServiceError(kConnection) — retryable;
+///   * a receive budget expiring               → ServiceError(kDeadline);
+///   * anything wrong with the bytes themselves → ServiceError(kProtocol)
+///     from the protocol layer.
+///
+/// The default transport is a Unix-domain socket (`--socket=PATH`): no
+/// network exposure, filesystem permissions for access control.  TCP
+/// (`--port=N`, loopback) exists behind the same Endpoint interface for
+/// setups where workers cannot share a filesystem.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace tacos {
+
+/// Where a server listens / a client connects.  `parse_endpoint` accepts
+/// a Unix socket path (the default) or `tcp:<host>:<port>`.
+struct Endpoint {
+  bool tcp = false;
+  std::string path;              ///< unix: socket path
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  std::string describe() const;
+};
+
+/// Parse `--remote=ADDR` / serve addresses.  Throws ServiceError
+/// (kConnection) on a malformed address.
+Endpoint parse_endpoint(const std::string& addr);
+
+/// One connected byte stream (move-only; closes on destruction).
+class Conn {
+ public:
+  Conn() = default;
+  explicit Conn(int fd) : fd_(fd) {}
+  Conn(Conn&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Conn& operator=(Conn&& o) noexcept;
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+  ~Conn() { close(); }
+
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Send one frame (header + payload), whole or error.  `timeout_ms`
+  /// bounds the send (0 = no bound).
+  void send_frame(const Frame& frame, std::uint64_t timeout_ms = 0);
+
+  /// Receive one frame.  `timeout_ms` bounds the whole receive (0 = no
+  /// bound); expiry throws ServiceError(kDeadline).  A cleanly closed
+  /// peer *before any byte* of the frame returns nullopt; EOF mid-frame
+  /// is a torn frame and throws ServiceError(kConnection).
+  std::optional<Frame> recv_frame(std::uint64_t timeout_ms = 0);
+
+  /// True when a byte (or EOF) is waiting within `timeout_ms`.  The idle
+  /// tick of a server worker: polling readability first keeps a timeout
+  /// from ever landing mid-frame and desynchronizing the stream.
+  bool wait_readable(std::uint64_t timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket (Unix or TCP per the endpoint).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen.  For Unix endpoints a stale socket file left by a
+  /// crashed server is unlinked first.  Throws ServiceError(kConnection).
+  void open(const Endpoint& ep);
+
+  /// Accept one connection, waiting at most `timeout_ms` (0 = forever).
+  /// nullopt on timeout (the server's shutdown-poll tick).
+  std::optional<Conn> accept(std::uint64_t timeout_ms);
+
+  bool ok() const { return fd_ >= 0; }
+  const Endpoint& endpoint() const { return endpoint_; }
+  /// For `--port=0` (tests): the port the kernel actually assigned.
+  std::uint16_t bound_port() const { return bound_port_; }
+  void close();
+
+ private:
+  int fd_ = -1;
+  Endpoint endpoint_;
+  std::uint16_t bound_port_ = 0;
+};
+
+/// Connect to `ep`, waiting at most `timeout_ms` (0 = OS default).
+/// Throws ServiceError(kConnection) on refusal/timeout.
+Conn connect_endpoint(const Endpoint& ep, std::uint64_t timeout_ms);
+
+}  // namespace tacos

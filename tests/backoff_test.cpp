@@ -1,0 +1,76 @@
+#include "common/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tacos {
+namespace {
+
+// The contract (common/backoff.hpp): delay(n) = min(base * 2^n, cap) minus
+// a deterministic jitter of at most jitter_frac of the delay.  Jitterless
+// policies must reproduce the sweep fabric's historical restart schedule
+// bit-exactly; jittered ones must be pure functions of (seed, attempt).
+
+TEST(BackoffPolicy, JitterlessMatchesHistoricalFabricSchedule) {
+  // The fabric's original expression was min(base << n, max) with
+  // base = 200, max = 2000.
+  const BackoffPolicy p{200, 2'000, 0.0, 0};
+  const std::vector<std::uint64_t> expected{200, 400, 800, 1600,
+                                            2000, 2000, 2000};
+  for (std::size_t n = 0; n < expected.size(); ++n)
+    EXPECT_EQ(p.delay_ms(n), expected[n]) << "attempt " << n;
+}
+
+TEST(BackoffPolicy, CapsForever) {
+  const BackoffPolicy p{100, 3'000, 0.0, 0};
+  for (std::uint64_t n = 5; n < 200; n += 13) EXPECT_EQ(p.delay_ms(n), 3'000);
+  // Shift-overflow territory: 1 << 64 is UB if computed naively; the
+  // policy must stay capped, not wrap to tiny delays.
+  EXPECT_EQ(p.delay_ms(62), 3'000u);
+  EXPECT_EQ(p.delay_ms(63), 3'000u);
+  EXPECT_EQ(p.delay_ms(64), 3'000u);
+  EXPECT_EQ(p.delay_ms(std::uint64_t(1) << 40), 3'000u);
+}
+
+TEST(BackoffPolicy, JitterIsDeterministicAndBounded) {
+  const BackoffPolicy a{200, 5'000, 0.25, 42};
+  const BackoffPolicy b{200, 5'000, 0.25, 42};
+  const BackoffPolicy c{200, 5'000, 0.25, 43};
+  bool any_different_seed_diverged = false;
+  for (std::uint64_t n = 0; n < 16; ++n) {
+    const std::uint64_t raw = BackoffPolicy{200, 5'000, 0.0, 0}.delay_ms(n);
+    const std::uint64_t d = a.delay_ms(n);
+    // Same (seed, attempt) → same delay, every time.
+    EXPECT_EQ(d, b.delay_ms(n));
+    // Jitter only shaves: raw * (1 - frac) < delay <= raw.
+    EXPECT_LE(d, raw);
+    EXPECT_GT(d, raw - raw / 4 - 1);
+    if (c.delay_ms(n) != d) any_different_seed_diverged = true;
+  }
+  EXPECT_TRUE(any_different_seed_diverged)
+      << "two seeds produced identical 16-delay schedules";
+}
+
+TEST(Backoff, CountsAndResets) {
+  Backoff b(BackoffPolicy{100, 1'000, 0.0, 0});
+  EXPECT_EQ(b.attempts(), 0u);
+  EXPECT_EQ(b.next_ms(), 100u);
+  EXPECT_EQ(b.next_ms(), 200u);
+  EXPECT_EQ(b.next_ms(), 400u);
+  EXPECT_EQ(b.attempts(), 3u);
+  b.reset();
+  EXPECT_EQ(b.attempts(), 0u);
+  EXPECT_EQ(b.next_ms(), 100u);  // a success rewinds to the base delay
+}
+
+TEST(Backoff, TwoArgConvenienceIsJitterless) {
+  Backoff b(150, 500);
+  EXPECT_EQ(b.next_ms(), 150u);
+  EXPECT_EQ(b.next_ms(), 300u);
+  EXPECT_EQ(b.next_ms(), 500u);
+  EXPECT_EQ(b.next_ms(), 500u);
+}
+
+}  // namespace
+}  // namespace tacos

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "common/check.hpp"
+#include "common/fsck.hpp"
+#include "common/journal.hpp"
+#include "common/lease.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -94,6 +99,188 @@ TEST(Rng, UniformRealStaysInRange) {
     EXPECT_GE(v, 2.5);
     EXPECT_LT(v, 3.5);
   }
+}
+
+// ---------------------------------------------------------------------------
+// fsck — offline validation/repair of a run directory's durable files.
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::string journal_lines(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i)
+    text += format_journal_line("task" + std::to_string(i),
+                                "payload " + std::to_string(i)) +
+            "\n";
+  return text;
+}
+
+std::string lease_lines(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    LeaseRecord rec;
+    rec.kind = LeaseRecord::Kind::kClaim;
+    rec.task = "optimize:bench" + std::to_string(i);
+    rec.worker = "w0.0";
+    rec.epoch = static_cast<std::uint64_t>(i + 1);
+    rec.deadline_ms = 1000;
+    text += encode_lease_record(rec);
+  }
+  return text;
+}
+
+TEST(Fsck, CleanJournalReportsAllValid) {
+  const std::string dir = fresh_dir("fsck_clean_journal");
+  write_file(dir + "/journal.jsonl", journal_lines(3));
+  const FsckFile f = fsck_journal_file(dir + "/journal.jsonl", false);
+  EXPECT_EQ(f.valid, 3u);
+  EXPECT_EQ(f.corrupt, 0u);
+  EXPECT_FALSE(f.torn_tail);
+  EXPECT_FALSE(f.event_log);
+  EXPECT_FALSE(f.fixed);
+}
+
+TEST(Fsck, JournalTornTailIsStrictPrefix) {
+  const std::string dir = fresh_dir("fsck_torn_journal");
+  // A garbage line in the middle poisons everything at and after it:
+  // journals have strict-prefix trust semantics.
+  std::string text = journal_lines(2);
+  text += "this is not a journal record\n";
+  text += format_journal_line("task2", "payload 2") + "\n";
+  write_file(dir + "/journal.jsonl", text);
+
+  FsckFile f = fsck_journal_file(dir + "/journal.jsonl", false);
+  EXPECT_EQ(f.valid, 2u);
+  EXPECT_EQ(f.corrupt, 2u);  // the garbage line and the record after it
+  EXPECT_TRUE(f.torn_tail);
+  EXPECT_FALSE(f.fixed);
+  // Non-destructive: the bytes are untouched.
+  EXPECT_EQ(slurp(dir + "/journal.jsonl"), text);
+
+  // Fix mode rewrites down to the valid prefix.
+  f = fsck_journal_file(dir + "/journal.jsonl", true);
+  EXPECT_TRUE(f.fixed);
+  EXPECT_EQ(slurp(dir + "/journal.jsonl"), journal_lines(2));
+  // And a second pass is clean.
+  f = fsck_journal_file(dir + "/journal.jsonl", false);
+  EXPECT_EQ(f.valid, 2u);
+  EXPECT_EQ(f.corrupt, 0u);
+}
+
+TEST(Fsck, JournalTruncatedLastLine) {
+  const std::string dir = fresh_dir("fsck_trunc_journal");
+  std::string text = journal_lines(2);
+  const std::string last = format_journal_line("task2", "payload 2");
+  text += last.substr(0, last.size() / 2);  // no newline: torn mid-write
+  write_file(dir + "/journal.jsonl", text);
+
+  const FsckFile f = fsck_journal_file(dir + "/journal.jsonl", false);
+  EXPECT_EQ(f.valid, 2u);
+  EXPECT_EQ(f.corrupt, 1u);
+  EXPECT_TRUE(f.torn_tail);
+}
+
+TEST(Fsck, LeaseLogSkipsCorruptMiddleLine) {
+  const std::string dir = fresh_dir("fsck_lease");
+  // Event-log semantics: a corrupt line anywhere is skippable; records
+  // after it remain trusted.
+  LeaseRecord rec;
+  rec.kind = LeaseRecord::Kind::kClaim;
+  rec.task = "optimize:a";
+  rec.worker = "w0.0";
+  rec.epoch = 1;
+  const std::string good1 = encode_lease_record(rec);
+  rec.task = "optimize:b";
+  const std::string good2 = encode_lease_record(rec);
+  const std::string text = good1 + "corrupt middle line\n" + good2;
+  write_file(dir + "/leases.jsonl", text);
+
+  FsckFile f = fsck_lease_file(dir + "/leases.jsonl", false);
+  EXPECT_TRUE(f.event_log);
+  EXPECT_EQ(f.valid, 2u);  // both sides of the damage stay valid
+  EXPECT_EQ(f.corrupt, 1u);
+  EXPECT_FALSE(f.torn_tail);
+
+  f = fsck_lease_file(dir + "/leases.jsonl", true);
+  EXPECT_TRUE(f.fixed);
+  EXPECT_EQ(slurp(dir + "/leases.jsonl"), good1 + good2);
+}
+
+TEST(Fsck, LeaseLogToleratesWriterCaughtMidAppend) {
+  const std::string dir = fresh_dir("fsck_lease_tail");
+  LeaseRecord rec;
+  rec.task = "optimize:a";
+  rec.worker = "w0.0";
+  const std::string good = encode_lease_record(rec);
+  write_file(dir + "/leases.jsonl", good + good.substr(0, good.size() / 2));
+  const FsckFile f = fsck_lease_file(dir + "/leases.jsonl", false);
+  EXPECT_EQ(f.valid, 1u);
+  EXPECT_EQ(f.corrupt, 1u);
+  EXPECT_TRUE(f.torn_tail);
+}
+
+TEST(Fsck, RunDirCoversEveryRecognizedFile) {
+  const std::string dir = fresh_dir("fsck_run_dir");
+  write_file(dir + "/journal.jsonl", journal_lines(2));
+  write_file(dir + "/shard-w0.jsonl", journal_lines(1));
+  write_file(dir + "/shard-w1.jsonl",
+             journal_lines(1) + "torn garbage\n");
+  write_file(dir + "/memo.jsonl", journal_lines(3));
+  write_file(dir + "/leases.jsonl", lease_lines(2));
+  write_file(dir + "/unrelated.txt", "left untouched and unreported\n");
+
+  const FsckReport report = fsck_run_dir(dir, false);
+  EXPECT_EQ(report.files.size(), 5u);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.total_corrupt(), 1u);
+  bool saw_shard1 = false;
+  for (const FsckFile& f : report.files) {
+    EXPECT_NE(f.name, "unrelated.txt");
+    EXPECT_EQ(f.event_log, f.name == "leases.jsonl");
+    if (f.name == "shard-w1.jsonl") {
+      saw_shard1 = true;
+      EXPECT_EQ(f.corrupt, 1u);
+    } else {
+      EXPECT_EQ(f.corrupt, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_shard1);
+
+  // Fix mode repairs the damaged shard; the report is then clean.
+  const FsckReport fixed = fsck_run_dir(dir, true);
+  EXPECT_TRUE(fixed.clean());
+  EXPECT_EQ(slurp(dir + "/shard-w1.jsonl"), journal_lines(1));
+  EXPECT_TRUE(fsck_run_dir(dir, false).clean());
+}
+
+TEST(Fsck, MissingRunDirThrows) {
+  EXPECT_THROW(fsck_run_dir(testing::TempDir() + "fsck_no_such_dir", false),
+               Error);
+}
+
+TEST(Fsck, EmptyRunDirIsClean) {
+  const std::string dir = fresh_dir("fsck_empty");
+  const FsckReport report = fsck_run_dir(dir, false);
+  EXPECT_TRUE(report.files.empty());
+  EXPECT_TRUE(report.clean());
 }
 
 }  // namespace

@@ -12,11 +12,23 @@
 ///   cost      <n> <interposer_mm>         — Eq. (4) breakdown
 ///   batch     [alpha] [beta] [threshold] [grid] [step]
 ///                                         — optimize every benchmark
-///                                           (durable: --run-dir/--resume)
+///                                           (durable: --run-dir/--resume;
+///                                           offloadable: --remote=ADDR)
+///   serve                                 — persistent evaluation server
+///                                           (--socket=PATH | --port=N,
+///                                           memo cache in --run-dir)
+///   eval-remote <bench> <n> <s1> <s2> <s3> <f_idx> <p>
+///                                         — one organization, evaluated
+///                                           by the server (--remote=ADDR)
+///   ping                                  — probe the server (--remote)
+///   fsck      [--fix]                     — validate (and optionally
+///                                           repair) --run-dir's durable
+///                                           files; exit 65 on damage
 ///
 /// Every command prints plain text.  Exit-code discipline (see
 /// src/common/errors.hpp): 0 success, 1 usage error, 2 generic
-/// tacos::Error, 3 SolverError, 4 ThermalError, 5 EvalError, 70 other
+/// tacos::Error, 3 SolverError, 4 ThermalError, 5 EvalError, 6
+/// ServiceError, 65 corrupt data found by fsck (EX_DATAERR), 70 other
 /// std::exception, 75 interrupted (resumable).  Failures emit one
 /// structured stderr line:
 ///   tacos-error kind=<class> code=<n>: <message>
@@ -41,6 +53,7 @@
 /// Commands that run the thermal stack print the run's health summary
 /// (recoveries, degradations, quarantines) to stderr afterwards.
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -49,12 +62,15 @@
 #include <vector>
 
 #include "common/errors.hpp"
+#include "common/fsck.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/fabric.hpp"
 #include "core/optimizer.hpp"
 #include "cost/cost_model.hpp"
 #include "obs/obs.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 
 using namespace tacos;
 
@@ -87,6 +103,20 @@ PrecondKind g_precond = PrecondKind::kAuto;
 /// Observability knobs from --metrics/--trace (docs/OBSERVABILITY.md).
 obs::ObsOptions g_obs;
 
+/// Evaluation-service knobs (docs/ROBUSTNESS.md "The evaluation
+/// service").  --remote=ADDR points batch/eval-remote/ping at a running
+/// `tacos_cli serve`; --socket/--port pick the serve transport; the rest
+/// tune the client's retry/deadline behavior and the server's admission
+/// control.
+std::string g_remote;                  ///< --remote=ADDR (client side)
+std::string g_socket;                  ///< serve: unix socket path
+long g_port = -1;                      ///< serve: TCP port (-1 = unix)
+std::size_t g_serve_threads = 2;       ///< serve: worker pool size
+std::size_t g_serve_queue = 8;         ///< serve: admission queue bound
+std::uint64_t g_remote_deadline_ms = 0;///< per-request transport deadline
+int g_remote_attempts = 5;             ///< client retry budget
+std::uint64_t g_serve_hold_ms = 0;     ///< --fault-serve-hold-ms (testing)
+
 /// Evaluation fidelity from --fidelity (docs/PERFORMANCE.md): full runs
 /// every candidate through the leakage fixed point; ladder screens through
 /// surrogate → coarse → medium rungs first; auto picks per grid size.
@@ -95,6 +125,10 @@ FidelityMode g_fidelity = FidelityMode::kFull;
 double g_keep_frac = 0.0;
 /// --mg-mixed: float smoothing sweeps inside the MG preconditioner.
 bool g_mg_mixed = false;
+
+/// Client options shared by every --remote consumer (defined with the
+/// service commands below).
+ClientOptions make_client_options();
 
 int usage() {
   std::cerr <<
@@ -109,6 +143,10 @@ int usage() {
       "                 [--precond=auto|jacobi|mg] [--mg-mixed]\n"
       "                 [--fidelity=auto|full|ladder]"
       " [--surrogate-keep-frac=F]\n"
+      "                 [--remote=ADDR] [--remote-deadline-ms=T]"
+      " [--remote-attempts=K]\n"
+      "                 [--socket=PATH] [--port=N] [--serve-threads=N]\n"
+      "                 [--serve-queue=N] [--fault-serve-hold-ms=T]\n"
       "                 [--metrics[=FILE]] [--trace[=FILE]]"
       " <command> [args]\n"
       "  list\n"
@@ -118,7 +156,13 @@ int usage() {
       "  sweep    <bench> <n:4|16> [threshold_c=85]\n"
       "  cost     <n:4|16> <interposer_mm>\n"
       "  batch    [alpha=1] [beta=0] [threshold_c=85] [grid=32]"
-      " [step=0.5]\n";
+      " [step=0.5]\n"
+      "  serve                 (requires --socket=PATH or --port=N,"
+      " and --run-dir)\n"
+      "  eval-remote <bench> <n> <s1> <s2> <s3> <f_idx> <p>"
+      "   (requires --remote)\n"
+      "  ping                  (requires --remote)\n"
+      "  fsck     [--fix]      (requires --run-dir)\n";
   return exit_code::kUsage;
 }
 
@@ -290,6 +334,31 @@ int cmd_batch(const std::vector<std::string>& a) {
   fab.lease_ttl_ms = g_lease_ttl_ms;
   fab.task_deadline_s = g_task_deadline_s;
 
+  if (!g_remote.empty()) {
+    // Offload every task to the evaluation service.  The hook slots in
+    // underneath optimize_one_guarded, so journal replay, --resume and
+    // the sweep fabric keep their exact semantics — fabric workers
+    // inherit --remote through the re-exec'd command line and install
+    // their own hook here.  One client (and one jitter seed) per worker
+    // thread: the client is not thread-safe, and distinct seeds keep a
+    // fleet's retries from synchronizing into a thundering herd.
+    set_remote_optimize_hook([](const EvalConfig& config,
+                                const std::string& bench,
+                                const OptimizerOptions& o,
+                                double task_deadline_s) {
+      thread_local std::unique_ptr<EvalClient> client;
+      if (!client) {
+        ClientOptions copt = make_client_options();
+        static std::atomic<std::uint64_t> next_seed{0};
+        copt.backoff.seed =
+            next_seed.fetch_add(1, std::memory_order_relaxed);
+        client = std::make_unique<EvalClient>(copt);
+      }
+      return client->optimize(config, o, bench, task_deadline_s);
+    });
+    std::cerr << "[remote] offloading evaluation to " << g_remote << "\n";
+  }
+
   if (g_fabric_worker >= 0) {
     // Worker process of a --workers=N sweep: run the claim → run →
     // publish loop against the shared run dir and exit.  The canonical
@@ -416,6 +485,121 @@ int cmd_batch(const std::vector<std::string>& a) {
   return exit_code::kOk;
 }
 
+ClientOptions make_client_options() {
+  ClientOptions copt;
+  copt.endpoint = parse_endpoint(g_remote);
+  copt.max_attempts = g_remote_attempts;
+  copt.request_deadline_ms = g_remote_deadline_ms;
+  copt.cancel = &global_cancel_token();
+  return copt;
+}
+
+/// Persistent evaluation server: listen, serve, drain on SIGINT/SIGTERM.
+/// The memo cache lives in --run-dir, so a restarted server resumes with
+/// every previously computed response intact.
+int cmd_serve() {
+  if (g_socket.empty() && g_port < 0) {
+    std::cerr << "serve requires --socket=PATH or --port=N\n";
+    return exit_code::kUsage;
+  }
+  if (g_run_dir.empty()) {
+    std::cerr << "serve requires --run-dir=DIR (the memo cache lives"
+                 " there)\n";
+    return exit_code::kUsage;
+  }
+  ServerOptions sopt;
+  if (g_port >= 0) {
+    sopt.endpoint.tcp = true;
+    sopt.endpoint.port = static_cast<std::uint16_t>(g_port);
+  } else {
+    sopt.endpoint.path = g_socket;
+  }
+  sopt.memo_dir = g_run_dir;
+  sopt.threads = g_serve_threads;
+  sopt.queue_capacity = g_serve_queue;
+  sopt.fault_hold_ms = g_serve_hold_ms;
+  const ServerStats st = serve_forever(sopt, &global_cancel_token());
+  std::cerr << format_drain_summary(st) << "\n";
+  // The only way out is a shutdown signal; like every interrupted run,
+  // the server exits 75 — its durable state resumes on the next start.
+  return exit_code::kInterrupted;
+}
+
+/// One organization evaluated by the server (the remote twin of
+/// `evaluate`).  Fault plans are deliberately not forwarded: the server
+/// computes under its own, clean configuration.
+int cmd_eval_remote(const std::vector<std::string>& a) {
+  if (a.size() != 7) return usage();
+  if (g_remote.empty()) {
+    std::cerr << "eval-remote requires --remote=ADDR\n";
+    return exit_code::kUsage;
+  }
+  EvalConfig cfg;
+  cfg.thermal.grid_nx = cfg.thermal.grid_ny = 32;
+  cfg.thermal.solve.precond = g_precond;
+  cfg.thermal.solve.mg_mixed_precision = g_mg_mixed;
+  cfg.ladder.mode = g_fidelity;
+  cfg.ladder.keep_frac = g_keep_frac;
+  const OptimizerOptions opts;
+  const Organization org{
+      std::stoi(a[1]),
+      Spacing{std::stod(a[2]), std::stod(a[3]), std::stod(a[4])},
+      std::stoul(a[5]), std::stoi(a[6])};
+  EvalClient client(make_client_options());
+  bool memo = false;
+  const std::string payload = client.evaluate(cfg, opts, a[0], org, &memo);
+  std::cout << payload;
+  std::cerr << "[remote] " << (memo ? "memo hit" : "computed") << " via "
+            << g_remote << " in " << client.last_attempts()
+            << " attempt(s)\n";
+  return exit_code::kOk;
+}
+
+/// Liveness probe (single attempt): exit 0 iff the server answers.
+int cmd_ping() {
+  if (g_remote.empty()) {
+    std::cerr << "ping requires --remote=ADDR\n";
+    return exit_code::kUsage;
+  }
+  EvalClient client(make_client_options());
+  if (client.ping()) {
+    std::cout << "pong\n";
+    return exit_code::kOk;
+  }
+  std::cerr << "no response from " << g_remote << "\n";
+  return exit_code::kService;
+}
+
+/// Validate --run-dir's durable files; `--fix` repairs them in place.
+int cmd_fsck(const std::vector<std::string>& a) {
+  bool fix = false;
+  for (const std::string& s : a) {
+    if (s == "--fix")
+      fix = true;
+    else
+      return usage();
+  }
+  if (g_run_dir.empty()) {
+    std::cerr << "fsck requires --run-dir=DIR\n";
+    return exit_code::kUsage;
+  }
+  const FsckReport rep = fsck_run_dir(g_run_dir, fix);
+  TextTable t({"file", "kind", "valid", "corrupt", "torn_tail", "state"});
+  for (const FsckFile& f : rep.files)
+    t.add_row({f.name, f.event_log ? "event-log" : "journal",
+               std::to_string(f.valid), std::to_string(f.corrupt),
+               f.torn_tail ? "yes" : "no",
+               f.fixed ? "repaired" : f.corrupt > 0 ? "DAMAGED" : "clean"});
+  t.print("fsck " + g_run_dir);
+  if (!rep.clean()) {
+    std::cerr << "fsck: " << rep.total_corrupt()
+              << " damaged line(s); rerun with --fix to truncate/repair\n";
+    return exit_code::kDataErr;
+  }
+  std::cerr << "fsck: clean\n";
+  return exit_code::kOk;
+}
+
 int cmd_cost(const std::vector<std::string>& a) {
   if (a.size() != 2) return usage();
   const int n = std::stoi(a[0]);
@@ -500,6 +684,36 @@ int main(int argc, char** argv) {
       const long n = std::atol(flag.c_str() + 21);
       if (n < 0) return usage();
       g_fabric_incarnation = static_cast<int>(n);
+    } else if (flag.rfind("--remote=", 0) == 0) {
+      g_remote = flag.substr(9);
+      if (g_remote.empty()) return usage();
+    } else if (flag.rfind("--remote-deadline-ms=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 21);
+      if (n < 1) return usage();
+      g_remote_deadline_ms = static_cast<std::uint64_t>(n);
+    } else if (flag.rfind("--remote-attempts=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 18);
+      if (n < 1) return usage();
+      g_remote_attempts = static_cast<int>(n);
+    } else if (flag.rfind("--socket=", 0) == 0) {
+      g_socket = flag.substr(9);
+      if (g_socket.empty()) return usage();
+    } else if (flag.rfind("--port=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 7);
+      if (n < 0 || n > 65535) return usage();
+      g_port = n;
+    } else if (flag.rfind("--serve-threads=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 16);
+      if (n < 1) return usage();
+      g_serve_threads = static_cast<std::size_t>(n);
+    } else if (flag.rfind("--serve-queue=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 14);
+      if (n < 1) return usage();
+      g_serve_queue = static_cast<std::size_t>(n);
+    } else if (flag.rfind("--fault-serve-hold-ms=", 0) == 0) {
+      const long n = std::atol(flag.c_str() + 22);
+      if (n < 1) return usage();
+      g_serve_hold_ms = static_cast<std::uint64_t>(n);
     } else if (flag.rfind("--run-dir=", 0) == 0) {
       g_run_dir = flag.substr(10);
     } else if (flag == "--resume") {
@@ -541,6 +755,10 @@ int main(int argc, char** argv) {
     else if (cmd == "sweep") rc = cmd_sweep(args);
     else if (cmd == "cost") rc = cmd_cost(args);
     else if (cmd == "batch") rc = cmd_batch(args);
+    else if (cmd == "serve") rc = cmd_serve();
+    else if (cmd == "eval-remote") rc = cmd_eval_remote(args);
+    else if (cmd == "ping") rc = cmd_ping();
+    else if (cmd == "fsck") rc = cmd_fsck(args);
     else rc = usage();
   } catch (const std::exception& e) {
     // One structured line per failure, one exit code per error class, so
