@@ -28,6 +28,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -41,6 +42,7 @@
 #include "core/optimizer.hpp"
 #include "floorplan/layout.hpp"
 #include "materials/stack.hpp"
+#include "obs/merge.hpp"
 #include "obs/obs.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
@@ -238,10 +240,11 @@ struct ServiceBench {
   double ping_rps = 0.0;
   double cold_ms = 0.0;
   double warm_rps = 0.0;
+  double stats_rps = 0.0;  ///< `stats` scrape round-trips/sec
   bool payload_matches_local = false;
   bool warm_all_memo_hits = false;
-  std::size_t requests = 0;
-  std::size_t memo_hits = 0;
+  bool stats_ok = false;  ///< scrape payload carried the expected series
+  ServerStats stats;      ///< the server's drain statistics
 };
 
 ServiceBench run_service_bench(std::size_t grid) {
@@ -303,10 +306,75 @@ ServiceBench run_service_bench(std::size_t grid) {
   }
   out.warm_rps = kWarm / seconds_since(t0);
 
+  // The live metrics scrape (`stats` verb): cost of one observability
+  // poll against a busy server, plus a sanity check that the payload
+  // carries the per-request quantile histograms.
+  constexpr int kStats = 50;
+  out.stats_ok = true;
+  t0 = Clock::now();
+  for (int i = 0; i < kStats; ++i) {
+    const std::optional<std::string> scrape = client.stats();
+    out.stats_ok = out.stats_ok && scrape.has_value() &&
+                   scrape->find("hist latency_ms") != std::string::npos &&
+                   scrape->find("requests") != std::string::npos;
+  }
+  out.stats_rps = kStats / seconds_since(t0);
+
   stop.cancel();
   server.join();
-  out.requests = stats.requests;
-  out.memo_hits = stats.memo_hits;
+  out.stats = stats;
+  fs::remove_all(dir);
+  return out;
+}
+
+/// Cross-process trace aggregation cost: synthetic worker shards in the
+/// exporters' exact format (a supervisor + 8 workers, a few thousand
+/// events each), merged with the same `obs::merge` path `tacos_cli
+/// trace-merge` uses.  Reported as events merged per second, plus a
+/// determinism check (two merges must agree byte for byte).
+struct TelemetryBench {
+  std::size_t shards = 0;
+  std::size_t events = 0;
+  double merge_ms = 0.0;
+  double events_per_sec = 0.0;
+  bool deterministic = false;
+};
+
+TelemetryBench run_telemetry_bench() {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "tacos_bench_trace_merge").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  constexpr int kWorkers = 8;
+  constexpr int kEventsPerShard = 2000;
+  const auto write_shard = [&](const std::string& file,
+                               std::uint64_t epoch_ms) {
+    std::ofstream os(dir + "/" + file, std::ios::binary);
+    os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":0,"
+       << "\"epochMs\":" << epoch_ms << "},\n\"traceEvents\":[\n";
+    for (int i = 0; i < kEventsPerShard; ++i) {
+      os << "{\"name\":\"thermal.solve\",\"cat\":\"thermal\",\"ph\":\"X\","
+         << "\"ts\":" << i * 50 << ",\"dur\":40,\"pid\":0,\"tid\":"
+         << i % 4 << ",\"args\":{}}" << (i + 1 < kEventsPerShard ? ",\n" : "\n");
+    }
+    os << "]}\n";
+  };
+  write_shard("trace.json", 1000);
+  for (int k = 0; k < kWorkers; ++k)
+    write_shard("trace-w" + std::to_string(k) + ".json", 1000 + k);
+
+  TelemetryBench out;
+  obs::merge_trace_shards(dir);  // warm-up (excluded from timing)
+  const auto t0 = Clock::now();
+  const obs::TraceMergeResult a = obs::merge_trace_shards(dir);
+  out.merge_ms = seconds_since(t0) * 1e3;
+  const obs::TraceMergeResult b = obs::merge_trace_shards(dir);
+  out.shards = a.shards.size();
+  out.events = a.events;
+  out.events_per_sec = a.events / std::max(1e-9, out.merge_ms / 1e3);
+  out.deterministic = a.json == b.json;
   fs::remove_all(dir);
   return out;
 }
@@ -392,8 +460,31 @@ int main(int argc, char** argv) {
   std::cerr << "[micro_eval_engine] evaluation-service round-trips...\n";
   const ServiceBench svc = run_service_bench(e2e_grid);
 
+  std::cerr << "[micro_eval_engine] trace-merge on synthetic shards...\n";
+  const TelemetryBench tel = run_telemetry_bench();
+
   const double speedup = e2e_walls.front() / e2e_walls.back();
   const double solver_speedup = solver_rates.back() / solver_rates.front();
+
+  // The health block carries the per-subsystem request counters too:
+  // `service.*` from the in-process server's drain stats and `fabric.*`
+  // mirrors of the sweep-fabric fields, prefixed like the live metrics
+  // registry names so the trajectory tooling can join them.
+  std::string health_json = health.to_json();
+  {
+    std::ostringstream extra;
+    extra << ", \"service.requests\": " << svc.stats.requests
+          << ", \"service.served_ok\": " << svc.stats.served_ok
+          << ", \"service.memo_hits\": " << svc.stats.memo_hits
+          << ", \"service.shed\": " << svc.stats.shed
+          << ", \"service.deadline_expired\": " << svc.stats.deadline_expired
+          << ", \"service.eval_errors\": " << svc.stats.eval_errors
+          << ", \"service.protocol_errors\": " << svc.stats.protocol_errors
+          << ", \"fabric.leases_reclaimed\": " << health.leases_reclaimed
+          << ", \"fabric.worker_restarts\": " << health.worker_restarts
+          << ", \"fabric.poison_tasks\": " << health.poison_tasks;
+    health_json.insert(health_json.size() - 1, extra.str());
+  }
 
   // Atomic publish: a crash mid-write must not leave a truncated JSON
   // that the perf-trajectory tooling would read as a (bogus) regression.
@@ -461,13 +552,23 @@ int main(int argc, char** argv) {
      << "    \"ping_round_trips_per_sec\": " << fmt(svc.ping_rps) << ",\n"
      << "    \"cold_optimize_ms\": " << fmt(svc.cold_ms) << ",\n"
      << "    \"warm_memo_hits_per_sec\": " << fmt(svc.warm_rps) << ",\n"
-     << "    \"requests\": " << svc.requests << ",\n"
-     << "    \"memo_hits\": " << svc.memo_hits << ",\n"
+     << "    \"stats_scrapes_per_sec\": " << fmt(svc.stats_rps) << ",\n"
+     << "    \"requests\": " << svc.stats.requests << ",\n"
+     << "    \"memo_hits\": " << svc.stats.memo_hits << ",\n"
      << "    \"payload_matches_local\": "
      << (svc.payload_matches_local ? "true" : "false") << ",\n"
      << "    \"warm_all_memo_hits\": "
-     << (svc.warm_all_memo_hits ? "true" : "false") << "\n  },\n"
-     << "  \"health\": " << health.to_json() << "\n}\n";
+     << (svc.warm_all_memo_hits ? "true" : "false") << ",\n"
+     << "    \"stats_ok\": " << (svc.stats_ok ? "true" : "false")
+     << "\n  },\n"
+     << "  \"telemetry\": {\n"
+     << "    \"merge_shards\": " << tel.shards << ",\n"
+     << "    \"merge_events\": " << tel.events << ",\n"
+     << "    \"merge_ms\": " << fmt(tel.merge_ms) << ",\n"
+     << "    \"merge_events_per_sec\": " << fmt(tel.events_per_sec) << ",\n"
+     << "    \"merge_deterministic\": "
+     << (tel.deterministic ? "true" : "false") << "\n  },\n"
+     << "  \"health\": " << health_json << "\n}\n";
   out_file.commit();
 
   std::cout << "solver: " << fmt(solver_rates.front()) << " -> "
@@ -494,16 +595,23 @@ int main(int argc, char** argv) {
             << "\n"
             << "service: ping " << fmt(svc.ping_rps) << " rt/s, cold optimize "
             << fmt(svc.cold_ms) << " ms, warm memo " << fmt(svc.warm_rps)
+            << " rt/s, stats scrape " << fmt(svc.stats_rps)
             << " rt/s, payload_match="
             << (svc.payload_matches_local ? "yes" : "NO") << ", all_memo_hits="
-            << (svc.warm_all_memo_hits ? "yes" : "NO") << "\n"
+            << (svc.warm_all_memo_hits ? "yes" : "NO") << ", stats_ok="
+            << (svc.stats_ok ? "yes" : "NO") << "\n"
+            << "telemetry: merged " << tel.events << " events from "
+            << tel.shards << " shards in " << fmt(tel.merge_ms) << " ms ("
+            << fmt(tel.events_per_sec) << " ev/s), deterministic="
+            << (tel.deterministic ? "yes" : "NO") << "\n"
             << "wrote " << out_path << "\n";
   std::cerr << "[micro_eval_engine] " << health.summary() << "\n";
   obs::record_run_health(health);
   if (obs_opts.any()) obs_opts.publish();
   return (solver_identical && e2e_identical && ab.temps_match &&
           lab.winner_match && lab.bit_identical &&
-          svc.payload_matches_local && svc.warm_all_memo_hits)
+          svc.payload_matches_local && svc.warm_all_memo_hits &&
+          svc.stats_ok && tel.deterministic)
              ? 0
              : 1;
 }

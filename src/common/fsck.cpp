@@ -105,6 +105,49 @@ FsckFile fsck_lease_file(const std::string& path, bool fix) {
   return f;
 }
 
+FsckFile fsck_telemetry_file(const std::string& path) {
+  FsckFile f;
+  f.name = fs::path(path).filename().string();
+  f.advisory = true;
+  std::vector<std::string> lines;
+  bool unterminated = false;
+  if (!read_lines(path, &lines, &unterminated)) return f;
+  const bool is_trace = f.name.rfind("trace", 0) == 0;
+  // Shards are line-oriented by construction: one `{...}` object per
+  // event/metric line between the opening `...:[` and the `]` terminator.
+  // Count complete objects; a missing terminator is the signature of a
+  // process that died mid-publish (or a torn copy).
+  bool in_body = false;
+  bool terminated = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    while (!line.empty() && (line.back() == ',' || line.back() == '\r' ||
+                             line.back() == ' '))
+      line.pop_back();
+    if (!in_body) {
+      if (line.find(is_trace ? "\"traceEvents\":[" : "\"metrics\":[") !=
+          std::string::npos)
+        in_body = true;
+      continue;
+    }
+    if (line.empty()) continue;
+    if (line[0] == ']') {
+      terminated = true;
+      break;
+    }
+    const bool torn = unterminated && i + 1 == lines.size();
+    if (!torn && line[0] == '{' && line.back() == '}')
+      ++f.valid;
+    else
+      ++f.corrupt;
+  }
+  if (!terminated) {
+    ++f.corrupt;
+    f.torn_tail = true;
+  }
+  return f;
+}
+
 FsckReport fsck_run_dir(const std::string& dir, bool fix) {
   TACOS_CHECK(fs::is_directory(dir),
               "fsck: run directory '" << dir << "' does not exist");
@@ -126,6 +169,16 @@ FsckReport fsck_run_dir(const std::string& dir, bool fix) {
   for (const std::string& s : shards) add(fsck_journal_file(s, fix));
   add(fsck_journal_file(dir + "/memo.jsonl", fix));
   add(fsck_lease_file(dir + "/leases.jsonl", fix));
+  // Telemetry artifacts (advisory): trace/metrics shards and merges.
+  std::vector<std::string> telemetry;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if ((name.rfind("trace", 0) == 0 || name.rfind("metrics", 0) == 0) &&
+        name.size() > 5 && name.compare(name.size() - 5, 5, ".json") == 0)
+      telemetry.push_back(entry.path().string());
+  }
+  std::sort(telemetry.begin(), telemetry.end());
+  for (const std::string& t : telemetry) add(fsck_telemetry_file(t));
   return report;
 }
 

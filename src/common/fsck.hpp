@@ -30,6 +30,10 @@ namespace tacos {
 struct FsckFile {
   std::string name;             ///< filename within the run dir
   bool event_log = false;       ///< lease-log semantics (vs strict prefix)
+  /// Telemetry artifact (trace/metrics shard): validated and reported,
+  /// but damage never fails the run — a torn shard only loses
+  /// observability, never results (trace-merge tolerates it too).
+  bool advisory = false;
   std::size_t valid = 0;        ///< intact records
   std::size_t corrupt = 0;      ///< damaged/torn lines (dropped on read)
   bool torn_tail = false;       ///< damage includes the end of the file
@@ -47,9 +51,10 @@ struct FsckReport {
     return n;
   }
   /// True when every file is intact (or was repaired in fix mode).
+  /// Advisory files (telemetry artifacts) never fail a run.
   bool clean() const {
     for (const FsckFile& f : files)
-      if (f.corrupt > 0 && !f.fixed) return false;
+      if (f.corrupt > 0 && !f.fixed && !f.advisory) return false;
     return true;
   }
 };
@@ -62,9 +67,16 @@ FsckFile fsck_journal_file(const std::string& path, bool fix);
 /// `fix`, a damaged file is atomically rewritten to its valid lines only.
 FsckFile fsck_lease_file(const std::string& path, bool fix);
 
+/// Validate one telemetry artifact (`trace*.json` / `metrics*.json`):
+/// counts complete event/metric lines and flags a missing terminator as a
+/// torn tail.  Always advisory — damage is reported, never fatal, and
+/// `fix` is ignored (shards are merged tolerantly, not repaired).
+FsckFile fsck_telemetry_file(const std::string& path);
+
 /// Validate every recognized durable file in `dir`: the canonical journal,
-/// every `shard-w*.jsonl`, the memo cache, and the lease log.  Throws
-/// tacos::Error when `dir` does not exist.
+/// every `shard-w*.jsonl`, the memo cache, the lease log, and — advisory
+/// only — the telemetry shards.  Throws tacos::Error when `dir` does not
+/// exist.
 FsckReport fsck_run_dir(const std::string& dir, bool fix);
 
 }  // namespace tacos

@@ -50,6 +50,9 @@ std::string encode_lease_record(const LeaseRecord& rec) {
   payload << kind_name(rec.kind) << ' '
           << (rec.worker.empty() ? "-" : rec.worker) << ' ' << rec.epoch
           << ' ' << rec.deadline_ms;
+  // Trace tokens only when traced: untraced logs keep their old bytes.
+  if (rec.trace_id != 0)
+    payload << ' ' << rec.trace_id << ' ' << rec.span_id;
   return format_journal_line(kIdPrefix + rec.task, payload.str()) + "\n";
 }
 
@@ -63,6 +66,14 @@ bool decode_lease_record(const std::string& line, LeaseRecord* rec) {
   if (!(in >> kind >> worker >> rec->epoch >> rec->deadline_ms)) return false;
   if (!kind_from(kind, &rec->kind)) return false;
   rec->worker = worker == "-" ? std::string() : worker;
+  // Optional trailing trace context (absent in pre-trace-context logs).
+  rec->trace_id = 0;
+  rec->span_id = 0;
+  std::uint64_t trace = 0, span = 0;
+  if (in >> trace >> span) {
+    rec->trace_id = trace;
+    rec->span_id = span;
+  }
   return true;
 }
 
@@ -118,8 +129,10 @@ struct LeaseTable::TaskEvents {
   }
 };
 
-LeaseTable::LeaseTable(std::string dir) : dir_(std::move(dir)) {
+LeaseTable::LeaseTable(std::string dir, bool read_only)
+    : dir_(std::move(dir)), read_only_(read_only) {
   TACOS_CHECK(!dir_.empty(), "lease directory must not be empty");
+  if (read_only_) return;  // never create or open for writing
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);  // first opener wins; races
                                                   // with peers are benign
@@ -138,6 +151,7 @@ LeaseTable::~LeaseTable() {
 std::string LeaseTable::path() const { return dir_ + "/leases.jsonl"; }
 
 void LeaseTable::append_record(const LeaseRecord& rec) {
+  TACOS_CHECK(!read_only_, "append to read-only lease table " << path());
   const std::string line = encode_lease_record(rec);
 #if defined(__unix__) || defined(__APPLE__)
   // One write(2) per record: O_APPEND makes concurrent appenders from
@@ -211,13 +225,15 @@ LeaseState LeaseTable::state(const std::string& task) const {
 
 std::optional<std::uint64_t> LeaseTable::try_claim(const std::string& task,
                                                    const std::string& worker,
-                                                   std::uint64_t ttl_ms) {
+                                                   std::uint64_t ttl_ms,
+                                                   std::uint64_t trace_id,
+                                                   std::uint64_t span_id) {
   refresh();
   const LeaseState before = state(task);
   if (before.phase != LeaseState::Phase::kFree) return std::nullopt;
   const std::uint64_t epoch = before.epoch + 1;
   append_record({LeaseRecord::Kind::kClaim, task, worker, epoch,
-                 lease_now_ms() + ttl_ms});
+                 lease_now_ms() + ttl_ms, trace_id, span_id});
   // Re-read and let file order arbitrate: the first claim record for this
   // epoch owns the lease; everyone else lost the race.
   refresh();
@@ -301,6 +317,16 @@ std::size_t LeaseTable::replay_reclaims() const {
     if (owned > 1) n += owned - 1;
   }
   return n;
+}
+
+std::vector<std::string> LeaseTable::task_ids() const {
+  std::vector<std::string> ids;
+  ids.reserve(tasks_.size());
+  for (const auto& [task, ev] : tasks_) {
+    (void)ev;
+    ids.push_back(task);
+  }
+  return ids;  // std::map iteration order: already sorted
 }
 
 bool LeaseTable::all_settled(const std::vector<std::string>& tasks) const {

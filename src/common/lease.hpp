@@ -46,6 +46,12 @@
 namespace tacos {
 
 /// One event of the lease log.
+///
+/// `trace_id`/`span_id` carry the appender's distributed-trace context so a
+/// merged timeline can attribute every claim to the span that made it.  A
+/// zero trace id means untraced and the codec omits both tokens — untraced
+/// lease logs are byte-identical to pre-trace-context builds, and old logs
+/// (without the tokens) decode with a zero context.
 struct LeaseRecord {
   enum class Kind { kClaim, kDone, kRelease, kCrash, kPoison };
   Kind kind = Kind::kClaim;
@@ -53,6 +59,8 @@ struct LeaseRecord {
   std::string worker;           ///< worker name, e.g. "w0.1" (empty: crash/poison)
   std::uint64_t epoch = 0;      ///< fencing epoch (claim/done/release)
   std::uint64_t deadline_ms = 0;///< wall-clock expiry (claim only)
+  std::uint64_t trace_id = 0;   ///< appender's trace id (0 = untraced)
+  std::uint64_t span_id = 0;    ///< appender's span id
 };
 
 /// One line of leases.jsonl (checksummed, newline-terminated).
@@ -87,7 +95,10 @@ struct LeaseState {
 class LeaseTable {
  public:
   /// Opens (creating if needed) `<dir>/leases.jsonl` for O_APPEND writes.
-  explicit LeaseTable(std::string dir);
+  /// With `read_only` the log is never created or opened for writing —
+  /// the mode the live-run `status` view uses, which must not perturb a
+  /// run directory it inspects; any append in this mode is a fatal bug.
+  explicit LeaseTable(std::string dir, bool read_only = false);
   ~LeaseTable();
   LeaseTable(const LeaseTable&) = delete;
   LeaseTable& operator=(const LeaseTable&) = delete;
@@ -104,10 +115,14 @@ class LeaseTable {
   /// Attempt to claim `task` for `worker` with a `ttl_ms` lease.  Returns
   /// the fencing epoch on success, nullopt when the task is done,
   /// poisoned, validly held by someone else, or the claim race was lost.
-  /// Refreshes before and after the append (see file comment).
+  /// Refreshes before and after the append (see file comment).  The
+  /// optional trace context is stamped into the claim record (passed as
+  /// raw ids — common/ must not depend on obs/).
   std::optional<std::uint64_t> try_claim(const std::string& task,
                                          const std::string& worker,
-                                         std::uint64_t ttl_ms);
+                                         std::uint64_t ttl_ms,
+                                         std::uint64_t trace_id = 0,
+                                         std::uint64_t span_id = 0);
 
   /// Extend an owned lease's deadline by `ttl_ms` from now (same epoch —
   /// renewal never re-fences).  False if the lease is no longer ours.
@@ -134,6 +149,10 @@ class LeaseTable {
   /// True when every id in `tasks` is done or poisoned.
   bool all_settled(const std::vector<std::string>& tasks) const;
 
+  /// Every task id the replayed log has seen, in sorted order — the
+  /// enumeration the `status` view iterates.
+  std::vector<std::string> task_ids() const;
+
   /// Claims that bumped a previously used epoch (expired/released lease
   /// taken over) — the run-level `leases_reclaimed` feed.
   std::size_t reclaims() const { return reclaims_; }
@@ -152,6 +171,7 @@ class LeaseTable {
   const TaskEvents* events(const std::string& task) const;
 
   std::string dir_;
+  bool read_only_ = false;
   int fd_ = -1;
   std::uint64_t read_offset_ = 0;
   std::string tail_;  ///< incomplete trailing line carried across refreshes

@@ -74,6 +74,7 @@ WorkerReport run_fabric_worker(const EvalConfig& config,
                                const CancelToken* cancel) {
   static obs::SpanSite claim_site("fabric.lease.claim", "fabric");
   static obs::SpanSite reclaim_site("fabric.lease.reclaim", "fabric");
+  static obs::SpanSite task_site("fabric.task", "fabric");
   WorkerReport rep;
   const std::string me = fabric_worker_name(worker_index, incarnation);
   LeaseTable leases(run_dir);
@@ -107,8 +108,14 @@ WorkerReport run_fabric_worker(const EvalConfig& config,
       obs::TraceSpan span(is_reclaim ? reclaim_site : claim_site);
       span.arg("task", id);
       span.arg("worker", me);
+      // Stamp the claim span's context into the lease record so the lease
+      // log links back to the timeline (zeros — and pre-PR bytes — when
+      // tracing is off).
+      obs::TraceContext claim_ctx = span.context();
+      if (!claim_ctx.valid()) claim_ctx = obs::current_trace_context();
       const std::optional<std::uint64_t> epoch =
-          leases.try_claim(id, me, fab.lease_ttl_ms);
+          leases.try_claim(id, me, fab.lease_ttl_ms, claim_ctx.trace_id,
+                           claim_ctx.span_id);
       if (!epoch) {
         span.arg("outcome", "lost");
         continue;
@@ -145,8 +152,13 @@ WorkerReport run_fabric_worker(const EvalConfig& config,
         stalled = true;
         sleep_ms(faults.lease_stall_ms);
       }
-      const TaskOutcome out =
-          optimize_one_guarded(config, bench_names[i], opts, &run);
+      const TaskOutcome out = [&] {
+        obs::TraceSpan task_span(task_site);
+        task_span.arg("task", id);
+        task_span.arg("worker", me);
+        task_span.arg("epoch", static_cast<std::int64_t>(*epoch));
+        return optimize_one_guarded(config, bench_names[i], opts, &run);
+      }();
       if (!out.completed) {
         // Interrupted mid-task: hand the lease back so a resume reclaims
         // immediately instead of waiting out the TTL.
@@ -194,6 +206,14 @@ pid_t spawn_worker_process(const std::vector<std::string>& base_argv, int k,
   argv.insert(argv.begin() + 1,
               {"--fabric-worker=" + std::to_string(k),
                "--fabric-incarnation=" + std::to_string(incarnation)});
+  // Hand the child our trace context (the open spawn/restart span) so its
+  // spans land on the supervisor's trace.  Absent when tracing is off, so
+  // command lines — and worker behavior — are byte-identical to pre-trace
+  // runs.
+  const obs::TraceContext ctx = obs::current_trace_context();
+  if (ctx.valid())
+    argv.insert(argv.begin() + 1,
+                "--trace-ctx=" + obs::trace_context_string(ctx));
   std::vector<char*> cargv;
   cargv.reserve(argv.size() + 1);
   for (std::string& a : argv) cargv.push_back(a.data());

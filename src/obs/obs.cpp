@@ -47,16 +47,34 @@ bool ObsOptions::parse_flag(const std::string& arg) {
     trace_path = arg.substr(8);
     return true;
   }
+  if (arg.rfind("--trace-ctx=", 0) == 0) {
+    // Internal (supervisor -> worker) flag; a malformed value is ignored
+    // rather than fatal — it only degrades trace attribution.
+    TraceContext ctx;
+    if (parse_trace_context(arg.substr(12), &ctx)) inherited_ctx = ctx;
+    return true;
+  }
   return false;
 }
 
 void ObsOptions::finalize(const std::string& run_dir, bool resume) {
+  if (!shard_suffix.empty()) {
+    // A shard process writes its own per-process artifacts, full stop:
+    // explicit paths (inherited via re-exec) are overridden, and the shard
+    // always splices onto a predecessor incarnation's file.
+    if (metrics)
+      metrics_path = join_dir(run_dir, ("metrics-" + shard_suffix + ".json").c_str());
+    if (trace)
+      trace_path = join_dir(run_dir, ("trace-" + shard_suffix + ".json").c_str());
+    resume = true;
+  }
   if (metrics && metrics_path.empty())
     metrics_path = join_dir(run_dir, "metrics.json");
   if (trace && trace_path.empty()) trace_path = join_dir(run_dir, "trace.json");
 
   if (metrics) set_metrics_enabled(true);
   if (trace) set_trace_enabled(true);
+  if (inherited_ctx.valid()) set_process_trace_context(inherited_ctx);
 
   if (!resume) return;
   // Preload once at startup: publish() then rewrites one continuous

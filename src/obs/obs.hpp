@@ -34,6 +34,21 @@ struct ObsOptions {
   std::string metrics_path;  ///< explicit `=FILE`, else set by finalize()
   std::string trace_path;
 
+  /// When non-empty, this process is one shard of a multi-process run
+  /// (e.g. "w0" for fabric worker slot 0, "serve" for the server):
+  /// finalize() forces the artifact paths to `metrics-<suffix>.json` /
+  /// `trace-<suffix>.json` inside the run dir — overriding even explicit
+  /// `=FILE` paths inherited through a re-exec'd argv, so a worker can
+  /// never clobber the supervisor's artifact — and always preloads, so a
+  /// restarted incarnation splices onto its predecessor's shard.
+  /// `tacos_cli trace-merge` joins the shards into one timeline.
+  std::string shard_suffix;
+
+  /// Trace context inherited from a parent process (the internal
+  /// `--trace-ctx=<trace>:<span>` flag fabric supervisors pass to
+  /// workers); applied as the process ambient context by finalize().
+  TraceContext inherited_ctx;
+
   /// Consume one argv token; returns false when the flag isn't ours.
   bool parse_flag(const std::string& arg);
 

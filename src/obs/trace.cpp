@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
@@ -18,6 +20,22 @@ std::uint64_t steady_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+std::uint64_t wall_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// splitmix64: cheap bijective mixer, used to mint well-spread trace and
+/// span ids (never zero — zero means "untraced").
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
 /// %.17g renders a double so it round-trips through strtod exactly.
@@ -102,11 +120,112 @@ thread_local std::vector<BufCacheEntry> t_buf_cache;
 
 thread_local std::vector<TraceSpan*> t_span_stack;
 
+// ---- Trace context -------------------------------------------------------
+
+/// Process ambient: {trace id, span id} this process's root spans chain to.
+/// Set once by `--trace-ctx` in children; minted lazily otherwise.
+std::atomic<std::uint64_t> g_proc_trace_id{0};
+std::atomic<std::uint64_t> g_proc_span_id{0};
+
+/// Span ids mix a per-process salt with a sequence number so ids from
+/// concurrently tracing processes (fabric workers, the server) do not
+/// collide when their shards are merged onto one timeline.
+std::atomic<std::uint64_t> g_span_seq{0};
+
+std::uint64_t process_salt() {
+  static const std::uint64_t salt =
+      mix64(static_cast<std::uint64_t>(::getpid()) ^ steady_ns());
+  return salt;
+}
+
+std::uint64_t mint_span_id() {
+  const std::uint64_t id = mix64(
+      process_salt() ^ (g_span_seq.fetch_add(1, std::memory_order_relaxed) + 1));
+  return id != 0 ? id : 1;
+}
+
+/// Thread ambient (installed by ScopedTraceContext) plus the span-stack
+/// depth at install time: the ambient wins only until a traced span opens
+/// under it, after which the innermost span carries the chain.
+thread_local TraceContext t_ambient;
+thread_local std::size_t t_ambient_depth = 0;
+
 }  // namespace
 
 bool trace_enabled() { return g_trace_enabled.load(std::memory_order_relaxed); }
 void set_trace_enabled(bool on) {
   g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+TraceContext process_trace_context() {
+  return {g_proc_trace_id.load(std::memory_order_relaxed),
+          g_proc_span_id.load(std::memory_order_relaxed)};
+}
+
+void set_process_trace_context(const TraceContext& ctx) {
+  g_proc_trace_id.store(ctx.trace_id, std::memory_order_relaxed);
+  g_proc_span_id.store(ctx.span_id, std::memory_order_relaxed);
+}
+
+TraceContext current_trace_context() {
+  if (!trace_enabled()) return {};
+  if (t_ambient.valid() && t_span_stack.size() <= t_ambient_depth) {
+    return t_ambient;
+  }
+  // Innermost *traced* span; metrics-only spans sit on the stack too but
+  // carry no ids, so skip them.
+  for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it) {
+    if ((*it)->trace_id_ != 0) return {(*it)->trace_id_, (*it)->span_id_};
+  }
+  if (t_ambient.valid()) return t_ambient;
+  std::uint64_t trace = g_proc_trace_id.load(std::memory_order_relaxed);
+  if (trace == 0) {
+    // Lazily mint the process trace id.  Ids never touch journals, so the
+    // mint being time-dependent cannot perturb determinism guarantees.
+    std::uint64_t minted = mix64(process_salt() ^ 0x74616373u);
+    if (minted == 0) minted = 1;
+    std::uint64_t expected = 0;
+    if (!g_proc_trace_id.compare_exchange_strong(expected, minted,
+                                                std::memory_order_relaxed)) {
+      minted = expected;  // another thread minted first; share its id
+    }
+    trace = minted;
+  }
+  return {trace, g_proc_span_id.load(std::memory_order_relaxed)};
+}
+
+std::string trace_context_string(const TraceContext& ctx) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64 ":%016" PRIx64, ctx.trace_id,
+                ctx.span_id);
+  return buf;
+}
+
+bool parse_trace_context(const std::string& s, TraceContext* out) {
+  const std::size_t colon = s.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const std::uint64_t trace = std::strtoull(s.c_str(), &end, 16);
+  if (end != s.c_str() + colon) return false;
+  const std::uint64_t span = std::strtoull(s.c_str() + colon + 1, &end, 16);
+  if (end != s.c_str() + s.size()) return false;
+  out->trace_id = trace;
+  out->span_id = span;
+  return true;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx) {
+  prev_ = t_ambient;
+  prev_depth_ = t_ambient_depth;
+  t_ambient = ctx;
+  t_ambient_depth = t_span_stack.size();
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  t_ambient = prev_;
+  t_ambient_depth = prev_depth_;
 }
 
 void append_json_kv(std::string& body, const char* key, const std::string& value) {
@@ -140,7 +259,9 @@ void append_json_kv(std::string& body, const char* key, std::int64_t value) {
 
 Tracer::Tracer()
     : uid_(g_tracer_uid.fetch_add(1, std::memory_order_relaxed)),
-      epoch_ns_(steady_ns()) {}
+      epoch_ns_(steady_ns()) {
+  wall_epoch_ms_.store(wall_ms(), std::memory_order_relaxed);
+}
 
 Tracer::~Tracer() = default;
 
@@ -246,6 +367,10 @@ std::string Tracer::to_json() const {
   char buf_num[32];
   std::snprintf(buf_num, sizeof(buf_num), "%" PRIu64, dropped);
   out += buf_num;
+  out += ",\"epochMs\":";
+  std::snprintf(buf_num, sizeof(buf_num), "%" PRIu64,
+                wall_epoch_ms_.load(std::memory_order_relaxed));
+  out += buf_num;
   out += "},\n\"traceEvents\":[\n";
   bool first = true;
   // Preloaded events first: they predate this run's (shifted) clock.
@@ -298,6 +423,12 @@ std::size_t Tracer::preload(const std::string& json) {
     if (find_raw(json, "droppedEvents", &raw)) {
       dropped = std::strtoull(raw.c_str(), nullptr, 10);
     }
+    // Keep the spliced file's wall-clock base: its events keep their old
+    // timestamps, so ts == 0 still means the original epoch.
+    if (find_raw(json, "epochMs", &raw)) {
+      const std::uint64_t epoch = std::strtoull(raw.c_str(), nullptr, 10);
+      if (epoch != 0) wall_epoch_ms_.store(epoch, std::memory_order_relaxed);
+    }
   }
 
   std::lock_guard<std::mutex> lk(mu_);
@@ -324,6 +455,10 @@ std::size_t Tracer::event_count() const {
   return n;
 }
 
+std::uint64_t Tracer::wall_epoch_ms() const {
+  return wall_epoch_ms_.load(std::memory_order_relaxed);
+}
+
 std::uint64_t Tracer::dropped_events() const {
   std::lock_guard<std::mutex> lk(mu_);
   std::uint64_t n = preloaded_dropped_;
@@ -345,6 +480,7 @@ void Tracer::reset() {
   preloaded_dropped_ = 0;
   ts_offset_us_.store(0, std::memory_order_relaxed);
   approx_events_.store(0, std::memory_order_relaxed);
+  wall_epoch_ms_.store(wall_ms(), std::memory_order_relaxed);
 }
 
 // ---- SpanSite / TraceSpan ------------------------------------------------
@@ -366,6 +502,13 @@ TraceSpan::TraceSpan(SpanSite& site) {
   site_ = &site;
   active_ = true;
   if (metrics) site.resolve_metrics();
+  if (tracing_) {
+    // Chain to whatever context is current *before* we join the stack.
+    const TraceContext parent = current_trace_context();
+    trace_id_ = parent.trace_id;
+    parent_span_ = parent.span_id;
+    span_id_ = mint_span_id();
+  }
   t0_us_ = Tracer::global().now_us();
   t_span_stack.push_back(this);
 }
@@ -390,6 +533,17 @@ TraceSpan::~TraceSpan() {
     site_->calls_.add(1.0);
   }
   if (tracing_ && trace_enabled()) {
+    if (trace_id_ != 0) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%016" PRIx64, trace_id_);
+      append_json_kv(args_, "trace", std::string(buf));
+      std::snprintf(buf, sizeof(buf), "%016" PRIx64, span_id_);
+      append_json_kv(args_, "span", std::string(buf));
+      if (parent_span_ != 0) {
+        std::snprintf(buf, sizeof(buf), "%016" PRIx64, parent_span_);
+        append_json_kv(args_, "parent", std::string(buf));
+      }
+    }
     Tracer::global().emit_complete(site_->name(), site_->cat(), t0_us_, dur,
                                    args_);
   }

@@ -46,6 +46,53 @@ namespace tacos::obs {
 bool trace_enabled();
 void set_trace_enabled(bool on);
 
+/// A trace/span-id pair identifying "who asked for this work".  A zero
+/// trace id means "untraced": codecs omit the pair entirely so untraced
+/// artifacts stay byte-identical to pre-trace-context builds.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  bool valid() const { return trace_id != 0; }
+  bool operator==(const TraceContext& o) const {
+    return trace_id == o.trace_id && span_id == o.span_id;
+  }
+};
+
+/// The context new spans (and outgoing requests) should chain from, in
+/// priority order: the innermost open traced span on this thread, then the
+/// thread ambient set by `ScopedTraceContext` (if no traced span opened
+/// since it was installed), then the process ambient.  Returns a zero
+/// context when tracing is disabled — callers need no extra guard.
+TraceContext current_trace_context();
+
+/// Process ambient context.  Set explicitly in child processes (fabric
+/// workers receive the supervisor's context via an internal `--trace-ctx`
+/// flag); lazily minted from pid + clock the first time a traced span needs
+/// a trace id.  Trace ids never reach journals, so the mint being
+/// non-deterministic is harmless.
+TraceContext process_trace_context();
+void set_process_trace_context(const TraceContext& ctx);
+
+/// Render "trace:span" as zero-padded hex (the `--trace-ctx=` wire form)
+/// and parse it back.  parse accepts only the exact emitted form.
+std::string trace_context_string(const TraceContext& ctx);
+bool parse_trace_context(const std::string& s, TraceContext* out);
+
+/// RAII thread-ambient context: while alive (and until a traced span opens
+/// under it), `current_trace_context()` returns `ctx`.  The server installs
+/// one per request so the handler's spans chain to the caller.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+  std::size_t prev_depth_ = 0;
+};
+
 class TraceSpan;
 
 /// Collects finished span events in per-thread buffers; merged at export.
@@ -80,6 +127,12 @@ class Tracer {
   /// Events discarded because the buffer cap was reached.
   std::uint64_t dropped_events() const;
 
+  /// Wall-clock milliseconds (Unix epoch) corresponding to `ts == 0`;
+  /// exported as `otherData.epochMs` so `obs::merge` can align shards
+  /// emitted by different processes onto one timeline.  On preload the
+  /// spliced file's epoch is adopted, so resumed timelines keep one base.
+  std::uint64_t wall_epoch_ms() const;
+
   /// Drop every buffered event and reset the clock offset (tests).
   void reset();
 
@@ -109,6 +162,7 @@ class Tracer {
 
   std::atomic<std::uint64_t> ts_offset_us_{0};  ///< resume splice shift
   std::atomic<std::size_t> approx_events_{0};
+  std::atomic<std::uint64_t> wall_epoch_ms_{0};  ///< wall clock at ts == 0
 };
 
 /// One named instrumentation point.  Declare as a function-local static so
@@ -150,6 +204,11 @@ class TraceSpan {
   /// True when this span is recording (either backend enabled at entry).
   bool active() const { return active_; }
 
+  /// This span's identity in the distributed trace ({0,0} when the trace
+  /// backend was off at entry).  Hand it to outgoing work (lease claims,
+  /// service requests) so child processes chain to this span.
+  TraceContext context() const { return {trace_id_, span_id_}; }
+
   /// Attach a key/value to the trace event's `args` object.  No-ops when
   /// inactive or when only metrics are enabled (args exist only in the
   /// trace); call sites don't need their own guards.
@@ -163,11 +222,16 @@ class TraceSpan {
   }
 
  private:
+  friend TraceContext current_trace_context();
+
   SpanSite* site_ = nullptr;
   bool active_ = false;
   bool tracing_ = false;  ///< trace backend was on at entry
   std::uint64_t t0_us_ = 0;
   std::uint64_t children_us_ = 0;  ///< children add their duration here
+  std::uint64_t trace_id_ = 0;     ///< inherited from the parent context
+  std::uint64_t span_id_ = 0;      ///< minted per span when tracing
+  std::uint64_t parent_span_ = 0;  ///< parent context's span id (0 = root)
   std::string args_;               ///< inner JSON body, comma-joined
 };
 

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace tacos {
 
@@ -21,6 +22,8 @@ std::uint64_t recv_budget_ms(const ClientOptions& options) {
 }  // namespace
 
 EvalResponse EvalClient::attempt(const EvalRequest& req) {
+  static obs::SpanSite attempt_site("service.client.attempt", "service");
+  obs::TraceSpan attempt_span(attempt_site);
   if (!conn_.ok())
     conn_ = connect_endpoint(options_.endpoint, options_.connect_timeout_ms);
   conn_.send_frame({Frame::Type::kRequest, encode_request(req)}, 10'000);
@@ -48,6 +51,18 @@ EvalResponse EvalClient::attempt(const EvalRequest& req) {
 EvalResponse EvalClient::call(EvalRequest req) {
   req.idem = request_idem_key(req);
   req.deadline_ms = options_.request_deadline_ms;
+  static obs::SpanSite call_site("service.client.call", "service");
+  obs::TraceSpan call_span(call_site);
+  if (!req.bench.empty()) call_span.arg("bench", req.bench);
+  // Stamp the caller's trace context into the request so server-side spans
+  // chain to this one.  The span above is the natural parent; when tracing
+  // is off the context is zero and the request bytes stay pre-trace-ctx.
+  {
+    obs::TraceContext ctx = call_span.context();
+    if (!ctx.valid()) ctx = obs::current_trace_context();
+    req.trace_id = ctx.trace_id;
+    req.parent_span = ctx.span_id;
+  }
   static obs::Counter retry_metric =
       obs::MetricsRegistry::global().counter("service.client_retries");
   Backoff backoff(options_.backoff);
@@ -85,6 +100,20 @@ bool EvalClient::ping() {
   } catch (const ServiceError&) {
     conn_.close();
     return false;
+  }
+}
+
+std::optional<std::string> EvalClient::stats() {
+  EvalRequest req;
+  req.kind = EvalRequest::Kind::kStats;
+  req.idem = request_idem_key(req);
+  req.deadline_ms = options_.request_deadline_ms;
+  try {
+    const EvalResponse resp = attempt(req);
+    return resp.payload;
+  } catch (const ServiceError&) {
+    conn_.close();
+    return std::nullopt;
   }
 }
 

@@ -24,6 +24,7 @@
 ///     sweep survives.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/backoff.hpp"
@@ -66,6 +67,11 @@ class EvalClient {
   /// True when the server answers a ping within the options' budget
   /// (single attempt, no retries — the "is it up yet" probe).
   bool ping();
+
+  /// Scrape the server's live request metrics (the `stats` verb): the
+  /// line-oriented counters + histogram payload, or nullopt when the
+  /// server is unreachable or predates the verb.  Single attempt.
+  std::optional<std::string> stats();
 
   /// Remote optimize round-trip: returns the response payload — byte-for-
   /// byte what a local run would journal for this task.

@@ -137,6 +137,7 @@ const char* request_kind_name(EvalRequest::Kind k) {
     case EvalRequest::Kind::kPing: return "ping";
     case EvalRequest::Kind::kOptimize: return "optimize";
     case EvalRequest::Kind::kEvaluate: return "evaluate";
+    case EvalRequest::Kind::kStats: return "stats";
   }
   return "ping";
 }
@@ -145,6 +146,7 @@ bool request_kind_from(const std::string& s, EvalRequest::Kind* out) {
   if (s == "ping") *out = EvalRequest::Kind::kPing;
   else if (s == "optimize") *out = EvalRequest::Kind::kOptimize;
   else if (s == "evaluate") *out = EvalRequest::Kind::kEvaluate;
+  else if (s == "stats") *out = EvalRequest::Kind::kStats;
   else return false;
   return true;
 }
@@ -157,6 +159,10 @@ std::string encode_request(const EvalRequest& req) {
      << "idem " << req.idem << '\n'
      << "deadline_ms " << req.deadline_ms << '\n'
      << "task_deadline " << fmt_g17(req.task_deadline_s) << '\n';
+  // Emitted only when traced: untraced request bytes stay identical to
+  // builds that predate trace-context propagation.
+  if (req.trace_id != 0)
+    os << "trace " << req.trace_id << ' ' << req.parent_span << '\n';
   if (!req.params.empty()) os << "params " << escape_field(req.params) << '\n';
   if (!req.bench.empty()) os << "bench " << req.bench << '\n';
   if (req.kind == EvalRequest::Kind::kEvaluate)
@@ -188,6 +194,8 @@ bool decode_request(const std::string& payload, EvalRequest* req) {
       std::string tok;
       if (!(ls >> tok) || !read_double_tok(tok, &req->task_deadline_s))
         return false;
+    } else if (key == "trace") {
+      if (!(ls >> req->trace_id >> req->parent_span)) return false;
     } else if (key == "params") {
       std::string rest;
       std::getline(ls, rest);

@@ -81,12 +81,20 @@ Frame decode_frame(const std::string& bytes);
 /// material.  `deadline_ms` bounds this request end to end (0 = none);
 /// `task_deadline_s` is the *semantic* per-task budget (`--task-deadline`)
 /// that produces the same journaled `timeout:` rows a local run would.
+///
+/// `trace_id`/`parent_span` carry the caller's distributed-trace context
+/// (obs::TraceContext) so server-side spans chain to the requesting span in
+/// a merged timeline.  A zero trace id means untraced; the codec then omits
+/// the `trace` line entirely, so untraced request bytes are identical to
+/// pre-trace-context builds (same kProtocolVersion, same idem keys).
 struct EvalRequest {
-  enum class Kind { kPing, kOptimize, kEvaluate };
+  enum class Kind { kPing, kOptimize, kEvaluate, kStats };
   Kind kind = Kind::kPing;
   std::uint64_t idem = 0;
   std::uint64_t deadline_ms = 0;
   double task_deadline_s = 0.0;
+  std::uint64_t trace_id = 0;     ///< caller's trace id (0 = untraced)
+  std::uint64_t parent_span = 0;  ///< caller's span id
   std::string params;
   std::string bench;
   Organization org;  ///< kEvaluate only
@@ -142,6 +150,8 @@ std::string memo_key_evaluate(const std::string& params,
                               const Organization& org);
 
 /// The idempotency key of a request: FNV-1a of its canonical identity.
+/// Trace context is deliberately excluded — a traced retry must resolve to
+/// the same memo slot as an untraced (or differently-traced) attempt.
 std::uint64_t request_idem_key(const EvalRequest& req);
 
 }  // namespace tacos

@@ -111,8 +111,92 @@ class DeadlineWatchdog {
 
 struct Counters {
   std::atomic<std::size_t> connections{0}, requests{0}, served_ok{0},
-      memo_hits{0}, shed{0}, deadline_expired{0}, eval_errors{0},
-      protocol_errors{0};
+      memo_hits{0}, memo_misses{0}, shed{0}, deadline_expired{0},
+      eval_errors{0}, protocol_errors{0};
+};
+
+/// One fixed-bucket latency histogram (milliseconds, power-of-two edges
+/// from 0.25 ms).  Always on — unlike the obs registry this feeds the
+/// live `stats` verb even when `--metrics` is off — and cheap: one
+/// uncontended mutex per observation, a handful of longs of state.
+class LatencyHist {
+ public:
+  static constexpr std::size_t kBuckets = 20;  // last bucket = overflow
+  static double edge(std::size_t b) {
+    return 0.25 * static_cast<double>(1u << b);
+  }
+
+  void observe(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t b = 0;
+    while (b < kBuckets - 1 && ms > edge(b)) ++b;
+    ++counts_[b];
+    sum_ += ms;
+    ++count_;
+    if (ms > max_) max_ = ms;
+  }
+
+  /// One stats-verb line: `hist <name> count=N sum=S p50=E p90=E p99=E
+  /// max=M` where quantiles report the upper edge of the covering bucket.
+  std::string render(const char* name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream os;
+    os << "hist " << name << " count=" << count_ << " sum=" << fmt_g17(sum_);
+    const auto quantile = [this](double q) {
+      const std::uint64_t target = static_cast<std::uint64_t>(
+          q * static_cast<double>(count_) + 0.5);
+      std::uint64_t seen = 0;
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        seen += counts_[b];
+        if (seen >= target && seen > 0) return edge(b);
+      }
+      return edge(kBuckets - 1);
+    };
+    if (count_ > 0) {
+      os << " p50=" << fmt_g17(quantile(0.50)) << " p90="
+         << fmt_g17(quantile(0.90)) << " p99=" << fmt_g17(quantile(0.99))
+         << " max=" << fmt_g17(max_);
+    }
+    return os.str();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t counts_[kBuckets] = {};
+  double sum_ = 0.0;
+  std::uint64_t count_ = 0;
+  double max_ = 0.0;
+};
+
+/// Per-request service metrics: the three quantile histograms (end-to-end
+/// handling latency, admission-queue wait, solve time) mirrored into the
+/// obs registry (no-op there unless `--metrics`) and scrapeable live via
+/// the `stats` protocol verb.
+struct ServiceMetrics {
+  Clock::time_point start = Clock::now();
+  LatencyHist latency, queue_wait, solve;
+  obs::Histogram obs_latency, obs_queue_wait, obs_solve;
+
+  ServiceMetrics() {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    const std::vector<double> edges = obs::pow2_edges(0.25, 65536.0);
+    obs_latency = reg.histogram("service.request_latency_ms", edges);
+    obs_queue_wait = reg.histogram("service.queue_wait_ms", edges);
+    obs_solve = reg.histogram("service.solve_ms", edges);
+  }
+
+  void observe_latency(double ms) {
+    latency.observe(ms);
+    obs_latency.observe(ms);
+  }
+  void observe_queue_wait(double ms) {
+    queue_wait.observe(ms);
+    obs_queue_wait.observe(ms);
+  }
+  void observe_solve(double ms) {
+    solve.observe(ms);
+    obs_solve.observe(ms);
+  }
 };
 
 EvalResponse error_response(std::uint64_t idem, ServiceError::Kind kind,
@@ -132,8 +216,34 @@ struct ServerCtx {
   MemoStore* memo;
   DeadlineWatchdog* watchdog;
   Counters* counters;
+  ServiceMetrics* metrics;
   std::atomic<bool>* draining;
 };
+
+/// The `stats` verb's payload: every counter plus the three histograms,
+/// line-oriented like the rest of the protocol.  Scraped live — the
+/// counters are relaxed atomics, so a snapshot is approximate under load
+/// but each value is itself consistent.
+std::string render_stats(const ServerCtx& ctx) {
+  std::ostringstream os;
+  const auto uptime_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::now() - ctx.metrics->start);
+  os << "uptime_ms " << uptime_ms.count() << '\n'
+     << "connections " << ctx.counters->connections.load() << '\n'
+     << "requests " << ctx.counters->requests.load() << '\n'
+     << "served_ok " << ctx.counters->served_ok.load() << '\n'
+     << "memo_hits " << ctx.counters->memo_hits.load() << '\n'
+     << "memo_misses " << ctx.counters->memo_misses.load() << '\n'
+     << "shed " << ctx.counters->shed.load() << '\n'
+     << "deadline_trips " << ctx.counters->deadline_expired.load() << '\n'
+     << "eval_errors " << ctx.counters->eval_errors.load() << '\n'
+     << "protocol_errors " << ctx.counters->protocol_errors.load() << '\n'
+     << "memo_replayed " << ctx.memo->replayed() << '\n'
+     << ctx.metrics->latency.render("latency_ms") << '\n'
+     << ctx.metrics->queue_wait.render("queue_wait_ms") << '\n'
+     << ctx.metrics->solve.render("solve_ms") << '\n';
+  return os.str();
+}
 
 /// Compute (or replay) one optimize request.  Never throws: every failure
 /// becomes a typed error response.
@@ -144,15 +254,22 @@ EvalResponse handle_optimize(const ServerCtx& ctx, const EvalRequest& req) {
     return error_response(req.idem, ServiceError::Kind::kProtocol,
                           "malformed eval-params line", false);
   const std::string key = memo_key_optimize(req.params, req.bench);
-  if (std::optional<std::string> hit = ctx.memo->lookup(key)) {
-    ctx.counters->memo_hits.fetch_add(1, std::memory_order_relaxed);
-    EvalResponse resp;
-    resp.ok = true;
-    resp.idem = req.idem;
-    resp.memo_hit = true;
-    resp.payload = std::move(*hit);
-    return resp;
+  {
+    static obs::SpanSite lookup_site("service.memo_lookup", "service");
+    obs::TraceSpan lookup_span(lookup_site);
+    std::optional<std::string> hit = ctx.memo->lookup(key);
+    lookup_span.arg("hit", hit ? "1" : "0");
+    if (hit) {
+      ctx.counters->memo_hits.fetch_add(1, std::memory_order_relaxed);
+      EvalResponse resp;
+      resp.ok = true;
+      resp.idem = req.idem;
+      resp.memo_hit = true;
+      resp.payload = std::move(*hit);
+      return resp;
+    }
   }
+  ctx.counters->memo_misses.fetch_add(1, std::memory_order_relaxed);
   // Request-scoped token: the watchdog trips it when the transport
   // deadline passes; optimize_one_guarded chains the task token off it.
   CancelToken request_token;
@@ -164,7 +281,11 @@ EvalResponse handle_optimize(const ServerCtx& ctx, const EvalRequest& req) {
   run.cancel = &request_token;
   run.task_deadline_s = req.task_deadline_s;
   TaskOutcome out;
+  const Clock::time_point solve_t0 = Clock::now();
   try {
+    static obs::SpanSite solve_site("service.solve", "service");
+    obs::TraceSpan solve_span(solve_site);
+    solve_span.arg("bench", req.bench);
     out = optimize_one_guarded(config, req.bench, opts, &run);
   } catch (const Error& e) {
     if (watch_id) ctx.watchdog->disarm(watch_id);
@@ -172,6 +293,9 @@ EvalResponse handle_optimize(const ServerCtx& ctx, const EvalRequest& req) {
                           false);
   }
   if (watch_id) ctx.watchdog->disarm(watch_id);
+  ctx.metrics->observe_solve(
+      std::chrono::duration<double, std::milli>(Clock::now() - solve_t0)
+          .count());
   if (!out.completed) {
     // kInterrupt path: either our watchdog fired or the server is
     // draining.  Nothing was journaled locally and nothing is memoized —
@@ -187,6 +311,8 @@ EvalResponse handle_optimize(const ServerCtx& ctx, const EvalRequest& req) {
     return error_response(req.idem, ServiceError::Kind::kShutdown,
                           "server draining", true);
   }
+  static obs::SpanSite serialize_site("service.serialize", "service");
+  obs::TraceSpan serialize_span(serialize_site);
   const std::string payload = encode_opt_result(out.result, out.stats);
   // Durable-before-visible, except wall-clock timeouts: a task-deadline
   // row depends on this machine's speed, so caching it would let one slow
@@ -208,15 +334,22 @@ EvalResponse handle_evaluate(const ServerCtx& ctx, const EvalRequest& req) {
     return error_response(req.idem, ServiceError::Kind::kProtocol,
                           "malformed eval-params line", false);
   const std::string key = memo_key_evaluate(req.params, req.bench, req.org);
-  if (std::optional<std::string> hit = ctx.memo->lookup(key)) {
-    ctx.counters->memo_hits.fetch_add(1, std::memory_order_relaxed);
-    EvalResponse resp;
-    resp.ok = true;
-    resp.idem = req.idem;
-    resp.memo_hit = true;
-    resp.payload = std::move(*hit);
-    return resp;
+  {
+    static obs::SpanSite lookup_site("service.memo_lookup", "service");
+    obs::TraceSpan lookup_span(lookup_site);
+    std::optional<std::string> hit = ctx.memo->lookup(key);
+    lookup_span.arg("hit", hit ? "1" : "0");
+    if (hit) {
+      ctx.counters->memo_hits.fetch_add(1, std::memory_order_relaxed);
+      EvalResponse resp;
+      resp.ok = true;
+      resp.idem = req.idem;
+      resp.memo_hit = true;
+      resp.payload = std::move(*hit);
+      return resp;
+    }
   }
+  ctx.counters->memo_misses.fetch_add(1, std::memory_order_relaxed);
   CancelToken request_token;
   bool fired = false;
   std::uint64_t watch_id = 0;
@@ -224,7 +357,11 @@ EvalResponse handle_evaluate(const ServerCtx& ctx, const EvalRequest& req) {
     watch_id = ctx.watchdog->arm(&request_token, req.deadline_ms, &fired);
   config.thermal.solve.cancel = &request_token;
   EvalResponse resp;
+  const Clock::time_point solve_t0 = Clock::now();
   try {
+    static obs::SpanSite solve_site("service.solve", "service");
+    obs::TraceSpan solve_span(solve_site);
+    solve_span.arg("bench", req.bench);
     Evaluator eval(config);
     const ThermalEval& ev =
         eval.thermal_eval(req.org, benchmark_by_name(req.bench));
@@ -249,6 +386,9 @@ EvalResponse handle_evaluate(const ServerCtx& ctx, const EvalRequest& req) {
                           false);
   }
   if (watch_id) ctx.watchdog->disarm(watch_id);
+  ctx.metrics->observe_solve(
+      std::chrono::duration<double, std::milli>(Clock::now() - solve_t0)
+          .count());
   ctx.memo->store(key, resp.payload);
   return resp;
 }
@@ -263,6 +403,13 @@ EvalResponse handle_request(const ServerCtx& ctx, const EvalRequest& req) {
       resp.ok = true;
       resp.idem = req.idem;
       resp.payload = "pong";
+      return resp;
+    }
+    case EvalRequest::Kind::kStats: {
+      EvalResponse resp;
+      resp.ok = true;
+      resp.idem = req.idem;
+      resp.payload = render_stats(ctx);
       return resp;
     }
     case EvalRequest::Kind::kOptimize:
@@ -308,7 +455,20 @@ void handle_conn(const ServerCtx& ctx, Conn conn) {
         break;
       }
       ctx.counters->requests.fetch_add(1, std::memory_order_relaxed);
-      const EvalResponse resp = handle_request(ctx, req);
+      const Clock::time_point req_t0 = Clock::now();
+      EvalResponse resp;
+      {
+        // Adopt the caller's trace context (no-op when untraced) so this
+        // request's spans chain to the client span across processes.
+        obs::ScopedTraceContext adopt({req.trace_id, req.parent_span});
+        static obs::SpanSite req_site("service.request", "service");
+        obs::TraceSpan req_span(req_site);
+        req_span.arg("kind", static_cast<std::int64_t>(req.kind));
+        if (!req.bench.empty()) req_span.arg("bench", req.bench);
+        resp = handle_request(ctx, req);
+        req_span.arg("ok", resp.ok ? "1" : "0");
+        if (resp.memo_hit) req_span.arg("memo", "1");
+      }
       if (resp.ok)
         ctx.counters->served_ok.fetch_add(1, std::memory_order_relaxed);
       else if (resp.error_kind ==
@@ -319,6 +479,9 @@ void handle_conn(const ServerCtx& ctx, Conn conn) {
         ctx.counters->protocol_errors.fetch_add(1, std::memory_order_relaxed);
       conn.send_frame({Frame::Type::kResponse, encode_response(resp)},
                       10'000);
+      ctx.metrics->observe_latency(
+          std::chrono::duration<double, std::milli>(Clock::now() - req_t0)
+              .count());
       ++served;
     } catch (const ServiceError& e) {
       // A corrupt frame still gets its typed refusal when the stream can
@@ -376,18 +539,28 @@ ServerStats serve_forever(const ServerOptions& options,
   MemoStore memo(options.memo_dir);
   DeadlineWatchdog watchdog;
   Counters counters;
+  ServiceMetrics metrics;
   std::atomic<bool> draining{false};
-  ServerCtx ctx{&options, &memo, &watchdog, &counters, &draining};
+  ServerCtx ctx{&options, &memo, &watchdog, &counters, &metrics, &draining};
 
   static obs::Counter requests_metric =
       obs::MetricsRegistry::global().counter("service.requests");
   static obs::Counter memo_hits_metric =
       obs::MetricsRegistry::global().counter("service.memo_hits");
+  static obs::Counter memo_misses_metric =
+      obs::MetricsRegistry::global().counter("service.memo_misses");
+  static obs::Counter deadline_trips_metric =
+      obs::MetricsRegistry::global().counter("service.deadline_trips");
 
-  // Admission queue: accepted connections awaiting a worker.
+  // Admission queue: accepted connections awaiting a worker, each stamped
+  // with its admission time so the dequeue measures queue wait.
+  struct Queued {
+    Conn conn;
+    Clock::time_point admitted;
+  };
   std::mutex qmu;
   std::condition_variable qcv;
-  std::deque<Conn> queue;
+  std::deque<Queued> queue;
   bool closed = false;
 
   std::vector<std::thread> workers;
@@ -400,8 +573,14 @@ ServerStats serve_forever(const ServerOptions& options,
           std::unique_lock<std::mutex> lock(qmu);
           qcv.wait(lock, [&] { return closed || !queue.empty(); });
           if (queue.empty()) return;  // closed and drained
-          conn = std::move(queue.front());
+          Queued q = std::move(queue.front());
           queue.pop_front();
+          lock.unlock();
+          metrics.observe_queue_wait(
+              std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        q.admitted)
+                  .count());
+          conn = std::move(q.conn);
         }
         handle_conn(ctx, std::move(conn));
       }
@@ -426,7 +605,7 @@ ServerStats serve_forever(const ServerOptions& options,
     {
       std::lock_guard<std::mutex> lock(qmu);
       if (queue.size() < options.queue_capacity) {
-        queue.push_back(std::move(*conn));
+        queue.push_back({std::move(*conn), Clock::now()});
         admitted = true;
       }
     }
@@ -470,6 +649,8 @@ ServerStats serve_forever(const ServerOptions& options,
   stats.memo_dropped = memo.dropped();
   requests_metric.add(static_cast<double>(stats.requests));
   memo_hits_metric.add(static_cast<double>(stats.memo_hits));
+  memo_misses_metric.add(static_cast<double>(counters.memo_misses.load()));
+  deadline_trips_metric.add(static_cast<double>(stats.deadline_expired));
   return stats;
 }
 

@@ -1,0 +1,439 @@
+/// Tests for the distributed-telemetry layer: the trace-context codecs
+/// (string form, service protocol, lease records — including byte-compat
+/// with pre-trace-context artifacts), deterministic cross-process shard
+/// merging (1/2/8 workers, stable pids, epoch alignment, torn shards),
+/// metrics-shard summation, the service `stats` scrape verb, and
+/// end-to-end trace adoption: a client call and the server spans it
+/// triggers land on one distributed trace id.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "common/errors.hpp"
+#include "common/journal.hpp"
+#include "common/lease.hpp"
+#include "core/optimizer.hpp"
+#include "obs/merge.hpp"
+#include "obs/obs.hpp"
+#include "perf/benchmark.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/transport.hpp"
+
+namespace tacos {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "tacos_telemetry_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Enable chosen backends for one test body; always restore "off" (the
+/// process default every other test in this binary relies on).
+struct ObsGuard {
+  ObsGuard(bool metrics, bool trace) {
+    obs::set_metrics_enabled(metrics);
+    obs::set_trace_enabled(trace);
+  }
+  ~ObsGuard() {
+    obs::set_metrics_enabled(false);
+    obs::set_trace_enabled(false);
+  }
+};
+
+// ------------------------------------------------- trace-context codec
+
+TEST(TraceContextCodec, StringFormRoundTrips) {
+  const obs::TraceContext ctx{0x00000000deadbeefull, 0x0123456789abcdefull};
+  const std::string s = obs::trace_context_string(ctx);
+  EXPECT_EQ(s, "00000000deadbeef:0123456789abcdef");
+  obs::TraceContext back;
+  ASSERT_TRUE(obs::parse_trace_context(s, &back));
+  EXPECT_EQ(back, ctx);
+
+  // The zero (untraced) context survives the round trip too: a worker
+  // spawned by an untraced supervisor must not invent a trace.
+  obs::TraceContext zero;
+  ASSERT_TRUE(
+      obs::parse_trace_context(obs::trace_context_string(zero), &back));
+  EXPECT_EQ(back, zero);
+  EXPECT_FALSE(back.valid());
+}
+
+TEST(TraceContextCodec, RejectsMalformedStrings) {
+  obs::TraceContext out;
+  for (const char* bad :
+       {"", ":", "12", "12:", ":34", "xyzw:0000000000000012",
+        "00000000deadbeef:0123456789abcdefg",
+        "00000000deadbeef 0123456789abcdef",
+        "00000000deadbeef:0123456789abcdef:1"}) {
+    EXPECT_FALSE(obs::parse_trace_context(bad, &out)) << "accepted: " << bad;
+  }
+}
+
+TEST(TraceContextCodec, ScopedAmbientChainsNewSpans) {
+  ObsGuard on(false, true);
+  const obs::TraceContext ctx{0x1234, 0x5678};
+  obs::ScopedTraceContext scoped(ctx);
+  EXPECT_EQ(obs::current_trace_context(), ctx);
+  {
+    static obs::SpanSite site("telemetry.test.child", "test");
+    obs::TraceSpan span(site);
+    // The span joins the ambient trace with its own span id, and while
+    // open it (not the ambient) is what outgoing work chains from.
+    EXPECT_EQ(span.context().trace_id, ctx.trace_id);
+    EXPECT_NE(span.context().span_id, ctx.span_id);
+    EXPECT_EQ(obs::current_trace_context(), span.context());
+  }
+}
+
+// -------------------------------------------- service protocol carrier
+
+EvalRequest traced_ping(std::uint64_t trace, std::uint64_t span) {
+  EvalRequest req;
+  req.kind = EvalRequest::Kind::kPing;
+  req.trace_id = trace;
+  req.parent_span = span;
+  req.idem = request_idem_key(req);
+  return req;
+}
+
+TEST(ProtocolTraceContext, RequestRoundTripsContext) {
+  const EvalRequest req = traced_ping(0xfeedfaceull, 0xba5eba11ull);
+  EvalRequest back;
+  ASSERT_TRUE(decode_request(encode_request(req), &back));
+  EXPECT_EQ(back.trace_id, req.trace_id);
+  EXPECT_EQ(back.parent_span, req.parent_span);
+  EXPECT_EQ(back.idem, req.idem);
+}
+
+TEST(ProtocolTraceContext, UntracedRequestKeepsPreTraceBytes) {
+  // A zero trace id must leave no mark on the wire: the payload carries
+  // no `trace` line, so untraced request bytes are identical to what a
+  // pre-trace-context build emits (same kProtocolVersion too).
+  const std::string payload = encode_request(traced_ping(0, 0));
+  EXPECT_EQ(payload.find("trace"), std::string::npos) << payload;
+
+  // And a pre-trace-context payload (no `trace` line by construction)
+  // decodes to the zero context rather than erroring.
+  EvalRequest back;
+  ASSERT_TRUE(decode_request(payload, &back));
+  EXPECT_EQ(back.trace_id, 0u);
+  EXPECT_EQ(back.parent_span, 0u);
+}
+
+TEST(ProtocolTraceContext, IdemKeyIgnoresTraceContext) {
+  // A traced retry must hit the same memo slot as an untraced attempt:
+  // the idempotency key is blind to the trace context.
+  const EvalRequest untraced = traced_ping(0, 0);
+  const EvalRequest traced = traced_ping(0x1111, 0x2222);
+  EXPECT_EQ(request_idem_key(untraced), request_idem_key(traced));
+}
+
+// ------------------------------------------------- lease-record carrier
+
+TEST(LeaseTraceContext, RecordRoundTripsContext) {
+  LeaseRecord rec;
+  rec.kind = LeaseRecord::Kind::kClaim;
+  rec.task = "optimize:canneal";
+  rec.worker = "w0.1";
+  rec.epoch = 7;
+  rec.deadline_ms = 123456;
+  rec.trace_id = 0xabcdefull;
+  rec.span_id = 0x123456ull;
+  // encode emits the newline-terminated on-disk line; decode takes the
+  // line as the log replay splits it, without the terminator.
+  std::string line = encode_lease_record(rec);
+  ASSERT_EQ(line.back(), '\n');
+  line.pop_back();
+  LeaseRecord back;
+  ASSERT_TRUE(decode_lease_record(line, &back));
+  EXPECT_EQ(back.task, rec.task);
+  EXPECT_EQ(back.worker, rec.worker);
+  EXPECT_EQ(back.epoch, rec.epoch);
+  EXPECT_EQ(back.deadline_ms, rec.deadline_ms);
+  EXPECT_EQ(back.trace_id, rec.trace_id);
+  EXPECT_EQ(back.span_id, rec.span_id);
+}
+
+TEST(LeaseTraceContext, UntracedRecordKeepsOldFormat) {
+  LeaseRecord rec;
+  rec.kind = LeaseRecord::Kind::kDone;
+  rec.task = "optimize:dedup";
+  rec.worker = "w1.2";
+  rec.epoch = 3;
+  rec.deadline_ms = 0;
+  const std::string line = encode_lease_record(rec);
+  // The untraced encoding is exactly the pre-trace-context four-token
+  // payload — resumed runs append to old logs without changing format.
+  const std::string oldline =
+      format_journal_line("lease:optimize:dedup", "done w1.2 3 0");
+  EXPECT_EQ(line, oldline + "\n");
+
+  // And an old-log line decodes with a zero context.
+  LeaseRecord back;
+  ASSERT_TRUE(decode_lease_record(oldline, &back));
+  EXPECT_EQ(back.trace_id, 0u);
+  EXPECT_EQ(back.span_id, 0u);
+}
+
+// ------------------------------------------------------- shard merging
+
+/// One complete trace-event line in the exporters' strict format.
+std::string ev_line(const std::string& name, std::uint64_t ts,
+                    std::uint64_t dur) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << name << "\",\"cat\":\"t\",\"ph\":\"X\",\"ts\":" << ts
+     << ",\"dur\":" << dur << ",\"pid\":0,\"tid\":0,\"args\":{}}";
+  return os.str();
+}
+
+void write_shard(const std::string& dir, const std::string& file,
+                 std::uint64_t epoch_ms,
+                 const std::vector<std::string>& lines) {
+  std::ofstream out(dir + "/" + file, std::ios::binary);
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":0,"
+      << "\"epochMs\":" << epoch_ms << "},\n\"traceEvents\":[\n";
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    out << lines[i] << (i + 1 < lines.size() ? ",\n" : "\n");
+  out << "]}\n";
+}
+
+TEST(TraceMerge, DeterministicAcrossWorkerCounts) {
+  for (const int workers : {1, 2, 8}) {
+    const std::string dir =
+        fresh_dir("merge" + std::to_string(workers));
+    write_shard(dir, "trace.json", 1000, {ev_line("run.main", 0, 1000)});
+    for (int k = 0; k < workers; ++k) {
+      write_shard(dir, "trace-w" + std::to_string(k) + ".json", 1000,
+                  {ev_line("fabric.task", 5, 20), ev_line("solve", 8, 10)});
+    }
+    const obs::TraceMergeResult a = obs::merge_trace_shards(dir);
+    const obs::TraceMergeResult b = obs::merge_trace_shards(dir);
+    // The merge is a pure function of the shard bytes: re-running it
+    // yields identical output, byte for byte.
+    EXPECT_EQ(a.json, b.json);
+    EXPECT_EQ(a.events, static_cast<std::size_t>(1 + 2 * workers));
+    ASSERT_EQ(a.shards.size(), static_cast<std::size_t>(1 + workers));
+    EXPECT_EQ(a.shards[0].pid, 0u);  // supervisor first
+    for (int k = 0; k < workers; ++k) {
+      EXPECT_EQ(a.shards[static_cast<std::size_t>(1 + k)].pid,
+                static_cast<std::uint32_t>(2 + k));
+      EXPECT_FALSE(a.shards[static_cast<std::size_t>(1 + k)].torn);
+    }
+  }
+}
+
+TEST(TraceMerge, WorkerPidsAreStableUnderShardSubsets) {
+  // Worker k owns pid 2+k no matter which other shards exist, so a
+  // resumed or partially-crashed run names processes consistently.
+  const std::string dir = fresh_dir("subset");
+  write_shard(dir, "trace-w3.json", 1000, {ev_line("fabric.task", 1, 2)});
+  const obs::TraceMergeResult r = obs::merge_trace_shards(dir);
+  ASSERT_EQ(r.shards.size(), 1u);
+  EXPECT_EQ(r.shards[0].pid, 5u);
+  EXPECT_EQ(r.shards[0].label, "worker w3");
+  EXPECT_NE(r.json.find("\"pid\":5"), std::string::npos);
+}
+
+TEST(TraceMerge, AlignsShardsOnWallClockEpochs) {
+  // The worker started 250 ms after the supervisor (per their exported
+  // epochMs); its events shift by 250'000 us onto the common timeline.
+  const std::string dir = fresh_dir("epochs");
+  write_shard(dir, "trace.json", 1000, {ev_line("run.main", 0, 500000)});
+  write_shard(dir, "trace-w0.json", 1250, {ev_line("fabric.task", 10, 20)});
+  const obs::TraceMergeResult r = obs::merge_trace_shards(dir);
+  EXPECT_NE(r.json.find("\"ts\":250010"), std::string::npos) << r.json;
+  EXPECT_NE(r.json.find("\"epochMs\":1000"), std::string::npos);
+}
+
+TEST(TraceMerge, ToleratesTornShard) {
+  // A worker killed mid-write leaves a shard without its "]}" terminator
+  // and with a half-written final line; the merge keeps every complete
+  // line, flags the shard torn, and still emits a valid document.
+  const std::string dir = fresh_dir("torn");
+  write_shard(dir, "trace.json", 1000, {ev_line("run.main", 0, 100)});
+  {
+    std::ofstream out(dir + "/trace-w0.json", std::ios::binary);
+    out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":0,"
+        << "\"epochMs\":1000},\n\"traceEvents\":[\n"
+        << ev_line("fabric.task", 5, 10) << ",\n"
+        << "{\"name\":\"half";  // torn mid-line, no terminator
+  }
+  const obs::TraceMergeResult r = obs::merge_trace_shards(dir);
+  ASSERT_EQ(r.shards.size(), 2u);
+  EXPECT_FALSE(r.shards[0].torn);
+  EXPECT_TRUE(r.shards[1].torn);
+  EXPECT_EQ(r.shards[1].events, 1u);  // the complete line survived
+  EXPECT_EQ(r.events, 2u);
+  EXPECT_EQ(r.json.substr(r.json.size() - 4), "\n]}\n");
+  EXPECT_EQ(r.json.find("half"), std::string::npos);
+}
+
+TEST(MetricsMerge, SumsCountersAcrossShards) {
+  const std::string dir = fresh_dir("metrics");
+  const auto write = [&](const std::string& file, const std::string& name,
+                         double value) {
+    std::ofstream out(dir + "/" + file, std::ios::binary);
+    out << "{\"metrics\":[\n{\"name\":\"" << name
+        << "\",\"type\":\"counter\",\"value\":" << value << "}\n]}\n";
+  };
+  write("metrics-w0.json", "service.requests", 3);
+  write("metrics-w1.json", "service.requests", 4);
+  write("metrics.json", "thermal.solves", 2);
+
+  const std::map<std::string, double> counters = obs::merged_counters(dir);
+  ASSERT_TRUE(counters.count("service.requests"));
+  EXPECT_DOUBLE_EQ(counters.at("service.requests"), 7.0);
+  EXPECT_DOUBLE_EQ(counters.at("thermal.solves"), 2.0);
+
+  const obs::MetricsMergeResult merged = obs::merge_metrics_shards(dir);
+  EXPECT_EQ(merged.shards.size(), 3u);
+  EXPECT_EQ(merged.series, 3u);
+  EXPECT_NE(merged.json.find("service.requests"), std::string::npos);
+}
+
+// ------------------------------------------------ service-level checks
+
+/// An in-process server on a Unix socket under its own run dir.
+struct TestServer {
+  ServerOptions options;
+  CancelToken stop;
+  std::thread thread;
+  ServerStats stats;
+
+  explicit TestServer(const std::string& dir) {
+    options.endpoint = parse_endpoint(dir + "/svc.sock");
+    options.memo_dir = dir;
+  }
+  ~TestServer() { shutdown(); }
+
+  void start() {
+    thread = std::thread([this] { stats = serve_forever(options, &stop); });
+    for (int i = 0; i < 500; ++i) {
+      try {
+        Conn probe = connect_endpoint(options.endpoint, 200);
+        if (probe.ok()) return;
+      } catch (const ServiceError&) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ADD_FAILURE() << "server never came up on "
+                  << options.endpoint.describe();
+  }
+
+  void shutdown() {
+    stop.cancel();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+ClientOptions client_options(const Endpoint& ep, int attempts = 5) {
+  ClientOptions o;
+  o.endpoint = ep;
+  o.max_attempts = attempts;
+  o.backoff = BackoffPolicy{20, 200, 0.0, 0};  // fast retries for tests
+  return o;
+}
+
+EvalConfig small_config() {
+  EvalConfig c;
+  c.thermal.grid_nx = c.thermal.grid_ny = 12;
+  return c;
+}
+
+OptimizerOptions small_options() {
+  OptimizerOptions o;
+  o.step_mm = 4.0;
+  o.starts = 3;
+  return o;
+}
+
+TEST(StatsVerb, ScrapesLiveRequestMetrics) {
+  const std::string dir = fresh_dir("stats");
+  TestServer server(dir);
+  server.start();
+  EvalClient client(client_options(server.options.endpoint));
+  ASSERT_TRUE(client.ping());
+
+  const std::optional<std::string> payload = client.stats();
+  ASSERT_TRUE(payload.has_value()) << "stats verb not answered";
+  // The scrape works with --metrics off on the server: per-request
+  // accounting is always on.  Spot-check the counter lines and all three
+  // quantile histograms.
+  for (const char* key :
+       {"uptime_ms", "requests", "served_ok", "memo_hits", "shed",
+        "hist latency_ms", "hist queue_wait_ms", "hist solve_ms", "p99"}) {
+    EXPECT_NE(payload->find(key), std::string::npos)
+        << "stats payload lacks '" << key << "':\n" << *payload;
+  }
+}
+
+/// Distributed trace ids (the "trace" arg) of every span named `name` in
+/// a tracer JSON export.
+std::set<std::string> trace_ids_for(const std::string& json,
+                                    const std::string& name) {
+  std::set<std::string> out;
+  const std::string needle = "\"name\":\"" + name + "\"";
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    std::size_t eol = json.find('\n', pos);
+    if (eol == std::string::npos) eol = json.size();
+    const std::string line = json.substr(pos, eol - pos);
+    const std::string tr = "\"trace\":\"";
+    const std::size_t t = line.find(tr);
+    if (t != std::string::npos) {
+      const std::size_t begin = t + tr.size();
+      out.insert(line.substr(begin, line.find('"', begin) - begin));
+    }
+    pos = eol;
+  }
+  return out;
+}
+
+TEST(DistributedTrace, ServerSpansChainToClientCall) {
+  ObsGuard on(false, true);
+  obs::Tracer::global().reset();
+
+  const std::string dir = fresh_dir("adopt");
+  TestServer server(dir);
+  server.start();
+  EvalClient client(client_options(server.options.endpoint));
+  const std::string payload = client.optimize(
+      small_config(), small_options(),
+      std::string(representative_benchmarks()[0]), 0.0);
+  EXPECT_FALSE(payload.empty());
+  server.shutdown();
+
+  // Server and client share this process's tracer, so the export holds
+  // both sides.  The acceptance bar: one distributed trace id runs from
+  // the client call through the server's request handling into the solve.
+  const std::string json = obs::Tracer::global().to_json();
+  const std::set<std::string> call = trace_ids_for(json, "service.client.call");
+  const std::set<std::string> request = trace_ids_for(json, "service.request");
+  const std::set<std::string> solve = trace_ids_for(json, "service.solve");
+  ASSERT_FALSE(call.empty());
+  ASSERT_FALSE(request.empty());
+  ASSERT_FALSE(solve.empty());
+  bool shared = false;
+  for (const std::string& id : call)
+    if (request.count(id) && solve.count(id)) shared = true;
+  EXPECT_TRUE(shared) << "no trace id runs client -> server -> solve";
+}
+
+}  // namespace
+}  // namespace tacos

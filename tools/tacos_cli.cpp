@@ -20,7 +20,15 @@
 ///   eval-remote <bench> <n> <s1> <s2> <s3> <f_idx> <p>
 ///                                         — one organization, evaluated
 ///                                           by the server (--remote=ADDR)
-///   ping                                  — probe the server (--remote)
+///   ping [--stats]                        — probe the server (--remote);
+///                                           --stats scrapes its live
+///                                           request metrics
+///   trace-merge [run-dir]                 — merge per-process telemetry
+///                                           shards into trace-merged.json
+///                                           / metrics-merged.json
+///   status [run-dir]                      — live run-status view: sweep
+///                                           progress, worker leases,
+///                                           merged health counters
 ///   fsck      [--fix]                     — validate (and optionally
 ///                                           repair) --run-dir's durable
 ///                                           files; exit 65 on damage
@@ -54,23 +62,37 @@
 /// (recoveries, degradations, quarantines) to stderr afterwards.
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "common/errors.hpp"
 #include "common/fsck.hpp"
+#include "common/journal.hpp"
+#include "common/lease.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/fabric.hpp"
 #include "core/optimizer.hpp"
 #include "cost/cost_model.hpp"
+#include "obs/merge.hpp"
 #include "obs/obs.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <unistd.h>
+#endif
 
 using namespace tacos;
 
@@ -161,7 +183,9 @@ int usage() {
       " and --run-dir)\n"
       "  eval-remote <bench> <n> <s1> <s2> <s3> <f_idx> <p>"
       "   (requires --remote)\n"
-      "  ping                  (requires --remote)\n"
+      "  ping [--stats]        (requires --remote)\n"
+      "  trace-merge [run-dir] (merge telemetry shards; or --run-dir)\n"
+      "  status   [run-dir]    (live run-status view; or --run-dir)\n"
       "  fsck     [--fix]      (requires --run-dir)\n";
   return exit_code::kUsage;
 }
@@ -555,19 +579,216 @@ int cmd_eval_remote(const std::vector<std::string>& a) {
   return exit_code::kOk;
 }
 
-/// Liveness probe (single attempt): exit 0 iff the server answers.
-int cmd_ping() {
+/// Liveness probe (single attempt): exit 0 iff the server answers.  With
+/// `--stats`, scrape and print the server's live request metrics instead.
+int cmd_ping(const std::vector<std::string>& a) {
+  bool stats = false;
+  for (const std::string& s : a) {
+    if (s == "--stats")
+      stats = true;
+    else
+      return usage();
+  }
   if (g_remote.empty()) {
     std::cerr << "ping requires --remote=ADDR\n";
     return exit_code::kUsage;
   }
   EvalClient client(make_client_options());
+  if (stats) {
+    const std::optional<std::string> payload = client.stats();
+    if (!payload) {
+      std::cerr << "no response from " << g_remote << "\n";
+      return exit_code::kService;
+    }
+    std::cout << *payload;
+    return exit_code::kOk;
+  }
   if (client.ping()) {
     std::cout << "pong\n";
     return exit_code::kOk;
   }
   std::cerr << "no response from " << g_remote << "\n";
   return exit_code::kService;
+}
+
+/// The run dir a read-only telemetry command operates on: the positional
+/// argument when given, else --run-dir.
+std::string telemetry_dir(const std::vector<std::string>& a) {
+  if (a.size() == 1) return a[0];
+  if (a.empty()) return g_run_dir;
+  return {};
+}
+
+/// Merge the per-process trace/metrics shards of a run directory into
+/// `trace-merged.json` / `metrics-merged.json` (docs/OBSERVABILITY.md,
+/// "Distributed tracing").  Read-only with respect to the run's durable
+/// state; deterministic for a given shard set.
+int cmd_trace_merge(const std::vector<std::string>& a) {
+  const std::string dir = telemetry_dir(a);
+  if (dir.empty()) {
+    std::cerr << "trace-merge requires a run directory (argument or"
+                 " --run-dir=DIR)\n";
+    return exit_code::kUsage;
+  }
+  const obs::TraceMergeResult tr = obs::merge_trace_shards(dir);
+  TextTable t({"shard", "pid", "process", "events", "state"});
+  for (const obs::TraceShard& s : tr.shards)
+    t.add_row({s.file, std::to_string(s.pid), s.label,
+               std::to_string(s.events), s.torn ? "torn" : "complete"});
+  t.print("trace shards in " + dir);
+  if (tr.shards.empty()) {
+    std::cerr << "trace-merge: no trace shards in " << dir << "\n";
+  } else {
+    write_file_atomic(dir + "/trace-merged.json", tr.json);
+    std::cout << "merged " << tr.events << " event(s) from "
+              << tr.shards.size() << " shard(s) into " << dir
+              << "/trace-merged.json";
+    if (tr.dropped > 0) std::cout << " (" << tr.dropped << " dropped)";
+    std::cout << "\n";
+  }
+  const obs::MetricsMergeResult mr = obs::merge_metrics_shards(dir);
+  if (!mr.shards.empty()) {
+    write_file_atomic(dir + "/metrics-merged.json", mr.json);
+    std::cout << "merged " << mr.series << " metric series from "
+              << mr.shards.size() << " shard(s) into " << dir
+              << "/metrics-merged.json\n";
+  }
+  return exit_code::kOk;
+}
+
+/// True when `pid` names a live process we may signal-probe.
+bool pid_alive(long pid) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (pid <= 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+#else
+  (void)pid;
+  return false;
+#endif
+}
+
+/// Live run-status view: sweep progress, per-worker lease state, and the
+/// merged health/service counters of a run directory.  Strictly read-only
+/// — safe to point at a directory another process is actively writing —
+/// and exits 0 on live, finished, and dead runs alike.
+int cmd_status(const std::vector<std::string>& a) {
+  const std::string dir = telemetry_dir(a);
+  if (dir.empty()) {
+    std::cerr << "status requires a run directory (argument or"
+                 " --run-dir=DIR)\n";
+    return exit_code::kUsage;
+  }
+
+  // Liveness: the canonical journal's lockfile holds its owner's pid.
+  std::string state = "idle";
+  long owner_pid = -1;
+  {
+    std::ifstream lock(dir + "/journal.jsonl.lock");
+    if (lock) {
+      lock >> owner_pid;
+      state = pid_alive(owner_pid) ? "live" : "stale-lock";
+    }
+  }
+
+  // Canonical journal: completed rows (read without locking).
+  std::vector<std::pair<std::string, std::string>> rows;
+  RunJournal::read_records(dir + "/journal.jsonl", &rows);
+  std::size_t done_rows = 0, quarantine_rows = 0, meta_rows = 0;
+  for (const auto& [id, payload] : rows) {
+    (void)payload;
+    if (id.rfind("meta:", 0) == 0)
+      ++meta_rows;
+    else if (id.rfind("quarantine:", 0) == 0)
+      ++quarantine_rows;
+    else
+      ++done_rows;
+  }
+
+  // Lease log: the fabric's own view of task + worker state.
+  LeaseTable leases(dir, /*read_only=*/true);
+  leases.refresh();
+  const std::vector<std::string> tasks = leases.task_ids();
+  std::size_t lease_done = 0, lease_held = 0, lease_poisoned = 0,
+              lease_open = 0, crashes = 0;
+  std::map<std::string, std::pair<std::size_t, std::size_t>> workers;
+  std::vector<std::string> held_lines;
+  for (const std::string& id : tasks) {
+    const LeaseState s = leases.state(id);
+    crashes += s.crashes;
+    switch (s.phase) {
+      case LeaseState::Phase::kDone:
+        ++lease_done;
+        ++workers[s.done_worker].first;
+        break;
+      case LeaseState::Phase::kHeld: {
+        ++lease_held;
+        ++workers[s.holder].second;
+        std::ostringstream h;
+        h << "  held: " << id << " by " << s.holder;
+        const std::uint64_t now = lease_now_ms();
+        if (s.deadline_ms > now)
+          h << " (lease expires in " << (s.deadline_ms - now) / 1000 << "s)";
+        held_lines.push_back(h.str());
+        break;
+      }
+      case LeaseState::Phase::kPoisoned: ++lease_poisoned; break;
+      case LeaseState::Phase::kFree: ++lease_open; break;
+    }
+  }
+  const bool finished =
+      !tasks.empty() && lease_held == 0 && lease_open == 0;
+  if (state == "idle" && (finished || (tasks.empty() && done_rows > 0)))
+    state = "finished";
+
+  std::cout << "run " << dir << ": " << state;
+  if (owner_pid > 0 && state == "live")
+    std::cout << " (journal held by pid " << owner_pid << ")";
+  std::cout << "\n";
+  std::cout << "journal: " << done_rows << " task row(s), " << quarantine_rows
+            << " quarantine row(s), " << meta_rows << " meta row(s)\n";
+  if (!tasks.empty()) {
+    std::cout << "tasks: " << tasks.size() << " — " << lease_done << " done, "
+              << lease_held << " held, " << lease_open << " open, "
+              << lease_poisoned << " poisoned (" << crashes
+              << " crash record(s), " << leases.replay_reclaims()
+              << " reclaim(s))\n";
+    for (const std::string& h : held_lines) std::cout << h << "\n";
+    for (const auto& [name, counts] : workers) {
+      std::cout << "  worker " << name << ": " << counts.first
+                << " committed";
+      if (counts.second > 0) std::cout << ", " << counts.second << " held";
+      std::cout << "\n";
+    }
+  }
+
+  // Merged telemetry: the counters of every metrics shard, summed.
+  const std::map<std::string, double> counters = obs::merged_counters(dir);
+  const auto get = [&](const char* name) -> double {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0.0 : it->second;
+  };
+  const double memo_hits = get("service.memo_hits");
+  const double memo_misses = get("service.memo_misses");
+  if (memo_hits + memo_misses > 0)
+    std::cout << "memo: " << memo_hits << " hit(s) / " << memo_misses
+              << " miss(es) ("
+              << static_cast<int>(100.0 * memo_hits /
+                                  (memo_hits + memo_misses))
+              << "% hit rate)\n";
+  bool counters_header = false;
+  for (const auto& [name, value] : counters) {
+    const bool interesting = name.rfind("service.", 0) == 0 ||
+                             name.rfind("health.", 0) == 0 ||
+                             name.rfind("surrogate.", 0) == 0 ||
+                             name == "thermal.solves";
+    if (!interesting) continue;
+    if (!counters_header) {
+      std::cout << "counters (merged from metrics shards):\n";
+      counters_header = true;
+    }
+    std::cout << "  " << name << " " << value << "\n";
+  }
+  return exit_code::kOk;
 }
 
 /// Validate --run-dir's durable files; `--fix` repairs them in place.
@@ -586,10 +807,16 @@ int cmd_fsck(const std::vector<std::string>& a) {
   const FsckReport rep = fsck_run_dir(g_run_dir, fix);
   TextTable t({"file", "kind", "valid", "corrupt", "torn_tail", "state"});
   for (const FsckFile& f : rep.files)
-    t.add_row({f.name, f.event_log ? "event-log" : "journal",
+    t.add_row({f.name,
+               f.advisory    ? "telemetry"
+               : f.event_log ? "event-log"
+                             : "journal",
                std::to_string(f.valid), std::to_string(f.corrupt),
                f.torn_tail ? "yes" : "no",
-               f.fixed ? "repaired" : f.corrupt > 0 ? "DAMAGED" : "clean"});
+               f.fixed        ? "repaired"
+               : f.corrupt == 0 ? "clean"
+               : f.advisory   ? "advisory"
+                              : "DAMAGED"});
   t.print("fsck " + g_run_dir);
   if (!rep.clean()) {
     std::cerr << "fsck: " << rep.total_corrupt()
@@ -731,15 +958,24 @@ int main(int argc, char** argv) {
   }
   if (argc - first < 1) return usage();
   g_argv.assign(argv, argv + argc);
+  const std::string cmd = argv[first];
   if (g_fabric_worker >= 0) {
-    // Fabric workers leave the observability artifacts to the supervisor:
-    // N workers publishing to the same --metrics/--trace paths would
-    // clobber each other's files.
+    // Fabric workers publish per-process telemetry shards — shard-suffix
+    // redirection forces trace-w<k>.json / metrics-w<k>.json inside the
+    // run dir, so N workers never clobber the supervisor's artifacts and
+    // `tacos_cli trace-merge` can join them into one timeline.
+    g_obs.shard_suffix = "w" + std::to_string(g_fabric_worker);
+  } else if (cmd == "serve") {
+    // The server is its own shard ("trace-serve.json") for the same
+    // reason: it often shares a run dir with the sweep that drives it.
+    g_obs.shard_suffix = "serve";
+  } else if (cmd == "status" || cmd == "trace-merge") {
+    // Read-only commands must not create, preload, or republish telemetry
+    // artifacts in a directory they merely inspect.
     g_obs = obs::ObsOptions{};
   }
   g_obs.finalize(g_run_dir, g_resume);
   install_signal_handlers();
-  const std::string cmd = argv[first];
   std::vector<std::string> args(argv + first + 1, argv + argc);
   int rc;
   try {
@@ -757,7 +993,9 @@ int main(int argc, char** argv) {
     else if (cmd == "batch") rc = cmd_batch(args);
     else if (cmd == "serve") rc = cmd_serve();
     else if (cmd == "eval-remote") rc = cmd_eval_remote(args);
-    else if (cmd == "ping") rc = cmd_ping();
+    else if (cmd == "ping") rc = cmd_ping(args);
+    else if (cmd == "trace-merge") rc = cmd_trace_merge(args);
+    else if (cmd == "status") rc = cmd_status(args);
     else if (cmd == "fsck") rc = cmd_fsck(args);
     else rc = usage();
   } catch (const std::exception& e) {
