@@ -51,9 +51,22 @@ inline ExperimentOptions options_from_args(int argc, char** argv,
       }
       continue;
     }
+    if (arg == "--refine") {
+      defaults.refine = true;
+      continue;
+    }
+    if (arg.rfind("--refine-tol-mm=", 0) == 0) {
+      defaults.refine_tol_mm = std::stod(arg.substr(16));
+      if (!(defaults.refine_tol_mm > 0.0)) {
+        std::cerr << "bad --refine-tol-mm value (want > 0): " << arg << '\n';
+        std::exit(EXIT_FAILURE);
+      }
+      continue;
+    }
     if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown flag: " << arg << "\nusage: " << argv[0]
                 << " [grid] [--precond=auto|jacobi|mg]"
+                   " [--refine] [--refine-tol-mm=T]"
                 << obs::ObsOptions::usage() << '\n';
       std::exit(EXIT_FAILURE);
     }
@@ -127,12 +140,22 @@ class Harness {
                     << '\n';
           std::exit(EXIT_FAILURE);
         }
+      } else if (arg == "--refine") {
+        opts_.refine = true;
+      } else if (arg.rfind("--refine-tol-mm=", 0) == 0) {
+        opts_.refine_tol_mm = std::stod(arg.substr(16));
+        if (!(opts_.refine_tol_mm > 0.0)) {
+          std::cerr << "bad --refine-tol-mm value (want > 0): " << arg
+                    << '\n';
+          std::exit(EXIT_FAILURE);
+        }
       } else if (obs_options().parse_flag(arg)) {
         // consumed by the observability layer
       } else if (!arg.empty() && arg[0] == '-') {
         std::cerr << "unknown flag: " << arg << "\nusage: " << argv[0]
                   << " [grid] [--run-dir=DIR [--resume]]"
                      " [--task-deadline=SECONDS] [--precond=auto|jacobi|mg]"
+                     " [--refine] [--refine-tol-mm=T]"
                   << obs::ObsOptions::usage() << '\n';
         std::exit(EXIT_FAILURE);
       } else {

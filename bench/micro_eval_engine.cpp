@@ -10,7 +10,10 @@
 /// A/B then reruns the paper's full greedy sweep (default 0.5 mm step)
 /// in kFull and kLadder modes, asserting identical winners, counting the
 /// full-resolution solves avoided, and checking the ladder is itself
-/// bit-identical at every thread count.
+/// bit-identical at every thread count.  A refinement A/B reruns the
+/// default sweep with `--refine`, recording the adjoint-stage cost (extra
+/// solves, wall) against the peak-temperature headroom it reclaims, and
+/// asserting a refined winner is never worse than its grid winner.
 ///
 /// Emits BENCH_eval_engine.json so the perf trajectory is tracked from
 /// PR to PR.  Usage:
@@ -227,6 +230,77 @@ LadderAB run_ladder_ab(std::size_t grid, const std::vector<std::string>& names,
       1.0 - static_cast<double>(out.ladder_stats.solves) /
                 static_cast<double>(std::max<std::size_t>(1, full.stats.solves));
   out.speedup = out.full_wall_s / std::max(1e-9, out.ladder_wall_s);
+  return out;
+}
+
+/// Refinement A/B: the grid-only sweep vs the same sweep with the
+/// adjoint-gradient continuous refinement stage (`--refine`).  Three
+/// numbers matter: what the stage costs (extra solves — one adjoint per
+/// gradient plus one forward verification per line-search trial — and
+/// wall time), what it buys (peak-temperature reduction of the refined
+/// winners, °C below the grid winner at the *same* frozen combination),
+/// and the invariant that it can never make a winner worse.
+struct RefineAB {
+  double grid_wall_s = 0.0;
+  double refine_wall_s = 0.0;
+  EvalStats grid_stats;
+  EvalStats refine_stats;
+  std::size_t found = 0;
+  std::size_t refined = 0;       ///< winners that moved off-grid
+  double max_peak_drop_c = 0.0;  ///< largest grid-vs-refined peak gap
+  double sum_peak_drop_c = 0.0;
+  double extra_solve_frac = 0.0;  ///< (refine solves − grid solves)/grid
+  bool never_worse = true;        ///< refined peak ≤ grid peak, always
+};
+
+RefineAB run_refine_ab(std::size_t grid, const std::vector<std::string>& names,
+                       RunHealth* health) {
+  ThreadPool::set_global_threads(1);  // serial-work claim, 1-thread walls
+  EvalConfig cfg;
+  cfg.thermal.grid_nx = cfg.thermal.grid_ny = grid;
+  OptimizerOptions oo;
+  oo.step_mm = 2.0;
+  RefineAB out;
+  std::cerr << "[micro_eval_engine] refine A/B: grid reference...\n";
+  auto t0 = Clock::now();
+  const std::vector<OptResult> g =
+      optimize_greedy_batch(cfg, names, oo, &out.grid_stats);
+  out.grid_wall_s = seconds_since(t0);
+  *health += out.grid_stats.health;
+
+  std::cerr << "[micro_eval_engine] refine A/B: refined sweep...\n";
+  oo.refine = true;
+  t0 = Clock::now();
+  const std::vector<OptResult> r =
+      optimize_greedy_batch(cfg, names, oo, &out.refine_stats);
+  out.refine_wall_s = seconds_since(t0);
+  *health += out.refine_stats.health;
+
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    if (!r[i].found) continue;
+    ++out.found;
+    // Refinement rides after the grid search, so the pre-refinement
+    // winner must be exactly the grid-only sweep's.
+    out.never_worse =
+        out.never_worse && g[i].found &&
+        r[i].org.n_chiplets == g[i].org.n_chiplets &&
+        r[i].org.dvfs_idx == g[i].org.dvfs_idx &&
+        r[i].org.active_cores == g[i].org.active_cores;
+    if (!r[i].refined) {
+      out.never_worse = out.never_worse && r[i].peak_c == g[i].peak_c;
+      continue;
+    }
+    ++out.refined;
+    const double drop = r[i].peak_grid_c - r[i].peak_c;
+    out.never_worse = out.never_worse && drop > 0.0 &&
+                      r[i].peak_grid_c == g[i].peak_c;
+    out.max_peak_drop_c = std::max(out.max_peak_drop_c, drop);
+    out.sum_peak_drop_c += drop;
+  }
+  out.extra_solve_frac =
+      static_cast<double>(out.refine_stats.solves) /
+          static_cast<double>(std::max<std::size_t>(1, out.grid_stats.solves)) -
+      1.0;
   return out;
 }
 
@@ -457,6 +531,9 @@ int main(int argc, char** argv) {
   const LadderAB lab = run_ladder_ab(e2e_grid, names, counts, &health);
   ThreadPool::set_global_threads(hw);
 
+  const RefineAB rab = run_refine_ab(e2e_grid, names, &health);
+  ThreadPool::set_global_threads(hw);
+
   std::cerr << "[micro_eval_engine] evaluation-service round-trips...\n";
   const ServiceBench svc = run_service_bench(e2e_grid);
 
@@ -547,6 +624,25 @@ int main(int argc, char** argv) {
      << ",\n"
      << "    \"bit_identical_across_threads\": "
      << (lab.bit_identical ? "true" : "false") << "\n  },\n"
+     << "  \"refine\": {\n"
+     << "    \"grid\": " << e2e_grid << ",\n"
+     << "    \"step_mm\": 2,\n"
+     << "    \"grid_only\": {\"wall_s\": " << fmt(rab.grid_wall_s)
+     << ", \"solves\": " << rab.grid_stats.solves << "},\n"
+     << "    \"refined\": {\"wall_s\": " << fmt(rab.refine_wall_s)
+     << ", \"solves\": " << rab.refine_stats.solves << "},\n"
+     << "    \"winners_found\": " << rab.found << ",\n"
+     << "    \"winners_refined\": " << rab.refined << ",\n"
+     << "    \"attempted\": " << rab.refine_stats.refine.attempted << ",\n"
+     << "    \"accepted_steps\": " << rab.refine_stats.refine.steps << ",\n"
+     << "    \"trials\": " << rab.refine_stats.refine.trials << ",\n"
+     << "    \"adjoint_solves\": " << rab.refine_stats.refine.adjoint_solves
+     << ",\n"
+     << "    \"extra_solve_frac\": " << fmt(rab.extra_solve_frac) << ",\n"
+     << "    \"max_peak_drop_c\": " << fmt(rab.max_peak_drop_c) << ",\n"
+     << "    \"sum_peak_drop_c\": " << fmt(rab.sum_peak_drop_c) << ",\n"
+     << "    \"never_worse\": " << (rab.never_worse ? "true" : "false")
+     << "\n  },\n"
      << "  \"service\": {\n"
      << "    \"grid\": " << e2e_grid << ",\n"
      << "    \"ping_round_trips_per_sec\": " << fmt(svc.ping_rps) << ",\n"
@@ -593,6 +689,13 @@ int main(int argc, char** argv) {
             << "%), winner_match=" << (lab.winner_match ? "yes" : "NO")
             << ", bit_identical=" << (lab.bit_identical ? "yes" : "NO")
             << "\n"
+            << "refine (step 2): " << rab.refined << "/" << rab.found
+            << " winners moved off-grid, peak drop max " << fmt(rab.max_peak_drop_c)
+            << " C / sum " << fmt(rab.sum_peak_drop_c) << " C, "
+            << rab.refine_stats.refine.adjoint_solves << " adjoint solve(s), +"
+            << fmt(100.0 * rab.extra_solve_frac)
+            << "% solves, never_worse=" << (rab.never_worse ? "yes" : "NO")
+            << "\n"
             << "service: ping " << fmt(svc.ping_rps) << " rt/s, cold optimize "
             << fmt(svc.cold_ms) << " ms, warm memo " << fmt(svc.warm_rps)
             << " rt/s, stats scrape " << fmt(svc.stats_rps)
@@ -609,7 +712,7 @@ int main(int argc, char** argv) {
   obs::record_run_health(health);
   if (obs_opts.any()) obs_opts.publish();
   return (solver_identical && e2e_identical && ab.temps_match &&
-          lab.winner_match && lab.bit_identical &&
+          lab.winner_match && lab.bit_identical && rab.never_worse &&
           svc.payload_matches_local && svc.warm_all_memo_hits &&
           svc.stats_ok && tel.deterministic)
              ? 0

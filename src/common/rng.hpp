@@ -8,6 +8,7 @@
 /// bit-for-bit reproducible.
 
 #include <cstdint>
+#include <limits>
 #include <random>
 
 namespace tacos {
@@ -22,6 +23,19 @@ class Rng {
   /// Uniform integer in [lo, hi] (inclusive).
   int uniform_int(int lo, int hi) {
     std::uniform_int_distribution<int> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform long in [lo, hi] (inclusive).  When the range fits in int the
+  /// draw delegates to uniform_int, consuming the engine identically — a
+  /// caller that widens from uniform_int keeps its historical sequences —
+  /// and only genuinely wide ranges pay for the 64-bit distribution.
+  long uniform_long(long lo, long hi) {
+    constexpr long int_lo = std::numeric_limits<int>::min();
+    constexpr long int_hi = std::numeric_limits<int>::max();
+    if (lo >= int_lo && hi <= int_hi)
+      return uniform_int(static_cast<int>(lo), static_cast<int>(hi));
+    std::uniform_int_distribution<long> d(lo, hi);
     return d(engine_);
   }
 

@@ -9,6 +9,7 @@
 #include "core/leakage.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "thermal/adjoint.hpp"
 
 namespace tacos {
 
@@ -32,7 +33,10 @@ std::optional<FidelityMode> parse_fidelity_mode(std::string_view s) {
 }
 
 Evaluator::LayoutKey Evaluator::LayoutKey::of(const Organization& org) {
-  const auto q = [](double v) { return std::lround(v * 100.0); };
+  // 1 nm quantization: coarser keys (the historical 0.01 mm) collide for
+  // the off-grid spacings the continuous refinement stage produces, which
+  // would alias distinct layouts onto one cached model/memo entry.
+  const auto q = [](double v) { return std::lround(v * 1e6); };
   if (org.n_chiplets == 1) return LayoutKey{1, 0, 0, 0};
   return LayoutKey{org.n_chiplets, q(org.spacing.s1), q(org.spacing.s2),
                    q(org.spacing.s3)};
@@ -167,6 +171,84 @@ const ThermalEval& Evaluator::thermal_eval(const Organization& org,
   if (ladder_active()) record_full_result(key, org, bench, ev, lr.converged);
 
   return eval_memo_.emplace(key, ev).first->second;
+}
+
+Evaluator::PeakGradient Evaluator::peak_gradient(
+    const Organization& org, const BenchmarkProfile& bench) {
+  TACOS_CHECK(org.n_chiplets == 16,
+              "spacing gradients are defined for the 16-chiplet "
+              "organization only (got n="
+                  << org.n_chiplets << ")");
+  static obs::SpanSite grad_site("refine.gradient", "refine");
+  obs::TraceSpan span(grad_site);
+  if (span.active()) {
+    span.arg("bench", std::string(bench.name));
+    span.arg("f", static_cast<std::int64_t>(org.dvfs_idx));
+    span.arg("p", static_cast<std::int64_t>(org.active_cores));
+  }
+
+  const std::shared_ptr<ModelEntry> entry = model_for(org);
+  const DvfsLevel& lvl = level_of(org);
+  const std::vector<int> active =
+      active_tiles(config_.policy, org.active_cores, config_.spec);
+
+  const auto rethrow = [&](const Error& e) {
+    std::ostringstream key_os;
+    key_os << "n=" << org.n_chiplets << " s=(" << org.spacing.s1 << " "
+           << org.spacing.s2 << " " << org.spacing.s3 << ")";
+    throw EvalError(key_os.str(), std::string(bench.name), org.dvfs_idx,
+                    org.active_cores, e.what());
+  };
+
+  // The adjoint identity needs a consistent (q, T) pair.  On fixed-point
+  // convergence the model's field was solved against the *previous*
+  // iterate's power map, so converge the loop, rebuild the map from the
+  // final tile temperatures (recording source ownership for the rigid-
+  // translation geometry), and pay one more forward solve.
+  LeakageResult lr;
+  try {
+    lr = run_leakage_fixed_point(
+        *entry->model, *entry->layout, bench, lvl, active, config_.power,
+        config_.leak_tol_c, config_.max_leak_iters,
+        config_.thermal.solve.fault.leak_force_nonconverge);
+  } catch (const Error& e) {
+    rethrow(e);
+  }
+  const std::vector<double> tile_temps = entry->model->tile_temperatures();
+  std::vector<int> source_chiplet;
+  const PowerMap pm =
+      build_power_map(*entry->layout, bench, lvl, active, tile_temps,
+                      config_.power, 1.0, &source_chiplet);
+  ThermalResult tr;
+  try {
+    tr = entry->model->solve(pm);
+  } catch (const Error& e) {
+    rethrow(e);
+  }
+  solve_count_ += static_cast<std::size_t>(lr.iterations) + 1;
+
+  ThermalModel::AdjointInfo ainfo;
+  const std::vector<double>& lambda = entry->model->adjoint_peak(&ainfo);
+  ++refine_stats_.adjoint_solves;
+  if (obs::metrics_enabled()) {
+    static obs::Counter adjoints =
+        obs::MetricsRegistry::global().counter("refine.adjoint_solves");
+    adjoints.add();
+  }
+  if (span.active())
+    span.arg("adjoint_iters", static_cast<std::int64_t>(ainfo.iterations));
+
+  PeakGradient g;
+  g.peak_c = tr.peak_c;
+  for (int param = 0; param < 2; ++param) {
+    const std::vector<ChipletVelocity> vel =
+        org16_spacing_velocities(*entry->layout, param);
+    const double d = peak_spacing_gradient(*entry->model, lambda, pm,
+                                           source_chiplet, *entry->layout,
+                                           vel);
+    (param == 0 ? g.d_s1 : g.d_s2) = d;
+  }
+  return g;
 }
 
 std::optional<bool> Evaluator::frontier_verdict(const EvalKey& key,

@@ -116,6 +116,28 @@ struct LadderStats {
   }
 };
 
+/// Mergeable counters of the continuous spacing refinement stage
+/// (EvalStats::refine; journal line "refine").  `attempted` counts
+/// frontier winners entering refinement, `steps` accepted descent steps,
+/// `trials` candidate evaluations tried by the line search (accepted or
+/// not), `adjoint_solves` extra adjoint linear solves paid for gradients.
+struct RefineStats {
+  std::size_t attempted = 0;       ///< winners entering refinement
+  std::size_t steps = 0;           ///< accepted (re-verified) descent steps
+  std::size_t trials = 0;          ///< line-search candidates evaluated
+  std::size_t adjoint_solves = 0;  ///< adjoint solves for gradients
+
+  bool any() const { return attempted != 0; }
+
+  RefineStats& operator+=(const RefineStats& o) {
+    attempted += o.attempted;
+    steps += o.steps;
+    trials += o.trials;
+    adjoint_solves += o.adjoint_solves;
+    return *this;
+  }
+};
+
 /// Evaluator configuration (every model parameter in one place).
 struct EvalConfig {
   SystemSpec spec;
@@ -165,11 +187,13 @@ struct EvalStats {
   std::size_t evals = 0;   ///< full organization evaluations simulated
   RunHealth health;        ///< recoveries / degradations / quarantines
   LadderStats ladder;      ///< fidelity-ladder screening counters
+  RefineStats refine;      ///< continuous spacing-refinement counters
   EvalStats& operator+=(const EvalStats& o) {
     solves += o.solves;
     evals += o.evals;
     health += o.health;
     ladder += o.ladder;
+    refine += o.refine;
     return *this;
   }
 };
@@ -252,8 +276,28 @@ class Evaluator {
                      double prune_above_c =
                          std::numeric_limits<double>::quiet_NaN());
 
+  /// Exact adjoint spacing gradient of the converged peak temperature.
+  /// Runs the leakage fixed point to convergence, re-solves once at the
+  /// converged power map for a consistent (q, T) pair, then pays one
+  /// extra adjoint solve; d_s1/d_s2 are dT_peak/ds along the fixed-
+  /// interposer Eq. 9 manifold (ds3 = −2·ds1) at frozen source watts
+  /// (see thermal/adjoint.hpp).  Requires n == 16.  Not memoized: the
+  /// refinement loop visits each off-grid point once.
+  struct PeakGradient {
+    double peak_c = 0.0;  ///< converged peak at the evaluated point
+    double d_s1 = 0.0;    ///< dT_peak/ds1 (°C/mm) along the manifold
+    double d_s2 = 0.0;    ///< dT_peak/ds2 (°C/mm)
+  };
+  PeakGradient peak_gradient(const Organization& org,
+                             const BenchmarkProfile& bench);
+
   /// Fidelity-ladder counters for this shard.
   const LadderStats& ladder_stats() const { return ladder_stats_; }
+
+  /// Refinement counters for this shard (mutable: the refinement driver in
+  /// core/refine.cpp ticks attempted/steps/trials; peak_gradient ticks
+  /// adjoint_solves itself).
+  RefineStats& refine_stats() { return refine_stats_; }
 
   /// Thermal-solver invocation counter (for the E9 validation experiment).
   std::size_t solve_count() const { return solve_count_; }
@@ -264,18 +308,20 @@ class Evaluator {
   const RunHealth& health() const { return ledger_.health; }
   /// Counters as a mergeable snapshot (parallel shard join).
   EvalStats stats() const {
-    return EvalStats{solve_count_, eval_count_, ledger_.health,
-                     ladder_stats_};
+    return EvalStats{solve_count_, eval_count_, ledger_.health, ladder_stats_,
+                     refine_stats_};
   }
   void reset_stats() {
     solve_count_ = 0;
     eval_count_ = 0;
     ledger_.health = RunHealth{};
     ladder_stats_ = LadderStats{};
+    refine_stats_ = RefineStats{};
   }
 
  private:
-  /// Quantized layout identity (0.01mm resolution on spacings).
+  /// Quantized layout identity (1 nm resolution on spacings — fine enough
+  /// that the refinement stage's off-grid spacings never collide).
   struct LayoutKey {
     int n;
     long s1, s2, s3;
@@ -396,6 +442,7 @@ class Evaluator {
 
   // --- Fidelity-ladder state (all insertion-ordered / deterministic) ---
   LadderStats ladder_stats_;
+  RefineStats refine_stats_;
   /// One online surrogate per benchmark (rung 0).
   std::map<int, PeakSurrogate> surrogates_;
   /// Calibrated residual bounds per (rung, bench, n).

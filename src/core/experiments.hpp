@@ -30,6 +30,11 @@ struct ExperimentOptions {
   /// Steady-state PCG preconditioner (`--precond={auto,jacobi,mg}`): auto
   /// picks multigrid above ThermalModel's size threshold.
   PrecondKind precond = PrecondKind::kAuto;
+  /// Continuous adjoint-gradient spacing refinement of each 16-chiplet
+  /// grid winner (`--refine`, `--refine-tol-mm=T`); off by default so the
+  /// recorded paper tables keep their grid-resolution numbers.
+  bool refine = false;
+  double refine_tol_mm = 1e-3;
   /// Durable-execution control (write-ahead journal, cancel token, per-task
   /// deadline); all off by default.  See docs/ROBUSTNESS.md.
   RunControl run;
@@ -53,6 +58,8 @@ struct ExperimentOptions {
     o.step_mm = opt_step_mm;
     o.starts = starts;
     o.seed = seed;
+    o.refine = refine;
+    o.refine_tol_mm = refine_tol_mm;
     o.cancel = cancel;
     return o;
   }
@@ -64,6 +71,9 @@ struct ExperimentOptions {
        << " opt_step=" << opt_step_mm << " starts=" << starts
        << " threshold=" << threshold_c << " seed=" << seed
        << " precond=" << precond_name(precond);
+    // Appended only when refinement is on: journals recorded before the
+    // refinement stage existed keep their exact fingerprint.
+    if (refine) os << " refine=1 refine_tol=" << refine_tol_mm;
     return os.str();
   }
 };

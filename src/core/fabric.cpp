@@ -273,6 +273,11 @@ std::size_t merge_fabric_shards(RunJournal& journal,
     TACOS_CHECK(row != rows.end(),
                 "sweep fabric merge: " << s.done_worker << " committed " << id
                                        << " without a journaled shard row");
+    // Refinement rows ride ahead of their optimize row (the order a local
+    // run appends them in), so a merged canonical journal is byte-identical
+    // to a single-process one.
+    if (const auto rrow = rows.find("refine:" + name); rrow != rows.end())
+      journal.append(rrow->first, rrow->second);
     journal.append(id, row->second);
     ++merged;
   }

@@ -10,11 +10,40 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <tuple>
 
 #include "common/thread_pool.hpp"
+#include "core/refine.hpp"
 #include "obs/trace.hpp"
 
 namespace tacos {
+
+long spacing_grid_max(double budget_mm, double step_mm) {
+  return std::lround(std::floor(budget_mm / 2.0 / step_mm + 1e-9));
+}
+
+std::pair<long, long> greedy_smart_start(double budget_mm, double step_mm) {
+  const long grid_max = spacing_grid_max(budget_mm, step_mm);
+  // Uniform matrix placement s1 = s3 = B/3, s2 = s3/2, snapped to the
+  // nearest grid points (the historical rounding, which every recorded
+  // journal and frontier winner depends on).  Nearest rounding alone can
+  // leave the Eq. 9/10 manifold when the budget is not a step multiple:
+  // i1 <= grid_max keeps s3 >= 0 only up to the epsilon the grid_max
+  // guard admits, and a nearest-rounded i2 at the top of the grid can
+  // overshoot the Eq. 10 bound (2*s2 <= budget) by the same epsilon —
+  // which the layout factory's strict checks reject.  So the start is
+  // rounded *down* onto the manifold whenever nearest overshoots it: the
+  // strict comparison never fires for step-divisible budgets (historical
+  // starts are bit-identical) and only demotes the genuinely off-manifold
+  // ones.
+  long i1 = std::lround(budget_mm / 3.0 / step_mm);
+  i1 = std::clamp(i1, 0L, grid_max);
+  long i2 = std::lround((budget_mm - 2 * i1 * step_mm) / 2.0 / step_mm);
+  i2 = std::clamp(i2, 0L, grid_max);
+  while (i1 > 0 && 2 * i1 * step_mm > budget_mm) --i1;          // s3 >= 0
+  while (i2 > 0 && 2 * i2 * step_mm > budget_mm) --i2;          // Eq. 10
+  return {i1, i2};
+}
 
 namespace {
 
@@ -34,9 +63,17 @@ Organization make_org(const Combo& combo, const Spacing& s) {
                       combo.active_cores};
 }
 
-/// Spacing for the n=16 manifold point (s1, s2) at budget B.
+/// Spacing for the n=16 manifold point (s1, s2) at budget B.  The clamps
+/// absorb representation error at the top of the grid: budgets are
+/// accumulated in step_mm increments, so a budget sitting epsilon below an
+/// exact step multiple lets spacing_grid_max's epsilon guard round up and
+/// 2 * s1 (or 2 * s2) overshoot the budget by ~1e-9 mm — which the layout
+/// factory's strict s3 >= 0 and Eq. 10 checks would reject.  Both clamps
+/// bind only in that epsilon band (s2 <= grid_max * step <= B/2 + eps), so
+/// every historically reachable point is unchanged.
 Spacing spacing16(double s1, double s2, double budget) {
-  return Spacing{s1, s2, budget - 2 * s1};
+  const double s3 = std::max(0.0, budget - 2 * s1);
+  return Spacing{s1, std::min(s2, s1 + s3 / 2.0), s3};
 }
 
 /// IPS fallback normalizer when no 2D point is thermally feasible: the
@@ -119,8 +156,7 @@ std::optional<Organization> find_placement_greedy(
 
   // n = 16: search the (s1, s2) manifold.
   const double step = opts.step_mm;
-  const double half = budget / 2.0;
-  const long grid_max = std::lround(std::floor(half / step + 1e-9));
+  const long grid_max = spacing_grid_max(budget, step);
   const auto org_at = [&](long i1, long i2) {
     return make_org(combo, spacing16(i1 * step, i2 * step, budget));
   };
@@ -172,13 +208,14 @@ std::optional<Organization> find_placement_greedy(
     if (start == 0) {
       // Deterministic first start: the uniform matrix placement
       // (s1 = s3 = B/3, s2 = s3/2), usually the best heat spreader.
-      i1 = std::lround(budget / 3.0 / step);
-      i1 = std::clamp(i1, 0L, grid_max);
-      i2 = std::clamp(std::lround((budget - 2 * i1 * step) / 2.0 / step), 0L,
-                      grid_max);
+      std::tie(i1, i2) = greedy_smart_start(budget, step);
     } else {
-      i1 = rng.uniform_int(0, static_cast<int>(grid_max));
-      i2 = rng.uniform_int(0, static_cast<int>(grid_max));
+      // uniform_long: grid_max does not fit in int at fine steps on large
+      // interposers, and the old int cast truncated (implementation-
+      // defined wrap biasing the starts).  In-int-range draws consume the
+      // engine identically to the historical uniform_int path.
+      i1 = rng.uniform_long(0, grid_max);
+      i2 = rng.uniform_long(0, grid_max);
     }
 
     Organization cur = org_at(i1, i2);
@@ -240,7 +277,7 @@ std::optional<Organization> find_placement_exhaustive(
     return std::nullopt;
   }
   const double step = opts.step_mm;
-  const long grid_max = std::lround(std::floor(budget / 2.0 / step + 1e-9));
+  const long grid_max = spacing_grid_max(budget, step);
   std::optional<Organization> found;
   // True exhaustive semantics: evaluate every placement in the manifold
   // (this is what makes the paper's exhaustive baseline cost 180k CPU
@@ -284,6 +321,24 @@ OptResult optimize_impl(Evaluator& eval, const BenchmarkProfile& bench,
       res.cost = eval.cost(*org);
       res.objective = combo.objective;
       res.peak_c = eval.thermal_eval(*org, bench).peak_c;
+      // Continuous refinement: descend off the grid from the winner with
+      // exact adjoint gradients.  The combination is frozen, so objective,
+      // IPS and cost stand; only spacings (and the peak) can improve.
+      if (opts.refine && res.org.n_chiplets == 16) {
+        const RefineResult rr = refine_spacing(
+            eval, bench, res.org, spacing_budget(combo, eval.config().spec),
+            opts.step_mm, opts.refine_tol_mm, opts.refine_max_steps,
+            opts.cancel);
+        if (rr.steps > 0) {
+          res.refined = true;
+          res.grid_spacing = res.org.spacing;
+          res.peak_grid_c = res.peak_c;
+          res.refine_steps = rr.steps;
+          res.org = rr.org;
+          res.peak_c = rr.peak_c;
+          res.cost = eval.cost(res.org);  // area-only: unchanged by spacing
+        }
+      }
       break;
     }
   }
@@ -336,7 +391,13 @@ std::string batch_meta(const EvalConfig& config,
     << " fidelity=" << fidelity_mode_name(config.ladder.mode)
     << " keep_frac=" << fmt_g17(config.ladder.keep_frac)
     << " min_calib=" << config.ladder.min_calibration
-    << " ladder_margin=" << fmt_g17(config.ladder.safety_margin_c) << " n=";
+    << " ladder_margin=" << fmt_g17(config.ladder.safety_margin_c);
+  // Refinement knobs enter the fingerprint only when the stage is on, so
+  // journals of non-refined sweeps stay byte-identical to prior releases.
+  if (opts.refine)
+    m << " refine=1 refine_tol=" << fmt_g17(opts.refine_tol_mm)
+      << " refine_max_steps=" << opts.refine_max_steps;
+  m << " n=";
   for (std::size_t i = 0; i < opts.chiplet_counts.size(); ++i)
     m << (i ? "," : "") << opts.chiplet_counts[i];
   m << " benches=";
@@ -358,6 +419,15 @@ std::string encode_opt_result(const OptResult& result,
      << "counts " << result.combos_tried << ' ' << result.thermal_solves
      << '\n'
      << "quarantined " << (result.quarantined ? 1 : 0) << '\n';
+  // The pre-refinement grid winner travels with the row (emitted only when
+  // refinement accepted a step: grid-only payloads stay byte-identical to
+  // earlier releases, and older decoders skip the unknown key).
+  if (result.refined)
+    os << "refined " << fmt_g17(result.peak_grid_c) << ' '
+       << fmt_g17(result.grid_spacing.s1) << ' '
+       << fmt_g17(result.grid_spacing.s2) << ' '
+       << fmt_g17(result.grid_spacing.s3) << ' ' << result.refine_steps
+       << '\n';
   if (!result.diagnostic.empty())
     os << "diagnostic " << escape_field(result.diagnostic) << '\n';
   const RunHealth& h = stats.health;
@@ -377,6 +447,25 @@ std::string encode_opt_result(const OptResult& result,
        << l.surrogate_fits << ' ' << l.coarse_solves << ' '
        << l.coarse_failures << ' ' << l.medium_solves << ' '
        << l.medium_failures << '\n';
+  const RefineStats& r = stats.refine;
+  if (r.any())
+    os << "refine " << r.attempted << ' ' << r.steps << ' ' << r.trials
+       << ' ' << r.adjoint_solves << '\n';
+  return os.str();
+}
+
+std::string encode_refine_row(const OptResult& result) {
+  TACOS_CHECK(result.refined, "refine row encodes a refined result only");
+  std::ostringstream os;
+  os << "steps " << result.refine_steps << '\n'
+     << "grid " << fmt_g17(result.grid_spacing.s1) << ' '
+     << fmt_g17(result.grid_spacing.s2) << ' '
+     << fmt_g17(result.grid_spacing.s3) << ' '
+     << fmt_g17(result.peak_grid_c) << '\n'
+     << "refined " << fmt_g17(result.org.spacing.s1) << ' '
+     << fmt_g17(result.org.spacing.s2) << ' '
+     << fmt_g17(result.org.spacing.s3) << ' ' << fmt_g17(result.peak_c)
+     << '\n';
   return os.str();
 }
 
@@ -435,6 +524,18 @@ bool decode_opt_result(const std::string& payload, OptResult* result,
       if (!(ls >> l.screened >> l.rejected >> l.promoted >> l.audits >>
             l.surrogate_scores >> l.surrogate_fits >> l.coarse_solves >>
             l.coarse_failures >> l.medium_solves >> l.medium_failures))
+        return false;
+    } else if (key == "refined") {
+      if (!read_double(ls, &result->peak_grid_c) ||
+          !read_double(ls, &result->grid_spacing.s1) ||
+          !read_double(ls, &result->grid_spacing.s2) ||
+          !read_double(ls, &result->grid_spacing.s3))
+        return false;
+      if (!(ls >> result->refine_steps)) return false;
+      result->refined = true;
+    } else if (key == "refine") {
+      RefineStats& r = stats->refine;
+      if (!(ls >> r.attempted >> r.steps >> r.trials >> r.adjoint_solves))
         return false;
     }
     // Unknown keys are skipped: older journals stay readable (a pre-ladder
@@ -501,7 +602,13 @@ TaskOutcome optimize_one_guarded(const EvalConfig& config,
                   "remote response payload for '" << name
                                                   << "' is undecodable");
       task_span.arg("outcome", "remote");
-      if (journal) journal->append(task_id, payload);
+      if (journal) {
+        // Refinement rows ride ahead of their optimize row, in the order a
+        // local run appends them, so the journal stays byte-identical.
+        if (out.result.refined)
+          journal->append("refine:" + name, encode_refine_row(out.result));
+        journal->append(task_id, payload);
+      }
       return out;
     } catch (const CancelledError&) {
       out = TaskOutcome{};
@@ -571,8 +678,13 @@ TaskOutcome optimize_one_guarded(const EvalConfig& config,
                     ? "quarantined"
                     : out.result.interrupted ? "interrupted" : "ok");
   task_span.arg("solves", static_cast<std::int64_t>(out.stats.solves));
-  if (out.completed && journal)
+  if (out.completed && journal) {
+    // The refine: row precedes its optimize: row so a journal truncated at
+    // any byte is still a clean prefix of the canonical sequence.
+    if (out.result.refined)
+      journal->append("refine:" + name, encode_refine_row(out.result));
     journal->append(task_id, encode_opt_result(out.result, out.stats));
+  }
   return out;
 }
 
@@ -613,8 +725,7 @@ std::size_t design_space_size(const Evaluator& eval,
         placements += 1;  // Eq. (9) pins the single spacing
       } else {
         const double budget = w - min_interposer(spec);
-        const long grid_max =
-            std::lround(std::floor(budget / 2.0 / opts.step_mm + 1e-9));
+        const long grid_max = spacing_grid_max(budget, opts.step_mm);
         placements += static_cast<std::size_t>(grid_max + 1) *
                       static_cast<std::size_t>(grid_max + 1);
       }

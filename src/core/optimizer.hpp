@@ -26,6 +26,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/journal.hpp"
@@ -62,6 +63,19 @@ struct OptimizerOptions {
   /// the greedy-vs-exhaustive validation does.
   double prune_margin_c = 6.0;
   std::vector<int> chiplet_counts = {4, 16};
+  /// Continuous spacing refinement (`--refine`): after the grid search
+  /// converges, descend from the winning n=16 placement with exact adjoint
+  /// gradients dT_peak/d(s1, s2) (projected gradient descent with
+  /// backtracking on the Eq. 9 manifold; see src/core/refine.hpp).  Every
+  /// accepted step is re-verified with a full-fidelity evaluation, so the
+  /// refined winner is exactly evaluated and never hotter than the grid
+  /// one.  The combination (f, p, n, W) is fixed — Eq. (5) objective, IPS
+  /// and cost are unchanged; only the spacings move off the grid.
+  bool refine = false;
+  /// Refinement stops when the projected step shrinks below this (mm).
+  double refine_tol_mm = 1e-3;
+  /// Hard cap on accepted descent steps per refinement.
+  int refine_max_steps = 20;
   /// Cooperative cancellation (nullptr = never cancelled), polled once per
   /// combination and per descent move; pair it with
   /// `EvalConfig::thermal.solve.cancel` for solver-granularity response.
@@ -81,6 +95,14 @@ struct OptResult {
   double peak_c = 0.0;
   std::size_t combos_tried = 0;
   std::size_t thermal_solves = 0;  ///< solver invocations consumed
+  /// Continuous refinement outcome (OptimizerOptions::refine): when the
+  /// gradient descent accepted at least one step, `refined` is set, `org`
+  /// carries the off-grid spacings, and the pre-refinement grid winner is
+  /// preserved here (peak_c then holds the refined peak).
+  bool refined = false;
+  Spacing grid_spacing;        ///< grid winner's spacings (valid if refined)
+  double peak_grid_c = 0.0;    ///< grid winner's peak (valid if refined)
+  int refine_steps = 0;        ///< accepted descent steps
   bool quarantined = false;        ///< task isolated after an eval failure
   std::string diagnostic;          ///< failure context (when quarantined)
   /// The batch run was interrupted before (or while) this task ran; the
@@ -88,6 +110,22 @@ struct OptResult {
   /// recomputes it from scratch, reproducing the uninterrupted output.
   bool interrupted = false;
 };
+
+/// Largest grid index on the n=16 spacing manifold: the (s1, s2) grid at
+/// `step_mm` granularity spans indices 0..grid_points (inclusive), i.e.
+/// floor(budget / 2 / step) with an epsilon guard against representation
+/// error in step multiples.  This single helper is shared by the greedy
+/// walk, the exhaustive enumeration and the design-space-size estimator,
+/// so search-cost claims and the actual loops can never disagree.
+long spacing_grid_max(double budget_mm, double step_mm);
+
+/// Deterministic first-start grid indices (i1, i2) of the greedy descent:
+/// the uniform matrix placement s1 = s3 = B/3, s2 = s3/2, snapped to the
+/// nearest grid points and then rounded *down* onto the Eq. 9/10 manifold
+/// whenever nearest overshoots it (possible for budgets that are not step
+/// multiples: negative s3, or s2 past the Eq. 10 bound).  Historical
+/// (step-divisible) starts are unchanged.
+std::pair<long, long> greedy_smart_start(double budget_mm, double step_mm);
 
 /// Step 1 + 2: enumerate and sort all combinations by Eq. (5).
 /// `ips_2d` and `cost_2d` normalize the two objective terms.
@@ -194,6 +232,13 @@ std::string batch_meta(const EvalConfig& config,
 std::string encode_opt_result(const OptResult& result, const EvalStats& stats);
 bool decode_opt_result(const std::string& payload, OptResult* result,
                        EvalStats* stats);
+
+/// Journal payload of a "refine:<bench>" row — the continuous-refinement
+/// record optimize_one_guarded appends immediately *before* its
+/// "optimize:<bench>" row whenever refinement accepted a step.  Derived
+/// deterministically from the result, so replays, remote offloads and
+/// fabric shard merges all reproduce the same bytes.
+std::string encode_refine_row(const OptResult& result);
 
 /// Full optimization with exhaustive placement search (validation only).
 OptResult optimize_exhaustive(Evaluator& eval, const BenchmarkProfile& bench,

@@ -1,0 +1,108 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tacos {
+
+namespace {
+
+/// Organization at manifold point (s1, s2): s3 pinned by Eq. 9.
+Organization at(const Organization& base, double s1, double s2,
+                double budget) {
+  Organization o = base;
+  o.spacing = Spacing{s1, s2, std::max(0.0, budget - 2.0 * s1)};
+  return o;
+}
+
+}  // namespace
+
+RefineResult refine_spacing(Evaluator& eval, const BenchmarkProfile& bench,
+                            const Organization& org, double budget_mm,
+                            double step_mm, double refine_tol_mm,
+                            int max_steps, const CancelToken* cancel) {
+  TACOS_CHECK(org.n_chiplets == 16,
+              "spacing refinement is defined for n=16 organizations");
+  TACOS_CHECK(budget_mm >= 0.0 && step_mm > 0.0 && refine_tol_mm > 0.0,
+              "refinement needs budget >= 0, step > 0, tol > 0");
+  static obs::SpanSite refine_site("refine.descent", "refine");
+  obs::TraceSpan span(refine_site);
+  if (span.active()) {
+    span.arg("bench", std::string(bench.name));
+    span.arg("budget_mm", budget_mm);
+  }
+
+  RefineStats& rs = eval.refine_stats();
+  ++rs.attempted;
+
+  const double hi = budget_mm / 2.0;  // box bound for both s1 and s2
+  const auto clamp01 = [&](double v) { return std::clamp(v, 0.0, hi); };
+
+  RefineResult out;
+  out.org = org;
+  // Project the grid winner itself into the box: grid indices can sit an
+  // epsilon above B/2 (spacing_grid_max's representation guard), and the
+  // descent invariant is that every visited point is interior-or-boundary.
+  out.org = at(org, clamp01(org.spacing.s1), clamp01(org.spacing.s2),
+               budget_mm);
+  out.peak_c = eval.thermal_eval(out.org, bench).peak_c;
+
+  constexpr int kMaxHalvings = 8;
+  constexpr double kDescentEps = 1e-9;  // strict-improvement margin (°C)
+
+  while (out.steps < max_steps) {
+    if (cancel) cancel->poll();
+    const Evaluator::PeakGradient g = eval.peak_gradient(out.org, bench);
+    const double gnorm = std::max(std::abs(g.d_s1), std::abs(g.d_s2));
+    if (!(gnorm > 0.0) || !std::isfinite(gnorm)) break;  // flat (or NaN)
+
+    // Backtracking line search: the first trial moves the steepest
+    // coordinate half a grid step (the grid winner is within one step of
+    // the continuous optimum), halving on rejection.  Every candidate is
+    // verified with the full-fidelity evaluation before acceptance.
+    bool accepted = false;
+    bool converged = false;
+    for (int halving = 0; halving < kMaxHalvings; ++halving) {
+      const double disp = step_mm / 2.0 / static_cast<double>(1 << halving);
+      const double s1 = clamp01(out.org.spacing.s1 - disp * g.d_s1 / gnorm);
+      const double s2 = clamp01(out.org.spacing.s2 - disp * g.d_s2 / gnorm);
+      const double moved = std::max(std::abs(s1 - out.org.spacing.s1),
+                                    std::abs(s2 - out.org.spacing.s2));
+      if (moved < refine_tol_mm) {
+        // The projected step collapsed below the resolution target —
+        // either the descent converged or the gradient points out of the
+        // box; further halvings only shrink it.
+        converged = true;
+        break;
+      }
+      const Organization cand = at(out.org, s1, s2, budget_mm);
+      ++rs.trials;
+      const double trial_peak = eval.thermal_eval(cand, bench).peak_c;
+      if (trial_peak < out.peak_c - kDescentEps) {
+        out.org = cand;
+        out.peak_c = trial_peak;
+        ++out.steps;
+        ++rs.steps;
+        if (obs::metrics_enabled()) {
+          static obs::Counter steps_ctr =
+              obs::MetricsRegistry::global().counter("refine.steps");
+          steps_ctr.add();
+        }
+        accepted = true;
+        break;
+      }
+    }
+    if (converged || !accepted) break;
+  }
+
+  if (span.active()) {
+    span.arg("steps", static_cast<std::int64_t>(out.steps));
+    span.arg("peak_c", out.peak_c);
+  }
+  return out;
+}
+
+}  // namespace tacos

@@ -1,0 +1,51 @@
+#pragma once
+/// \file refine.hpp
+/// \brief Continuous spacing refinement: projected gradient descent on the
+///        Eq. 9 manifold from a grid-search winner.
+///
+/// The greedy/exhaustive searches optimize placements on a `step_mm` grid.
+/// This stage descends from the winning n=16 placement using the *exact*
+/// adjoint gradient dT_peak/d(s1, s2) (Evaluator::peak_gradient — one
+/// extra PCG solve per gradient), with a backtracking line search whose
+/// every accepted step is re-verified by a full-fidelity evaluation
+/// (thermal_eval: leakage fixed point, memoization, frontier and health
+/// accounting all live).  The combination (f, p, n, W) is frozen, so Eq. 5
+/// objective, IPS and cost are untouched — refinement can only lower the
+/// winner's peak temperature, never change which combination wins.
+///
+/// Manifold and constraints: at fixed interposer size the spacing budget
+/// B = W − 4w_c − 2l_g pins s3 = B − 2·s1 (Eq. 9), leaving (s1, s2) in the
+/// box [0, B/2]² (Eq. 10 bounds s2 by exactly B/2).  Steps are projected
+/// onto the box before evaluation.
+///
+/// Determinism: the descent consumes no RNG and evaluates candidates
+/// strictly sequentially, so a refined sweep is bit-identical at any
+/// thread count (the solver's chunked reductions already are).
+
+#include "common/cancel.hpp"
+#include "core/evaluator.hpp"
+
+namespace tacos {
+
+/// Outcome of one spacing refinement (refine_spacing).
+struct RefineResult {
+  Organization org;      ///< refined organization (== input when steps == 0)
+  double peak_c = 0.0;   ///< full-fidelity peak at `org`
+  int steps = 0;         ///< accepted (re-verified) descent steps
+};
+
+/// Refine `org` (n = 16) at spacing budget `budget_mm`, accepting only
+/// full-fidelity-verified strict improvements of the peak temperature.
+/// `step_mm` seeds the line search (the first trial displacement is half a
+/// grid step — the grid winner is within one step of the continuous
+/// optimum); descent stops when the projected step falls below
+/// `refine_tol_mm`, after `max_steps` accepted steps, or when 8 halvings
+/// find no improvement.  Ticks Evaluator::refine_stats and polls `cancel`
+/// once per gradient.
+RefineResult refine_spacing(Evaluator& eval, const BenchmarkProfile& bench,
+                            const Organization& org, double budget_mm,
+                            double step_mm, double refine_tol_mm,
+                            int max_steps,
+                            const CancelToken* cancel = nullptr);
+
+}  // namespace tacos

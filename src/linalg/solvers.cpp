@@ -223,4 +223,12 @@ SolveResult solve_gauss_seidel(const CsrMatrix& A, const std::vector<double>& b,
   return res;
 }
 
+SolveResult solve_adjoint(const CsrMatrix& A, const std::vector<double>& b,
+                          std::vector<double>& lambda,
+                          const SolveOptions& opts) {
+  // A is SPD (asserted structurally by the preconditioners): Aᵀ = A, so
+  // the adjoint solve is a plain forward solve.
+  return solve_pcg(A, b, lambda, opts);
+}
+
 }  // namespace tacos

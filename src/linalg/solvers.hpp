@@ -146,6 +146,17 @@ SolveResult solve_gauss_seidel(const CsrMatrix& A, const std::vector<double>& b,
                                std::vector<double>& x,
                                const SolveOptions& opts = {});
 
+/// Adjoint solve Aᵀ λ = b.  The thermal conductance matrix is symmetric,
+/// so the adjoint system IS the forward system and this entry point
+/// delegates to solve_pcg — same fused chunked kernels, same
+/// preconditioner, bit-identical at any thread count.  Kept as a named
+/// entry so adjoint consumers (ThermalModel::adjoint_peak) state their
+/// intent and a future non-symmetric operator has one place to grow a
+/// transpose path.  `lambda` warm-starts and receives the solution.
+SolveResult solve_adjoint(const CsrMatrix& A, const std::vector<double>& b,
+                          std::vector<double>& lambda,
+                          const SolveOptions& opts = {});
+
 /// Euclidean norm helper shared by solvers and tests.
 double norm2(const std::vector<double>& v);
 

@@ -48,7 +48,8 @@ PowerMap build_power_map(const ChipletLayout& layout,
                          const BenchmarkProfile& bench, const DvfsLevel& lvl,
                          const std::vector<int>& active,
                          const std::optional<std::vector<double>>& tile_temps_c,
-                         const PowerModelParams& p, double dyn_activity) {
+                         const PowerModelParams& p, double dyn_activity,
+                         std::vector<int>* source_chiplet) {
   TACOS_CHECK(layout.has_tiles(), "power map needs a tiled layout");
   TACOS_CHECK(dyn_activity >= 0.0 && dyn_activity <= 1.0,
               "activity must be in [0, 1], got " << dyn_activity);
@@ -60,6 +61,12 @@ PowerMap build_power_map(const ChipletLayout& layout,
   }
 
   PowerMap map;
+  if (source_chiplet) source_chiplet->clear();
+  // Entries stay parallel to map.sources: one owner record per add().
+  const auto owner = [&](std::size_t chiplet_idx) {
+    if (source_chiplet)
+      source_chiplet->push_back(static_cast<int>(chiplet_idx));
+  };
   const double p_dyn = dyn_activity * core_dynamic_power_w(bench, lvl, p);
   for (int id : active) {
     TACOS_CHECK(id >= 0 && id < layout.spec().core_count(),
@@ -68,14 +75,18 @@ PowerMap build_power_map(const ChipletLayout& layout,
     const double t = tile_temps_c ? (*tile_temps_c)[id] : p.t_ref_c;
     const double watts = p_dyn + core_leakage_power_w(bench, lvl, t, p);
     map.add(layout.tile_rect(tx, ty), watts);
+    owner(layout.chiplet_of_tile(tx, ty));
   }
 
   // Network power: uniform over the chiplet silicon (routers and links are
   // distributed across every tile).
   const double p_net = dyn_activity * mesh_power_w(layout, bench, lvl, p);
   const double total_area = layout.total_chiplet_area();
-  for (const auto& c : layout.chiplets())
+  for (std::size_t ci = 0; ci < layout.chiplets().size(); ++ci) {
+    const auto& c = layout.chiplets()[ci];
     map.add(c.rect, p_net * c.rect.area() / total_area);
+    owner(ci);
+  }
 
   // Optional explicit memory-controller sources along the system edges.
   if (p.mc_power_total_w > 0) {
@@ -83,6 +94,7 @@ PowerMap build_power_map(const ChipletLayout& layout,
     for (int id : mcs) {
       map.add(layout.tile_rect(id % n, id / n),
               p.mc_power_total_w / static_cast<double>(mcs.size()));
+      owner(layout.chiplet_of_tile(id % n, id / n));
     }
   }
   return map;

@@ -75,12 +75,17 @@ double chip_power_w(const BenchmarkProfile& bench, const DvfsLevel& lvl,
 /// `dyn_activity` scales dynamic (switching) power and NoC traffic to
 /// model execution phases (perf/phases.hpp); leakage is unaffected by
 /// pipeline stalls.
+/// `source_chiplet`, when non-null, receives one entry per emitted heat
+/// source: the index (layout chiplet order) of the chiplet the source
+/// rect rides on.  The adjoint spacing gradient uses this to translate
+/// sources rigidly with their chiplet (frozen watts) when spacings move.
 PowerMap build_power_map(const ChipletLayout& layout,
                          const BenchmarkProfile& bench, const DvfsLevel& lvl,
                          const std::vector<int>& active_tiles,
                          const std::optional<std::vector<double>>& tile_temps_c,
                          const PowerModelParams& p = {},
-                         double dyn_activity = 1.0);
+                         double dyn_activity = 1.0,
+                         std::vector<int>* source_chiplet = nullptr);
 
 /// Network power for this layout/benchmark/level (W) — exposed separately
 /// for reporting (paper §III-A: ≈3.9 W single chip, up to ≈8.4 W 2.5D).

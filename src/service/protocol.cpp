@@ -1,6 +1,7 @@
 #include "service/protocol.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -312,7 +313,13 @@ std::string encode_eval_params(const EvalConfig& config,
      << " threshold=" << fmt_g17(opts.threshold_c)
      << " step=" << fmt_g17(opts.step_mm) << " starts=" << opts.starts
      << " max_moves=" << opts.max_moves << " seed=" << opts.seed
-     << " prune=" << fmt_g17(opts.prune_margin_c) << " n=";
+     << " prune=" << fmt_g17(opts.prune_margin_c);
+  // Refinement knobs are emitted only when refinement is on: grid-only
+  // requests keep their historical canonical form (and memo keys).
+  if (opts.refine)
+    os << " refine=1 refine_tol=" << fmt_g17(opts.refine_tol_mm)
+       << " refine_max_steps=" << opts.refine_max_steps;
+  os << " n=";
   for (std::size_t i = 0; i < opts.chiplet_counts.size(); ++i)
     os << (i ? "," : "") << opts.chiplet_counts[i];
   return os.str();
@@ -391,6 +398,14 @@ bool decode_eval_params(const std::string& line, EvalConfig* config,
       if (end != val.c_str() + val.size()) return false;
     } else if (key == "prune") {
       if (!read_double_tok(val, &opts->prune_margin_c)) return false;
+    } else if (key == "refine") {
+      opts->refine = val == "1";
+      if (val != "0" && val != "1") return false;
+    } else if (key == "refine_tol") {
+      if (!read_double_tok(val, &opts->refine_tol_mm)) return false;
+    } else if (key == "refine_max_steps") {
+      opts->refine_max_steps = std::atoi(val.c_str());
+      if (opts->refine_max_steps <= 0) return false;
     } else if (key == "n") {
       opts->chiplet_counts.clear();
       std::istringstream ns(val);
@@ -406,11 +421,11 @@ bool decode_eval_params(const std::string& line, EvalConfig* config,
 }
 
 std::string canonical_org_key(const Organization& org) {
-  // Quantize spacings at 0.01 mm — the Evaluator's own LayoutKey
-  // resolution — so keys identify what the stack can distinguish.
-  const auto q = [](double v) {
-    return static_cast<long>(v * 100.0 + (v >= 0 ? 0.5 : -0.5));
-  };
+  // Quantize spacings at 1 nm — the Evaluator's own LayoutKey resolution —
+  // so keys identify what the stack can distinguish.  (0.01 mm used to be
+  // enough for grid-stepped sweeps, but gradient-refined spacings land at
+  // arbitrary off-grid points and would collide at that resolution.)
+  const auto q = [](double v) { return std::lround(v * 1e6); };
   std::ostringstream os;
   os << "n=" << org.n_chiplets << " s=" << q(org.spacing.s1) << ','
      << q(org.spacing.s2) << ',' << q(org.spacing.s3)

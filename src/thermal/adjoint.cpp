@@ -1,0 +1,148 @@
+#include "thermal/adjoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace tacos {
+
+double d_overlap_area(const Rect& cell, const Rect& r, double vx, double vy) {
+  const double ox = std::min(cell.x2(), r.x2()) - std::max(cell.x, r.x);
+  const double oy = std::min(cell.y2(), r.y2()) - std::max(cell.y, r.y);
+  if (ox <= 0.0 || oy <= 0.0) return 0.0;
+  // Overlap width is min(cell.x2, r.x2) - max(cell.x, r.x): each min/max
+  // picks up r's velocity exactly when r's edge is the binding one.  Ties
+  // (an edge of r flush with an edge of cell) take the cell branch, giving
+  // the one-sided derivative from the interior.
+  const double dox = vx * ((r.x2() < cell.x2() ? 1.0 : 0.0) -
+                           (r.x > cell.x ? 1.0 : 0.0));
+  const double doy = vy * ((r.y2() < cell.y2() ? 1.0 : 0.0) -
+                           (r.y > cell.y ? 1.0 : 0.0));
+  return dox * oy + ox * doy;
+}
+
+std::vector<double> cover_sensitivity(
+    const GridSpec& grid, const ChipletLayout& layout,
+    const std::vector<ChipletVelocity>& vel) {
+  TACOS_CHECK(vel.size() == layout.chiplets().size(),
+              "one velocity per chiplet required (got "
+                  << vel.size() << " for " << layout.chiplets().size()
+                  << " chiplets)");
+  std::vector<double> dcover(grid.cell_count(), 0.0);
+  const double inv_area = 1.0 / grid.cell_area();
+  for (std::size_t ci = 0; ci < layout.chiplets().size(); ++ci) {
+    const ChipletVelocity& v = vel[ci];
+    if (v.vx == 0.0 && v.vy == 0.0) continue;
+    const Rect& r = layout.chiplets()[ci].rect;
+    // Interior cells (fully covered) contribute zero derivative; only the
+    // boundary band matters, but rasterizing the whole rect is cheap and
+    // keeps the loop trivially exact.
+    grid.rasterize(r, [&](std::size_t ix, std::size_t iy, double) {
+      const double d = d_overlap_area(grid.cell_rect(ix, iy), r, v.vx, v.vy);
+      if (d != 0.0) dcover[grid.index(ix, iy)] += d * inv_area;
+    });
+  }
+  return dcover;
+}
+
+double rhs_sensitivity(const ThermalModel& model,
+                       const std::vector<double>& lambda, const PowerMap& pm,
+                       const std::vector<int>& source_chiplet,
+                       const std::vector<ChipletVelocity>& vel) {
+  TACOS_CHECK(source_chiplet.size() == pm.sources.size(),
+              "source ownership must be parallel to the power map (got "
+                  << source_chiplet.size() << " owners for "
+                  << pm.sources.size() << " sources)");
+  const GridSpec& grid = model.grid();
+  double acc = 0.0;
+  for (std::size_t si = 0; si < pm.sources.size(); ++si) {
+    const HeatSource& s = pm.sources[si];
+    const int owner = source_chiplet[si];
+    TACOS_CHECK(owner >= 0 && static_cast<std::size_t>(owner) < vel.size(),
+                "source owner index " << owner << " out of range");
+    const ChipletVelocity& v = vel[static_cast<std::size_t>(owner)];
+    if ((v.vx == 0.0 && v.vy == 0.0) || s.watts == 0.0) continue;
+    // rhs[node] = watts * overlap_area(cell, rect) / rect_area, so
+    // d rhs[node]/dθ = watts/rect_area * d_overlap — the source area is
+    // invariant under rigid translation.
+    const double scale = s.watts / s.rect.area();
+    grid.rasterize(s.rect, [&](std::size_t ix, std::size_t iy, double) {
+      const double d = d_overlap_area(grid.cell_rect(ix, iy), s.rect, v.vx,
+                                      v.vy);
+      if (d != 0.0) acc += scale * lambda[model.source_node(ix, iy)] * d;
+    });
+  }
+  return acc;
+}
+
+std::vector<ChipletVelocity> org16_spacing_velocities(
+    const ChipletLayout& layout, int param) {
+  TACOS_CHECK(layout.grid_r() == 4 && layout.chiplets().size() == 16,
+              "spacing velocities are defined for the 16-chiplet "
+              "organization only");
+  TACOS_CHECK(param == 0 || param == 1,
+              "param selects s1 (0) or s2 (1), got " << param);
+  // make_org16_layout ring columns at fixed interposer edge B + 4w_c + 2l_g
+  // with s3 = B - 2 s1 (Eq. 9):
+  //   col0 = l_g                       -> d/ds1 = 0
+  //   col1 = l_g + w_c + s1            -> d/ds1 = +1
+  //   col2 = l_g + 2w_c + B - s1      -> d/ds1 = -1
+  //   col3 = l_g + 3w_c + B           -> d/ds1 = 0
+  // and the center 2x2 cluster at mid ± (s2 [+ w_c]) -> d/ds2 = ∓1.
+  constexpr double ring_v[4] = {0.0, +1.0, -1.0, 0.0};
+  std::vector<ChipletVelocity> vel(layout.chiplets().size());
+  for (std::size_t ci = 0; ci < layout.chiplets().size(); ++ci) {
+    const Chiplet& c = layout.chiplets()[ci];
+    const int gi = c.grid_i, gj = c.grid_j;
+    const bool center =
+        (gi == 1 || gi == 2) && (gj == 1 || gj == 2);
+    if (param == 0) {
+      if (!center) vel[ci] = {ring_v[gi], ring_v[gj]};
+    } else {
+      if (center)
+        vel[ci] = {gi == 1 ? -1.0 : +1.0, gj == 1 ? -1.0 : +1.0};
+    }
+  }
+  return vel;
+}
+
+PowerMap translate_power_map(const PowerMap& pm,
+                             const std::vector<int>& source_chiplet,
+                             const ChipletLayout& from,
+                             const ChipletLayout& to) {
+  TACOS_CHECK(source_chiplet.size() == pm.sources.size(),
+              "source ownership must be parallel to the power map");
+  TACOS_CHECK(from.chiplets().size() == to.chiplets().size(),
+              "layouts must have the same chiplet count");
+  PowerMap out;
+  out.sources.reserve(pm.sources.size());
+  for (std::size_t si = 0; si < pm.sources.size(); ++si) {
+    const HeatSource& s = pm.sources[si];
+    const auto ci = static_cast<std::size_t>(source_chiplet[si]);
+    TACOS_CHECK(ci < from.chiplets().size(),
+                "source owner index " << ci << " out of range");
+    const Rect& a = from.chiplets()[ci].rect;
+    const Rect& b = to.chiplets()[ci].rect;
+    out.add(Rect{s.rect.x + (b.x - a.x), s.rect.y + (b.y - a.y), s.rect.w,
+                 s.rect.h},
+            s.watts);
+  }
+  return out;
+}
+
+double peak_spacing_gradient(const ThermalModel& model,
+                             const std::vector<double>& lambda,
+                             const PowerMap& pm,
+                             const std::vector<int>& source_chiplet,
+                             const ChipletLayout& layout,
+                             const std::vector<ChipletVelocity>& vel) {
+  const std::vector<double> dcover =
+      cover_sensitivity(model.grid(), layout, vel);
+  // dT_peak/dθ = λᵀ(∂q/∂θ) − λᵀ(∂K/∂θ)T; conductance_sensitivity already
+  // returns the −λᵀ(∂K/∂θ)T term with its sign folded in.
+  return rhs_sensitivity(model, lambda, pm, source_chiplet, vel) +
+         model.conductance_sensitivity(dcover);
+}
+
+}  // namespace tacos

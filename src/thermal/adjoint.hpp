@@ -1,0 +1,97 @@
+#pragma once
+/// \file adjoint.hpp
+/// \brief Geometry chain of the adjoint spacing gradient: from rigid
+///        chiplet motion to exact dT_peak/dθ.
+///
+/// The steady state solves K(θ) T = q(θ) where θ is a spacing parameter
+/// of the Eq. 9 manifold.  With the peak selector e_p and the adjoint
+/// K λ = e_p (K symmetric; ThermalModel::adjoint_peak), the exact
+/// derivative is
+///
+///   dT_peak/dθ = λᵀ(∂q/∂θ) − λᵀ(∂K/∂θ)T.
+///
+/// Both partials flow through one scalar field: the per-cell chiplet
+/// coverage fraction, whose derivative under rigid chiplet translation is
+/// the derivative of a rectangle-overlap area (d_overlap_area — piecewise
+/// linear in θ, so the chain is exact between the kinks where a chiplet
+/// edge crosses a cell boundary).  The ∂K term is assembled by
+/// ThermalModel::conductance_sensitivity from cover_sensitivity's per-cell
+/// field; the ∂q term rasterizes each heat source's motion against the
+/// adjoint field at *frozen* source watts.
+///
+/// Frozen watts: heat-source magnitudes themselves depend on geometry
+/// (interposer mesh-link lengths feed network power) and on temperature
+/// (leakage).  The gradient deliberately freezes both — it differentiates
+/// the thermal operator at the current power map, which is the cheap and
+/// stable descent direction; the refinement loop re-verifies every
+/// accepted step with a full evaluation (leakage fixed point included),
+/// so frozen-watts error can never contaminate a reported result.
+
+#include <vector>
+
+#include "floorplan/layout.hpp"
+#include "geom/grid.hpp"
+#include "thermal/grid_model.hpp"
+#include "thermal/power_map.hpp"
+
+namespace tacos {
+
+/// Rigid translation velocity of one chiplet: mm of motion per unit
+/// change of the spacing parameter θ.
+struct ChipletVelocity {
+  double vx = 0.0;
+  double vy = 0.0;
+};
+
+/// d/dθ of the overlap area between the fixed `cell` and `r` translating
+/// at (vx, vy).  Zero when the rectangles do not overlap; piecewise
+/// constant in θ with kinks where an edge of `r` aligns with an edge of
+/// `cell` (ties resolve deterministically; the gradient is one-sided
+/// there).
+double d_overlap_area(const Rect& cell, const Rect& r, double vx, double vy);
+
+/// Per-grid-cell derivative of the chiplet coverage fraction under the
+/// given per-chiplet velocities: dcover[i] = Σ_c d_overlap(cell_i,
+/// rect_c)/cell_area.  Feeds ThermalModel::conductance_sensitivity.
+std::vector<double> cover_sensitivity(const GridSpec& grid,
+                                      const ChipletLayout& layout,
+                                      const std::vector<ChipletVelocity>& vel);
+
+/// λᵀ(∂q/∂θ) at frozen source watts: each source rect rides rigidly on
+/// its chiplet (`source_chiplet`, from build_power_map), so its injected
+/// power redistributes across grid cells as it moves.  `lambda` is the
+/// adjoint field from ThermalModel::adjoint_peak.
+double rhs_sensitivity(const ThermalModel& model,
+                       const std::vector<double>& lambda, const PowerMap& pm,
+                       const std::vector<int>& source_chiplet,
+                       const std::vector<ChipletVelocity>& vel);
+
+/// Chiplet velocities of the n=16 Eq. 9 manifold at fixed interposer
+/// size.  `param` 0 differentiates in s1 *along the manifold* (s3 moves
+/// by −2·ds1, so ring columns 1 and 2 translate by +1/−1 while the outer
+/// columns stay pinned); `param` 1 differentiates in s2 (the four center
+/// chiplets spread from the interposer midlines).  Velocities are read
+/// from each chiplet's (grid_i, grid_j) identity, matching
+/// make_org16_layout's placement formulas.
+std::vector<ChipletVelocity> org16_spacing_velocities(
+    const ChipletLayout& layout, int param);
+
+/// Rebuild `pm` for a perturbed layout by translating every source
+/// rigidly with its owning chiplet, keeping watts frozen — the finite-
+/// difference twin of the frozen-watts gradient (used by tests and by any
+/// caller comparing adjoint gradients against central differences).
+PowerMap translate_power_map(const PowerMap& pm,
+                             const std::vector<int>& source_chiplet,
+                             const ChipletLayout& from,
+                             const ChipletLayout& to);
+
+/// Full chain: exact dT_peak/dθ at `model`'s current solved state, given
+/// the adjoint field and the power map the state was solved with.
+double peak_spacing_gradient(const ThermalModel& model,
+                             const std::vector<double>& lambda,
+                             const PowerMap& pm,
+                             const std::vector<int>& source_chiplet,
+                             const ChipletLayout& layout,
+                             const std::vector<ChipletVelocity>& vel);
+
+}  // namespace tacos

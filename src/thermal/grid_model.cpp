@@ -83,6 +83,21 @@ ThermalModel::ThermalModel(const ChipletLayout& layout, const LayerStack& stack,
   k_lat[sink_l].assign(ncell, cu.k_lateral);
   k_vert[sink_l].assign(ncell, cu.k_vertical);
 
+  // Retain the per-layer material parameters: ∂K/∂f assembly
+  // (conductance_sensitivity) recomputes cell conductivities from
+  // source_cover_ exactly as the loops above did.
+  layer_sens_.resize(n_layers_);
+  for (std::size_t l = 0; l < n_stack; ++l) {
+    const Layer& ly = stack.layers[l];
+    layer_sens_[l] = LayerSens{ly.thickness_mm,
+                               ly.extent == LayerExtent::kChiplets,
+                               ly.occupied.k_lateral, ly.fill.k_lateral,
+                               ly.occupied.k_vertical, ly.fill.k_vertical};
+  }
+  for (const std::size_t l : {spreader_l, sink_l})
+    layer_sens_[l] = LayerSens{thickness[l], false, cu.k_lateral,
+                               cu.k_lateral, cu.k_vertical, cu.k_vertical};
+
   // --- Per-cell thermal capacitance (transient mode): C = c_v * volume.
   // 1e-9 converts mm^3 to m^3.
   capacitance_.assign(n_nodes, 0.0);
@@ -327,6 +342,159 @@ ThermalResult ThermalModel::make_result(const SolveResult& sr) const {
   for (double t : temperatures_) peak_all = std::max(peak_all, t);
   out.peak_anywhere_c = peak_all;
   return out;
+}
+
+const std::vector<double>& ThermalModel::adjoint_peak(AdjointInfo* info) {
+  TACOS_CHECK(solved_, "adjoint_peak requires a solved steady state");
+  static obs::SpanSite site("thermal.adjoint", "thermal");
+  obs::TraceSpan span(site);
+
+  // The adjoint right-hand side selects the argmax cell peak_c reports:
+  // hottest majority-covered CMOS cell, falling back to the layer max
+  // when the grid is too coarse for any cell to be half-covered.
+  const std::size_t base = source_layer_ * grid_.cell_count();
+  std::size_t peak = base;
+  double best = -1e300;
+  bool covered = false;
+  for (std::size_t i = 0; i < grid_.cell_count(); ++i) {
+    if (source_cover_[i] < 0.5) continue;
+    covered = true;
+    if (temperatures_[base + i] > best) {
+      best = temperatures_[base + i];
+      peak = base + i;
+    }
+  }
+  if (!covered) {
+    for (std::size_t i = 0; i < grid_.cell_count(); ++i) {
+      if (temperatures_[base + i] > best) {
+        best = temperatures_[base + i];
+        peak = base + i;
+      }
+    }
+  }
+
+  std::vector<double> rhs(matrix_.rows(), 0.0);
+  rhs[peak] = 1.0;
+  if (adjoint_.size() != matrix_.rows()) {
+    adjoint_.assign(matrix_.rows(), 0.0);
+    adjoint_valid_ = false;
+  }
+  SolveOptions opts = config_.solve;
+  // Fault schedules index *forward* solves; the adjoint neither consumes
+  // the ledger's solve clock nor participates in injection, so fault-plan
+  // targets stay stable whether or not refinement runs.
+  opts.fault = {};
+  if (steady_precond() == PrecondKind::kMultigrid)
+    opts.preconditioner = multigrid_for_solve();
+
+  const auto attempt = [&]() -> SolveResult {
+    try {
+      return solve_adjoint(matrix_, rhs, adjoint_, opts);
+    } catch (const SolverError&) {
+      return SolveResult{};
+    }
+  };
+  SolveResult sr = attempt();
+  if (!sr.converged) {
+    // One cold restart: the warm-start field may belong to a different
+    // layout state after heavy LRU churn.
+    std::fill(adjoint_.begin(), adjoint_.end(), 0.0);
+    sr = attempt();
+  }
+  if (!sr.converged) {
+    adjoint_valid_ = false;
+    throw ThermalError(ledger().solve_index, 1, sr.iterations,
+                       sr.residual_norm, "adjoint solve did not converge");
+  }
+  adjoint_valid_ = true;
+  if (info) {
+    info->peak_node = peak;
+    info->iterations = sr.iterations;
+  }
+  span.arg("iters", static_cast<std::int64_t>(sr.iterations));
+  return adjoint_;
+}
+
+double ThermalModel::conductance_sensitivity(
+    const std::vector<double>& dcover) const {
+  TACOS_CHECK(solved_ && adjoint_valid_,
+              "conductance_sensitivity requires solve() and adjoint_peak()");
+  TACOS_CHECK(dcover.size() == grid_.cell_count(),
+              "dcover must have one entry per grid cell");
+  const double dx = grid_.dx(), dy = grid_.dy();
+  const double cell_area = grid_.cell_area();
+
+  // −λᵀ(∂K/∂f)T: every θ-dependent entry of K is an edge conductance
+  // g = 1/(r_a + r_b) whose half-cell slab resistances move with the cell
+  // conductivity k = f·k_occ + (1−f)·k_fill, so dr = −(r/k)·dk and
+  // dg = −g²·(dr_a + dr_b); an edge contributes −dg(λ_a−λ_b)(T_a−T_b).
+  double acc = 0.0;
+  const auto edge = [&](std::size_t a, std::size_t b, double r_a, double dr_a,
+                        double r_b, double dr_b) {
+    const double g = 1.0 / (r_a + r_b);
+    const double dg = -g * g * (dr_a + dr_b);
+    acc -= dg * (adjoint_[a] - adjoint_[b]) *
+           (temperatures_[a] - temperatures_[b]);
+  };
+  for (std::size_t l = 0; l < n_layers_; ++l) {
+    const LayerSens& L = layer_sens_[l];
+    if (L.chiplet) {
+      // Lateral edges within a coverage-dependent layer.
+      const double t = L.thickness;
+      const double dk_lat = L.k_lat_occ - L.k_lat_fill;
+      const auto k_lat_at = [&](std::size_t i) {
+        const double f = source_cover_[i];
+        return f * L.k_lat_occ + (1 - f) * L.k_lat_fill;
+      };
+      for (std::size_t iy = 0; iy < grid_.ny(); ++iy) {
+        for (std::size_t ix = 0; ix < grid_.nx(); ++ix) {
+          const std::size_t c = grid_.index(ix, iy);
+          const double k_c = k_lat_at(c);
+          if (ix + 1 < grid_.nx()) {
+            const std::size_t e = grid_.index(ix + 1, iy);
+            const double k_e = k_lat_at(e);
+            const double r_c = slab_resistance(k_c, dx / 2, dy * t);
+            const double r_e = slab_resistance(k_e, dx / 2, dy * t);
+            edge(node(l, ix, iy), node(l, ix + 1, iy), r_c,
+                 -r_c / k_c * dk_lat * dcover[c], r_e,
+                 -r_e / k_e * dk_lat * dcover[e]);
+          }
+          if (iy + 1 < grid_.ny()) {
+            const std::size_t nn = grid_.index(ix, iy + 1);
+            const double k_n = k_lat_at(nn);
+            const double r_c = slab_resistance(k_c, dy / 2, dx * t);
+            const double r_n = slab_resistance(k_n, dy / 2, dx * t);
+            edge(node(l, ix, iy), node(l, ix, iy + 1), r_c,
+                 -r_c / k_c * dk_lat * dcover[c], r_n,
+                 -r_n / k_n * dk_lat * dcover[nn]);
+          }
+        }
+      }
+    }
+    // Vertical edges: only pairs touching a coverage-dependent layer.
+    if (l + 1 >= n_layers_) continue;
+    const LayerSens& U = layer_sens_[l + 1];
+    if (!L.chiplet && !U.chiplet) continue;
+    for (std::size_t iy = 0; iy < grid_.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < grid_.nx(); ++ix) {
+        const std::size_t c = grid_.index(ix, iy);
+        const double f_l = L.chiplet ? source_cover_[c] : 1.0;
+        const double f_u = U.chiplet ? source_cover_[c] : 1.0;
+        const double k_l = f_l * L.k_vert_occ + (1 - f_l) * L.k_vert_fill;
+        const double k_u = f_u * U.k_vert_occ + (1 - f_u) * U.k_vert_fill;
+        const double r_l = slab_resistance(k_l, L.thickness / 2, cell_area);
+        const double r_u = slab_resistance(k_u, U.thickness / 2, cell_area);
+        const double dr_l =
+            L.chiplet ? -r_l / k_l * (L.k_vert_occ - L.k_vert_fill) * dcover[c]
+                      : 0.0;
+        const double dr_u =
+            U.chiplet ? -r_u / k_u * (U.k_vert_occ - U.k_vert_fill) * dcover[c]
+                      : 0.0;
+        edge(node(l, ix, iy), node(l + 1, ix, iy), r_l, dr_l, r_u, dr_u);
+      }
+    }
+  }
+  return acc;
 }
 
 PrecondKind ThermalModel::steady_precond() const {

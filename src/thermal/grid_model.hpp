@@ -158,6 +158,49 @@ class ThermalModel {
   /// Evaluator's model LRU therefore caches hierarchy and model together.
   const MultigridPreconditioner* multigrid() const { return mg_.get(); }
 
+  // --- Adjoint sensitivities (continuous spacing refinement) ----------
+  //
+  // T_peak = e_p^T T with K T = q, so dT_peak/dθ = λᵀ(∂q/∂θ) −
+  // λᵀ(∂K/∂θ)T where K λ = e_p (K is symmetric) — one extra PCG solve
+  // per gradient, reusing the model's preconditioner stack.  The only
+  // θ-dependent conductances are those of kChiplets-extent layers, whose
+  // per-cell conductivity interpolates occupied↔fill with the chiplet
+  // coverage fraction; ∂K/∂θ therefore reduces to a sum over the edges of
+  // those layers driven by d(cover)/dθ (src/thermal/adjoint.hpp assembles
+  // that from the floorplan geometry).
+
+  /// Outcome of one adjoint solve (adjoint_peak).
+  struct AdjointInfo {
+    std::size_t peak_node = 0;   ///< argmax node e_p selects
+    std::size_t iterations = 0;  ///< PCG iterations consumed
+  };
+
+  /// Solve K λ = e_p for the peak-temperature adjoint at the last solved
+  /// steady state, where e_p selects the same argmax cell make_result
+  /// reports peak_c from (hottest majority-covered CMOS cell, falling
+  /// back to the layer max).  Uses the same matrix, chunked kernels and
+  /// (for large systems) multigrid preconditioner as the forward solve —
+  /// bit-identical at any thread count — warm-started from the previous
+  /// adjoint field.  Does NOT advance the solve ledger's clock or mutate
+  /// the temperature field: fault-plan indices keep targeting forward
+  /// solves only.  Throws ThermalError if PCG fails even after a cold
+  /// restart.  The returned reference stays valid until the next call.
+  const std::vector<double>& adjoint_peak(AdjointInfo* info = nullptr);
+
+  /// Conductance term of the adjoint chain: −λᵀ(∂K/∂f)T · df where
+  /// `dcover[i]` is the derivative of cell i's chiplet coverage fraction
+  /// with respect to the spacing parameter.  Walks the lateral edges of
+  /// every kChiplets-extent layer and the vertical edges touching one,
+  /// differentiating each edge conductance g = 1/(r_a + r_b) through the
+  /// half-cell slab resistances.  Requires solve() and adjoint_peak().
+  double conductance_sensitivity(const std::vector<double>& dcover) const;
+
+  /// Node id of CMOS-layer cell (ix, iy) — for λᵀ(∂q/∂θ) assembly, which
+  /// rasterizes source-rect motion onto the source layer.
+  std::size_t source_node(std::size_t ix, std::size_t iy) const {
+    return node(source_layer_, ix, iy);
+  }
+
  private:
   std::size_t node(std::size_t layer, std::size_t ix, std::size_t iy) const {
     return layer * grid_.cell_count() + grid_.index(ix, iy);
@@ -193,6 +236,18 @@ class ThermalModel {
   std::vector<double> capacitance_;  ///< per-node thermal capacitance (J/K)
   std::vector<double> temperatures_; ///< last solution (also warm start)
   std::vector<double> source_cover_; ///< chiplet coverage fraction per cell
+  /// Per-gridded-layer material parameters retained for ∂K/∂f assembly:
+  /// enough to recompute every cell conductivity (and its derivative in
+  /// the coverage fraction) exactly as the constructor did.
+  struct LayerSens {
+    double thickness = 0.0;
+    bool chiplet = false;  ///< LayerExtent::kChiplets (cover-dependent k)
+    double k_lat_occ = 0.0, k_lat_fill = 0.0;
+    double k_vert_occ = 0.0, k_vert_fill = 0.0;
+  };
+  std::vector<LayerSens> layer_sens_;
+  std::vector<double> adjoint_;      ///< last adjoint solution (warm start)
+  bool adjoint_valid_ = false;       ///< adjoint_ holds a converged solve
   CsrMatrix transient_matrix_;       ///< G + C/dt for the cached dt
   double transient_dt_s_ = 0.0;      ///< dt the cached matrix was built for
   // Tile rasterization cache: per tile, list of (cell, weight).

@@ -552,6 +552,82 @@ TEST(DurableBatch, ResumeAfterPartialRunIsByteIdenticalAtAnyThreadCount) {
   }
 }
 
+TEST(DurableBatch, RefinedSweepJournalsRefineRowsAndResumesByteIdentical) {
+  ThreadCountGuard guard;
+  const std::vector<std::string> names = test_benchmarks();
+  OptimizerOptions opts = small_options();
+  opts.refine = true;
+  opts.chiplet_counts = {16};  // every found winner enters refinement
+
+  // A single thread makes the journal's *file order* canonical (appends
+  // happen in task order): each refine: row lands immediately before its
+  // optimize: row, the order every truncate/resume guarantee is stated in.
+  ThreadPool::set_global_threads(1);
+  const std::string dir_a = fresh_dir("batch_refined_full");
+  RunJournal ja(dir_a);
+  ja.load();
+  const RunControl run_a{&ja, nullptr, 0.0};
+  EvalStats a_stats;
+  const std::vector<OptResult> a = optimize_greedy_batch(
+      small_config(), names, opts, &a_stats, &run_a);
+  const std::string full = slurp(ja.path());
+
+  std::size_t refined = 0;
+  const std::vector<std::string> lines = file_lines(ja.path());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].refined) continue;
+    ++refined;
+    const std::string refine_id = "\"refine:" + names[i] + "\"";
+    const std::string opt_id = "\"optimize:" + names[i] + "\"";
+    std::size_t refine_at = lines.size(), opt_at = lines.size();
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+      if (lines[ln].find(refine_id) != std::string::npos) refine_at = ln;
+      if (lines[ln].find(opt_id) != std::string::npos) opt_at = ln;
+    }
+    ASSERT_LT(refine_at, lines.size()) << names[i];
+    ASSERT_LT(opt_at, lines.size()) << names[i];
+    EXPECT_EQ(refine_at + 1, opt_at) << names[i];
+    EXPECT_EQ(ja.find("refine:" + names[i]), encode_refine_row(a[i]))
+        << names[i];
+  }
+  ASSERT_GT(refined, 0u) << "coarse sweep refined nothing; pick options "
+                            "whose grid winners are off the optimum";
+
+  // Kill-and-resume: keep the meta record plus the first journaled row
+  // (which may be a refine: row whose optimize: row was lost — the state a
+  // crash between the two appends leaves behind).  Results and merged
+  // counters reproduce at any thread count; the journal file itself is
+  // byte-identical on the single-threaded resume (row order is completion
+  // order, so only one thread makes it canonical).
+  const std::string ref_fp = batch_fingerprint(a, a_stats);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ThreadPool::set_global_threads(threads);
+    const std::string dir =
+        fresh_dir("batch_refined_resume_" + std::to_string(threads));
+    copy_journal_prefix(ja.path(), dir, 2);
+    RunJournal jb(dir);
+    jb.load();
+    const RunControl run_b{&jb, nullptr, 0.0};
+    EvalStats b_stats;
+    const std::vector<OptResult> b =
+        optimize_greedy_batch(small_config(), names, opts, &b_stats, &run_b);
+    EXPECT_EQ(batch_fingerprint(b, b_stats), ref_fp);
+    // One optimize: row per benchmark plus one refine: row per refined
+    // winner — nothing lost, nothing duplicated across the resume.
+    EXPECT_EQ(jb.task_count(), names.size() + refined);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].refined) {
+        EXPECT_EQ(jb.find("refine:" + names[i]), encode_refine_row(a[i]))
+            << names[i];
+      }
+    }
+    if (threads == 1) {
+      EXPECT_EQ(slurp(jb.path()), full);
+    }
+  }
+}
+
 TEST(DurableBatch, DeadlineOverrunBecomesQuarantinedTimeoutRow) {
   const std::vector<std::string> names = test_benchmarks();
   const std::string dir = fresh_dir("batch_deadline");

@@ -133,6 +133,44 @@ TEST(ParallelDeterminism, OptimizerBatchBitIdenticalAcrossThreadCounts) {
   EXPECT_GT(s1.solves, 0u);
 }
 
+std::string refined_fingerprint(std::size_t threads, EvalStats* stats) {
+  ThreadPool::set_global_threads(threads);
+  OptimizerOptions o = small_options();
+  o.refine = true;
+  o.chiplet_counts = {16};  // every winner enters the refinement stage
+  const std::vector<OptResult> results = optimize_greedy_batch(
+      small_config(), test_benchmarks(), o, stats);
+  std::ostringstream fp;
+  fp.precision(17);
+  for (const OptResult& r : results) {
+    fp << r.found << "|" << r.org.spacing.s1 << "|" << r.org.spacing.s2
+       << "|" << r.org.spacing.s3 << "|" << r.peak_c << "|" << r.refined
+       << "|" << r.refine_steps << "|" << r.grid_spacing.s1 << "|"
+       << r.grid_spacing.s2 << "|" << r.grid_spacing.s3 << "|"
+       << r.peak_grid_c << "\n";
+  }
+  return fp.str();
+}
+
+TEST(ParallelDeterminism, RefinedSweepBitIdenticalAcrossThreadCounts) {
+  // The refinement stage is RNG-free and sequential per task, so refined
+  // spacings — including every off-grid digit — and the refine counters
+  // must be byte-identical at any thread count.
+  ThreadCountGuard guard;
+  EvalStats s1, s2, s8;
+  const std::string f1 = refined_fingerprint(1, &s1);
+  const std::string f2 = refined_fingerprint(2, &s2);
+  const std::string f8 = refined_fingerprint(8, &s8);
+  EXPECT_EQ(f1, f2);
+  EXPECT_EQ(f1, f8);
+  EXPECT_EQ(s1.refine.attempted, s2.refine.attempted);
+  EXPECT_EQ(s1.refine.attempted, s8.refine.attempted);
+  EXPECT_EQ(s1.refine.steps, s8.refine.steps);
+  EXPECT_EQ(s1.refine.trials, s8.refine.trials);
+  EXPECT_EQ(s1.refine.adjoint_solves, s8.refine.adjoint_solves);
+  EXPECT_GT(s1.refine.attempted, 0u);
+}
+
 TEST(ParallelDeterminism, BatchMatchesSerialPerBenchmarkRuns) {
   ThreadCountGuard guard;
   ThreadPool::set_global_threads(4);

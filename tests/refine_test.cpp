@@ -1,0 +1,488 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "alloc/policy.hpp"
+#include "common/rng.hpp"
+#include "core/evaluator.hpp"
+#include "core/leakage.hpp"
+#include "core/optimizer.hpp"
+#include "core/organization.hpp"
+#include "core/refine.hpp"
+#include "floorplan/layout.hpp"
+#include "materials/stack.hpp"
+#include "power/dvfs.hpp"
+#include "power/power_model.hpp"
+#include "thermal/adjoint.hpp"
+#include "thermal/grid_model.hpp"
+
+namespace tacos {
+namespace {
+
+// Central-difference step for the spacing gradients: large enough that the
+// O(tol·T/h) solver noise stays below the 1e-5 relative target at
+// rel_tolerance 1e-12, small enough that no chiplet edge crosses a grid
+// cell boundary (the layouts below use off-grid spacings, so every edge
+// sits well inside a cell).
+constexpr double kFdStep = 3e-4;
+
+ThermalConfig tight_config(std::size_t n) {
+  ThermalConfig c;
+  c.grid_nx = c.grid_ny = n;
+  c.solve.rel_tolerance = 1e-12;
+  return c;
+}
+
+/// Exact adjoint gradient dT_peak/dθ of the frozen-watts chain at `l`.
+double adjoint_gradient(const ChipletLayout& l, const PowerMap& pm,
+                        const std::vector<int>& src,
+                        const std::vector<ChipletVelocity>& vel,
+                        std::size_t grid) {
+  ThermalModel m(l, make_25d_stack(), tight_config(grid));
+  m.solve(pm);
+  const std::vector<double>& lambda = m.adjoint_peak();
+  return peak_spacing_gradient(m, lambda, pm, src, l, vel);
+}
+
+double solve_peak(const ChipletLayout& l, const PowerMap& pm,
+                  std::size_t grid) {
+  ThermalModel m(l, make_25d_stack(), tight_config(grid));
+  return m.solve(pm).peak_c;
+}
+
+/// Asymmetric per-chiplet heat sources: a unique, well-separated hottest
+/// cell keeps the max() in T_peak smooth across the FD stencil.
+PowerMap chiplet_power(const ChipletLayout& l, std::vector<int>* src) {
+  PowerMap pm;
+  for (std::size_t i = 0; i < l.chiplets().size(); ++i) {
+    pm.add(l.chiplets()[i].rect, 6.0 + 2.3 * static_cast<double>(i % 7) +
+                                     0.4 * static_cast<double>(i));
+    src->push_back(static_cast<int>(i));
+  }
+  return pm;
+}
+
+void expect_rel_near(double grad, double fd, double rel) {
+  EXPECT_NEAR(grad, fd, rel * std::max(1.0, std::abs(fd)))
+      << "adjoint " << grad << " vs central FD " << fd;
+}
+
+// --- d_overlap_area geometry --------------------------------------------
+
+TEST(AdjointGeometry, OverlapDerivativeAnalyticCases) {
+  const Rect cell = Rect::make(0.0, 0.0, 1.0, 1.0);
+  // r's left edge is binding inside the cell: growing x shrinks overlap.
+  EXPECT_DOUBLE_EQ(
+      d_overlap_area(cell, Rect::make(0.5, 0.0, 1.0, 1.0), 1.0, 0.0), -1.0);
+  // r's right edge is binding: growing x grows overlap.
+  EXPECT_DOUBLE_EQ(
+      d_overlap_area(cell, Rect::make(-0.5, 0.0, 1.0, 1.0), 1.0, 0.0), 1.0);
+  // r strictly contains the cell: both binding edges are the cell's.
+  EXPECT_DOUBLE_EQ(
+      d_overlap_area(cell, Rect::make(-1.0, -1.0, 3.0, 3.0), 1.0, 1.0), 0.0);
+  // Disjoint rectangles contribute nothing.
+  EXPECT_DOUBLE_EQ(
+      d_overlap_area(cell, Rect::make(2.0, 0.0, 1.0, 1.0), 1.0, 0.0), 0.0);
+  // Mixed axes: overlap = (1-0.25)*(1-0.5); d/dθ with v=(1,1) is
+  // -oy - ox = -(0.5 + 0.75).
+  EXPECT_DOUBLE_EQ(
+      d_overlap_area(cell, Rect::make(0.25, 0.5, 2.0, 2.0), 1.0, 1.0),
+      -(0.5 + 0.75));
+}
+
+TEST(AdjointGeometry, OverlapDerivativeMatchesFiniteDifference) {
+  const Rect cell = Rect::make(1.25, 2.5, 1.25, 1.25);
+  const Rect r = Rect::make(0.83, 2.91, 2.2, 1.7);
+  const double vx = 0.7, vy = -0.4;
+  const auto overlap = [&](double t) {
+    const Rect rt =
+        Rect::make(r.x + t * vx, r.y + t * vy, r.w, r.h);
+    const double ox = std::min(cell.x2(), rt.x2()) - std::max(cell.x, rt.x);
+    const double oy = std::min(cell.y2(), rt.y2()) - std::max(cell.y, rt.y);
+    return (ox > 0 && oy > 0) ? ox * oy : 0.0;
+  };
+  const double fd = (overlap(kFdStep) - overlap(-kFdStep)) / (2 * kFdStep);
+  EXPECT_NEAR(d_overlap_area(cell, r, vx, vy), fd, 1e-9);
+}
+
+// --- Full-chain gradient vs central differences -------------------------
+
+// Layout 1: a free-form 2-chiplet system (no tiles, hand-built power),
+// one chiplet translating diagonally.
+TEST(AdjointGradient, MatchesFiniteDifferenceOnCustomLayout) {
+  const double vx = 1.0, vy = 0.4;
+  const auto layout_at = [&](double t) {
+    return make_custom_layout({Rect::make(4.1 + t * vx, 6.3 + t * vy, 8, 8),
+                               Rect::make(17.3, 9.1, 8, 8)},
+                              30.0);
+  };
+  const ChipletLayout base = layout_at(0.0);
+  PowerMap pm;
+  pm.add(base.chiplets()[0].rect, 34.0);
+  pm.add(base.chiplets()[1].rect, 21.0);
+  const std::vector<int> src = {0, 1};
+  const std::vector<ChipletVelocity> vel = {{vx, vy}, {0.0, 0.0}};
+
+  const double grad = adjoint_gradient(base, pm, src, vel, 24);
+  const ChipletLayout lp = layout_at(kFdStep), lm = layout_at(-kFdStep);
+  const double fd = (solve_peak(lp, translate_power_map(pm, src, base, lp),
+                                24) -
+                     solve_peak(lm, translate_power_map(pm, src, base, lm),
+                                24)) /
+                    (2 * kFdStep);
+  EXPECT_NE(fd, 0.0);
+  expect_rel_near(grad, fd, 1e-5);
+}
+
+// Layout 2: the paper's 16-chiplet organization at off-grid spacings,
+// both manifold parameters (s1 along the fixed-interposer manifold, s2).
+TEST(AdjointGradient, MatchesFiniteDifferenceOnOrg16) {
+  const double s1 = 0.73, s2 = 0.41, s3 = 1.9;
+  const ChipletLayout base = make_org16_layout({s1, s2, s3});
+  std::vector<int> src;
+  const PowerMap pm = chiplet_power(base, &src);
+
+  // param 0: s1 moves along Eq. 9 (s3 compensates; interposer fixed).
+  {
+    const std::vector<ChipletVelocity> vel =
+        org16_spacing_velocities(base, 0);
+    const double grad = adjoint_gradient(base, pm, src, vel, 24);
+    const ChipletLayout lp =
+        make_org16_layout({s1 + kFdStep, s2, s3 - 2 * kFdStep});
+    const ChipletLayout lm =
+        make_org16_layout({s1 - kFdStep, s2, s3 + 2 * kFdStep});
+    const double fd =
+        (solve_peak(lp, translate_power_map(pm, src, base, lp), 24) -
+         solve_peak(lm, translate_power_map(pm, src, base, lm), 24)) /
+        (2 * kFdStep);
+    EXPECT_NE(fd, 0.0);
+    expect_rel_near(grad, fd, 1e-5);
+  }
+  // param 1: the center cluster spreads from the interposer midlines.
+  {
+    const std::vector<ChipletVelocity> vel =
+        org16_spacing_velocities(base, 1);
+    const double grad = adjoint_gradient(base, pm, src, vel, 24);
+    const ChipletLayout lp = make_org16_layout({s1, s2 + kFdStep, s3});
+    const ChipletLayout lm = make_org16_layout({s1, s2 - kFdStep, s3});
+    const double fd =
+        (solve_peak(lp, translate_power_map(pm, src, base, lp), 24) -
+         solve_peak(lm, translate_power_map(pm, src, base, lm), 24)) /
+        (2 * kFdStep);
+    EXPECT_NE(fd, 0.0);
+    expect_rel_near(grad, fd, 1e-5);
+  }
+}
+
+// Layout 3: the paper-resolution 64×64 grid (multigrid preconditioner
+// path), one manifold parameter.
+TEST(AdjointGradient, MatchesFiniteDifferenceOnPaperGrid) {
+  const double s1 = 0.73, s2 = 0.41, s3 = 1.9;
+  const ChipletLayout base = make_org16_layout({s1, s2, s3});
+  std::vector<int> src;
+  const PowerMap pm = chiplet_power(base, &src);
+  const std::vector<ChipletVelocity> vel = org16_spacing_velocities(base, 0);
+  const double grad = adjoint_gradient(base, pm, src, vel, 64);
+  const ChipletLayout lp =
+      make_org16_layout({s1 + kFdStep, s2, s3 - 2 * kFdStep});
+  const ChipletLayout lm =
+      make_org16_layout({s1 - kFdStep, s2, s3 + 2 * kFdStep});
+  const double fd =
+      (solve_peak(lp, translate_power_map(pm, src, base, lp), 64) -
+       solve_peak(lm, translate_power_map(pm, src, base, lm), 64)) /
+      (2 * kFdStep);
+  EXPECT_NE(fd, 0.0);
+  expect_rel_near(grad, fd, 1e-5);
+}
+
+// --- Evaluator::peak_gradient -------------------------------------------
+
+// The Evaluator's gradient entry point must agree with a central
+// difference of its own frozen-watts pipeline: converge the leakage fixed
+// point, rebuild the power map from the final tile temperatures, then
+// translate the sources rigidly with their chiplets.
+TEST(AdjointGradient, EvaluatorPeakGradientMatchesFiniteDifference) {
+  EvalConfig cfg;
+  cfg.thermal.grid_nx = cfg.thermal.grid_ny = 24;
+  cfg.thermal.solve.rel_tolerance = 1e-12;
+  Evaluator eval(cfg);
+  const BenchmarkProfile& bench = benchmark_by_name("cholesky");
+  const Organization org{16, {0.73, 0.41, 1.9}, 2, 256};
+
+  const Evaluator::PeakGradient g = eval.peak_gradient(org, bench);
+  EXPECT_GT(g.peak_c, 45.0);
+  EXPECT_EQ(eval.stats().refine.adjoint_solves, 1u);
+
+  // Reproduce the pipeline outside the Evaluator.
+  const ChipletLayout base = layout_for(org, cfg.spec);
+  ThermalModel model(base, make_25d_stack(), cfg.thermal);
+  const std::vector<int> active =
+      active_tiles(cfg.policy, org.active_cores, cfg.spec);
+  run_leakage_fixed_point(model, base, bench, level_of(org), active,
+                          cfg.power, cfg.leak_tol_c, cfg.max_leak_iters);
+  const std::vector<double> temps = model.tile_temperatures();
+  std::vector<int> src;
+  const PowerMap pm = build_power_map(base, bench, level_of(org), active,
+                                      temps, cfg.power, 1.0, &src);
+
+  const auto frozen_peak = [&](const Spacing& s) {
+    const ChipletLayout l = make_org16_layout(s, cfg.spec);
+    ThermalModel m(l, make_25d_stack(), cfg.thermal);
+    return m.solve(translate_power_map(pm, src, base, l)).peak_c;
+  };
+  const Spacing& s = org.spacing;
+  const double fd1 =
+      (frozen_peak({s.s1 + kFdStep, s.s2, s.s3 - 2 * kFdStep}) -
+       frozen_peak({s.s1 - kFdStep, s.s2, s.s3 + 2 * kFdStep})) /
+      (2 * kFdStep);
+  const double fd2 = (frozen_peak({s.s1, s.s2 + kFdStep, s.s3}) -
+                      frozen_peak({s.s1, s.s2 - kFdStep, s.s3})) /
+                     (2 * kFdStep);
+  expect_rel_near(g.d_s1, fd1, 1e-5);
+  expect_rel_near(g.d_s2, fd2, 1e-5);
+}
+
+// --- Refinement driver ---------------------------------------------------
+
+// Refinement never reports a hotter point than the grid winner it started
+// from, keeps the frozen combination's objective untouched, and records
+// its work in the mergeable counters.
+TEST(Refine, RefinedWinnerNeverWorseAndCombinationFrozen) {
+  EvalConfig cfg;
+  cfg.thermal.grid_nx = cfg.thermal.grid_ny = 24;
+  const BenchmarkProfile& bench = benchmark_by_name("lu.cont");
+
+  OptimizerOptions grid_opts;
+  grid_opts.step_mm = 2.0;
+  grid_opts.starts = 4;
+  grid_opts.chiplet_counts = {16};
+  Evaluator grid_eval(cfg);
+  const OptResult grid = optimize_greedy(grid_eval, bench, grid_opts);
+  ASSERT_TRUE(grid.found);
+  EXPECT_FALSE(grid.refined);
+
+  OptimizerOptions opts = grid_opts;
+  opts.refine = true;
+  Evaluator eval(cfg);
+  const OptResult r = optimize_greedy(eval, bench, opts);
+  ASSERT_TRUE(r.found);
+  // The frozen combination: refinement moves spacings only.
+  EXPECT_EQ(r.org.n_chiplets, grid.org.n_chiplets);
+  EXPECT_EQ(r.org.dvfs_idx, grid.org.dvfs_idx);
+  EXPECT_EQ(r.org.active_cores, grid.org.active_cores);
+  EXPECT_EQ(r.objective, grid.objective);
+  EXPECT_EQ(r.ips, grid.ips);
+  EXPECT_EQ(r.cost, grid.cost);
+  EXPECT_LE(r.peak_c, grid.peak_c + 1e-9);
+
+  const RefineStats& rs = eval.stats().refine;
+  EXPECT_EQ(rs.attempted, 1u);
+  EXPECT_GT(rs.adjoint_solves, 0u);
+  if (r.refined) {
+    EXPECT_EQ(r.grid_spacing, grid.org.spacing);
+    EXPECT_EQ(r.peak_grid_c, grid.peak_c);
+    EXPECT_GT(r.refine_steps, 0);
+    EXPECT_LT(r.peak_c, r.peak_grid_c);
+    // Off the grid: at least one spacing is no longer a step multiple.
+    EXPECT_NE(r.org.spacing, grid.org.spacing);
+    EXPECT_EQ(static_cast<std::size_t>(r.refine_steps), rs.steps);
+  } else {
+    EXPECT_EQ(r.peak_c, grid.peak_c);
+    EXPECT_EQ(r.org.spacing, grid.org.spacing);
+  }
+}
+
+TEST(Refine, DriverImprovesSeededOffOptimumPoint) {
+  // Drive refine_spacing directly from a deliberately bad manifold point:
+  // the descent must strictly reduce the exact re-verified peak.
+  EvalConfig cfg;
+  cfg.thermal.grid_nx = cfg.thermal.grid_ny = 16;
+  Evaluator eval(cfg);
+  const BenchmarkProfile& bench = benchmark_by_name("canneal");
+  const double budget = 4.0;
+  Organization org{16, {2.0, 0.0, 0.0}, 1, 192};  // everything in s1
+  const double start_peak = eval.thermal_eval(org, bench).peak_c;
+  const RefineResult rr =
+      refine_spacing(eval, bench, org, budget, 1.0, 1e-3, 20);
+  EXPECT_LE(rr.peak_c, start_peak + 1e-9);
+  if (rr.steps > 0) {
+    EXPECT_LT(rr.peak_c, start_peak);
+  }
+  // Every visited point stayed on the manifold.
+  EXPECT_NEAR(rr.org.spacing.s3,
+              std::max(0.0, budget - 2 * rr.org.spacing.s1), 1e-12);
+  EXPECT_GE(rr.org.spacing.s1, 0.0);
+  EXPECT_LE(rr.org.spacing.s1, budget / 2 + 1e-12);
+  // The refined point re-evaluates to exactly the reported peak.
+  EXPECT_EQ(eval.thermal_eval(rr.org, bench).peak_c, rr.peak_c);
+}
+
+// --- Spacing-manifold satellites ----------------------------------------
+
+TEST(SmartStart, StaysOnManifoldForNonDivisibleBudgets) {
+  const double steps[] = {0.5, 0.3, 0.7, 1.0};
+  const double budgets[] = {0.3,  0.7, 1.1, 2.3, 3.7,
+                            5.9,  6.2, 9.999999999, 0.0};
+  for (const double step : steps) {
+    for (const double budget : budgets) {
+      const auto [i1, i2] = greedy_smart_start(budget, step);
+      const long grid_max = spacing_grid_max(budget, step);
+      EXPECT_GE(i1, 0L);
+      EXPECT_GE(i2, 0L);
+      EXPECT_LE(i1, grid_max);
+      EXPECT_LE(i2, grid_max);
+      // The Eq. 9 manifold: s3 = budget − 2 s1 must not go negative.
+      EXPECT_LE(2 * static_cast<double>(i1) * step, budget + 1e-9)
+          << "budget " << budget << " step " << step;
+      // Eq. 10: s2 ≤ s1 + s3/2 = budget/2.
+      EXPECT_LE(2 * static_cast<double>(i2) * step, budget + 1e-9)
+          << "budget " << budget << " step " << step;
+      const double s1 = static_cast<double>(i1) * step;
+      const double s3 = std::max(0.0, budget - 2 * s1);
+      const double s2 =
+          std::min(static_cast<double>(i2) * step, s1 + s3 / 2);
+      EXPECT_NO_THROW(make_org16_layout({s1, s2, s3}))
+          << "budget " << budget << " step " << step;
+    }
+  }
+}
+
+TEST(SmartStart, HistoricalStartsUnchangedOnDivisibleBudgets) {
+  // Every journaled sweep depends on these exact starts (the ladder-mode
+  // winner is path-dependent): for step-divisible budgets the start is the
+  // nearest-rounded uniform placement, unchanged since the first release.
+  for (const double step : {0.5, 2.0}) {
+    for (long k = 0; k <= 12; ++k) {
+      const double budget = static_cast<double>(k) * step;
+      const long grid_max = spacing_grid_max(budget, step);
+      const long want_i1 = std::min(std::lround(budget / 3.0 / step),
+                                    grid_max);
+      const long want_i2 = std::min(
+          std::lround((budget - 2 * static_cast<double>(want_i1) * step) /
+                      2.0 / step),
+          grid_max);
+      const auto [i1, i2] = greedy_smart_start(budget, step);
+      EXPECT_EQ(i1, want_i1) << "budget " << budget << " step " << step;
+      EXPECT_EQ(i2, want_i2) << "budget " << budget << " step " << step;
+    }
+  }
+}
+
+TEST(SpacingGrid, KnifeEdgeBudgetsRoundUpAndStillBuildValidLayouts) {
+  // A budget an epsilon below a step multiple must round up (the intent of
+  // spacing_grid_max's 1e-9 guard) — and the resulting extreme grid point,
+  // which overshoots the budget by O(1e-9), must still pass
+  // make_org16_layout's manifold checks after the optimizer's clamps.
+  const double step = 0.5;
+  for (long m = 1; m <= 8; ++m) {
+    const double budget = 2 * step * static_cast<double>(m) * (1.0 - 5e-13);
+    const long gm = spacing_grid_max(budget, step);
+    EXPECT_EQ(gm, m) << "budget " << budget;
+    const double s1 = static_cast<double>(gm) * step;
+    const double s3 = std::max(0.0, budget - 2 * s1);
+    const double s2 = std::min(static_cast<double>(gm) * step, s1 + s3 / 2);
+    EXPECT_NO_THROW(make_org16_layout({s1, s2, s3})) << "budget " << budget;
+  }
+}
+
+TEST(SpacingGrid, EstimatorMatchesEnumerationLoopBounds) {
+  // design_space_size and the exhaustive-placement loop share
+  // spacing_grid_max; recompute the estimator from the public pieces and
+  // require exact agreement (the paper's search-cost claims rest on this).
+  EvalConfig cfg;
+  cfg.thermal.grid_nx = cfg.thermal.grid_ny = 12;
+  Evaluator eval(cfg);
+  OptimizerOptions opts;
+  opts.step_mm = 0.5;
+  opts.chiplet_counts = {16};
+  const SystemSpec& spec = eval.config().spec;
+  const double min_w = interposer_edge_for(4, Spacing{}, spec);
+  std::size_t placements = 0;
+  for (double w = min_w; w <= spec.max_interposer_mm + 1e-9;
+       w += opts.step_mm) {
+    const long gm = spacing_grid_max(w - min_w, opts.step_mm);
+    placements += static_cast<std::size_t>(gm + 1) *
+                  static_cast<std::size_t>(gm + 1);
+  }
+  EXPECT_EQ(design_space_size(eval, opts),
+            placements * kDvfsLevelCount * kActiveCoreChoices.size());
+}
+
+TEST(Rng, UniformLongMatchesUniformIntSequenceOnNarrowRanges) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 256; ++i)
+    EXPECT_EQ(a.uniform_long(0, 17), static_cast<long>(b.uniform_int(0, 17)));
+}
+
+TEST(Rng, UniformLongCoversWideRangesWithoutTruncation) {
+  Rng r(7);
+  const long hi = 3'000'000'000L;  // would wrap negative as an int
+  for (int i = 0; i < 256; ++i) {
+    const long v = r.uniform_long(0, hi);
+    EXPECT_GE(v, 0L);
+    EXPECT_LE(v, hi);
+  }
+}
+
+// --- Journal codec -------------------------------------------------------
+
+TEST(RefineJournal, OptResultRoundTripsRefinedFields) {
+  OptResult r;
+  r.found = true;
+  r.org = {16, {0.6180339887498949, 0.3, 1.25}, 3, 224};
+  r.ips = 1.5e11;
+  r.cost = 42.0;
+  r.objective = 1.9;
+  r.peak_c = 83.4567890123456789;
+  r.refined = true;
+  r.grid_spacing = {0.5, 0.5, 1.5};
+  r.peak_grid_c = 84.01;
+  r.refine_steps = 3;
+  EvalStats s;
+  s.solves = 12;
+  s.evals = 5;
+  s.refine.attempted = 1;
+  s.refine.steps = 3;
+  s.refine.trials = 7;
+  s.refine.adjoint_solves = 4;
+
+  OptResult r2;
+  EvalStats s2;
+  ASSERT_TRUE(decode_opt_result(encode_opt_result(r, s), &r2, &s2));
+  EXPECT_TRUE(r2.refined);
+  EXPECT_EQ(r2.org.spacing, r.org.spacing);
+  EXPECT_EQ(r2.grid_spacing, r.grid_spacing);
+  EXPECT_EQ(r2.peak_grid_c, r.peak_grid_c);
+  EXPECT_EQ(r2.peak_c, r.peak_c);
+  EXPECT_EQ(r2.refine_steps, r.refine_steps);
+  EXPECT_EQ(s2.refine.attempted, s.refine.attempted);
+  EXPECT_EQ(s2.refine.steps, s.refine.steps);
+  EXPECT_EQ(s2.refine.trials, s.refine.trials);
+  EXPECT_EQ(s2.refine.adjoint_solves, s.refine.adjoint_solves);
+  // Re-encoding reproduces the payload byte-for-byte (the resume
+  // fingerprint property).
+  EXPECT_EQ(encode_opt_result(r2, s2), encode_opt_result(r, s));
+  // The standalone refine row is deterministic too.
+  EXPECT_EQ(encode_refine_row(r), encode_refine_row(r2));
+  // %.17g keeps every significant digit of the off-grid spacing.
+  EXPECT_NE(encode_refine_row(r).find("0.6180339887498949"),
+            std::string::npos);
+}
+
+TEST(RefineJournal, GridOnlyPayloadsCarryNoRefineLines) {
+  OptResult r;
+  r.found = true;
+  r.org = {16, {0.5, 0.5, 1.0}, 0, 256};
+  const std::string payload = encode_opt_result(r, EvalStats{});
+  EXPECT_EQ(payload.find("refine"), std::string::npos);
+  OptResult r2;
+  EvalStats s2;
+  ASSERT_TRUE(decode_opt_result(payload, &r2, &s2));
+  EXPECT_FALSE(r2.refined);
+  EXPECT_FALSE(s2.refine.any());
+}
+
+}  // namespace
+}  // namespace tacos

@@ -342,6 +342,9 @@ TEST(EvalParams, RoundTripsEveryResultAffectingKnob) {
   opts.seed = 987654321;
   opts.prune_margin_c = 4.5;
   opts.chiplet_counts = {1, 4, 16};
+  opts.refine = true;
+  opts.refine_tol_mm = 2e-3;
+  opts.refine_max_steps = 7;
 
   const std::string line = encode_eval_params(config, opts);
   EvalConfig c2;
@@ -354,6 +357,14 @@ TEST(EvalParams, RoundTripsEveryResultAffectingKnob) {
   EXPECT_TRUE(c2.thermal.solve.mg_mixed_precision);
   EXPECT_EQ(o2.seed, 987654321u);
   EXPECT_EQ(o2.chiplet_counts, (std::vector<int>{1, 4, 16}));
+  EXPECT_TRUE(o2.refine);
+  EXPECT_EQ(o2.refine_tol_mm, 2e-3);
+  EXPECT_EQ(o2.refine_max_steps, 7);
+  // Grid-only requests must not grow refine knobs: their canonical params
+  // line (and thus every existing memo key) is frozen.
+  OptimizerOptions grid_only = small_options();
+  EXPECT_EQ(encode_eval_params(config, grid_only).find("refine"),
+            std::string::npos);
 }
 
 TEST(EvalParams, RejectsUnknownOrMalformedKnobs) {
@@ -386,10 +397,10 @@ TEST(EvalParams, RejectsUnknownOrMalformedKnobs) {
 TEST(OrgKey, QuantizesAtEvaluatorResolution) {
   const Organization a{16, {1.0, 0.5, 1.0}, 0, 128};
   Organization b = a;
-  b.spacing.s1 += 0.001;  // below the 0.01 mm LayoutKey resolution
+  b.spacing.s1 += 1e-10;  // below the 1 nm LayoutKey resolution
   EXPECT_EQ(canonical_org_key(a), canonical_org_key(b));
   Organization c = a;
-  c.spacing.s1 += 0.05;  // a distinguishable layout
+  c.spacing.s1 += 0.001;  // refined spacings differ at micron scale
   EXPECT_NE(canonical_org_key(a), canonical_org_key(c));
 
   const std::string params = encode_eval_params(small_config(),
@@ -587,16 +598,17 @@ TEST(ServiceE2E, EvaluateMemoizesAtQuantizedOrgIdentity) {
   EXPECT_NE(cold.find("converged "), std::string::npos);
 
   // An organization the evaluation stack cannot distinguish (below the
-  // 0.01 mm layout quantization) resolves to the same cache slot.
+  // 1 nm key quantization — fine enough that gradient-refined off-grid
+  // spacings never collide) resolves to the same cache slot.
   Organization near = org;
-  near.spacing.s2 += 0.001;
+  near.spacing.s2 += 1e-10;
   const std::string warm = client.evaluate(small_config(), small_options(),
                                            "cholesky", near, &memo);
   EXPECT_TRUE(memo);
   EXPECT_EQ(warm, cold);
 
   Organization far = org;
-  far.spacing.s2 += 0.05;
+  far.spacing.s2 += 0.001;
   client.evaluate(small_config(), small_options(), "cholesky", far, &memo);
   EXPECT_FALSE(memo);  // a distinguishable layout computes fresh
 }

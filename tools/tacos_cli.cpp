@@ -48,6 +48,9 @@
 ///   --run-dir=DIR        journal completed batch tasks under DIR
 ///   --resume             replay DIR's journal instead of recomputing
 ///   --task-deadline=S    per-task wall-clock budget in seconds
+///   --refine             adjoint-gradient spacing refinement of each
+///                        16-chiplet grid winner (optimize/batch)
+///   --refine-tol-mm=T    refinement stopping resolution (default 1e-3)
 ///   --metrics[=FILE]     write the metrics registry as JSON (defaults to
 ///                        metrics.json inside --run-dir)
 ///   --trace[=FILE]       write a Chrome trace_event JSON timeline
@@ -148,6 +151,12 @@ double g_keep_frac = 0.0;
 /// --mg-mixed: float smoothing sweeps inside the MG preconditioner.
 bool g_mg_mixed = false;
 
+/// --refine: continuous adjoint-gradient spacing refinement of each grid
+/// winner (docs/PERFORMANCE.md "Continuous spacing refinement").
+bool g_refine = false;
+/// --refine-tol-mm: spacing resolution at which the descent stops.
+double g_refine_tol_mm = 1e-3;
+
 /// Client options shared by every --remote consumer (defined with the
 /// service commands below).
 ClientOptions make_client_options();
@@ -165,6 +174,7 @@ int usage() {
       "                 [--precond=auto|jacobi|mg] [--mg-mixed]\n"
       "                 [--fidelity=auto|full|ladder]"
       " [--surrogate-keep-frac=F]\n"
+      "                 [--refine] [--refine-tol-mm=T]\n"
       "                 [--remote=ADDR] [--remote-deadline-ms=T]"
       " [--remote-attempts=K]\n"
       "                 [--socket=PATH] [--port=N] [--serve-threads=N]\n"
@@ -281,6 +291,8 @@ int cmd_optimize(const std::vector<std::string>& a) {
   opts.alpha = a.size() > 1 ? std::stod(a[1]) : 1.0;
   opts.beta = a.size() > 2 ? std::stod(a[2]) : 0.0;
   opts.threshold_c = a.size() > 3 ? std::stod(a[3]) : 85.0;
+  opts.refine = g_refine;
+  opts.refine_tol_mm = g_refine_tol_mm;
   opts.cancel = &global_cancel_token();
   const OptResult r = optimize_greedy(eval, bench, opts);
   if (!r.found) {
@@ -297,6 +309,10 @@ int cmd_optimize(const std::vector<std::string>& a) {
             << r.peak_c << " C, IPS " << r.ips << ", cost $" << r.cost
             << " (" << r.cost / eval.cost_2d() << "x)\n  objective "
             << r.objective << ", " << r.thermal_solves << " thermal solves\n";
+  if (r.refined)
+    std::cout << "  refined from grid s=(" << r.grid_spacing.s1 << ","
+              << r.grid_spacing.s2 << "," << r.grid_spacing.s3 << ") peak "
+              << r.peak_grid_c << " C in " << r.refine_steps << " step(s)\n";
   report_health(eval);
   return exit_code::kOk;
 }
@@ -349,6 +365,8 @@ int cmd_batch(const std::vector<std::string>& a) {
   opts.beta = a.size() > 1 ? std::stod(a[1]) : 0.0;
   opts.threshold_c = a.size() > 2 ? std::stod(a[2]) : 85.0;
   opts.step_mm = a.size() > 4 ? std::stod(a[4]) : 0.5;
+  opts.refine = g_refine;
+  opts.refine_tol_mm = g_refine_tol_mm;
 
   std::vector<std::string> names;
   for (const auto& b : benchmarks()) names.emplace_back(b.name);
@@ -494,6 +512,12 @@ int cmd_batch(const std::vector<std::string>& a) {
               << l.surrogate_fits << " fit(s), " << l.coarse_solves
               << " coarse + " << l.medium_solves << " medium solve(s), "
               << l.coarse_failures + l.medium_failures << " rung failure(s)\n";
+  }
+  if (stats.refine.any()) {
+    const RefineStats& rf = stats.refine;
+    std::cerr << "refine: " << rf.attempted << " attempted, " << rf.steps
+              << " accepted step(s)/" << rf.trials << " trial(s), "
+              << rf.adjoint_solves << " adjoint solve(s)\n";
   }
   stats.health += fabric_health;  // supervisor-level counters, stderr only
   std::cerr << stats.health.summary() << "\n";
@@ -884,6 +908,11 @@ int main(int argc, char** argv) {
       if (!(g_keep_frac >= 0.0 && g_keep_frac <= 1.0)) return usage();
     } else if (flag == "--mg-mixed") {
       g_mg_mixed = true;
+    } else if (flag == "--refine") {
+      g_refine = true;
+    } else if (flag.rfind("--refine-tol-mm=", 0) == 0) {
+      g_refine_tol_mm = std::stod(flag.substr(16));
+      if (!(g_refine_tol_mm > 0.0)) return usage();
     } else if (flag.rfind("--workers=", 0) == 0) {
       const long n = std::atol(flag.c_str() + 10);
       if (n < 1) return usage();
